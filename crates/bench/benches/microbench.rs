@@ -1,0 +1,226 @@
+//! Criterion microbenchmarks for Loom's core data structures.
+//!
+//! These complement the `fig*` binaries (which regenerate the paper's
+//! figures) with fine-grained measurements of the primitives: hybrid-log
+//! appends, the full `push` path with varying index counts, histogram
+//! bin assignment, chunk-summary encoding, and the query operators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use loom::{extract, Aggregate, Clock, Config, HistogramSpec, Loom, TimeRange, ValueRange};
+
+// The bench crate links every engine, so the baselines are benchmarked
+// with the identical record stream for context.
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("loom-micro-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn bench_hybrid_log_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybridlog_append");
+    for size in [8usize, 48, 256, 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let dir = scratch("hlog");
+            let mut writer = loom::hybridlog::create(&dir.join("log"), 8 * 1024 * 1024).unwrap();
+            let payload = vec![0xA5u8; size];
+            b.iter(|| {
+                writer.append(std::hint::black_box(&payload)).unwrap();
+                writer.publish();
+            });
+            drop(writer);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_with_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loom_push_48B");
+    group.throughput(Throughput::Elements(1));
+    for n_indexes in [0usize, 1, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("indexes", n_indexes),
+            &n_indexes,
+            |b, &n| {
+                let dir = scratch("push");
+                let (loom, mut writer) =
+                    Loom::open_with_clock(Config::new(&dir), Clock::monotonic()).unwrap();
+                let src = loom.define_source("bench");
+                for _ in 0..n {
+                    loom.define_index(
+                        src,
+                        extract::u64_le_at(0),
+                        HistogramSpec::exponential(100.0, 4.0, 10).unwrap(),
+                    )
+                    .unwrap();
+                }
+                let mut payload = [0u8; 48];
+                let mut i = 0u64;
+                b.iter(|| {
+                    payload[0..8].copy_from_slice(&(i % 100_000).to_le_bytes());
+                    i += 1;
+                    writer.push(src, std::hint::black_box(&payload)).unwrap();
+                });
+                drop(writer);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_histogram_bin_of(c: &mut Criterion) {
+    let spec = HistogramSpec::exponential(1.0, 2.0, 30).unwrap();
+    c.bench_function("histogram_bin_of", |b| {
+        let mut x = 1.0f64;
+        b.iter(|| {
+            x = (x * 1.37) % 1e9 + 1.0;
+            std::hint::black_box(spec.bin_of(std::hint::black_box(x)))
+        });
+    });
+}
+
+fn bench_summary_encode_decode(c: &mut Criterion) {
+    use loom::summary::ChunkSummary;
+    let mut summary = ChunkSummary::new(1, 65536, 65536);
+    for i in 0..200u64 {
+        summary.observe_record(1 + (i % 3) as u32, i);
+        summary.observe_value(1, (i % 12) as u32, i as f64, i);
+    }
+    let mut buf = Vec::new();
+    summary.encode(&mut buf);
+    c.bench_function("summary_encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            std::hint::black_box(&summary).encode(&mut out);
+            std::hint::black_box(out);
+        });
+    });
+    c.bench_function("summary_decode", |b| {
+        b.iter(|| ChunkSummary::decode(std::hint::black_box(&buf)).unwrap());
+    });
+}
+
+fn bench_query_operators(c: &mut Criterion) {
+    // Preload a fixed data set, then measure the operators.
+    let dir = scratch("query");
+    let (loom, mut writer) = Loom::open_with_clock(Config::new(&dir), Clock::manual(0)).unwrap();
+    let src = loom.define_source("bench");
+    let idx = loom
+        .define_index(
+            src,
+            extract::u64_le_at(0),
+            HistogramSpec::exponential(100.0, 4.0, 10).unwrap(),
+        )
+        .unwrap();
+    let mut payload = [0u8; 48];
+    for i in 0..500_000u64 {
+        loom.clock().advance(1_000);
+        payload[0..8].copy_from_slice(&((i * 31) % 1_000_000).to_le_bytes());
+        writer.push(src, &payload).unwrap();
+    }
+    let now = loom.now();
+    let range = TimeRange::new(0, now);
+
+    c.bench_function("indexed_aggregate_max_500k", |b| {
+        b.iter(|| {
+            loom.indexed_aggregate(src, idx, range, Aggregate::Max)
+                .unwrap()
+        });
+    });
+    c.bench_function("indexed_aggregate_p9999_500k", |b| {
+        b.iter(|| {
+            loom.indexed_aggregate(src, idx, range, Aggregate::Percentile(99.99))
+                .unwrap()
+        });
+    });
+    c.bench_function("indexed_scan_rare_500k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            loom.indexed_scan(src, idx, range, ValueRange::at_least(999_000.0), |_| n += 1)
+                .unwrap();
+            std::hint::black_box(n)
+        });
+    });
+    c.bench_function("raw_scan_window_500k", |b| {
+        let window = TimeRange::new(now - 50_000_000, now);
+        b.iter(|| {
+            let mut n = 0u64;
+            loom.raw_scan(src, window, |_| n += 1).unwrap();
+            std::hint::black_box(n)
+        });
+    });
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_baseline_ingest_48b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_ingest_48B");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("loom_push", |b| {
+        let dir = scratch("base-loom");
+        let (l, mut writer) = Loom::open(Config::new(&dir)).unwrap();
+        let src = l.define_source("bench");
+        let payload = [0xA5u8; 48];
+        b.iter(|| writer.push(src, std::hint::black_box(&payload)).unwrap());
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.bench_function("fishstore_ingest", |b| {
+        let dir = scratch("base-fish");
+        let fs = fishstore::FishStore::open(fishstore::FishStoreConfig::new(&dir)).unwrap();
+        let payload = [0xA5u8; 48];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fs.ingest_at(1, i, std::hint::black_box(&payload)).unwrap()
+        });
+        drop(fs);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.bench_function("lsm_put", |b| {
+        let dir = scratch("base-lsm");
+        let db = lsm::Db::open(lsm::LsmConfig::new(&dir).with_wal(false)).unwrap();
+        let payload = [0xA5u8; 40];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.put(&i.to_be_bytes(), std::hint::black_box(&payload))
+                .unwrap()
+        });
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.bench_function("btree_append", |b| {
+        let dir = scratch("base-btree");
+        let mut tree = btree::BTree::open(btree::BTreeConfig::new(dir.join("t.db"))).unwrap();
+        let payload = [0xA5u8; 40];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tree.append(&i.to_be_bytes(), std::hint::black_box(&payload))
+                .unwrap()
+        });
+        drop(tree);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hybrid_log_append,
+    bench_push_with_indexes,
+    bench_histogram_bin_of,
+    bench_summary_encode_decode,
+    bench_query_operators,
+    bench_baseline_ingest_48b
+);
+criterion_main!(benches);

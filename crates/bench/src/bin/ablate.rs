@@ -1,0 +1,137 @@
+//! Design-choice ablations beyond the paper's figures.
+//!
+//! DESIGN.md calls out two tunables whose values the paper fixes (64 KiB
+//! chunks, periodic timestamp marks); this harness sweeps them and shows
+//! the trade-offs:
+//!
+//! * **Chunk size** trades ingest overhead (more seals → more summary
+//!   writes) against query precision (bigger chunks → more irrelevant
+//!   records scanned per matching chunk).
+//! * **Timestamp-mark period** trades timestamp-index size against raw
+//!   scan seek precision.
+
+use bench::caseload::min_time;
+use bench::{ms, scratch_dir, Args, Table};
+use loom::{extract, Aggregate, Clock, Config, HistogramSpec, Loom, TimeRange, ValueRange};
+
+const RECORDS: u64 = 400_000;
+
+fn load(config: Config) -> (Loom, loom::LoomWriter, loom::SourceId, loom::IndexId) {
+    let (l, mut writer) = Loom::open_with_clock(config, Clock::manual(0)).expect("open");
+    let s = l.define_source("src");
+    let idx = l
+        .define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::exponential(1_000.0, 4.0, 10).expect("spec"),
+        )
+        .expect("index");
+    let mut payload = [0u8; 48];
+    for i in 0..RECORDS {
+        l.clock().advance(1_000);
+        let v: u64 = if i % 10_000 == 7 {
+            60_000_000
+        } else {
+            50_000 + (i * 2_654_435_761) % 400_000
+        };
+        payload[0..8].copy_from_slice(&v.to_le_bytes());
+        writer.push(s, &payload).expect("push");
+    }
+    writer.seal_active_chunk().expect("seal");
+    (l, writer, s, idx)
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // Sweep 1: chunk size.
+    let mut table = Table::new(
+        "Ablation: chunk size (400k records, rare-outlier scan + p99.99)",
+        &[
+            "chunk_size",
+            "ingest_rate",
+            "seals",
+            "scan_ms",
+            "pctl_ms",
+            "chunks_scanned",
+        ],
+    );
+    let sizes: &[usize] = if args.quick {
+        &[16 * 1024, 64 * 1024]
+    } else {
+        &[8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024]
+    };
+    for &chunk in sizes {
+        let dir = scratch_dir("ablate-chunk");
+        let config = Config::new(&dir)
+            .with_block_size(8 * 1024 * 1024)
+            .with_chunk_size(chunk);
+        let start = std::time::Instant::now();
+        let (l, writer, s, idx) = load(config);
+        let ingest = start.elapsed();
+        let range = TimeRange::new(0, l.now());
+        let mut scanned_stats = loom::QueryStats::default();
+        let scan_t = min_time(3, || {
+            let mut n = 0;
+            scanned_stats = l
+                .indexed_scan(s, idx, range, ValueRange::at_least(10_000_000.0), |_| {
+                    n += 1
+                })
+                .expect("scan");
+            assert_eq!(n, (RECORDS / 10_000) as usize);
+        });
+        let pctl_t = min_time(3, || {
+            l.indexed_aggregate(s, idx, range, Aggregate::Percentile(99.99))
+                .expect("pctl");
+        });
+        table.row(&[
+            format!("{}K", chunk / 1024),
+            bench::rate(RECORDS, ingest),
+            format!("{}", l.ingest_stats().chunks_sealed()),
+            ms(scan_t),
+            ms(pctl_t),
+            format!("{}", scanned_stats.chunks_scanned),
+        ]);
+        drop(writer);
+        bench::cleanup(&dir);
+    }
+    table.finish(&args);
+
+    // Sweep 2: timestamp-mark period (raw scan seek cost).
+    let mut table = Table::new(
+        "Ablation: timestamp-mark period (historical raw scan of a 2% window)",
+        &["mark_period", "ts_entries", "raw_scan_ms"],
+    );
+    let periods: &[u64] = if args.quick {
+        &[64, 4096]
+    } else {
+        &[16, 256, 1024, 16384]
+    };
+    for &period in periods {
+        let dir = scratch_dir("ablate-mark");
+        let config = Config::new(&dir).with_ts_mark_period(period);
+        let (l, writer, s, _idx) = load(config);
+        let now = l.now();
+        // A historical window at 30% of the timeline, 2% wide.
+        let start = (now as f64 * 0.3) as u64;
+        let window = TimeRange::new(start, start + (now as f64 * 0.02) as u64);
+        let scan_t = min_time(3, || {
+            let mut n = 0u64;
+            l.raw_scan(s, window, |_| n += 1).expect("scan");
+            assert!(n > 0);
+        });
+        table.row(&[
+            format!("{period}"),
+            format!("{}", l.ingest_stats().ts_entries()),
+            ms(scan_t),
+        ]);
+        drop(writer);
+        bench::cleanup(&dir);
+    }
+    table.finish(&args);
+    println!(
+        "\nSmaller chunks sharpen skipping (fewer records scanned per hit)\n\
+         at the cost of more seals; denser marks shorten raw-scan chain\n\
+         walks at the cost of a larger timestamp index."
+    );
+}

@@ -1,0 +1,119 @@
+//! Figure 2: TSDB index-maintenance CPU and data drops vs ingest rate.
+//!
+//! Drives the InfluxDB-like TSDB with 48-byte records at increasing
+//! offered rates (paced in real time) and reports (i) the fraction of
+//! CPU spent on write-path work — series/tag indexing plus the storage
+//! engine's flush/compaction — and (ii) the fraction of data dropped by
+//! the bounded intake.
+//!
+//! Paper result shape: index-maintenance CPU grows with the rate until
+//! the pipeline saturates, after which the drop fraction rises sharply
+//! (the CPU curve flattens because there is no capacity left).
+
+use std::time::{Duration, Instant};
+
+use bench::{scratch_dir, Args, Table};
+use telemetry::records::LatencyRecord;
+
+/// Paces `target_rate` records/s for `duration`, offering them to `db`.
+fn drive(db: &tsdb::Tsdb, target_rate: f64, duration: Duration) -> (u64, Duration) {
+    let start = Instant::now();
+    let interval = 1.0 / target_rate;
+    let mut offered = 0u64;
+    let mut rec = LatencyRecord {
+        ts: 0,
+        latency_ns: 0,
+        op: 0,
+        pid: 1,
+        key_hash: 0,
+        seq: 0,
+        flags: 0,
+        cpu: 0,
+    };
+    while start.elapsed() < duration {
+        // Batch of up to 256 records, then re-pace.
+        for _ in 0..256 {
+            rec.ts = start.elapsed().as_nanos() as u64;
+            rec.latency_ns = 1_000 + (offered % 1_000) * 17;
+            rec.op = (offered % 4) as u32;
+            rec.seq = offered;
+            let point = daemon::TsdbSink::to_point(
+                telemetry::SourceKind::AppRequest,
+                rec.ts,
+                &rec.encode(),
+            )
+            .expect("convert");
+            db.try_write(point);
+            offered += 1;
+        }
+        // Busy-wait pacing (sleep granularity is too coarse at high rates).
+        let target_elapsed = offered as f64 * interval;
+        while start.elapsed().as_secs_f64() < target_elapsed {
+            std::hint::spin_loop();
+        }
+    }
+    (offered, start.elapsed())
+}
+
+fn main() {
+    let args = Args::parse();
+    let cpus = std::thread::available_parallelism().map_or(4, |n| n.get());
+    // Offered rates in records/s; the paper sweeps 100k..6M on 16 cores.
+    let rates: Vec<f64> = if args.quick {
+        vec![20_000.0, 200_000.0, 2_000_000.0]
+    } else {
+        vec![
+            20_000.0,
+            50_000.0,
+            100_000.0,
+            250_000.0,
+            500_000.0,
+            1_000_000.0,
+            2_000_000.0,
+            4_000_000.0,
+        ]
+    };
+    let run_secs = if args.quick { 1.0 } else { 2.0 };
+
+    let mut table = Table::new(
+        &format!("Figure 2: TSDB maintenance CPU and drops vs ingest rate ({cpus} CPUs)"),
+        &[
+            "offered_rate",
+            "achieved_offer",
+            "maint_cores",
+            "maint_cpu_pct",
+            "dropped_pct",
+        ],
+    );
+    for rate in rates {
+        let dir = scratch_dir("fig02");
+        let db = tsdb::Tsdb::open(
+            tsdb::TsdbConfig::new(&dir)
+                .with_queue_capacity(65_536)
+                .with_ingest_threads(2),
+        )
+        .expect("open tsdb");
+        let (offered, elapsed) = drive(&db, rate, Duration::from_secs_f64(run_secs));
+        db.barrier();
+        let stats = db.stats();
+        let busy = stats
+            .ingest_busy_nanos
+            .load(std::sync::atomic::Ordering::Relaxed)
+            + db.storage_stats().maintenance_nanos();
+        let cores = busy as f64 / elapsed.as_nanos() as f64;
+        table.row(&[
+            format!("{:.0}k/s", rate / 1e3),
+            format!("{:.0}k/s", offered as f64 / elapsed.as_secs_f64() / 1e3),
+            format!("{cores:.2}"),
+            format!("{:.1}%", 100.0 * cores / cpus as f64),
+            format!("{:.1}%", 100.0 * stats.drop_fraction()),
+        ]);
+        drop(db);
+        bench::cleanup(&dir);
+    }
+    table.finish(&args);
+    println!(
+        "\nPaper shape: maintenance CPU rises with offered rate; once the\n\
+         pipeline saturates, drops rise sharply and the CPU curve flattens."
+    );
+}

@@ -1,0 +1,88 @@
+//! Figure 10: the end-to-end workload specifications.
+//!
+//! This is an *input* table rather than a measurement: it prints the two
+//! case studies' per-phase sources, rates (at paper scale and at the
+//! chosen `--scale`), record sizes, and queries, as encoded in the
+//! `telemetry` crate's generators.
+
+use bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+
+    let mut redis = Table::new(
+        "Figure 10a: Redis workload (scan and correlation queries)",
+        &[
+            "phase",
+            "data",
+            "paper_rate",
+            "scaled_rate",
+            "size",
+            "query",
+        ],
+    );
+    let s = args.scale;
+    let k = |r: f64| format!("{:.0}k/s", r / 1e3);
+    redis.row(&[
+        "P1".into(),
+        "application req. latency".into(),
+        k(telemetry::redis::APP_RATE),
+        k(telemetry::redis::APP_RATE * s),
+        "48 B".into(),
+        "p99.99 latency records".into(),
+    ]);
+    redis.row(&[
+        "P2".into(),
+        "+ OS syscall latency".into(),
+        k(telemetry::redis::SYSCALL_RATE),
+        k(telemetry::redis::SYSCALL_RATE * s),
+        "48 B".into(),
+        "+ p99.99 sendto latency records".into(),
+    ]);
+    redis.row(&[
+        "P3".into(),
+        "+ client TCP packets".into(),
+        k(telemetry::redis::PACKET_RATE),
+        k(telemetry::redis::PACKET_RATE * s),
+        "varies".into(),
+        "packets around slow requests".into(),
+    ]);
+    redis.finish(&args);
+
+    let mut rocksdb = Table::new(
+        "Figure 10b: RocksDB workload (aggregation queries)",
+        &[
+            "phase",
+            "data",
+            "paper_rate",
+            "scaled_rate",
+            "size",
+            "query",
+        ],
+    );
+    rocksdb.row(&[
+        "P1".into(),
+        "RocksDB req. latency".into(),
+        k(telemetry::rocksdb::APP_RATE),
+        k(telemetry::rocksdb::APP_RATE * s),
+        "48 B".into(),
+        "max, p99.99 request latency".into(),
+    ]);
+    rocksdb.row(&[
+        "P2".into(),
+        "+ OS syscall latency".into(),
+        k(telemetry::rocksdb::SYSCALL_RATE),
+        k(telemetry::rocksdb::SYSCALL_RATE * s),
+        "48 B".into(),
+        "max, p99.99 pread64 latency (~3% of data)".into(),
+    ]);
+    rocksdb.row(&[
+        "P3".into(),
+        "+ OS page cache events".into(),
+        k(telemetry::rocksdb::PAGE_CACHE_RATE),
+        k(telemetry::rocksdb::PAGE_CACHE_RATE * s),
+        "60 B".into(),
+        "count mm_filemap_add_to_page_cache (~0.5%)".into(),
+    ]);
+    rocksdb.finish(&args);
+}

@@ -1,0 +1,164 @@
+//! Figure 11: end-to-end data dropped on ingest, per phase.
+//!
+//! Drives both case-study workloads in *real time* (events paced to
+//! their scaled arrival timestamps) into each capture backend and
+//! reports the fraction of data dropped per phase. Loom and FishStore
+//! apply backpressure and capture everything; the TSDB's bounded intake
+//! drops data once its write-path indexing falls behind.
+//!
+//! Paper result: InfluxDB drops 38-93 %; Loom and FishStore drop 0 %.
+
+use std::time::Instant;
+
+use bench::caseload::{FishSetup, LoomSetup};
+use bench::{scratch_dir, Args, Table};
+use telemetry::redis::{Phase, RedisConfig, RedisGenerator};
+use telemetry::rocksdb::{RocksdbConfig, RocksdbGenerator};
+use telemetry::{SourceKind, TelemetrySink};
+
+/// Per-phase drop accounting for one system.
+#[derive(Default, Clone)]
+struct PhaseDrops {
+    offered: [u64; 3],
+    dropped: [u64; 3],
+}
+
+impl PhaseDrops {
+    fn row(&self, phase: usize) -> String {
+        if self.offered[phase] == 0 {
+            return "-".into();
+        }
+        format!(
+            "{:.1}%",
+            100.0 * self.dropped[phase] as f64 / self.offered[phase] as f64
+        )
+    }
+}
+
+fn phase_index(p: Phase) -> usize {
+    match p {
+        Phase::P1 => 0,
+        Phase::P2 => 1,
+        Phase::P3 => 2,
+    }
+}
+
+/// Paces `events` against the wall clock and offers each to `push`,
+/// which reports whether the event was dropped.
+fn drive_realtime(
+    args: &Args,
+    workload: &str,
+    mut push: impl FnMut(Phase, SourceKind, u64, &[u8]) -> bool,
+) -> PhaseDrops {
+    let mut drops = PhaseDrops::default();
+    let start = Instant::now();
+    let run = |drops: &mut PhaseDrops,
+               push: &mut dyn FnMut(Phase, SourceKind, u64, &[u8]) -> bool,
+               phase: Phase,
+               kind: SourceKind,
+               ts: u64,
+               bytes: &[u8]| {
+        // Real-time pacing: don't run ahead of the wall clock.
+        while start.elapsed().as_nanos() < ts as u128 {
+            std::hint::spin_loop();
+        }
+        let i = phase_index(phase);
+        drops.offered[i] += 1;
+        if !push(phase, kind, ts, bytes) {
+            drops.dropped[i] += 1;
+        }
+    };
+    match workload {
+        "redis" => {
+            let mut generator = RedisGenerator::new(RedisConfig {
+                seed: args.seed,
+                scale: args.scale,
+                phase_secs: args.phase_secs,
+                anomalies: 6,
+            });
+            generator.run(|e| run(&mut drops, &mut push, e.phase, e.kind, e.ts, e.bytes));
+        }
+        "rocksdb" => {
+            let mut generator = RocksdbGenerator::new(RocksdbConfig {
+                seed: args.seed,
+                scale: args.scale,
+                phase_secs: args.phase_secs,
+            });
+            generator.run(|e| run(&mut drops, &mut push, e.phase, e.kind, e.ts, e.bytes));
+        }
+        other => panic!("unknown workload {other}"),
+    }
+    drops
+}
+
+fn run_workload(args: &Args, workload: &str, table: &mut Table) {
+    // Loom.
+    eprintln!("{workload}: driving Loom in real time...");
+    let dir = scratch_dir("fig11-loom");
+    let mut loom = LoomSetup::open(&dir);
+    let loom_drops = drive_realtime(args, workload, |_phase, kind, ts, bytes| {
+        if ts > loom.loom.now() {
+            loom.loom.clock().set(ts);
+        }
+        loom.writer.push(loom.source(kind), bytes).is_ok()
+    });
+    drop(loom);
+    bench::cleanup(&dir);
+
+    // FishStore.
+    eprintln!("{workload}: driving FishStore in real time...");
+    let dir = scratch_dir("fig11-fish");
+    let fish = FishSetup::open(&dir);
+    let fish_drops = drive_realtime(args, workload, |_phase, kind, ts, bytes| {
+        fish.store.ingest_at(kind.id(), ts, bytes).is_ok()
+    });
+    drop(fish);
+    bench::cleanup(&dir);
+
+    // TSDB with its bounded intake (the non-idealized configuration).
+    eprintln!("{workload}: driving TSDB in real time...");
+    let dir = scratch_dir("fig11-tsdb");
+    let db = std::sync::Arc::new(
+        tsdb::Tsdb::open(
+            tsdb::TsdbConfig::new(&dir)
+                .with_queue_capacity(65_536)
+                .with_ingest_threads(2),
+        )
+        .expect("open tsdb"),
+    );
+    let mut sink = daemon::TsdbSink::new(std::sync::Arc::clone(&db), false);
+    let tsdb_drops = drive_realtime(args, workload, |_phase, kind, ts, bytes| {
+        sink.push(kind, ts, bytes)
+    });
+    db.barrier();
+    drop(sink);
+    drop(db);
+    bench::cleanup(&dir);
+
+    for (i, phase) in ["P1", "P2", "P3"].iter().enumerate() {
+        table.row(&[
+            workload.into(),
+            (*phase).into(),
+            format!("{}", tsdb_drops.offered[i]),
+            tsdb_drops.row(i),
+            fish_drops.row(i),
+            loom_drops.row(i),
+        ]);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(
+        "Figure 11: percentage of data dropped on ingest (real-time drive)",
+        &["workload", "phase", "offered", "tsdb", "fishstore", "loom"],
+    );
+    run_workload(&args, "redis", &mut table);
+    run_workload(&args, "rocksdb", &mut table);
+    table.finish(&args);
+    println!(
+        "\nPaper shape: the TSDB drops an increasing share as rates rise\n\
+         across phases (38-93% at paper scale); Loom and FishStore drop 0%.\n\
+         Raise --scale until the TSDB saturates on your machine."
+    );
+}

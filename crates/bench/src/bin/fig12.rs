@@ -1,0 +1,387 @@
+//! Figure 12: Redis workload query latencies (Loom vs FishStore vs
+//! TSDB-idealized).
+//!
+//! Preloads the full three-phase Redis case study (Figure 10a) into all
+//! three systems (the TSDB in idealized mode — infinitely fast intake —
+//! since the real one drops most of the data; Figure 11 covers drops),
+//! then runs each phase's queries and reports latency.
+//!
+//! Queries:
+//! * P1/P2 — "Slow Requests": records above the 99.99th-percentile
+//!   request latency (data-dependent value-range query).
+//! * P2 — "Slow sendto Executions": `sendto` syscalls above their own
+//!   p99.99 (correlation between application and kernel telemetry).
+//! * P3 — "Maximum Latency Request" (aggregate + point retrieval) and
+//!   "TCP Packet Dump" (time-driven scan around the slowest request).
+
+use bench::caseload::{percentile_of, FishSetup, LoomSetup};
+use bench::{ms, scratch_dir, time, Args, Table};
+use std::sync::Arc;
+use telemetry::records::LatencyRecord;
+use telemetry::redis::{Phase, RedisConfig, RedisGenerator, SYS_SENDTO};
+use telemetry::SourceKind;
+
+struct Systems {
+    loom: LoomSetup,
+    fish: FishSetup,
+    tsdb: Arc<tsdb::Tsdb>,
+}
+
+fn load(args: &Args, dir: &std::path::Path) -> (Systems, RedisGenerator) {
+    let mut loom = LoomSetup::open(&dir.join("loom"));
+    let fish = FishSetup::open(&dir.join("fish"));
+    let tsdb =
+        Arc::new(tsdb::Tsdb::open(tsdb::TsdbConfig::new(dir.join("tsdb"))).expect("open tsdb"));
+    let mut generator = RedisGenerator::new(RedisConfig {
+        seed: args.seed,
+        scale: args.scale,
+        phase_secs: args.phase_secs,
+        anomalies: 6,
+    });
+    eprintln!("preloading all three systems (idealized TSDB)...");
+    let mut n = 0u64;
+    generator.run(|e| {
+        loom.push(e.kind, e.ts, e.bytes);
+        fish.push(e.kind, e.ts, e.bytes);
+        if let Some(point) = daemon::TsdbSink::to_point(e.kind, e.ts, e.bytes) {
+            tsdb.write_sync(&point);
+        }
+        n += 1;
+    });
+    loom.writer.seal_active_chunk().expect("seal");
+    eprintln!("waiting for TSDB storage maintenance to settle...");
+    tsdb.wait_idle().expect("tsdb idle");
+    eprintln!("loaded {n} events per system");
+    (Systems { loom, fish, tsdb }, generator)
+}
+
+/// "Slow Requests": p99.99 of app latency in the window, then all
+/// records above it. Returns (latency, match count) per system.
+fn slow_requests(sys: &Systems, window: (u64, u64)) -> [(std::time::Duration, u64); 3] {
+    let range = loom::TimeRange::new(window.0, window.1);
+    // Loom: indexed aggregate (bins as CDF) + indexed range scan.
+    let (loom_n, loom_t) = time(|| {
+        let p = sys
+            .loom
+            .loom
+            .indexed_aggregate(
+                sys.loom.app,
+                sys.loom.app_latency,
+                range,
+                loom::Aggregate::Percentile(99.99),
+            )
+            .expect("pctl")
+            .value
+            .unwrap_or(f64::INFINITY);
+        let mut n = 0u64;
+        sys.loom
+            .loom
+            .indexed_scan(
+                sys.loom.app,
+                sys.loom.app_latency,
+                range,
+                loom::ValueRange::at_least(p),
+                |_| n += 1,
+            )
+            .expect("scan");
+        n
+    });
+    // FishStore: two log scans (collect latencies; rescan for matches).
+    let (fish_n, fish_t) = time(|| {
+        let mut values = Vec::new();
+        sys.fish
+            .store
+            .time_window_scan(window.0, window.1, |r| {
+                if r.source == SourceKind::AppRequest.id() {
+                    if let Some(rec) = LatencyRecord::decode(r.payload) {
+                        values.push(rec.latency_ns as f64);
+                    }
+                }
+            })
+            .expect("scan");
+        let p = percentile_of(&mut values, 99.99).unwrap_or(f64::INFINITY);
+        let mut n = 0u64;
+        sys.fish
+            .store
+            .time_window_scan(window.0, window.1, |r| {
+                if r.source == SourceKind::AppRequest.id() {
+                    if let Some(rec) = LatencyRecord::decode(r.payload) {
+                        if rec.latency_ns as f64 >= p {
+                            n += 1;
+                        }
+                    }
+                }
+            })
+            .expect("scan");
+        n
+    });
+    // TSDB: percentile aggregate (materialize + sort) + filtered select.
+    let (tsdb_n, tsdb_t) = time(|| {
+        let p = sys
+            .tsdb
+            .aggregate(
+                "app_request",
+                &[],
+                window.0,
+                window.1,
+                tsdb::TsAggregate::Percentile(99.99),
+            )
+            .expect("pctl")
+            .unwrap_or(f64::INFINITY);
+        let mut n = 0u64;
+        sys.tsdb
+            .select("app_request", &[], window.0, window.1, |row| {
+                if row.value >= p {
+                    n += 1;
+                }
+            })
+            .expect("select");
+        n
+    });
+    [(loom_t, loom_n), (fish_t, fish_n), (tsdb_t, tsdb_n)]
+}
+
+/// "Slow sendto Executions": sendto syscalls above their p99.99.
+fn slow_sendto(sys: &Systems, window: (u64, u64)) -> [(std::time::Duration, u64); 3] {
+    let range = loom::TimeRange::new(window.0, window.1);
+    let (loom_n, loom_t) = time(|| {
+        let p = sys
+            .loom
+            .loom
+            .indexed_aggregate(
+                sys.loom.syscall,
+                sys.loom.sendto_latency,
+                range,
+                loom::Aggregate::Percentile(99.99),
+            )
+            .expect("pctl")
+            .value
+            .unwrap_or(f64::INFINITY);
+        let mut n = 0u64;
+        sys.loom
+            .loom
+            .indexed_scan(
+                sys.loom.syscall,
+                sys.loom.sendto_latency,
+                range,
+                loom::ValueRange::at_least(p),
+                |_| n += 1,
+            )
+            .expect("scan");
+        n
+    });
+    // FishStore: the sendto PSF narrows the chain, but each pass still
+    // walks it from the tail (no time index).
+    let (fish_n, fish_t) = time(|| {
+        let mut values = Vec::new();
+        sys.fish
+            .store
+            .psf_scan(sys.fish.sendto, SYS_SENDTO as u64, Some(window), |r| {
+                if let Some(rec) = LatencyRecord::decode(r.payload) {
+                    values.push(rec.latency_ns as f64);
+                }
+            })
+            .expect("psf scan");
+        let p = percentile_of(&mut values, 99.99).unwrap_or(f64::INFINITY);
+        let mut n = 0u64;
+        sys.fish
+            .store
+            .psf_scan(sys.fish.sendto, SYS_SENDTO as u64, Some(window), |r| {
+                if let Some(rec) = LatencyRecord::decode(r.payload) {
+                    if rec.latency_ns as f64 >= p {
+                        n += 1;
+                    }
+                }
+            })
+            .expect("psf scan");
+        n
+    });
+    let (tsdb_n, tsdb_t) = time(|| {
+        let filters = vec![("op".to_string(), format!("{SYS_SENDTO}"))];
+        let p = sys
+            .tsdb
+            .aggregate(
+                "syscall",
+                &filters,
+                window.0,
+                window.1,
+                tsdb::TsAggregate::Percentile(99.99),
+            )
+            .expect("pctl")
+            .unwrap_or(f64::INFINITY);
+        let mut n = 0u64;
+        sys.tsdb
+            .select("syscall", &filters, window.0, window.1, |row| {
+                if row.value >= p {
+                    n += 1;
+                }
+            })
+            .expect("select");
+        n
+    });
+    [(loom_t, loom_n), (fish_t, fish_n), (tsdb_t, tsdb_n)]
+}
+
+/// "Maximum Latency Request": the max and its record.
+fn max_request(sys: &Systems, window: (u64, u64)) -> ([(std::time::Duration, u64); 3], u64) {
+    let range = loom::TimeRange::new(window.0, window.1);
+    let mut max_ts = 0u64;
+    let (loom_n, loom_t) = time(|| {
+        let max = sys
+            .loom
+            .loom
+            .indexed_aggregate(
+                sys.loom.app,
+                sys.loom.app_latency,
+                range,
+                loom::Aggregate::Max,
+            )
+            .expect("max")
+            .value
+            .unwrap_or(0.0);
+        let mut n = 0u64;
+        sys.loom
+            .loom
+            .indexed_scan(
+                sys.loom.app,
+                sys.loom.app_latency,
+                range,
+                loom::ValueRange::new(max, max),
+                |r| {
+                    n += 1;
+                    max_ts = r.ts;
+                },
+            )
+            .expect("scan");
+        n
+    });
+    let (fish_n, fish_t) = time(|| {
+        // Single streaming pass tracking the argmax.
+        let mut best = (0u64, 0u64); // (latency, ts)
+        let mut n = 0u64;
+        sys.fish
+            .store
+            .time_window_scan(window.0, window.1, |r| {
+                if r.source == SourceKind::AppRequest.id() {
+                    if let Some(rec) = LatencyRecord::decode(r.payload) {
+                        if rec.latency_ns >= best.0 {
+                            best = (rec.latency_ns, r.ts);
+                            n = 1;
+                        }
+                    }
+                }
+            })
+            .expect("scan");
+        n
+    });
+    let (tsdb_n, tsdb_t) = time(|| {
+        let max = sys
+            .tsdb
+            .aggregate(
+                "app_request",
+                &[],
+                window.0,
+                window.1,
+                tsdb::TsAggregate::Max,
+            )
+            .expect("max")
+            .unwrap_or(0.0);
+        let mut n = 0u64;
+        sys.tsdb
+            .select("app_request", &[], window.0, window.1, |row| {
+                if row.value == max {
+                    n += 1;
+                }
+            })
+            .expect("select");
+        n
+    });
+    (
+        [(loom_t, loom_n), (fish_t, fish_n), (tsdb_t, tsdb_n)],
+        max_ts,
+    )
+}
+
+/// "TCP Packet Dump": all packets in a window around `center`.
+fn packet_dump(sys: &Systems, center: u64, half_width: u64) -> [(std::time::Duration, u64); 3] {
+    let window = (center.saturating_sub(half_width), center + half_width);
+    let range = loom::TimeRange::new(window.0, window.1);
+    let (loom_n, loom_t) = time(|| {
+        let mut n = 0u64;
+        sys.loom
+            .loom
+            .raw_scan(sys.loom.packet, range, |_| n += 1)
+            .expect("raw scan");
+        n
+    });
+    let (fish_n, fish_t) = time(|| {
+        let mut n = 0u64;
+        sys.fish
+            .store
+            .time_window_scan(window.0, window.1, |r| {
+                if r.source == SourceKind::Packet.id() {
+                    n += 1;
+                }
+            })
+            .expect("scan");
+        n
+    });
+    let (tsdb_n, tsdb_t) = time(|| {
+        let mut n = 0u64;
+        sys.tsdb
+            .select("packet", &[], window.0, window.1, |_row| n += 1)
+            .expect("select");
+        n
+    });
+    [(loom_t, loom_n), (fish_t, fish_n), (tsdb_t, tsdb_n)]
+}
+
+fn main() {
+    let args = Args::parse();
+    let dir = scratch_dir("fig12");
+    let (sys, generator) = load(&args, &dir);
+
+    let mut table = Table::new(
+        "Figure 12: Redis workload query latency (ms)",
+        &[
+            "phase",
+            "query",
+            "loom",
+            "fishstore",
+            "tsdb-idealized",
+            "matches(L/F/T)",
+        ],
+    );
+    let mut add = |phase: &str, query: &str, results: [(std::time::Duration, u64); 3]| {
+        table.row(&[
+            phase.into(),
+            query.into(),
+            ms(results[0].0),
+            ms(results[1].0),
+            ms(results[2].0),
+            format!("{}/{}/{}", results[0].1, results[1].1, results[2].1),
+        ]);
+    };
+
+    let p1 = generator.phase_range(Phase::P1);
+    let p2 = generator.phase_range(Phase::P2);
+    let p3 = generator.phase_range(Phase::P3);
+
+    add("P1", "slow requests (p99.99)", slow_requests(&sys, p1));
+    add("P2", "slow requests (p99.99)", slow_requests(&sys, p2));
+    add("P2", "slow sendto executions", slow_sendto(&sys, p2));
+    let (max_results, max_ts) = max_request(&sys, p3);
+    add("P3", "maximum latency request", max_results);
+    // Paper: packets 5 s before/after the slow request; scaled to 5% of
+    // the phase on each side.
+    let half = (args.phase_secs * 0.05 * 1e9) as u64;
+    add("P3", "tcp packet dump", packet_dump(&sys, max_ts, half));
+
+    table.finish(&args);
+    bench::cleanup(&dir);
+    println!(
+        "\nPaper shape: Loom lowest on every query (1.5-10x vs FishStore,\n\
+         14-97x vs idealized InfluxDB in P1/P2; 2-46x and 7-11x in P3);\n\
+         the packet dump is Loom's slowest query (it must scan the window)."
+    );
+}

@@ -1,0 +1,266 @@
+//! Shared setup for the end-to-end case studies (Figures 11–13).
+//!
+//! Builds fully configured capture backends for the Redis and RocksDB
+//! workloads: a Loom instance with the experiment's indexes, a FishStore
+//! with the equivalent PSFs, and the TSDB. Loading helpers push one
+//! generated event stream into any subset of them.
+
+use std::sync::Arc;
+
+use loom::{extract, Clock, Config, HistogramSpec, IndexId, Loom, LoomWriter, SourceId};
+use telemetry::records::{LatencyRecord, PageCacheRecord, LATENCY_NS_OFFSET};
+use telemetry::redis::SYS_SENDTO;
+use telemetry::rocksdb::SYS_PREAD64;
+use telemetry::SourceKind;
+
+/// A Loom instance configured for a case study.
+pub struct LoomSetup {
+    /// Shared handle.
+    pub loom: Loom,
+    /// Ingest writer.
+    pub writer: LoomWriter,
+    /// Source ids by kind.
+    pub app: SourceId,
+    /// Syscall source.
+    pub syscall: SourceId,
+    /// Packet source.
+    pub packet: SourceId,
+    /// Page-cache source.
+    pub page_cache: SourceId,
+    /// Histogram index over application request latency.
+    pub app_latency: IndexId,
+    /// Histogram index over all syscall latencies.
+    pub syscall_latency: IndexId,
+    /// Filtered index over `sendto` latencies only (Redis P2 query).
+    pub sendto_latency: IndexId,
+    /// Filtered index over `pread64` latencies only (RocksDB P2 query).
+    pub pread_latency: IndexId,
+    /// Counting index over `mm_filemap_add_to_page_cache` events.
+    pub page_cache_adds: IndexId,
+}
+
+/// A latency histogram suited to nanosecond latencies spanning 1 µs–1 s.
+pub fn latency_histogram() -> HistogramSpec {
+    HistogramSpec::exponential(1_000.0, 4.0, 10).expect("valid histogram")
+}
+
+/// Extractor: latency of records whose `op` equals `op`.
+fn latency_if_op(op: u32) -> loom::ValueFn {
+    Arc::new(move |payload: &[u8]| {
+        let r = LatencyRecord::decode(payload)?;
+        (r.op == op).then_some(r.latency_ns as f64)
+    })
+}
+
+/// Extractor: `1.0` for `mm_filemap_add_to_page_cache` events.
+fn page_cache_add_counter() -> loom::ValueFn {
+    Arc::new(|payload: &[u8]| {
+        let r = PageCacheRecord::decode(payload)?;
+        (r.event_id == telemetry::records::page_cache_events::ADD_TO_PAGE_CACHE).then_some(1.0)
+    })
+}
+
+impl LoomSetup {
+    /// Opens a Loom in `dir` with the case studies' sources and indexes.
+    ///
+    /// Runs on a manual clock so workload simulated time *is* Loom time.
+    pub fn open(dir: &std::path::Path) -> LoomSetup {
+        let (loom, writer) = Loom::open_with_clock(
+            Config::new(dir).with_chunk_size(64 * 1024),
+            Clock::manual(0),
+        )
+        .expect("open loom");
+        let app = loom.define_source("app_request");
+        let syscall = loom.define_source("syscall");
+        let packet = loom.define_source("packet");
+        let page_cache = loom.define_source("page_cache");
+        let app_latency = loom
+            .define_index(
+                app,
+                extract::u64_le_at(LATENCY_NS_OFFSET),
+                latency_histogram(),
+            )
+            .expect("app latency index");
+        let syscall_latency = loom
+            .define_index(
+                syscall,
+                extract::u64_le_at(LATENCY_NS_OFFSET),
+                latency_histogram(),
+            )
+            .expect("syscall latency index");
+        let sendto_latency = loom
+            .define_index(syscall, latency_if_op(SYS_SENDTO), latency_histogram())
+            .expect("sendto index");
+        let pread_latency = loom
+            .define_index(syscall, latency_if_op(SYS_PREAD64), latency_histogram())
+            .expect("pread index");
+        let page_cache_adds = loom
+            .define_index(
+                page_cache,
+                page_cache_add_counter(),
+                HistogramSpec::from_bounds(vec![0.5, 1.5]).expect("single bin"),
+            )
+            .expect("page cache index");
+        LoomSetup {
+            loom,
+            writer,
+            app,
+            syscall,
+            packet,
+            page_cache,
+            app_latency,
+            syscall_latency,
+            sendto_latency,
+            pread_latency,
+            page_cache_adds,
+        }
+    }
+
+    /// The source id for a [`SourceKind`].
+    pub fn source(&self, kind: SourceKind) -> SourceId {
+        match kind {
+            SourceKind::AppRequest => self.app,
+            SourceKind::Syscall => self.syscall,
+            SourceKind::Packet => self.packet,
+            SourceKind::PageCache => self.page_cache,
+        }
+    }
+
+    /// Pushes one event, driving the manual clock to the event time.
+    pub fn push(&mut self, kind: SourceKind, ts: u64, bytes: &[u8]) {
+        if ts > self.loom.now() {
+            self.loom.clock().set(ts);
+        }
+        self.writer
+            .push(self.source(kind), bytes)
+            .expect("loom push");
+    }
+}
+
+/// A FishStore configured with the case studies' PSFs.
+pub struct FishSetup {
+    /// The store.
+    pub store: Arc<fishstore::FishStore>,
+    /// PSF: records from a given source kind (`value = kind id`).
+    pub by_source: fishstore::PsfId,
+    /// PSF: syscall records with `op == sendto`.
+    pub sendto: fishstore::PsfId,
+    /// PSF: syscall records with `op == pread64`.
+    pub pread: fishstore::PsfId,
+    /// PSF: page-cache `ADD_TO_PAGE_CACHE` events.
+    pub page_cache_add: fishstore::PsfId,
+}
+
+impl FishSetup {
+    /// Opens a FishStore in `dir` with the case studies' PSFs installed.
+    pub fn open(dir: &std::path::Path) -> FishSetup {
+        let store = fishstore::FishStore::open(
+            fishstore::FishStoreConfig::new(dir).with_segment_size(4 * 1024 * 1024),
+        )
+        .expect("open fishstore");
+        let by_source = store.register_psf(Arc::new(|source, _: &[u8]| Some(source as u64)));
+        let sendto = store.register_psf(Arc::new(|source, payload: &[u8]| {
+            if source != SourceKind::Syscall.id() {
+                return None;
+            }
+            let r = LatencyRecord::decode(payload)?;
+            (r.op == SYS_SENDTO).then_some(r.op as u64)
+        }));
+        let pread = store.register_psf(Arc::new(|source, payload: &[u8]| {
+            if source != SourceKind::Syscall.id() {
+                return None;
+            }
+            let r = LatencyRecord::decode(payload)?;
+            (r.op == SYS_PREAD64).then_some(r.op as u64)
+        }));
+        let page_cache_add = store.register_psf(Arc::new(|source, payload: &[u8]| {
+            if source != SourceKind::PageCache.id() {
+                return None;
+            }
+            let r = PageCacheRecord::decode(payload)?;
+            (r.event_id == telemetry::records::page_cache_events::ADD_TO_PAGE_CACHE)
+                .then_some(r.event_id as u64)
+        }));
+        FishSetup {
+            store,
+            by_source,
+            sendto,
+            pread,
+            page_cache_add,
+        }
+    }
+
+    /// Pushes one event.
+    pub fn push(&self, kind: SourceKind, ts: u64, bytes: &[u8]) {
+        self.store
+            .ingest_at(kind.id(), ts, bytes)
+            .expect("fishstore ingest");
+    }
+}
+
+/// Synthesizes a steady syscall-record stream over `duration_secs` of
+/// simulated time at `SYSCALL_RATE * scale`, with the RocksDB workload's
+/// op mix (≈7.8 % `pread64`) and latency distributions. Used by the
+/// index-ablation and exact-match figures, which need the queried source
+/// to exist across the whole lookback sweep.
+pub fn synthesize_syscalls(
+    seed: u64,
+    scale: f64,
+    duration_secs: f64,
+    mut f: impl FnMut(u64, &[u8]),
+) -> u64 {
+    use rand::Rng as _;
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pread = telemetry::dist::LogNormal::from_median(80_000.0, 0.9);
+    let other = telemetry::dist::LogNormal::from_median(3_000.0, 0.5);
+    let rate = telemetry::rocksdb::SYSCALL_RATE * scale;
+    let interval = (1e9 / rate).max(1.0) as u64;
+    let end = (duration_secs * 1e9) as u64;
+    let mut ts = 0u64;
+    let mut seq = 0u64;
+    while ts < end {
+        let is_pread = rng.random_range(0.0..1.0) < telemetry::rocksdb::PREAD64_FRACTION;
+        let (op, latency) = if is_pread {
+            (SYS_PREAD64, pread.sample(&mut rng))
+        } else {
+            (telemetry::rocksdb::SYS_FUTEX, other.sample(&mut rng))
+        };
+        let rec = LatencyRecord {
+            ts,
+            latency_ns: latency as u64,
+            op,
+            pid: 2000,
+            key_hash: rng.random(),
+            seq,
+            flags: 0,
+            cpu: 0,
+        };
+        f(ts, &rec.encode());
+        seq += 1;
+        ts += interval;
+    }
+    seq
+}
+
+/// Runs `f` `repeats` times and returns the minimum duration (warm-cache
+/// interactive-query latency).
+pub fn min_time(repeats: usize, mut f: impl FnMut()) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Computes the nearest-rank percentile of an unsorted value set.
+pub fn percentile_of(values: &mut [f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    Some(values[rank - 1])
+}

@@ -1,0 +1,229 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every `fig*` binary accepts `--scale <f>` (rate/size scale-down
+//! relative to the paper's parameters), `--phase-secs <f>` (simulated
+//! phase duration), and `--out <csv path>`; defaults are sized to finish
+//! in seconds-to-minutes on a laptop. The binaries print the same rows
+//! or series the paper's figure reports, plus a CSV for plotting.
+
+pub mod caseload;
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Common command-line arguments for figure binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Rate/size scale-down relative to the paper (1.0 = paper scale).
+    pub scale: f64,
+    /// Simulated duration per workload phase, in seconds.
+    pub phase_secs: f64,
+    /// Optional CSV output path.
+    pub out: Option<PathBuf>,
+    /// Quick mode: smaller sweeps for CI/smoke runs.
+    pub quick: bool,
+    /// Seed for workload generators.
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 0.02,
+            phase_secs: 5.0,
+            out: None,
+            quick: false,
+            seed: 0x100F,
+        }
+    }
+}
+
+impl Args {
+    /// Parses arguments from the process command line.
+    ///
+    /// Unknown flags abort with a usage message.
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => args.scale = expect_value(&mut it, "--scale"),
+                "--phase-secs" => args.phase_secs = expect_value(&mut it, "--phase-secs"),
+                "--seed" => args.seed = expect_value::<u64>(&mut it, "--seed"),
+                "--out" => {
+                    args.out = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--out needs a path")),
+                    ))
+                }
+                "--quick" => args.quick = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: fig* [--scale f] [--phase-secs f] [--seed n] [--out file.csv] [--quick]\n\
+         \n\
+         --scale       rate scale-down vs the paper (default 0.02)\n\
+         --phase-secs  simulated seconds per workload phase (default 5)\n\
+         --seed        workload RNG seed\n\
+         --out         also write results as CSV\n\
+         --quick       smaller sweeps for smoke runs"
+    );
+    std::process::exit(2);
+}
+
+/// A simple result table that prints aligned and exports CSV.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Prints the table aligned to stdout.
+    pub fn print(&self) {
+        println!("\n=== {} ===", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as CSV to `path`.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Prints and optionally writes CSV per `args.out`.
+    pub fn finish(&self, args: &Args) {
+        self.print();
+        if let Some(out) = &args.out {
+            match self.write_csv(out) {
+                Ok(()) => println!("(csv written to {})", out.display()),
+                Err(e) => eprintln!("failed to write csv: {e}"),
+            }
+        }
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a rate in records/second with thousands separators.
+pub fn rate(records: u64, d: Duration) -> String {
+    let r = records as f64 / d.as_secs_f64();
+    if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// Creates a throwaway directory under the target temp dir.
+pub fn scratch_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("loom-bench-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+/// Removes a scratch directory, ignoring errors.
+pub fn cleanup(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_csv() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["x".into(), "y".into()]);
+        let dir = scratch_dir("table");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "a,b\n1,2\nx,y\n");
+        cleanup(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn rate_formats_scales() {
+        assert_eq!(rate(2_000_000, Duration::from_secs(1)), "2.00M");
+        assert_eq!(rate(5_000, Duration::from_secs(1)), "5.0k");
+        assert_eq!(rate(10, Duration::from_secs(1)), "10");
+    }
+}

@@ -1,0 +1,17 @@
+//! # Persistent B+tree (LMDB stand-in)
+//!
+//! A single-writer, page-based persistent B+tree used as the Loom
+//! paper's LMDB baseline in Figure 15. It provides the normal
+//! descent-and-split insert path plus an `MDB_APPEND`-style fast path
+//! for sorted bulk loads (the fastest way to ingest sequential telemetry
+//! into LMDB, and the configuration the paper benchmarks).
+//!
+//! The engine demonstrates why tree construction cannot keep up with
+//! HFT ingest: every insert pays page-local sorting and periodic split
+//! costs, and durability requires rewriting whole pages.
+
+pub mod node;
+pub mod tree;
+
+pub use node::Node;
+pub use tree::{BTree, BTreeConfig};

@@ -1,0 +1,234 @@
+//! B+tree node representation and page serialization.
+//!
+//! Nodes live as parsed structures in an in-memory cache (playing the
+//! role of LMDB's memory map) and serialize to fixed-size pages on
+//! commit. Leaves carry a `next` pointer for ordered scans.
+
+use std::io;
+
+/// Page type tag for leaves.
+const TAG_LEAF: u8 = 1;
+/// Page type tag for branches.
+const TAG_BRANCH: u8 = 2;
+
+/// Sentinel "no page".
+pub const NO_PAGE: u64 = u64::MAX;
+
+/// A parsed B+tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted `(key, value)` entries plus a next-leaf pointer.
+    Leaf {
+        /// Sorted entries.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// Page id of the next leaf, or [`NO_PAGE`].
+        next: u64,
+    },
+    /// Branch: `children.len() == keys.len() + 1`; keys are separators
+    /// (`keys[i]` is the smallest key reachable via `children[i + 1]`).
+    Branch {
+        /// Child page ids.
+        children: Vec<u64>,
+        /// Separator keys.
+        keys: Vec<Vec<u8>>,
+    },
+}
+
+impl Node {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Node {
+        Node::Leaf {
+            entries: Vec::new(),
+            next: NO_PAGE,
+        }
+    }
+
+    /// Estimated on-page size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                12 + entries
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + v.len())
+                    .sum::<usize>()
+            }
+            Node::Branch { children, keys } => {
+                4 + children.len() * 8 + keys.iter().map(|k| 2 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Serializes the node into a zero-padded page of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node exceeds the page (callers must split first).
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(page_size);
+        match self {
+            Node::Leaf { entries, next } => {
+                out.push(TAG_LEAF);
+                out.push(0);
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                out.extend_from_slice(&next.to_le_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(v);
+                }
+            }
+            Node::Branch { children, keys } => {
+                assert_eq!(children.len(), keys.len() + 1, "branch arity invariant");
+                out.push(TAG_BRANCH);
+                out.push(0);
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                out.extend_from_slice(&children[0].to_le_bytes());
+                for (k, child) in keys.iter().zip(&children[1..]) {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&child.to_le_bytes());
+                }
+            }
+        }
+        assert!(
+            out.len() <= page_size,
+            "node of {} bytes exceeds page size {}",
+            out.len(),
+            page_size
+        );
+        out.resize(page_size, 0);
+        out
+    }
+
+    /// Parses a node from a page.
+    pub fn decode(page: &[u8]) -> io::Result<Node> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if page.len() < 4 {
+            return Err(bad("page too short"));
+        }
+        let n = u16::from_le_bytes(page[2..4].try_into().expect("len 2")) as usize;
+        match page[0] {
+            TAG_LEAF => {
+                if page.len() < 12 {
+                    return Err(bad("leaf too short"));
+                }
+                let next = u64::from_le_bytes(page[4..12].try_into().expect("len 8"));
+                let mut pos = 12usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if pos + 4 > page.len() {
+                        return Err(bad("leaf entry header truncated"));
+                    }
+                    let klen =
+                        u16::from_le_bytes(page[pos..pos + 2].try_into().expect("len 2")) as usize;
+                    let vlen = u16::from_le_bytes(page[pos + 2..pos + 4].try_into().expect("len 2"))
+                        as usize;
+                    pos += 4;
+                    if pos + klen + vlen > page.len() {
+                        return Err(bad("leaf entry truncated"));
+                    }
+                    let key = page[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let value = page[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    entries.push((key, value));
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            TAG_BRANCH => {
+                if page.len() < 12 {
+                    return Err(bad("branch too short"));
+                }
+                let mut children = Vec::with_capacity(n + 1);
+                let mut keys = Vec::with_capacity(n);
+                children.push(u64::from_le_bytes(page[4..12].try_into().expect("len 8")));
+                let mut pos = 12usize;
+                for _ in 0..n {
+                    if pos + 2 > page.len() {
+                        return Err(bad("branch entry truncated"));
+                    }
+                    let klen =
+                        u16::from_le_bytes(page[pos..pos + 2].try_into().expect("len 2")) as usize;
+                    pos += 2;
+                    if pos + klen + 8 > page.len() {
+                        return Err(bad("branch key truncated"));
+                    }
+                    keys.push(page[pos..pos + klen].to_vec());
+                    pos += klen;
+                    children.push(u64::from_le_bytes(
+                        page[pos..pos + 8].try_into().expect("len 8"),
+                    ));
+                    pos += 8;
+                }
+                Ok(Node::Branch { children, keys })
+            }
+            t => Err(bad(&format!("unknown page tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trips() {
+        let n = Node::Leaf {
+            entries: vec![
+                (b"alpha".to_vec(), b"1".to_vec()),
+                (b"beta".to_vec(), b"22".to_vec()),
+            ],
+            next: 77,
+        };
+        let page = n.encode(4096);
+        assert_eq!(page.len(), 4096);
+        assert_eq!(Node::decode(&page).unwrap(), n);
+    }
+
+    #[test]
+    fn branch_round_trips() {
+        let n = Node::Branch {
+            children: vec![3, 9, 12],
+            keys: vec![b"m".to_vec(), b"t".to_vec()],
+        };
+        let page = n.encode(4096);
+        assert_eq!(Node::decode(&page).unwrap(), n);
+    }
+
+    #[test]
+    fn empty_leaf_round_trips() {
+        let n = Node::empty_leaf();
+        assert_eq!(Node::decode(&n.encode(256)).unwrap(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_node_panics() {
+        let n = Node::Leaf {
+            entries: vec![(vec![0u8; 300], vec![0u8; 300])],
+            next: NO_PAGE,
+        };
+        n.encode(256);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Node::decode(&[9u8; 64]).is_err());
+        assert!(Node::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn encoded_size_matches_encode() {
+        let n = Node::Leaf {
+            entries: vec![(b"key".to_vec(), b"value".to_vec())],
+            next: 0,
+        };
+        let exact = {
+            let page = n.encode(4096);
+            // Find last non-zero byte as a lower bound check.
+            page.iter().rposition(|b| *b != 0).unwrap() + 1
+        };
+        assert!(n.encoded_size() >= exact);
+    }
+}

@@ -1,0 +1,524 @@
+//! The persistent B+tree engine (LMDB stand-in).
+//!
+//! A single-writer, page-based B+tree over a file. Parsed nodes live in
+//! an in-memory cache (standing in for LMDB's memory map); `commit`
+//! serializes dirty pages. Two ingest paths exist, mirroring LMDB:
+//!
+//! * [`BTree::insert`] — the normal descent-and-split path;
+//! * [`BTree::append`] — the `MDB_APPEND` analog for sorted bulk loads,
+//!   which fills the rightmost leaf and splits by starting fresh right
+//!   siblings instead of moving half the entries (the fastest way to
+//!   load sequential data into LMDB, used by Figure 15).
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+
+use crate::node::{Node, NO_PAGE};
+
+/// Magic value for the meta page.
+const MAGIC: u64 = 0x4254_5245_4550_4721; // "BTREEPG!"
+
+/// Configuration for a [`BTree`].
+#[derive(Debug, Clone)]
+pub struct BTreeConfig {
+    /// Backing file path.
+    pub path: PathBuf,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Commit automatically every `auto_commit_every` mutations
+    /// (0 disables auto-commit).
+    pub auto_commit_every: u64,
+}
+
+impl BTreeConfig {
+    /// Default configuration: 4 KiB pages, auto-commit every 64k writes
+    /// (approximating LMDB transaction batching).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        BTreeConfig {
+            path: path.into(),
+            page_size: 4096,
+            auto_commit_every: 65_536,
+        }
+    }
+
+    /// Overrides the page size.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+}
+
+/// A persistent B+tree.
+pub struct BTree {
+    file: File,
+    config: BTreeConfig,
+    cache: HashMap<u64, Node>,
+    dirty: HashSet<u64>,
+    root: u64,
+    next_page: u64,
+    count: u64,
+    writes_since_commit: u64,
+    /// Rightmost path for the append fast path: page ids from root to the
+    /// rightmost leaf. Rebuilt lazily.
+    right_path: Vec<u64>,
+    /// Largest key ever inserted (append-order enforcement).
+    max_key: Option<Vec<u8>>,
+}
+
+impl BTree {
+    /// Opens (creating if necessary) a tree at `config.path`.
+    pub fn open(config: BTreeConfig) -> io::Result<BTree> {
+        assert!(config.page_size >= 64, "page size too small");
+        if let Some(parent) = config.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(&config.path)?;
+        let len = file.metadata()?.len();
+        let mut tree = BTree {
+            file,
+            cache: HashMap::new(),
+            dirty: HashSet::new(),
+            root: 1,
+            next_page: 2,
+            count: 0,
+            writes_since_commit: 0,
+            right_path: Vec::new(),
+            max_key: None,
+            config,
+        };
+        if len >= tree.config.page_size as u64 {
+            tree.read_meta()?;
+        } else {
+            // Fresh tree: page 0 is meta, page 1 an empty leaf root.
+            tree.cache.insert(1, Node::empty_leaf());
+            tree.dirty.insert(1);
+            tree.commit()?;
+        }
+        Ok(tree)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest key currently stored.
+    pub fn max_key(&self) -> Option<&[u8]> {
+        self.max_key.as_deref()
+    }
+
+    /// The maximum key+value size storable on one page.
+    pub fn max_entry_size(&self) -> usize {
+        self.config.page_size / 4
+    }
+
+    fn check_entry(&self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        if key.is_empty() || key.len() + value.len() > self.max_entry_size() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "entry of {} bytes outside (0, {}]",
+                    key.len() + value.len(),
+                    self.max_entry_size()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces `key` (normal descent path).
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        self.check_entry(key, value)?;
+        self.right_path.clear(); // structure may change
+        let root = self.root;
+        if let Some((sep, right)) = self.insert_into(root, key, value)? {
+            let new_root = self.alloc(Node::Branch {
+                children: vec![root, right],
+                keys: vec![sep],
+            });
+            self.root = new_root;
+        }
+        if self.max_key.as_deref().is_none_or(|m| key > m) {
+            self.max_key = Some(key.to_vec());
+        }
+        self.after_write()?;
+        Ok(())
+    }
+
+    /// Appends a key strictly greater than every existing key
+    /// (`MDB_APPEND` analog): constant amortized work per entry.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        self.check_entry(key, value)?;
+        if let Some(m) = &self.max_key {
+            if key <= m.as_slice() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "append requires strictly increasing keys",
+                ));
+            }
+        }
+        if self.right_path.is_empty() {
+            self.build_right_path()?;
+        }
+        let leaf_page = *self.right_path.last().expect("path non-empty");
+        // Fast path: room in the rightmost leaf.
+        let page_size = self.config.page_size;
+        let fits = {
+            let node = self.node(leaf_page)?;
+            node.encoded_size() + 4 + key.len() + value.len() <= page_size
+        };
+        if fits {
+            let Node::Leaf { entries, .. } = self.node_mut(leaf_page)? else {
+                return Err(corrupt("rightmost path does not end in a leaf"));
+            };
+            entries.push((key.to_vec(), value.to_vec()));
+            self.dirty.insert(leaf_page);
+        } else {
+            // Start a fresh rightmost leaf (bulk-load split: the old leaf
+            // stays full instead of donating half its entries).
+            let new_leaf = self.alloc(Node::Leaf {
+                entries: vec![(key.to_vec(), value.to_vec())],
+                next: NO_PAGE,
+            });
+            let Node::Leaf { next, .. } = self.node_mut(leaf_page)? else {
+                return Err(corrupt("rightmost path does not end in a leaf"));
+            };
+            *next = new_leaf;
+            self.dirty.insert(leaf_page);
+            self.attach_rightmost(new_leaf, key.to_vec())?;
+        }
+        self.count += 1;
+        self.max_key = Some(key.to_vec());
+        self.after_write()?;
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.node(page)? {
+                Node::Branch { children, keys } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+            }
+        }
+    }
+
+    /// Ordered scan over `[lo, hi)`; `f` returns `false` to stop.
+    pub fn scan(
+        &mut self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> io::Result<()> {
+        // Descend to the leaf containing `lo` (or the leftmost leaf).
+        let mut page = self.root;
+        loop {
+            match self.node(page)? {
+                Node::Branch { children, keys } => {
+                    let idx = match lo {
+                        Some(lo) => keys.partition_point(|k| k.as_slice() <= lo),
+                        None => 0,
+                    };
+                    page = children[idx];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        loop {
+            let (entries, next) = match self.node(page)? {
+                Node::Leaf { entries, next } => (entries.clone(), *next),
+                Node::Branch { .. } => return Err(corrupt("leaf chain hit a branch")),
+            };
+            for (k, v) in &entries {
+                if let Some(lo) = lo {
+                    if k.as_slice() < lo {
+                        continue;
+                    }
+                }
+                if let Some(hi) = hi {
+                    if k.as_slice() >= hi {
+                        return Ok(());
+                    }
+                }
+                if !f(k, v) {
+                    return Ok(());
+                }
+            }
+            if next == NO_PAGE {
+                return Ok(());
+            }
+            page = next;
+        }
+    }
+
+    /// Serializes dirty pages and the meta page to the file.
+    pub fn commit(&mut self) -> io::Result<()> {
+        let ps = self.config.page_size;
+        let dirty: Vec<u64> = self.dirty.drain().collect();
+        for page_id in dirty {
+            let node = self.cache.get(&page_id).expect("dirty page must be cached");
+            let bytes = node.encode(ps);
+            self.file.write_all_at(&bytes, page_id * ps as u64)?;
+        }
+        // Meta page last (commit point).
+        let mut meta = vec![0u8; ps];
+        meta[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        meta[8..16].copy_from_slice(&self.root.to_le_bytes());
+        meta[16..24].copy_from_slice(&self.next_page.to_le_bytes());
+        meta[24..32].copy_from_slice(&self.count.to_le_bytes());
+        let mk = self.max_key.as_deref().unwrap_or(b"");
+        meta[32..34].copy_from_slice(&(mk.len() as u16).to_le_bytes());
+        meta[34..34 + mk.len()].copy_from_slice(mk);
+        self.file.write_all_at(&meta, 0)?;
+        self.writes_since_commit = 0;
+        Ok(())
+    }
+
+    /// Pages allocated so far (including meta).
+    pub fn pages(&self) -> u64 {
+        self.next_page
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn read_meta(&mut self) -> io::Result<()> {
+        let ps = self.config.page_size;
+        let mut meta = vec![0u8; ps];
+        self.file.read_exact_at(&mut meta, 0)?;
+        if u64::from_le_bytes(meta[0..8].try_into().expect("len 8")) != MAGIC {
+            return Err(corrupt("bad meta magic"));
+        }
+        self.root = u64::from_le_bytes(meta[8..16].try_into().expect("len 8"));
+        self.next_page = u64::from_le_bytes(meta[16..24].try_into().expect("len 8"));
+        self.count = u64::from_le_bytes(meta[24..32].try_into().expect("len 8"));
+        let klen = u16::from_le_bytes(meta[32..34].try_into().expect("len 2")) as usize;
+        self.max_key = (klen > 0).then(|| meta[34..34 + klen].to_vec());
+        Ok(())
+    }
+
+    fn alloc(&mut self, node: Node) -> u64 {
+        let id = self.next_page;
+        self.next_page += 1;
+        self.cache.insert(id, node);
+        self.dirty.insert(id);
+        id
+    }
+
+    fn node(&mut self, page: u64) -> io::Result<&Node> {
+        if !self.cache.contains_key(&page) {
+            let ps = self.config.page_size;
+            let mut buf = vec![0u8; ps];
+            self.file.read_exact_at(&mut buf, page * ps as u64)?;
+            self.cache.insert(page, Node::decode(&buf)?);
+        }
+        Ok(self.cache.get(&page).expect("just inserted"))
+    }
+
+    fn node_mut(&mut self, page: u64) -> io::Result<&mut Node> {
+        self.node(page)?;
+        Ok(self.cache.get_mut(&page).expect("just loaded"))
+    }
+
+    /// Recursive insert; returns `(separator, right_page)` on split.
+    fn insert_into(
+        &mut self,
+        page: u64,
+        key: &[u8],
+        value: &[u8],
+    ) -> io::Result<Option<(Vec<u8>, u64)>> {
+        enum Step {
+            Leaf { idx: usize, replace: bool },
+            Descend { child: u64, idx: usize },
+        }
+        let step = match self.node(page)? {
+            Node::Leaf { entries, .. } => {
+                let idx = entries.partition_point(|(k, _)| k.as_slice() < key);
+                let replace = entries.get(idx).is_some_and(|(k, _)| k == key);
+                Step::Leaf { idx, replace }
+            }
+            Node::Branch { children, keys } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                Step::Descend {
+                    child: children[idx],
+                    idx,
+                }
+            }
+        };
+        match step {
+            Step::Leaf { idx, replace } => {
+                let Node::Leaf { entries, .. } = self.node_mut(page)? else {
+                    unreachable!("node kind is stable");
+                };
+                if replace {
+                    entries[idx].1 = value.to_vec();
+                } else {
+                    entries.insert(idx, (key.to_vec(), value.to_vec()));
+                    self.count += 1;
+                }
+                self.dirty.insert(page);
+                self.maybe_split_leaf(page)
+            }
+            Step::Descend { child, idx } => {
+                let Some((sep, right)) = self.insert_into(child, key, value)? else {
+                    return Ok(None);
+                };
+                let Node::Branch { children, keys } = self.node_mut(page)? else {
+                    unreachable!("node kind is stable");
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                self.dirty.insert(page);
+                self.maybe_split_branch(page)
+            }
+        }
+    }
+
+    fn maybe_split_leaf(&mut self, page: u64) -> io::Result<Option<(Vec<u8>, u64)>> {
+        let ps = self.config.page_size;
+        let needs_split = self.node(page)?.encoded_size() > ps;
+        if !needs_split {
+            return Ok(None);
+        }
+        let Node::Leaf { entries, next } = self.node_mut(page)? else {
+            unreachable!("caller ensured leaf");
+        };
+        let mid = entries.len() / 2;
+        let right_entries = entries.split_off(mid);
+        let old_next = *next;
+        let sep = right_entries[0].0.clone();
+        let right = self.alloc(Node::Leaf {
+            entries: right_entries,
+            next: old_next,
+        });
+        let Node::Leaf { next, .. } = self.node_mut(page)? else {
+            unreachable!("kind is stable");
+        };
+        *next = right;
+        self.dirty.insert(page);
+        Ok(Some((sep, right)))
+    }
+
+    fn maybe_split_branch(&mut self, page: u64) -> io::Result<Option<(Vec<u8>, u64)>> {
+        let ps = self.config.page_size;
+        let needs_split = self.node(page)?.encoded_size() > ps;
+        if !needs_split {
+            return Ok(None);
+        }
+        let Node::Branch { children, keys } = self.node_mut(page)? else {
+            unreachable!("caller ensured branch");
+        };
+        let mid = keys.len() / 2;
+        let sep = keys[mid].clone();
+        let right_keys = keys.split_off(mid + 1);
+        keys.pop(); // the separator moves up
+        let right_children = children.split_off(mid + 1);
+        let right = self.alloc(Node::Branch {
+            children: right_children,
+            keys: right_keys,
+        });
+        self.dirty.insert(page);
+        Ok(Some((sep, right)))
+    }
+
+    /// Rebuilds the root-to-rightmost-leaf path.
+    fn build_right_path(&mut self) -> io::Result<()> {
+        self.right_path.clear();
+        let mut page = self.root;
+        loop {
+            self.right_path.push(page);
+            match self.node(page)? {
+                Node::Branch { children, .. } => {
+                    page = *children.last().expect("branch has children");
+                }
+                Node::Leaf { .. } => return Ok(()),
+            }
+        }
+    }
+
+    /// Attaches a freshly started rightmost leaf, splitting full branches
+    /// along the right spine bulk-load style.
+    fn attach_rightmost(&mut self, new_leaf: u64, sep: Vec<u8>) -> io::Result<()> {
+        let ps = self.config.page_size;
+        let mut carry: Option<(Vec<u8>, u64)> = Some((sep, new_leaf));
+        // Walk up the right spine (skip the leaf itself).
+        let mut level = self.right_path.len().saturating_sub(1);
+        while let Some((sep, child)) = carry.take() {
+            if level == 0 {
+                // Split the root: new root above.
+                let old_root = self.root;
+                let new_root = self.alloc(Node::Branch {
+                    children: vec![old_root, child],
+                    keys: vec![sep],
+                });
+                self.root = new_root;
+                self.build_right_path()?;
+                return Ok(());
+            }
+            level -= 1;
+            let parent = self.right_path[level];
+            let fits = self.node(parent)?.encoded_size() + 2 + sep.len() + 8 <= ps;
+            if fits {
+                let Node::Branch { children, keys } = self.node_mut(parent)? else {
+                    return Err(corrupt("right spine holds a leaf above a leaf"));
+                };
+                keys.push(sep);
+                children.push(child);
+                self.dirty.insert(parent);
+                self.build_right_path()?;
+                return Ok(());
+            }
+            // Start a fresh right sibling branch containing just the new
+            // child and push the separator further up.
+            let fresh = self.alloc(Node::Branch {
+                children: vec![child],
+                keys: vec![],
+            });
+            carry = Some((sep, fresh));
+            // Note: the fresh branch with one child and zero keys is valid
+            // (`children == keys + 1`).
+        }
+        self.build_right_path()?;
+        Ok(())
+    }
+
+    fn after_write(&mut self) -> io::Result<()> {
+        self.writes_since_commit += 1;
+        if self.config.auto_commit_every > 0
+            && self.writes_since_commit >= self.config.auto_commit_every
+        {
+            self.commit()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for BTree {
+    fn drop(&mut self) {
+        let _ = self.commit();
+    }
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}

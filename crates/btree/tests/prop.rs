@@ -1,0 +1,93 @@
+//! Property-based tests: the B+tree must behave exactly like a
+//! `BTreeMap` model for arbitrary insert sequences, across splits,
+//! commits, and reopens; append mode must agree with insert mode.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use btree::{BTree, BTreeConfig};
+
+fn unique_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "btree-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d.join("t.db")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inserts_match_btreemap_model(
+        entries in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..500),
+        commit_every in 1usize..100,
+    ) {
+        // Small pages force deep trees and frequent splits.
+        let path = unique_path();
+        let mut tree = BTree::open(BTreeConfig::new(&path).with_page_size(128)).unwrap();
+        let mut model = BTreeMap::new();
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let key = k.to_be_bytes().to_vec();
+            let value = vec![*v; 2];
+            tree.insert(&key, &value).unwrap();
+            model.insert(key, value);
+            if i % commit_every == 0 {
+                tree.commit().unwrap();
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+
+        // Scan order and contents equal the model.
+        let mut got = Vec::new();
+        tree.scan(None, None, |k, v| {
+            got.push((k.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(&got, &expected);
+
+        // Reopen: everything committed must survive; commit first so all is.
+        tree.commit().unwrap();
+        drop(tree);
+        let mut tree = BTree::open(BTreeConfig::new(&path).with_page_size(128)).unwrap();
+        for (k, v) in &model {
+            let got = tree.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn append_equals_sorted_insert(
+        raw_keys in proptest::collection::btree_set(any::<u32>(), 1..300),
+    ) {
+        let keys: Vec<u32> = raw_keys.into_iter().collect();
+        let path_a = unique_path();
+        let path_b = unique_path();
+        let mut appended = BTree::open(BTreeConfig::new(&path_a).with_page_size(128)).unwrap();
+        let mut inserted = BTree::open(BTreeConfig::new(&path_b).with_page_size(128)).unwrap();
+        for k in &keys {
+            let key = k.to_be_bytes();
+            appended.append(&key, &key).unwrap();
+            inserted.insert(&key, &key).unwrap();
+        }
+        prop_assert_eq!(appended.len(), inserted.len());
+        let collect = |t: &mut BTree| {
+            let mut v = Vec::new();
+            t.scan(None, None, |k, val| {
+                v.push((k.to_vec(), val.to_vec()));
+                true
+            })
+            .unwrap();
+            v
+        };
+        prop_assert_eq!(collect(&mut appended), collect(&mut inserted));
+    }
+}

@@ -1,0 +1,211 @@
+//! B+tree correctness tests: model-based insert/get/scan, append-mode
+//! bulk loads, splits, persistence, and reopen.
+
+use std::collections::BTreeMap;
+
+use btree::{BTree, BTreeConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("btree-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d.join("tree.db")
+}
+
+#[test]
+fn insert_get_small() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("small"))).unwrap();
+    t.insert(b"b", b"2").unwrap();
+    t.insert(b"a", b"1").unwrap();
+    t.insert(b"c", b"3").unwrap();
+    assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+    assert_eq!(t.get(b"c").unwrap(), Some(b"3".to_vec()));
+    assert_eq!(t.get(b"d").unwrap(), None);
+    assert_eq!(t.len(), 3);
+}
+
+#[test]
+fn overwrite_replaces_value() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("overwrite"))).unwrap();
+    t.insert(b"k", b"old").unwrap();
+    t.insert(b"k", b"new").unwrap();
+    assert_eq!(t.get(b"k").unwrap(), Some(b"new".to_vec()));
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn random_inserts_match_model_across_splits() {
+    // Small pages force deep trees and many splits.
+    let mut t = BTree::open(BTreeConfig::new(tmp("model")).with_page_size(256)).unwrap();
+    let mut model = BTreeMap::new();
+    let mut x: u64 = 42;
+    for _ in 0..5_000 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let key = format!("key-{:08}", x % 3_000).into_bytes();
+        let value = (x % 100_000).to_be_bytes().to_vec();
+        t.insert(&key, &value).unwrap();
+        model.insert(key, value);
+    }
+    assert_eq!(t.len(), model.len() as u64);
+    for (k, v) in &model {
+        assert_eq!(
+            t.get(k).unwrap().as_ref(),
+            Some(v),
+            "key {:?}",
+            String::from_utf8_lossy(k)
+        );
+    }
+    // Full scan in order.
+    let mut got = Vec::new();
+    t.scan(None, None, |k, v| {
+        got.push((k.to_vec(), v.to_vec()));
+        true
+    })
+    .unwrap();
+    let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn range_scan_bounds_are_respected() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("range")).with_page_size(256)).unwrap();
+    for i in 0..1_000u32 {
+        t.insert(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    let lo = 100u32.to_be_bytes();
+    let hi = 200u32.to_be_bytes();
+    let mut got = Vec::new();
+    t.scan(Some(&lo), Some(&hi), |k, _| {
+        got.push(u32::from_be_bytes(k.try_into().unwrap()));
+        true
+    })
+    .unwrap();
+    assert_eq!(got, (100..200).collect::<Vec<_>>());
+}
+
+#[test]
+fn append_mode_bulk_load_matches_inserts() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("append")).with_page_size(256)).unwrap();
+    for i in 0..10_000u32 {
+        t.append(&i.to_be_bytes(), &(i * 2).to_le_bytes()).unwrap();
+    }
+    assert_eq!(t.len(), 10_000);
+    for i in (0..10_000u32).step_by(173) {
+        assert_eq!(
+            t.get(&i.to_be_bytes()).unwrap(),
+            Some((i * 2).to_le_bytes().to_vec())
+        );
+    }
+    let mut n = 0u32;
+    t.scan(None, None, |k, _| {
+        assert_eq!(u32::from_be_bytes(k.try_into().unwrap()), n);
+        n += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(n, 10_000);
+}
+
+#[test]
+fn append_rejects_non_increasing_keys() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("append-order"))).unwrap();
+    t.append(b"b", b"1").unwrap();
+    assert!(t.append(b"b", b"2").is_err());
+    assert!(t.append(b"a", b"3").is_err());
+    t.append(b"c", b"4").unwrap();
+}
+
+#[test]
+fn append_then_insert_interoperate() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("mixed")).with_page_size(256)).unwrap();
+    for i in (0..2_000u32).step_by(2) {
+        t.append(&i.to_be_bytes(), b"even").unwrap();
+    }
+    for i in (1..2_000u32).step_by(2) {
+        t.insert(&i.to_be_bytes(), b"odd").unwrap();
+    }
+    assert_eq!(t.len(), 2_000);
+    let mut n = 0u32;
+    t.scan(None, None, |k, v| {
+        assert_eq!(u32::from_be_bytes(k.try_into().unwrap()), n);
+        assert_eq!(
+            v,
+            if n % 2 == 0 {
+                b"even".as_slice()
+            } else {
+                b"odd"
+            }
+        );
+        n += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(n, 2_000);
+}
+
+#[test]
+fn persistence_across_reopen() {
+    let path = tmp("reopen");
+    {
+        let mut t = BTree::open(BTreeConfig::new(&path).with_page_size(512)).unwrap();
+        for i in 0..3_000u32 {
+            t.insert(&i.to_be_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        t.commit().unwrap();
+    }
+    let mut t = BTree::open(BTreeConfig::new(&path).with_page_size(512)).unwrap();
+    assert_eq!(t.len(), 3_000);
+    for i in (0..3_000u32).step_by(61) {
+        assert_eq!(
+            t.get(&i.to_be_bytes()).unwrap(),
+            Some(format!("v{i}").into_bytes())
+        );
+    }
+    // Appends continue to work after reopen.
+    t.append(&5_000u32.to_be_bytes(), b"post").unwrap();
+    assert_eq!(
+        t.get(&5_000u32.to_be_bytes()).unwrap(),
+        Some(b"post".to_vec())
+    );
+}
+
+#[test]
+fn oversized_entries_are_rejected() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("oversize")).with_page_size(256)).unwrap();
+    assert!(t.insert(b"k", &vec![0u8; 500]).is_err());
+    assert!(t.insert(b"", b"v").is_err());
+    assert!(t.append(b"k", &vec![0u8; 500]).is_err());
+}
+
+#[test]
+fn scan_early_stop() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("stop"))).unwrap();
+    for i in 0..100u32 {
+        t.insert(&i.to_be_bytes(), b"v").unwrap();
+    }
+    let mut n = 0;
+    t.scan(None, None, |_, _| {
+        n += 1;
+        n < 7
+    })
+    .unwrap();
+    assert_eq!(n, 7);
+}
+
+#[test]
+fn empty_tree_behaves() {
+    let mut t = BTree::open(BTreeConfig::new(tmp("empty"))).unwrap();
+    assert!(t.is_empty());
+    assert_eq!(t.get(b"x").unwrap(), None);
+    let mut n = 0;
+    t.scan(None, None, |_, _| {
+        n += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(n, 0);
+}

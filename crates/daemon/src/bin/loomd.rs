@@ -1,0 +1,521 @@
+//! `loomd` — an interactive CLI front-end for Loom.
+//!
+//! The paper notes that engineers typically drive Loom's query operators
+//! through a front-end like a CLI or dashboard (§3). This binary is that
+//! front-end for ad hoc exploration: it hosts a Loom instance, lets you
+//! define sources and histogram indexes, generate or replay telemetry,
+//! and run the three query operators interactively.
+//!
+//! ```text
+//! cargo run --release -p daemon --bin loomd
+//! loom> source app
+//! loom> index app lat 8 exp 1000 4 10
+//! loom> gen app 100000 lognormal 200000 0.5
+//! loom> agg app lat max
+//! loom> agg app lat p99.99
+//! loom> scan app lat >= 10000000
+//! loom> stats
+//! loom> quit
+//! ```
+//!
+//! Generated records use the 48-byte `LatencyRecord` layout, so the
+//! index field offset for the latency value is 8.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use loom::{Aggregate, HistogramSpec, TimeRange, ValueRange};
+use telemetry::records::LatencyRecord;
+
+struct Shell {
+    loom: loom::Loom,
+    writer: loom::LoomWriter,
+    sources: HashMap<String, loom::SourceId>,
+    indexes: HashMap<(String, String), loom::IndexId>,
+    seq: u64,
+}
+
+/// A parsed shell command.
+#[derive(Debug, PartialEq)]
+enum Command {
+    Source(String),
+    Index {
+        source: String,
+        name: String,
+        offset: usize,
+        spec: SpecKind,
+    },
+    Gen {
+        source: String,
+        count: u64,
+        dist: DistKind,
+    },
+    Agg {
+        source: String,
+        index: String,
+        method: Aggregate,
+    },
+    Scan {
+        source: String,
+        index: String,
+        values: ValueRange,
+    },
+    Raw {
+        source: String,
+        lookback_ms: u64,
+    },
+    Stats,
+    Help,
+    Quit,
+}
+
+#[derive(Debug, PartialEq)]
+enum SpecKind {
+    Exp { lo: f64, factor: f64, bins: usize },
+    Uniform { lo: f64, hi: f64, bins: usize },
+    Exact(f64),
+}
+
+#[derive(Debug, PartialEq)]
+enum DistKind {
+    LogNormal { median: f64, sigma: f64 },
+    Uniform { lo: u64, hi: u64 },
+}
+
+/// Parses one command line. Exposed for tests.
+fn parse(line: &str) -> Result<Command, String> {
+    let mut it = line.split_whitespace();
+    let Some(verb) = it.next() else {
+        return Err("empty".into());
+    };
+    let rest: Vec<&str> = it.collect();
+    let num = |s: &str| -> Result<f64, String> {
+        s.parse()
+            .map_err(|_| format!("expected a number, got {s:?}"))
+    };
+    match verb {
+        "source" => match rest.as_slice() {
+            [name] => Ok(Command::Source(name.to_string())),
+            _ => Err("usage: source <name>".into()),
+        },
+        "index" => match rest.as_slice() {
+            [source, name, offset, "exp", lo, factor, bins] => Ok(Command::Index {
+                source: source.to_string(),
+                name: name.to_string(),
+                offset: offset.parse().map_err(|_| "bad offset")?,
+                spec: SpecKind::Exp {
+                    lo: num(lo)?,
+                    factor: num(factor)?,
+                    bins: bins.parse().map_err(|_| "bad bin count")?,
+                },
+            }),
+            [source, name, offset, "uniform", lo, hi, bins] => Ok(Command::Index {
+                source: source.to_string(),
+                name: name.to_string(),
+                offset: offset.parse().map_err(|_| "bad offset")?,
+                spec: SpecKind::Uniform {
+                    lo: num(lo)?,
+                    hi: num(hi)?,
+                    bins: bins.parse().map_err(|_| "bad bin count")?,
+                },
+            }),
+            [source, name, offset, "exact", value] => Ok(Command::Index {
+                source: source.to_string(),
+                name: name.to_string(),
+                offset: offset.parse().map_err(|_| "bad offset")?,
+                spec: SpecKind::Exact(num(value)?),
+            }),
+            _ => Err(
+                "usage: index <source> <name> <offset> exp <lo> <factor> <bins>\n\
+                 \x20      index <source> <name> <offset> uniform <lo> <hi> <bins>\n\
+                 \x20      index <source> <name> <offset> exact <value>"
+                    .into(),
+            ),
+        },
+        "gen" => match rest.as_slice() {
+            [source, count, "lognormal", median, sigma] => Ok(Command::Gen {
+                source: source.to_string(),
+                count: count.parse().map_err(|_| "bad count")?,
+                dist: DistKind::LogNormal {
+                    median: num(median)?,
+                    sigma: num(sigma)?,
+                },
+            }),
+            [source, count, "uniform", lo, hi] => Ok(Command::Gen {
+                source: source.to_string(),
+                count: count.parse().map_err(|_| "bad count")?,
+                dist: DistKind::Uniform {
+                    lo: lo.parse().map_err(|_| "bad lo")?,
+                    hi: hi.parse().map_err(|_| "bad hi")?,
+                },
+            }),
+            _ => Err("usage: gen <source> <count> lognormal <median> <sigma>\n\
+                 \x20      gen <source> <count> uniform <lo> <hi>"
+                .into()),
+        },
+        "agg" => match rest.as_slice() {
+            [source, index, method] => {
+                let method = match *method {
+                    "count" => Aggregate::Count,
+                    "sum" => Aggregate::Sum,
+                    "min" => Aggregate::Min,
+                    "max" => Aggregate::Max,
+                    "mean" => Aggregate::Mean,
+                    p if p.starts_with('p') => {
+                        Aggregate::Percentile(num(&p[1..]).map_err(|_| "bad percentile")?)
+                    }
+                    other => return Err(format!("unknown aggregate {other:?}")),
+                };
+                Ok(Command::Agg {
+                    source: source.to_string(),
+                    index: index.to_string(),
+                    method,
+                })
+            }
+            _ => Err("usage: agg <source> <index> count|sum|min|max|mean|p<N>".into()),
+        },
+        "scan" => match rest.as_slice() {
+            [source, index, op, value] => {
+                let v = num(value)?;
+                let values = match *op {
+                    ">=" => ValueRange::at_least(v),
+                    "<=" => ValueRange::at_most(v),
+                    "==" => ValueRange::new(v, v),
+                    other => return Err(format!("unknown operator {other:?}")),
+                };
+                Ok(Command::Scan {
+                    source: source.to_string(),
+                    index: index.to_string(),
+                    values,
+                })
+            }
+            _ => Err("usage: scan <source> <index> >=|<=|== <value>".into()),
+        },
+        "raw" => match rest.as_slice() {
+            [source, lookback_ms] => Ok(Command::Raw {
+                source: source.to_string(),
+                lookback_ms: lookback_ms.parse().map_err(|_| "bad lookback")?,
+            }),
+            _ => Err("usage: raw <source> <lookback-ms>".into()),
+        },
+        "stats" => Ok(Command::Stats),
+        "help" => Ok(Command::Help),
+        "quit" | "exit" => Ok(Command::Quit),
+        other => Err(format!("unknown command {other:?} (try `help`)")),
+    }
+}
+
+const HELP: &str = "\
+commands:
+  source <name>                                    define a source
+  index <src> <name> <offset> exp <lo> <f> <bins>  exponential-bin index
+  index <src> <name> <offset> uniform <lo> <hi> <bins>
+  index <src> <name> <offset> exact <value>        exact-match index
+  gen <src> <n> lognormal <median> <sigma>         generate latency records
+  gen <src> <n> uniform <lo> <hi>
+  agg <src> <index> count|sum|min|max|mean|p<N>    indexed aggregate
+  scan <src> <index> >=|<=|== <value>              indexed range scan
+  raw <src> <lookback-ms>                          raw scan of recent records
+  stats                                            ingest statistics
+  quit";
+
+impl Shell {
+    fn source(&self, name: &str) -> Result<loom::SourceId, String> {
+        self.sources
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unknown source {name:?}"))
+    }
+
+    fn index(&self, source: &str, name: &str) -> Result<loom::IndexId, String> {
+        self.indexes
+            .get(&(source.to_string(), name.to_string()))
+            .copied()
+            .ok_or_else(|| format!("unknown index {source}.{name}"))
+    }
+
+    fn execute(&mut self, cmd: Command) -> Result<String, String> {
+        match cmd {
+            Command::Quit => Ok("bye".into()),
+            Command::Help => Ok(HELP.into()),
+            Command::Source(name) => {
+                let id = self.loom.define_source(&name);
+                self.sources.insert(name.clone(), id);
+                Ok(format!("source {name} = {id:?}"))
+            }
+            Command::Index {
+                source,
+                name,
+                offset,
+                spec,
+            } => {
+                let sid = self.source(&source)?;
+                let spec = match spec {
+                    SpecKind::Exp { lo, factor, bins } => {
+                        HistogramSpec::exponential(lo, factor, bins)
+                    }
+                    SpecKind::Uniform { lo, hi, bins } => HistogramSpec::uniform(lo, hi, bins),
+                    SpecKind::Exact(v) => HistogramSpec::exact_match(v),
+                }
+                .map_err(|e| e.to_string())?;
+                let id = self
+                    .loom
+                    .define_index(sid, loom::extract::u64_le_at(offset), spec)
+                    .map_err(|e| e.to_string())?;
+                self.indexes.insert((source.clone(), name.clone()), id);
+                Ok(format!("index {source}.{name} = {id:?}"))
+            }
+            Command::Gen {
+                source,
+                count,
+                dist,
+            } => {
+                let sid = self.source(&source)?;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.seq ^ 0x9E37);
+                let start = std::time::Instant::now();
+                for _ in 0..count {
+                    let latency = match &dist {
+                        DistKind::LogNormal { median, sigma } => {
+                            telemetry::dist::LogNormal::from_median(*median, *sigma)
+                                .sample(&mut rng) as u64
+                        }
+                        DistKind::Uniform { lo, hi } => {
+                            use rand::Rng;
+                            rng.random_range(*lo..(*hi).max(lo + 1))
+                        }
+                    };
+                    let rec = LatencyRecord {
+                        ts: self.loom.now(),
+                        latency_ns: latency,
+                        op: 0,
+                        pid: std::process::id(),
+                        key_hash: self.seq,
+                        seq: self.seq,
+                        flags: 0,
+                        cpu: 0,
+                    };
+                    self.writer
+                        .push(sid, &rec.encode())
+                        .map_err(|e| e.to_string())?;
+                    self.seq += 1;
+                }
+                let elapsed = start.elapsed();
+                Ok(format!(
+                    "generated {count} records in {elapsed:.2?} ({:.2}M/s)",
+                    count as f64 / elapsed.as_secs_f64() / 1e6
+                ))
+            }
+            Command::Agg {
+                source,
+                index,
+                method,
+            } => {
+                let sid = self.source(&source)?;
+                let iid = self.index(&source, &index)?;
+                let range = TimeRange::new(0, self.loom.now());
+                let start = std::time::Instant::now();
+                let r = self
+                    .loom
+                    .indexed_aggregate(sid, iid, range, method)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "{:?} = {:?}  ({} values, {} summaries / {} chunks scanned, {:.2?})",
+                    method,
+                    r.value,
+                    r.count,
+                    r.stats.summaries_scanned,
+                    r.stats.chunks_scanned,
+                    start.elapsed()
+                ))
+            }
+            Command::Scan {
+                source,
+                index,
+                values,
+            } => {
+                let sid = self.source(&source)?;
+                let iid = self.index(&source, &index)?;
+                let range = TimeRange::new(0, self.loom.now());
+                let start = std::time::Instant::now();
+                let mut matches = 0u64;
+                let mut preview = Vec::new();
+                let stats = self
+                    .loom
+                    .indexed_scan(sid, iid, range, values, |r| {
+                        matches += 1;
+                        if preview.len() < 5 {
+                            if let Some(rec) = LatencyRecord::decode(r.payload) {
+                                preview.push(format!(
+                                    "  seq {} latency {} ns at t={}",
+                                    rec.seq, rec.latency_ns, r.ts
+                                ));
+                            }
+                        }
+                    })
+                    .map_err(|e| e.to_string())?;
+                let mut out = format!(
+                    "{matches} matches ({} summaries / {} chunks scanned, {:.2?})",
+                    stats.summaries_scanned,
+                    stats.chunks_scanned,
+                    start.elapsed()
+                );
+                for line in preview {
+                    out.push('\n');
+                    out.push_str(&line);
+                }
+                Ok(out)
+            }
+            Command::Raw {
+                source,
+                lookback_ms,
+            } => {
+                let sid = self.source(&source)?;
+                let now = self.loom.now();
+                let range = TimeRange::last(now, lookback_ms * 1_000_000);
+                let mut n = 0u64;
+                self.loom
+                    .raw_scan(sid, range, |_| n += 1)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("{n} records in the last {lookback_ms} ms"))
+            }
+            Command::Stats => {
+                let s = self.loom.ingest_stats();
+                Ok(format!(
+                    "records {} | bytes {} | chunks sealed {} | ts entries {} | memory budget {} B",
+                    s.records(),
+                    s.bytes(),
+                    s.chunks_sealed(),
+                    s.ts_entries(),
+                    self.loom.memory_budget()
+                ))
+            }
+        }
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("loomd-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom_handle, writer) =
+        loom::Loom::open(loom::Config::new(&dir)).expect("open loom instance");
+    let mut shell = Shell {
+        loom: loom_handle,
+        writer,
+        sources: HashMap::new(),
+        indexes: HashMap::new(),
+        seq: 0,
+    };
+    println!("loomd — interactive Loom shell (type `help`)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("loom> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(&line) {
+            Ok(Command::Quit) => break,
+            Ok(cmd) => match shell.execute(cmd) {
+                Ok(out) => println!("{out}"),
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        assert_eq!(parse("source app").unwrap(), Command::Source("app".into()));
+        assert!(matches!(
+            parse("index app lat 8 exp 1000 4 10").unwrap(),
+            Command::Index { offset: 8, .. }
+        ));
+        assert!(matches!(
+            parse("index app port 12 exact 6379").unwrap(),
+            Command::Index {
+                spec: SpecKind::Exact(v),
+                ..
+            } if v == 6379.0
+        ));
+        assert!(matches!(
+            parse("gen app 1000 lognormal 200000 0.5").unwrap(),
+            Command::Gen { count: 1000, .. }
+        ));
+        assert!(matches!(
+            parse("agg app lat p99.99").unwrap(),
+            Command::Agg {
+                method: Aggregate::Percentile(p),
+                ..
+            } if (p - 99.99).abs() < 1e-9
+        ));
+        assert!(matches!(
+            parse("agg app lat max").unwrap(),
+            Command::Agg { .. }
+        ));
+        assert!(matches!(
+            parse("scan app lat >= 50").unwrap(),
+            Command::Scan { .. }
+        ));
+        assert!(matches!(
+            parse("raw app 100").unwrap(),
+            Command::Raw {
+                lookback_ms: 100,
+                ..
+            }
+        ));
+        assert_eq!(parse("stats").unwrap(), Command::Stats);
+        assert_eq!(parse("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("").is_err());
+        assert!(parse("source").is_err());
+        assert!(parse("index app lat").is_err());
+        assert!(parse("agg app lat p-nonsense").is_err());
+        assert!(parse("scan app lat != 5").is_err());
+        assert!(parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn shell_executes_a_session() {
+        let dir = std::env::temp_dir().join(format!("loomd-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (l, w) = loom::Loom::open(loom::Config::small(&dir)).unwrap();
+        let mut shell = Shell {
+            loom: l,
+            writer: w,
+            sources: HashMap::new(),
+            indexes: HashMap::new(),
+            seq: 0,
+        };
+        shell.execute(parse("source app").unwrap()).unwrap();
+        shell
+            .execute(parse("index app lat 8 exp 1000 4 10").unwrap())
+            .unwrap();
+        shell
+            .execute(parse("gen app 5000 lognormal 200000 0.5").unwrap())
+            .unwrap();
+        let out = shell.execute(parse("agg app lat count").unwrap()).unwrap();
+        assert!(out.contains("Some(5000.0)"), "{out}");
+        let out = shell.execute(parse("agg app lat p99.9").unwrap()).unwrap();
+        assert!(out.contains("Some("), "{out}");
+        let out = shell.execute(parse("scan app lat >= 1 ").unwrap()).unwrap();
+        assert!(out.starts_with("5000 matches"), "{out}");
+        // Errors surface nicely.
+        assert!(shell.execute(parse("agg nope lat max").unwrap()).is_err());
+        assert!(shell.execute(parse("scan app nope >= 1").unwrap()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

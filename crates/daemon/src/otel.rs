@@ -1,0 +1,421 @@
+//! OpenTelemetry-Collector-shaped integration (§5).
+//!
+//! The paper integrates Loom with the OpenTelemetry Collector so Loom is
+//! "deployable as a drop-in replacement for existing telemetry
+//! backends". This module is the equivalent adapter layer: it accepts
+//! telemetry in OTel's data model — spans, metric data points, and log
+//! records — converts each into Loom's compact binary records, and
+//! manages the Loom source/index lifecycle behind an exporter-style
+//! interface.
+//!
+//! The mapping (documented per type below) preserves exactly the fields
+//! Loom's observability queries need: a timestamp, a numeric value
+//! (duration/value/severity), and a small identity tuple — anything else
+//! belongs in long-term storage, not the HFT drill-down path.
+
+use std::sync::Arc;
+
+use loom::{HistogramSpec, IndexId, Loom, LoomWriter, SourceId};
+
+/// An OTel-model span (the subset relevant to HFT capture).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace id (lower 64 bits).
+    pub trace_id: u64,
+    /// Span id.
+    pub span_id: u64,
+    /// Start time, ns.
+    pub start_ns: u64,
+    /// End time, ns.
+    pub end_ns: u64,
+    /// Instrumented operation, interned by the caller.
+    pub op_code: u32,
+    /// OTel status code (0 unset, 1 ok, 2 error).
+    pub status: u32,
+}
+
+/// An OTel-model numeric metric data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// Metric identity, interned by the caller.
+    pub metric_code: u32,
+    /// Sample time, ns.
+    pub ts: u64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// An OTel-model log record (the numeric subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Event time, ns.
+    pub ts: u64,
+    /// OTel severity number (1..=24; 17+ is ERROR).
+    pub severity: u32,
+    /// Body identity (e.g., a message-template hash).
+    pub body_hash: u64,
+}
+
+/// On-log encodings. All little-endian, fixed offsets for extractors.
+pub mod wire {
+    /// Span record size: trace(8) span(8) start(8) duration(8) op(4) status(4).
+    pub const SPAN_SIZE: usize = 40;
+    /// Offset of the span duration field.
+    pub const SPAN_DURATION_OFFSET: usize = 24;
+    /// Metric record size: ts(8) value(8) metric(4) pad(4).
+    pub const METRIC_SIZE: usize = 24;
+    /// Offset of the metric value field.
+    pub const METRIC_VALUE_OFFSET: usize = 8;
+    /// Log record size: ts(8) body(8) severity(4) pad(4).
+    pub const LOG_SIZE: usize = 24;
+    /// Offset of the severity field.
+    pub const LOG_SEVERITY_OFFSET: usize = 16;
+}
+
+impl Span {
+    /// Encodes the span; the indexed value is its duration.
+    pub fn encode(&self) -> [u8; wire::SPAN_SIZE] {
+        let mut b = [0u8; wire::SPAN_SIZE];
+        b[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        b[8..16].copy_from_slice(&self.span_id.to_le_bytes());
+        b[16..24].copy_from_slice(&self.start_ns.to_le_bytes());
+        b[24..32].copy_from_slice(&self.end_ns.saturating_sub(self.start_ns).to_le_bytes());
+        b[32..36].copy_from_slice(&self.op_code.to_le_bytes());
+        b[36..40].copy_from_slice(&self.status.to_le_bytes());
+        b
+    }
+
+    /// Decodes a span record.
+    pub fn decode(b: &[u8]) -> Option<Span> {
+        if b.len() < wire::SPAN_SIZE {
+            return None;
+        }
+        let start_ns = u64::from_le_bytes(b[16..24].try_into().ok()?);
+        let duration = u64::from_le_bytes(b[24..32].try_into().ok()?);
+        Some(Span {
+            trace_id: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            span_id: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            start_ns,
+            end_ns: start_ns + duration,
+            op_code: u32::from_le_bytes(b[32..36].try_into().ok()?),
+            status: u32::from_le_bytes(b[36..40].try_into().ok()?),
+        })
+    }
+}
+
+impl MetricPoint {
+    /// Encodes the data point; the indexed value is `value`.
+    pub fn encode(&self) -> [u8; wire::METRIC_SIZE] {
+        let mut b = [0u8; wire::METRIC_SIZE];
+        b[0..8].copy_from_slice(&self.ts.to_le_bytes());
+        b[8..16].copy_from_slice(&self.value.to_le_bytes());
+        b[16..20].copy_from_slice(&self.metric_code.to_le_bytes());
+        b
+    }
+
+    /// Decodes a metric record.
+    pub fn decode(b: &[u8]) -> Option<MetricPoint> {
+        if b.len() < wire::METRIC_SIZE {
+            return None;
+        }
+        Some(MetricPoint {
+            ts: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            value: f64::from_le_bytes(b[8..16].try_into().ok()?),
+            metric_code: u32::from_le_bytes(b[16..20].try_into().ok()?),
+        })
+    }
+}
+
+impl LogRecord {
+    /// Encodes the log record; the indexed value is `severity`.
+    pub fn encode(&self) -> [u8; wire::LOG_SIZE] {
+        let mut b = [0u8; wire::LOG_SIZE];
+        b[0..8].copy_from_slice(&self.ts.to_le_bytes());
+        b[8..16].copy_from_slice(&self.body_hash.to_le_bytes());
+        b[16..20].copy_from_slice(&self.severity.to_le_bytes());
+        b
+    }
+
+    /// Decodes a log record.
+    pub fn decode(b: &[u8]) -> Option<LogRecord> {
+        if b.len() < wire::LOG_SIZE {
+            return None;
+        }
+        Some(LogRecord {
+            ts: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            severity: u32::from_le_bytes(b[16..20].try_into().ok()?),
+            body_hash: u64::from_le_bytes(b[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// An OTel-exporter-shaped front end over a Loom instance.
+///
+/// Plays the role the Loom paper's Collector integration plays: the
+/// Collector's pipelines call `export_*`; Loom sources and default
+/// indexes (span duration, metric value, log severity) are provisioned
+/// up front.
+pub struct OtelExporter {
+    loom: Loom,
+    writer: LoomWriter,
+    /// The spans source and its duration index.
+    pub spans: (SourceId, IndexId),
+    /// The metrics source and its value index.
+    pub metrics: (SourceId, IndexId),
+    /// The logs source and its severity index.
+    pub logs: (SourceId, IndexId),
+    exported: u64,
+}
+
+impl OtelExporter {
+    /// Provisions sources and indexes on `loom`.
+    pub fn new(loom: Loom, writer: LoomWriter) -> loom::Result<OtelExporter> {
+        let spans_src = loom.define_source("otel.spans");
+        let spans_idx = loom.define_index(
+            spans_src,
+            loom::extract::u64_le_at(wire::SPAN_DURATION_OFFSET),
+            HistogramSpec::exponential(1_000.0, 4.0, 12)?,
+        )?;
+        let metrics_src = loom.define_source("otel.metrics");
+        let metrics_idx = loom.define_index(
+            metrics_src,
+            loom::extract::f64_le_at(wire::METRIC_VALUE_OFFSET),
+            HistogramSpec::exponential(1e-3, 10.0, 12)?,
+        )?;
+        let logs_src = loom.define_source("otel.logs");
+        let logs_idx = loom.define_index(
+            logs_src,
+            loom::extract::u32_le_at(wire::LOG_SEVERITY_OFFSET),
+            // One bin per severity band: TRACE/DEBUG/INFO/WARN/ERROR/FATAL.
+            HistogramSpec::from_bounds(vec![1.0, 5.0, 9.0, 13.0, 17.0, 21.0, 25.0])?,
+        )?;
+        Ok(OtelExporter {
+            loom,
+            writer,
+            spans: (spans_src, spans_idx),
+            metrics: (metrics_src, metrics_idx),
+            logs: (logs_src, logs_idx),
+            exported: 0,
+        })
+    }
+
+    /// The underlying Loom handle (for queries).
+    pub fn loom(&self) -> &Loom {
+        &self.loom
+    }
+
+    /// Records exported so far.
+    pub fn exported(&self) -> u64 {
+        self.exported
+    }
+
+    /// Exports a batch of spans.
+    pub fn export_spans(&mut self, spans: &[Span]) -> loom::Result<()> {
+        for span in spans {
+            self.writer.push(self.spans.0, &span.encode())?;
+            self.exported += 1;
+        }
+        Ok(())
+    }
+
+    /// Exports a batch of metric data points.
+    pub fn export_metrics(&mut self, points: &[MetricPoint]) -> loom::Result<()> {
+        for point in points {
+            self.writer.push(self.metrics.0, &point.encode())?;
+            self.exported += 1;
+        }
+        Ok(())
+    }
+
+    /// Exports a batch of log records.
+    pub fn export_logs(&mut self, logs: &[LogRecord]) -> loom::Result<()> {
+        for log in logs {
+            self.writer.push(self.logs.0, &log.encode())?;
+            self.exported += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes Loom's staged tail (exporter shutdown path).
+    pub fn shutdown(mut self) -> loom::Result<Loom> {
+        self.writer.sync()?;
+        Ok(self.loom)
+    }
+}
+
+/// Interns strings to stable u32 codes (op names, metric names).
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: std::collections::HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its stable code.
+    pub fn code(&mut self, name: &str) -> u32 {
+        if let Some(c) = self.map.get(name) {
+            return *c;
+        }
+        let c = self.names.len() as u32;
+        self.map.insert(name.to_string(), c);
+        self.names.push(name.to_string());
+        c
+    }
+
+    /// Resolves a code back to its name.
+    pub fn name(&self, code: u32) -> Option<&str> {
+        self.names.get(code as usize).map(String::as_str)
+    }
+}
+
+/// Arc alias used by collector pipelines sharing one exporter.
+pub type SharedExporter = Arc<parking_lot::Mutex<OtelExporter>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom::{Aggregate, Clock, Config, TimeRange, ValueRange};
+
+    fn exporter(name: &str) -> (OtelExporter, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("otel-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (l, w) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+        (OtelExporter::new(l, w).unwrap(), dir)
+    }
+
+    #[test]
+    fn wire_formats_round_trip() {
+        let s = Span {
+            trace_id: 0xAAAA,
+            span_id: 0xBBBB,
+            start_ns: 1_000,
+            end_ns: 5_500,
+            op_code: 3,
+            status: 2,
+        };
+        assert_eq!(Span::decode(&s.encode()), Some(s));
+        let m = MetricPoint {
+            metric_code: 9,
+            ts: 77,
+            value: 0.25,
+        };
+        assert_eq!(MetricPoint::decode(&m.encode()), Some(m));
+        let l = LogRecord {
+            ts: 5,
+            severity: 17,
+            body_hash: 0xFEED,
+        };
+        assert_eq!(LogRecord::decode(&l.encode()), Some(l));
+        assert_eq!(Span::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn exported_spans_are_queryable_by_duration() {
+        let (mut ex, dir) = exporter("spans");
+        let mut spans = Vec::new();
+        for i in 0..2_000u64 {
+            ex.loom().clock().advance(500);
+            spans.push(Span {
+                trace_id: i,
+                span_id: i,
+                start_ns: i * 500,
+                end_ns: i * 500 + if i == 777 { 80_000_000 } else { 20_000 },
+                op_code: (i % 4) as u32,
+                status: 0,
+            });
+        }
+        for chunk in spans.chunks(100) {
+            ex.export_spans(chunk).unwrap();
+        }
+        let loom = ex.loom().clone();
+        let (src, idx) = ex.spans;
+        // The one slow span is findable by duration.
+        let mut slow = Vec::new();
+        loom.indexed_scan(
+            src,
+            idx,
+            TimeRange::new(0, u64::MAX),
+            ValueRange::at_least(1_000_000.0),
+            |r| slow.push(Span::decode(r.payload).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].trace_id, 777);
+        drop(ex);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_severity_bands_support_error_counts() {
+        let (mut ex, dir) = exporter("logs");
+        let mut logs = Vec::new();
+        for i in 0..1_000u64 {
+            ex.loom().clock().advance(100);
+            logs.push(LogRecord {
+                ts: i * 100,
+                severity: if i % 50 == 0 { 17 } else { 9 }, // ERROR vs INFO
+                body_hash: i,
+            });
+        }
+        ex.export_logs(&logs).unwrap();
+        let loom = ex.loom().clone();
+        let (src, idx) = ex.logs;
+        let mut errors = 0u64;
+        loom.indexed_scan(
+            src,
+            idx,
+            TimeRange::new(0, u64::MAX),
+            ValueRange::new(17.0, 24.0),
+            |_| errors += 1,
+        )
+        .unwrap();
+        assert_eq!(errors, 20);
+        let total = loom
+            .indexed_aggregate(src, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+            .unwrap();
+        assert_eq!(total.value, Some(1_000.0));
+        drop(ex);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metric_points_aggregate() {
+        let (mut ex, dir) = exporter("metrics");
+        let points: Vec<MetricPoint> = (0..500)
+            .map(|i| {
+                ex.loom().clock().advance(1_000);
+                MetricPoint {
+                    metric_code: 1,
+                    ts: i * 1_000,
+                    value: (i % 100) as f64,
+                }
+            })
+            .collect();
+        ex.export_metrics(&points).unwrap();
+        let loom = ex.loom().clone();
+        let (src, idx) = ex.metrics;
+        let max = loom
+            .indexed_aggregate(src, idx, TimeRange::new(0, u64::MAX), Aggregate::Max)
+            .unwrap();
+        assert_eq!(max.value, Some(99.0));
+        assert_eq!(ex.exported(), 500);
+        drop(ex);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interner_is_stable() {
+        let mut i = Interner::new();
+        let a = i.code("GET /users");
+        let b = i.code("POST /users");
+        assert_eq!(i.code("GET /users"), a);
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), Some("GET /users"));
+        assert_eq!(i.name(999), None);
+    }
+}

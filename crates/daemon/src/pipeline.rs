@@ -1,0 +1,220 @@
+//! The monitoring-daemon pipeline (§3, Figure 4).
+//!
+//! HFT sources (application instrumentation, kernel probes, packet
+//! capture) send events to the daemon, which drains them into a capture
+//! backend through the [`TelemetrySink`] interface. The pipeline runs
+//! the sink on a dedicated collector thread so that source threads (and
+//! the monitored application) only pay the cost of a channel send —
+//! exactly how a production monitoring daemon decouples collection from
+//! storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+
+use telemetry::{SourceKind, TelemetrySink};
+
+/// Internal channel message: an event or the shutdown sentinel.
+enum Msg {
+    Event(DaemonEvent),
+    Shutdown,
+}
+
+/// One event in flight through the daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonEvent {
+    /// Which source produced the event.
+    pub kind: SourceKind,
+    /// Arrival timestamp (ns).
+    pub ts: u64,
+    /// Encoded record bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Pipeline statistics.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Events submitted by sources.
+    pub submitted: AtomicU64,
+    /// Events dropped because the daemon queue was full
+    /// (non-blocking submissions only).
+    pub queue_dropped: AtomicU64,
+    /// Events the sink accepted.
+    pub stored: AtomicU64,
+    /// Events the sink dropped.
+    pub sink_dropped: AtomicU64,
+}
+
+/// A handle for submitting events to a running daemon.
+#[derive(Clone)]
+pub struct DaemonHandle {
+    tx: Sender<Msg>,
+    stats: Arc<DaemonStats>,
+}
+
+impl DaemonHandle {
+    /// Submits an event, blocking if the daemon queue is full
+    /// (backpressure; drops are then the *backend's* decision).
+    pub fn push(&self, kind: SourceKind, ts: u64, bytes: &[u8]) {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let _ = self.tx.send(Msg::Event(DaemonEvent {
+            kind,
+            ts,
+            bytes: bytes.to_vec(),
+        }));
+    }
+
+    /// Submits an event without blocking; a full queue drops it (used
+    /// when the source itself must never stall, e.g. probe-effect runs).
+    pub fn try_push(&self, kind: SourceKind, ts: u64, bytes: &[u8]) -> bool {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(Msg::Event(DaemonEvent {
+            kind,
+            ts,
+            bytes: bytes.to_vec(),
+        })) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.stats.queue_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Shared statistics.
+    pub fn stats(&self) -> &Arc<DaemonStats> {
+        &self.stats
+    }
+}
+
+/// A running monitoring daemon.
+pub struct Daemon<S: TelemetrySink + Send + 'static> {
+    handle: DaemonHandle,
+    collector: Option<JoinHandle<S>>,
+}
+
+impl<S: TelemetrySink + Send + 'static> Daemon<S> {
+    /// Spawns the collector thread draining into `sink`.
+    ///
+    /// `queue_capacity` bounds daemon memory; the default of a few tens
+    /// of thousands of events keeps the footprint small while absorbing
+    /// source burstiness.
+    pub fn spawn(mut sink: S, queue_capacity: usize) -> std::io::Result<Daemon<S>> {
+        let (tx, rx) = bounded::<Msg>(queue_capacity);
+        let stats = Arc::new(DaemonStats::default());
+        let thread_stats = Arc::clone(&stats);
+        let collector = std::thread::Builder::new()
+            .name("monitoring-daemon".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    let event = match msg {
+                        Msg::Event(e) => e,
+                        Msg::Shutdown => break,
+                    };
+                    if sink.push(event.kind, event.ts, &event.bytes) {
+                        thread_stats.stored.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        thread_stats.sink_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                sink.flush();
+                sink
+            })?;
+        Ok(Daemon {
+            handle: DaemonHandle { tx, stats },
+            collector: Some(collector),
+        })
+    }
+
+    /// A cloneable submission handle for source threads.
+    pub fn handle(&self) -> DaemonHandle {
+        self.handle.clone()
+    }
+
+    /// Shuts the pipeline down, flushes the sink, and returns it (so
+    /// callers can run queries against the backend).
+    ///
+    /// Events already queued are drained first. All source threads must
+    /// have stopped submitting: a blocking [`DaemonHandle::push`] after
+    /// shutdown stalls once the (now undrained) queue fills.
+    pub fn shutdown(mut self) -> S {
+        // The sentinel lands behind all queued events, so they drain.
+        let _ = self.handle.tx.send(Msg::Shutdown);
+        self.collector
+            .take()
+            .expect("collector present until shutdown")
+            .join()
+            .expect("collector panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::NullSink;
+
+    #[test]
+    fn events_flow_to_the_sink() {
+        let daemon = Daemon::spawn(NullSink::default(), 1024).unwrap();
+        let handle = daemon.handle();
+        for i in 0..500u64 {
+            handle.push(SourceKind::AppRequest, i, &i.to_le_bytes());
+        }
+        let sink = daemon.shutdown();
+        assert_eq!(sink.offered(), 500);
+        assert_eq!(handle.stats().stored.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn try_push_drops_when_queue_full() {
+        /// A sink that blocks forever so the queue must fill.
+        struct StuckSink;
+        impl TelemetrySink for StuckSink {
+            fn push(&mut self, _: SourceKind, _: u64, _: &[u8]) -> bool {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                true
+            }
+            fn offered(&self) -> u64 {
+                0
+            }
+            fn dropped(&self) -> u64 {
+                0
+            }
+        }
+        let daemon = Daemon::spawn(StuckSink, 4).unwrap();
+        let handle = daemon.handle();
+        let mut dropped = 0;
+        for i in 0..100u64 {
+            if !handle.try_push(SourceKind::Packet, i, b"x") {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "tiny queue with stuck sink must drop");
+        assert_eq!(
+            handle.stats().queue_dropped.load(Ordering::Relaxed),
+            dropped
+        );
+        drop(daemon.shutdown());
+    }
+
+    #[test]
+    fn multiple_source_threads_share_the_handle() {
+        let daemon = Daemon::spawn(NullSink::default(), 4096).unwrap();
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let handle = daemon.handle();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    handle.push(SourceKind::Syscall, t * 10_000 + i, &i.to_le_bytes());
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let sink = daemon.shutdown();
+        assert_eq!(sink.offered(), 4_000);
+    }
+}

@@ -1,0 +1,304 @@
+//! [`TelemetrySink`] adapters for every capture backend.
+//!
+//! The end-to-end experiments (Figures 11–14) push one event stream into
+//! Loom, FishStore, the TSDB, or a raw file; these adapters give all four
+//! the same interface and drop accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use telemetry::records::{LatencyRecord, PacketRecord, PageCacheRecord};
+use telemetry::{SourceKind, TelemetrySink};
+
+use loom::{Loom, LoomWriter, SourceId};
+
+/// Captures into a Loom instance.
+///
+/// Defines one Loom source per [`SourceKind`] on construction; index
+/// definitions stay with the caller (via [`LoomSink::loom`] and
+/// [`LoomSink::source_id`]) since they are experiment-specific.
+pub struct LoomSink {
+    loom: Loom,
+    writer: LoomWriter,
+    sources: HashMap<SourceKind, SourceId>,
+    offered: u64,
+    dropped: u64,
+}
+
+impl LoomSink {
+    /// Wraps a Loom instance, defining the four standard sources.
+    pub fn new(loom: Loom, writer: LoomWriter) -> LoomSink {
+        let mut sources = HashMap::new();
+        for kind in SourceKind::ALL {
+            sources.insert(kind, loom.define_source(kind.name()));
+        }
+        LoomSink {
+            loom,
+            writer,
+            sources,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The shared Loom handle (for defining indexes and querying).
+    pub fn loom(&self) -> &Loom {
+        &self.loom
+    }
+
+    /// The Loom source id assigned to `kind`.
+    pub fn source_id(&self, kind: SourceKind) -> SourceId {
+        self.sources[&kind]
+    }
+
+    /// The underlying writer (e.g., to seal the active chunk at a phase
+    /// boundary).
+    pub fn writer_mut(&mut self) -> &mut LoomWriter {
+        &mut self.writer
+    }
+}
+
+impl TelemetrySink for LoomSink {
+    fn push(&mut self, kind: SourceKind, _ts: u64, bytes: &[u8]) -> bool {
+        self.offered += 1;
+        match self.writer.push(self.sources[&kind], bytes) {
+            Ok(_) => true,
+            Err(_) => {
+                self.dropped += 1;
+                false
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.sync();
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Captures into a FishStore instance.
+pub struct FishStoreSink {
+    store: Arc<fishstore::FishStore>,
+    offered: u64,
+    dropped: u64,
+}
+
+impl FishStoreSink {
+    /// Wraps a FishStore instance.
+    pub fn new(store: Arc<fishstore::FishStore>) -> FishStoreSink {
+        FishStoreSink {
+            store,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The underlying store (for PSF registration and queries).
+    pub fn store(&self) -> &Arc<fishstore::FishStore> {
+        &self.store
+    }
+}
+
+impl TelemetrySink for FishStoreSink {
+    fn push(&mut self, kind: SourceKind, ts: u64, bytes: &[u8]) -> bool {
+        self.offered += 1;
+        match self.store.ingest_at(kind.id(), ts, bytes) {
+            Ok(_) => true,
+            Err(_) => {
+                self.dropped += 1;
+                false
+            }
+        }
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Captures into the TSDB, converting records to tagged points the way
+/// an InfluxDB line-protocol exporter would. In `idealized` mode points
+/// bypass the bounded intake queue (infinitely fast ingest, §6.1).
+pub struct TsdbSink {
+    db: Arc<tsdb::Tsdb>,
+    idealized: bool,
+    offered: u64,
+}
+
+impl TsdbSink {
+    /// Wraps a TSDB; `idealized` selects the synchronous write path.
+    pub fn new(db: Arc<tsdb::Tsdb>, idealized: bool) -> TsdbSink {
+        TsdbSink {
+            db,
+            idealized,
+            offered: 0,
+        }
+    }
+
+    /// The underlying TSDB (for queries).
+    pub fn db(&self) -> &Arc<tsdb::Tsdb> {
+        &self.db
+    }
+
+    /// Converts one captured record into a tagged point.
+    pub fn to_point(kind: SourceKind, ts: u64, bytes: &[u8]) -> Option<tsdb::Point> {
+        match kind {
+            SourceKind::AppRequest | SourceKind::Syscall => {
+                let r = LatencyRecord::decode(bytes)?;
+                Some(
+                    tsdb::Point::new(kind.name(), ts, r.latency_ns as f64)
+                        .tag("op", format!("{}", r.op)),
+                )
+            }
+            SourceKind::Packet => {
+                let p = PacketRecord::decode(bytes)?;
+                Some(
+                    tsdb::Point::new(kind.name(), ts, p.wire_len as f64)
+                        .tag("dst_port", format!("{}", p.dst_port))
+                        .with_payload(bytes.to_vec()),
+                )
+            }
+            SourceKind::PageCache => {
+                let r = PageCacheRecord::decode(bytes)?;
+                Some(tsdb::Point::new(kind.name(), ts, 1.0).tag("event", format!("{}", r.event_id)))
+            }
+        }
+    }
+}
+
+impl TelemetrySink for TsdbSink {
+    fn push(&mut self, kind: SourceKind, ts: u64, bytes: &[u8]) -> bool {
+        self.offered += 1;
+        let Some(point) = Self::to_point(kind, ts, bytes) else {
+            return false;
+        };
+        if self.idealized {
+            self.db.write_sync(&point);
+            true
+        } else {
+            self.db.try_write(point)
+        }
+    }
+
+    fn flush(&mut self) {
+        self.db.barrier();
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn dropped(&self) -> u64 {
+        self.db
+            .stats()
+            .dropped
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom::{Clock, Config};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("daemon-sinks-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn loom_sink_defines_sources_and_stores() {
+        let dir = tmp("loom");
+        let (l, w) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+        let mut sink = LoomSink::new(l, w);
+        let rec = LatencyRecord {
+            ts: 5,
+            latency_ns: 100,
+            op: 1,
+            pid: 0,
+            key_hash: 0,
+            seq: 0,
+            flags: 0,
+            cpu: 0,
+        };
+        sink.loom().clock().advance(10);
+        assert!(sink.push(SourceKind::AppRequest, 5, &rec.encode()));
+        assert_eq!(sink.offered(), 1);
+        assert_eq!(sink.dropped(), 0);
+        let src = sink.source_id(SourceKind::AppRequest);
+        let mut n = 0;
+        sink.loom()
+            .raw_scan(src, loom::TimeRange::new(0, u64::MAX), |_| n += 1)
+            .unwrap();
+        assert_eq!(n, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fishstore_sink_stores() {
+        let dir = tmp("fish");
+        let store = fishstore::FishStore::open(fishstore::FishStoreConfig::new(&dir)).unwrap();
+        let mut sink = FishStoreSink::new(store);
+        assert!(sink.push(SourceKind::Syscall, 9, b"payload"));
+        assert_eq!(sink.store().records(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tsdb_sink_converts_records_to_points() {
+        let rec = LatencyRecord {
+            ts: 5,
+            latency_ns: 777,
+            op: 45,
+            pid: 0,
+            key_hash: 0,
+            seq: 0,
+            flags: 0,
+            cpu: 0,
+        };
+        let p = TsdbSink::to_point(SourceKind::Syscall, 5, &rec.encode()).unwrap();
+        assert_eq!(p.value, 777.0);
+        assert_eq!(p.tags.get("op").map(String::as_str), Some("45"));
+        assert_eq!(p.measurement, "syscall");
+        assert!(TsdbSink::to_point(SourceKind::Syscall, 5, b"short").is_none());
+    }
+
+    #[test]
+    fn tsdb_sink_idealized_never_drops() {
+        let dir = tmp("tsdb");
+        let db = Arc::new(tsdb::Tsdb::open(tsdb::TsdbConfig::new(&dir)).unwrap());
+        let mut sink = TsdbSink::new(db, true);
+        let rec = LatencyRecord {
+            ts: 1,
+            latency_ns: 10,
+            op: 0,
+            pid: 0,
+            key_hash: 0,
+            seq: 0,
+            flags: 0,
+            cpu: 0,
+        };
+        for i in 0..100u64 {
+            assert!(sink.push(SourceKind::AppRequest, i, &rec.encode()));
+        }
+        assert_eq!(sink.dropped(), 0);
+        let count = sink
+            .db()
+            .aggregate("app_request", &[], 0, u64::MAX, tsdb::TsAggregate::Count)
+            .unwrap();
+        assert_eq!(count, Some(100.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,26 @@
+//! # FishStore-like baseline for the Loom reproduction
+//!
+//! A reimplementation of the algorithmic core of FishStore (Xie et al.,
+//! SIGMOD 2019), the ingest-optimized log store the Loom paper compares
+//! against: a concurrent shared log with FasterLog-style atomic tail
+//! reservation, plus *predicated subset functions* (PSFs) that chain
+//! records with equal property values into exact-match hash chains.
+//!
+//! Three properties matter for reproducing the paper's experiments:
+//!
+//! 1. **Multi-threaded ingest** scales with ingest threads (Figure 15) —
+//!    reservation is one fetch-add; record publication is one release
+//!    store of a commit word.
+//! 2. **Exact PSF indexes** accelerate point lookups (Figures 13, 17)
+//!    but cannot express ranges, data-dependent predicates, or
+//!    arbitrary-lookback windows.
+//! 3. **No time index**: time-window queries must scan the log backward
+//!    from the tail, so latency grows with lookback (Figures 12, 17).
+
+pub mod log;
+pub mod record;
+pub mod segment;
+pub mod store;
+
+pub use log::{LogError, Result, SharedLog};
+pub use store::{FishStore, FishStoreConfig, FsRecord, PsfFn, PsfId};

@@ -1,0 +1,383 @@
+//! The concurrent shared log (FasterLog-style).
+//!
+//! Many ingest threads reserve space with an atomic fetch-add on the
+//! active segment's tail, write their record into the reserved range, and
+//! publish it by storing the commit word. The thread whose reservation
+//! overflows the segment seals it, hands it to the background flusher, and
+//! installs a fresh segment. Sealed segments are written to the log file
+//! at their base offset (addresses equal file offsets) and their memory is
+//! dropped after eviction.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+
+use crate::record::{RecordMeta, HEADER_SIZE};
+use crate::segment::Segment;
+
+/// Errors from the shared log.
+#[derive(Debug)]
+pub enum LogError {
+    /// An I/O error from the backing file.
+    Io(std::io::Error),
+    /// The record does not fit in one segment.
+    TooLarge {
+        /// Requested on-log size.
+        size: usize,
+        /// Segment capacity.
+        max: usize,
+    },
+    /// The log has shut down.
+    ShutDown,
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "I/O error: {e}"),
+            LogError::TooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds segment capacity {max}")
+            }
+            LogError::ShutDown => write!(f, "log has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LogError>;
+
+/// Where a segment's bytes currently live.
+enum SegSlot {
+    /// Still in memory (active or awaiting flush).
+    InMemory(Arc<Segment>),
+    /// Evicted; read from the file.
+    Flushed,
+}
+
+/// The concurrent shared log.
+pub struct SharedLog {
+    file: File,
+    segment_size: usize,
+    /// Per-segment location, indexed by segment sequence number.
+    slots: RwLock<Vec<SegSlot>>,
+    /// The segment currently accepting reservations.
+    active: RwLock<Arc<Segment>>,
+    /// Bytes of the log durably in the file (contiguous prefix).
+    flushed_upto: AtomicU64,
+    flusher_tx: Sender<FlusherMsg>,
+    flusher: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
+enum FlusherMsg {
+    Seal(Arc<Segment>, u64 /* segment seq */),
+    Shutdown,
+}
+
+/// A successful reservation: where to write one record.
+pub struct Reservation {
+    /// The segment holding the reservation.
+    pub segment: Arc<Segment>,
+    /// Offset of the record within the segment.
+    pub offset: usize,
+    /// Global log address of the record.
+    pub addr: u64,
+}
+
+impl SharedLog {
+    /// Creates a log backed by `path` with the given segment size.
+    pub fn create(path: &Path, segment_size: usize) -> Result<Arc<SharedLog>> {
+        assert!(segment_size >= 64 && segment_size % 8 == 0);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let first = Arc::new(Segment::new(0, segment_size));
+        let (tx, rx) = unbounded();
+        let log = Arc::new(SharedLog {
+            file,
+            segment_size,
+            slots: RwLock::new(vec![SegSlot::InMemory(Arc::clone(&first))]),
+            active: RwLock::new(first),
+            flushed_upto: AtomicU64::new(0),
+            flusher_tx: tx,
+            flusher: parking_lot::Mutex::new(None),
+        });
+        // The flusher holds only a weak handle so dropping the last strong
+        // `Arc<SharedLog>` actually runs `Drop` (which shuts the thread
+        // down) instead of leaking a reference cycle.
+        let flusher_log = Arc::downgrade(&log);
+        let handle = std::thread::Builder::new()
+            .name("fishstore-flush".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        FlusherMsg::Seal(seg, seq) => match flusher_log.upgrade() {
+                            Some(log) => log.flush_segment(&seg, seq),
+                            None => break,
+                        },
+                        FlusherMsg::Shutdown => break,
+                    }
+                }
+            })?;
+        *log.flusher.lock() = Some(handle);
+        Ok(log)
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Total bytes appended so far (upper bound; includes in-flight
+    /// reservations).
+    pub fn tail(&self) -> u64 {
+        let active = self.active.read();
+        let reserved = active.reserved.load(Ordering::Acquire);
+        active.base() + reserved.min(active.capacity() as u64)
+    }
+
+    /// Bytes durably on storage.
+    pub fn flushed_upto(&self) -> u64 {
+        self.flushed_upto.load(Ordering::Acquire)
+    }
+
+    /// Reserves `size` bytes (8-byte aligned) for one record.
+    ///
+    /// Thread-safe; the common case is one fetch-add plus one shared-lock
+    /// read of the active segment pointer.
+    pub fn reserve(&self, size: usize) -> Result<Reservation> {
+        assert_eq!(size % 8, 0, "reservations must be 8-byte aligned");
+        if size > self.segment_size {
+            return Err(LogError::TooLarge {
+                size,
+                max: self.segment_size,
+            });
+        }
+        loop {
+            let segment = Arc::clone(&self.active.read());
+            let offset = segment.reserved.fetch_add(size as u64, Ordering::AcqRel);
+            let end = offset + size as u64;
+            if end <= segment.capacity() as u64 {
+                return Ok(Reservation {
+                    addr: segment.base() + offset,
+                    offset: offset as usize,
+                    segment,
+                });
+            }
+            if offset <= segment.capacity() as u64 {
+                // This thread's reservation is the first to overflow: it
+                // seals the segment and installs a fresh one. The dead
+                // range [offset, capacity) stays zeroed, which scanners
+                // interpret as end-of-segment.
+                segment.used.store(offset, Ordering::Release);
+                let new_base = segment.base() + segment.capacity() as u64;
+                let fresh = Arc::new(Segment::new(new_base, self.segment_size));
+                let seq = segment.base() / self.segment_size as u64;
+                {
+                    let mut slots = self.slots.write();
+                    debug_assert_eq!(slots.len() as u64, seq + 1);
+                    slots.push(SegSlot::InMemory(Arc::clone(&fresh)));
+                    *self.active.write() = fresh;
+                }
+                self.flusher_tx
+                    .send(FlusherMsg::Seal(segment, seq))
+                    .map_err(|_| LogError::ShutDown)?;
+            } else {
+                // Another thread is installing a new segment; wait for it.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Marks `size` bytes committed in `segment` (called after the commit
+    /// word is stored).
+    pub fn complete(&self, segment: &Segment, size: usize) {
+        segment.committed.fetch_add(size as u64, Ordering::AcqRel);
+    }
+
+    /// Flusher: waits for all of a sealed segment's reservations to
+    /// commit, writes it to the file, and evicts its memory.
+    fn flush_segment(&self, segment: &Arc<Segment>, seq: u64) {
+        let used = segment.used.load(Ordering::Acquire);
+        while segment.committed.load(Ordering::Acquire) < used {
+            std::thread::yield_now();
+        }
+        // Write the full capacity so file offsets stay aligned with
+        // addresses; the dead tail is zeros.
+        let mut buf = vec![0u8; segment.capacity()];
+        segment.read(0, &mut buf);
+        if self.file.write_all_at(&buf, segment.base()).is_err() {
+            // Keep the segment in memory on I/O failure; reads still work.
+            return;
+        }
+        self.flushed_upto.store(
+            segment.base() + segment.capacity() as u64,
+            Ordering::Release,
+        );
+        let mut slots = self.slots.write();
+        slots[seq as usize] = SegSlot::Flushed;
+    }
+
+    /// Returns the in-memory segment covering `seq`, if any.
+    fn segment_at(&self, seq: u64) -> Option<Arc<Segment>> {
+        let slots = self.slots.read();
+        match slots.get(seq as usize) {
+            Some(SegSlot::InMemory(seg)) => Some(Arc::clone(seg)),
+            _ => None,
+        }
+    }
+
+    /// Number of segments ever created.
+    pub fn segment_count(&self) -> u64 {
+        self.slots.read().len() as u64
+    }
+
+    /// Reads a committed record's metadata at `addr`, if one exists.
+    pub fn read_meta(&self, addr: u64) -> Result<Option<RecordMeta>> {
+        let seq = addr / self.segment_size as u64;
+        let offset = (addr % self.segment_size as u64) as usize;
+        if let Some(seg) = self.segment_at(seq) {
+            let word0 = seg.load_word(offset);
+            if word0 == 0 {
+                return Ok(None);
+            }
+            let ts = seg.load_word(offset + 8);
+            return Ok(Some(RecordMeta::from_words(word0, ts)));
+        }
+        let mut buf = [0u8; HEADER_SIZE];
+        self.file.read_exact_at(&mut buf, addr)?;
+        let word0 = u64::from_le_bytes(buf[0..8].try_into().expect("len 8"));
+        if word0 == 0 {
+            return Ok(None);
+        }
+        let ts = u64::from_le_bytes(buf[8..16].try_into().expect("len 8"));
+        Ok(Some(RecordMeta::from_words(word0, ts)))
+    }
+
+    /// Reads `dst.len()` bytes of a committed record's body starting at
+    /// `addr + rel` (which must lie inside one segment).
+    pub fn read_body(&self, addr: u64, rel: usize, dst: &mut [u8]) -> Result<()> {
+        let seq = addr / self.segment_size as u64;
+        let offset = (addr % self.segment_size as u64) as usize + rel;
+        if let Some(seg) = self.segment_at(seq) {
+            seg.read(offset, dst);
+            return Ok(());
+        }
+        self.file.read_exact_at(dst, addr + rel as u64)?;
+        Ok(())
+    }
+
+    /// Reads an 8-byte chain-pointer word of a committed record.
+    pub fn read_word(&self, addr: u64, rel: usize) -> Result<u64> {
+        let seq = addr / self.segment_size as u64;
+        let offset = (addr % self.segment_size as u64) as usize + rel;
+        if let Some(seg) = self.segment_at(seq) {
+            return Ok(seg.load_word(offset));
+        }
+        let mut buf = [0u8; 8];
+        self.file.read_exact_at(&mut buf, addr + rel as u64)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Scans segment `seq` forward, invoking `f(addr, meta)` for each
+    /// committed record, stopping at the first uncommitted slot.
+    ///
+    /// Returns `false` if `f` requested an early stop.
+    pub fn scan_segment<F>(&self, seq: u64, f: &mut F) -> Result<bool>
+    where
+        F: FnMut(u64, &RecordMeta) -> bool,
+    {
+        let base = seq * self.segment_size as u64;
+        let in_mem = self.segment_at(seq);
+        let mut file_buf = None;
+        if in_mem.is_none() {
+            let mut buf = vec![0u8; self.segment_size];
+            self.file.read_exact_at(&mut buf, base)?;
+            file_buf = Some(buf);
+        }
+        let mut offset = 0usize;
+        while offset + HEADER_SIZE <= self.segment_size {
+            let (word0, ts) = match (&in_mem, &file_buf) {
+                (Some(seg), _) => (seg.load_word(offset), seg.load_word(offset + 8)),
+                (None, Some(buf)) => (
+                    u64::from_le_bytes(buf[offset..offset + 8].try_into().expect("len 8")),
+                    u64::from_le_bytes(buf[offset + 8..offset + 16].try_into().expect("len 8")),
+                ),
+                (None, None) => unreachable!("segment is in memory or in the file"),
+            };
+            if word0 == 0 {
+                break;
+            }
+            let meta = RecordMeta::from_words(word0, ts);
+            if !f(base + offset as u64, &meta) {
+                return Ok(false);
+            }
+            offset += meta.total_len as usize;
+        }
+        Ok(true)
+    }
+
+    /// Scans all segments forward (oldest first).
+    pub fn scan<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(u64, &RecordMeta) -> bool,
+    {
+        let n = self.segment_count();
+        for seq in 0..n {
+            if !self.scan_segment(seq, &mut f)? {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans segments newest-first (within a segment, records come in log
+    /// order). Used for time-window queries, which must walk back from the
+    /// tail because the log has no time index.
+    pub fn scan_reverse<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(u64, &RecordMeta) -> bool,
+    {
+        let n = self.segment_count();
+        for seq in (0..n).rev() {
+            if !self.scan_segment(seq, &mut f)? {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SharedLog {
+    fn drop(&mut self) {
+        let _ = self.flusher_tx.send(FlusherMsg::Shutdown);
+        if let Some(h) = self.flusher.lock().take() {
+            // The flusher transiently upgrades its weak handle and may
+            // therefore run this drop on its own thread; joining
+            // ourselves would deadlock, and the flusher exits right
+            // after, so detach in that case.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}

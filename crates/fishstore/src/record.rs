@@ -1,0 +1,117 @@
+//! On-log record format of the FishStore-like baseline.
+//!
+//! ```text
+//! word 0 (commit word): total_len:u32 | psf_count:u16 | source:u16
+//! word 1:               arrival timestamp (ns)
+//! psf entries (24 B each):
+//!   psf_id:u32 | _pad:u32
+//!   property value:u64
+//!   prev record address in this (psf, value) chain : u64   (atomic slot)
+//! payload length : u32, payload bytes, padding to 8-byte alignment
+//! ```
+//!
+//! The commit word is written last with release ordering; a zero commit
+//! word means "nothing committed here" (segments are zero-initialized).
+
+/// Size of the fixed header (commit word + timestamp).
+pub const HEADER_SIZE: usize = 16;
+
+/// Size of one PSF chain entry.
+pub const PSF_ENTRY_SIZE: usize = 24;
+
+/// Sentinel "no previous record" chain pointer.
+pub const NIL_ADDR: u64 = u64::MAX;
+
+/// Maximum PSF entries per record.
+pub const MAX_PSFS: usize = 16;
+
+/// Decoded record header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Total on-log size (header + PSF entries + padded payload).
+    pub total_len: u32,
+    /// Number of PSF entries.
+    pub psf_count: u16,
+    /// Source tag.
+    pub source: u16,
+    /// Arrival timestamp in nanoseconds.
+    pub ts: u64,
+}
+
+impl RecordMeta {
+    /// Packs the commit word.
+    pub fn commit_word(&self) -> u64 {
+        (self.total_len as u64) | ((self.psf_count as u64) << 32) | ((self.source as u64) << 48)
+    }
+
+    /// Unpacks a commit word (which must be non-zero) plus the timestamp.
+    pub fn from_words(word0: u64, ts: u64) -> RecordMeta {
+        RecordMeta {
+            total_len: (word0 & 0xffff_ffff) as u32,
+            psf_count: ((word0 >> 32) & 0xffff) as u16,
+            source: ((word0 >> 48) & 0xffff) as u16,
+            ts,
+        }
+    }
+
+    /// Byte offset of PSF entry `i` relative to the record start.
+    pub fn psf_entry_offset(i: usize) -> usize {
+        HEADER_SIZE + i * PSF_ENTRY_SIZE
+    }
+
+    /// Byte offset of the payload relative to the record start.
+    pub fn payload_offset(&self) -> usize {
+        HEADER_SIZE + self.psf_count as usize * PSF_ENTRY_SIZE
+    }
+
+    /// Total on-log size of a record: header, PSF entries, a `u32` payload
+    /// length prefix, the payload itself, and padding to 8-byte alignment.
+    ///
+    /// The explicit length prefix is needed because `total_len` includes
+    /// the alignment padding.
+    pub fn on_log_size(psf_count: usize, payload_len: usize) -> usize {
+        let raw = HEADER_SIZE + psf_count * PSF_ENTRY_SIZE + 4 + payload_len;
+        (raw + 7) & !7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_word_round_trips() {
+        let m = RecordMeta {
+            total_len: 4096,
+            psf_count: 3,
+            source: 7,
+            ts: 999,
+        };
+        let got = RecordMeta::from_words(m.commit_word(), 999);
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn sizes_are_aligned() {
+        for psfs in 0..4 {
+            for len in 0..64 {
+                let size = RecordMeta::on_log_size(psfs, len);
+                assert_eq!(size % 8, 0);
+                assert!(size >= HEADER_SIZE + psfs * PSF_ENTRY_SIZE + 4 + len);
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_sequential() {
+        assert_eq!(RecordMeta::psf_entry_offset(0), 16);
+        assert_eq!(RecordMeta::psf_entry_offset(1), 40);
+        let m = RecordMeta {
+            total_len: 0,
+            psf_count: 2,
+            source: 0,
+            ts: 0,
+        };
+        assert_eq!(m.payload_offset(), 64);
+    }
+}

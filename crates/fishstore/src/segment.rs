@@ -1,0 +1,214 @@
+//! Log segments: fixed-size, zero-initialized, append-once buffers.
+//!
+//! Unlike Loom's recycled staging blocks, FishStore-style segments are
+//! allocated fresh for each span of the log and dropped after eviction, so
+//! no generation protocol is needed: a segment's bytes go from zero to
+//! their final value exactly once.
+//!
+//! # Synchronization
+//!
+//! Many ingest threads reserve space with a fetch-add on `reserved` and
+//! then write their record bytes into disjoint ranges. A record becomes
+//! visible when its *commit word* (the first 8 bytes of its header) is
+//! stored with release ordering; scanners read commit words with acquire
+//! ordering and treat a zero word as "not yet committed". Chain back
+//! pointers are also accessed atomically because they are published after
+//! the commit word (see `record.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size, zero-initialized log segment.
+pub struct Segment {
+    /// Raw allocation; accessed via raw pointers and per-word atomics only.
+    data: *mut u8,
+    /// Capacity in bytes (a multiple of 8).
+    capacity: usize,
+    /// Global log address of the segment's first byte.
+    base: u64,
+    /// Next free offset; grows past `capacity` when writers overflow.
+    pub reserved: AtomicU64,
+    /// Bytes fully written and committed by writers.
+    pub committed: AtomicU64,
+    /// Bytes actually used (set by the thread that seals the segment;
+    /// `u64::MAX` while the segment is still active).
+    pub used: AtomicU64,
+}
+
+// SAFETY: concurrent access to `data` follows the module-level protocol:
+// writers touch only their reserved (disjoint) ranges; readers only read
+// bytes covered by an acquire-loaded commit word or plain bytes of
+// committed records; commit words and chain pointers use atomic ops.
+unsafe impl Sync for Segment {}
+// SAFETY: the raw allocation is owned by the segment.
+unsafe impl Send for Segment {}
+
+impl Segment {
+    /// Allocates a zeroed segment of `capacity` bytes based at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` and `base` are multiples of 8 (required
+    /// for aligned atomic access to commit words).
+    pub fn new(base: u64, capacity: usize) -> Self {
+        assert_eq!(capacity % 8, 0, "segment capacity must be 8-byte aligned");
+        assert_eq!(base % 8, 0, "segment base must be 8-byte aligned");
+        let buf: Box<[u8]> = vec![0u8; capacity].into_boxed_slice();
+        Segment {
+            data: Box::into_raw(buf) as *mut u8,
+            capacity,
+            base,
+            reserved: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            used: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Global address of the first byte.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Writes plain bytes at `offset`. The caller must own the reservation
+    /// covering the range (disjointness is the safety argument).
+    pub fn write(&self, offset: usize, src: &[u8]) {
+        assert!(
+            offset + src.len() <= self.capacity,
+            "segment write overflow"
+        );
+        // SAFETY: bounds checked; the caller owns this reserved range, so
+        // no other thread reads or writes it until the commit word is
+        // published (after which the bytes are immutable).
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.data.add(offset), src.len());
+        }
+    }
+
+    /// Reads plain bytes at `offset`. Only valid for ranges covered by a
+    /// previously acquire-loaded commit word.
+    pub fn read(&self, offset: usize, dst: &mut [u8]) {
+        assert!(offset + dst.len() <= self.capacity, "segment read overflow");
+        // SAFETY: bounds checked; per protocol the caller observed the
+        // record's commit word with acquire ordering, so these bytes are
+        // immutable and visible.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.data.add(offset), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Returns the aligned atomic word at `offset` (commit words, chain
+    /// back pointers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is unaligned or out of bounds.
+    pub fn word(&self, offset: usize) -> &AtomicU64 {
+        assert_eq!(offset % 8, 0, "atomic word access must be aligned");
+        assert!(offset + 8 <= self.capacity, "atomic word out of bounds");
+        // SAFETY: the pointer is valid for the segment's lifetime, aligned
+        // (checked above), and all concurrent access to this word goes
+        // through atomic operations per the module protocol.
+        unsafe { AtomicU64::from_ptr(self.data.add(offset) as *mut u64) }
+    }
+
+    /// Stores the commit word at `offset` with release ordering,
+    /// publishing the record bytes written before it.
+    pub fn commit_word(&self, offset: usize, word: u64) {
+        self.word(offset).store(word, Ordering::Release);
+    }
+
+    /// Loads the commit word at `offset` with acquire ordering; zero means
+    /// "no committed record here".
+    pub fn load_word(&self, offset: usize) -> u64 {
+        self.word(offset).load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        // SAFETY: `data` came from `Box::into_raw` in `new` and is freed
+        // exactly once here.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.data,
+                self.capacity,
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = Segment::new(0, 64);
+        s.write(8, b"hello");
+        let mut buf = [0u8; 5];
+        s.read(8, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn fresh_segment_is_zeroed() {
+        let s = Segment::new(0, 128);
+        assert_eq!(s.load_word(0), 0);
+        assert_eq!(s.load_word(120), 0);
+    }
+
+    #[test]
+    fn commit_word_round_trips() {
+        let s = Segment::new(0, 64);
+        s.commit_word(16, 0xdead_beef);
+        assert_eq!(s.load_word(16), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_word_access_panics() {
+        let s = Segment::new(0, 64);
+        s.word(4);
+    }
+
+    #[test]
+    fn concurrent_reservations_are_disjoint() {
+        let seg = Arc::new(Segment::new(0, 8 * 1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let seg = Arc::clone(&seg);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let off = seg.reserved.fetch_add(16, Ordering::Relaxed);
+                    if off + 16 > seg.capacity() as u64 {
+                        break;
+                    }
+                    seg.write(off as usize + 8, &t.to_le_bytes());
+                    seg.commit_word(off as usize, t + 1);
+                    mine.push(off);
+                }
+                mine
+            }));
+        }
+        let all: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every 16-byte slot was claimed exactly once, and contents match
+        // the claiming thread.
+        let mut seen = std::collections::HashSet::new();
+        for (t, offs) in all.iter().enumerate() {
+            for off in offs {
+                assert!(seen.insert(*off), "offset {off} double-claimed");
+                assert_eq!(seg.load_word(*off as usize), t as u64 + 1);
+                let mut buf = [0u8; 8];
+                seg.read(*off as usize + 8, &mut buf);
+                assert_eq!(u64::from_le_bytes(buf), t as u64);
+            }
+        }
+        assert_eq!(seen.len(), 8 * 1024 / 16);
+    }
+}

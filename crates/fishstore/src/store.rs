@@ -1,0 +1,353 @@
+//! The FishStore-like store: ingest with predicated subset functions.
+//!
+//! A *predicated subset function* (PSF) maps each record to an optional
+//! property value; records mapping to the same `(psf, value)` pair are
+//! linked into a hash chain of back pointers, so an exact-match query
+//! retrieves exactly the matching records without scanning (§2.3 of the
+//! Loom paper, and Xie et al., SIGMOD 2019).
+//!
+//! PSFs are *exact*: they excel at point lookups but cannot express value
+//! ranges over unanticipated thresholds, data-dependent predicates (e.g.
+//! "above the 99.99th percentile"), or arbitrary-lookback time windows —
+//! the flexibility gap that Loom's sparse histogram indexes close.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use crate::log::{LogError, Result, SharedLog};
+use crate::record::{RecordMeta, MAX_PSFS, NIL_ADDR};
+
+/// Identifier of a registered PSF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PsfId(pub u32);
+
+/// A predicated subset function: maps (source, payload) to an optional
+/// property value. Records with the same value are chained.
+pub type PsfFn = Arc<dyn Fn(u16, &[u8]) -> Option<u64> + Send + Sync>;
+
+struct PsfDef {
+    id: PsfId,
+    func: PsfFn,
+}
+
+/// Configuration for a [`FishStore`].
+#[derive(Debug, Clone)]
+pub struct FishStoreConfig {
+    /// Directory for the log file.
+    pub dir: std::path::PathBuf,
+    /// Segment size in bytes.
+    pub segment_size: usize,
+}
+
+impl FishStoreConfig {
+    /// Creates a configuration rooted at `dir` with a 1 MiB segment size.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        FishStoreConfig {
+            dir: dir.into(),
+            segment_size: 1024 * 1024,
+        }
+    }
+
+    /// Overrides the segment size.
+    pub fn with_segment_size(mut self, bytes: usize) -> Self {
+        self.segment_size = bytes;
+        self
+    }
+}
+
+/// A record delivered by FishStore scans.
+#[derive(Debug, Clone, Copy)]
+pub struct FsRecord<'a> {
+    /// Log address.
+    pub addr: u64,
+    /// Source tag.
+    pub source: u16,
+    /// Arrival timestamp (ns).
+    pub ts: u64,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// The FishStore-like ingest/query engine.
+pub struct FishStore {
+    log: Arc<SharedLog>,
+    psfs: RwLock<Vec<PsfDef>>,
+    /// Chain heads per (psf, value).
+    directory: RwLock<HashMap<(u32, u64), Arc<AtomicU64>>>,
+    epoch: Instant,
+    records: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl FishStore {
+    /// Opens a store rooted at `config.dir`.
+    pub fn open(config: FishStoreConfig) -> Result<Arc<FishStore>> {
+        let log = SharedLog::create(&config.dir.join("fishstore.log"), config.segment_size)?;
+        Ok(Arc::new(FishStore {
+            log,
+            psfs: RwLock::new(Vec::new()),
+            directory: RwLock::new(HashMap::new()),
+            epoch: Instant::now(),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }))
+    }
+
+    /// Registers a PSF; it applies to records ingested afterwards.
+    pub fn register_psf(&self, func: PsfFn) -> PsfId {
+        let mut psfs = self.psfs.write();
+        let id = PsfId(psfs.len() as u32);
+        psfs.push(PsfDef { id, func });
+        id
+    }
+
+    /// Number of registered PSFs.
+    pub fn psf_count(&self) -> usize {
+        self.psfs.read().len()
+    }
+
+    /// Current time on the store's internal timeline (ns).
+    pub fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Total records ingested.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes ingested.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// The underlying shared log (for benchmarks and drill-downs).
+    pub fn log(&self) -> &Arc<SharedLog> {
+        &self.log
+    }
+
+    /// Ingests one record. Thread-safe: any number of ingest threads may
+    /// call this concurrently (FishStore scales with ingest threads).
+    pub fn ingest(&self, source: u16, payload: &[u8]) -> Result<u64> {
+        self.ingest_at(source, self.now(), payload)
+    }
+
+    /// Ingests one record with an explicit timestamp (deterministic
+    /// benchmarks and replay).
+    pub fn ingest_at(&self, source: u16, ts: u64, payload: &[u8]) -> Result<u64> {
+        // Evaluate PSFs up front (their cost is part of the write path —
+        // this is exactly the probe-effect driver measured in Figure 14).
+        let mut matches: [(u32, u64); MAX_PSFS] = [(0, 0); MAX_PSFS];
+        let mut n_matches = 0usize;
+        {
+            let psfs = self.psfs.read();
+            for def in psfs.iter() {
+                if n_matches == MAX_PSFS {
+                    break;
+                }
+                if let Some(value) = (def.func)(source, payload) {
+                    matches[n_matches] = (def.id.0, value);
+                    n_matches += 1;
+                }
+            }
+        }
+
+        let size = RecordMeta::on_log_size(n_matches, payload.len());
+        let res = self.log.reserve(size)?;
+        let meta = RecordMeta {
+            total_len: size as u32,
+            psf_count: n_matches as u16,
+            source,
+            ts,
+        };
+
+        // Body first: timestamp, PSF ids/values, payload; commit word last.
+        res.segment.write(res.offset + 8, &ts.to_le_bytes());
+        for (i, (psf_id, value)) in matches[..n_matches].iter().enumerate() {
+            let e = res.offset + RecordMeta::psf_entry_offset(i);
+            res.segment.write(e, &psf_id.to_le_bytes());
+            res.segment.write(e + 8, &value.to_le_bytes());
+            // The prev slot is installed below via the chain CAS; write the
+            // nil sentinel so a torn chain is detectable.
+            res.segment.write(e + 16, &NIL_ADDR.to_le_bytes());
+        }
+        let p = res.offset + meta.payload_offset();
+        res.segment.write(p, &(payload.len() as u32).to_le_bytes());
+        res.segment.write(p + 4, payload);
+        res.segment.commit_word(res.offset, meta.commit_word());
+
+        // Link into each (psf, value) chain. The prev slot is written
+        // before the successful head CAS publishes this record into the
+        // chain, so chain walkers always observe a final pointer.
+        for (i, (psf_id, value)) in matches[..n_matches].iter().enumerate() {
+            let head = self.chain_head(*psf_id, *value);
+            let prev_slot = res
+                .segment
+                .word(res.offset + RecordMeta::psf_entry_offset(i) + 16);
+            let mut old = head.load(Ordering::Acquire);
+            loop {
+                prev_slot.store(old, Ordering::Relaxed);
+                match head.compare_exchange_weak(old, res.addr, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => break,
+                    Err(actual) => old = actual,
+                }
+            }
+        }
+
+        self.log.complete(&res.segment, size);
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        Ok(res.addr)
+    }
+
+    /// Returns (creating if needed) the chain head for `(psf, value)`.
+    fn chain_head(&self, psf: u32, value: u64) -> Arc<AtomicU64> {
+        if let Some(head) = self.directory.read().get(&(psf, value)) {
+            return Arc::clone(head);
+        }
+        let mut dir = self.directory.write();
+        Arc::clone(
+            dir.entry((psf, value))
+                .or_insert_with(|| Arc::new(AtomicU64::new(NIL_ADDR))),
+        )
+    }
+
+    /// Reads a committed record and passes it to `f`.
+    fn with_record<R>(
+        &self,
+        addr: u64,
+        meta: &RecordMeta,
+        buf: &mut Vec<u8>,
+        f: &mut impl FnMut(FsRecord<'_>) -> R,
+    ) -> Result<R> {
+        let p = meta.payload_offset();
+        let mut len_buf = [0u8; 4];
+        self.log.read_body(addr, p, &mut len_buf)?;
+        let payload_len = u32::from_le_bytes(len_buf) as usize;
+        buf.resize(payload_len, 0);
+        self.log.read_body(addr, p + 4, buf)?;
+        Ok(f(FsRecord {
+            addr,
+            source: meta.source,
+            ts: meta.ts,
+            payload: buf,
+        }))
+    }
+
+    /// Full scan over the entire log, oldest record first.
+    pub fn full_scan<F>(&self, mut f: F) -> Result<u64>
+    where
+        F: FnMut(FsRecord<'_>),
+    {
+        let mut buf = Vec::new();
+        let mut scanned = 0u64;
+        let mut err = None;
+        self.log.scan(|addr, meta| {
+            scanned += 1;
+            if let Err(e) = self.with_record(addr, meta, &mut buf, &mut |r| f(r)) {
+                err = Some(e);
+                return false;
+            }
+            true
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(scanned),
+        }
+    }
+
+    /// Time-window scan: FishStore has no time index, so this walks the
+    /// log backward from the tail (newest segment first, records in log
+    /// order within each segment) until an entire segment lies before the
+    /// window start, scanning everything newer than the window along the
+    /// way. Cost therefore grows with lookback distance (§6.4, Figure 17).
+    pub fn time_window_scan<F>(&self, t_start: u64, t_end: u64, mut f: F) -> Result<u64>
+    where
+        F: FnMut(FsRecord<'_>),
+    {
+        let mut buf = Vec::new();
+        let mut scanned = 0u64;
+        for seq in (0..self.log.segment_count()).rev() {
+            let mut seg_max_ts = 0u64;
+            let mut seg_records = 0u64;
+            let mut err = None;
+            self.log.scan_segment(seq, &mut |addr, meta| {
+                scanned += 1;
+                seg_records += 1;
+                seg_max_ts = seg_max_ts.max(meta.ts);
+                if meta.ts >= t_start && meta.ts <= t_end {
+                    if let Err(e) = self.with_record(addr, meta, &mut buf, &mut |r| f(r)) {
+                        err = Some(e);
+                        return false;
+                    }
+                }
+                true
+            })?;
+            if let Some(e) = err {
+                return Err(e);
+            }
+            if seg_records > 0 && seg_max_ts < t_start {
+                break; // every older segment is entirely before the window
+            }
+        }
+        Ok(scanned)
+    }
+
+    /// Exact-match PSF scan: walks the `(psf, value)` chain newest-first,
+    /// optionally bounded by a time window.
+    pub fn psf_scan<F>(
+        &self,
+        psf: PsfId,
+        value: u64,
+        window: Option<(u64, u64)>,
+        mut f: F,
+    ) -> Result<u64>
+    where
+        F: FnMut(FsRecord<'_>),
+    {
+        let Some(head) = self.directory.read().get(&(psf.0, value)).cloned() else {
+            return Ok(0);
+        };
+        let mut addr = head.load(Ordering::Acquire);
+        let mut buf = Vec::new();
+        let mut scanned = 0u64;
+        while addr != NIL_ADDR {
+            let meta = match self.log.read_meta(addr)? {
+                Some(m) => m,
+                None => break, // racing with an in-flight ingest
+            };
+            scanned += 1;
+            let in_window = window.is_none_or(|(s, e)| meta.ts >= s && meta.ts <= e);
+            if window.is_some_and(|(s, _)| meta.ts < s) {
+                break; // chains are newest-first; the rest is older
+            }
+            if in_window {
+                self.with_record(addr, &meta, &mut buf, &mut |r| f(r))?;
+            }
+            // Find this record's prev pointer for the queried PSF.
+            let mut next = NIL_ADDR;
+            for i in 0..meta.psf_count as usize {
+                let e = RecordMeta::psf_entry_offset(i);
+                let mut id_buf = [0u8; 4];
+                self.log.read_body(addr, e, &mut id_buf)?;
+                let mut val_buf = [0u8; 8];
+                self.log.read_body(addr, e + 8, &mut val_buf)?;
+                if u32::from_le_bytes(id_buf) == psf.0 && u64::from_le_bytes(val_buf) == value {
+                    next = self.log.read_word(addr, e + 16)?;
+                    break;
+                }
+            }
+            addr = next;
+        }
+        Ok(scanned)
+    }
+}
+
+/// Re-exported error type.
+pub type FishStoreError = LogError;

@@ -1,0 +1,105 @@
+//! Property-based tests: FishStore scans and PSF chains must agree with
+//! reference models for arbitrary ingest interleavings.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use fishstore::{FishStore, FishStoreConfig};
+
+fn unique_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "fishstore-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full scans reproduce every ingested record in order, PSF chains
+    /// return exactly the matching subsets (newest first), and
+    /// time-window scans equal filtered full scans — for arbitrary
+    /// payload sizes and source mixes, across segment boundaries.
+    #[test]
+    fn scans_match_reference_model(
+        records in proptest::collection::vec(
+            (1u16..4, proptest::collection::vec(any::<u8>(), 0..100)), 1..300),
+        window in (0u64..300, 0u64..300),
+        segment_size_sel in 0usize..2,
+    ) {
+        let segment_size = [512usize, 4096][segment_size_sel];
+        let dir = unique_dir();
+        let fs = FishStore::open(
+            FishStoreConfig::new(&dir).with_segment_size(segment_size),
+        ).unwrap();
+        // PSF: source id (exact-match by source).
+        let by_source = fs.register_psf(Arc::new(|source, _: &[u8]| Some(source as u64)));
+        // PSF: first payload byte if even.
+        let even_first = fs.register_psf(Arc::new(|_s, payload: &[u8]| {
+            let b = *payload.first()?;
+            (b % 2 == 0).then_some(b as u64)
+        }));
+
+        for (i, (source, payload)) in records.iter().enumerate() {
+            fs.ingest_at(*source, i as u64, payload).unwrap();
+        }
+
+        // Full scan: exact order and contents.
+        let mut scanned = Vec::new();
+        fs.full_scan(|r| scanned.push((r.source, r.ts, r.payload.to_vec()))).unwrap();
+        prop_assert_eq!(scanned.len(), records.len());
+        for ((src, ts, payload), (i, (exp_src, exp_payload))) in
+            scanned.iter().zip(records.iter().enumerate())
+        {
+            prop_assert_eq!(*src, *exp_src);
+            prop_assert_eq!(*ts, i as u64);
+            prop_assert_eq!(payload, exp_payload);
+        }
+
+        // PSF by source: newest-first subset.
+        for source in 1u16..4 {
+            let mut got = Vec::new();
+            fs.psf_scan(by_source, source as u64, None, |r| got.push(r.ts)).unwrap();
+            let mut expected: Vec<u64> = records
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, _))| *s == source)
+                .map(|(i, _)| i as u64)
+                .collect();
+            expected.reverse();
+            prop_assert_eq!(got, expected, "source {}", source);
+        }
+
+        // PSF by first-even-byte for one probe value.
+        let mut got = Vec::new();
+        fs.psf_scan(even_first, 42, None, |r| got.push(r.ts)).unwrap();
+        let mut expected: Vec<u64> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, p))| p.first() == Some(&42))
+            .map(|(i, _)| i as u64)
+            .collect();
+        expected.reverse();
+        prop_assert_eq!(got, expected);
+
+        // Time window scan equals a filtered full scan.
+        let (a, b) = window;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut got = Vec::new();
+        fs.time_window_scan(lo, hi, |r| got.push(r.ts)).unwrap();
+        got.sort();
+        let expected: Vec<u64> = (lo..=hi.min(records.len() as u64 - 1))
+            .filter(|t| *t < records.len() as u64)
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        drop(fs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

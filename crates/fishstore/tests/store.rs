@@ -1,0 +1,275 @@
+//! End-to-end tests of the FishStore baseline: concurrent ingest, PSF
+//! chains, and scan correctness against reference models.
+
+use std::sync::Arc;
+
+use fishstore::{FishStore, FishStoreConfig, PsfId};
+
+fn open(name: &str, segment_size: usize) -> (Arc<FishStore>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("fishstore-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = FishStore::open(FishStoreConfig::new(&dir).with_segment_size(segment_size)).unwrap();
+    (fs, dir)
+}
+
+#[test]
+fn single_thread_ingest_and_full_scan() {
+    let (fs, dir) = open("basic", 4096);
+    for i in 0..500u64 {
+        fs.ingest_at(1, i * 10, &i.to_le_bytes()).unwrap();
+    }
+    let mut got = Vec::new();
+    fs.full_scan(|r| {
+        got.push((r.ts, u64::from_le_bytes(r.payload.try_into().unwrap())));
+    })
+    .unwrap();
+    let expected: Vec<_> = (0..500u64).map(|i| (i * 10, i)).collect();
+    assert_eq!(got, expected);
+    assert_eq!(fs.records(), 500);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn records_survive_segment_eviction() {
+    // Tiny segments force many seals and flushes; early records must be
+    // readable from the file.
+    let (fs, dir) = open("evict", 512);
+    for i in 0..2_000u64 {
+        fs.ingest_at(1, i, &i.to_le_bytes()).unwrap();
+    }
+    // Wait for some eviction to happen.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while fs.log().flushed_upto() == 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert!(fs.log().flushed_upto() > 0, "no segment was evicted");
+    let mut count = 0u64;
+    fs.full_scan(|r| {
+        assert_eq!(u64::from_le_bytes(r.payload.try_into().unwrap()), r.ts);
+        count += 1;
+    })
+    .unwrap();
+    assert_eq!(count, 2_000);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn psf_scan_returns_exactly_matching_records() {
+    let (fs, dir) = open("psf", 4096);
+    // PSF: the value of byte 0 when byte 0 is even.
+    let psf = fs.register_psf(Arc::new(|_source, payload: &[u8]| {
+        let b = *payload.first()?;
+        (b % 2 == 0).then_some(b as u64)
+    }));
+    for i in 0..1_000u64 {
+        fs.ingest_at(1, i, &[(i % 10) as u8, 0, 0, 0]).unwrap();
+    }
+    let mut got = Vec::new();
+    fs.psf_scan(psf, 4, None, |r| got.push(r.ts)).unwrap();
+    // Every i with i % 10 == 4, newest first.
+    let expected: Vec<u64> = (0..1_000u64).filter(|i| i % 10 == 4).rev().collect();
+    assert_eq!(got, expected);
+    // A value that never occurred.
+    let mut none = 0;
+    fs.psf_scan(psf, 3, None, |_| none += 1).unwrap();
+    assert_eq!(none, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn psf_scan_respects_time_window() {
+    let (fs, dir) = open("psf-window", 4096);
+    let psf = fs.register_psf(Arc::new(|source, _: &[u8]| Some(source as u64)));
+    for i in 0..1_000u64 {
+        fs.ingest_at(2, i, &i.to_le_bytes()).unwrap();
+    }
+    let mut got = Vec::new();
+    fs.psf_scan(psf, 2, Some((200, 300)), |r| got.push(r.ts))
+        .unwrap();
+    let expected: Vec<u64> = (200..=300).rev().collect();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn time_window_scan_matches_filtered_full_scan() {
+    let (fs, dir) = open("window", 1024);
+    for i in 0..3_000u64 {
+        fs.ingest_at((i % 3) as u16, i, &i.to_le_bytes()).unwrap();
+    }
+    let mut expected = Vec::new();
+    fs.full_scan(|r| {
+        if (1_000..=2_000).contains(&r.ts) {
+            expected.push((r.ts, r.source));
+        }
+    })
+    .unwrap();
+    let mut got = Vec::new();
+    fs.time_window_scan(1_000, 2_000, |r| got.push((r.ts, r.source)))
+        .unwrap();
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn time_window_scan_cost_grows_with_lookback() {
+    let (fs, dir) = open("lookback", 1024);
+    for i in 0..5_000u64 {
+        fs.ingest_at(1, i, &i.to_le_bytes()).unwrap();
+    }
+    let recent = fs.time_window_scan(4_800, 4_900, |_| {}).unwrap();
+    let old = fs.time_window_scan(100, 200, |_| {}).unwrap();
+    assert!(
+        old > recent * 2,
+        "old-window scan ({old}) should cost much more than recent ({recent})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_ingest_loses_nothing() {
+    let (fs, dir) = open("concurrent", 64 * 1024);
+    let psf = fs.register_psf(Arc::new(|source, _: &[u8]| Some(source as u64)));
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                let v = t * PER_THREAD + i;
+                fs.ingest_at(t as u16, v, &v.to_le_bytes()).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(fs.records(), THREADS * PER_THREAD);
+
+    // Full scan sees every record exactly once.
+    let mut seen = vec![false; (THREADS * PER_THREAD) as usize];
+    let mut total = 0u64;
+    fs.full_scan(|r| {
+        let v = u64::from_le_bytes(r.payload.try_into().unwrap());
+        assert!(!seen[v as usize], "duplicate record {v}");
+        seen[v as usize] = true;
+        total += 1;
+    })
+    .unwrap();
+    assert_eq!(total, THREADS * PER_THREAD);
+    assert!(seen.iter().all(|s| *s));
+
+    // Each source's PSF chain has exactly its own records.
+    for t in 0..THREADS {
+        let mut chain = Vec::new();
+        fs.psf_scan(psf, t, None, |r| {
+            chain.push(u64::from_le_bytes(r.payload.try_into().unwrap()));
+        })
+        .unwrap();
+        assert_eq!(chain.len() as u64, PER_THREAD, "source {t}");
+        // Newest-first within the chain equals this thread's reverse push
+        // order (a single thread pushed this source).
+        let expected: Vec<u64> = (t * PER_THREAD..(t + 1) * PER_THREAD).rev().collect();
+        assert_eq!(chain, expected);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_record_is_rejected() {
+    let (fs, dir) = open("oversize", 512);
+    assert!(fs.ingest_at(1, 0, &vec![0u8; 1024]).is_err());
+    assert!(fs.ingest_at(1, 0, &vec![0u8; 64]).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn psf_registered_late_covers_only_new_records() {
+    let (fs, dir) = open("late-psf", 4096);
+    for i in 0..100u64 {
+        fs.ingest_at(1, i, &i.to_le_bytes()).unwrap();
+    }
+    let psf = fs.register_psf(Arc::new(|_s, _: &[u8]| Some(7)));
+    for i in 100..200u64 {
+        fs.ingest_at(1, i, &i.to_le_bytes()).unwrap();
+    }
+    let mut count = 0;
+    fs.psf_scan(psf, 7, None, |_| count += 1).unwrap();
+    assert_eq!(count, 100);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn variable_payload_sizes_round_trip() {
+    let (fs, dir) = open("varsize", 2048);
+    let mut pushed = Vec::new();
+    for i in 0..300usize {
+        let len = i % 200;
+        let payload: Vec<u8> = (0..len).map(|j| ((i + j) % 251) as u8).collect();
+        fs.ingest_at(1, i as u64, &payload).unwrap();
+        pushed.push(payload);
+    }
+    let mut got = Vec::new();
+    fs.full_scan(|r| got.push(r.payload.to_vec())).unwrap();
+    assert_eq!(got, pushed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn psf_id_type_is_stable() {
+    let (fs, dir) = open("psf-ids", 4096);
+    let a = fs.register_psf(Arc::new(|_, _: &[u8]| None));
+    let b = fs.register_psf(Arc::new(|_, _: &[u8]| None));
+    assert_eq!(a, PsfId(0));
+    assert_eq!(b, PsfId(1));
+    assert_eq!(fs.psf_count(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reverse_segment_scan_visits_newest_segments_first() {
+    let (fs, dir) = open("reverse", 512);
+    for i in 0..1_000u64 {
+        fs.ingest_at(1, i, &i.to_le_bytes()).unwrap();
+    }
+    // scan_reverse yields segments newest-first (records forward within
+    // each segment): the first timestamp seen must be from the last
+    // segment, and all records must be visited exactly once.
+    let mut seen = Vec::new();
+    fs.log()
+        .scan_reverse(|_addr, meta| {
+            seen.push(meta.ts);
+            true
+        })
+        .unwrap();
+    assert_eq!(seen.len(), 1_000);
+    assert!(
+        seen[0] > 900,
+        "first visited record should be recent, got {}",
+        seen[0]
+    );
+    let mut sorted = seen.clone();
+    sorted.sort();
+    assert_eq!(sorted, (0..1_000).collect::<Vec<_>>());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn early_stop_during_scans_works() {
+    let (fs, dir) = open("early-stop", 1024);
+    for i in 0..500u64 {
+        fs.ingest_at(1, i, &i.to_le_bytes()).unwrap();
+    }
+    let mut n = 0;
+    fs.log()
+        .scan(|_addr, _meta| {
+            n += 1;
+            n < 10
+        })
+        .unwrap();
+    assert_eq!(n, 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}

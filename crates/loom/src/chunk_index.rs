@@ -1,0 +1,152 @@
+//! Read-side access to the chunk index (§4.2).
+//!
+//! The chunk index is a hybrid log of serialized, length-prefixed
+//! [`ChunkSummary`] entries, appended in chunk order when chunks seal.
+//! Because the writer publishes the chunk-index watermark only after
+//! appending a complete summary, every view of the chunk index ends at a
+//! summary boundary and can be scanned sequentially.
+
+use crate::error::Result;
+use crate::hybridlog::LogRead;
+use crate::summary::ChunkSummary;
+
+/// Sequential cursor over chunk summaries stored in a hybrid-log view.
+pub struct SummaryCursor<'a, R: LogRead> {
+    log: &'a R,
+    pos: u64,
+    scratch: Vec<u8>,
+}
+
+impl<'a, R: LogRead> SummaryCursor<'a, R> {
+    /// Creates a cursor starting at chunk-index address `start`.
+    ///
+    /// `start` must be a summary boundary (0, or an address obtained from a
+    /// chunk-seal entry in the timestamp index).
+    pub fn new(log: &'a R, start: u64) -> Self {
+        SummaryCursor {
+            log,
+            pos: start,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The address of the next summary this cursor would read.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads the next summary, advancing the cursor.
+    ///
+    /// Returns `Ok(None)` at the end of the view.
+    pub fn next(&mut self) -> Result<Option<ChunkSummary>> {
+        let limit = self.log.limit();
+        if self.pos + 4 > limit {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        self.log.read_at(self.pos, &mut len_buf)?;
+        let body_len = u32::from_le_bytes(len_buf) as u64;
+        if self.pos + 4 + body_len > limit {
+            // A summary is published atomically with its length prefix, so
+            // running past the limit means the caller's view simply ends
+            // here (e.g., a snapshot taken mid-append of the *next* batch).
+            return Ok(None);
+        }
+        self.scratch.resize(4 + body_len as usize, 0);
+        self.log.read_at(self.pos, &mut self.scratch)?;
+        let (summary, consumed) = ChunkSummary::decode(&self.scratch)?;
+        self.pos += consumed as u64;
+        Ok(Some(summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::LoomError;
+
+    struct MemLog(Vec<u8>);
+
+    impl LogRead for MemLog {
+        fn read_at(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+            let a = addr as usize;
+            if a + dst.len() > self.0.len() {
+                return Err(LoomError::AddressOutOfBounds {
+                    addr: addr + dst.len() as u64,
+                    tail: self.0.len() as u64,
+                });
+            }
+            dst.copy_from_slice(&self.0[a..a + dst.len()]);
+            Ok(())
+        }
+
+        fn limit(&self) -> u64 {
+            self.0.len() as u64
+        }
+    }
+
+    fn summaries(n: u64) -> (MemLog, Vec<ChunkSummary>) {
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let mut s = ChunkSummary::new(i, i * 4096, 4096);
+            s.observe_record(1, i * 100 + 1);
+            s.observe_record(2, i * 100 + 50);
+            s.observe_value(1, (i % 4) as u32, i as f64, i * 100 + 1);
+            s.encode(&mut buf);
+            out.push(s);
+        }
+        (MemLog(buf), out)
+    }
+
+    #[test]
+    fn cursor_walks_all_summaries() {
+        let (log, expected) = summaries(10);
+        let mut cur = SummaryCursor::new(&log, 0);
+        let mut got = Vec::new();
+        while let Some(s) = cur.next().unwrap() {
+            got.push(s);
+        }
+        assert_eq!(got, expected);
+        assert_eq!(cur.pos(), log.limit());
+    }
+
+    #[test]
+    fn cursor_starting_mid_log_reads_suffix() {
+        let (log, expected) = summaries(5);
+        // Find the address of the third summary by replaying lengths.
+        let mut pos = 0u64;
+        for _ in 0..2 {
+            let mut len_buf = [0u8; 4];
+            log.read_at(pos, &mut len_buf).unwrap();
+            pos += 4 + u32::from_le_bytes(len_buf) as u64;
+        }
+        let mut cur = SummaryCursor::new(&log, pos);
+        let mut got = Vec::new();
+        while let Some(s) = cur.next().unwrap() {
+            got.push(s);
+        }
+        assert_eq!(got, expected[2..]);
+    }
+
+    #[test]
+    fn truncated_view_stops_cleanly() {
+        let (log, expected) = summaries(3);
+        // Chop the last summary in half: cursor must stop after two.
+        let cut = log.0.len() - 10;
+        let log = MemLog(log.0[..cut].to_vec());
+        let mut cur = SummaryCursor::new(&log, 0);
+        let mut got = Vec::new();
+        while let Some(s) = cur.next().unwrap() {
+            got.push(s);
+        }
+        assert_eq!(got, expected[..2]);
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        let log = MemLog(Vec::new());
+        let mut cur = SummaryCursor::new(&log, 0);
+        assert!(cur.next().unwrap().is_none());
+    }
+}

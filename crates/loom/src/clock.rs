@@ -1,0 +1,112 @@
+//! Internal monotonic timestamps (§5.2).
+//!
+//! Loom timestamps every record with the host's monotonic clock, so
+//! timestamps represent *arrival* time and increase monotonically without
+//! requiring a sort of out-of-order external timestamps. A manually driven
+//! clock variant makes tests and deterministic workload replay possible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of monotonically non-decreasing nanosecond timestamps.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Wall-free monotonic clock: nanoseconds since the clock was created.
+    Monotonic(Arc<Instant>),
+    /// Manually advanced clock for tests and deterministic replay.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// Creates a monotonic clock whose epoch is "now".
+    pub fn monotonic() -> Self {
+        Clock::Monotonic(Arc::new(Instant::now()))
+    }
+
+    /// Creates a manual clock starting at `start` nanoseconds.
+    pub fn manual(start: u64) -> Self {
+        Clock::Manual(Arc::new(AtomicU64::new(start)))
+    }
+
+    /// Returns the current timestamp in nanoseconds.
+    pub fn now(&self) -> u64 {
+        match self {
+            Clock::Monotonic(epoch) => epoch.elapsed().as_nanos() as u64,
+            Clock::Manual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a manual clock by `delta` nanoseconds and returns the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not [`Clock::Manual`]; advancing real time is
+    /// a logic error that should fail loudly in tests.
+    pub fn advance(&self, delta: u64) -> u64 {
+        match self {
+            Clock::Manual(t) => t.fetch_add(delta, Ordering::Relaxed) + delta,
+            Clock::Monotonic(_) => panic!("cannot advance a monotonic clock"),
+        }
+    }
+
+    /// Sets a manual clock to an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not [`Clock::Manual`] or if `t` would move the
+    /// clock backwards.
+    pub fn set(&self, t: u64) {
+        match self {
+            Clock::Manual(cur) => {
+                let prev = cur.swap(t, Ordering::Relaxed);
+                assert!(prev <= t, "manual clock moved backwards: {prev} -> {t}");
+            }
+            Clock::Monotonic(_) => panic!("cannot set a monotonic clock"),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::monotonic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_nondecreasing() {
+        let c = Clock::monotonic();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = Clock::manual(100);
+        assert_eq!(c.now(), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now(), 150);
+        c.set(200);
+        assert_eq!(c.now(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_backwards_set() {
+        let c = Clock::manual(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Clock::manual(0);
+        let c2 = c.clone();
+        c.advance(7);
+        assert_eq!(c2.now(), 7);
+    }
+}

@@ -1,0 +1,166 @@
+//! Configuration for a Loom instance.
+
+use std::path::PathBuf;
+
+use crate::error::{LoomError, Result};
+use crate::record::RECORD_HEADER_SIZE;
+
+/// Configuration for a [`Loom`](crate::Loom) instance.
+///
+/// The defaults are scaled for tests and laptop-class machines; the paper's
+/// evaluation used 64 MiB blocks and 64 KiB chunks (§4.1, §3).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directory where the three hybrid logs persist their data.
+    pub dir: PathBuf,
+    /// Size in bytes of each in-memory block of the record log's hybrid log.
+    ///
+    /// Each hybrid log stages writes in two ping-pong blocks of this size
+    /// (§4.1), so the record log uses `2 * block_size` bytes of memory.
+    pub block_size: usize,
+    /// Size in bytes of each in-memory block for the chunk-index log.
+    ///
+    /// The chunk index grows far more slowly than the record log, so its
+    /// blocks can be smaller while still keeping a large fraction of the
+    /// index in memory (§4.2).
+    pub index_block_size: usize,
+    /// Size in bytes of each in-memory block for the timestamp-index log.
+    pub ts_block_size: usize,
+    /// Size in bytes of each record-log chunk, the unit of sparse indexing.
+    ///
+    /// Must divide `block_size` evenly.
+    pub chunk_size: usize,
+    /// A timestamp-index record mark is written every `ts_mark_period`
+    /// records per source (§4.2, "periodic intervals when a source pushes a
+    /// record").
+    pub ts_mark_period: u64,
+    /// Remove the log files when the instance is dropped.
+    pub remove_on_drop: bool,
+}
+
+impl Config {
+    /// Creates a configuration with paper-like defaults rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Config {
+            dir: dir.into(),
+            block_size: 8 * 1024 * 1024,
+            index_block_size: 1024 * 1024,
+            ts_block_size: 256 * 1024,
+            chunk_size: 64 * 1024,
+            ts_mark_period: 1024,
+            remove_on_drop: false,
+        }
+    }
+
+    /// Creates a small-footprint configuration suitable for unit tests.
+    pub fn small(dir: impl Into<PathBuf>) -> Self {
+        Config {
+            dir: dir.into(),
+            block_size: 64 * 1024,
+            index_block_size: 16 * 1024,
+            ts_block_size: 8 * 1024,
+            chunk_size: 4 * 1024,
+            ts_mark_period: 16,
+            remove_on_drop: true,
+        }
+    }
+
+    /// Sets the record-log block size.
+    pub fn with_block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Sets the chunk size.
+    pub fn with_chunk_size(mut self, bytes: usize) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Sets the timestamp-mark period.
+    pub fn with_ts_mark_period(mut self, period: u64) -> Self {
+        self.ts_mark_period = period;
+        self
+    }
+
+    /// The largest payload that fits in a chunk alongside its header.
+    pub fn max_record_payload(&self) -> usize {
+        self.chunk_size - RECORD_HEADER_SIZE
+    }
+
+    /// Validates internal consistency of the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.chunk_size < 2 * RECORD_HEADER_SIZE {
+            return Err(LoomError::InvalidConfig(format!(
+                "chunk_size {} is too small (minimum {})",
+                self.chunk_size,
+                2 * RECORD_HEADER_SIZE
+            )));
+        }
+        if self.block_size % self.chunk_size != 0 {
+            return Err(LoomError::InvalidConfig(format!(
+                "chunk_size {} must divide block_size {}",
+                self.chunk_size, self.block_size
+            )));
+        }
+        if self.chunk_size % 8 != 0 || self.block_size % 8 != 0 {
+            return Err(LoomError::InvalidConfig(
+                "block_size and chunk_size must be multiples of 8".into(),
+            ));
+        }
+        if self.index_block_size == 0 || self.ts_block_size == 0 {
+            return Err(LoomError::InvalidConfig(
+                "index block sizes must be non-zero".into(),
+            ));
+        }
+        if self.ts_block_size % 32 != 0 {
+            return Err(LoomError::InvalidConfig(
+                "ts_block_size must be a multiple of the 32-byte timestamp entry".into(),
+            ));
+        }
+        if self.ts_mark_period == 0 {
+            return Err(LoomError::InvalidConfig(
+                "ts_mark_period must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(Config::new("/tmp/x").validate().is_ok());
+        assert!(Config::small("/tmp/x").validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_chunk_not_dividing_block() {
+        let mut c = Config::small("/tmp/x");
+        c.chunk_size = 1000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_chunk() {
+        let mut c = Config::small("/tmp/x");
+        c.chunk_size = 8;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_mark_period() {
+        let mut c = Config::small("/tmp/x");
+        c.ts_mark_period = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn max_payload_accounts_for_header() {
+        let c = Config::small("/tmp/x");
+        assert_eq!(c.max_record_payload(), c.chunk_size - RECORD_HEADER_SIZE);
+    }
+}

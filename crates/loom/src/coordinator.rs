@@ -1,0 +1,351 @@
+//! Distributed aggregation over multiple Loom instances (§8).
+//!
+//! Loom runs per host, but correlated events span hosts. The paper
+//! sketches a coordinator that contacts the Loom instances on relevant
+//! hosts, has each compute an intermediate result on-host, and merges
+//! the intermediates. This module implements that sketch for in-process
+//! instances (the building block a networked deployment would wrap in
+//! RPC):
+//!
+//! * **Distributive aggregates** (count/sum/min/max/mean) merge node
+//!   partials directly.
+//! * **Holistic percentiles** use a distributed version of the
+//!   bins-as-CDF strategy: merge per-node bin counts, locate the global
+//!   target bin, then fetch only that bin's values from each node.
+//!
+//! All nodes must use the *same histogram specification* for the queried
+//! index; the coordinator validates this.
+
+use crate::engine::Loom;
+use crate::error::{LoomError, Result};
+use crate::histogram::HistogramSpec;
+use crate::query::{Aggregate, TimeRange, ValueRange};
+use crate::registry::{IndexId, SourceId};
+use crate::stats::QueryStats;
+
+/// One participating Loom instance and the (source, index) to query.
+pub struct Node {
+    /// Node label (diagnostics).
+    pub name: String,
+    /// The node's Loom handle.
+    pub loom: Loom,
+    /// Source on that node.
+    pub source: SourceId,
+    /// Index on that node (must share the histogram spec).
+    pub index: IndexId,
+}
+
+/// Result of a distributed aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedResult {
+    /// The merged aggregate value, `None` if no node had data.
+    pub value: Option<f64>,
+    /// Total contributing values across nodes.
+    pub count: u64,
+    /// Merged execution statistics across nodes.
+    pub stats: QueryStats,
+}
+
+/// A coordinator over a set of Loom nodes.
+pub struct Coordinator {
+    nodes: Vec<Node>,
+    spec: HistogramSpec,
+}
+
+impl Coordinator {
+    /// Creates a coordinator, validating that every node's index uses
+    /// the same histogram specification.
+    pub fn new(nodes: Vec<Node>) -> Result<Coordinator> {
+        let Some(first) = nodes.first() else {
+            return Err(LoomError::InvalidQuery("coordinator needs nodes".into()));
+        };
+        let spec = first.loom.index_spec(first.source, first.index)?;
+        for node in &nodes[1..] {
+            let other = node.loom.index_spec(node.source, node.index)?;
+            if other != spec {
+                return Err(LoomError::InvalidQuery(format!(
+                    "node {} uses a different histogram specification",
+                    node.name
+                )));
+            }
+        }
+        Ok(Coordinator { nodes, spec })
+    }
+
+    /// Number of participating nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs a distributed aggregate over `range` on every node.
+    pub fn aggregate(&self, range: TimeRange, method: Aggregate) -> Result<DistributedResult> {
+        match method {
+            Aggregate::Percentile(p) => self.percentile(range, p),
+            _ => self.distributive(range, method),
+        }
+    }
+
+    fn distributive(&self, range: TimeRange, method: Aggregate) -> Result<DistributedResult> {
+        let mut stats = QueryStats::default();
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for node in &self.nodes {
+            // Each node computes its partials on-host; only the partials
+            // cross the (conceptual) network.
+            for m in [
+                Aggregate::Count,
+                Aggregate::Sum,
+                Aggregate::Min,
+                Aggregate::Max,
+            ] {
+                let r = node
+                    .loom
+                    .indexed_aggregate(node.source, node.index, range, m)?;
+                stats.merge(&r.stats);
+                if let Some(v) = r.value {
+                    match m {
+                        Aggregate::Count => count += v as u64,
+                        Aggregate::Sum => sum += v,
+                        Aggregate::Min => min = min.min(v),
+                        Aggregate::Max => max = max.max(v),
+                        _ => unreachable!("distributive set"),
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            return Ok(DistributedResult {
+                value: None,
+                count: 0,
+                stats,
+            });
+        }
+        let value = match method {
+            Aggregate::Count => count as f64,
+            Aggregate::Sum => sum,
+            Aggregate::Min => min,
+            Aggregate::Max => max,
+            Aggregate::Mean => sum / count as f64,
+            Aggregate::Percentile(_) => unreachable!("handled separately"),
+        };
+        Ok(DistributedResult {
+            value: Some(value),
+            count,
+            stats,
+        })
+    }
+
+    fn percentile(&self, range: TimeRange, p: f64) -> Result<DistributedResult> {
+        if !(0.0..=100.0).contains(&p) {
+            return Err(LoomError::InvalidQuery(format!(
+                "percentile {p} outside [0, 100]"
+            )));
+        }
+        let mut stats = QueryStats::default();
+        // Phase A: merge per-node bin counts into a global CDF.
+        let mut merged = vec![0u64; self.spec.bin_count()];
+        for node in &self.nodes {
+            let (counts, node_stats) = node.loom.bin_counts(node.source, node.index, range)?;
+            stats.merge(&node_stats);
+            for (m, c) in merged.iter_mut().zip(&counts) {
+                *m += c;
+            }
+        }
+        let total: u64 = merged.iter().sum();
+        if total == 0 {
+            return Ok(DistributedResult {
+                value: None,
+                count: 0,
+                stats,
+            });
+        }
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        let mut target_bin = self.spec.bin_count() - 1;
+        for (bin, c) in merged.iter().enumerate() {
+            if cumulative + c >= rank {
+                target_bin = bin;
+                break;
+            }
+            cumulative += c;
+        }
+        let rank_in_bin = (rank - cumulative) as usize; // 1-based
+
+        // Phase B: fetch only the target bin's values from each node.
+        let (lo, hi) = self.spec.bin_range(target_bin);
+        let fetch_range = ValueRange::new(lo, next_down(hi));
+        let mut values: Vec<f64> = Vec::new();
+        for node in &self.nodes {
+            let node_stats =
+                node.loom
+                    .indexed_scan(node.source, node.index, range, fetch_range, |record| {
+                        // Recompute the value via the node's extractor.
+                        if let Ok(spec_value) =
+                            node.loom
+                                .extract_value(node.source, node.index, record.payload)
+                        {
+                            if let Some(v) = spec_value {
+                                values.push(v);
+                            }
+                        }
+                    })?;
+            stats.merge(&node_stats);
+        }
+        if values.len() < rank_in_bin {
+            return Err(LoomError::Corrupt(format!(
+                "distributed percentile fetched {} values in bin {target_bin}, needed {rank_in_bin}",
+                values.len()
+            )));
+        }
+        let (_, v, _) = values.select_nth_unstable_by(rank_in_bin - 1, |a, b| a.total_cmp(b));
+        Ok(DistributedResult {
+            value: Some(*v),
+            count: total,
+            stats,
+        })
+    }
+}
+
+/// Largest `f64` strictly less than `x` (for closed upper bin bounds).
+fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == f64::INFINITY {
+        return f64::MAX;
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits - 1)
+    } else if x < 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        -f64::from_bits(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::config::Config;
+    use crate::extract;
+
+    fn spec() -> HistogramSpec {
+        HistogramSpec::uniform(0.0, 100_000.0, 20).expect("valid")
+    }
+
+    fn node(name: &str, values: &[u64]) -> (Node, crate::engine::LoomWriter, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "loom-coord-{}-{}-{}",
+            name,
+            std::process::id(),
+            values.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (loom, mut writer) =
+            Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+        let source = loom.define_source("s");
+        let index = loom
+            .define_index(source, extract::u64_le_at(0), spec())
+            .unwrap();
+        for v in values {
+            loom.clock().advance(10);
+            writer.push(source, &v.to_le_bytes()).unwrap();
+        }
+        (
+            Node {
+                name: name.into(),
+                loom,
+                source,
+                index,
+            },
+            writer,
+            dir,
+        )
+    }
+
+    #[test]
+    fn distributed_aggregates_match_global_reference() {
+        let a_values: Vec<u64> = (0..500).map(|i| (i * 131) % 90_000).collect();
+        let b_values: Vec<u64> = (0..700).map(|i| (i * 733) % 90_000).collect();
+        let c_values: Vec<u64> = (0..50).map(|i| 90_000 + i).collect();
+        let (a, _wa, da) = node("a", &a_values);
+        let (b, _wb, db) = node("b", &b_values);
+        let (c, _wc, dc) = node("c", &c_values);
+        let coord = Coordinator::new(vec![a, b, c]).unwrap();
+        assert_eq!(coord.node_count(), 3);
+
+        let mut all: Vec<f64> = a_values
+            .iter()
+            .chain(&b_values)
+            .chain(&c_values)
+            .map(|v| *v as f64)
+            .collect();
+        let range = TimeRange::new(0, u64::MAX);
+
+        let count = coord.aggregate(range, Aggregate::Count).unwrap();
+        assert_eq!(count.value, Some(all.len() as f64));
+        let max = coord.aggregate(range, Aggregate::Max).unwrap();
+        assert_eq!(max.value, all.iter().copied().reduce(f64::max));
+        let mean = coord.aggregate(range, Aggregate::Mean).unwrap();
+        let expected_mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((mean.value.unwrap() - expected_mean).abs() < 1e-9);
+
+        // Distributed percentile equals the global nearest-rank value.
+        all.sort_by(f64::total_cmp);
+        for p in [50.0, 95.0, 99.9] {
+            let r = coord.aggregate(range, Aggregate::Percentile(p)).unwrap();
+            let rank = ((p / 100.0 * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            assert_eq!(r.value, Some(all[rank - 1]), "p{p}");
+        }
+
+        for d in [da, db, dc] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn mismatched_histograms_are_rejected() {
+        let (a, _wa, da) = node("ma", &[1, 2, 3]);
+        // A node with a different spec.
+        let dir = std::env::temp_dir().join(format!("loom-coord-mm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (loom, _w) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+        let source = loom.define_source("s");
+        let index = loom
+            .define_index(
+                source,
+                extract::u64_le_at(0),
+                HistogramSpec::uniform(0.0, 10.0, 2).unwrap(),
+            )
+            .unwrap();
+        let b = Node {
+            name: "mb".into(),
+            loom,
+            source,
+            index,
+        };
+        assert!(Coordinator::new(vec![a, b]).is_err());
+        let _ = std::fs::remove_dir_all(&da);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_coordinator_is_rejected() {
+        assert!(Coordinator::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn empty_range_returns_none() {
+        let (a, _wa, da) = node("empty", &[5, 6, 7]);
+        let coord = Coordinator::new(vec![a]).unwrap();
+        let r = coord
+            .aggregate(TimeRange::new(0, 1), Aggregate::Percentile(99.0))
+            .unwrap();
+        assert_eq!(r.value, None);
+        let _ = std::fs::remove_dir_all(&da);
+    }
+}

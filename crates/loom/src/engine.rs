@@ -1,0 +1,543 @@
+//! The Loom engine: write-path orchestration (§5.4) and handle types.
+//!
+//! [`Loom`] is the cloneable schema/query handle; [`LoomWriter`] is the
+//! single-threaded ingest handle. The write path per record is:
+//!
+//! 1. timestamp the record and append it to the record log;
+//! 2. if the record starts a new chunk, finalize the previous chunk's
+//!    summary, append it to the chunk index, and append a chunk-seal entry
+//!    to the timestamp index;
+//! 3. update the active chunk's summary and, periodically, append a
+//!    record mark to the timestamp index;
+//! 4. publish the record log, chunk index, and timestamp index watermarks
+//!    (in that order), then the source's last-record pointer.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::clock::Clock;
+use crate::config::Config;
+use crate::error::{LoomError, Result};
+use crate::histogram::HistogramSpec;
+use crate::hybridlog::{self, LogShared};
+use crate::record::{RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
+use crate::registry::{IndexId, Registry, RegistryVersion, SourceId, SourceShared, ValueFn};
+use crate::stats::IngestStats;
+use crate::summary::{BinStats, ChunkSummary};
+use crate::ts_index::{TsEntry, TsKind};
+
+/// State shared between the [`Loom`] handle and its [`LoomWriter`].
+pub(crate) struct Inner {
+    pub(crate) config: Config,
+    pub(crate) clock: Clock,
+    pub(crate) registry: RwLock<Registry>,
+    pub(crate) registry_version: RegistryVersion,
+    pub(crate) record_log: Arc<LogShared>,
+    pub(crate) chunk_log: Arc<LogShared>,
+    pub(crate) ts_log: Arc<LogShared>,
+    pub(crate) stats: IngestStats,
+}
+
+/// The cloneable schema and query handle of a Loom instance.
+#[derive(Clone)]
+pub struct Loom {
+    pub(crate) inner: Arc<Inner>,
+}
+
+/// The single-threaded ingest handle of a Loom instance (§4.1).
+///
+/// Exactly one `LoomWriter` exists per instance. It owns the hybrid-log
+/// writers; keeping ingest single-threaded is what makes appends take a
+/// few hundred cycles with no cross-thread coordination.
+pub struct LoomWriter {
+    inner: Arc<Inner>,
+    record: hybridlog::Writer,
+    chunk: hybridlog::Writer,
+    ts: hybridlog::Writer,
+    /// Writer-private per-source state.
+    sources: HashMap<u32, SourceWriterState>,
+    /// Cached schema, refreshed when the registry version changes.
+    cache: WriterCache,
+    /// Active-chunk accumulation state.
+    active: ActiveChunk,
+    /// Address of the last chunk-seal entry in the timestamp index.
+    last_seal: u64,
+    /// Reusable zero buffer for chunk padding.
+    zeros: Vec<u8>,
+}
+
+/// Writer-private state for one source.
+struct SourceWriterState {
+    /// Address of the source's most recent record, or `NIL_ADDR`.
+    prev: u64,
+    /// Records pushed so far.
+    count: u64,
+    /// Address of the source's most recent record mark, or `NIL_ADDR`.
+    last_mark: u64,
+    /// Shared state published to readers.
+    shared: Arc<SourceShared>,
+}
+
+/// Cached schema for the ingest hot path.
+struct WriterCache {
+    version: u64,
+    sources: HashMap<u32, CachedSource>,
+}
+
+struct CachedSource {
+    closed: bool,
+    indexes: Vec<CachedIndex>,
+}
+
+/// A cached index definition plus the dense per-bin accumulation for the
+/// active chunk. Dense vectors avoid map operations per record.
+struct CachedIndex {
+    id: u32,
+    extractor: ValueFn,
+    spec: HistogramSpec,
+    bins: Vec<Option<BinStats>>,
+}
+
+/// Accumulation state for the active chunk.
+struct ActiveChunk {
+    ts_min: u64,
+    ts_max: u64,
+    /// Per-source record counts; sources per chunk are few, so a vector
+    /// with linear search beats a map here.
+    sources: Vec<(u32, u64)>,
+}
+
+impl ActiveChunk {
+    fn new() -> Self {
+        ActiveChunk {
+            ts_min: u64::MAX,
+            ts_max: 0,
+            sources: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, source: u32, ts: u64) {
+        self.ts_min = self.ts_min.min(ts);
+        self.ts_max = self.ts_max.max(ts);
+        match self.sources.iter_mut().find(|(s, _)| *s == source) {
+            Some((_, c)) => *c += 1,
+            None => self.sources.push((source, 1)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.ts_min = u64::MAX;
+        self.ts_max = 0;
+        self.sources.clear();
+    }
+}
+
+impl Loom {
+    /// Opens a Loom instance rooted at `config.dir`, returning the shared
+    /// handle and the unique ingest writer.
+    pub fn open(config: Config) -> Result<(Loom, LoomWriter)> {
+        Self::open_with_clock(config, Clock::monotonic())
+    }
+
+    /// Opens a Loom instance with an explicit clock (tests and replay).
+    pub fn open_with_clock(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
+        config.validate()?;
+        std::fs::create_dir_all(&config.dir)?;
+        let record = hybridlog::create(&config.dir.join("records.log"), config.block_size)?;
+        let chunk = hybridlog::create(&config.dir.join("chunks.log"), config.index_block_size)?;
+        let ts = hybridlog::create(&config.dir.join("ts.log"), config.ts_block_size)?;
+        let inner = Arc::new(Inner {
+            config,
+            clock,
+            registry: RwLock::new(Registry::new()),
+            registry_version: RegistryVersion::default(),
+            record_log: Arc::clone(record.shared()),
+            chunk_log: Arc::clone(chunk.shared()),
+            ts_log: Arc::clone(ts.shared()),
+            stats: IngestStats::default(),
+        });
+        let writer = LoomWriter {
+            inner: Arc::clone(&inner),
+            record,
+            chunk,
+            ts,
+            sources: HashMap::new(),
+            cache: WriterCache {
+                version: u64::MAX,
+                sources: HashMap::new(),
+            },
+            active: ActiveChunk::new(),
+            last_seal: NIL_ADDR,
+            zeros: Vec::new(),
+        };
+        Ok((Loom { inner }, writer))
+    }
+
+    /// Registers a new source (Figure 9: `define_source`).
+    pub fn define_source(&self, name: &str) -> SourceId {
+        let id = self.inner.registry.write().define_source(name);
+        self.inner.registry_version.bump();
+        id
+    }
+
+    /// Closes a source (Figure 9: `close_source`); its data stays
+    /// queryable but new pushes are rejected.
+    pub fn close_source(&self, id: SourceId) -> Result<()> {
+        self.inner.registry.write().close_source(id)?;
+        self.inner.registry_version.bump();
+        Ok(())
+    }
+
+    /// Defines an index over `source` using a value-extraction function
+    /// and a histogram (Figure 9: `define_index`).
+    ///
+    /// The index covers only data arriving after its definition (§5.3);
+    /// older chunks are not re-indexed.
+    pub fn define_index(
+        &self,
+        source: SourceId,
+        extractor: ValueFn,
+        spec: HistogramSpec,
+    ) -> Result<IndexId> {
+        let id = self
+            .inner
+            .registry
+            .write()
+            .define_index(source, extractor, spec)?;
+        self.inner.registry_version.bump();
+        Ok(id)
+    }
+
+    /// Closes an index (Figure 9: `close_index`); it stops being
+    /// maintained for new chunks.
+    ///
+    /// Statistics the index accumulated for the *currently active* chunk
+    /// are discarded (the index no longer appears in that chunk's
+    /// summary); call [`LoomWriter::seal_active_chunk`] first when those
+    /// records must stay reachable through this index.
+    pub fn close_index(&self, id: IndexId) -> Result<()> {
+        self.inner.registry.write().close_index(id)?;
+        self.inner.registry_version.bump();
+        Ok(())
+    }
+
+    /// The instance's clock; query time ranges use its timeline.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Current time on the instance's internal timeline.
+    pub fn now(&self) -> u64 {
+        self.inner.clock.now()
+    }
+
+    /// Cumulative ingest statistics.
+    pub fn ingest_stats(&self) -> &IngestStats {
+        &self.inner.stats
+    }
+
+    /// Current memory footprint of the staging blocks, in bytes.
+    pub fn memory_budget(&self) -> usize {
+        2 * (self.inner.config.block_size
+            + self.inner.config.index_block_size
+            + self.inner.config.ts_block_size)
+    }
+}
+
+impl LoomWriter {
+    /// Writes one record from `source` into Loom (Figure 9: `push`).
+    ///
+    /// Returns the record's log address. The record is immediately visible
+    /// to queries (the watermark is published per push; see also
+    /// [`LoomWriter::sync`]).
+    pub fn push(&mut self, source: SourceId, payload: &[u8]) -> Result<u64> {
+        self.refresh_cache_if_stale();
+        let max = self.inner.config.max_record_payload();
+        if payload.len() > max {
+            return Err(LoomError::RecordTooLarge {
+                size: payload.len(),
+                max,
+            });
+        }
+        match self.cache.sources.get(&source.0) {
+            None => return Err(LoomError::UnknownSource(source.0)),
+            Some(c) if c.closed => return Err(LoomError::SourceClosed(source.0)),
+            Some(_) => {}
+        }
+
+        let ts = self.inner.clock.now();
+        let entry_size = RECORD_HEADER_SIZE + payload.len();
+        let chunk_size = self.inner.config.chunk_size as u64;
+
+        // Pad and seal the active chunk if the record does not fit.
+        let within = self.record.tail() % chunk_size;
+        if within as usize + entry_size > chunk_size as usize {
+            let pad = (chunk_size - within) as usize;
+            Self::write_padding(&mut self.record, &mut self.zeros, pad)?;
+            self.inner.stats.add_pad_bytes(pad as u64);
+            self.seal_chunk(ts)?;
+        }
+
+        // Lazily create the writer-side state for this source.
+        if !self.sources.contains_key(&source.0) {
+            let shared = Arc::clone(&self.inner.registry.read().source(source)?.shared);
+            self.sources.insert(
+                source.0,
+                SourceWriterState {
+                    prev: NIL_ADDR,
+                    count: 0,
+                    last_mark: NIL_ADDR,
+                    shared,
+                },
+            );
+        }
+
+        // Append the record.
+        let (prev, count, last_mark) = {
+            let state = self.sources.get_mut(&source.0).expect("inserted above");
+            let prev = state.prev;
+            state.count += 1;
+            (prev, state.count, state.last_mark)
+        };
+        let header = RecordHeader {
+            source: source.0,
+            len: payload.len() as u32,
+            prev,
+            ts,
+        };
+        let addr = self.record.append(&header.encode())?;
+        self.record.append(payload)?;
+
+        // Update the active chunk summary.
+        self.active.observe(source.0, ts);
+        {
+            let cached = self
+                .cache
+                .sources
+                .get_mut(&source.0)
+                .expect("validated above");
+            for idx in &mut cached.indexes {
+                if let Some(value) = (idx.extractor)(payload) {
+                    if let Some(bin) = idx.spec.bin_of(value) {
+                        match &mut idx.bins[bin] {
+                            Some(s) => s.observe(value, ts),
+                            slot @ None => *slot = Some(BinStats::of(value, ts)),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Seal immediately when the record exactly filled the chunk, so
+        // the active region visible to queries is always the tail chunk.
+        if self.record.tail() % chunk_size == 0 {
+            self.seal_chunk(ts)?;
+        }
+
+        // Periodic record mark in the timestamp index.
+        let mut new_mark = None;
+        if (count - 1) % self.inner.config.ts_mark_period == 0 {
+            let entry = TsEntry {
+                kind: TsKind::RecordMark,
+                source: source.0,
+                ts,
+                target: addr,
+                prev: last_mark,
+            };
+            new_mark = Some(self.ts.append(&entry.encode())?);
+            self.inner.stats.inc_ts_entries();
+        }
+
+        // Publish: record log, chunk index, timestamp index — in that
+        // order (§5.4) — then the source's last-record pointer.
+        self.record.publish();
+        self.chunk.publish();
+        self.ts.publish();
+        let state = self.sources.get_mut(&source.0).expect("inserted above");
+        state.prev = addr;
+        if let Some(mark) = new_mark {
+            state.last_mark = mark;
+        }
+        state.shared.last_record.store(addr, Ordering::Release);
+        state.shared.records.store(count, Ordering::Release);
+        self.inner.stats.inc_records(entry_size as u64);
+        Ok(addr)
+    }
+
+    /// Forces queryability of all pushed records (Figure 9: `sync`).
+    ///
+    /// `push` already publishes each record, so `sync` additionally forces
+    /// the staged tail to persistent storage, bounding loss on crash.
+    pub fn sync(&mut self) -> Result<()> {
+        self.record.publish();
+        self.chunk.publish();
+        self.ts.publish();
+        self.record.flush()?;
+        self.chunk.flush()?;
+        self.ts.flush()?;
+        Ok(())
+    }
+
+    /// Pads and seals the active chunk even if it is not full.
+    ///
+    /// Useful before shutdown or when a workload phase ends: it moves the
+    /// active chunk's summary into the chunk index so subsequent queries
+    /// can use it.
+    pub fn seal_active_chunk(&mut self) -> Result<()> {
+        if self.active.is_empty() {
+            return Ok(());
+        }
+        let chunk_size = self.inner.config.chunk_size as u64;
+        let within = self.record.tail() % chunk_size;
+        if within != 0 {
+            let pad = (chunk_size - within) as usize;
+            Self::write_padding(&mut self.record, &mut self.zeros, pad)?;
+            self.inner.stats.add_pad_bytes(pad as u64);
+        }
+        let ts = self.inner.clock.now();
+        self.seal_chunk(ts)?;
+        self.record.publish();
+        self.chunk.publish();
+        self.ts.publish();
+        Ok(())
+    }
+
+    /// Writes a padding entry (or raw zeros) filling `pad` bytes.
+    fn write_padding(
+        record: &mut hybridlog::Writer,
+        zeros: &mut Vec<u8>,
+        pad: usize,
+    ) -> Result<()> {
+        if pad >= RECORD_HEADER_SIZE {
+            let header = RecordHeader {
+                source: SOURCE_PAD,
+                len: (pad - RECORD_HEADER_SIZE) as u32,
+                prev: NIL_ADDR,
+                ts: 0,
+            };
+            record.append(&header.encode())?;
+            // The pad payload must be zeroed: staging blocks are recycled
+            // without clearing, and a chunk scan relies on zeroed bytes
+            // after the pad only when the pad is shorter than a header.
+            // Zeroing unconditionally keeps on-disk chunks deterministic.
+            zeros.resize(pad - RECORD_HEADER_SIZE, 0);
+            record.append(zeros)?;
+        } else {
+            zeros.resize(pad, 0);
+            record.append(zeros)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the active chunk's summary, appends it to the chunk
+    /// index, and records the seal in the timestamp index.
+    fn seal_chunk(&mut self, ts: u64) -> Result<()> {
+        let chunk_size = self.inner.config.chunk_size as u64;
+        debug_assert_eq!(self.record.tail() % chunk_size, 0);
+        let chunk_end = self.record.tail();
+        let chunk_addr = chunk_end - chunk_size;
+        let chunk_seq = chunk_addr / chunk_size;
+
+        let mut summary = ChunkSummary::new(chunk_seq, chunk_addr, chunk_size as u32);
+        summary.ts_min = self.active.ts_min;
+        summary.ts_max = self.active.ts_max;
+        for (source, count) in &self.active.sources {
+            summary.sources.insert(*source, *count);
+        }
+        for cached in self.cache.sources.values_mut() {
+            for idx in &mut cached.indexes {
+                let mut bins = std::collections::BTreeMap::new();
+                for (bin, stats) in idx.bins.iter_mut().enumerate() {
+                    if let Some(s) = stats.take() {
+                        bins.insert(bin as u32, s);
+                    }
+                }
+                if !bins.is_empty() {
+                    summary.indexes.insert(idx.id, bins);
+                }
+            }
+        }
+        self.active.reset();
+
+        let mut buf = Vec::with_capacity(256);
+        summary.encode(&mut buf);
+        let summary_addr = self.chunk.append(&buf)?;
+
+        let entry = TsEntry {
+            kind: TsKind::ChunkSeal,
+            source: 0,
+            ts,
+            target: summary_addr,
+            prev: self.last_seal,
+        };
+        self.last_seal = self.ts.append(&entry.encode())?;
+        self.inner.stats.inc_chunks_sealed();
+        self.inner.stats.inc_ts_entries();
+        Ok(())
+    }
+
+    /// The shared handle, for convenience.
+    pub fn handle(&self) -> Loom {
+        Loom {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Refreshes the schema cache when the registry version changed,
+    /// carrying over in-progress bin accumulations for surviving indexes.
+    fn refresh_cache_if_stale(&mut self) {
+        let version = self.inner.registry_version.get();
+        if version == self.cache.version {
+            return;
+        }
+        let registry = self.inner.registry.read();
+        let mut old = std::mem::take(&mut self.cache.sources);
+        let mut new_sources = HashMap::new();
+        for (sid, entry) in registry.sources() {
+            let mut old_source = old.remove(&sid.0);
+            let mut indexes = Vec::new();
+            for (iid, idx) in registry.indexes_of(sid) {
+                let bins = old_source
+                    .as_mut()
+                    .and_then(|os| {
+                        os.indexes
+                            .iter_mut()
+                            .find(|ci| ci.id == iid.0)
+                            .map(|ci| std::mem::take(&mut ci.bins))
+                    })
+                    .filter(|b| b.len() == idx.spec.bin_count())
+                    .unwrap_or_else(|| vec![None; idx.spec.bin_count()]);
+                indexes.push(CachedIndex {
+                    id: iid.0,
+                    extractor: Arc::clone(&idx.extractor),
+                    spec: idx.spec.clone(),
+                    bins,
+                });
+            }
+            new_sources.insert(
+                sid.0,
+                CachedSource {
+                    closed: entry.closed,
+                    indexes,
+                },
+            );
+        }
+        self.cache.sources = new_sources;
+        self.cache.version = version;
+    }
+}
+
+impl Drop for LoomWriter {
+    fn drop(&mut self) {
+        // Seal the active chunk so a reopened reader sees a complete chunk
+        // index; ignore errors since drop cannot fail.
+        let _ = self.seal_active_chunk();
+    }
+}

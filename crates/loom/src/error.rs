@@ -1,0 +1,131 @@
+//! Error types for the Loom library.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LoomError>;
+
+/// Errors returned by Loom operations.
+#[derive(Debug)]
+pub enum LoomError {
+    /// An I/O error from the underlying persistent storage.
+    Io(io::Error),
+    /// The configuration is invalid (e.g., chunk size does not divide block size).
+    InvalidConfig(String),
+    /// The given source ID is not registered.
+    UnknownSource(u32),
+    /// The given index ID is not registered.
+    UnknownIndex(u32),
+    /// The source has been closed and no longer accepts records.
+    SourceClosed(u32),
+    /// The index is defined over a different source than the one queried.
+    IndexSourceMismatch {
+        /// Index that was used.
+        index: u32,
+        /// Source the index is attached to.
+        expected_source: u32,
+        /// Source the caller passed.
+        got_source: u32,
+    },
+    /// The record payload is too large to fit in a single chunk.
+    RecordTooLarge {
+        /// Payload size the caller attempted to write.
+        size: usize,
+        /// Maximum payload size permitted by the configuration.
+        max: usize,
+    },
+    /// A histogram definition is invalid (e.g., unsorted or empty boundaries).
+    InvalidHistogram(String),
+    /// The requested address lies beyond the end of the log.
+    AddressOutOfBounds {
+        /// Address that was requested.
+        addr: u64,
+        /// Current log tail.
+        tail: u64,
+    },
+    /// The ingest side of the log has shut down.
+    ShutDown,
+    /// A corrupt or truncated entry was encountered while reading a log.
+    Corrupt(String),
+    /// An invalid query parameter (e.g., a percentile outside `[0, 100]`).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for LoomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoomError::Io(e) => write!(f, "I/O error: {e}"),
+            LoomError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LoomError::UnknownSource(id) => write!(f, "unknown source id {id}"),
+            LoomError::UnknownIndex(id) => write!(f, "unknown index id {id}"),
+            LoomError::SourceClosed(id) => write!(f, "source {id} is closed"),
+            LoomError::IndexSourceMismatch {
+                index,
+                expected_source,
+                got_source,
+            } => write!(
+                f,
+                "index {index} is defined over source {expected_source}, not source {got_source}"
+            ),
+            LoomError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum of {max} bytes")
+            }
+            LoomError::InvalidHistogram(msg) => write!(f, "invalid histogram: {msg}"),
+            LoomError::AddressOutOfBounds { addr, tail } => {
+                write!(f, "address {addr} is beyond log tail {tail}")
+            }
+            LoomError::ShutDown => write!(f, "log has been shut down"),
+            LoomError::Corrupt(msg) => write!(f, "corrupt log entry: {msg}"),
+            LoomError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoomError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoomError {
+    fn from(e: io::Error) -> Self {
+        LoomError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = LoomError::RecordTooLarge {
+            size: 70000,
+            max: 65512,
+        };
+        assert!(e.to_string().contains("70000"));
+        assert!(e.to_string().contains("65512"));
+
+        let e = LoomError::UnknownSource(7);
+        assert!(e.to_string().contains('7'));
+
+        let e = LoomError::IndexSourceMismatch {
+            index: 3,
+            expected_source: 1,
+            got_source: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1') && s.contains('2'));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let e: LoomError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(matches!(e, LoomError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

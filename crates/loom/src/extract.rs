@@ -1,0 +1,89 @@
+//! Common value-extraction functions for index definitions (§5.1).
+//!
+//! An index's `index_func` is an arbitrary closure over the record payload;
+//! this module provides constructors for the overwhelmingly common case of
+//! fixed-offset binary fields, as produced by telemetry sources emitting
+//! packed structs.
+
+use std::sync::Arc;
+
+use crate::registry::ValueFn;
+
+/// Extracts a little-endian `u64` at `offset` in the payload.
+pub fn u64_le_at(offset: usize) -> ValueFn {
+    Arc::new(move |payload: &[u8]| {
+        payload
+            .get(offset..offset + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("slice of 8")) as f64)
+    })
+}
+
+/// Extracts a little-endian `u32` at `offset` in the payload.
+pub fn u32_le_at(offset: usize) -> ValueFn {
+    Arc::new(move |payload: &[u8]| {
+        payload
+            .get(offset..offset + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("slice of 4")) as f64)
+    })
+}
+
+/// Extracts a little-endian `u16` at `offset` in the payload.
+pub fn u16_le_at(offset: usize) -> ValueFn {
+    Arc::new(move |payload: &[u8]| {
+        payload
+            .get(offset..offset + 2)
+            .map(|b| u16::from_le_bytes(b.try_into().expect("slice of 2")) as f64)
+    })
+}
+
+/// Extracts a little-endian `f64` at `offset` in the payload.
+pub fn f64_le_at(offset: usize) -> ValueFn {
+    Arc::new(move |payload: &[u8]| {
+        payload
+            .get(offset..offset + 8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("slice of 8")))
+    })
+}
+
+/// Maps every record to the constant `1.0`, turning the index into a pure
+/// record counter (counts per chunk, usable for count aggregates).
+pub fn count_all() -> ValueFn {
+    Arc::new(|_: &[u8]| Some(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_extraction() {
+        let f = u64_le_at(4);
+        let mut payload = vec![0u8; 12];
+        payload[4..12].copy_from_slice(&123_456u64.to_le_bytes());
+        assert_eq!(f(&payload), Some(123_456.0));
+        assert_eq!(f(&payload[..8]), None); // too short
+    }
+
+    #[test]
+    fn u32_and_u16_extraction() {
+        let mut payload = vec![0u8; 6];
+        payload[0..4].copy_from_slice(&7u32.to_le_bytes());
+        payload[4..6].copy_from_slice(&513u16.to_le_bytes());
+        assert_eq!(u32_le_at(0)(&payload), Some(7.0));
+        assert_eq!(u16_le_at(4)(&payload), Some(513.0));
+        assert_eq!(u16_le_at(5)(&payload), None);
+    }
+
+    #[test]
+    fn f64_extraction() {
+        let payload = 2.5f64.to_le_bytes();
+        assert_eq!(f64_le_at(0)(&payload), Some(2.5));
+    }
+
+    #[test]
+    fn count_all_is_constant() {
+        let f = count_all();
+        assert_eq!(f(b""), Some(1.0));
+        assert_eq!(f(b"anything"), Some(1.0));
+    }
+}

@@ -1,0 +1,265 @@
+//! Histogram bin specifications for Loom's chunk index (§4.2).
+//!
+//! An index over a source is defined by a histogram: a set of bins for
+//! different value ranges. The user (typically a monitoring daemon) defines
+//! the interior bins; Loom always adds two *outlier* bins below and above
+//! the user's range, because observability queries usually care about
+//! outliers. Histograms serve value-range queries, aggregates, percentiles
+//! (by treating bin counts as a CDF), and — with a single bin — exact-match
+//! queries.
+
+use crate::error::{LoomError, Result};
+
+/// A histogram bin specification.
+///
+/// `bounds` holds `n + 1` strictly increasing boundaries defining `n` user
+/// bins `[bounds[i], bounds[i+1])`, plus implicit outlier bins
+/// `(-inf, bounds[0])` and `[bounds[n], +inf)`. Bin indices run from `0`
+/// (the low outlier bin) to `n + 1` (the high outlier bin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSpec {
+    bounds: Vec<f64>,
+}
+
+impl HistogramSpec {
+    /// Creates a histogram from explicit boundaries.
+    ///
+    /// Boundaries must be finite, strictly increasing, and at least two.
+    pub fn from_bounds(bounds: Vec<f64>) -> Result<Self> {
+        if bounds.len() < 2 {
+            return Err(LoomError::InvalidHistogram(
+                "need at least two boundaries (one user bin)".into(),
+            ));
+        }
+        for w in bounds.windows(2) {
+            if !(w[0] < w[1]) {
+                return Err(LoomError::InvalidHistogram(format!(
+                    "boundaries must be strictly increasing: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return Err(LoomError::InvalidHistogram(
+                "boundaries must be finite".into(),
+            ));
+        }
+        Ok(HistogramSpec { bounds })
+    }
+
+    /// Creates `n` equal-width bins covering `[lo, hi)`.
+    pub fn uniform(lo: f64, hi: f64, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(LoomError::InvalidHistogram("need at least one bin".into()));
+        }
+        if !(lo < hi) {
+            return Err(LoomError::InvalidHistogram(format!(
+                "lo {lo} must be below hi {hi}"
+            )));
+        }
+        let width = (hi - lo) / n as f64;
+        let mut bounds: Vec<f64> = (0..n).map(|i| lo + width * i as f64).collect();
+        bounds.push(hi);
+        Self::from_bounds(bounds)
+    }
+
+    /// Creates `n` exponentially growing bins starting at `lo` with the
+    /// given growth `factor` (each bin `factor`× wider than the last).
+    ///
+    /// Exponential bins suit latency distributions, which span orders of
+    /// magnitude.
+    pub fn exponential(lo: f64, factor: f64, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(LoomError::InvalidHistogram("need at least one bin".into()));
+        }
+        if !(lo > 0.0) || !(factor > 1.0) {
+            return Err(LoomError::InvalidHistogram(format!(
+                "need lo > 0 and factor > 1 (got lo {lo}, factor {factor})"
+            )));
+        }
+        let mut bounds = Vec::with_capacity(n + 1);
+        let mut b = lo;
+        for _ in 0..=n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::from_bounds(bounds)
+    }
+
+    /// Creates a single-bin histogram `[value, next_after(value))` that
+    /// emulates an exact-match index (§5.1, §6.4): records whose extracted
+    /// value equals `value` land in the interior bin, everything else in
+    /// the outlier bins.
+    pub fn exact_match(value: f64) -> Result<Self> {
+        let hi = next_after(value);
+        Self::from_bounds(vec![value, hi])
+    }
+
+    /// Total number of bins, including the two outlier bins.
+    pub fn bin_count(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The user-defined boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Returns the bin index for `value`, or `None` for NaN (which is
+    /// unindexable and treated as "no value").
+    pub fn bin_of(&self, value: f64) -> Option<usize> {
+        if value.is_nan() {
+            return None;
+        }
+        // partition_point: number of boundaries <= value. 0 means below all
+        // boundaries (low outlier bin); bounds.len() means at or above the
+        // last boundary (high outlier bin).
+        Some(self.bounds.partition_point(|b| *b <= value))
+    }
+
+    /// Returns the half-open value range `[lo, hi)` covered by bin `idx`.
+    ///
+    /// The outlier bins extend to negative/positive infinity.
+    pub fn bin_range(&self, idx: usize) -> (f64, f64) {
+        let n = self.bin_count();
+        assert!(idx < n, "bin index {idx} out of range (have {n})");
+        let lo = if idx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.bounds[idx - 1]
+        };
+        let hi = if idx == n - 1 {
+            f64::INFINITY
+        } else {
+            self.bounds[idx]
+        };
+        (lo, hi)
+    }
+
+    /// Returns the inclusive range of bin indices that may contain values
+    /// in `[v_lo, v_hi]`.
+    pub fn bins_overlapping(&self, v_lo: f64, v_hi: f64) -> std::ops::RangeInclusive<usize> {
+        let lo = self.bin_of(v_lo).unwrap_or(0);
+        let hi = self.bin_of(v_hi).unwrap_or(self.bin_count() - 1);
+        lo..=hi
+    }
+
+    /// Whether bin `idx` lies entirely inside the closed interval
+    /// `[v_lo, v_hi]` (so its summary statistics can be used without
+    /// scanning the underlying chunk).
+    pub fn bin_within(&self, idx: usize, v_lo: f64, v_hi: f64) -> bool {
+        let (lo, hi) = self.bin_range(idx);
+        // The bin is half-open [lo, hi); it is inside the query interval iff
+        // every representable value in it is within [v_lo, v_hi].
+        lo >= v_lo && hi <= next_after(v_hi)
+    }
+}
+
+/// Returns the smallest `f64` strictly greater than `x`.
+fn next_after(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x >= 0.0 { bits + 1 } else { bits - 1 };
+    if x == 0.0 {
+        f64::from_bits(1) // smallest positive subnormal
+    } else {
+        f64::from_bits(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment_covers_all_values() {
+        let h = HistogramSpec::from_bounds(vec![0.0, 10.0, 100.0]).unwrap();
+        assert_eq!(h.bin_count(), 4);
+        assert_eq!(h.bin_of(-5.0), Some(0)); // low outlier
+        assert_eq!(h.bin_of(0.0), Some(1));
+        assert_eq!(h.bin_of(9.99), Some(1));
+        assert_eq!(h.bin_of(10.0), Some(2));
+        assert_eq!(h.bin_of(99.0), Some(2));
+        assert_eq!(h.bin_of(100.0), Some(3)); // high outlier
+        assert_eq!(h.bin_of(1e12), Some(3));
+        assert_eq!(h.bin_of(f64::NAN), None);
+    }
+
+    #[test]
+    fn bin_ranges_are_consistent_with_assignment() {
+        let h = HistogramSpec::uniform(0.0, 100.0, 10).unwrap();
+        for idx in 0..h.bin_count() {
+            let (lo, hi) = h.bin_range(idx);
+            if lo.is_finite() {
+                assert_eq!(h.bin_of(lo), Some(idx));
+            }
+            if hi.is_finite() {
+                assert_eq!(h.bin_of(hi), Some(idx + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_bins_have_equal_width() {
+        let h = HistogramSpec::uniform(0.0, 100.0, 4).unwrap();
+        assert_eq!(h.bounds(), &[0.0, 25.0, 50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn exponential_bins_grow() {
+        let h = HistogramSpec::exponential(1.0, 2.0, 4).unwrap();
+        assert_eq!(h.bounds(), &[1.0, 2.0, 4.0, 8.0, 16.0]);
+    }
+
+    #[test]
+    fn exact_match_bin_contains_only_value() {
+        let h = HistogramSpec::exact_match(42.0).unwrap();
+        assert_eq!(h.bin_count(), 3);
+        assert_eq!(h.bin_of(42.0), Some(1));
+        assert_eq!(h.bin_of(41.999999), Some(0));
+        assert_eq!(h.bin_of(42.000001), Some(2));
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        assert!(HistogramSpec::from_bounds(vec![]).is_err());
+        assert!(HistogramSpec::from_bounds(vec![1.0]).is_err());
+        assert!(HistogramSpec::from_bounds(vec![2.0, 1.0]).is_err());
+        assert!(HistogramSpec::from_bounds(vec![1.0, 1.0]).is_err());
+        assert!(HistogramSpec::from_bounds(vec![1.0, f64::INFINITY]).is_err());
+        assert!(HistogramSpec::uniform(5.0, 5.0, 3).is_err());
+        assert!(HistogramSpec::uniform(0.0, 1.0, 0).is_err());
+        assert!(HistogramSpec::exponential(0.0, 2.0, 3).is_err());
+        assert!(HistogramSpec::exponential(1.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn bins_overlapping_selects_correct_range() {
+        let h = HistogramSpec::uniform(0.0, 100.0, 10).unwrap();
+        assert_eq!(h.bins_overlapping(15.0, 35.0), 2..=4);
+        assert_eq!(h.bins_overlapping(-10.0, 5.0), 0..=1);
+        assert_eq!(h.bins_overlapping(95.0, 200.0), 10..=11);
+    }
+
+    #[test]
+    fn bin_within_distinguishes_full_and_partial_coverage() {
+        let h = HistogramSpec::uniform(0.0, 100.0, 10).unwrap();
+        // Bin 2 covers [10, 20).
+        assert!(h.bin_within(2, 10.0, 20.0));
+        assert!(h.bin_within(2, 0.0, 50.0));
+        assert!(!h.bin_within(2, 12.0, 50.0));
+        assert!(!h.bin_within(2, 0.0, 15.0));
+        // Outlier bins are never fully inside a finite interval.
+        assert!(!h.bin_within(0, -1e300, 100.0));
+        assert!(!h.bin_within(11, 0.0, 1e300));
+    }
+
+    #[test]
+    fn next_after_is_strictly_greater() {
+        for x in [0.0, 1.0, -1.0, 1e-300, 1e300, -3.5] {
+            assert!(next_after(x) > x, "next_after({x}) not greater");
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The hybrid log: an append-only log spanning memory and storage (§4.1).
+//!
+//! Writes land in one of two fixed-size in-memory [`Block`]s; when the
+//! active block fills, a background flusher evicts it to an append-only
+//! file while the writer continues in the other block. Each byte has a
+//! stable logical address equal to its file offset, so record lookup by
+//! address is O(1) regardless of whether the byte is in memory or on disk.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use super::block::Block;
+use crate::error::{LoomError, Result};
+
+/// State shared between the writer, the flusher, and readers.
+pub struct LogShared {
+    /// Backing file; logical addresses equal file offsets.
+    file: File,
+    /// Path of the backing file (for diagnostics and cleanup).
+    path: PathBuf,
+    /// The two ping-pong staging blocks.
+    blocks: [Block; 2],
+    /// Capacity of each block in bytes.
+    block_size: usize,
+    /// Addresses below this are published (immutable and queryable).
+    watermark: AtomicU64,
+    /// Addresses below this are durable in `file`.
+    flushed_upto: AtomicU64,
+    /// Total bytes appended (may exceed `watermark` until publication).
+    tail: AtomicU64,
+    /// Set when the flusher hits an I/O error; the writer surfaces it
+    /// instead of waiting forever for a flush that will never complete.
+    io_failed: std::sync::atomic::AtomicBool,
+}
+
+impl LogShared {
+    /// Addresses below the returned value are immutable and queryable.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Addresses below the returned value are durable on storage.
+    pub fn flushed_upto(&self) -> u64 {
+        self.flushed_upto.load(Ordering::Acquire)
+    }
+
+    /// Total bytes ever appended (the log tail).
+    pub fn tail(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    /// Capacity of each staging block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Reads `dst.len()` bytes starting at logical address `addr`.
+    ///
+    /// Bytes must be published (`addr + dst.len() <= watermark()`); reads of
+    /// unpublished bytes return [`LoomError::AddressOutOfBounds`]. The read
+    /// is served from memory when possible and transparently falls back to
+    /// the file for evicted data.
+    pub fn read_at(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+        let end = addr + dst.len() as u64;
+        let wm = self.watermark();
+        if end > wm {
+            return Err(LoomError::AddressOutOfBounds {
+                addr: end,
+                tail: wm,
+            });
+        }
+        let mut pos = addr;
+        let mut off = 0usize;
+        while off < dst.len() {
+            // Split the request at block-capacity boundaries so each piece
+            // lies entirely within one staging block (if it is in memory).
+            let within = (pos % self.block_size as u64) as usize;
+            let n = (dst.len() - off).min(self.block_size - within);
+            let piece = &mut dst[off..off + n];
+            self.read_piece(pos, piece)?;
+            pos += n as u64;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads one piece that does not straddle a block-capacity boundary.
+    fn read_piece(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+        // Fast path: already durable.
+        if addr + dst.len() as u64 <= self.flushed_upto() {
+            self.file.read_exact_at(dst, addr)?;
+            return Ok(());
+        }
+        // Try the in-memory blocks.
+        for block in &self.blocks {
+            let gen = block.generation();
+            let base = block.base();
+            if base == u64::MAX {
+                continue;
+            }
+            if addr >= base && addr + dst.len() as u64 <= base + self.block_size as u64 {
+                let offset = (addr - base) as usize;
+                if block.try_read(gen, offset, dst) {
+                    return Ok(());
+                }
+            }
+        }
+        // The block was recycled while we looked: its contents were flushed
+        // first, so the file now has the bytes.
+        self.file.read_exact_at(dst, addr)?;
+        Ok(())
+    }
+
+    /// Copies the published, not-yet-durable in-memory tail into a
+    /// [`Snapshot`] (§5.5). The snapshot linearizes the query that uses it:
+    /// data published before the snapshot is visible, later data is not.
+    pub fn snapshot(&self) -> Result<Snapshot<'_>> {
+        let wm = self.watermark();
+        let flushed = self.flushed_upto();
+        let start = flushed.min(wm);
+        let mut buf = vec![0u8; (wm - start) as usize];
+        if !buf.is_empty() {
+            // `read_at` handles races with concurrent flushing by falling
+            // back to the file per piece.
+            self.read_at(start, &mut buf)?;
+        }
+        Ok(Snapshot {
+            log: self,
+            start,
+            watermark: wm,
+            mem: buf,
+        })
+    }
+
+    /// Blocks until all bytes below `addr` are durable.
+    ///
+    /// Returns an error if the flusher failed, since the data will then
+    /// never become durable.
+    pub fn wait_flushed(&self, addr: u64) -> Result<()> {
+        while self.flushed_upto() < addr {
+            if self.io_failed.load(Ordering::Acquire) {
+                return Err(LoomError::ShutDown);
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// A point-in-time view of a hybrid log (§4.4).
+///
+/// Holds a private copy of the published in-memory tail; older data is read
+/// from the file on demand. Reads through a snapshot are repeatable: they
+/// never see data published after the snapshot was taken.
+pub struct Snapshot<'a> {
+    log: &'a LogShared,
+    /// First address covered by `mem`.
+    start: u64,
+    /// Exclusive upper bound of this snapshot's view.
+    watermark: u64,
+    /// Copy of `[start, watermark)`.
+    mem: Vec<u8>,
+}
+
+impl Snapshot<'_> {
+    /// The exclusive upper address bound of this snapshot.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Number of bytes this snapshot copied from memory.
+    pub fn copied_bytes(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Reads `dst.len()` bytes at `addr` from the snapshot's view.
+    pub fn read_at(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+        let end = addr + dst.len() as u64;
+        if end > self.watermark {
+            return Err(LoomError::AddressOutOfBounds {
+                addr: end,
+                tail: self.watermark,
+            });
+        }
+        if addr >= self.start {
+            let off = (addr - self.start) as usize;
+            dst.copy_from_slice(&self.mem[off..off + dst.len()]);
+            return Ok(());
+        }
+        if end <= self.start {
+            self.log.file.read_exact_at(dst, addr)?;
+            return Ok(());
+        }
+        // Straddles the durable/in-memory boundary.
+        let split = (self.start - addr) as usize;
+        let (disk_part, mem_part) = dst.split_at_mut(split);
+        self.log.file.read_exact_at(disk_part, addr)?;
+        mem_part.copy_from_slice(&self.mem[..mem_part.len()]);
+        Ok(())
+    }
+}
+
+/// Messages from the writer to the background flusher.
+enum FlushMsg {
+    /// Flush `[from, to)` within block `block`, whose current base is `base`.
+    Partial {
+        block: usize,
+        base: u64,
+        from: usize,
+        to: usize,
+    },
+    /// Block `block` is sealed: flush the remainder and mark it flushed.
+    Seal {
+        block: usize,
+        base: u64,
+        from: usize,
+        to: usize,
+    },
+    /// Acknowledge that all prior messages were processed.
+    Sync(Sender<()>),
+    /// Terminate the flusher.
+    Shutdown,
+}
+
+/// The single-writer handle of a hybrid log.
+///
+/// `Writer` is `Send` but deliberately not `Clone`: Loom's ingest path is
+/// single-threaded by design (§4.1), which is what keeps appends at a few
+/// hundred cycles without cross-thread coordination.
+pub struct Writer {
+    shared: Arc<LogShared>,
+    tx: Sender<FlushMsg>,
+    flusher: Option<JoinHandle<Result<()>>>,
+    /// Index of the active block.
+    active: usize,
+    /// Logical address of the next byte to write.
+    tail: u64,
+    /// Bytes of the active block already handed to the flusher.
+    active_flushed_prefix: usize,
+}
+
+impl Writer {
+    /// Appends `data` to the log, returning its starting address.
+    ///
+    /// The write may span staging blocks; sealed blocks are handed to the
+    /// background flusher. The bytes are *not* yet visible to readers until
+    /// [`Writer::publish`] is called.
+    pub fn append(&mut self, data: &[u8]) -> Result<u64> {
+        let addr = self.tail;
+        let bs = self.shared.block_size;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let within = (self.tail % bs as u64) as usize;
+            let space = bs - within;
+            let n = remaining.len().min(space);
+            self.shared.blocks[self.active].write(within, &remaining[..n]);
+            self.tail += n as u64;
+            remaining = &remaining[n..];
+            if within + n == bs {
+                self.seal_active()?;
+            }
+        }
+        self.shared.tail.store(self.tail, Ordering::Release);
+        Ok(addr)
+    }
+
+    /// Makes all appended bytes visible to readers (release store).
+    pub fn publish(&self) {
+        self.shared.watermark.store(self.tail, Ordering::Release);
+    }
+
+    /// Current tail address (next byte to be written).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Seals the active block, enqueues its flush, and claims the other
+    /// block for the next base address.
+    fn seal_active(&mut self) -> Result<()> {
+        let bs = self.shared.block_size;
+        let base = self.tail - bs as u64;
+        self.tx
+            .send(FlushMsg::Seal {
+                block: self.active,
+                base,
+                from: self.active_flushed_prefix,
+                to: bs,
+            })
+            .map_err(|_| LoomError::ShutDown)?;
+        self.active ^= 1;
+        self.active_flushed_prefix = 0;
+        let next = &self.shared.blocks[self.active];
+        // Backpressure: wait until the other block's previous contents are
+        // durable before reusing it. This bounds memory at two blocks.
+        while !next.is_flushed() {
+            if self.shared.io_failed.load(Ordering::Acquire) {
+                return Err(LoomError::ShutDown);
+            }
+            std::thread::yield_now();
+        }
+        next.claim(self.tail);
+        Ok(())
+    }
+
+    /// Flushes the filled portion of the active block without sealing it,
+    /// then waits until it is durable.
+    pub fn flush(&mut self) -> Result<()> {
+        let within = (self.tail % self.shared.block_size as u64) as usize;
+        if within > self.active_flushed_prefix {
+            let base = self.tail - within as u64;
+            self.tx
+                .send(FlushMsg::Partial {
+                    block: self.active,
+                    base,
+                    from: self.active_flushed_prefix,
+                    to: within,
+                })
+                .map_err(|_| LoomError::ShutDown)?;
+            self.active_flushed_prefix = within;
+        }
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .send(FlushMsg::Sync(ack_tx))
+            .map_err(|_| LoomError::ShutDown)?;
+        ack_rx.recv().map_err(|_| LoomError::ShutDown)?;
+        Ok(())
+    }
+
+    /// Shared handle for readers.
+    pub fn shared(&self) -> &Arc<LogShared> {
+        &self.shared
+    }
+}
+
+impl Drop for Writer {
+    fn drop(&mut self) {
+        // Best-effort final flush so tests and crash-recovery see a durable
+        // prefix; errors are ignored because drop cannot fail.
+        let _ = self.flush();
+        let _ = self.tx.send(FlushMsg::Shutdown);
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Opens (creating or truncating) a hybrid log at `path`.
+///
+/// Returns the single-writer handle; readers obtain the shared state via
+/// [`Writer::shared`].
+pub fn create(path: &Path, block_size: usize) -> Result<Writer> {
+    if block_size == 0 {
+        return Err(LoomError::InvalidConfig(
+            "block_size must be non-zero".into(),
+        ));
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    let shared = Arc::new(LogShared {
+        file,
+        path: path.to_path_buf(),
+        blocks: [Block::new(block_size), Block::new(block_size)],
+        block_size,
+        watermark: AtomicU64::new(0),
+        flushed_upto: AtomicU64::new(0),
+        tail: AtomicU64::new(0),
+        io_failed: std::sync::atomic::AtomicBool::new(false),
+    });
+    shared.blocks[0].claim(0);
+
+    let (tx, rx) = unbounded();
+    let flusher_shared = Arc::clone(&shared);
+    let flusher = std::thread::Builder::new()
+        .name(format!(
+            "loom-flush-{}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("log")
+        ))
+        .spawn(move || flusher_loop(flusher_shared, rx))?;
+
+    Ok(Writer {
+        shared,
+        tx,
+        flusher: Some(flusher),
+        active: 0,
+        tail: 0,
+        active_flushed_prefix: 0,
+    })
+}
+
+/// Background flusher: writes sealed and partial block ranges to the file
+/// in message order, advancing `flushed_upto` contiguously.
+fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        let (block, base, from, to, seal) = match msg {
+            FlushMsg::Partial {
+                block,
+                base,
+                from,
+                to,
+            } => (block, base, from, to, false),
+            FlushMsg::Seal {
+                block,
+                base,
+                from,
+                to,
+            } => (block, base, from, to, true),
+            FlushMsg::Sync(ack) => {
+                let _ = ack.send(());
+                continue;
+            }
+            FlushMsg::Shutdown => break,
+        };
+        let n = to - from;
+        buf.resize(n, 0);
+        shared.blocks[block].flusher_read(from, &mut buf);
+        if let Err(e) = shared.file.write_all_at(&buf, base + from as u64) {
+            shared.io_failed.store(true, Ordering::Release);
+            return Err(e.into());
+        }
+        shared
+            .flushed_upto
+            .store(base + to as u64, Ordering::Release);
+        if seal {
+            shared.blocks[block].mark_flushed();
+        }
+    }
+    Ok(())
+}

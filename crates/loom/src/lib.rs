@@ -1,0 +1,91 @@
+//! # Loom: efficient capture and querying of high-frequency telemetry
+//!
+//! Loom is a single-host library for capturing *high-frequency telemetry*
+//! (HFT) — application latencies, eBPF events, hardware counters, at
+//! millions of records per second — and querying it interactively, while
+//! imposing minimal probe effect on the monitored workload. It reproduces
+//! the system described in:
+//!
+//! > Solleza et al., *Loom: Efficient Capture and Querying of
+//! > High-Frequency Telemetry*, SOSP 2025.
+//!
+//! ## Design in one paragraph
+//!
+//! Loom ingests records into a **hybrid log**: an append-only log whose
+//! tail is staged in two ping-pong in-memory blocks and evicted to disk by
+//! a background flusher (§4.1). The record log is divided into fixed-size
+//! **chunks**; as records arrive, Loom incrementally builds a **chunk
+//! summary** — per-histogram-bin statistics (count/min/max/sum/time range)
+//! — and appends it to a **chunk index** when the chunk seals (§4.2). A
+//! third log, the **timestamp index**, records periodic per-source marks
+//! and chunk-seal events, enabling binary search by time. Queries use the
+//! timestamp index to find relevant chunk summaries, the summaries to skip
+//! or pre-aggregate chunks, and only then scan the few matching chunks
+//! (§4.3). Readers never block the writer: they copy published bytes under
+//! a generation-validated snapshot protocol (§4.4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use loom::{Aggregate, Clock, Config, HistogramSpec, Loom, TimeRange};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("loom-doc-{}", std::process::id()));
+//! let config = Config::small(&dir);
+//! let (loom, mut writer) = Loom::open_with_clock(config, Clock::manual(0)).unwrap();
+//!
+//! // Define a source and a latency index with exponential bins.
+//! let reqs = loom.define_source("app.requests");
+//! let latency = loom
+//!     .define_index(
+//!         reqs,
+//!         Arc::new(|payload: &[u8]| {
+//!             payload.get(0..8).map(|b| {
+//!                 u64::from_le_bytes(b.try_into().unwrap()) as f64
+//!             })
+//!         }),
+//!         HistogramSpec::exponential(1.0, 4.0, 8).unwrap(),
+//!     )
+//!     .unwrap();
+//!
+//! // Push records: 8-byte latency values.
+//! for i in 0..10_000u64 {
+//!     loom.clock().advance(1_000);
+//!     let latency_ns = if i == 5_000 { 1_000_000u64 } else { 100 + i % 50 };
+//!     writer.push(reqs, &latency_ns.to_le_bytes()).unwrap();
+//! }
+//!
+//! // What was the maximum latency over the whole run?
+//! let range = TimeRange::new(0, loom.now());
+//! let max = loom
+//!     .indexed_aggregate(reqs, latency, range, Aggregate::Max)
+//!     .unwrap();
+//! assert_eq!(max.value, Some(1_000_000.0));
+//! # drop(writer);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+pub mod chunk_index;
+pub mod clock;
+pub mod config;
+pub mod coordinator;
+pub mod engine;
+pub mod error;
+pub mod extract;
+pub mod histogram;
+pub mod hybridlog;
+pub mod query;
+pub mod record;
+pub mod registry;
+pub mod stats;
+pub mod summary;
+pub mod ts_index;
+
+pub use clock::Clock;
+pub use config::Config;
+pub use engine::{Loom, LoomWriter};
+pub use error::{LoomError, Result};
+pub use histogram::HistogramSpec;
+pub use query::{Aggregate, AggregateResult, QueryOptions, Record, TimeRange, ValueRange};
+pub use registry::{IndexId, SourceId, ValueFn};
+pub use stats::{IngestStats, QueryStats};

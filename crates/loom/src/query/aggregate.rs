@@ -1,0 +1,367 @@
+//! The indexed aggregate operator (§4.3).
+//!
+//! Distributive aggregates (count, sum, min, max, mean) are computed from
+//! chunk-summary bins whenever a chunk's time range lies fully inside the
+//! query range, falling back to exact chunk scans for partially covered
+//! chunks and the unsummarized tail region.
+//!
+//! Holistic percentiles use the bins-as-CDF strategy: a first pass
+//! accumulates per-bin counts to locate the bin containing the requested
+//! rank; a second pass collects only that bin's values and selects the
+//! rank within it. This avoids materializing or sorting the whole data
+//! set.
+
+use super::planner;
+use super::view::{QueryView, ScanControl};
+use super::{Aggregate, AggregateResult, IndexMeta, TimeRange};
+use crate::error::{LoomError, Result};
+use crate::stats::QueryStats;
+use crate::summary::BinStats;
+
+/// Computes the per-bin record counts for an index over a time range
+/// (the CDF of §4.3, exposed for composition — e.g., the distributed
+/// coordinator merges per-node bin counts before selecting a global
+/// percentile bin).
+pub(crate) fn bin_counts(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+) -> Result<(Vec<u64>, QueryStats)> {
+    let mut stats = QueryStats::default();
+    let plan = planner::plan(view, range)?;
+    let mut counts = vec![0u64; meta.spec.bin_count()];
+    let mut partial_chunks: Vec<u64> = Vec::new();
+    planner::for_each_relevant_summary(
+        view,
+        &plan,
+        range,
+        &mut stats.summaries_scanned,
+        |summary, fully| {
+            if !summary.has_source(meta.source.0) {
+                return Ok(());
+            }
+            if fully {
+                if let Some(bins) = summary.index_bins(meta.id.0) {
+                    for (bin, s) in bins {
+                        counts[*bin as usize] += s.count;
+                    }
+                }
+            } else {
+                partial_chunks.push(summary.chunk_addr);
+            }
+            Ok(())
+        },
+    )?;
+    let mut count_exact = |counts: &mut Vec<u64>, from: u64, to: u64| -> Result<()> {
+        let out = view.scan_region(from, to, |rec| {
+            if rec.header.ts > range.end {
+                return ScanControl::Stop;
+            }
+            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                if let Some(v) = (meta.extractor)(rec.payload) {
+                    if let Some(bin) = meta.spec.bin_of(v) {
+                        counts[bin] += 1;
+                    }
+                }
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(&mut stats);
+        Ok(())
+    };
+    for chunk_addr in &partial_chunks {
+        count_exact(&mut counts, *chunk_addr, *chunk_addr + view.chunk_size)?;
+    }
+    if plan.region_relevant {
+        count_exact(&mut counts, plan.region_start, view.rec.watermark())?;
+    }
+    Ok((counts, stats))
+}
+
+/// Executes an indexed aggregate over `view`.
+pub(crate) fn run(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    method: Aggregate,
+) -> Result<AggregateResult> {
+    match method {
+        Aggregate::Percentile(p) => {
+            if !(0.0..=100.0).contains(&p) {
+                return Err(LoomError::InvalidQuery(format!(
+                    "percentile {p} outside [0, 100]"
+                )));
+            }
+            percentile(view, meta, range, p)
+        }
+        _ => distributive(view, meta, range, method),
+    }
+}
+
+/// Accumulator for distributive aggregates.
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn fold_bin(&mut self, s: &BinStats) {
+        self.count += s.count;
+        self.sum += s.sum;
+        self.min = self.min.min(s.min);
+        self.max = self.max.max(s.max);
+    }
+
+    fn finish(&self, method: Aggregate) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match method {
+            Aggregate::Count => self.count as f64,
+            Aggregate::Sum => self.sum,
+            Aggregate::Min => self.min,
+            Aggregate::Max => self.max,
+            Aggregate::Mean => self.sum / self.count as f64,
+            Aggregate::Percentile(_) => unreachable!("handled separately"),
+        })
+    }
+}
+
+fn distributive(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    method: Aggregate,
+) -> Result<AggregateResult> {
+    let mut stats = QueryStats::default();
+    let plan = planner::plan(view, range)?;
+    let mut acc = Acc::new();
+    let mut partial_chunks: Vec<u64> = Vec::new();
+
+    planner::for_each_relevant_summary(
+        view,
+        &plan,
+        range,
+        &mut stats.summaries_scanned,
+        |summary, fully| {
+            if !summary.has_source(meta.source.0) {
+                return Ok(());
+            }
+            if fully {
+                if let Some(bins) = summary.index_bins(meta.id.0) {
+                    for s in bins.values() {
+                        acc.fold_bin(s);
+                    }
+                }
+            } else {
+                partial_chunks.push(summary.chunk_addr);
+            }
+            Ok(())
+        },
+    )?;
+
+    // Exact aggregation for chunks only partially inside the time range.
+    let mut scan_exact = |acc: &mut Acc, from: u64, to: u64| -> Result<()> {
+        let out = view.scan_region(from, to, |rec| {
+            if rec.header.ts > range.end {
+                return ScanControl::Stop;
+            }
+            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                if let Some(v) = (meta.extractor)(rec.payload) {
+                    acc.observe(v);
+                }
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(&mut stats);
+        Ok(())
+    };
+    for chunk_addr in partial_chunks {
+        scan_exact(&mut acc, chunk_addr, chunk_addr + view.chunk_size)?;
+    }
+    if plan.region_relevant {
+        scan_exact(&mut acc, plan.region_start, view.rec.watermark())?;
+    }
+
+    Ok(AggregateResult {
+        value: acc.finish(method),
+        count: acc.count,
+        stats,
+    })
+}
+
+fn percentile(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    p: f64,
+) -> Result<AggregateResult> {
+    let mut stats = QueryStats::default();
+    let plan = planner::plan(view, range)?;
+    let bin_count = meta.spec.bin_count();
+
+    // Phase A: per-bin counts across the range (bins as a CDF).
+    let mut counts = vec![0u64; bin_count];
+    let mut partial_chunks: Vec<u64> = Vec::new();
+    planner::for_each_relevant_summary(
+        view,
+        &plan,
+        range,
+        &mut stats.summaries_scanned,
+        |summary, fully| {
+            if !summary.has_source(meta.source.0) {
+                return Ok(());
+            }
+            if fully {
+                if let Some(bins) = summary.index_bins(meta.id.0) {
+                    for (bin, s) in bins {
+                        counts[*bin as usize] += s.count;
+                    }
+                }
+            } else {
+                partial_chunks.push(summary.chunk_addr);
+            }
+            Ok(())
+        },
+    )?;
+    let mut count_exact = |counts: &mut Vec<u64>, from: u64, to: u64| -> Result<()> {
+        let out = view.scan_region(from, to, |rec| {
+            if rec.header.ts > range.end {
+                return ScanControl::Stop;
+            }
+            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                if let Some(v) = (meta.extractor)(rec.payload) {
+                    if let Some(bin) = meta.spec.bin_of(v) {
+                        counts[bin] += 1;
+                    }
+                }
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(&mut stats);
+        Ok(())
+    };
+    for chunk_addr in &partial_chunks {
+        count_exact(&mut counts, *chunk_addr, *chunk_addr + view.chunk_size)?;
+    }
+    if plan.region_relevant {
+        count_exact(&mut counts, plan.region_start, view.rec.watermark())?;
+    }
+
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Ok(AggregateResult {
+            value: None,
+            count: 0,
+            stats,
+        });
+    }
+
+    // Nearest-rank percentile: the r-th smallest value, 1-based.
+    let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    let mut target_bin = bin_count - 1;
+    for (bin, c) in counts.iter().enumerate() {
+        if cumulative + c >= rank {
+            target_bin = bin;
+            break;
+        }
+        cumulative += c;
+    }
+    let rank_in_bin = rank - cumulative; // 1-based within the target bin
+
+    // Phase B: collect only the target bin's values and select the rank.
+    // Memory is bounded by the number of values in one bin within the
+    // range — small for tail percentiles by construction.
+    let mut values: Vec<f64> = Vec::new();
+    let mut revisited = 0u64;
+    {
+        let mut collect =
+            |values: &mut Vec<f64>, from: u64, to: u64, ts_filter: bool| -> Result<()> {
+                let out = view.scan_region(from, to, |rec| {
+                    if ts_filter && rec.header.ts > range.end {
+                        return ScanControl::Stop;
+                    }
+                    if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                        if let Some(v) = (meta.extractor)(rec.payload) {
+                            if meta.spec.bin_of(v) == Some(target_bin) {
+                                values.push(v);
+                            }
+                        }
+                    }
+                    ScanControl::Continue
+                })?;
+                out.fold_into(&mut stats);
+                Ok(())
+            };
+
+        // Revisit summaries: scan only chunks that have values in the
+        // target bin.
+        let mut target_chunks: Vec<u64> = Vec::new();
+        planner::for_each_relevant_summary(
+            view,
+            &plan,
+            range,
+            &mut revisited,
+            |summary, fully| {
+                if !fully {
+                    return Ok(()); // already in partial_chunks
+                }
+                if let Some(bins) = summary.index_bins(meta.id.0) {
+                    if bins.get(&(target_bin as u32)).is_some_and(|s| s.count > 0) {
+                        target_chunks.push(summary.chunk_addr);
+                    }
+                }
+                Ok(())
+            },
+        )?;
+        for chunk_addr in target_chunks {
+            collect(&mut values, chunk_addr, chunk_addr + view.chunk_size, false)?;
+        }
+        for chunk_addr in &partial_chunks {
+            collect(
+                &mut values,
+                *chunk_addr,
+                *chunk_addr + view.chunk_size,
+                false,
+            )?;
+        }
+        if plan.region_relevant {
+            collect(&mut values, plan.region_start, view.rec.watermark(), true)?;
+        }
+    }
+    stats.summaries_scanned += revisited;
+
+    if values.len() < rank_in_bin as usize {
+        return Err(LoomError::Corrupt(format!(
+            "percentile phase B found {} values in bin {target_bin}, expected at least {rank_in_bin}",
+            values.len()
+        )));
+    }
+    let k = rank_in_bin as usize - 1;
+    let (_, v, _) = values.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
+    Ok(AggregateResult {
+        value: Some(*v),
+        count: total,
+        stats,
+    })
+}

@@ -1,0 +1,229 @@
+//! The indexed range scan operator (§4.3).
+//!
+//! Retrieves records of a source within a time range *and* a value range,
+//! using the timestamp index to find the relevant chunk summaries and the
+//! summaries' histogram bins to skip chunks that cannot contain matching
+//! values. Chunks that match are scanned and records re-filtered exactly;
+//! the active (unsummarized) tail region is scanned raw.
+//!
+//! The module also implements the paper's index-ablation modes (§6.4):
+//! timestamp-index-only, chunk-index-only, and no-index execution.
+
+use super::planner::{self, SummaryPlan};
+use super::view::{QueryView, ScanControl};
+use super::{IndexMeta, QueryOptions, Record, TimeRange, ValueRange};
+use crate::error::Result;
+use crate::record::ChunkRecord;
+use crate::stats::QueryStats;
+use crate::summary::ChunkSummary;
+use crate::ts_index::{TsIndexView, TsKind};
+
+/// Executes an indexed scan over `view`.
+pub(crate) fn run<F>(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    values: ValueRange,
+    opts: QueryOptions,
+    mut f: F,
+) -> Result<QueryStats>
+where
+    F: FnMut(Record<'_>),
+{
+    let mut stats = QueryStats::default();
+    match (opts.use_ts_index, opts.use_chunk_index) {
+        (true, true) => {
+            let plan = planner::plan(view, range)?;
+            scan_with_summaries(view, meta, range, values, &plan, &mut stats, &mut f)?;
+        }
+        (false, true) => {
+            let plan = planner::plan_full(view)?;
+            scan_with_summaries(view, meta, range, values, &plan, &mut stats, &mut f)?;
+        }
+        (true, false) => {
+            scan_ts_only(view, meta, range, values, &mut stats, &mut f)?;
+        }
+        (false, false) => {
+            scan_none(view, meta, range, values, &mut stats, &mut f)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// Whether a summary's bins for this index can contain values in range.
+fn bins_may_match(meta: &IndexMeta, summary: &ChunkSummary, values: &ValueRange) -> bool {
+    let Some(bins) = summary.index_bins(meta.id.0) else {
+        // No indexed data in this chunk (e.g., the index was defined after
+        // the chunk sealed, §5.3): nothing for this index to return.
+        return false;
+    };
+    bins.iter().any(|(bin, stats)| {
+        let (lo, hi) = meta.spec.bin_range(*bin as usize);
+        // The bin overlaps the query range and its observed min/max do too.
+        lo <= values.hi && hi > values.lo && stats.min <= values.hi && stats.max >= values.lo
+    })
+}
+
+/// Emits a chunk record if it passes the source/time/value filters;
+/// returns whether it matched.
+fn filter_emit<F>(
+    meta: &IndexMeta,
+    range: TimeRange,
+    values: &ValueRange,
+    rec: &ChunkRecord<'_>,
+    f: &mut F,
+) -> bool
+where
+    F: FnMut(Record<'_>),
+{
+    if rec.header.source != meta.source.0 || !range.contains(rec.header.ts) {
+        return false;
+    }
+    let Some(v) = (meta.extractor)(rec.payload) else {
+        return false;
+    };
+    if !values.contains(v) {
+        return false;
+    }
+    f(Record {
+        addr: rec.addr,
+        source: meta.source,
+        ts: rec.header.ts,
+        payload: rec.payload,
+    });
+    true
+}
+
+/// Default path: summaries select chunks; the tail region is scanned raw.
+fn scan_with_summaries<F>(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    values: ValueRange,
+    plan: &SummaryPlan,
+    stats: &mut QueryStats,
+    f: &mut F,
+) -> Result<()>
+where
+    F: FnMut(Record<'_>),
+{
+    let mut chunks: Vec<u64> = Vec::new();
+    planner::for_each_relevant_summary(
+        view,
+        plan,
+        range,
+        &mut stats.summaries_scanned,
+        |summary, _fully| {
+            if summary.has_source(meta.source.0) && bins_may_match(meta, summary, &values) {
+                chunks.push(summary.chunk_addr);
+            }
+            Ok(())
+        },
+    )?;
+    let mut matched = 0u64;
+    for chunk_addr in chunks {
+        let out = view.scan_chunk(chunk_addr, |rec| {
+            if filter_emit(meta, range, &values, rec, f) {
+                matched += 1;
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(stats);
+    }
+
+    if plan.region_relevant {
+        let out = view.scan_region(plan.region_start, view.rec.watermark(), |rec| {
+            if rec.header.ts > range.end {
+                return ScanControl::Stop;
+            }
+            if filter_emit(meta, range, &values, rec, f) {
+                matched += 1;
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(stats);
+    }
+    stats.records_matched += matched;
+    Ok(())
+}
+
+/// Timestamp-index-only ablation: seek to the range start by time, then
+/// scan forward without chunk skipping.
+fn scan_ts_only<F>(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    values: ValueRange,
+    stats: &mut QueryStats,
+    f: &mut F,
+) -> Result<()>
+where
+    F: FnMut(Record<'_>),
+{
+    let tsv = TsIndexView::new(&view.ts);
+    // Seek: the newest timestamp entry at or before the range start gives
+    // a record-log position from which scanning forward covers the range.
+    let pos = tsv.partition_by_ts(range.start.saturating_sub(1))?;
+    let start_addr = tsv
+        .find_backward(pos, |e| e.kind == TsKind::RecordMark)?
+        .map(|(_, e)| e.target - e.target % view.chunk_size)
+        .unwrap_or(0);
+    let mut matched = 0u64;
+    let out = view.scan_region(start_addr, view.rec.watermark(), |rec| {
+        if rec.header.ts > range.end {
+            return ScanControl::Stop;
+        }
+        if filter_emit(meta, range, &values, rec, f) {
+            matched += 1;
+        }
+        ScanControl::Continue
+    })?;
+    out.fold_into(stats);
+    stats.records_matched += matched;
+    Ok(())
+}
+
+/// No-index ablation: scan the record log backward from the tail, chunk
+/// piece by chunk piece, until reaching data older than the range. This is
+/// what a raw-file scan does and makes latency grow with lookback
+/// distance (§6.4, Figure 16).
+fn scan_none<F>(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    values: ValueRange,
+    stats: &mut QueryStats,
+    f: &mut F,
+) -> Result<()>
+where
+    F: FnMut(Record<'_>),
+{
+    let wm = view.rec.watermark();
+    if wm == 0 {
+        return Ok(());
+    }
+    let mut matched = 0u64;
+    let mut piece = (wm - 1) / view.chunk_size;
+    loop {
+        let addr = piece * view.chunk_size;
+        let mut piece_max_ts = 0u64;
+        let out = view.scan_region(addr, (addr + view.chunk_size).min(wm), |rec| {
+            piece_max_ts = piece_max_ts.max(rec.header.ts);
+            if filter_emit(meta, range, &values, rec, f) {
+                matched += 1;
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(stats);
+        // All earlier pieces hold only older records.
+        if piece_max_ts != 0 && piece_max_ts < range.start {
+            break;
+        }
+        if piece == 0 {
+            break;
+        }
+        piece -= 1;
+    }
+    stats.records_matched += matched;
+    Ok(())
+}

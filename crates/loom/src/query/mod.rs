@@ -1,0 +1,296 @@
+//! Query operators: raw scan, indexed range scan, indexed aggregate (§4.3).
+//!
+//! All operators follow the same access pattern: use the timestamp index
+//! to locate relevant positions in the chunk index and record log, use
+//! chunk summaries to skip or pre-aggregate chunks, and scan only the
+//! chunks that can contain matching records (plus the active, not-yet-
+//! summarized tail region). Every operator runs single-threaded with a
+//! bounded memory footprint (at most a snapshot of the in-memory log
+//! tails plus one chunk buffer).
+
+mod aggregate;
+mod indexed_scan;
+mod planner;
+mod raw_scan;
+mod view;
+
+pub(crate) use view::QueryView;
+
+use crate::engine::Loom;
+use crate::error::{LoomError, Result};
+use crate::registry::{IndexId, SourceId};
+use crate::stats::QueryStats;
+
+/// An inclusive time range on Loom's internal (arrival) timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRange {
+    /// Inclusive start, in nanoseconds.
+    pub start: u64,
+    /// Inclusive end, in nanoseconds.
+    pub end: u64,
+}
+
+impl TimeRange {
+    /// Creates a time range; `start` must not exceed `end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "time range start {start} exceeds end {end}");
+        TimeRange { start, end }
+    }
+
+    /// The last `duration` nanoseconds before `now`.
+    pub fn last(now: u64, duration: u64) -> Self {
+        TimeRange {
+            start: now.saturating_sub(duration),
+            end: now,
+        }
+    }
+
+    /// Whether `ts` falls inside the range.
+    pub fn contains(&self, ts: u64) -> bool {
+        ts >= self.start && ts <= self.end
+    }
+}
+
+/// An inclusive value range for indexed scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueRange {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl ValueRange {
+    /// Creates a value range; `lo` must not exceed `hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "value range lo {lo} exceeds hi {hi}");
+        ValueRange { lo, hi }
+    }
+
+    /// All values at or above `lo`.
+    pub fn at_least(lo: f64) -> Self {
+        ValueRange {
+            lo,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// All values at or below `hi`.
+    pub fn at_most(hi: f64) -> Self {
+        ValueRange {
+            lo: f64::NEG_INFINITY,
+            hi,
+        }
+    }
+
+    /// The full value range (no value filtering).
+    pub fn all() -> Self {
+        ValueRange {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// Whether `v` falls inside the range.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// A record delivered to a scan callback.
+#[derive(Debug, Clone, Copy)]
+pub struct Record<'a> {
+    /// The record's log address.
+    pub addr: u64,
+    /// The source it belongs to.
+    pub source: SourceId,
+    /// Internal (arrival) timestamp in nanoseconds.
+    pub ts: u64,
+    /// The raw payload.
+    pub payload: &'a [u8],
+}
+
+/// Aggregation methods for `indexed_aggregate` (Figure 9).
+///
+/// `Count`, `Sum`, `Min`, `Max`, and `Mean` are distributive and largely
+/// computed from chunk summaries; `Percentile` is holistic and uses the
+/// bins-as-CDF strategy of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregate {
+    /// Number of records with an extractable indexed value.
+    Count,
+    /// Sum of indexed values.
+    Sum,
+    /// Minimum indexed value.
+    Min,
+    /// Maximum indexed value.
+    Max,
+    /// Arithmetic mean of indexed values.
+    Mean,
+    /// Nearest-rank percentile (0–100) of indexed values.
+    Percentile(f64),
+}
+
+/// Result of an `indexed_aggregate` query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateResult {
+    /// The aggregate value; `None` when no record matched.
+    pub value: Option<f64>,
+    /// Number of values that contributed.
+    pub count: u64,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Ablation switches for query execution (§6.4, Figure 16).
+///
+/// Production use keeps both indexes on (the default); the switches exist
+/// to reproduce the paper's index ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Use the timestamp index to seek by time.
+    pub use_ts_index: bool,
+    /// Use chunk summaries to skip and pre-aggregate chunks.
+    pub use_chunk_index: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            use_ts_index: true,
+            use_chunk_index: true,
+        }
+    }
+}
+
+impl Loom {
+    /// Scans all records of `source` in `range`, newest to oldest
+    /// (Figure 9: `raw_scan`).
+    pub fn raw_scan<F>(&self, source: SourceId, range: TimeRange, f: F) -> Result<QueryStats>
+    where
+        F: FnMut(Record<'_>),
+    {
+        let view = QueryView::capture(&self.inner, source)?;
+        raw_scan::run(&view, source, range, f)
+    }
+
+    /// Scans records of `source` whose indexed value (per index `index`)
+    /// lies in `values` and whose arrival time lies in `range`
+    /// (Figure 9: `indexed_scan`). Records are delivered in log order.
+    pub fn indexed_scan<F>(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        range: TimeRange,
+        values: ValueRange,
+        f: F,
+    ) -> Result<QueryStats>
+    where
+        F: FnMut(Record<'_>),
+    {
+        self.indexed_scan_opt(source, index, range, values, QueryOptions::default(), f)
+    }
+
+    /// [`Loom::indexed_scan`] with explicit index-ablation options.
+    pub fn indexed_scan_opt<F>(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        range: TimeRange,
+        values: ValueRange,
+        opts: QueryOptions,
+        f: F,
+    ) -> Result<QueryStats>
+    where
+        F: FnMut(Record<'_>),
+    {
+        let meta = self.index_meta(source, index)?;
+        let view = QueryView::capture(&self.inner, source)?;
+        indexed_scan::run(&view, &meta, range, values, opts, f)
+    }
+
+    /// Aggregates the indexed values of `source` over `range`
+    /// (Figure 9: `indexed_aggregate`).
+    pub fn indexed_aggregate(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        range: TimeRange,
+        method: Aggregate,
+    ) -> Result<AggregateResult> {
+        let meta = self.index_meta(source, index)?;
+        let view = QueryView::capture(&self.inner, source)?;
+        aggregate::run(&view, &meta, range, method)
+    }
+
+    /// Returns the per-bin record counts of `index` over `range` — the
+    /// histogram-as-CDF of §4.3 — along with the bin boundaries' count.
+    ///
+    /// This is the composition primitive behind holistic aggregates: a
+    /// distributed coordinator (§8) merges per-node bin counts, picks
+    /// the global target bin, and then range-scans only that bin's value
+    /// range on each node. See [`coordinator`](crate::coordinator).
+    pub fn bin_counts(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        range: TimeRange,
+    ) -> Result<(Vec<u64>, QueryStats)> {
+        let meta = self.index_meta(source, index)?;
+        let view = QueryView::capture(&self.inner, source)?;
+        aggregate::bin_counts(&view, &meta, range)
+    }
+
+    /// Returns the histogram specification of an index (validating that
+    /// it covers `source`).
+    pub fn index_spec(
+        &self,
+        source: SourceId,
+        index: IndexId,
+    ) -> Result<crate::histogram::HistogramSpec> {
+        Ok(self.index_meta(source, index)?.spec)
+    }
+
+    /// Applies an index's value-extraction function to raw payload bytes
+    /// (validating that the index covers `source`).
+    ///
+    /// Useful for post-processing scan results with the exact semantics
+    /// the index used (e.g., the distributed coordinator re-extracts
+    /// values from fetched records).
+    pub fn extract_value(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        payload: &[u8],
+    ) -> Result<Option<f64>> {
+        let meta = self.index_meta(source, index)?;
+        Ok((meta.extractor)(payload))
+    }
+
+    /// Resolves and validates the (source, index) pair.
+    fn index_meta(&self, source: SourceId, index: IndexId) -> Result<IndexMeta> {
+        let registry = self.inner.registry.read();
+        let entry = registry.index(index)?;
+        if entry.source != source {
+            return Err(LoomError::IndexSourceMismatch {
+                index: index.0,
+                expected_source: entry.source.0,
+                got_source: source.0,
+            });
+        }
+        Ok(IndexMeta {
+            id: index,
+            source,
+            extractor: std::sync::Arc::clone(&entry.extractor),
+            spec: entry.spec.clone(),
+        })
+    }
+}
+
+/// Resolved index metadata captured at query start.
+pub(crate) struct IndexMeta {
+    pub(crate) id: IndexId,
+    pub(crate) source: SourceId,
+    pub(crate) extractor: crate::registry::ValueFn,
+    pub(crate) spec: crate::histogram::HistogramSpec,
+}

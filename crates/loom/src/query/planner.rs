@@ -1,0 +1,265 @@
+//! Shared query planning: mapping a time range onto chunk summaries and
+//! the unsummarized tail region (§4.3).
+
+use super::view::QueryView;
+use super::TimeRange;
+use crate::chunk_index::SummaryCursor;
+use crate::error::Result;
+use crate::summary::ChunkSummary;
+use crate::ts_index::TsIndexView;
+
+/// The chunk-index positions a query must visit.
+pub(crate) struct SummaryPlan {
+    /// Chunk-index address of the first summary whose chunk may contain
+    /// records in the time range, if any.
+    pub start: Option<u64>,
+    /// Chunk-index address of the last summary this view may use (the one
+    /// referenced by the newest captured chunk-seal entry). Summaries past
+    /// this address exist in the chunk snapshot but are covered by the
+    /// tail region instead, avoiding double scanning.
+    pub stop: Option<u64>,
+    /// Record-log address where the unsummarized tail region begins
+    /// (chunk-aligned).
+    pub region_start: u64,
+    /// Whether the tail region can contain records in the time range.
+    pub region_relevant: bool,
+}
+
+/// Builds a [`SummaryPlan`] for `range` using the timestamp index.
+pub(crate) fn plan(view: &QueryView<'_>, range: TimeRange) -> Result<SummaryPlan> {
+    let tsv = TsIndexView::new(&view.ts);
+    let last_seal = tsv.last_seal_at_or_before(u64::MAX)?;
+    let (region_start, region_relevant, stop) = match &last_seal {
+        Some(seal) => {
+            // Decode the seal's summary to learn where its chunk ends;
+            // records after that boundary are the tail region. The record
+            // that triggered the seal carries the seal's timestamp, so the
+            // region is irrelevant when the range ends before it.
+            let mut cursor = SummaryCursor::new(&view.chunk, seal.target);
+            let summary = cursor.next()?.ok_or_else(|| {
+                crate::error::LoomError::Corrupt(
+                    "chunk-seal entry points past the chunk index".into(),
+                )
+            })?;
+            (
+                summary.chunk_addr + summary.chunk_len as u64,
+                range.end >= seal.ts,
+                Some(seal.target),
+            )
+        }
+        None => (0, true, None),
+    };
+    let start = tsv
+        .first_seal_at_or_after(range.start)?
+        .map(|seal| seal.target)
+        // A seal after the range start may exist only beyond this view's
+        // usable summaries; the stop bound below handles that.
+        .filter(|start| Some(*start) <= stop);
+    Ok(SummaryPlan {
+        start,
+        stop,
+        region_start,
+        region_relevant,
+    })
+}
+
+/// Builds a plan that visits *all* summaries (chunk-index-only ablation:
+/// no timestamp index to seek with).
+pub(crate) fn plan_full(view: &QueryView<'_>) -> Result<SummaryPlan> {
+    // Without the timestamp index we conservatively iterate every summary
+    // in the chunk snapshot; the tail region starts where summaries end.
+    let mut cursor = SummaryCursor::new(&view.chunk, 0);
+    let mut start = None;
+    let mut stop = None;
+    let mut region_start = 0;
+    loop {
+        let pos = cursor.pos();
+        match cursor.next()? {
+            Some(summary) => {
+                if start.is_none() {
+                    start = Some(pos);
+                }
+                stop = Some(pos);
+                region_start = summary.chunk_addr + summary.chunk_len as u64;
+            }
+            None => break,
+        }
+    }
+    Ok(SummaryPlan {
+        start,
+        stop,
+        region_start,
+        region_relevant: true,
+    })
+}
+
+/// Invokes `f(summary, fully_covered_in_time)` for every summary in the
+/// plan whose chunk overlaps `range`. Returns the per-call statistics via
+/// the caller's counter.
+pub(crate) fn for_each_relevant_summary<F>(
+    view: &QueryView<'_>,
+    plan: &SummaryPlan,
+    range: TimeRange,
+    summaries_scanned: &mut u64,
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(&ChunkSummary, bool) -> Result<()>,
+{
+    let (Some(start), Some(stop)) = (plan.start, plan.stop) else {
+        return Ok(());
+    };
+    let mut cursor = SummaryCursor::new(&view.chunk, start);
+    loop {
+        if cursor.pos() > stop {
+            break;
+        }
+        let Some(summary) = cursor.next()? else { break };
+        *summaries_scanned += 1;
+        if summary.record_count() == 0 {
+            continue;
+        }
+        if summary.ts_min > range.end {
+            // Chunks are sealed in arrival order, so later summaries only
+            // contain later records.
+            break;
+        }
+        if summary.ts_max < range.start {
+            continue;
+        }
+        let fully = summary.ts_min >= range.start && summary.ts_max <= range.end;
+        f(&summary, fully)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::config::Config;
+    use crate::engine::Loom;
+    use crate::extract;
+    use crate::histogram::HistogramSpec;
+
+    fn env(name: &str) -> (Loom, crate::engine::LoomWriter, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("loom-planner-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (l, w) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+        (l, w, dir)
+    }
+
+    #[test]
+    fn empty_log_plans_cover_only_the_region() {
+        let (l, _w, dir) = env("empty");
+        let s = l.define_source("s");
+        let view = QueryView::capture(&l.inner, s).unwrap();
+        let plan = plan(&view, TimeRange::new(0, u64::MAX)).unwrap();
+        assert_eq!(plan.start, None);
+        assert_eq!(plan.stop, None);
+        assert_eq!(plan.region_start, 0);
+        assert!(plan.region_relevant);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn historical_ranges_skip_the_tail_region() {
+        let (l, mut w, dir) = env("historical");
+        let s = l.define_source("s");
+        l.define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::uniform(0.0, 100.0, 4).unwrap(),
+        )
+        .unwrap();
+        // Fill several chunks, note the midpoint time, fill more.
+        for i in 0..2_000u64 {
+            l.clock().advance(10);
+            w.push(s, &(i % 100).to_le_bytes()).unwrap();
+        }
+        let mid = l.now();
+        for i in 0..2_000u64 {
+            l.clock().advance(10);
+            w.push(s, &(i % 100).to_le_bytes()).unwrap();
+        }
+        let view = QueryView::capture(&l.inner, s).unwrap();
+        // A range that ends before the last seal: the region is irrelevant.
+        let plan_hist = plan(&view, TimeRange::new(0, mid / 2)).unwrap();
+        assert!(
+            !plan_hist.region_relevant,
+            "historical query must skip the tail"
+        );
+        assert!(plan_hist.start.is_some());
+        // A range extending to now: the region matters.
+        let plan_now = plan(&view, TimeRange::new(mid, l.now())).unwrap();
+        assert!(plan_now.region_relevant);
+        // Region start is chunk-aligned and before the watermark.
+        assert_eq!(plan_now.region_start % view.chunk_size, 0);
+        assert!(plan_now.region_start <= view.rec.watermark());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_full_visits_every_summary() {
+        let (l, mut w, dir) = env("full");
+        let s = l.define_source("s");
+        l.define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::uniform(0.0, 100.0, 4).unwrap(),
+        )
+        .unwrap();
+        for i in 0..3_000u64 {
+            l.clock().advance(5);
+            w.push(s, &(i % 100).to_le_bytes()).unwrap();
+        }
+        w.seal_active_chunk().unwrap();
+        let sealed = l.ingest_stats().chunks_sealed();
+        let view = QueryView::capture(&l.inner, s).unwrap();
+        let plan = plan_full(&view).unwrap();
+        let mut seen = 0u64;
+        for_each_relevant_summary(
+            &view,
+            &plan,
+            TimeRange::new(0, u64::MAX),
+            &mut seen,
+            |_s, _fully| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(seen, sealed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_iteration_stops_after_the_range() {
+        let (l, mut w, dir) = env("stop");
+        let s = l.define_source("s");
+        for i in 0..4_000u64 {
+            l.clock().advance(10);
+            w.push(s, &i.to_le_bytes()).unwrap();
+        }
+        w.seal_active_chunk().unwrap();
+        let view = QueryView::capture(&l.inner, s).unwrap();
+        let p = plan(&view, TimeRange::new(0, l.now() / 10)).unwrap();
+        let mut scanned = 0u64;
+        let mut max_ts_seen = 0u64;
+        for_each_relevant_summary(
+            &view,
+            &p,
+            TimeRange::new(0, l.now() / 10),
+            &mut scanned,
+            |summary, _| {
+                max_ts_seen = max_ts_seen.max(summary.ts_min);
+                Ok(())
+            },
+        )
+        .unwrap();
+        let total = l.ingest_stats().chunks_sealed();
+        assert!(
+            scanned < total,
+            "iteration should stop early ({scanned} of {total})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

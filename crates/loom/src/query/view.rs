@@ -1,0 +1,149 @@
+//! Point-in-time query views (§4.4, §5.5).
+//!
+//! A query captures snapshots of the three hybrid logs in the *reverse*
+//! of the publication order (§5.4): timestamp index first, then chunk
+//! index, then record log. Publication goes record → chunk → timestamp,
+//! so everything reachable from a captured timestamp entry (chunk
+//! summaries, records) is guaranteed to be inside the later-captured
+//! snapshots. The view is the query's linearization point: data published
+//! before the first snapshot is visible; later data is not (§4.5).
+
+use crate::engine::Inner;
+use crate::error::Result;
+use crate::hybridlog::Snapshot;
+use crate::record::{ChunkIter, ChunkRecord, RecordHeader, RECORD_HEADER_SIZE};
+use crate::registry::SourceId;
+use crate::stats::QueryStats;
+
+/// A consistent, point-in-time view over the three logs.
+pub(crate) struct QueryView<'a> {
+    /// Snapshot of the timestamp index (captured first).
+    pub ts: Snapshot<'a>,
+    /// Snapshot of the chunk index (captured second).
+    pub chunk: Snapshot<'a>,
+    /// Snapshot of the record log (captured last).
+    pub rec: Snapshot<'a>,
+    /// The queried source's last published record address at capture time
+    /// (guaranteed inside `rec`), or `NIL_ADDR`.
+    pub source_last: u64,
+    /// Record-log chunk size.
+    pub chunk_size: u64,
+}
+
+impl<'a> QueryView<'a> {
+    /// Captures a view for a query over `source`.
+    pub fn capture(inner: &'a Inner, source: SourceId) -> Result<Self> {
+        let ts = inner.ts_log.snapshot()?;
+        let chunk = inner.chunk_log.snapshot()?;
+        // Load the source pointer *before* the record snapshot: the writer
+        // publishes the record-log watermark before the pointer, so the
+        // acquire load here guarantees the record snapshot (taken after)
+        // covers the pointed-to record.
+        let source_last = inner
+            .registry
+            .read()
+            .source(source)?
+            .shared
+            .last_record
+            .load(std::sync::atomic::Ordering::Acquire);
+        let rec = inner.record_log.snapshot()?;
+        Ok(QueryView {
+            ts,
+            chunk,
+            rec,
+            source_last,
+            chunk_size: inner.config.chunk_size as u64,
+        })
+    }
+
+    /// Reads a record header from the record log.
+    pub fn read_header(&self, addr: u64) -> Result<RecordHeader> {
+        let mut buf = [0u8; RECORD_HEADER_SIZE];
+        self.rec.read_at(addr, &mut buf)?;
+        RecordHeader::decode(&buf)
+    }
+
+    /// Reads a record's payload into `buf` (resized to fit).
+    pub fn read_payload(&self, addr: u64, header: &RecordHeader, buf: &mut Vec<u8>) -> Result<()> {
+        buf.resize(header.len as usize, 0);
+        self.rec.read_at(addr + RECORD_HEADER_SIZE as u64, buf)?;
+        Ok(())
+    }
+
+    /// Scans the record-log region `[from, to)` chunk piece by chunk
+    /// piece, invoking `f` for every record. `from` must be chunk-aligned;
+    /// `to` is clamped to the view's watermark.
+    ///
+    /// Returns the scan's I/O and record counters; `stopped` is set if the
+    /// callback requested an early stop.
+    pub fn scan_region<F>(&self, from: u64, to: u64, mut f: F) -> Result<RegionScan>
+    where
+        F: FnMut(&ChunkRecord<'_>) -> ScanControl,
+    {
+        debug_assert_eq!(from % self.chunk_size, 0, "region start must be aligned");
+        let to = to.min(self.rec.watermark());
+        let mut out = RegionScan::default();
+        let mut pos = from;
+        let mut buf = Vec::new();
+        while pos < to {
+            let len = self.chunk_size.min(to - pos) as usize;
+            buf.resize(len, 0);
+            self.rec.read_at(pos, &mut buf)?;
+            out.chunks += 1;
+            out.bytes += len as u64;
+            for rec in ChunkIter::new(&buf, pos) {
+                let rec = rec?;
+                out.records += 1;
+                match f(&rec) {
+                    ScanControl::Continue => {}
+                    ScanControl::Stop => {
+                        out.stopped = true;
+                        return Ok(out);
+                    }
+                }
+            }
+            pos += len as u64;
+        }
+        Ok(out)
+    }
+
+    /// Scans one chunk at `chunk_addr` (clamped to the watermark),
+    /// invoking `f` for every record.
+    pub fn scan_chunk<F>(&self, chunk_addr: u64, f: F) -> Result<RegionScan>
+    where
+        F: FnMut(&ChunkRecord<'_>) -> ScanControl,
+    {
+        self.scan_region(chunk_addr, chunk_addr + self.chunk_size, f)
+    }
+}
+
+/// Counters produced by a region scan.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct RegionScan {
+    /// Chunk pieces read.
+    pub chunks: u64,
+    /// Bytes read from the record log.
+    pub bytes: u64,
+    /// Records decoded.
+    pub records: u64,
+    /// Whether the callback stopped the scan early.
+    pub stopped: bool,
+}
+
+impl RegionScan {
+    /// Folds these counters into a query's statistics block.
+    pub fn fold_into(&self, stats: &mut QueryStats) {
+        stats.chunks_scanned += self.chunks;
+        stats.bytes_read += self.bytes;
+        stats.records_scanned += self.records;
+    }
+}
+
+/// Flow control for region scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScanControl {
+    /// Keep scanning.
+    Continue,
+    /// Stop the scan early (e.g., a record past the time range was seen).
+    Stop,
+}

@@ -1,0 +1,244 @@
+//! Record-log entry format (§4.2).
+//!
+//! The record log interleaves records from many sources. Each entry is a
+//! fixed 24-byte header followed by the payload. Records from the same
+//! source are linked into a *record chain* via the header's back pointer.
+//!
+//! The record log is divided into fixed-size chunks (the unit of sparse
+//! indexing). Records never straddle a chunk boundary: when a record does
+//! not fit in the active chunk's remainder, Loom writes a padding entry
+//! (or raw zeros when fewer than a header's worth of bytes remain) and
+//! starts the record in the next chunk. Every chunk therefore begins at a
+//! record header, making chunk scans self-contained.
+
+use crate::error::{LoomError, Result};
+
+/// Size in bytes of a record header.
+pub const RECORD_HEADER_SIZE: usize = 24;
+
+/// Sentinel source ID marking a padding entry at the end of a chunk.
+pub const SOURCE_PAD: u32 = u32::MAX;
+
+/// Sentinel "no previous record" back pointer.
+///
+/// Address 0 is a valid log address, so the nil pointer is `u64::MAX`.
+pub const NIL_ADDR: u64 = u64::MAX;
+
+/// Header of a record-log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// Source the record belongs to (0 is invalid and terminates chunk
+    /// scans; [`SOURCE_PAD`] marks padding).
+    pub source: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Address of the previous record from the same source, or [`NIL_ADDR`].
+    pub prev: u64,
+    /// Internal (arrival) timestamp in nanoseconds (§5.2).
+    pub ts: u64,
+}
+
+impl RecordHeader {
+    /// Encodes the header into a fixed-size little-endian buffer.
+    pub fn encode(&self) -> [u8; RECORD_HEADER_SIZE] {
+        let mut buf = [0u8; RECORD_HEADER_SIZE];
+        buf[0..4].copy_from_slice(&self.source.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.len.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.prev.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.ts.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a header from a buffer of at least [`RECORD_HEADER_SIZE`] bytes.
+    pub fn decode(buf: &[u8]) -> Result<RecordHeader> {
+        if buf.len() < RECORD_HEADER_SIZE {
+            return Err(LoomError::Corrupt(format!(
+                "record header truncated: {} bytes",
+                buf.len()
+            )));
+        }
+        Ok(RecordHeader {
+            source: u32::from_le_bytes(buf[0..4].try_into().expect("length checked")),
+            len: u32::from_le_bytes(buf[4..8].try_into().expect("length checked")),
+            prev: u64::from_le_bytes(buf[8..16].try_into().expect("length checked")),
+            ts: u64::from_le_bytes(buf[16..24].try_into().expect("length checked")),
+        })
+    }
+
+    /// Whether this header marks a padding entry.
+    pub fn is_pad(&self) -> bool {
+        self.source == SOURCE_PAD
+    }
+
+    /// Total entry size (header plus payload).
+    pub fn entry_size(&self) -> usize {
+        RECORD_HEADER_SIZE + self.len as usize
+    }
+}
+
+/// A record parsed out of a chunk, with its address and borrowed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRecord<'a> {
+    /// Log address of the record's header.
+    pub addr: u64,
+    /// The record header.
+    pub header: RecordHeader,
+    /// The record payload.
+    pub payload: &'a [u8],
+}
+
+/// Iterates over the records stored in one chunk's raw bytes.
+///
+/// `base_addr` is the log address of `bytes[0]`. Padding entries are
+/// skipped; iteration ends at a zeroed (source 0) header or the end of the
+/// buffer. A partially written final chunk may simply end early.
+pub struct ChunkIter<'a> {
+    bytes: &'a [u8],
+    base_addr: u64,
+    pos: usize,
+}
+
+impl<'a> ChunkIter<'a> {
+    /// Creates an iterator over `bytes`, whose first byte lives at log
+    /// address `base_addr`.
+    pub fn new(bytes: &'a [u8], base_addr: u64) -> Self {
+        ChunkIter {
+            bytes,
+            base_addr,
+            pos: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = Result<ChunkRecord<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos + RECORD_HEADER_SIZE > self.bytes.len() {
+                return None;
+            }
+            let header = match RecordHeader::decode(&self.bytes[self.pos..]) {
+                Ok(h) => h,
+                Err(e) => return Some(Err(e)),
+            };
+            if header.source == 0 {
+                // Zeroed tail: end of valid data in this chunk.
+                return None;
+            }
+            let payload_start = self.pos + RECORD_HEADER_SIZE;
+            let payload_end = payload_start + header.len as usize;
+            if payload_end > self.bytes.len() {
+                return Some(Err(LoomError::Corrupt(format!(
+                    "entry at offset {} overruns chunk ({} > {})",
+                    self.pos,
+                    payload_end,
+                    self.bytes.len()
+                ))));
+            }
+            let addr = self.base_addr + self.pos as u64;
+            self.pos = payload_end;
+            if header.is_pad() {
+                continue;
+            }
+            return Some(Ok(ChunkRecord {
+                addr,
+                header,
+                payload: &self.bytes[payload_start..payload_end],
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = RecordHeader {
+            source: 42,
+            len: 48,
+            prev: 0xdead_beef_cafe,
+            ts: 123_456_789,
+        };
+        let buf = h.encode();
+        assert_eq!(RecordHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(RecordHeader::decode(&[0u8; 23]).is_err());
+    }
+
+    #[test]
+    fn chunk_iter_walks_records_and_skips_padding() {
+        let mut chunk = Vec::new();
+        let mk = |source: u32, payload: &[u8], prev: u64, ts: u64| {
+            let h = RecordHeader {
+                source,
+                len: payload.len() as u32,
+                prev,
+                ts,
+            };
+            let mut v = h.encode().to_vec();
+            v.extend_from_slice(payload);
+            v
+        };
+        chunk.extend(mk(1, b"aaaa", NIL_ADDR, 10));
+        chunk.extend(mk(2, b"bb", NIL_ADDR, 11));
+        // Padding entry.
+        chunk.extend(mk(SOURCE_PAD, &[0u8; 8], 0, 0));
+        chunk.extend(mk(1, b"cccccc", 0, 12));
+        // Zeroed tail.
+        chunk.extend(std::iter::repeat(0u8).take(40));
+
+        let records: Vec<_> = ChunkIter::new(&chunk, 1000)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].addr, 1000);
+        assert_eq!(records[0].payload, b"aaaa");
+        assert_eq!(records[1].header.source, 2);
+        assert_eq!(records[2].payload, b"cccccc");
+        assert_eq!(records[2].header.prev, 0);
+    }
+
+    #[test]
+    fn chunk_iter_stops_at_short_zero_tail() {
+        // Fewer than a header's worth of zero bytes at the end.
+        let h = RecordHeader {
+            source: 1,
+            len: 4,
+            prev: NIL_ADDR,
+            ts: 5,
+        };
+        let mut chunk = h.encode().to_vec();
+        chunk.extend_from_slice(b"wxyz");
+        chunk.extend_from_slice(&[0u8; 10]);
+        let records: Vec<_> = ChunkIter::new(&chunk, 0)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn chunk_iter_reports_overrun_as_corrupt() {
+        let h = RecordHeader {
+            source: 1,
+            len: 1000,
+            prev: NIL_ADDR,
+            ts: 5,
+        };
+        let mut chunk = h.encode().to_vec();
+        chunk.extend_from_slice(b"short");
+        let mut it = ChunkIter::new(&chunk, 0);
+        assert!(matches!(it.next(), Some(Err(LoomError::Corrupt(_)))));
+    }
+
+    #[test]
+    fn empty_chunk_yields_nothing() {
+        assert!(ChunkIter::new(&[], 0).next().is_none());
+        assert!(ChunkIter::new(&[0u8; 64], 0).next().is_none());
+    }
+}

@@ -1,0 +1,360 @@
+//! Chunk summaries: the entries of Loom's chunk index (§4.2, Figure 8).
+//!
+//! A chunk summary is a small, lightweight structure containing metadata
+//! about one record-log chunk: its time range, per-source record counts,
+//! and — for each index active on a source in the chunk — statistics on
+//! the values that fall within each histogram bin. Loom incrementally
+//! updates the summary of the *active* chunk as records arrive and appends
+//! the finalized summary to the chunk index when the chunk fills up.
+
+use std::collections::BTreeMap;
+
+use crate::error::{LoomError, Result};
+
+/// Statistics for the records of one chunk whose indexed values fall in
+/// one histogram bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinStats {
+    /// Number of records in the bin.
+    pub count: u64,
+    /// Minimum indexed value.
+    pub min: f64,
+    /// Maximum indexed value.
+    pub max: f64,
+    /// Sum of indexed values.
+    pub sum: f64,
+    /// Earliest record timestamp in the bin.
+    pub ts_min: u64,
+    /// Latest record timestamp in the bin.
+    pub ts_max: u64,
+}
+
+impl BinStats {
+    /// Statistics of a single observation.
+    pub fn of(value: f64, ts: u64) -> Self {
+        BinStats {
+            count: 1,
+            min: value,
+            max: value,
+            sum: value,
+            ts_min: ts,
+            ts_max: ts,
+        }
+    }
+
+    /// Folds another observation into the statistics.
+    pub fn observe(&mut self, value: f64, ts: u64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.ts_min = self.ts_min.min(ts);
+        self.ts_max = self.ts_max.max(ts);
+    }
+
+    /// Merges another bin's statistics into this one.
+    pub fn merge(&mut self, other: &BinStats) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.ts_min = self.ts_min.min(other.ts_min);
+        self.ts_max = self.ts_max.max(other.ts_max);
+    }
+}
+
+/// Summary of one record-log chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkSummary {
+    /// Sequence number of the chunk (chunk_addr / chunk_size).
+    pub chunk_seq: u64,
+    /// Record-log address of the chunk's first byte.
+    pub chunk_addr: u64,
+    /// Length of the chunk in bytes.
+    pub chunk_len: u32,
+    /// Earliest record timestamp in the chunk (u64::MAX when empty).
+    pub ts_min: u64,
+    /// Latest record timestamp in the chunk (0 when empty).
+    pub ts_max: u64,
+    /// Record count per source present in the chunk.
+    pub sources: BTreeMap<u32, u64>,
+    /// Per-index, per-bin statistics: `indexes[index_id][bin] = stats`.
+    pub indexes: BTreeMap<u32, BTreeMap<u32, BinStats>>,
+}
+
+impl ChunkSummary {
+    /// Creates an empty summary for the chunk starting at `chunk_addr`.
+    pub fn new(chunk_seq: u64, chunk_addr: u64, chunk_len: u32) -> Self {
+        ChunkSummary {
+            chunk_seq,
+            chunk_addr,
+            chunk_len,
+            ts_min: u64::MAX,
+            ts_max: 0,
+            sources: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+        }
+    }
+
+    /// Records the arrival of a record from `source` at time `ts`.
+    pub fn observe_record(&mut self, source: u32, ts: u64) {
+        self.ts_min = self.ts_min.min(ts);
+        self.ts_max = self.ts_max.max(ts);
+        *self.sources.entry(source).or_insert(0) += 1;
+    }
+
+    /// Records an indexed value landing in `bin` of index `index_id`.
+    pub fn observe_value(&mut self, index_id: u32, bin: u32, value: f64, ts: u64) {
+        self.indexes
+            .entry(index_id)
+            .or_default()
+            .entry(bin)
+            .and_modify(|s| s.observe(value, ts))
+            .or_insert_with(|| BinStats::of(value, ts));
+    }
+
+    /// Total records across all sources.
+    pub fn record_count(&self) -> u64 {
+        self.sources.values().sum()
+    }
+
+    /// Whether the chunk holds any record from `source`.
+    pub fn has_source(&self, source: u32) -> bool {
+        self.sources.contains_key(&source)
+    }
+
+    /// The per-bin statistics for `index_id`, if any record was indexed.
+    pub fn index_bins(&self, index_id: u32) -> Option<&BTreeMap<u32, BinStats>> {
+        self.indexes.get(&index_id)
+    }
+
+    /// Serializes the summary, prefixed with its total length, so the
+    /// chunk index can be scanned sequentially.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let len_pos = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes()); // placeholder
+        out.extend_from_slice(&self.chunk_seq.to_le_bytes());
+        out.extend_from_slice(&self.chunk_addr.to_le_bytes());
+        out.extend_from_slice(&self.chunk_len.to_le_bytes());
+        out.extend_from_slice(&self.ts_min.to_le_bytes());
+        out.extend_from_slice(&self.ts_max.to_le_bytes());
+        out.extend_from_slice(&(self.sources.len() as u32).to_le_bytes());
+        for (source, count) in &self.sources {
+            out.extend_from_slice(&source.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.indexes.len() as u32).to_le_bytes());
+        for (index_id, bins) in &self.indexes {
+            out.extend_from_slice(&index_id.to_le_bytes());
+            out.extend_from_slice(&(bins.len() as u32).to_le_bytes());
+            for (bin, s) in bins {
+                out.extend_from_slice(&bin.to_le_bytes());
+                out.extend_from_slice(&s.count.to_le_bytes());
+                out.extend_from_slice(&s.min.to_le_bytes());
+                out.extend_from_slice(&s.max.to_le_bytes());
+                out.extend_from_slice(&s.sum.to_le_bytes());
+                out.extend_from_slice(&s.ts_min.to_le_bytes());
+                out.extend_from_slice(&s.ts_max.to_le_bytes());
+            }
+        }
+        let total = (out.len() - len_pos - 4) as u32;
+        out[len_pos..len_pos + 4].copy_from_slice(&total.to_le_bytes());
+    }
+
+    /// Decodes a summary from `bytes` (which must start at the length
+    /// prefix). Returns the summary and the number of bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(ChunkSummary, usize)> {
+        let mut c = Cursor::new(bytes);
+        let body_len = c.u32()? as usize;
+        if bytes.len() < 4 + body_len {
+            return Err(LoomError::Corrupt(format!(
+                "chunk summary truncated: need {} bytes, have {}",
+                4 + body_len,
+                bytes.len()
+            )));
+        }
+        let chunk_seq = c.u64()?;
+        let chunk_addr = c.u64()?;
+        let chunk_len = c.u32()?;
+        let ts_min = c.u64()?;
+        let ts_max = c.u64()?;
+        let n_sources = c.u32()?;
+        let mut sources = BTreeMap::new();
+        for _ in 0..n_sources {
+            let source = c.u32()?;
+            let count = c.u64()?;
+            sources.insert(source, count);
+        }
+        let n_indexes = c.u32()?;
+        let mut indexes = BTreeMap::new();
+        for _ in 0..n_indexes {
+            let index_id = c.u32()?;
+            let n_bins = c.u32()?;
+            let mut bins = BTreeMap::new();
+            for _ in 0..n_bins {
+                let bin = c.u32()?;
+                let stats = BinStats {
+                    count: c.u64()?,
+                    min: c.f64()?,
+                    max: c.f64()?,
+                    sum: c.f64()?,
+                    ts_min: c.u64()?,
+                    ts_max: c.u64()?,
+                };
+                bins.insert(bin, stats);
+            }
+            indexes.insert(index_id, bins);
+        }
+        let consumed = 4 + body_len;
+        if c.pos > consumed {
+            return Err(LoomError::Corrupt(
+                "chunk summary body overran its length prefix".into(),
+            ));
+        }
+        Ok((
+            ChunkSummary {
+                chunk_seq,
+                chunk_addr,
+                chunk_len,
+                ts_min,
+                ts_max,
+                sources,
+                indexes,
+            },
+            consumed,
+        ))
+    }
+}
+
+/// Minimal little-endian read cursor.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(LoomError::Corrupt(format!(
+                "unexpected end of summary at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> ChunkSummary {
+        let mut s = ChunkSummary::new(7, 7 * 65536, 65536);
+        s.observe_record(1, 100);
+        s.observe_record(1, 120);
+        s.observe_record(2, 110);
+        s.observe_value(10, 1, 5.0, 100);
+        s.observe_value(10, 1, 7.0, 120);
+        s.observe_value(10, 3, 999.0, 120);
+        s.observe_value(11, 0, -2.5, 110);
+        s
+    }
+
+    #[test]
+    fn observe_tracks_stats() {
+        let s = sample_summary();
+        assert_eq!(s.ts_min, 100);
+        assert_eq!(s.ts_max, 120);
+        assert_eq!(s.record_count(), 3);
+        assert_eq!(s.sources[&1], 2);
+        assert_eq!(s.sources[&2], 1);
+        let bins = s.index_bins(10).unwrap();
+        assert_eq!(bins[&1].count, 2);
+        assert_eq!(bins[&1].min, 5.0);
+        assert_eq!(bins[&1].max, 7.0);
+        assert_eq!(bins[&1].sum, 12.0);
+        assert_eq!(bins[&3].count, 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let s = sample_summary();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let (decoded, consumed) = ChunkSummary::decode(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn sequential_summaries_decode_in_order() {
+        let mut buf = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..5 {
+            let mut s = ChunkSummary::new(i, i * 4096, 4096);
+            s.observe_record(1, i * 10);
+            s.observe_value(1, (i % 3) as u32, i as f64, i * 10);
+            s.encode(&mut buf);
+            expected.push(s);
+        }
+        let mut pos = 0;
+        let mut got = Vec::new();
+        while pos < buf.len() {
+            let (s, n) = ChunkSummary::decode(&buf[pos..]).unwrap();
+            pos += n;
+            got.push(s);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn truncated_summary_is_corrupt() {
+        let s = sample_summary();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        assert!(ChunkSummary::decode(&buf[..buf.len() - 1]).is_err());
+        assert!(ChunkSummary::decode(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn empty_summary_round_trips() {
+        let s = ChunkSummary::new(0, 0, 4096);
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let (decoded, n) = ChunkSummary::decode(&buf).unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(decoded, s);
+        assert_eq!(decoded.record_count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_bins() {
+        let mut a = BinStats::of(5.0, 10);
+        let b = BinStats::of(1.0, 30);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 5.0);
+        assert_eq!(a.sum, 6.0);
+        assert_eq!(a.ts_min, 10);
+        assert_eq!(a.ts_max, 30);
+    }
+}

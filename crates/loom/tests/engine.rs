@@ -1,0 +1,875 @@
+//! End-to-end tests of the Loom engine: ingest, indexing, and all three
+//! query operators, validated against brute-force reference models.
+
+use std::sync::Arc;
+
+use loom::{
+    extract, Aggregate, Clock, Config, HistogramSpec, Loom, LoomWriter, QueryOptions, SourceId,
+    TimeRange, ValueRange,
+};
+
+struct TestEnv {
+    loom: Loom,
+    writer: LoomWriter,
+    dir: std::path::PathBuf,
+}
+
+impl TestEnv {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("loom-engine-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (loom, writer) =
+            Loom::open_with_clock(Config::small(&dir), Clock::manual(1_000)).unwrap();
+        TestEnv { loom, writer, dir }
+    }
+}
+
+impl Drop for TestEnv {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Pushes `n` records with value `f(i)`, advancing the clock by `dt` each.
+/// Returns `(ts, value)` pairs.
+fn push_values(
+    env: &mut TestEnv,
+    source: SourceId,
+    n: u64,
+    dt: u64,
+    f: impl Fn(u64) -> u64,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        let ts = env.loom.clock().advance(dt);
+        let v = f(i);
+        env.writer.push(source, &v.to_le_bytes()).unwrap();
+        out.push((ts, v));
+    }
+    out
+}
+
+fn latency_spec() -> HistogramSpec {
+    HistogramSpec::from_bounds(vec![0.0, 100.0, 1_000.0, 10_000.0, 100_000.0]).unwrap()
+}
+
+#[test]
+fn raw_scan_returns_exact_time_range_newest_first() {
+    let mut env = TestEnv::new("rawscan");
+    let s = env.loom.define_source("src");
+    let pushed = push_values(&mut env, s, 500, 10, |i| i);
+
+    let range = TimeRange::new(pushed[100].0, pushed[399].0);
+    let mut got = Vec::new();
+    env.loom
+        .raw_scan(s, range, |r| {
+            let v = u64::from_le_bytes(r.payload.try_into().unwrap());
+            got.push((r.ts, v));
+        })
+        .unwrap();
+
+    let mut expected: Vec<_> = pushed[100..=399].to_vec();
+    expected.reverse();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn raw_scan_of_empty_source_is_empty() {
+    let mut env = TestEnv::new("rawscan-empty");
+    let s = env.loom.define_source("src");
+    let other = env.loom.define_source("other");
+    push_values(&mut env, other, 100, 10, |i| i);
+    let mut count = 0;
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |_| count += 1)
+        .unwrap();
+    assert_eq!(count, 0);
+}
+
+#[test]
+fn raw_scan_interleaved_sources_stay_separate() {
+    let mut env = TestEnv::new("rawscan-interleave");
+    let a = env.loom.define_source("a");
+    let b = env.loom.define_source("b");
+    let mut a_recs = Vec::new();
+    for i in 0..300u64 {
+        let ts = env.loom.clock().advance(7);
+        if i % 3 == 0 {
+            env.writer.push(a, &i.to_le_bytes()).unwrap();
+            a_recs.push((ts, i));
+        } else {
+            env.writer.push(b, &(i * 1000).to_le_bytes()).unwrap();
+        }
+    }
+    let mut got = Vec::new();
+    env.loom
+        .raw_scan(a, TimeRange::new(0, u64::MAX), |r| {
+            got.push((r.ts, u64::from_le_bytes(r.payload.try_into().unwrap())));
+        })
+        .unwrap();
+    a_recs.reverse();
+    assert_eq!(got, a_recs);
+}
+
+#[test]
+fn indexed_scan_matches_brute_force_filter() {
+    let mut env = TestEnv::new("iscan");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    // Mixed values across bins, with rare outliers.
+    let pushed = push_values(&mut env, s, 2_000, 5, |i| {
+        if i % 500 == 137 {
+            50_000 + i
+        } else {
+            i % 900
+        }
+    });
+
+    let range = TimeRange::new(pushed[200].0, pushed[1800].0);
+    let values = ValueRange::at_least(10_000.0);
+    let mut got = Vec::new();
+    let stats = env
+        .loom
+        .indexed_scan(s, idx, range, values, |r| {
+            got.push((r.ts, u64::from_le_bytes(r.payload.try_into().unwrap())));
+        })
+        .unwrap();
+
+    let mut expected: Vec<_> = pushed[200..=1800]
+        .iter()
+        .copied()
+        .filter(|(_, v)| *v >= 10_000)
+        .collect();
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected);
+    // The sparse index must have skipped most chunks: only chunks holding
+    // outliers (plus the active tail) get scanned.
+    assert!(
+        stats.chunks_scanned < stats.summaries_scanned,
+        "index did not skip chunks: {stats:?}"
+    );
+}
+
+#[test]
+fn indexed_scan_all_ablation_modes_agree() {
+    let mut env = TestEnv::new("ablation");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    let pushed = push_values(&mut env, s, 3_000, 3, |i| (i * 7919) % 20_000);
+
+    let range = TimeRange::new(pushed[500].0, pushed[2500].0);
+    let values = ValueRange::new(500.0, 1_500.0);
+    let expected: std::collections::BTreeSet<_> = pushed[500..=2500]
+        .iter()
+        .copied()
+        .filter(|(_, v)| (500..=1500).contains(v))
+        .collect();
+    assert!(!expected.is_empty());
+
+    for (use_ts, use_chunk) in [(true, true), (true, false), (false, true), (false, false)] {
+        let opts = QueryOptions {
+            use_ts_index: use_ts,
+            use_chunk_index: use_chunk,
+        };
+        let mut got = std::collections::BTreeSet::new();
+        env.loom
+            .indexed_scan_opt(s, idx, range, values, opts, |r| {
+                got.insert((r.ts, u64::from_le_bytes(r.payload.try_into().unwrap())));
+            })
+            .unwrap();
+        assert_eq!(
+            got, expected,
+            "ablation mode ts={use_ts} chunk={use_chunk} disagrees"
+        );
+    }
+}
+
+#[test]
+fn distributive_aggregates_match_brute_force() {
+    let mut env = TestEnv::new("agg");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    let pushed = push_values(&mut env, s, 2_500, 4, |i| (i * 31) % 5_000);
+
+    let range = TimeRange::new(pushed[300].0, pushed[2200].0);
+    let in_range: Vec<f64> = pushed[300..=2200].iter().map(|(_, v)| *v as f64).collect();
+
+    let count = env
+        .loom
+        .indexed_aggregate(s, idx, range, Aggregate::Count)
+        .unwrap();
+    assert_eq!(count.value, Some(in_range.len() as f64));
+
+    let sum = env
+        .loom
+        .indexed_aggregate(s, idx, range, Aggregate::Sum)
+        .unwrap();
+    assert!((sum.value.unwrap() - in_range.iter().sum::<f64>()).abs() < 1e-6);
+
+    let min = env
+        .loom
+        .indexed_aggregate(s, idx, range, Aggregate::Min)
+        .unwrap();
+    assert_eq!(min.value, in_range.iter().copied().reduce(f64::min));
+
+    let max = env
+        .loom
+        .indexed_aggregate(s, idx, range, Aggregate::Max)
+        .unwrap();
+    assert_eq!(max.value, in_range.iter().copied().reduce(f64::max));
+
+    let mean = env
+        .loom
+        .indexed_aggregate(s, idx, range, Aggregate::Mean)
+        .unwrap();
+    let expected_mean = in_range.iter().sum::<f64>() / in_range.len() as f64;
+    assert!((mean.value.unwrap() - expected_mean).abs() < 1e-9);
+}
+
+#[test]
+fn percentiles_match_nearest_rank_reference() {
+    let mut env = TestEnv::new("pctl");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    let pushed = push_values(&mut env, s, 4_000, 2, |i| (i * 48_271) % 30_000);
+
+    let range = TimeRange::new(pushed[100].0, pushed[3900].0);
+    let mut sorted: Vec<f64> = pushed[100..=3900].iter().map(|(_, v)| *v as f64).collect();
+    sorted.sort_by(f64::total_cmp);
+
+    for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+        let result = env
+            .loom
+            .indexed_aggregate(s, idx, range, Aggregate::Percentile(p))
+            .unwrap();
+        let n = sorted.len() as f64;
+        let rank = ((p / 100.0 * n).ceil() as usize).clamp(1, sorted.len());
+        let expected = sorted[rank - 1];
+        assert_eq!(
+            result.value,
+            Some(expected),
+            "p{p} mismatch (rank {rank} of {n})"
+        );
+    }
+}
+
+#[test]
+fn aggregate_over_empty_range_is_none() {
+    let mut env = TestEnv::new("agg-empty");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    push_values(&mut env, s, 100, 10, |i| i);
+    // A range before any data.
+    let r = env
+        .loom
+        .indexed_aggregate(s, idx, TimeRange::new(0, 500), Aggregate::Max)
+        .unwrap();
+    assert_eq!(r.value, None);
+    assert_eq!(r.count, 0);
+    let r = env
+        .loom
+        .indexed_aggregate(s, idx, TimeRange::new(0, 500), Aggregate::Percentile(99.0))
+        .unwrap();
+    assert_eq!(r.value, None);
+}
+
+#[test]
+fn percentile_out_of_range_is_rejected() {
+    let mut env = TestEnv::new("pctl-bad");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    push_values(&mut env, s, 10, 10, |i| i);
+    assert!(env
+        .loom
+        .indexed_aggregate(
+            s,
+            idx,
+            TimeRange::new(0, u64::MAX),
+            Aggregate::Percentile(101.0)
+        )
+        .is_err());
+}
+
+#[test]
+fn querying_while_ingesting_sees_consistent_data() {
+    let mut env = TestEnv::new("concurrent-query");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    // Interleave pushes and queries: after every batch, a query over the
+    // full range must see exactly the records pushed so far.
+    let mut total = 0u64;
+    for batch in 0..20 {
+        push_values(&mut env, s, 150, 3, |i| i + batch * 150);
+        total += 150;
+        let r = env
+            .loom
+            .indexed_aggregate(s, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+            .unwrap();
+        assert_eq!(r.value, Some(total as f64), "batch {batch}");
+    }
+}
+
+#[test]
+fn closed_source_rejects_pushes_but_remains_queryable() {
+    let mut env = TestEnv::new("close-source");
+    let s = env.loom.define_source("src");
+    push_values(&mut env, s, 100, 10, |i| i);
+    env.loom.close_source(s).unwrap();
+    assert!(env.writer.push(s, &0u64.to_le_bytes()).is_err());
+    let mut count = 0;
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |_| count += 1)
+        .unwrap();
+    assert_eq!(count, 100);
+}
+
+#[test]
+fn unknown_ids_error() {
+    let env = TestEnv::new("unknown");
+    let s = env.loom.define_source("src");
+    let bogus_source = SourceId(999);
+    assert!(env
+        .loom
+        .raw_scan(bogus_source, TimeRange::new(0, 1), |_| {})
+        .is_err());
+    assert!(env.loom.close_source(bogus_source).is_err());
+    let spec = latency_spec();
+    assert!(env
+        .loom
+        .define_index(bogus_source, extract::u64_le_at(0), spec)
+        .is_err());
+    let _ = s;
+}
+
+#[test]
+fn index_source_mismatch_is_rejected() {
+    let mut env = TestEnv::new("mismatch");
+    let a = env.loom.define_source("a");
+    let b = env.loom.define_source("b");
+    let idx = env
+        .loom
+        .define_index(a, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    push_values(&mut env, a, 10, 5, |i| i);
+    let err = env
+        .loom
+        .indexed_scan(
+            b,
+            idx,
+            TimeRange::new(0, u64::MAX),
+            ValueRange::all(),
+            |_| {},
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("defined over source"));
+}
+
+#[test]
+fn late_defined_index_covers_only_new_data() {
+    let mut env = TestEnv::new("late-index");
+    let s = env.loom.define_source("src");
+    // 1000 records before the index exists.
+    let before = push_values(&mut env, s, 1000, 5, |i| i % 100);
+    env.writer.seal_active_chunk().unwrap();
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    let after = push_values(&mut env, s, 1000, 5, |i| 200 + i % 100);
+
+    // An indexed scan over everything returns only post-definition data
+    // (§5.3: older data is not re-indexed).
+    let mut got = Vec::new();
+    env.loom
+        .indexed_scan(
+            s,
+            idx,
+            TimeRange::new(0, u64::MAX),
+            ValueRange::all(),
+            |r| {
+                got.push(u64::from_le_bytes(r.payload.try_into().unwrap()));
+            },
+        )
+        .unwrap();
+    assert_eq!(got.len(), after.len());
+    assert!(got.iter().all(|v| *v >= 200));
+
+    // Raw scans still see everything.
+    let mut count = 0;
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |_| count += 1)
+        .unwrap();
+    assert_eq!(count as usize, before.len() + after.len());
+}
+
+#[test]
+fn record_too_large_is_rejected() {
+    let mut env = TestEnv::new("too-large");
+    let s = env.loom.define_source("src");
+    let max = Config::small("/tmp/unused").max_record_payload();
+    assert!(env.writer.push(s, &vec![0u8; max + 1]).is_err());
+    assert!(env.writer.push(s, &vec![0u8; max]).is_ok());
+}
+
+#[test]
+fn variable_size_payloads_round_trip() {
+    let mut env = TestEnv::new("varsize");
+    let s = env.loom.define_source("src");
+    let mut pushed = Vec::new();
+    for i in 0..400u64 {
+        let ts = env.loom.clock().advance(9);
+        let len = 1 + (i as usize * 13) % 300;
+        let payload: Vec<u8> = (0..len).map(|j| ((i as usize + j) % 251) as u8).collect();
+        env.writer.push(s, &payload).unwrap();
+        pushed.push((ts, payload));
+    }
+    let mut got = Vec::new();
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |r| {
+            got.push((r.ts, r.payload.to_vec()));
+        })
+        .unwrap();
+    pushed.reverse();
+    assert_eq!(got, pushed);
+}
+
+#[test]
+fn sync_bounds_durable_loss() {
+    let mut env = TestEnv::new("sync");
+    let s = env.loom.define_source("src");
+    push_values(&mut env, s, 1000, 5, |i| i);
+    env.writer.sync().unwrap();
+    // After sync, the record log file must contain every published byte.
+    let meta = std::fs::metadata(env.dir.join("records.log")).unwrap();
+    let stats = env.loom.ingest_stats();
+    assert!(meta.len() >= stats.bytes());
+}
+
+#[test]
+fn ingest_stats_track_pushes_and_seals() {
+    let mut env = TestEnv::new("stats");
+    let s = env.loom.define_source("src");
+    push_values(&mut env, s, 1000, 5, |i| i);
+    let stats = env.loom.ingest_stats();
+    assert_eq!(stats.records(), 1000);
+    assert_eq!(stats.bytes(), 1000 * (24 + 8));
+    // 32 KiB written into 4 KiB chunks: several seals must have happened.
+    assert!(
+        stats.chunks_sealed() >= 7,
+        "seals: {}",
+        stats.chunks_sealed()
+    );
+    assert!(stats.ts_entries() > 0);
+}
+
+#[test]
+fn many_sources_with_indexes_do_not_interfere() {
+    let mut env = TestEnv::new("many-sources");
+    let sources: Vec<_> = (0..8)
+        .map(|i| env.loom.define_source(&format!("src{i}")))
+        .collect();
+    let indexes: Vec<_> = sources
+        .iter()
+        .map(|s| {
+            env.loom
+                .define_index(*s, extract::u64_le_at(0), latency_spec())
+                .unwrap()
+        })
+        .collect();
+    // Round-robin pushes with per-source value offsets.
+    for i in 0..4_000u64 {
+        env.loom.clock().advance(1);
+        let which = (i % 8) as usize;
+        let v = i / 8 + (which as u64) * 10_000;
+        env.writer.push(sources[which], &v.to_le_bytes()).unwrap();
+    }
+    for (k, (s, idx)) in sources.iter().zip(&indexes).enumerate() {
+        let r = env
+            .loom
+            .indexed_aggregate(*s, *idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+            .unwrap();
+        assert_eq!(r.value, Some(500.0), "source {k}");
+        let min = env
+            .loom
+            .indexed_aggregate(*s, *idx, TimeRange::new(0, u64::MAX), Aggregate::Min)
+            .unwrap();
+        assert_eq!(min.value, Some((k as f64) * 10_000.0), "source {k}");
+    }
+}
+
+#[test]
+fn exact_match_index_emulation_finds_only_matches() {
+    let mut env = TestEnv::new("exact-match");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::exact_match(42.0).unwrap(),
+        )
+        .unwrap();
+    push_values(&mut env, s, 2_000, 3, |i| {
+        if i % 97 == 0 {
+            42
+        } else {
+            i % 1000
+        }
+    });
+    let mut got = Vec::new();
+    let stats = env
+        .loom
+        .indexed_scan(
+            s,
+            idx,
+            TimeRange::new(0, u64::MAX),
+            ValueRange::new(42.0, 42.0),
+            |r| got.push(u64::from_le_bytes(r.payload.try_into().unwrap())),
+        )
+        .unwrap();
+    // 42 appears at i = 0, 97, 194, ... but only when i % 1000 != 42 path;
+    // count directly:
+    let expected = (0..2000u64)
+        .filter(|i| (i % 97 == 0 && true) || (i % 97 != 0 && i % 1000 == 42))
+        .count();
+    assert_eq!(got.len(), expected);
+    assert!(got.iter().all(|v| *v == 42));
+    assert!(stats.summaries_scanned > 0);
+}
+
+#[test]
+fn concurrent_reader_thread_never_sees_inconsistency() {
+    // Spin a real reader thread issuing aggregates while the writer pushes.
+    let mut env = TestEnv::new("reader-thread");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    let reader_loom = env.loom.clone();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_r = Arc::clone(&stop);
+    let reader = std::thread::spawn(move || {
+        let mut queries = 0u64;
+        while !stop_r.load(std::sync::atomic::Ordering::Relaxed) {
+            let r = reader_loom
+                .indexed_aggregate(s, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+                .unwrap();
+            // Counts must be monotone over time; checked via max-so-far.
+            queries = queries.max(r.value.unwrap_or(0.0) as u64);
+        }
+        queries
+    });
+    push_values(&mut env, s, 30_000, 1, |i| i % 10_000);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let max_seen = reader.join().unwrap();
+    assert!(max_seen <= 30_000);
+    let final_count = env
+        .loom
+        .indexed_aggregate(s, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+        .unwrap();
+    assert_eq!(final_count.value, Some(30_000.0));
+}
+
+#[test]
+fn external_timestamps_are_queryable_via_an_index() {
+    // §5.2: records can carry their own (possibly out-of-order) external
+    // timestamps; indexing them as values lets chunk summaries capture
+    // min/max external-ts per chunk, so an indexed scan over an external
+    // time range touches only the overlapping chunks.
+    let mut env = TestEnv::new("external-ts");
+    let s = env.loom.define_source("src");
+    // Payload layout: [external_ts: u64][value: u64].
+    let ext_idx = env
+        .loom
+        .define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::uniform(0.0, 1_000_000.0, 16).unwrap(),
+        )
+        .unwrap();
+    // External timestamps arrive slightly out of order (jitter of up to
+    // 1000 units against arrival order).
+    let mut payload = [0u8; 16];
+    let mut expected = 0u64;
+    for i in 0..5_000u64 {
+        env.loom.clock().advance(7);
+        let ext_ts = i * 100 + ((i * 37) % 1_000);
+        payload[0..8].copy_from_slice(&ext_ts.to_le_bytes());
+        payload[8..16].copy_from_slice(&i.to_le_bytes());
+        env.writer.push(s, &payload).unwrap();
+        if (200_000..=300_000).contains(&ext_ts) {
+            expected += 1;
+        }
+    }
+    // Query by *external* time range via the index; Loom's own time range
+    // stays unbounded.
+    let mut got = Vec::new();
+    env.loom
+        .indexed_scan(
+            s,
+            ext_idx,
+            TimeRange::new(0, u64::MAX),
+            ValueRange::new(200_000.0, 300_000.0),
+            |r| {
+                let ext = u64::from_le_bytes(r.payload[0..8].try_into().unwrap());
+                got.push(ext);
+            },
+        )
+        .unwrap();
+    assert_eq!(got.len() as u64, expected);
+    assert!(got.iter().all(|e| (200_000..=300_000).contains(e)));
+    // The client sorts by embedded external timestamp (§5.2).
+    got.sort();
+    assert!(got.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn index_redefinition_covers_only_new_data_without_ingest_impact() {
+    // §5.3: when the workload changes, close the stale index and define a
+    // new histogram; old data is not re-indexed, and the new index serves
+    // data arriving after its definition.
+    let mut env = TestEnv::new("redefine");
+    let s = env.loom.define_source("src");
+    let coarse = env
+        .loom
+        .define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::uniform(0.0, 1_000.0, 2).unwrap(),
+        )
+        .unwrap();
+    push_values(&mut env, s, 800, 5, |i| i % 1_000);
+    env.writer.seal_active_chunk().unwrap();
+    let cutover = env.loom.now();
+
+    // Workload shifts to a wider value range: redefine.
+    env.loom.close_index(coarse).unwrap();
+    let fine = env
+        .loom
+        .define_index(
+            s,
+            extract::u64_le_at(0),
+            HistogramSpec::uniform(0.0, 100_000.0, 20).unwrap(),
+        )
+        .unwrap();
+    push_values(&mut env, s, 800, 5, |i| 10_000 + i * 100);
+
+    // The new index answers over post-cutover data.
+    let r = env
+        .loom
+        .indexed_aggregate(s, fine, TimeRange::new(cutover, u64::MAX), Aggregate::Max)
+        .unwrap();
+    assert_eq!(r.value, Some(10_000.0 + 799.0 * 100.0));
+    // And sees none of the pre-cutover records (not re-indexed).
+    let r = env
+        .loom
+        .indexed_aggregate(s, fine, TimeRange::new(0, u64::MAX), Aggregate::Count)
+        .unwrap();
+    assert_eq!(r.value, Some(800.0));
+    // The closed index still serves its own epoch's chunks.
+    let r = env
+        .loom
+        .indexed_aggregate(s, coarse, TimeRange::new(0, cutover), Aggregate::Count)
+        .unwrap();
+    assert_eq!(r.value, Some(800.0));
+    // Raw scans are unaffected by index churn.
+    let mut n = 0;
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |_| n += 1)
+        .unwrap();
+    assert_eq!(n, 1_600);
+}
+
+#[test]
+fn bin_counts_sum_to_indexed_record_count() {
+    let mut env = TestEnv::new("bin-counts");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    let pushed = push_values(&mut env, s, 3_000, 3, |i| (i * 17) % 120_000);
+    let range = TimeRange::new(pushed[500].0, pushed[2500].0);
+    let (counts, stats) = env.loom.bin_counts(s, idx, range).unwrap();
+    assert_eq!(counts.iter().sum::<u64>(), 2_001);
+    assert!(stats.summaries_scanned > 0);
+    // Brute-force per-bin reference.
+    let spec = latency_spec();
+    let mut reference = vec![0u64; spec.bin_count()];
+    for (_, v) in &pushed[500..=2500] {
+        reference[spec.bin_of(*v as f64).unwrap()] += 1;
+    }
+    assert_eq!(counts, reference);
+}
+
+#[test]
+fn zero_length_payloads_are_valid_records() {
+    let mut env = TestEnv::new("zero-len");
+    let s = env.loom.define_source("src");
+    for _ in 0..100 {
+        env.loom.clock().advance(5);
+        env.writer.push(s, &[]).unwrap();
+    }
+    let mut n = 0;
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |r| {
+            assert!(r.payload.is_empty());
+            n += 1;
+        })
+        .unwrap();
+    assert_eq!(n, 100);
+}
+
+#[test]
+fn max_size_records_force_chunk_per_record() {
+    let mut env = TestEnv::new("max-size");
+    let s = env.loom.define_source("src");
+    let max = Config::small("/unused").max_record_payload();
+    let mut payload = vec![0u8; max];
+    for i in 0..20u64 {
+        env.loom.clock().advance(5);
+        payload[0..8].copy_from_slice(&i.to_le_bytes());
+        env.writer.push(s, &payload).unwrap();
+    }
+    // Each record exactly fills one chunk: 20 seals, zero padding.
+    assert_eq!(env.loom.ingest_stats().chunks_sealed(), 20);
+    assert_eq!(env.loom.ingest_stats().pad_bytes(), 0);
+    let mut got = Vec::new();
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |r| {
+            got.push(u64::from_le_bytes(r.payload[0..8].try_into().unwrap()));
+        })
+        .unwrap();
+    assert_eq!(got, (0..20u64).rev().collect::<Vec<_>>());
+}
+
+#[test]
+fn pad_heavy_workload_round_trips() {
+    // Payload sized so two records never share a chunk: every record
+    // triggers padding, stressing the pad/seal path.
+    let mut env = TestEnv::new("pad-heavy");
+    let s = env.loom.define_source("src");
+    let chunk = 4 * 1024; // Config::small chunk size
+    let payload_len = chunk / 2 + 100;
+    let mut payload = vec![0xA5u8; payload_len];
+    for i in 0..200u64 {
+        env.loom.clock().advance(3);
+        payload[0..8].copy_from_slice(&i.to_le_bytes());
+        env.writer.push(s, &payload).unwrap();
+    }
+    assert!(env.loom.ingest_stats().pad_bytes() > 0);
+    let mut n = 0u64;
+    env.loom
+        .raw_scan(s, TimeRange::new(0, u64::MAX), |r| {
+            assert_eq!(r.payload.len(), payload_len);
+            n += 1;
+        })
+        .unwrap();
+    assert_eq!(n, 200);
+}
+
+#[test]
+fn mark_period_one_marks_every_record() {
+    let dir = std::env::temp_dir().join(format!("loom-engine-period1-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = Config::small(&dir).with_ts_mark_period(1);
+    let (loom, mut writer) = Loom::open_with_clock(config, Clock::manual(0)).unwrap();
+    let s = loom.define_source("src");
+    for i in 0..500u64 {
+        loom.clock().advance(10);
+        writer.push(s, &i.to_le_bytes()).unwrap();
+    }
+    // Entries = 500 marks + seal entries.
+    let seals = loom.ingest_stats().chunks_sealed();
+    assert_eq!(loom.ingest_stats().ts_entries(), 500 + seals);
+    // Historical raw scans seek precisely.
+    let mut n = 0;
+    loom.raw_scan(s, TimeRange::new(1_000, 2_000), |_| n += 1)
+        .unwrap();
+    assert_eq!(n, 101);
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queries_spanning_memory_and_disk_are_seamless() {
+    let mut env = TestEnv::new("mem-disk");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    // First half, then force everything to disk, then second half (which
+    // stays in the staging blocks).
+    let first = push_values(&mut env, s, 2_000, 5, |i| i % 7_000);
+    env.writer.sync().unwrap();
+    let _second = push_values(&mut env, s, 2_000, 5, |i| i % 7_000);
+
+    // A window straddling the boundary.
+    let range = TimeRange::new(first[1_500].0, env.loom.now());
+    let count = env
+        .loom
+        .indexed_aggregate(s, idx, range, Aggregate::Count)
+        .unwrap();
+    assert_eq!(count.value, Some(2_500.0));
+    let mut n = 0;
+    env.loom
+        .indexed_scan(s, idx, range, ValueRange::at_least(6_000.0), |_| n += 1)
+        .unwrap();
+    let expected = first[1_500..]
+        .iter()
+        .chain(&_second)
+        .filter(|(_, v)| *v >= 6_000)
+        .count();
+    assert_eq!(n, expected);
+}
+
+#[test]
+fn value_range_edge_semantics_are_inclusive() {
+    let mut env = TestEnv::new("inclusive");
+    let s = env.loom.define_source("src");
+    let idx = env
+        .loom
+        .define_index(s, extract::u64_le_at(0), latency_spec())
+        .unwrap();
+    push_values(&mut env, s, 100, 5, |i| i);
+    let count = |lo: f64, hi: f64| {
+        let mut n = 0;
+        env.loom
+            .indexed_scan(
+                s,
+                idx,
+                TimeRange::new(0, u64::MAX),
+                ValueRange::new(lo, hi),
+                |_| n += 1,
+            )
+            .unwrap();
+        n
+    };
+    assert_eq!(count(10.0, 20.0), 11); // both endpoints inclusive
+    assert_eq!(count(50.0, 50.0), 1); // degenerate range = exact match
+    assert_eq!(count(99.0, 200.0), 1); // clipped at data max
+}

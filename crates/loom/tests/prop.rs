@@ -1,0 +1,262 @@
+//! Property-based tests: Loom's indexed operators must agree with
+//! brute-force reference computations for arbitrary workloads, and core
+//! encodings must round-trip for arbitrary inputs.
+
+use proptest::prelude::*;
+
+use loom::histogram::HistogramSpec;
+use loom::record::{ChunkIter, RecordHeader, NIL_ADDR};
+use loom::summary::ChunkSummary;
+use loom::{extract, Aggregate, Clock, Config, Loom, TimeRange, ValueRange};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_header_round_trips(source in 1u32..u32::MAX, len in 0u32..1_000_000,
+                                 prev in any::<u64>(), ts in any::<u64>()) {
+        let h = RecordHeader { source, len, prev, ts };
+        prop_assert_eq!(RecordHeader::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn histogram_bins_partition_the_reals(
+        raw_bounds in proptest::collection::btree_set(-1_000_000_000_000i64..1_000_000_000_000, 2..12),
+        probes in proptest::collection::vec(-1e18..1e18f64, 1..64),
+    ) {
+        let bounds: Vec<f64> = raw_bounds.into_iter().map(|b| b as f64).collect();
+        let spec = HistogramSpec::from_bounds(bounds).unwrap();
+        for v in probes {
+            let bin = spec.bin_of(v).unwrap();
+            prop_assert!(bin < spec.bin_count());
+            let (lo, hi) = spec.bin_range(bin);
+            prop_assert!(lo <= v && v < hi, "value {} not in bin {} [{}, {})", v, bin, lo, hi);
+        }
+    }
+
+    #[test]
+    fn chunk_summary_round_trips(
+        entries in proptest::collection::vec(
+            (1u32..5, 0u32..8, -1e9..1e9f64, 0u64..1_000_000), 0..50),
+    ) {
+        let mut s = ChunkSummary::new(3, 3 * 4096, 4096);
+        for (source, bin, value, ts) in entries {
+            s.observe_record(source, ts);
+            s.observe_value(source, bin, value, ts);
+        }
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let (decoded, n) = ChunkSummary::decode(&buf).unwrap();
+        prop_assert_eq!(n, buf.len());
+        prop_assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn chunk_iter_reconstructs_arbitrary_records(
+        payloads in proptest::collection::vec(
+            (1u32..100, proptest::collection::vec(any::<u8>(), 0..64)), 0..20),
+    ) {
+        let mut chunk = Vec::new();
+        for (i, (source, payload)) in payloads.iter().enumerate() {
+            let h = RecordHeader {
+                source: *source,
+                len: payload.len() as u32,
+                prev: NIL_ADDR,
+                ts: i as u64,
+            };
+            chunk.extend_from_slice(&h.encode());
+            chunk.extend_from_slice(payload);
+        }
+        chunk.extend(std::iter::repeat(0u8).take(32));
+        let got: Vec<_> = ChunkIter::new(&chunk, 0)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        prop_assert_eq!(got.len(), payloads.len());
+        for (rec, (source, payload)) in got.iter().zip(&payloads) {
+            prop_assert_eq!(rec.header.source, *source);
+            prop_assert_eq!(rec.payload, &payload[..]);
+        }
+    }
+}
+
+/// One random end-to-end workload: arbitrary values, gaps, and query
+/// windows; indexed scan and all aggregates must match brute force.
+fn check_workload(
+    values: Vec<u16>,
+    gaps: Vec<u8>,
+    win: (usize, usize),
+) -> Result<(), TestCaseError> {
+    let dir = std::env::temp_dir().join(format!(
+        "loom-prop-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) =
+        Loom::open_with_clock(Config::small(&dir), Clock::manual(100)).unwrap();
+    let s = loom.define_source("src");
+    let spec = HistogramSpec::uniform(0.0, 65_536.0, 8).unwrap();
+    let idx = loom.define_index(s, extract::u64_le_at(0), spec).unwrap();
+
+    let mut pushed: Vec<(u64, u64)> = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        let dt = 1 + gaps.get(i % gaps.len().max(1)).copied().unwrap_or(1) as u64;
+        let ts = loom.clock().advance(dt);
+        writer.push(s, &(*v as u64).to_le_bytes()).unwrap();
+        pushed.push((ts, *v as u64));
+    }
+
+    let (a, b) = win;
+    let lo = a.min(values.len().saturating_sub(1));
+    let hi = b.min(values.len().saturating_sub(1));
+    let (lo, hi) = (lo.min(hi), lo.max(hi));
+    if pushed.is_empty() {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Ok(());
+    }
+    let range = TimeRange::new(pushed[lo].0, pushed[hi].0);
+    let in_range: Vec<f64> = pushed[lo..=hi].iter().map(|(_, v)| *v as f64).collect();
+
+    // Indexed scan with a value filter.
+    let vr = ValueRange::new(10_000.0, 50_000.0);
+    let mut got = 0usize;
+    loom.indexed_scan(s, idx, range, vr, |_| got += 1).unwrap();
+    let expected = in_range.iter().filter(|v| vr.contains(**v)).count();
+    prop_assert_eq!(got, expected);
+
+    // Aggregates.
+    let count = loom
+        .indexed_aggregate(s, idx, range, Aggregate::Count)
+        .unwrap();
+    prop_assert_eq!(count.value, Some(in_range.len() as f64));
+    let max = loom
+        .indexed_aggregate(s, idx, range, Aggregate::Max)
+        .unwrap();
+    prop_assert_eq!(max.value, in_range.iter().copied().reduce(f64::max));
+
+    // Percentile vs nearest-rank reference.
+    let mut sorted = in_range.clone();
+    sorted.sort_by(f64::total_cmp);
+    for p in [50.0, 99.0] {
+        let r = loom
+            .indexed_aggregate(s, idx, range, Aggregate::Percentile(p))
+            .unwrap();
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(r.value, Some(sorted[rank - 1]), "p{}", p);
+    }
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+fn rand_suffix() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn end_to_end_queries_match_brute_force(
+        values in proptest::collection::vec(any::<u16>(), 1..600),
+        gaps in proptest::collection::vec(1u8..20, 1..8),
+        win in (0usize..600, 0usize..600),
+    ) {
+        check_workload(values, gaps, win)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hybrid-log addresses are stable and contents exact across block
+    /// seals, flushes, and snapshot boundaries, for arbitrary append
+    /// sizes.
+    #[test]
+    fn hybrid_log_round_trips_arbitrary_appends(
+        sizes in proptest::collection::vec(1usize..600, 1..120),
+        block_size_sel in 0usize..3,
+    ) {
+        let block_size = [256usize, 1024, 4096][block_size_sel];
+        let dir = std::env::temp_dir().join(format!(
+            "loom-prop-hlog-{}-{}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer = loom::hybridlog::create(&dir.join("log"), block_size).unwrap();
+        let mut expected: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut addr_check = 0u64;
+        for (i, len) in sizes.iter().enumerate() {
+            let payload: Vec<u8> = (0..*len).map(|j| ((i * 7 + j) % 251) as u8).collect();
+            let addr = writer.append(&payload).unwrap();
+            prop_assert_eq!(addr, addr_check, "addresses are dense byte offsets");
+            addr_check += *len as u64;
+            expected.push((addr, payload));
+        }
+        writer.publish();
+
+        // Read back through the live log (mix of memory and disk).
+        for (addr, payload) in &expected {
+            let mut buf = vec![0u8; payload.len()];
+            writer.shared().read_at(*addr, &mut buf).unwrap();
+            prop_assert_eq!(&buf, payload);
+        }
+        // And through a snapshot.
+        let shared = std::sync::Arc::clone(writer.shared());
+        let snap = shared.snapshot().unwrap();
+        for (addr, payload) in &expected {
+            let mut buf = vec![0u8; payload.len()];
+            snap.read_at(*addr, &mut buf).unwrap();
+            prop_assert_eq!(&buf, payload);
+        }
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The timestamp index's binary search agrees with a linear scan for
+    /// arbitrary non-decreasing timestamp sequences.
+    #[test]
+    fn ts_index_partition_agrees_with_linear_scan(
+        deltas in proptest::collection::vec(0u64..50, 1..200),
+        probes in proptest::collection::vec(0u64..12_000, 1..32),
+    ) {
+        use loom::ts_index::{TsEntry, TsKind, TsIndexView};
+        struct MemLog(Vec<u8>);
+        impl loom::hybridlog::LogRead for MemLog {
+            fn read_at(&self, addr: u64, dst: &mut [u8]) -> loom::Result<()> {
+                let a = addr as usize;
+                dst.copy_from_slice(&self.0[a..a + dst.len()]);
+                Ok(())
+            }
+            fn limit(&self) -> u64 {
+                self.0.len() as u64
+            }
+        }
+        let mut bytes = Vec::new();
+        let mut timestamps = Vec::new();
+        let mut ts = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            ts += d;
+            timestamps.push(ts);
+            let e = TsEntry {
+                kind: if i % 5 == 0 { TsKind::ChunkSeal } else { TsKind::RecordMark },
+                source: (i % 3) as u32 + 1,
+                ts,
+                target: i as u64,
+                prev: NIL_ADDR,
+            };
+            bytes.extend_from_slice(&e.encode());
+        }
+        let log = MemLog(bytes);
+        let view = TsIndexView::new(&log);
+        for probe in probes {
+            let got = view.partition_by_ts(probe).unwrap();
+            let expected = timestamps.iter().filter(|t| **t <= probe).count() as u64;
+            prop_assert_eq!(got, expected, "probe {}", probe);
+        }
+    }
+}

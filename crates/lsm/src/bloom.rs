@@ -1,0 +1,152 @@
+//! Per-table Bloom filters.
+//!
+//! Point lookups consult a table's Bloom filter before touching its index
+//! or data blocks, skipping tables that cannot contain the key. Uses the
+//! standard double-hashing scheme (Kirsch & Mitzenmacher) over a 64-bit
+//! FNV-1a hash.
+
+/// A Bloom filter over byte-string keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Bloom {
+    /// Builds a filter sized for `n` keys at `bits_per_key` bits each.
+    pub fn new(n: usize, bits_per_key: usize) -> Self {
+        let nbits = (n * bits_per_key).max(64);
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        Bloom {
+            bits: vec![0u8; nbits.div_ceil(8)],
+            k,
+        }
+    }
+
+    /// Number of probe functions.
+    pub fn probes(&self) -> u32 {
+        self.k
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let h = fnv1a(key);
+        let delta = h.rotate_left(17) | 1;
+        let nbits = self.bits.len() as u64 * 8;
+        let mut pos = h;
+        for _ in 0..self.k {
+            let bit = pos % nbits;
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+            pos = pos.wrapping_add(delta);
+        }
+    }
+
+    /// Whether the key may be present (false positives possible, false
+    /// negatives impossible).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let h = fnv1a(key);
+        let delta = h.rotate_left(17) | 1;
+        let nbits = self.bits.len() as u64 * 8;
+        let mut pos = h;
+        for _ in 0..self.k {
+            let bit = pos % nbits;
+            if self.bits[(bit / 8) as usize] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            pos = pos.wrapping_add(delta);
+        }
+        true
+    }
+
+    /// Serializes the filter (probe count then bit array).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bits);
+    }
+
+    /// Deserializes a filter previously written by [`Bloom::encode`].
+    pub fn decode(data: &[u8]) -> Option<Bloom> {
+        if data.len() < 8 {
+            return None;
+        }
+        let k = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        let len = u32::from_le_bytes(data[4..8].try_into().ok()?) as usize;
+        if data.len() < 8 + len {
+            return None;
+        }
+        Some(Bloom {
+            bits: data[8..8 + len].to_vec(),
+            k,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..1_000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let mut b = Bloom::new(keys.len(), 10);
+        for k in &keys {
+            b.insert(k);
+        }
+        for k in &keys {
+            assert!(b.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut b = Bloom::new(1_000, 10);
+        for i in 0..1_000u32 {
+            b.insert(&i.to_be_bytes());
+        }
+        let fp = (1_000_000u32..1_010_000)
+            .filter(|i| b.may_contain(&i.to_be_bytes()))
+            .count();
+        // ~1% expected at 10 bits/key; allow generous slack.
+        assert!(fp < 500, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut b = Bloom::new(100, 10);
+        for i in 0..100u32 {
+            b.insert(&i.to_le_bytes());
+        }
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        let decoded = Bloom::decode(&buf).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut b = Bloom::new(10, 10);
+        b.insert(b"x");
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        assert!(Bloom::decode(&buf[..buf.len() - 1]).is_none());
+        assert!(Bloom::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // The on-disk format depends on this hash; pin its value.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,717 @@
+//! The LSM-tree storage engine.
+//!
+//! Writes go to a write-ahead log (optional) and a sorted in-memory
+//! memtable; full memtables rotate to an immutable list that a background
+//! worker flushes to level-0 SSTables. Size-tiered compaction merges a
+//! level's tables into the next level when it accumulates too many. Reads
+//! consult the memtable, immutable memtables, and tables newest-first.
+//!
+//! The background flush/compaction CPU time is tracked explicitly: in the
+//! Loom paper this *index maintenance* cost is what makes LSM-based
+//! systems fall behind on HFT ingest (Figure 2) and what drives their
+//! probe effect (Figure 14).
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cache::BlockCache;
+use crate::memtable::{Memtable, Slot};
+use crate::merge::{MergeIter, RankedSource};
+use crate::sstable::{Table, TableBuilder};
+use crate::wal::{self, WalWriter};
+
+/// Configuration for an LSM [`Db`].
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Directory for SSTables, WALs, and the manifest.
+    pub dir: PathBuf,
+    /// Memtable size threshold before rotation.
+    pub memtable_bytes: usize,
+    /// SSTable data-block target size.
+    pub block_bytes: usize,
+    /// Tables per level before that level is compacted into the next.
+    pub level_trigger: usize,
+    /// Immutable memtables tolerated before writers stall.
+    pub max_immutables: usize,
+    /// Whether to write a WAL (the paper benchmarks with WAL off).
+    pub wal: bool,
+    /// Block-cache capacity in bytes (0 disables caching).
+    pub block_cache_bytes: usize,
+}
+
+impl LsmConfig {
+    /// Paper-like defaults rooted at `dir` (WAL off, as in §6.3).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        LsmConfig {
+            dir: dir.into(),
+            memtable_bytes: 4 * 1024 * 1024,
+            block_bytes: 4096,
+            level_trigger: 4,
+            max_immutables: 2,
+            wal: false,
+            block_cache_bytes: 8 * 1024 * 1024,
+        }
+    }
+
+    /// Small-footprint configuration for tests.
+    pub fn small(dir: impl Into<PathBuf>) -> Self {
+        LsmConfig {
+            dir: dir.into(),
+            memtable_bytes: 16 * 1024,
+            block_bytes: 1024,
+            level_trigger: 3,
+            max_immutables: 2,
+            wal: true,
+            block_cache_bytes: 256 * 1024,
+        }
+    }
+
+    /// Overrides the memtable size.
+    pub fn with_memtable_bytes(mut self, bytes: usize) -> Self {
+        self.memtable_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the WAL.
+    pub fn with_wal(mut self, wal: bool) -> Self {
+        self.wal = wal;
+        self
+    }
+}
+
+/// Background-maintenance and ingest statistics.
+#[derive(Debug, Default)]
+pub struct LsmStats {
+    /// Records written.
+    pub puts: AtomicU64,
+    /// Memtable flushes completed.
+    pub flushes: AtomicU64,
+    /// Compactions completed.
+    pub compactions: AtomicU64,
+    /// Bytes written by flushes.
+    pub bytes_flushed: AtomicU64,
+    /// Bytes written by compactions (write amplification).
+    pub bytes_compacted: AtomicU64,
+    /// Nanoseconds the background worker spent flushing.
+    pub flush_nanos: AtomicU64,
+    /// Nanoseconds the background worker spent compacting.
+    pub compact_nanos: AtomicU64,
+    /// Nanoseconds writers spent stalled on backpressure.
+    pub stall_nanos: AtomicU64,
+}
+
+impl LsmStats {
+    /// Total background maintenance time (flush + compaction), in ns.
+    ///
+    /// This is the "CPU spent on index maintenance" of Figure 2.
+    pub fn maintenance_nanos(&self) -> u64 {
+        self.flush_nanos.load(Ordering::Relaxed) + self.compact_nanos.load(Ordering::Relaxed)
+    }
+}
+
+struct DbState {
+    memtable: Memtable,
+    /// (wal sequence, contents) of rotated memtables, oldest first.
+    immutables: VecDeque<(u64, Arc<Memtable>)>,
+    /// `levels[0]` is newest; within a level, later tables are newer.
+    levels: Vec<Vec<Arc<Table>>>,
+    /// WAL sequence of the active memtable.
+    wal_seq: u64,
+}
+
+struct DbInner {
+    config: LsmConfig,
+    cache: Option<Arc<BlockCache>>,
+    state: RwLock<DbState>,
+    wal: Mutex<Option<WalWriter>>,
+    next_table_id: AtomicU64,
+    stats: LsmStats,
+    kick: Sender<()>,
+    shutdown: AtomicBool,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Joins the background worker when the last *user* handle drops.
+///
+/// The worker itself holds only a `Weak<DbInner>` (upgraded transiently
+/// per iteration), so without this token the final teardown — including
+/// flushing the WAL writer's buffer — could run asynchronously on the
+/// worker thread, racing with an immediate reopen. The token is owned
+/// exclusively by user handles and is declared before `inner` so that it
+/// drops first: it joins the worker synchronously, after which the
+/// caller's `Arc<DbInner>` is guaranteed to be the last and teardown
+/// completes on the caller's thread before `Db::drop` returns.
+struct ShutdownToken {
+    inner: std::sync::Weak<DbInner>,
+}
+
+impl Drop for ShutdownToken {
+    fn drop(&mut self) {
+        if let Some(db) = self.inner.upgrade() {
+            db.shutdown.store(true, Ordering::Release);
+            let _ = db.kick.try_send(());
+            if let Some(h) = db.worker.lock().take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// An LSM-tree database handle (cloneable; all clones share state).
+#[derive(Clone)]
+pub struct Db {
+    // Field order matters: the token must drop before `inner`.
+    _token: Arc<ShutdownToken>,
+    inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Opens (or recovers) a database in `config.dir`.
+    pub fn open(config: LsmConfig) -> std::io::Result<Db> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut levels: Vec<Vec<Arc<Table>>> = Vec::new();
+        let mut max_table_id = 0u64;
+        // Recover tables from the manifest.
+        let manifest = config.dir.join("MANIFEST");
+        if manifest.exists() {
+            for line in std::fs::read_to_string(&manifest)?.lines() {
+                let mut parts = line.split_whitespace();
+                let (Some(level), Some(id)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                let level: usize = level.parse().map_err(bad_manifest)?;
+                let id: u64 = id.parse().map_err(bad_manifest)?;
+                max_table_id = max_table_id.max(id);
+                while levels.len() <= level {
+                    levels.push(Vec::new());
+                }
+                let table = Table::open(&config.dir.join(format!("sst-{id:010}.sst")))?;
+                levels[level].push(Arc::new(table));
+            }
+        }
+        // Recover the memtable from surviving WALs.
+        let mut memtable = Memtable::new();
+        let mut wal_seq = 0u64;
+        for (seq, path) in wal::list_wals(&config.dir)? {
+            wal_seq = wal_seq.max(seq + 1);
+            wal::replay(&path, |k, v| match v {
+                Some(v) => memtable.put(&k, &v),
+                None => memtable.delete(&k),
+            })?;
+            std::fs::remove_file(&path)?;
+        }
+        // Re-log recovered entries into a fresh WAL so they survive a
+        // second crash before the memtable flushes.
+        let wal_writer = if config.wal {
+            let mut w = WalWriter::create(&config.dir, wal_seq)?;
+            for (k, v) in memtable.iter() {
+                w.append(k, v)?;
+            }
+            w.flush()?;
+            Some(w)
+        } else {
+            None
+        };
+
+        let cache = (config.block_cache_bytes > 0)
+            .then(|| Arc::new(BlockCache::new(config.block_cache_bytes, 8)));
+        // Attach the cache to recovered tables.
+        if let Some(cache) = &cache {
+            for level in &mut levels {
+                for table in level {
+                    Arc::get_mut(table)
+                        .expect("tables are not yet shared at open")
+                        .set_cache(Arc::clone(cache));
+                }
+            }
+        }
+        let (kick_tx, kick_rx) = bounded(16);
+        let inner = Arc::new(DbInner {
+            state: RwLock::new(DbState {
+                memtable,
+                immutables: VecDeque::new(),
+                levels,
+                wal_seq,
+            }),
+            wal: Mutex::new(wal_writer),
+            next_table_id: AtomicU64::new(max_table_id + 1),
+            stats: LsmStats::default(),
+            kick: kick_tx,
+            shutdown: AtomicBool::new(false),
+            worker: Mutex::new(None),
+            cache,
+            config,
+        });
+        let weak = Arc::downgrade(&inner);
+        let handle = std::thread::Builder::new()
+            .name("lsm-worker".into())
+            .spawn(move || worker_loop(weak, kick_rx))?;
+        *inner.worker.lock() = Some(handle);
+        Ok(Db {
+            _token: Arc::new(ShutdownToken {
+                inner: Arc::downgrade(&inner),
+            }),
+            inner,
+        })
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        self.write(key, &Some(value.to_vec()))
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&self, key: &[u8]) -> std::io::Result<()> {
+        self.write(key, &None)
+    }
+
+    fn write(&self, key: &[u8], slot: &Slot) -> std::io::Result<()> {
+        let inner = &self.inner;
+        loop {
+            {
+                let mut state = inner.state.write();
+                if state.immutables.len() < inner.config.max_immutables {
+                    if let Some(w) = inner.wal.lock().as_mut() {
+                        w.append(key, slot)?;
+                    }
+                    match slot {
+                        Some(v) => state.memtable.put(key, v),
+                        None => state.memtable.delete(key),
+                    }
+                    inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    if state.memtable.bytes() >= inner.config.memtable_bytes {
+                        self.rotate_locked(&mut state)?;
+                    }
+                    return Ok(());
+                }
+            }
+            // Backpressure: too many unflushed memtables.
+            let stall_start = Instant::now();
+            let _ = inner.kick.try_send(());
+            std::thread::yield_now();
+            inner
+                .stats
+                .stall_nanos
+                .fetch_add(stall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Rotates the active memtable into the immutable list.
+    fn rotate_locked(&self, state: &mut DbState) -> std::io::Result<()> {
+        let inner = &self.inner;
+        let full = std::mem::take(&mut state.memtable);
+        let seq = state.wal_seq;
+        state.wal_seq += 1;
+        state.immutables.push_back((seq, Arc::new(full)));
+        if inner.config.wal {
+            *inner.wal.lock() = Some(WalWriter::create(&inner.config.dir, state.wal_seq)?);
+        }
+        let _ = inner.kick.try_send(());
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> std::io::Result<Option<Vec<u8>>> {
+        let state = self.inner.state.read();
+        if let Some(slot) = state.memtable.get(key) {
+            return Ok(slot.clone());
+        }
+        for (_, imm) in state.immutables.iter().rev() {
+            if let Some(slot) = imm.get(key) {
+                return Ok(slot.clone());
+            }
+        }
+        for level in &state.levels {
+            for table in level.iter().rev() {
+                if let Some(slot) = table.get(key)? {
+                    return Ok(slot);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ordered scan over `[lo, hi)`; `f` returns `false` to stop early.
+    /// `None` bounds mean unbounded.
+    pub fn scan(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> std::io::Result<()> {
+        // Capture a consistent set of sources under the read lock, then
+        // iterate without holding it (tables and immutables are Arcs; the
+        // active memtable's matching range is copied).
+        let mut sources: Vec<RankedSource> = Vec::new();
+        {
+            let state = self.inner.state.read();
+            let mut rank = 0usize;
+            let lo_bound = match lo {
+                Some(lo) => std::ops::Bound::Included(lo),
+                None => std::ops::Bound::Unbounded,
+            };
+            let hi_bound = match hi {
+                Some(hi) => std::ops::Bound::Excluded(hi),
+                None => std::ops::Bound::Unbounded,
+            };
+            let mem: Vec<(Vec<u8>, Slot)> = state
+                .memtable
+                .range(lo_bound, hi_bound)
+                .map(|(k, v)| (k.to_vec(), v.clone()))
+                .collect();
+            sources.push(RankedSource::new(rank, Box::new(mem.into_iter())));
+            rank += 1;
+            for (_, imm) in state.immutables.iter().rev() {
+                let imm = Arc::clone(imm);
+                let items: Vec<(Vec<u8>, Slot)> = imm
+                    .range(lo_bound, hi_bound)
+                    .map(|(k, v)| (k.to_vec(), v.clone()))
+                    .collect();
+                sources.push(RankedSource::new(rank, Box::new(items.into_iter())));
+                rank += 1;
+            }
+            for level in &state.levels {
+                for table in level.iter().rev() {
+                    let table = Arc::clone(table);
+                    let lo_owned = lo.map(|l| l.to_vec());
+                    sources.push(RankedSource::new(
+                        rank,
+                        Box::new(OwnedTableIter::new(table, lo_owned)),
+                    ));
+                    rank += 1;
+                }
+            }
+        }
+        let hi_owned = hi.map(|h| h.to_vec());
+        for (k, v) in MergeIter::new(sources) {
+            if let Some(hi) = &hi_owned {
+                if k.as_slice() >= hi.as_slice() {
+                    break;
+                }
+            }
+            if let Some(v) = v {
+                if !f(&k, &v) {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rotates and flushes everything, then waits for the worker to drain.
+    pub fn flush_all(&self) -> std::io::Result<()> {
+        {
+            let mut state = self.inner.state.write();
+            if !state.memtable.is_empty() {
+                self.rotate_locked(&mut state)?;
+            }
+        }
+        let _ = self.inner.kick.try_send(());
+        while !self.inner.state.read().immutables.is_empty() {
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Blocks until background maintenance (flush and compaction) has
+    /// reached a fixpoint: no immutable memtables remain and no level
+    /// exceeds its compaction trigger.
+    pub fn wait_maintenance_idle(&self) {
+        loop {
+            let busy = {
+                let state = self.inner.state.read();
+                !state.immutables.is_empty()
+                    || state
+                        .levels
+                        .iter()
+                        .any(|l| l.len() >= self.inner.config.level_trigger)
+            };
+            if !busy {
+                // One settle round: the worker may be mid-compaction.
+                let before = self.inner.stats.compactions.load(Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                if self.inner.stats.compactions.load(Ordering::Relaxed) == before {
+                    return;
+                }
+            } else {
+                let _ = self.inner.kick.try_send(());
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &LsmStats {
+        &self.inner.stats
+    }
+
+    /// Block-cache statistics: `(hits, misses)`, zeros when disabled.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match &self.inner.cache {
+            Some(c) => (c.hits(), c.misses()),
+            None => (0, 0),
+        }
+    }
+
+    /// Tables per level (diagnostics).
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.inner
+            .state
+            .read()
+            .levels
+            .iter()
+            .map(Vec::len)
+            .collect()
+    }
+}
+
+// Teardown is driven by `ShutdownToken` (see its docs): by the time
+// `DbInner` drops, the worker has been joined, so the derived field drops
+// (which flush the WAL writer's buffer) happen synchronously on the last
+// user handle's thread.
+
+fn bad_manifest<E: std::fmt::Display>(e: E) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("bad manifest: {e}"),
+    )
+}
+
+/// Iterator over an `Arc<Table>` that owns its handle (unlike
+/// [`Table::iter_from`], which borrows), decoding one block at a time.
+struct OwnedTableIter {
+    table: Arc<Table>,
+    block_idx: usize,
+    entries: std::vec::IntoIter<(Vec<u8>, Slot)>,
+    lo: Option<Vec<u8>>,
+    started: bool,
+}
+
+impl OwnedTableIter {
+    fn new(table: Arc<Table>, lo: Option<Vec<u8>>) -> Self {
+        OwnedTableIter {
+            table,
+            block_idx: 0,
+            entries: Vec::new().into_iter(),
+            lo,
+            started: false,
+        }
+    }
+
+    fn load_next_block(&mut self) -> bool {
+        if !self.started {
+            self.started = true;
+            if let Some(lo) = &self.lo {
+                self.block_idx = self
+                    .table
+                    .index()
+                    .partition_point(|e| e.last_key.as_slice() < lo.as_slice());
+            }
+        }
+        let Some(entry) = self.table.index().get(self.block_idx) else {
+            return false;
+        };
+        let Ok(block) = self.table.read_block(entry) else {
+            return false;
+        };
+        self.block_idx += 1;
+        // Decode the whole block into owned entries.
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= block.len() {
+            let klen = u32::from_le_bytes(block[pos..pos + 4].try_into().expect("len 4")) as usize;
+            let vlen = u32::from_le_bytes(block[pos + 4..pos + 8].try_into().expect("len 4"));
+            pos += 8;
+            let key = block[pos..pos + klen].to_vec();
+            pos += klen;
+            let value = if vlen == u32::MAX {
+                None
+            } else {
+                let v = block[pos..pos + vlen as usize].to_vec();
+                pos += vlen as usize;
+                Some(v)
+            };
+            if let Some(lo) = &self.lo {
+                if key.as_slice() < lo.as_slice() {
+                    continue;
+                }
+            }
+            out.push((key, value));
+        }
+        self.entries = out.into_iter();
+        true
+    }
+}
+
+impl Iterator for OwnedTableIter {
+    type Item = (Vec<u8>, Slot);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.entries.next() {
+                return Some(e);
+            }
+            if !self.load_next_block() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Background worker: flushes immutable memtables and compacts levels.
+fn worker_loop(inner: std::sync::Weak<DbInner>, kick: Receiver<()>) {
+    loop {
+        // Wait for work (or poll periodically to catch shutdown).
+        let _ = kick.recv_timeout(std::time::Duration::from_millis(20));
+        let Some(db) = inner.upgrade() else { return };
+        if db.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Err(e) = drain(&db) {
+            // Background I/O failure (and not a shutdown race): reads
+            // still work from existing state, so record and keep going.
+            if !db.shutdown.load(Ordering::Acquire) {
+                eprintln!("lsm worker error: {e}");
+            }
+        }
+    }
+}
+
+/// Flushes all pending immutables, then runs compactions to fixpoint.
+fn drain(db: &Arc<DbInner>) -> std::io::Result<()> {
+    // Flush immutable memtables, oldest first.
+    loop {
+        if db.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let oldest = {
+            let state = db.state.read();
+            state.immutables.front().cloned()
+        };
+        let Some((wal_seq, imm)) = oldest else { break };
+        let start = Instant::now();
+        let id = db.next_table_id.fetch_add(1, Ordering::Relaxed);
+        let path = db.config.dir.join(format!("sst-{id:010}.sst"));
+        let mut builder = TableBuilder::create(&path, db.config.block_bytes)?;
+        let mut bytes = 0u64;
+        for (k, v) in imm.iter() {
+            bytes += (k.len() + v.as_ref().map_or(0, |v| v.len())) as u64;
+            builder.add(k, v)?;
+        }
+        let mut table = builder.finish()?;
+        if let Some(cache) = &db.cache {
+            table.set_cache(Arc::clone(cache));
+        }
+        {
+            let mut state = db.state.write();
+            if state.levels.is_empty() {
+                state.levels.push(Vec::new());
+            }
+            state.levels[0].push(Arc::new(table));
+            state.immutables.pop_front();
+            save_manifest(db, &state)?;
+        }
+        let _ = std::fs::remove_file(db.config.dir.join(format!("wal-{wal_seq:010}")));
+        db.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        db.stats.bytes_flushed.fetch_add(bytes, Ordering::Relaxed);
+        db.stats
+            .flush_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    // Size-tiered compaction to fixpoint.
+    loop {
+        if db.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let job = {
+            let state = db.state.read();
+            let mut found = None;
+            for (level, tables) in state.levels.iter().enumerate() {
+                if tables.len() >= db.config.level_trigger {
+                    let deepest = state.levels[level + 1..].iter().all(Vec::is_empty);
+                    found = Some((level, tables.clone(), deepest));
+                    break;
+                }
+            }
+            found
+        };
+        let Some((level, tables, into_deepest)) = job else {
+            break;
+        };
+        let start = Instant::now();
+        let id = db.next_table_id.fetch_add(1, Ordering::Relaxed);
+        let path = db.config.dir.join(format!("sst-{id:010}.sst"));
+        let mut builder = TableBuilder::create(&path, db.config.block_bytes)?;
+        let sources: Vec<RankedSource> = tables
+            .iter()
+            .rev() // newest first = lowest rank
+            .enumerate()
+            .map(|(rank, t)| {
+                RankedSource::new(rank, Box::new(OwnedTableIter::new(Arc::clone(t), None)))
+            })
+            .collect();
+        let mut bytes = 0u64;
+        for (k, v) in MergeIter::new(sources) {
+            if v.is_none() && into_deepest {
+                continue; // tombstones die at the bottom
+            }
+            bytes += (k.len() + v.as_ref().map_or(0, |v| v.len())) as u64;
+            builder.add(&k, &v)?;
+        }
+        let mut merged = builder.finish()?;
+        if let Some(cache) = &db.cache {
+            merged.set_cache(Arc::clone(cache));
+            for t in &tables {
+                cache.evict_table(t.id());
+            }
+        }
+        let removed: Vec<PathBuf> = tables.iter().map(|t| t.path().to_path_buf()).collect();
+        {
+            let mut state = db.state.write();
+            let merged_ids: std::collections::HashSet<_> =
+                tables.iter().map(|t| t.path().to_path_buf()).collect();
+            state.levels[level].retain(|t| !merged_ids.contains(t.path()));
+            while state.levels.len() <= level + 1 {
+                state.levels.push(Vec::new());
+            }
+            state.levels[level + 1].push(Arc::new(merged));
+            save_manifest(db, &state)?;
+        }
+        for path in removed {
+            let _ = std::fs::remove_file(path);
+        }
+        db.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        db.stats.bytes_compacted.fetch_add(bytes, Ordering::Relaxed);
+        db.stats
+            .compact_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Atomically rewrites the manifest (`level table_id` lines).
+fn save_manifest(db: &DbInner, state: &DbState) -> std::io::Result<()> {
+    let mut out = String::new();
+    for (level, tables) in state.levels.iter().enumerate() {
+        for table in tables {
+            let name = table
+                .path()
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("");
+            if let Some(id) = name.strip_prefix("sst-") {
+                out.push_str(&format!("{level} {}\n", id.parse::<u64>().unwrap_or(0)));
+            }
+        }
+    }
+    let tmp = db.config.dir.join("MANIFEST.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(tmp, db.config.dir.join("MANIFEST"))?;
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # LSM-tree storage engine (RocksDB stand-in)
+//!
+//! A from-scratch log-structured merge-tree used by the Loom reproduction
+//! in two roles:
+//!
+//! 1. **Figure 15 baseline**: the paper benchmarks Loom's hybrid log
+//!    against RocksDB's LSM-tree for raw ingest; this crate provides the
+//!    equivalent engine (memtable → L0 SSTables → size-tiered compaction,
+//!    WAL optional and off by default, exactly as the paper configures
+//!    RocksDB).
+//! 2. **Storage layer of the `tsdb` crate**, the InfluxDB-like baseline:
+//!    its write-path index maintenance cost is the LSM flush/compaction
+//!    work, which [`db::LsmStats`] exposes so Figure 2 can be
+//!    regenerated.
+//!
+//! The engine supports puts, deletes (tombstones), point gets, ordered
+//! range scans, crash recovery (manifest + WAL replay), and Bloom-filtered
+//! point lookups.
+
+pub mod bloom;
+pub mod cache;
+pub mod db;
+pub mod memtable;
+pub mod merge;
+pub mod sstable;
+pub mod wal;
+
+pub use db::{Db, LsmConfig, LsmStats};

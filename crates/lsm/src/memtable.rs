@@ -1,0 +1,126 @@
+//! In-memory write buffer (memtable).
+//!
+//! A sorted map of the most recent writes. When it reaches the configured
+//! size it is rotated to the immutable list and flushed to an SSTable by
+//! the background thread. Deletes are tombstones (`None` values) so they
+//! shadow older entries in lower levels until compaction drops them.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A value or a tombstone.
+pub type Slot = Option<Vec<u8>>;
+
+/// Sorted in-memory write buffer.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Slot>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Memtable::default()
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.bytes += key.len() + value.len();
+        if let Some(old) = self.map.insert(key.to_vec(), Some(value.to_vec())) {
+            self.bytes -= old.map_or(0, |v| v.len());
+        }
+    }
+
+    /// Inserts a tombstone for `key`.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.bytes += key.len();
+        if let Some(old) = self.map.insert(key.to_vec(), None) {
+            self.bytes -= old.map_or(0, |v| v.len());
+        }
+    }
+
+    /// Looks up a key. `Some(None)` means a tombstone shadows the key.
+    pub fn get(&self, key: &[u8]) -> Option<&Slot> {
+        self.map.get(key)
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memtable is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates entries with keys in `[lo, hi]` in key order.
+    pub fn range<'a>(
+        &'a self,
+        lo: Bound<&'a [u8]>,
+        hi: Bound<&'a [u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], &'a Slot)> + 'a {
+        self.map
+            .range::<[u8], _>((lo, hi))
+            .map(|(k, v)| (k.as_slice(), v))
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Slot)> + '_ {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = Memtable::new();
+        m.put(b"a", b"1");
+        m.put(b"b", b"2");
+        m.put(b"a", b"3");
+        assert_eq!(m.get(b"a"), Some(&Some(b"3".to_vec())));
+        assert_eq!(m.get(b"b"), Some(&Some(b"2".to_vec())));
+        assert_eq!(m.get(b"c"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn tombstones_shadow() {
+        let mut m = Memtable::new();
+        m.put(b"a", b"1");
+        m.delete(b"a");
+        assert_eq!(m.get(b"a"), Some(&None));
+    }
+
+    #[test]
+    fn range_is_ordered_and_bounded() {
+        let mut m = Memtable::new();
+        for i in [5u8, 1, 9, 3, 7] {
+            m.put(&[i], &[i * 10]);
+        }
+        let got: Vec<u8> = m
+            .range(Bound::Included(&[3][..]), Bound::Included(&[7][..]))
+            .map(|(k, _)| k[0])
+            .collect();
+        assert_eq!(got, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn bytes_tracks_growth() {
+        let mut m = Memtable::new();
+        assert_eq!(m.bytes(), 0);
+        m.put(b"key", b"value");
+        assert_eq!(m.bytes(), 8);
+        m.put(b"key", b"longer-value");
+        assert!(m.bytes() >= 12);
+    }
+}

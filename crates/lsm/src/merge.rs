@@ -1,0 +1,162 @@
+//! K-way merge of sorted entry streams with recency-based shadowing.
+
+use crate::memtable::Slot;
+
+/// One sorted input stream tagged with a recency rank (lower = newer).
+pub struct RankedSource {
+    iter: Box<dyn Iterator<Item = (Vec<u8>, Slot)>>,
+    head: Option<(Vec<u8>, Slot)>,
+    rank: usize,
+}
+
+impl RankedSource {
+    /// Wraps a sorted iterator with recency `rank`.
+    pub fn new(rank: usize, iter: Box<dyn Iterator<Item = (Vec<u8>, Slot)>>) -> Self {
+        let mut s = RankedSource {
+            iter,
+            head: None,
+            rank,
+        };
+        s.advance();
+        s
+    }
+
+    fn advance(&mut self) {
+        self.head = self.iter.next();
+    }
+}
+
+/// Merges sorted streams; for duplicate keys the lowest-rank (newest)
+/// stream wins. Tombstones are *returned* (the caller decides whether to
+/// drop them, e.g. only at the deepest compaction level).
+pub struct MergeIter {
+    sources: Vec<RankedSource>,
+}
+
+impl MergeIter {
+    /// Creates a merge over `sources`.
+    pub fn new(sources: Vec<RankedSource>) -> Self {
+        MergeIter { sources }
+    }
+}
+
+impl Iterator for MergeIter {
+    type Item = (Vec<u8>, Slot);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Find the smallest key; among equals, the lowest rank wins.
+        let mut best: Option<(usize, &[u8], usize)> = None; // (idx, key, rank)
+        for (i, s) in self.sources.iter().enumerate() {
+            if let Some((k, _)) = &s.head {
+                let better = match &best {
+                    None => true,
+                    Some((_, bk, br)) => {
+                        k.as_slice() < *bk || (k.as_slice() == *bk && s.rank < *br)
+                    }
+                };
+                if better {
+                    best = Some((i, k.as_slice(), s.rank));
+                }
+            }
+        }
+        let (idx, key, _) = best?;
+        let key = key.to_vec();
+        let winner = self.sources[idx].head.take().expect("head checked");
+        self.sources[idx].advance();
+        // Discard shadowed duplicates from every other source.
+        for s in &mut self.sources {
+            while matches!(&s.head, Some((k, _)) if k == &key) {
+                s.advance();
+            }
+        }
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(rank: usize, entries: Vec<(&str, Option<&str>)>) -> RankedSource {
+        let items: Vec<(Vec<u8>, Slot)> = entries
+            .into_iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.map(|v| v.as_bytes().to_vec())))
+            .collect();
+        RankedSource::new(rank, Box::new(items.into_iter()))
+    }
+
+    fn collect(m: MergeIter) -> Vec<(String, Option<String>)> {
+        m.map(|(k, v)| {
+            (
+                String::from_utf8(k).unwrap(),
+                v.map(|v| String::from_utf8(v).unwrap()),
+            )
+        })
+        .collect()
+    }
+
+    #[test]
+    fn merges_disjoint_streams_in_order() {
+        let m = MergeIter::new(vec![
+            src(0, vec![("a", Some("1")), ("c", Some("3"))]),
+            src(1, vec![("b", Some("2")), ("d", Some("4"))]),
+        ]);
+        let got = collect(m);
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), Some("1".into())),
+                ("b".into(), Some("2".into())),
+                ("c".into(), Some("3".into())),
+                ("d".into(), Some("4".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn newest_rank_shadows_duplicates() {
+        let m = MergeIter::new(vec![
+            src(1, vec![("a", Some("old")), ("b", Some("keep"))]),
+            src(0, vec![("a", Some("new"))]),
+        ]);
+        let got = collect(m);
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), Some("new".into())),
+                ("b".into(), Some("keep".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn tombstones_pass_through_and_shadow() {
+        let m = MergeIter::new(vec![
+            src(0, vec![("a", None)]),
+            src(1, vec![("a", Some("dead")), ("b", Some("live"))]),
+        ]);
+        let got = collect(m);
+        assert_eq!(
+            got,
+            vec![("a".into(), None), ("b".into(), Some("live".into()))]
+        );
+    }
+
+    #[test]
+    fn three_way_duplicate_resolution() {
+        let m = MergeIter::new(vec![
+            src(2, vec![("k", Some("v2"))]),
+            src(0, vec![("k", Some("v0"))]),
+            src(1, vec![("k", Some("v1"))]),
+        ]);
+        assert_eq!(collect(m), vec![("k".into(), Some("v0".into()))]);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let m = MergeIter::new(vec![src(0, vec![]), src(1, vec![("a", Some("1"))])]);
+        assert_eq!(collect(m), vec![("a".into(), Some("1".into()))]);
+        let m = MergeIter::new(vec![]);
+        assert_eq!(collect(m).len(), 0);
+    }
+}

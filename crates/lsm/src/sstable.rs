@@ -1,0 +1,557 @@
+//! Sorted string tables (SSTables): immutable, sorted on-disk runs.
+//!
+//! Layout:
+//!
+//! ```text
+//! data blocks : entries [klen:u32][vlen:u32][key][value]
+//!               (vlen == u32::MAX marks a tombstone, no value bytes)
+//! index       : [entry_count:u64][n_blocks:u32]
+//!               then per block [klen:u32][last_key][off:u64][len:u32]
+//! bloom       : Bloom::encode
+//! footer (40B): index_off:u64 index_len:u64 bloom_off:u64 bloom_len:u64 magic:u64
+//! ```
+//!
+//! The index and Bloom filter are small and kept in memory per open table;
+//! data blocks are read on demand with `pread`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use std::sync::Arc;
+
+use crate::bloom::Bloom;
+use crate::cache::BlockCache;
+use crate::memtable::Slot;
+
+/// Footer magic value.
+const MAGIC: u64 = 0x4c53_4d54_4142_4c45; // "LSMTABLE"
+
+/// Tombstone marker in the value-length field.
+const TOMBSTONE: u32 = u32::MAX;
+
+/// Builds an SSTable from entries supplied in strictly increasing key
+/// order.
+pub struct TableBuilder {
+    file: io::BufWriter<File>,
+    path: PathBuf,
+    block_target: usize,
+    block: Vec<u8>,
+    block_start: u64,
+    offset: u64,
+    index: Vec<IndexEntry>,
+    last_key: Option<Vec<u8>>,
+    keys: Vec<u64>, // FNV hashes for the bloom filter
+    count: u64,
+}
+
+/// One index entry: the block's last key and its extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Largest key in the block.
+    pub last_key: Vec<u8>,
+    /// File offset of the block.
+    pub offset: u64,
+    /// Length of the block in bytes.
+    pub len: u32,
+}
+
+impl TableBuilder {
+    /// Creates a builder writing to `path`.
+    pub fn create(path: &Path, block_target: usize) -> io::Result<TableBuilder> {
+        // Read access too: `finish` hands the same descriptor to the
+        // returned `Table` for serving lookups.
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(TableBuilder {
+            file: io::BufWriter::new(file),
+            path: path.to_path_buf(),
+            block_target: block_target.max(256),
+            block: Vec::new(),
+            block_start: 0,
+            offset: 0,
+            index: Vec::new(),
+            last_key: None,
+            keys: Vec::new(),
+            count: 0,
+        })
+    }
+
+    /// Appends an entry; keys must arrive in strictly increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys are not strictly increasing (an LSM invariant whose
+    /// violation would corrupt every read path).
+    pub fn add(&mut self, key: &[u8], value: &Slot) -> io::Result<()> {
+        if let Some(prev) = &self.last_key {
+            assert!(
+                key > prev.as_slice(),
+                "keys must be strictly increasing in an SSTable"
+            );
+        }
+        self.block
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        match value {
+            Some(v) => {
+                self.block
+                    .extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.block.extend_from_slice(key);
+                self.block.extend_from_slice(v);
+            }
+            None => {
+                self.block.extend_from_slice(&TOMBSTONE.to_le_bytes());
+                self.block.extend_from_slice(key);
+            }
+        }
+        self.keys.push(crate::bloom::fnv1a(key));
+        self.last_key = Some(key.to_vec());
+        self.count += 1;
+        if self.block.len() >= self.block_target {
+            self.finish_block()?;
+        }
+        Ok(())
+    }
+
+    fn finish_block(&mut self) -> io::Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.block)?;
+        self.index.push(IndexEntry {
+            last_key: self.last_key.clone().expect("non-empty block has a key"),
+            offset: self.block_start,
+            len: self.block.len() as u32,
+        });
+        self.offset += self.block.len() as u64;
+        self.block_start = self.offset;
+        self.block.clear();
+        Ok(())
+    }
+
+    /// Finalizes the table and returns an open handle to it.
+    pub fn finish(mut self) -> io::Result<Table> {
+        self.finish_block()?;
+        // Bloom filter over all keys.
+        let mut bloom = Bloom::new(self.keys.len().max(1), 10);
+        for h in &self.keys {
+            // Insert by pre-computed hash: re-hash the 8 hash bytes. This
+            // keeps the builder from retaining every key.
+            bloom.insert(&h.to_le_bytes());
+        }
+        let index_off = self.offset;
+        let mut index_buf = Vec::new();
+        index_buf.extend_from_slice(&self.count.to_le_bytes());
+        index_buf.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for e in &self.index {
+            index_buf.extend_from_slice(&(e.last_key.len() as u32).to_le_bytes());
+            index_buf.extend_from_slice(&e.last_key);
+            index_buf.extend_from_slice(&e.offset.to_le_bytes());
+            index_buf.extend_from_slice(&e.len.to_le_bytes());
+        }
+        self.file.write_all(&index_buf)?;
+        let bloom_off = index_off + index_buf.len() as u64;
+        let mut bloom_buf = Vec::new();
+        bloom.encode(&mut bloom_buf);
+        self.file.write_all(&bloom_buf)?;
+        let mut footer = Vec::with_capacity(40);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        self.file.write_all(&footer)?;
+        self.file.flush()?;
+        let file = self.file.into_inner().map_err(|e| e.into_error())?;
+        let id = crate::bloom::fnv1a(self.path.as_os_str().as_encoded_bytes());
+        Ok(Table {
+            file,
+            path: self.path,
+            index: self.index,
+            bloom,
+            count: self.count,
+            id,
+            cache: None,
+        })
+    }
+}
+
+/// An open, immutable SSTable.
+pub struct Table {
+    file: File,
+    path: PathBuf,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    count: u64,
+    /// Stable id for block-cache keys (hash of the file path).
+    id: u64,
+    /// Optional shared block cache.
+    cache: Option<Arc<BlockCache>>,
+}
+
+impl Table {
+    /// Opens an existing table file.
+    pub fn open(path: &Path) -> io::Result<Table> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < 40 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "table too short",
+            ));
+        }
+        let mut footer = [0u8; 40];
+        file.read_exact_at(&mut footer, len - 40)?;
+        let magic = u64::from_le_bytes(footer[32..40].try_into().expect("len 8"));
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad table magic",
+            ));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("len 8"));
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().expect("len 8"));
+        let bloom_off = u64::from_le_bytes(footer[16..24].try_into().expect("len 8"));
+        let bloom_len = u64::from_le_bytes(footer[24..32].try_into().expect("len 8"));
+
+        let mut index_buf = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut index_buf, index_off)?;
+        let count = u64::from_le_bytes(index_buf[0..8].try_into().expect("len 8"));
+        let n_blocks = u32::from_le_bytes(index_buf[8..12].try_into().expect("len 4"));
+        let mut pos = 12usize;
+        let mut index = Vec::with_capacity(n_blocks as usize);
+        for _ in 0..n_blocks {
+            let klen =
+                u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("len 4")) as usize;
+            pos += 4;
+            let last_key = index_buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let offset = u64::from_le_bytes(index_buf[pos..pos + 8].try_into().expect("len 8"));
+            pos += 8;
+            let blen = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("len 4"));
+            pos += 4;
+            index.push(IndexEntry {
+                last_key,
+                offset,
+                len: blen,
+            });
+        }
+        let mut bloom_buf = vec![0u8; bloom_len as usize];
+        file.read_exact_at(&mut bloom_buf, bloom_off)?;
+        let bloom = Bloom::decode(&bloom_buf)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad bloom filter"))?;
+        Ok(Table {
+            file,
+            path: path.to_path_buf(),
+            index,
+            bloom,
+            count,
+            id: crate::bloom::fnv1a(path.as_os_str().as_encoded_bytes()),
+            cache: None,
+        })
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Stable id used for block-cache keys.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches a shared block cache; subsequent block reads consult it.
+    pub fn set_cache(&mut self, cache: Arc<BlockCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The table's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Smallest key in the table (first block's entries start with it),
+    /// or `None` for an empty table.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        self.index.last().map(|e| e.last_key.as_slice())
+    }
+
+    /// Point lookup. Returns `None` if absent, `Some(None)` for a
+    /// tombstone.
+    pub fn get(&self, key: &[u8]) -> io::Result<Option<Slot>> {
+        if !self
+            .bloom
+            .may_contain(&crate::bloom::fnv1a(key).to_le_bytes())
+        {
+            return Ok(None);
+        }
+        // First block whose last_key >= key.
+        let idx = self.index.partition_point(|e| e.last_key.as_slice() < key);
+        let Some(entry) = self.index.get(idx) else {
+            return Ok(None);
+        };
+        let block = self.read_block(entry)?;
+        for (k, v) in BlockIter::new(&block) {
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return Ok(Some(v.map(|v| v.to_vec()))),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads a data block, consulting the block cache when attached.
+    pub fn read_block(&self, entry: &IndexEntry) -> io::Result<Arc<Vec<u8>>> {
+        let key = (self.id, entry.offset);
+        if let Some(cache) = &self.cache {
+            if let Some(block) = cache.get(&key) {
+                return Ok(block);
+            }
+        }
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file.read_exact_at(&mut buf, entry.offset)?;
+        let block = Arc::new(buf);
+        if let Some(cache) = &self.cache {
+            cache.insert(key, Arc::clone(&block));
+        }
+        Ok(block)
+    }
+
+    /// The block index.
+    pub fn index(&self) -> &[IndexEntry] {
+        &self.index
+    }
+
+    /// Iterates all entries in key order starting at the first key `>= lo`
+    /// (or the beginning when `lo` is `None`).
+    pub fn iter_from(&self, lo: Option<&[u8]>) -> TableIter<'_> {
+        let start_block = match lo {
+            Some(lo) => self.index.partition_point(|e| e.last_key.as_slice() < lo),
+            None => 0,
+        };
+        TableIter {
+            table: self,
+            block_idx: start_block,
+            block: Arc::new(Vec::new()),
+            pos: 0,
+            loaded: false,
+            lo: lo.map(|k| k.to_vec()),
+        }
+    }
+}
+
+/// Iterator over one in-memory data block.
+struct BlockIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlockIter<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BlockIter { data, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for BlockIter<'a> {
+    type Item = (&'a [u8], Option<&'a [u8]>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + 8 > self.data.len() {
+            return None;
+        }
+        let klen = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().ok()?) as usize;
+        let vlen = u32::from_le_bytes(self.data[self.pos + 4..self.pos + 8].try_into().ok()?);
+        self.pos += 8;
+        let key = &self.data[self.pos..self.pos + klen];
+        self.pos += klen;
+        if vlen == TOMBSTONE {
+            Some((key, None))
+        } else {
+            let value = &self.data[self.pos..self.pos + vlen as usize];
+            self.pos += vlen as usize;
+            Some((key, Some(value)))
+        }
+    }
+}
+
+/// Owning iterator over a whole table (loads one block at a time).
+pub struct TableIter<'a> {
+    table: &'a Table,
+    block_idx: usize,
+    block: Arc<Vec<u8>>,
+    pos: usize,
+    loaded: bool,
+    lo: Option<Vec<u8>>,
+}
+
+impl TableIter<'_> {
+    fn load_next_block(&mut self) -> bool {
+        let Some(entry) = self.table.index.get(self.block_idx) else {
+            return false;
+        };
+        match self.table.read_block(entry) {
+            Ok(b) => {
+                self.block = b;
+                self.pos = 0;
+                self.block_idx += 1;
+                self.loaded = true;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Iterator for TableIter<'_> {
+    type Item = (Vec<u8>, Slot);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if !self.loaded || self.pos >= self.block.len() {
+                if !self.load_next_block() {
+                    return None;
+                }
+            }
+            // Decode one entry at pos.
+            if self.pos + 8 > self.block.len() {
+                self.loaded = false;
+                continue;
+            }
+            let klen =
+                u32::from_le_bytes(self.block[self.pos..self.pos + 4].try_into().ok()?) as usize;
+            let vlen = u32::from_le_bytes(self.block[self.pos + 4..self.pos + 8].try_into().ok()?);
+            self.pos += 8;
+            let key = self.block[self.pos..self.pos + klen].to_vec();
+            self.pos += klen;
+            let value = if vlen == TOMBSTONE {
+                None
+            } else {
+                let v = self.block[self.pos..self.pos + vlen as usize].to_vec();
+                self.pos += vlen as usize;
+                Some(v)
+            };
+            if let Some(lo) = &self.lo {
+                if key.as_slice() < lo.as_slice() {
+                    continue;
+                }
+            }
+            return Some((key, value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsm-sst-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("t.sst")
+    }
+
+    fn build(path: &Path, n: u32) -> Table {
+        let mut b = TableBuilder::create(path, 512).unwrap();
+        for i in 0..n {
+            let key = i.to_be_bytes();
+            if i % 17 == 3 {
+                b.add(&key, &None).unwrap();
+            } else {
+                b.add(&key, &Some(format!("value-{i}").into_bytes()))
+                    .unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let path = tmp("get");
+        let t = build(&path, 1_000);
+        assert_eq!(t.count(), 1_000);
+        assert_eq!(
+            t.get(&42u32.to_be_bytes()).unwrap(),
+            Some(Some(b"value-42".to_vec()))
+        );
+        assert_eq!(t.get(&3u32.to_be_bytes()).unwrap(), Some(None)); // tombstone
+        assert_eq!(t.get(&5_000u32.to_be_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn reopen_matches_built_table() {
+        let path = tmp("reopen");
+        let t = build(&path, 500);
+        drop(t);
+        let t = Table::open(&path).unwrap();
+        assert_eq!(t.count(), 500);
+        for i in 0..500u32 {
+            let got = t.get(&i.to_be_bytes()).unwrap();
+            if i % 17 == 3 {
+                assert_eq!(got, Some(None));
+            } else {
+                assert_eq!(got, Some(Some(format!("value-{i}").into_bytes())));
+            }
+        }
+    }
+
+    #[test]
+    fn iter_returns_all_in_order() {
+        let path = tmp("iter");
+        let t = build(&path, 777);
+        let keys: Vec<u32> = t
+            .iter_from(None)
+            .map(|(k, _)| u32::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, (0..777).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_from_seeks_to_lower_bound() {
+        let path = tmp("seek");
+        let t = build(&path, 300);
+        let from = 123u32.to_be_bytes();
+        let keys: Vec<u32> = t
+            .iter_from(Some(&from))
+            .map(|(k, _)| u32::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, (123..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_keys_panic() {
+        let path = tmp("order");
+        let mut b = TableBuilder::create(&path, 512).unwrap();
+        b.add(b"b", &Some(vec![1])).unwrap();
+        b.add(b"a", &Some(vec![2])).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let path = tmp("magic");
+        build(&path, 10);
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        std::fs::write(&path, data).unwrap();
+        assert!(Table::open(&path).is_err());
+    }
+
+    #[test]
+    fn empty_table_works() {
+        let path = tmp("empty");
+        let b = TableBuilder::create(&path, 512).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.get(b"x").unwrap(), None);
+        assert_eq!(t.iter_from(None).count(), 0);
+    }
+}

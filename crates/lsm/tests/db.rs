@@ -1,0 +1,315 @@
+//! End-to-end LSM engine tests: model-based correctness against a
+//! `BTreeMap`, compaction behaviour, recovery, and concurrency.
+
+use std::collections::BTreeMap;
+
+use lsm::{Db, LsmConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("lsm-db-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn put_get_across_flushes_and_compactions() {
+    let dir = tmp("basic");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for i in 0..5_000u32 {
+        db.put(&i.to_be_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    db.flush_all().unwrap();
+    assert!(
+        db.stats()
+            .flushes
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
+    for i in (0..5_000u32).step_by(37) {
+        assert_eq!(
+            db.get(&i.to_be_bytes()).unwrap(),
+            Some(format!("v{i}").into_bytes()),
+            "key {i}"
+        );
+    }
+    assert_eq!(db.get(&99_999u32.to_be_bytes()).unwrap(), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overwrites_return_newest_value() {
+    let dir = tmp("overwrite");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for round in 0..5u32 {
+        for i in 0..1_000u32 {
+            db.put(&i.to_be_bytes(), &round.to_be_bytes()).unwrap();
+        }
+        db.flush_all().unwrap();
+    }
+    for i in (0..1_000u32).step_by(13) {
+        assert_eq!(
+            db.get(&i.to_be_bytes()).unwrap(),
+            Some(4u32.to_be_bytes().to_vec())
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deletes_shadow_older_values() {
+    let dir = tmp("delete");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for i in 0..2_000u32 {
+        db.put(&i.to_be_bytes(), b"live").unwrap();
+    }
+    db.flush_all().unwrap();
+    for i in (0..2_000u32).step_by(2) {
+        db.delete(&i.to_be_bytes()).unwrap();
+    }
+    db.flush_all().unwrap();
+    for i in 0..2_000u32 {
+        let got = db.get(&i.to_be_bytes()).unwrap();
+        if i % 2 == 0 {
+            assert_eq!(got, None, "key {i} should be deleted");
+        } else {
+            assert_eq!(got, Some(b"live".to_vec()), "key {i} should live");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_matches_btreemap_model() {
+    let dir = tmp("model");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    // Deterministic pseudo-random workload with puts, overwrites, deletes.
+    let mut x = 12345u64;
+    for _ in 0..8_000 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let key = ((x >> 32) % 2_000).to_be_bytes().to_vec();
+        match x % 10 {
+            0..=6 => {
+                let value = (x % 1_000_000).to_be_bytes().to_vec();
+                db.put(&key, &value).unwrap();
+                model.insert(key, value);
+            }
+            _ => {
+                db.delete(&key).unwrap();
+                model.remove(&key);
+            }
+        }
+    }
+    db.flush_all().unwrap();
+
+    // Full scan equals the model.
+    let mut got = Vec::new();
+    db.scan(None, None, |k, v| {
+        got.push((k.to_vec(), v.to_vec()));
+        true
+    })
+    .unwrap();
+    let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(got, expected);
+
+    // Bounded range scan equals the model's range.
+    let lo = 500u64.to_be_bytes();
+    let hi = 1_500u64.to_be_bytes();
+    let mut got = Vec::new();
+    db.scan(Some(&lo), Some(&hi), |k, v| {
+        got.push((k.to_vec(), v.to_vec()));
+        true
+    })
+    .unwrap();
+    let expected: Vec<_> = model
+        .range(lo.to_vec()..hi.to_vec())
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(got, expected);
+
+    // Point gets agree everywhere.
+    for i in 0..2_000u64 {
+        let key = i.to_be_bytes();
+        assert_eq!(db.get(&key).unwrap(), model.get(key.as_slice()).cloned());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_early_stop_works() {
+    let dir = tmp("early-stop");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for i in 0..100u32 {
+        db.put(&i.to_be_bytes(), b"v").unwrap();
+    }
+    let mut n = 0;
+    db.scan(None, None, |_, _| {
+        n += 1;
+        n < 10
+    })
+    .unwrap();
+    assert_eq!(n, 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_reduces_table_count_and_preserves_data() {
+    let dir = tmp("compact");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for i in 0..20_000u32 {
+        db.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    db.flush_all().unwrap();
+    // Give compaction a chance to reach fixpoint.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        let sizes = db.level_sizes();
+        if sizes.iter().all(|s| *s < 3) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        db.stats()
+            .compactions
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "no compaction ran; levels: {:?}",
+        db.level_sizes()
+    );
+    for i in (0..20_000u32).step_by(101) {
+        assert_eq!(
+            db.get(&i.to_be_bytes()).unwrap(),
+            Some(i.to_le_bytes().to_vec())
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_restores_flushed_and_walled_data() {
+    let dir = tmp("recovery");
+    {
+        let db = Db::open(LsmConfig::small(&dir)).unwrap();
+        for i in 0..3_000u32 {
+            db.put(&i.to_be_bytes(), format!("r{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush_all().unwrap();
+        // These stay only in the WAL + memtable.
+        for i in 3_000..3_500u32 {
+            db.put(&i.to_be_bytes(), format!("r{i}").as_bytes())
+                .unwrap();
+        }
+        // Drop without flushing the tail.
+    }
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for i in (0..3_500u32).step_by(97) {
+        assert_eq!(
+            db.get(&i.to_be_bytes()).unwrap(),
+            Some(format!("r{i}").into_bytes()),
+            "key {i} lost across restart"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_and_readers() {
+    let dir = tmp("concurrent");
+    let db = Db::open(LsmConfig::small(&dir).with_wal(false)).unwrap();
+    let mut writers = Vec::new();
+    for t in 0..4u32 {
+        let db = db.clone();
+        writers.push(std::thread::spawn(move || {
+            for i in 0..2_000u32 {
+                let key = (t * 1_000_000 + i).to_be_bytes();
+                db.put(&key, &i.to_le_bytes()).unwrap();
+            }
+        }));
+    }
+    let reader = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                let _ = db.get(&42u32.to_be_bytes());
+                let mut n = 0;
+                db.scan(None, None, |_, _| {
+                    n += 1;
+                    n < 100
+                })
+                .unwrap();
+            }
+        })
+    };
+    for w in writers {
+        w.join().unwrap();
+    }
+    reader.join().unwrap();
+    db.flush_all().unwrap();
+    for t in 0..4u32 {
+        for i in (0..2_000u32).step_by(333) {
+            let key = (t * 1_000_000 + i).to_be_bytes();
+            assert_eq!(db.get(&key).unwrap(), Some(i.to_le_bytes().to_vec()));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn maintenance_time_is_tracked() {
+    let dir = tmp("maint");
+    let db = Db::open(LsmConfig::small(&dir).with_wal(false)).unwrap();
+    for i in 0..30_000u32 {
+        db.put(&i.to_be_bytes(), &[0u8; 32]).unwrap();
+    }
+    db.flush_all().unwrap();
+    assert!(db.stats().maintenance_nanos() > 0);
+    assert!(
+        db.stats()
+            .bytes_flushed
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn block_cache_serves_repeated_reads() {
+    let dir = tmp("cache");
+    let db = Db::open(LsmConfig::small(&dir)).unwrap();
+    for i in 0..5_000u32 {
+        db.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    db.flush_all().unwrap();
+    // First pass populates the cache, second pass must hit it.
+    for _ in 0..2 {
+        for i in (0..5_000u32).step_by(50) {
+            assert!(db.get(&i.to_be_bytes()).unwrap().is_some());
+        }
+    }
+    let (hits, misses) = db.cache_stats();
+    assert!(hits > 0, "no cache hits after repeated reads");
+    assert!(misses > 0, "first reads should have missed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_cache_reports_zero_stats() {
+    let dir = tmp("nocache");
+    let mut config = LsmConfig::small(&dir);
+    config.block_cache_bytes = 0;
+    let db = Db::open(config).unwrap();
+    for i in 0..2_000u32 {
+        db.put(&i.to_be_bytes(), b"v").unwrap();
+    }
+    db.flush_all().unwrap();
+    for i in (0..2_000u32).step_by(10) {
+        assert!(db.get(&i.to_be_bytes()).unwrap().is_some());
+    }
+    assert_eq!(db.cache_stats(), (0, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

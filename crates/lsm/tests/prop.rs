@@ -1,0 +1,120 @@
+//! Property-based tests: the LSM engine must behave exactly like a
+//! `BTreeMap` model for arbitrary operation sequences, across flushes
+//! and compactions.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lsm::{Db, LsmConfig};
+
+/// One step of a random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        3 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn unique_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "lsm-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lsm_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let dir = unique_dir();
+        let db = Db::open(LsmConfig::small(&dir).with_memtable_bytes(512)).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let key = k.to_be_bytes().to_vec();
+                    let value = vec![*v; 3];
+                    db.put(&key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                Op::Delete(k) => {
+                    let key = k.to_be_bytes().to_vec();
+                    db.delete(&key).unwrap();
+                    model.remove(&key);
+                }
+                Op::Flush => db.flush_all().unwrap(),
+            }
+        }
+        db.flush_all().unwrap();
+
+        // Full scan equals the model.
+        let mut got = Vec::new();
+        db.scan(None, None, |k, v| {
+            got.push((k.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(&got, &expected);
+
+        // Spot-check point gets, including deleted and absent keys.
+        for k in (0..512u16).step_by(31) {
+            let key = k.to_be_bytes();
+            prop_assert_eq!(db.get(&key).unwrap(), model.get(key.as_slice()).cloned());
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_preserves_the_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let dir = unique_dir();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        {
+            let db = Db::open(LsmConfig::small(&dir).with_memtable_bytes(512)).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        let key = k.to_be_bytes().to_vec();
+                        let value = vec![*v; 3];
+                        db.put(&key, &value).unwrap();
+                        model.insert(key, value);
+                    }
+                    Op::Delete(k) => {
+                        let key = k.to_be_bytes().to_vec();
+                        db.delete(&key).unwrap();
+                        model.remove(&key);
+                    }
+                    Op::Flush => db.flush_all().unwrap(),
+                }
+            }
+            // Drop without a final flush: the WAL must cover the tail.
+        }
+        let db = Db::open(LsmConfig::small(&dir).with_memtable_bytes(512)).unwrap();
+        let mut got = Vec::new();
+        db.scan(None, None, |k, v| {
+            got.push((k.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(&got, &expected);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

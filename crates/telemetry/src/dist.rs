@@ -1,0 +1,157 @@
+//! Latency and size distributions for synthetic telemetry.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so
+//! the non-uniform distributions telemetry needs (log-normal latencies,
+//! exponential inter-arrivals, Pareto packet sizes) are implemented here
+//! via inverse-transform and Box–Muller sampling.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal distribution parameterized by the *median* and the shape
+/// `sigma` — the natural fit for latency distributions, which are skewed
+/// with long right tails.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given median and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `median > 0` and `sigma >= 0`.
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(median > 0.0 && sigma >= 0.0, "invalid log-normal params");
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// An exponential distribution (inter-arrival gaps of a Poisson process).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0`.
+    pub fn with_mean(mean: f64) -> Exponential {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Exponential { mean }
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+/// A bounded Pareto distribution (heavy-tailed packet/message sizes).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> BoundedPareto {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid Pareto params");
+        BoundedPareto { lo, hi, alpha }
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = LogNormal::from_median(100.0, 0.5);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 100.0).abs() / 100.0 < 0.05, "median {median}");
+        // Long right tail: p99 well above the median.
+        let p99 = samples[(samples.len() as f64 * 0.99) as usize];
+        assert!(p99 > 2.0 * median);
+        assert!(samples.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = Exponential::with_mean(250.0);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 250.0).abs() / 250.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = BoundedPareto::new(64.0, 1500.0, 1.2);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((64.0..=1500.0).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let d = LogNormal::from_median(10.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_params_panic() {
+        LogNormal::from_median(0.0, 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Monitored-application simulator for probe-effect measurements
+//! (Figure 14, §6.2).
+//!
+//! Probe effect is the throughput decline a monitored application
+//! suffers because telemetry collection competes for host resources. The
+//! paper measures RocksDB's request throughput while capturing ≈8 M
+//! records/s into each backend. This module provides the equivalent
+//! co-located workload: a sharded in-memory key-value store driven by
+//! worker threads, where every operation emits a latency record through
+//! a caller-supplied per-thread telemetry callback. The callback's cost
+//! (plus whatever the backend does with the records) *is* the probe
+//! effect.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::records::LatencyRecord;
+
+/// Configuration for the KV-store workload.
+#[derive(Debug, Clone)]
+pub struct KvAppConfig {
+    /// Number of keys in the store.
+    pub keys: usize,
+    /// Worker threads driving operations.
+    pub threads: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvAppConfig {
+    fn default() -> Self {
+        KvAppConfig {
+            keys: 100_000,
+            threads: 2,
+            duration: Duration::from_millis(500),
+            read_fraction: 0.8,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone)]
+pub struct KvAppReport {
+    /// Total operations completed.
+    pub ops: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl KvAppReport {
+    /// Application throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// A sharded in-memory KV store (the monitored application).
+struct Shards {
+    shards: Vec<parking_lot::Mutex<std::collections::HashMap<u64, u64>>>,
+}
+
+impl Shards {
+    fn new(n: usize) -> Shards {
+        Shards {
+            shards: (0..n)
+                .map(|_| parking_lot::Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &parking_lot::Mutex<std::collections::HashMap<u64, u64>> {
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.shard(key).lock().get(&key).copied()
+    }
+
+    fn put(&self, key: u64, value: u64) {
+        self.shard(key).lock().insert(key, value);
+    }
+}
+
+/// Runs the monitored workload; `make_telemetry(thread_index)` builds the
+/// per-thread telemetry callback invoked once per operation.
+///
+/// Returns the application's achieved throughput. Run once with a no-op
+/// callback to obtain the baseline, then with a real collection pipeline
+/// to measure probe effect as the relative throughput decline.
+pub fn run<F>(config: &KvAppConfig, make_telemetry: impl Fn(usize) -> F) -> KvAppReport
+where
+    F: FnMut(&LatencyRecord) + Send + 'static,
+{
+    let shards = Arc::new(Shards::new(64));
+    // Preload keys.
+    for k in 0..config.keys as u64 {
+        shards.put(k, k);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..config.threads {
+        let shards = Arc::clone(&shards);
+        let stop = Arc::clone(&stop);
+        let total_ops = Arc::clone(&total_ops);
+        let mut telemetry = make_telemetry(t);
+        let keys = config.keys as u64;
+        let read_fraction = config.read_fraction;
+        let seed = config.seed.wrapping_add(t as u64);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            let epoch = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                // A small batch between stop checks.
+                for _ in 0..64 {
+                    let key = rng.random_range(0..keys);
+                    let op_start = Instant::now();
+                    let op;
+                    if rng.random_range(0.0..1.0) < read_fraction {
+                        op = 0;
+                        std::hint::black_box(shards.get(key));
+                    } else {
+                        op = 1;
+                        shards.put(key, ops);
+                    }
+                    let latency_ns = op_start.elapsed().as_nanos() as u64;
+                    let rec = LatencyRecord {
+                        ts: epoch.elapsed().as_nanos() as u64,
+                        latency_ns,
+                        op,
+                        pid: 3000,
+                        key_hash: key,
+                        seq: ops,
+                        flags: 0,
+                        cpu: t as u32,
+                    };
+                    telemetry(&rec);
+                    ops += 1;
+                }
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("kv worker panicked");
+    }
+    KvAppReport {
+        ops: total_ops.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_completes_and_counts_ops() {
+        let config = KvAppConfig {
+            keys: 1_000,
+            threads: 2,
+            duration: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let report = run(&config, |_| |_: &LatencyRecord| {});
+        assert!(report.ops > 0);
+        assert!(report.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_callback_sees_every_op() {
+        let config = KvAppConfig {
+            keys: 100,
+            threads: 3,
+            duration: Duration::from_millis(80),
+            ..Default::default()
+        };
+        let counter = Arc::new(AtomicU64::new(0));
+        let report = run(&config, |_| {
+            let counter = Arc::clone(&counter);
+            move |_: &LatencyRecord| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), report.ops);
+    }
+
+    #[test]
+    fn expensive_telemetry_lowers_throughput() {
+        let config = KvAppConfig {
+            keys: 10_000,
+            threads: 2,
+            duration: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let fast = run(&config, |_| |_: &LatencyRecord| {});
+        let slow = run(&config, |_| {
+            |r: &LatencyRecord| {
+                // Burn cycles proportional to a heavy collection path.
+                let mut x = r.latency_ns;
+                for _ in 0..2_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                std::hint::black_box(x);
+            }
+        });
+        assert!(
+            slow.ops_per_sec() < fast.ops_per_sec(),
+            "heavy telemetry should reduce throughput ({} vs {})",
+            slow.ops_per_sec(),
+            fast.ops_per_sec()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # HFT workload substrate for the Loom reproduction
+//!
+//! The paper evaluates Loom with telemetry captured from real Redis and
+//! RocksDB deployments instrumented via eBPF and packet capture. This
+//! crate is the synthetic equivalent: seeded, deterministic generators
+//! that reproduce the workloads of Figure 10 — record sizes (48 B
+//! latency records, 60 B page-cache events, variable packets), per-phase
+//! rates, and the rare-event correlations of §2.1 (six slow requests
+//! caused by six mangled packets) — plus uniform sampling (Figure 3) and
+//! a monitored-application simulator for probe-effect measurements
+//! (Figure 14).
+
+pub mod dist;
+pub mod kvapp;
+pub mod records;
+pub mod redis;
+pub mod rocksdb;
+pub mod sampling;
+pub mod sink;
+pub mod synth;
+
+pub use records::{LatencyRecord, PacketRecord, PageCacheRecord};
+pub use sink::{NullSink, RawFileSink, SourceKind, TelemetrySink};

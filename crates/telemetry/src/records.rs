@@ -1,0 +1,314 @@
+//! Binary record schemas for the paper's HFT sources (Figure 10).
+//!
+//! Observability records are small: the end-to-end workloads use 48-byte
+//! application-request and syscall-latency records, 60-byte page-cache
+//! events, and variable-size packet captures. All encodings are packed
+//! little-endian with fixed field offsets, so Loom index extractors can
+//! pull values straight out of the payload bytes.
+
+/// Size of a [`LatencyRecord`] on the wire.
+pub const LATENCY_RECORD_SIZE: usize = 48;
+
+/// Size of a [`PageCacheRecord`] on the wire.
+pub const PAGE_CACHE_RECORD_SIZE: usize = 60;
+
+/// Size of a [`PacketRecord`] header (payload prefix follows).
+pub const PACKET_HEADER_SIZE: usize = 24;
+
+/// Byte offset of `latency_ns` in a [`LatencyRecord`] (for extractors).
+pub const LATENCY_NS_OFFSET: usize = 8;
+
+/// Byte offset of `op` in a [`LatencyRecord`] (for extractors).
+pub const OP_OFFSET: usize = 16;
+
+/// Byte offset of `event_id` in a [`PageCacheRecord`] (for extractors).
+pub const EVENT_ID_OFFSET: usize = 40;
+
+/// Byte offset of `dst_port` in a [`PacketRecord`] (for extractors).
+pub const DST_PORT_OFFSET: usize = 12;
+
+/// A 48-byte latency record: application requests and syscall latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyRecord {
+    /// External event timestamp (ns).
+    pub ts: u64,
+    /// Measured latency (ns).
+    pub latency_ns: u64,
+    /// Operation id (application op, or syscall number).
+    pub op: u32,
+    /// Process id.
+    pub pid: u32,
+    /// Hash of the request key / syscall argument.
+    pub key_hash: u64,
+    /// Per-source sequence number.
+    pub seq: u64,
+    /// Flag bits.
+    pub flags: u32,
+    /// CPU the event was recorded on.
+    pub cpu: u32,
+}
+
+impl LatencyRecord {
+    /// Encodes the record into its fixed wire format.
+    pub fn encode(&self) -> [u8; LATENCY_RECORD_SIZE] {
+        let mut b = [0u8; LATENCY_RECORD_SIZE];
+        b[0..8].copy_from_slice(&self.ts.to_le_bytes());
+        b[8..16].copy_from_slice(&self.latency_ns.to_le_bytes());
+        b[16..20].copy_from_slice(&self.op.to_le_bytes());
+        b[20..24].copy_from_slice(&self.pid.to_le_bytes());
+        b[24..32].copy_from_slice(&self.key_hash.to_le_bytes());
+        b[32..40].copy_from_slice(&self.seq.to_le_bytes());
+        b[40..44].copy_from_slice(&self.flags.to_le_bytes());
+        b[44..48].copy_from_slice(&self.cpu.to_le_bytes());
+        b
+    }
+
+    /// Decodes a record from wire bytes.
+    pub fn decode(b: &[u8]) -> Option<LatencyRecord> {
+        if b.len() < LATENCY_RECORD_SIZE {
+            return None;
+        }
+        Some(LatencyRecord {
+            ts: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            latency_ns: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            op: u32::from_le_bytes(b[16..20].try_into().ok()?),
+            pid: u32::from_le_bytes(b[20..24].try_into().ok()?),
+            key_hash: u64::from_le_bytes(b[24..32].try_into().ok()?),
+            seq: u64::from_le_bytes(b[32..40].try_into().ok()?),
+            flags: u32::from_le_bytes(b[40..44].try_into().ok()?),
+            cpu: u32::from_le_bytes(b[44..48].try_into().ok()?),
+        })
+    }
+}
+
+/// A 60-byte kernel page-cache event (e.g.,
+/// `mm_filemap_add_to_page_cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCacheRecord {
+    /// External event timestamp (ns).
+    pub ts: u64,
+    /// Per-source sequence number.
+    pub seq: u64,
+    /// Device id.
+    pub dev: u64,
+    /// Inode number.
+    pub inode: u64,
+    /// Page offset within the file.
+    pub offset: u64,
+    /// Tracepoint event id (see [`page_cache_events`]).
+    pub event_id: u32,
+    /// Process id.
+    pub pid: u32,
+    /// Flag bits.
+    pub flags: u32,
+    /// CPU the event was recorded on.
+    pub cpu: u32,
+    /// Reserved padding (keeps the record at 60 bytes, per Figure 10b).
+    pub _pad: u32,
+}
+
+/// Well-known page-cache tracepoint ids used by the RocksDB case study.
+pub mod page_cache_events {
+    /// `mm_filemap_add_to_page_cache` — the event Figure 10b counts.
+    pub const ADD_TO_PAGE_CACHE: u32 = 1;
+    /// `mm_filemap_delete_from_page_cache`.
+    pub const DELETE_FROM_PAGE_CACHE: u32 = 2;
+    /// Page-cache readahead.
+    pub const READAHEAD: u32 = 3;
+    /// Dirty page writeback.
+    pub const WRITEBACK: u32 = 4;
+}
+
+impl PageCacheRecord {
+    /// Encodes the record into its fixed wire format.
+    pub fn encode(&self) -> [u8; PAGE_CACHE_RECORD_SIZE] {
+        let mut b = [0u8; PAGE_CACHE_RECORD_SIZE];
+        b[0..8].copy_from_slice(&self.ts.to_le_bytes());
+        b[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        b[16..24].copy_from_slice(&self.dev.to_le_bytes());
+        b[24..32].copy_from_slice(&self.inode.to_le_bytes());
+        b[32..40].copy_from_slice(&self.offset.to_le_bytes());
+        b[40..44].copy_from_slice(&self.event_id.to_le_bytes());
+        b[44..48].copy_from_slice(&self.pid.to_le_bytes());
+        b[48..52].copy_from_slice(&self.flags.to_le_bytes());
+        b[52..56].copy_from_slice(&self.cpu.to_le_bytes());
+        b[56..60].copy_from_slice(&self._pad.to_le_bytes());
+        b
+    }
+
+    /// Decodes a record from wire bytes.
+    pub fn decode(b: &[u8]) -> Option<PageCacheRecord> {
+        if b.len() < PAGE_CACHE_RECORD_SIZE {
+            return None;
+        }
+        Some(PageCacheRecord {
+            ts: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            seq: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            dev: u64::from_le_bytes(b[16..24].try_into().ok()?),
+            inode: u64::from_le_bytes(b[24..32].try_into().ok()?),
+            offset: u64::from_le_bytes(b[32..40].try_into().ok()?),
+            event_id: u32::from_le_bytes(b[40..44].try_into().ok()?),
+            pid: u32::from_le_bytes(b[44..48].try_into().ok()?),
+            flags: u32::from_le_bytes(b[48..52].try_into().ok()?),
+            cpu: u32::from_le_bytes(b[52..56].try_into().ok()?),
+            _pad: u32::from_le_bytes(b[56..60].try_into().ok()?),
+        })
+    }
+}
+
+/// A variable-size captured TCP packet: fixed header + payload prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Capture timestamp (ns).
+    pub ts: u64,
+    /// Original packet length on the wire.
+    pub wire_len: u16,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// TCP flag bits.
+    pub tcp_flags: u16,
+    /// Per-source sequence number.
+    pub seq: u64,
+    /// Captured payload prefix (truncated snaplen).
+    pub payload: Vec<u8>,
+}
+
+impl PacketRecord {
+    /// Encodes the record (header + payload prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(PACKET_HEADER_SIZE + self.payload.len());
+        b.extend_from_slice(&self.ts.to_le_bytes());
+        b.extend_from_slice(&self.wire_len.to_le_bytes());
+        b.extend_from_slice(&self.src_port.to_le_bytes());
+        b.extend_from_slice(&self.dst_port.to_le_bytes());
+        b.extend_from_slice(&self.tcp_flags.to_le_bytes());
+        b.extend_from_slice(&self.seq.to_le_bytes());
+        b.extend_from_slice(&self.payload);
+        b
+    }
+
+    /// Decodes a record from wire bytes.
+    pub fn decode(b: &[u8]) -> Option<PacketRecord> {
+        if b.len() < PACKET_HEADER_SIZE {
+            return None;
+        }
+        Some(PacketRecord {
+            ts: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            wire_len: u16::from_le_bytes(b[8..10].try_into().ok()?),
+            src_port: u16::from_le_bytes(b[10..12].try_into().ok()?),
+            dst_port: u16::from_le_bytes(b[12..14].try_into().ok()?),
+            tcp_flags: u16::from_le_bytes(b[14..16].try_into().ok()?),
+            seq: u64::from_le_bytes(b[16..24].try_into().ok()?),
+            payload: b[PACKET_HEADER_SIZE..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_record_round_trips_at_48_bytes() {
+        let r = LatencyRecord {
+            ts: 1,
+            latency_ns: 250_000,
+            op: 3,
+            pid: 42,
+            key_hash: 0xabcdef,
+            seq: 7,
+            flags: 0b101,
+            cpu: 11,
+        };
+        let b = r.encode();
+        assert_eq!(b.len(), 48);
+        assert_eq!(LatencyRecord::decode(&b), Some(r));
+        assert_eq!(LatencyRecord::decode(&b[..47]), None);
+    }
+
+    #[test]
+    fn latency_offsets_match_encoding() {
+        let r = LatencyRecord {
+            ts: 0,
+            latency_ns: 777,
+            op: 55,
+            pid: 0,
+            key_hash: 0,
+            seq: 0,
+            flags: 0,
+            cpu: 0,
+        };
+        let b = r.encode();
+        assert_eq!(
+            u64::from_le_bytes(
+                b[LATENCY_NS_OFFSET..LATENCY_NS_OFFSET + 8]
+                    .try_into()
+                    .unwrap()
+            ),
+            777
+        );
+        assert_eq!(
+            u32::from_le_bytes(b[OP_OFFSET..OP_OFFSET + 4].try_into().unwrap()),
+            55
+        );
+    }
+
+    #[test]
+    fn page_cache_record_round_trips_at_60_bytes() {
+        let r = PageCacheRecord {
+            ts: 9,
+            seq: 1,
+            dev: 2,
+            inode: 3,
+            offset: 4,
+            event_id: page_cache_events::ADD_TO_PAGE_CACHE,
+            pid: 6,
+            flags: 7,
+            cpu: 8,
+            _pad: 0,
+        };
+        let b = r.encode();
+        assert_eq!(b.len(), 60);
+        assert_eq!(PageCacheRecord::decode(&b), Some(r));
+        assert_eq!(
+            u32::from_le_bytes(b[EVENT_ID_OFFSET..EVENT_ID_OFFSET + 4].try_into().unwrap()),
+            page_cache_events::ADD_TO_PAGE_CACHE
+        );
+    }
+
+    #[test]
+    fn packet_record_round_trips_with_payload() {
+        let r = PacketRecord {
+            ts: 100,
+            wire_len: 1500,
+            src_port: 55555,
+            dst_port: 6379,
+            tcp_flags: 0x18,
+            seq: 12,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let b = r.encode();
+        assert_eq!(b.len(), 24 + 5);
+        assert_eq!(PacketRecord::decode(&b), Some(r));
+        assert_eq!(
+            u16::from_le_bytes(b[DST_PORT_OFFSET..DST_PORT_OFFSET + 2].try_into().unwrap()),
+            6379
+        );
+    }
+
+    #[test]
+    fn empty_payload_packet_is_valid() {
+        let r = PacketRecord {
+            ts: 0,
+            wire_len: 64,
+            src_port: 1,
+            dst_port: 2,
+            tcp_flags: 0,
+            seq: 0,
+            payload: Vec::new(),
+        };
+        assert_eq!(PacketRecord::decode(&r.encode()), Some(r));
+    }
+}

@@ -1,0 +1,457 @@
+//! The Redis case study workload (§2.1, Figure 10a).
+//!
+//! An engineer investigates occasional high Redis request tail latency.
+//! The investigation has three phases, each adding an HFT source:
+//!
+//! | Phase | Sources                            | Paper rate (records/s) |
+//! |-------|------------------------------------|------------------------|
+//! | P1    | application request latency        | 865 k                  |
+//! | P2    | + OS syscall latency (eBPF)        | + 2.7 M                |
+//! | P3    | + client TCP packets               | + 3.5 M                |
+//!
+//! The root cause: a buggy packet filter mangles the destination port of
+//! a handful of packets, each causing a slow `recv` syscall and a slow
+//! application request. The generator injects `anomalies` such events in
+//! phase 3 and exposes their ground truth so benchmarks can verify that
+//! a capture pipeline caught (or missed — Figure 3) the needles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{BoundedPareto, LogNormal};
+use crate::records::{LatencyRecord, PacketRecord};
+use crate::sink::SourceKind;
+
+/// Paper ingest rate of the application-latency source (records/s).
+pub const APP_RATE: f64 = 865_000.0;
+/// Paper ingest rate of the syscall-latency source (records/s).
+pub const SYSCALL_RATE: f64 = 2_700_000.0;
+/// Paper ingest rate of the packet-capture source (records/s).
+pub const PACKET_RATE: f64 = 3_500_000.0;
+
+/// Redis server port.
+pub const REDIS_PORT: u16 = 6379;
+/// Syscall number used for `recvfrom` records.
+pub const SYS_RECVFROM: u32 = 45;
+/// Syscall number used for `sendto` records.
+pub const SYS_SENDTO: u32 = 44;
+/// Syscall number used for `epoll_wait` records.
+pub const SYS_EPOLL_WAIT: u32 = 232;
+
+/// Flag bit set on anomalous (injected) records, for ground-truth
+/// verification only — capture pipelines must not rely on it.
+pub const FLAG_ANOMALY: u32 = 1 << 31;
+
+/// The investigation phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Application latency only.
+    P1,
+    /// Plus syscall latencies.
+    P2,
+    /// Plus packet capture.
+    P3,
+}
+
+impl Phase {
+    /// All phases in order.
+    pub const ALL: [Phase; 3] = [Phase::P1, Phase::P2, Phase::P3];
+}
+
+/// Configuration for the Redis case study generator.
+#[derive(Debug, Clone)]
+pub struct RedisConfig {
+    /// RNG seed (the workload is fully deterministic given the seed).
+    pub seed: u64,
+    /// Rate multiplier applied to the paper's per-source rates.
+    pub scale: f64,
+    /// Duration of each phase in seconds (of simulated time).
+    pub phase_secs: f64,
+    /// Number of slow-request/mangled-packet anomalies injected in P3
+    /// (the paper's scenario has six).
+    pub anomalies: usize,
+}
+
+impl Default for RedisConfig {
+    fn default() -> Self {
+        RedisConfig {
+            seed: 0xC0FFEE,
+            scale: 0.01,
+            phase_secs: 10.0,
+            anomalies: 6,
+        }
+    }
+}
+
+/// Ground truth for one injected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Anomaly {
+    /// Nominal injection time (ns since workload start).
+    pub ts: u64,
+    /// Sequence number of the mangled packet.
+    pub packet_seq: u64,
+    /// Sequence number of the slow `recv` syscall record.
+    pub syscall_seq: u64,
+    /// Sequence number of the slow application request record.
+    pub request_seq: u64,
+}
+
+/// One generated event, delivered to the consumer callback.
+pub struct Event<'a> {
+    /// Investigation phase the event belongs to.
+    pub phase: Phase,
+    /// Source kind.
+    pub kind: SourceKind,
+    /// Arrival timestamp (ns since workload start).
+    pub ts: u64,
+    /// Encoded record bytes.
+    pub bytes: &'a [u8],
+}
+
+struct SourceClock {
+    interval_ns: u64,
+    next_ts: u64,
+    seq: u64,
+}
+
+impl SourceClock {
+    fn new(rate: f64, start: u64) -> SourceClock {
+        SourceClock {
+            interval_ns: (1e9 / rate).max(1.0) as u64,
+            next_ts: start,
+            seq: 0,
+        }
+    }
+}
+
+/// The deterministic Redis case-study generator.
+pub struct RedisGenerator {
+    config: RedisConfig,
+    rng: StdRng,
+    app_latency: LogNormal,
+    syscall_latency: LogNormal,
+    packet_size: BoundedPareto,
+    anomalies: Vec<Anomaly>,
+}
+
+impl RedisGenerator {
+    /// Creates a generator; anomaly *times* are fixed immediately, their
+    /// record sequence numbers are filled in during generation.
+    pub fn new(config: RedisConfig) -> RedisGenerator {
+        assert!(config.scale > 0.0 && config.phase_secs > 0.0);
+        let phase_ns = (config.phase_secs * 1e9) as u64;
+        let p3_start = 2 * phase_ns;
+        let mut anomalies = Vec::with_capacity(config.anomalies);
+        // Spread anomalies over the middle 80% of phase 3.
+        for i in 0..config.anomalies {
+            let offset =
+                phase_ns / 10 + (i as u64) * (phase_ns * 8 / 10) / config.anomalies.max(1) as u64;
+            anomalies.push(Anomaly {
+                ts: p3_start + offset,
+                packet_seq: u64::MAX,
+                syscall_seq: u64::MAX,
+                request_seq: u64::MAX,
+            });
+        }
+        RedisGenerator {
+            rng: StdRng::seed_from_u64(config.seed),
+            app_latency: LogNormal::from_median(200_000.0, 0.5), // 200 µs
+            syscall_latency: LogNormal::from_median(5_000.0, 0.7), // 5 µs
+            packet_size: BoundedPareto::new(64.0, 1500.0, 1.2),
+            config,
+            anomalies,
+        }
+    }
+
+    /// Duration of one phase in nanoseconds.
+    pub fn phase_ns(&self) -> u64 {
+        (self.config.phase_secs * 1e9) as u64
+    }
+
+    /// The `[start, end)` time range of a phase.
+    pub fn phase_range(&self, phase: Phase) -> (u64, u64) {
+        let p = self.phase_ns();
+        match phase {
+            Phase::P1 => (0, p),
+            Phase::P2 => (p, 2 * p),
+            Phase::P3 => (2 * p, 3 * p),
+        }
+    }
+
+    /// Ground-truth anomalies (sequence numbers valid after [`run`]).
+    ///
+    /// [`run`]: RedisGenerator::run
+    pub fn ground_truth(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// Generates the full three-phase event stream in arrival order,
+    /// invoking `f` for every event. Returns total events generated.
+    pub fn run(&mut self, mut f: impl FnMut(Event<'_>)) -> u64 {
+        let phase_ns = self.phase_ns();
+        let end = 3 * phase_ns;
+        let scale = self.config.scale;
+        let mut app = SourceClock::new(APP_RATE * scale, 0);
+        let mut sys = SourceClock::new(SYSCALL_RATE * scale, phase_ns);
+        let mut pkt = SourceClock::new(PACKET_RATE * scale, 2 * phase_ns);
+        // Pending anomaly injections per source (indices into anomalies).
+        let mut next_anomaly = 0usize;
+        let mut pending_pkt: Vec<usize> = Vec::new();
+        let mut pending_sys: Vec<usize> = Vec::new();
+        let mut pending_app: Vec<usize> = Vec::new();
+
+        let mut total = 0u64;
+        let mut buf = Vec::new();
+        loop {
+            // The next event is the earliest source clock.
+            let (ts, which) = {
+                let mut best = (app.next_ts, 0u8);
+                if sys.next_ts < best.0 {
+                    best = (sys.next_ts, 1);
+                }
+                if pkt.next_ts < best.0 {
+                    best = (pkt.next_ts, 2);
+                }
+                best
+            };
+            if ts >= end {
+                break;
+            }
+            // Arm anomaly injections whose time has come.
+            while next_anomaly < self.anomalies.len() && self.anomalies[next_anomaly].ts <= ts {
+                pending_pkt.push(next_anomaly);
+                pending_sys.push(next_anomaly);
+                pending_app.push(next_anomaly);
+                next_anomaly += 1;
+            }
+            let phase = if ts < phase_ns {
+                Phase::P1
+            } else if ts < 2 * phase_ns {
+                Phase::P2
+            } else {
+                Phase::P3
+            };
+            match which {
+                0 => {
+                    let anomaly = pending_app.pop();
+                    let latency = match anomaly {
+                        Some(_) => 60_000_000.0 + self.rng.random_range(0.0..20e6), // ~60-80 ms
+                        None => self.app_latency.sample(&mut self.rng),
+                    };
+                    let rec = LatencyRecord {
+                        ts,
+                        latency_ns: latency as u64,
+                        op: self.rng.random_range(0..2), // GET / SET
+                        pid: 1000,
+                        key_hash: self.rng.random(),
+                        seq: app.seq,
+                        flags: if anomaly.is_some() { FLAG_ANOMALY } else { 0 },
+                        cpu: self.rng.random_range(0..16),
+                    };
+                    if let Some(i) = anomaly {
+                        self.anomalies[i].request_seq = app.seq;
+                    }
+                    buf.clear();
+                    buf.extend_from_slice(&rec.encode());
+                    f(Event {
+                        phase,
+                        kind: SourceKind::AppRequest,
+                        ts,
+                        bytes: &buf,
+                    });
+                    app.seq += 1;
+                    app.next_ts += app.interval_ns;
+                }
+                1 => {
+                    let anomaly = pending_sys.pop();
+                    let (op, latency) = match anomaly {
+                        Some(_) => (
+                            SYS_RECVFROM,
+                            50_000_000.0 + self.rng.random_range(0.0..10e6), // ~50-60 ms
+                        ),
+                        None => {
+                            let op = match self.rng.random_range(0..10) {
+                                0..=3 => SYS_RECVFROM,
+                                4..=7 => SYS_SENDTO,
+                                _ => SYS_EPOLL_WAIT,
+                            };
+                            (op, self.syscall_latency.sample(&mut self.rng))
+                        }
+                    };
+                    let rec = LatencyRecord {
+                        ts,
+                        latency_ns: latency as u64,
+                        op,
+                        pid: 1000,
+                        key_hash: self.rng.random(),
+                        seq: sys.seq,
+                        flags: if anomaly.is_some() { FLAG_ANOMALY } else { 0 },
+                        cpu: self.rng.random_range(0..16),
+                    };
+                    if let Some(i) = anomaly {
+                        self.anomalies[i].syscall_seq = sys.seq;
+                    }
+                    buf.clear();
+                    buf.extend_from_slice(&rec.encode());
+                    f(Event {
+                        phase,
+                        kind: SourceKind::Syscall,
+                        ts,
+                        bytes: &buf,
+                    });
+                    sys.seq += 1;
+                    sys.next_ts += sys.interval_ns;
+                }
+                _ => {
+                    let anomaly = pending_pkt.pop();
+                    // A buggy packet filter mangles the destination port.
+                    let dst_port = match anomaly {
+                        Some(_) => REDIS_PORT ^ 0x00ff,
+                        None => REDIS_PORT,
+                    };
+                    let size = self.packet_size.sample(&mut self.rng) as u16;
+                    let rec = PacketRecord {
+                        ts,
+                        wire_len: size,
+                        src_port: self.rng.random_range(32768..60999),
+                        dst_port,
+                        tcp_flags: 0x18, // PSH|ACK
+                        seq: pkt.seq,
+                        payload: vec![0xAB; 16.min(size as usize)],
+                    };
+                    if let Some(i) = anomaly {
+                        self.anomalies[i].packet_seq = pkt.seq;
+                    }
+                    buf.clear();
+                    buf.extend_from_slice(&rec.encode());
+                    f(Event {
+                        phase,
+                        kind: SourceKind::Packet,
+                        ts,
+                        bytes: &buf,
+                    });
+                    pkt.seq += 1;
+                    pkt.next_ts += pkt.interval_ns;
+                }
+            }
+            total += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RedisConfig {
+        RedisConfig {
+            seed: 42,
+            scale: 0.001,
+            phase_secs: 1.0,
+            anomalies: 3,
+        }
+    }
+
+    #[test]
+    fn phases_activate_sources_incrementally() {
+        let mut g = RedisGenerator::new(small_config());
+        let mut seen: std::collections::HashMap<(Phase, SourceKind), u64> =
+            std::collections::HashMap::new();
+        g.run(|e| *seen.entry((e.phase, e.kind)).or_insert(0) += 1);
+        assert!(seen.contains_key(&(Phase::P1, SourceKind::AppRequest)));
+        assert!(!seen.contains_key(&(Phase::P1, SourceKind::Syscall)));
+        assert!(!seen.contains_key(&(Phase::P1, SourceKind::Packet)));
+        assert!(seen.contains_key(&(Phase::P2, SourceKind::Syscall)));
+        assert!(!seen.contains_key(&(Phase::P2, SourceKind::Packet)));
+        assert!(seen.contains_key(&(Phase::P3, SourceKind::Packet)));
+    }
+
+    #[test]
+    fn rates_scale_with_config() {
+        let mut g = RedisGenerator::new(small_config());
+        let mut app_p1 = 0u64;
+        g.run(|e| {
+            if e.phase == Phase::P1 && e.kind == SourceKind::AppRequest {
+                app_p1 += 1;
+            }
+        });
+        // 865k * 0.001 = 865/s for 1 second.
+        let expected = (APP_RATE * 0.001) as u64;
+        assert!(
+            (app_p1 as i64 - expected as i64).unsigned_abs() <= expected / 10,
+            "app P1 count {app_p1} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn events_arrive_in_time_order() {
+        let mut g = RedisGenerator::new(small_config());
+        let mut last = 0u64;
+        g.run(|e| {
+            assert!(e.ts >= last, "time went backwards");
+            last = e.ts;
+        });
+    }
+
+    #[test]
+    fn anomalies_are_injected_and_correlated() {
+        let mut g = RedisGenerator::new(small_config());
+        let mut mangled_packets = Vec::new();
+        let mut slow_requests = Vec::new();
+        let mut slow_recvs = Vec::new();
+        g.run(|e| match e.kind {
+            SourceKind::Packet => {
+                let p = PacketRecord::decode(e.bytes).unwrap();
+                if p.dst_port != REDIS_PORT {
+                    mangled_packets.push((e.ts, p.seq));
+                }
+            }
+            SourceKind::AppRequest => {
+                let r = LatencyRecord::decode(e.bytes).unwrap();
+                if r.latency_ns > 10_000_000 {
+                    slow_requests.push((e.ts, r.seq));
+                }
+            }
+            SourceKind::Syscall => {
+                let r = LatencyRecord::decode(e.bytes).unwrap();
+                if r.op == SYS_RECVFROM && r.latency_ns > 10_000_000 {
+                    slow_recvs.push((e.ts, r.seq));
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(mangled_packets.len(), 3);
+        assert_eq!(slow_requests.len(), 3);
+        assert_eq!(slow_recvs.len(), 3);
+
+        // Ground truth sequence numbers were filled in.
+        for (i, a) in g.ground_truth().iter().enumerate() {
+            assert_eq!(a.packet_seq, mangled_packets[i].1);
+            assert_eq!(a.request_seq, slow_requests[i].1);
+            assert_eq!(a.syscall_seq, slow_recvs[i].1);
+            // Correlation: the three events happen near the anomaly time.
+            assert!(mangled_packets[i].0.abs_diff(a.ts) < 100_000_000);
+            assert!(slow_requests[i].0.abs_diff(a.ts) < 100_000_000);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let digest = |seed| {
+            let mut g = RedisGenerator::new(RedisConfig {
+                seed,
+                ..small_config()
+            });
+            let mut h = 0u64;
+            g.run(|e| {
+                for b in e.bytes {
+                    h = h.wrapping_mul(31).wrapping_add(*b as u64);
+                }
+            });
+            h
+        };
+        assert_eq!(digest(5), digest(5));
+        assert_ne!(digest(5), digest(6));
+    }
+}

@@ -1,0 +1,345 @@
+//! The RocksDB case study workload (Figure 10b).
+//!
+//! Based on a real Linux performance-debugging scenario (page-cache
+//! behaviour under a RocksDB read workload). Three phases, each adding a
+//! source:
+//!
+//! | Phase | Sources                         | Paper rate (records/s) |
+//! |-------|---------------------------------|------------------------|
+//! | P1    | RocksDB request latency         | 4.7 M                  |
+//! | P2    | + OS syscall latency            | + 3.2 M                |
+//! | P3    | + OS page-cache events          | + 39 k                 |
+//!
+//! The phase queries are aggregations of increasing selectivity: max and
+//! p99.99 over all requests (P1), the same over only `pread64` syscalls
+//! (≈3 % of the data, P2), and a count of
+//! `mm_filemap_add_to_page_cache` events (≈0.5 % of the data, P3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::LogNormal;
+use crate::records::{page_cache_events, LatencyRecord, PageCacheRecord};
+use crate::sink::SourceKind;
+
+/// Paper ingest rate of the RocksDB request-latency source (records/s).
+pub const APP_RATE: f64 = 4_700_000.0;
+/// Paper ingest rate of the syscall-latency source (records/s).
+pub const SYSCALL_RATE: f64 = 3_200_000.0;
+/// Paper ingest rate of the page-cache event source (records/s).
+pub const PAGE_CACHE_RATE: f64 = 39_000.0;
+
+/// Syscall number for `pread64` (the P2 query target).
+pub const SYS_PREAD64: u32 = 17;
+/// Syscall number for `write`.
+pub const SYS_WRITE: u32 = 1;
+/// Syscall number for `futex`.
+pub const SYS_FUTEX: u32 = 202;
+
+/// Fraction of syscall records that are `pread64` (tuned so pread64 is
+/// ~3 % of all data, as in Figure 10b).
+pub const PREAD64_FRACTION: f64 = 0.078;
+
+/// Fraction of page-cache events that are `mm_filemap_add_to_page_cache`.
+pub const ADD_EVENT_FRACTION: f64 = 0.6;
+
+/// Investigation phase (same semantics as the Redis case study).
+pub use crate::redis::Phase;
+
+/// Configuration for the RocksDB case study generator.
+#[derive(Debug, Clone)]
+pub struct RocksdbConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Rate multiplier applied to the paper's rates.
+    pub scale: f64,
+    /// Duration of each phase in seconds (simulated time).
+    pub phase_secs: f64,
+}
+
+impl Default for RocksdbConfig {
+    fn default() -> Self {
+        RocksdbConfig {
+            seed: 0xD00DAD,
+            scale: 0.01,
+            phase_secs: 10.0,
+        }
+    }
+}
+
+/// One generated event.
+pub struct Event<'a> {
+    /// Investigation phase.
+    pub phase: Phase,
+    /// Source kind.
+    pub kind: SourceKind,
+    /// Arrival timestamp (ns since workload start).
+    pub ts: u64,
+    /// Encoded record bytes.
+    pub bytes: &'a [u8],
+}
+
+/// The deterministic RocksDB case-study generator.
+pub struct RocksdbGenerator {
+    config: RocksdbConfig,
+    rng: StdRng,
+    req_latency: LogNormal,
+    pread_latency: LogNormal,
+    other_latency: LogNormal,
+}
+
+impl RocksdbGenerator {
+    /// Creates a generator.
+    pub fn new(config: RocksdbConfig) -> RocksdbGenerator {
+        assert!(config.scale > 0.0 && config.phase_secs > 0.0);
+        RocksdbGenerator {
+            rng: StdRng::seed_from_u64(config.seed),
+            req_latency: LogNormal::from_median(30_000.0, 0.6), // 30 µs
+            pread_latency: LogNormal::from_median(80_000.0, 0.9), // 80 µs, long tail
+            other_latency: LogNormal::from_median(3_000.0, 0.5), // 3 µs
+            config,
+        }
+    }
+
+    /// Duration of one phase in nanoseconds.
+    pub fn phase_ns(&self) -> u64 {
+        (self.config.phase_secs * 1e9) as u64
+    }
+
+    /// The `[start, end)` time range of a phase.
+    pub fn phase_range(&self, phase: Phase) -> (u64, u64) {
+        let p = self.phase_ns();
+        match phase {
+            Phase::P1 => (0, p),
+            Phase::P2 => (p, 2 * p),
+            Phase::P3 => (2 * p, 3 * p),
+        }
+    }
+
+    /// Generates the full three-phase stream in arrival order; returns
+    /// the total number of events.
+    pub fn run(&mut self, mut f: impl FnMut(Event<'_>)) -> u64 {
+        let phase_ns = self.phase_ns();
+        let end = 3 * phase_ns;
+        let scale = self.config.scale;
+        let mut req_next = 0u64;
+        let req_int = (1e9 / (APP_RATE * scale)).max(1.0) as u64;
+        let mut req_seq = 0u64;
+        let mut sys_next = phase_ns;
+        let sys_int = (1e9 / (SYSCALL_RATE * scale)).max(1.0) as u64;
+        let mut sys_seq = 0u64;
+        let mut pc_next = 2 * phase_ns;
+        let pc_int = (1e9 / (PAGE_CACHE_RATE * scale)).max(1.0) as u64;
+        let mut pc_seq = 0u64;
+
+        let mut total = 0u64;
+        let mut buf = Vec::new();
+        loop {
+            let (ts, which) = {
+                let mut best = (req_next, 0u8);
+                if sys_next < best.0 {
+                    best = (sys_next, 1);
+                }
+                if pc_next < best.0 {
+                    best = (pc_next, 2);
+                }
+                best
+            };
+            if ts >= end {
+                break;
+            }
+            let phase = if ts < phase_ns {
+                Phase::P1
+            } else if ts < 2 * phase_ns {
+                Phase::P2
+            } else {
+                Phase::P3
+            };
+            match which {
+                0 => {
+                    let rec = LatencyRecord {
+                        ts,
+                        latency_ns: self.req_latency.sample(&mut self.rng) as u64,
+                        op: self.rng.random_range(0..3), // get/put/scan
+                        pid: 2000,
+                        key_hash: self.rng.random(),
+                        seq: req_seq,
+                        flags: 0,
+                        cpu: self.rng.random_range(0..16),
+                    };
+                    buf.clear();
+                    buf.extend_from_slice(&rec.encode());
+                    f(Event {
+                        phase,
+                        kind: SourceKind::AppRequest,
+                        ts,
+                        bytes: &buf,
+                    });
+                    req_seq += 1;
+                    req_next += req_int;
+                }
+                1 => {
+                    let is_pread = self.rng.random_range(0.0..1.0) < PREAD64_FRACTION;
+                    let (op, latency) = if is_pread {
+                        (SYS_PREAD64, self.pread_latency.sample(&mut self.rng))
+                    } else {
+                        let op = if self.rng.random_range(0..2) == 0 {
+                            SYS_WRITE
+                        } else {
+                            SYS_FUTEX
+                        };
+                        (op, self.other_latency.sample(&mut self.rng))
+                    };
+                    let rec = LatencyRecord {
+                        ts,
+                        latency_ns: latency as u64,
+                        op,
+                        pid: 2000,
+                        key_hash: self.rng.random(),
+                        seq: sys_seq,
+                        flags: 0,
+                        cpu: self.rng.random_range(0..16),
+                    };
+                    buf.clear();
+                    buf.extend_from_slice(&rec.encode());
+                    f(Event {
+                        phase,
+                        kind: SourceKind::Syscall,
+                        ts,
+                        bytes: &buf,
+                    });
+                    sys_seq += 1;
+                    sys_next += sys_int;
+                }
+                _ => {
+                    let event_id = if self.rng.random_range(0.0..1.0) < ADD_EVENT_FRACTION {
+                        page_cache_events::ADD_TO_PAGE_CACHE
+                    } else {
+                        match self.rng.random_range(0..3) {
+                            0 => page_cache_events::DELETE_FROM_PAGE_CACHE,
+                            1 => page_cache_events::READAHEAD,
+                            _ => page_cache_events::WRITEBACK,
+                        }
+                    };
+                    let rec = PageCacheRecord {
+                        ts,
+                        seq: pc_seq,
+                        dev: 0x801,
+                        inode: self.rng.random_range(1..100_000),
+                        offset: self.rng.random_range(0..1 << 20),
+                        event_id,
+                        pid: 2000,
+                        flags: 0,
+                        cpu: self.rng.random_range(0..16),
+                        _pad: 0,
+                    };
+                    buf.clear();
+                    buf.extend_from_slice(&rec.encode());
+                    f(Event {
+                        phase,
+                        kind: SourceKind::PageCache,
+                        ts,
+                        bytes: &buf,
+                    });
+                    pc_seq += 1;
+                    pc_next += pc_int;
+                }
+            }
+            total += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RocksdbConfig {
+        RocksdbConfig {
+            seed: 7,
+            scale: 0.001,
+            phase_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn phase_structure_is_additive() {
+        let mut g = RocksdbGenerator::new(small());
+        let mut counts: std::collections::HashMap<(Phase, SourceKind), u64> =
+            std::collections::HashMap::new();
+        g.run(|e| *counts.entry((e.phase, e.kind)).or_insert(0) += 1);
+        assert!(counts.contains_key(&(Phase::P1, SourceKind::AppRequest)));
+        assert!(!counts.contains_key(&(Phase::P1, SourceKind::Syscall)));
+        assert!(counts.contains_key(&(Phase::P2, SourceKind::Syscall)));
+        assert!(!counts.contains_key(&(Phase::P2, SourceKind::PageCache)));
+        assert!(counts.contains_key(&(Phase::P3, SourceKind::PageCache)));
+    }
+
+    #[test]
+    fn pread64_fraction_is_small() {
+        let mut g = RocksdbGenerator::new(RocksdbConfig {
+            scale: 0.01,
+            ..small()
+        });
+        let mut pread = 0u64;
+        let mut total = 0u64;
+        g.run(|e| {
+            if e.kind == SourceKind::Syscall {
+                total += 1;
+                let r = LatencyRecord::decode(e.bytes).unwrap();
+                if r.op == SYS_PREAD64 {
+                    pread += 1;
+                }
+            }
+        });
+        let fraction = pread as f64 / total as f64;
+        assert!(
+            (fraction - PREAD64_FRACTION).abs() < 0.02,
+            "pread fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn page_cache_events_have_mixed_ids() {
+        let mut g = RocksdbGenerator::new(RocksdbConfig {
+            scale: 0.1,
+            ..small()
+        });
+        let mut add = 0u64;
+        let mut total = 0u64;
+        g.run(|e| {
+            if e.kind == SourceKind::PageCache {
+                total += 1;
+                let r = PageCacheRecord::decode(e.bytes).unwrap();
+                if r.event_id == page_cache_events::ADD_TO_PAGE_CACHE {
+                    add += 1;
+                }
+            }
+        });
+        assert!(total > 0);
+        let fraction = add as f64 / total as f64;
+        assert!(
+            (fraction - ADD_EVENT_FRACTION).abs() < 0.15,
+            "add fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn time_ordered_and_deterministic() {
+        let run_hash = || {
+            let mut g = RocksdbGenerator::new(small());
+            let mut last = 0u64;
+            let mut h = 0u64;
+            g.run(|e| {
+                assert!(e.ts >= last);
+                last = e.ts;
+                h = h
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(e.bytes.len() as u64);
+            });
+            h
+        };
+        assert_eq!(run_hash(), run_hash());
+    }
+}

@@ -1,0 +1,98 @@
+//! Uniform sampling of telemetry streams (Figure 3).
+//!
+//! Sampling reduces the data rate so a slower backend can keep up — at
+//! the cost of missing rare events. The paper's Figure 3 shows uniform
+//! 10 % sampling catching one of six slow Redis requests and none of the
+//! six mangled packets; the `fig03` bench reproduces that with this
+//! sampler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded uniform (Bernoulli) sampler.
+pub struct UniformSampler {
+    rng: StdRng,
+    keep_fraction: f64,
+    offered: u64,
+    kept: u64,
+}
+
+impl UniformSampler {
+    /// Creates a sampler keeping `keep_fraction` of records.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `keep_fraction` lies in `[0, 1]`.
+    pub fn new(seed: u64, keep_fraction: f64) -> UniformSampler {
+        assert!(
+            (0.0..=1.0).contains(&keep_fraction),
+            "keep fraction must be in [0, 1]"
+        );
+        UniformSampler {
+            rng: StdRng::seed_from_u64(seed),
+            keep_fraction,
+            offered: 0,
+            kept: 0,
+        }
+    }
+
+    /// Decides whether the next record is kept.
+    pub fn keep(&mut self) -> bool {
+        self.offered += 1;
+        let keep = self.rng.random_range(0.0..1.0) < self.keep_fraction;
+        if keep {
+            self.kept += 1;
+        }
+        keep
+    }
+
+    /// Records offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Records kept so far.
+    pub fn kept(&self) -> u64 {
+        self.kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_fraction_is_respected() {
+        let mut s = UniformSampler::new(3, 0.1);
+        for _ in 0..100_000 {
+            s.keep();
+        }
+        let fraction = s.kept() as f64 / s.offered() as f64;
+        assert!((fraction - 0.1).abs() < 0.01, "fraction {fraction}");
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let mut all = UniformSampler::new(0, 1.0);
+        let mut none = UniformSampler::new(0, 0.0);
+        for _ in 0..100 {
+            assert!(all.keep());
+            assert!(!none.keep());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let decisions = |seed| {
+            let mut s = UniformSampler::new(seed, 0.5);
+            (0..64).map(|_| s.keep()).collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(9), decisions(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep fraction")]
+    fn out_of_range_fraction_panics() {
+        UniformSampler::new(0, 1.5);
+    }
+}

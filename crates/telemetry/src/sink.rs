@@ -1,0 +1,195 @@
+//! Telemetry sinks: where captured records go.
+//!
+//! The end-to-end and probe-effect experiments (Figures 11–14) compare
+//! capturing the same event stream into Loom, FishStore, the TSDB, and a
+//! raw file. This trait is the common interface; the engine adapters
+//! live in the `daemon` crate (which depends on every engine), while the
+//! raw-file and null sinks live here.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// The kind of HFT source an event came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// Application request latency records (48 B).
+    AppRequest,
+    /// OS syscall latency records (48 B).
+    Syscall,
+    /// Captured TCP packets (variable size).
+    Packet,
+    /// Kernel page-cache events (60 B).
+    PageCache,
+}
+
+impl SourceKind {
+    /// All source kinds, in a stable order.
+    pub const ALL: [SourceKind; 4] = [
+        SourceKind::AppRequest,
+        SourceKind::Syscall,
+        SourceKind::Packet,
+        SourceKind::PageCache,
+    ];
+
+    /// A stable small integer id.
+    pub fn id(self) -> u16 {
+        match self {
+            SourceKind::AppRequest => 1,
+            SourceKind::Syscall => 2,
+            SourceKind::Packet => 3,
+            SourceKind::PageCache => 4,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceKind::AppRequest => "app_request",
+            SourceKind::Syscall => "syscall",
+            SourceKind::Packet => "packet",
+            SourceKind::PageCache => "page_cache",
+        }
+    }
+}
+
+/// A destination for captured telemetry.
+pub trait TelemetrySink {
+    /// Offers one record; returns `false` if the sink dropped it.
+    fn push(&mut self, kind: SourceKind, ts: u64, bytes: &[u8]) -> bool;
+
+    /// Flushes buffered state (end of an experiment phase).
+    fn flush(&mut self) {}
+
+    /// Records offered so far.
+    fn offered(&self) -> u64;
+
+    /// Records dropped so far.
+    fn dropped(&self) -> u64;
+
+    /// Fraction of offered records that were dropped.
+    fn drop_fraction(&self) -> f64 {
+        if self.offered() == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.offered() as f64
+        }
+    }
+}
+
+/// The raw-file baseline: appends length-prefixed records to a file, the
+/// way `perf record` style capture does. The cheapest possible sink and
+/// the paper's probe-effect floor (Figure 14).
+pub struct RawFileSink {
+    file: BufWriter<std::fs::File>,
+    offered: u64,
+}
+
+impl RawFileSink {
+    /// Creates (truncating) a raw capture file.
+    pub fn create(path: &Path) -> std::io::Result<RawFileSink> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(RawFileSink {
+            file: BufWriter::with_capacity(
+                1 << 20,
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(path)?,
+            ),
+            offered: 0,
+        })
+    }
+}
+
+impl TelemetrySink for RawFileSink {
+    fn push(&mut self, kind: SourceKind, ts: u64, bytes: &[u8]) -> bool {
+        self.offered += 1;
+        // [kind u16][len u16][ts u64][bytes]
+        let ok = self.file.write_all(&kind.id().to_le_bytes()).is_ok()
+            && self
+                .file
+                .write_all(&(bytes.len() as u16).to_le_bytes())
+                .is_ok()
+            && self.file.write_all(&ts.to_le_bytes()).is_ok()
+            && self.file.write_all(bytes).is_ok();
+        ok
+    }
+
+    fn flush(&mut self) {
+        let _ = self.file.flush();
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards everything (no-collection baseline).
+#[derive(Debug, Default)]
+pub struct NullSink {
+    offered: u64,
+}
+
+impl TelemetrySink for NullSink {
+    fn push(&mut self, _kind: SourceKind, _ts: u64, bytes: &[u8]) -> bool {
+        self.offered += 1;
+        std::hint::black_box(bytes);
+        true
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_ids_are_distinct() {
+        let ids: std::collections::HashSet<u16> = SourceKind::ALL.iter().map(|k| k.id()).collect();
+        assert_eq!(ids.len(), SourceKind::ALL.len());
+    }
+
+    #[test]
+    fn raw_file_sink_writes_framed_records() {
+        let dir = std::env::temp_dir().join(format!("telemetry-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("capture.bin");
+        let mut sink = RawFileSink::create(&path).unwrap();
+        assert!(sink.push(SourceKind::AppRequest, 42, b"hello"));
+        assert!(sink.push(SourceKind::Packet, 43, b"pkt"));
+        sink.flush();
+        assert_eq!(sink.offered(), 2);
+        assert_eq!(sink.drop_fraction(), 0.0);
+        let data = std::fs::read(&path).unwrap();
+        // kind(2) + len(2) + ts(8) + 5 + kind(2) + len(2) + ts(8) + 3
+        assert_eq!(data.len(), 12 + 5 + 12 + 3);
+        assert_eq!(u16::from_le_bytes(data[0..2].try_into().unwrap()), 1);
+        assert_eq!(u16::from_le_bytes(data[2..4].try_into().unwrap()), 5);
+        assert_eq!(&data[12..17], b"hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let mut s = NullSink::default();
+        for _ in 0..5 {
+            s.push(SourceKind::Syscall, 0, b"x");
+        }
+        assert_eq!(s.offered(), 5);
+        assert_eq!(s.dropped(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! The TSDB engine: ingest pipeline, write-path indexing, and queries.
+//!
+//! Mirrors the architecture that makes InfluxDB-class systems struggle
+//! with HFT (Loom paper §2.3):
+//!
+//! * every write resolves its series and maintains the tag inverted
+//!   index **on the write path**;
+//! * storage is an LSM tree whose flush/compaction (index maintenance)
+//!   CPU grows with ingest rate (Figure 2);
+//! * intake is a **bounded queue** drained by ingest workers — when the
+//!   workers cannot keep up, new points are *dropped* and counted
+//!   (Figures 2, 3, 11);
+//! * an *idealized* synchronous write path (`write_sync`) preloads data
+//!   for query benchmarking, modeling "InfluxDB-idealized" (§6.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+
+use lsm::{Db, LsmConfig};
+
+use crate::index::SeriesIndex;
+use crate::point::{decode_storage_key, decode_storage_value, storage_key, storage_value, Point};
+
+/// Configuration for a [`Tsdb`].
+#[derive(Debug, Clone)]
+pub struct TsdbConfig {
+    /// Data directory.
+    pub dir: std::path::PathBuf,
+    /// Bounded intake queue capacity; a full queue drops points.
+    pub queue_capacity: usize,
+    /// Ingest worker threads draining the queue.
+    pub ingest_threads: usize,
+    /// Memtable size for the underlying LSM engine.
+    pub memtable_bytes: usize,
+}
+
+impl TsdbConfig {
+    /// Defaults: 64k-point queue, 2 ingest workers, 4 MiB memtables.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        TsdbConfig {
+            dir: dir.into(),
+            queue_capacity: 65_536,
+            ingest_threads: 2,
+            memtable_bytes: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Overrides the intake queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Overrides the ingest worker count.
+    pub fn with_ingest_threads(mut self, n: usize) -> Self {
+        self.ingest_threads = n.max(1);
+        self
+    }
+
+    /// Overrides the memtable size.
+    pub fn with_memtable_bytes(mut self, bytes: usize) -> Self {
+        self.memtable_bytes = bytes;
+        self
+    }
+}
+
+/// Ingest statistics.
+#[derive(Debug, Default)]
+pub struct TsdbStats {
+    /// Points offered to the intake queue.
+    pub received: AtomicU64,
+    /// Points dropped because the queue was full.
+    pub dropped: AtomicU64,
+    /// Points fully processed (indexed and stored).
+    pub processed: AtomicU64,
+    /// Nanoseconds ingest workers spent busy (indexing + storing).
+    pub ingest_busy_nanos: AtomicU64,
+}
+
+impl TsdbStats {
+    /// Fraction of offered points that were dropped.
+    pub fn drop_fraction(&self) -> f64 {
+        let received = self.received.load(Ordering::Relaxed);
+        if received == 0 {
+            return 0.0;
+        }
+        self.dropped.load(Ordering::Relaxed) as f64 / received as f64
+    }
+}
+
+/// A materialized query row, mirroring the per-point data model of
+/// InfluxDB's query iterators (measurement name, series tags, field
+/// value): the query engine pays a per-point materialization cost, which
+/// is part of why read-optimized TSDBs answer large scans slowly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsRow {
+    /// Measurement name.
+    pub measurement: String,
+    /// The point's series tags.
+    pub tags: Vec<(String, String)>,
+    /// Timestamp (ns).
+    pub ts: u64,
+    /// Field value.
+    pub value: f64,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// Aggregation methods supported by the query engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TsAggregate {
+    /// Count of points.
+    Count,
+    /// Maximum field value.
+    Max,
+    /// Arithmetic mean of field values.
+    Mean,
+    /// Nearest-rank percentile — InfluxDB's indexes cannot serve this;
+    /// it materializes and sorts all matching values (§6.1).
+    Percentile(f64),
+}
+
+struct Engine {
+    storage: Db,
+    index: RwLock<SeriesIndex>,
+    stats: TsdbStats,
+}
+
+impl Engine {
+    /// Reconstructs the series tags for materialized rows.
+    fn series_tags(&self, series: u64) -> Vec<(String, String)> {
+        self.index.read().tags_of(series)
+    }
+}
+
+impl Engine {
+    fn process(&self, point: &Point) {
+        let start = Instant::now();
+        // Fast path: existing series under a read lock; new series take
+        // the write lock and update the inverted indexes. The lookup
+        // result must be bound *before* the match: a match scrutinee's
+        // temporary read guard would otherwise live across the write-lock
+        // arm and deadlock.
+        let series_key = point.series_key();
+        let existing = self.index.read().lookup(&series_key);
+        let series = match existing {
+            Some(id) => id,
+            None => self.index.write().resolve(point),
+        };
+        let key = storage_key(series, point.ts);
+        let value = storage_value(point.value, &point.payload);
+        // Best-effort: an I/O error in the storage engine surfaces via
+        // its own stats; ingest keeps draining.
+        let _ = self.storage.put(&key, &value);
+        self.stats.processed.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .ingest_busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The TSDB handle.
+pub struct Tsdb {
+    engine: Arc<Engine>,
+    tx: Option<Sender<Point>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Tsdb {
+    /// Opens a TSDB in `config.dir`.
+    pub fn open(config: TsdbConfig) -> std::io::Result<Tsdb> {
+        let storage = Db::open(
+            LsmConfig::new(config.dir.join("storage")).with_memtable_bytes(config.memtable_bytes),
+        )?;
+        let engine = Arc::new(Engine {
+            storage,
+            index: RwLock::new(SeriesIndex::new()),
+            stats: TsdbStats::default(),
+        });
+        let (tx, rx) = bounded::<Point>(config.queue_capacity);
+        let mut workers = Vec::new();
+        for i in 0..config.ingest_threads {
+            let engine = Arc::clone(&engine);
+            let rx: Receiver<Point> = rx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tsdb-ingest-{i}"))
+                    .spawn(move || {
+                        while let Ok(point) = rx.recv() {
+                            engine.process(&point);
+                        }
+                    })?,
+            );
+        }
+        Ok(Tsdb {
+            engine,
+            tx: Some(tx),
+            workers,
+        })
+    }
+
+    /// Offers a point to the intake queue; returns `false` (and counts a
+    /// drop) when the pipeline cannot keep up.
+    pub fn try_write(&self, point: Point) -> bool {
+        self.engine.stats.received.fetch_add(1, Ordering::Relaxed);
+        match self
+            .tx
+            .as_ref()
+            .expect("tx lives until drop")
+            .try_send(point)
+        {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.engine.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Synchronous (idealized) write: bypasses the queue, modeling an
+    /// InfluxDB with infinitely fast intake for query benchmarks.
+    pub fn write_sync(&self, point: &Point) {
+        self.engine.stats.received.fetch_add(1, Ordering::Relaxed);
+        self.engine.process(point);
+    }
+
+    /// Waits until every accepted point has been processed.
+    pub fn barrier(&self) {
+        let target = || {
+            let s = &self.engine.stats;
+            // Saturating: with concurrent writers, `dropped` may briefly
+            // run ahead of the matching `received` load.
+            s.received
+                .load(Ordering::Relaxed)
+                .saturating_sub(s.dropped.load(Ordering::Relaxed))
+        };
+        while self.engine.stats.processed.load(Ordering::Relaxed) < target() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Ingest statistics.
+    pub fn stats(&self) -> &TsdbStats {
+        &self.engine.stats
+    }
+
+    /// Storage-engine statistics (flush/compaction CPU — the "index
+    /// maintenance" of Figure 2).
+    pub fn storage_stats(&self) -> &lsm::LsmStats {
+        self.engine.storage.stats()
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> u64 {
+        self.engine.index.read().series_count()
+    }
+
+    /// Scans points of a measurement matching conjunctive tag filters in
+    /// `[t_start, t_end]`, per series in series order.
+    ///
+    /// Each matching point is materialized into a [`TsRow`] (measurement
+    /// name, tags, value, payload), mirroring the per-point data model of
+    /// InfluxDB's query iterators.
+    pub fn select(
+        &self,
+        measurement: &str,
+        filters: &[(String, String)],
+        t_start: u64,
+        t_end: u64,
+        mut f: impl FnMut(&TsRow),
+    ) -> std::io::Result<u64> {
+        let series = self.engine.index.read().select(measurement, filters);
+        let mut scanned = 0u64;
+        for id in series {
+            let tags = self.engine.series_tags(id);
+            let lo = storage_key(id, t_start);
+            let hi = storage_key(id, t_end.saturating_add(1));
+            self.engine.storage.scan(Some(&lo), Some(&hi), |k, v| {
+                scanned += 1;
+                if let (Some((_sid, ts)), Some((value, payload))) =
+                    (decode_storage_key(k), decode_storage_value(v))
+                {
+                    let row = TsRow {
+                        measurement: measurement.to_string(),
+                        tags: tags.clone(),
+                        ts,
+                        value,
+                        payload: payload.to_vec(),
+                    };
+                    f(&row);
+                }
+                true
+            })?;
+        }
+        Ok(scanned)
+    }
+
+    /// Aggregates the field values of matching points.
+    ///
+    /// `Count`, `Max`, and `Mean` stream; `Percentile` materializes and
+    /// sorts every matching value, reproducing why InfluxDB's percentile
+    /// queries over millions of records are slow (§6.1, Figure 13).
+    pub fn aggregate(
+        &self,
+        measurement: &str,
+        filters: &[(String, String)],
+        t_start: u64,
+        t_end: u64,
+        method: TsAggregate,
+    ) -> std::io::Result<Option<f64>> {
+        match method {
+            TsAggregate::Percentile(p) => {
+                let mut values = Vec::new();
+                self.select(measurement, filters, t_start, t_end, |row| {
+                    values.push(row.value);
+                })?;
+                if values.is_empty() {
+                    return Ok(None);
+                }
+                values.sort_by(f64::total_cmp);
+                let rank =
+                    ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
+                Ok(Some(values[rank - 1]))
+            }
+            _ => {
+                let mut count = 0u64;
+                let mut max = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                self.select(measurement, filters, t_start, t_end, |row| {
+                    count += 1;
+                    max = max.max(row.value);
+                    sum += row.value;
+                })?;
+                if count == 0 {
+                    return Ok(None);
+                }
+                Ok(Some(match method {
+                    TsAggregate::Count => count as f64,
+                    TsAggregate::Max => max,
+                    TsAggregate::Mean => sum / count as f64,
+                    TsAggregate::Percentile(_) => unreachable!("handled above"),
+                }))
+            }
+        }
+    }
+
+    /// Flushes the underlying storage engine.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.engine.storage.flush_all()
+    }
+
+    /// Waits until ingest and background storage maintenance are idle
+    /// (queue drained, flushes and compactions at fixpoint). Benchmarks
+    /// call this before measuring queries so leftover compaction does not
+    /// confound the measurement.
+    pub fn wait_idle(&self) -> std::io::Result<()> {
+        self.barrier();
+        self.engine.storage.flush_all()?;
+        self.engine.storage.wait_maintenance_idle();
+        Ok(())
+    }
+}
+
+impl Drop for Tsdb {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect: workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

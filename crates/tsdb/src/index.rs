@@ -1,0 +1,133 @@
+//! Series dictionary and tag inverted index.
+//!
+//! Both structures are maintained **on the write path**, which is the
+//! architectural choice that makes read-optimized TSDBs fall behind on
+//! HFT ingest (Loom paper §2.3, Figure 2): every point pays a series
+//! lookup, and new series pay inverted-index insertions, while the
+//! storage engine's flush/compaction churn grows with the ingest rate.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::point::Point;
+
+/// Maps series keys to ids and tag pairs to series-id sets.
+#[derive(Debug, Default)]
+pub struct SeriesIndex {
+    series_ids: HashMap<String, u64>,
+    /// series id -> tag pairs (for materializing query rows)
+    series_tags: HashMap<u64, Vec<(String, String)>>,
+    /// measurement -> series ids
+    measurements: HashMap<String, BTreeSet<u64>>,
+    /// (tag key, tag value) -> series ids
+    tags: HashMap<(String, String), BTreeSet<u64>>,
+    next_id: u64,
+}
+
+impl SeriesIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        SeriesIndex::default()
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Looks up an existing series by its canonical key.
+    pub fn lookup(&self, series_key: &str) -> Option<u64> {
+        self.series_ids.get(series_key).copied()
+    }
+
+    /// Resolves (creating if new) the series id for a point, updating the
+    /// inverted indexes for new series.
+    pub fn resolve(&mut self, point: &Point) -> u64 {
+        let key = point.series_key();
+        if let Some(id) = self.series_ids.get(&key) {
+            return *id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.series_ids.insert(key, id);
+        self.series_tags.insert(
+            id,
+            point
+                .tags
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        self.measurements
+            .entry(point.measurement.clone())
+            .or_default()
+            .insert(id);
+        for (k, v) in &point.tags {
+            self.tags
+                .entry((k.clone(), v.clone()))
+                .or_default()
+                .insert(id);
+        }
+        id
+    }
+
+    /// The tag pairs of a series (empty for unknown ids).
+    pub fn tags_of(&self, series: u64) -> Vec<(String, String)> {
+        self.series_tags.get(&series).cloned().unwrap_or_default()
+    }
+
+    /// Series ids matching a measurement and a conjunctive set of
+    /// `tag=value` filters (the "tag index" query path).
+    pub fn select(&self, measurement: &str, filters: &[(String, String)]) -> Vec<u64> {
+        let Some(base) = self.measurements.get(measurement) else {
+            return Vec::new();
+        };
+        let mut result: BTreeSet<u64> = base.clone();
+        for (k, v) in filters {
+            match self.tags.get(&(k.clone(), v.clone())) {
+                Some(ids) => result = result.intersection(ids).copied().collect(),
+                None => return Vec::new(),
+            }
+        }
+        result.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_is_stable_per_series() {
+        let mut idx = SeriesIndex::new();
+        let p1 = Point::new("cpu", 0, 1.0).tag("host", "a");
+        let p2 = Point::new("cpu", 5, 2.0).tag("host", "a");
+        let p3 = Point::new("cpu", 5, 2.0).tag("host", "b");
+        assert_eq!(idx.resolve(&p1), idx.resolve(&p2));
+        assert_ne!(idx.resolve(&p1), idx.resolve(&p3));
+        assert_eq!(idx.series_count(), 2);
+    }
+
+    #[test]
+    fn select_intersects_filters() {
+        let mut idx = SeriesIndex::new();
+        let a = idx.resolve(&Point::new("req", 0, 0.0).tag("op", "get").tag("node", "1"));
+        let b = idx.resolve(&Point::new("req", 0, 0.0).tag("op", "put").tag("node", "1"));
+        let c = idx.resolve(&Point::new("req", 0, 0.0).tag("op", "get").tag("node", "2"));
+        idx.resolve(&Point::new("other", 0, 0.0).tag("op", "get"));
+
+        assert_eq!(idx.select("req", &[]), vec![a, b, c]);
+        assert_eq!(
+            idx.select("req", &[("op".into(), "get".into())]),
+            vec![a, c]
+        );
+        assert_eq!(
+            idx.select(
+                "req",
+                &[("op".into(), "get".into()), ("node".into(), "1".into())]
+            ),
+            vec![a]
+        );
+        assert!(idx.select("req", &[("op".into(), "del".into())]).is_empty());
+        assert!(idx.select("missing", &[]).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # InfluxDB-like time series database baseline
+//!
+//! A read-optimized TSDB reimplemented for the Loom reproduction's
+//! comparative evaluation. It reproduces the three architectural
+//! mechanisms that matter for the paper's experiments:
+//!
+//! 1. **Write-path indexing**: every point resolves its series and
+//!    maintains a tag inverted index before storage; the LSM storage
+//!    engine's flush/compaction CPU grows with ingest rate (Figure 2).
+//! 2. **Bounded intake that drops**: a full ingest queue drops points,
+//!    reproducing the 38–93 % data loss under HFT rates (Figures 3, 11).
+//! 3. **A tag index that accelerates narrow subsets but not holistic
+//!    aggregates**: percentiles materialize and sort all matching values
+//!    (Figures 12, 13).
+//!
+//! `write_sync` provides the "InfluxDB-idealized" mode of §6.1 —
+//! infinitely fast intake — used for apples-to-apples query latency
+//! comparisons.
+
+pub mod db;
+pub mod index;
+pub mod point;
+
+pub use db::{TsAggregate, Tsdb, TsdbConfig, TsdbStats};
+pub use point::Point;

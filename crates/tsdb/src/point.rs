@@ -1,0 +1,131 @@
+//! The TSDB data model: measurements, tags, and points.
+//!
+//! Mirrors the InfluxDB line-protocol model: a *point* belongs to a
+//! *measurement*, carries a set of `key=value` *tags* (indexed), one
+//! numeric field value, an optional opaque payload, and a timestamp.
+//! The unique (measurement, tags) combination identifies a *series*.
+
+use std::collections::BTreeMap;
+
+/// A write into the TSDB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Measurement name (e.g., `"syscall_latency"`).
+    pub measurement: String,
+    /// Tag set; tag keys and values are indexed by the inverted index.
+    pub tags: BTreeMap<String, String>,
+    /// The numeric field value (e.g., a latency in nanoseconds).
+    pub value: f64,
+    /// Optional opaque payload (e.g., a packet prefix).
+    pub payload: Vec<u8>,
+    /// Timestamp in nanoseconds.
+    pub ts: u64,
+}
+
+impl Point {
+    /// Creates a point with no tags or payload.
+    pub fn new(measurement: impl Into<String>, ts: u64, value: f64) -> Point {
+        Point {
+            measurement: measurement.into(),
+            tags: BTreeMap::new(),
+            value,
+            payload: Vec::new(),
+            ts,
+        }
+    }
+
+    /// Adds a tag.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Point {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+
+    /// Attaches an opaque payload.
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Point {
+        self.payload = payload;
+        self
+    }
+
+    /// The canonical series key: measurement plus sorted tags.
+    pub fn series_key(&self) -> String {
+        let mut key = self.measurement.clone();
+        for (k, v) in &self.tags {
+            key.push(',');
+            key.push_str(k);
+            key.push('=');
+            key.push_str(v);
+        }
+        key
+    }
+}
+
+/// Encodes a storage key: big-endian series id then timestamp, so the
+/// LSM orders entries by (series, time) and time-range scans within a
+/// series are contiguous.
+pub fn storage_key(series: u64, ts: u64) -> [u8; 16] {
+    let mut key = [0u8; 16];
+    key[0..8].copy_from_slice(&series.to_be_bytes());
+    key[8..16].copy_from_slice(&ts.to_be_bytes());
+    key
+}
+
+/// Decodes a storage key.
+pub fn decode_storage_key(key: &[u8]) -> Option<(u64, u64)> {
+    if key.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_be_bytes(key[0..8].try_into().ok()?),
+        u64::from_be_bytes(key[8..16].try_into().ok()?),
+    ))
+}
+
+/// Encodes a storage value: the field value then the payload.
+pub fn storage_value(value: f64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&value.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a storage value into (field value, payload).
+pub fn decode_storage_value(value: &[u8]) -> Option<(f64, &[u8])> {
+    if value.len() < 8 {
+        return None;
+    }
+    Some((
+        f64::from_le_bytes(value[0..8].try_into().ok()?),
+        &value[8..],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_key_is_canonical() {
+        let a = Point::new("m", 0, 1.0).tag("b", "2").tag("a", "1");
+        let b = Point::new("m", 9, 5.0).tag("a", "1").tag("b", "2");
+        assert_eq!(a.series_key(), b.series_key());
+        assert_eq!(a.series_key(), "m,a=1,b=2");
+    }
+
+    #[test]
+    fn storage_key_orders_by_series_then_time() {
+        let a = storage_key(1, 100);
+        let b = storage_key(1, 200);
+        let c = storage_key(2, 0);
+        assert!(a < b && b < c);
+        assert_eq!(decode_storage_key(&a), Some((1, 100)));
+    }
+
+    #[test]
+    fn storage_value_round_trips() {
+        let v = storage_value(3.25, b"extra");
+        let (value, payload) = decode_storage_value(&v).unwrap();
+        assert_eq!(value, 3.25);
+        assert_eq!(payload, b"extra");
+        assert!(decode_storage_value(&[0u8; 4]).is_none());
+    }
+}

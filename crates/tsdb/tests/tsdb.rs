@@ -1,0 +1,191 @@
+//! End-to-end TSDB baseline tests: ingest (sync and queued with drops),
+//! tag-index selection, and aggregates vs reference computations.
+
+use tsdb::{Point, TsAggregate, Tsdb, TsdbConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("tsdb-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn filters(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[test]
+fn sync_write_and_select() {
+    let dir = tmp("select");
+    let db = Tsdb::open(TsdbConfig::new(&dir)).unwrap();
+    for i in 0..1_000u64 {
+        let op = if i % 2 == 0 { "get" } else { "put" };
+        db.write_sync(&Point::new("req", i, i as f64).tag("op", op));
+    }
+    let mut got = Vec::new();
+    db.select("req", &filters(&[("op", "get")]), 100, 500, |row| {
+        got.push((row.ts, row.value));
+    })
+    .unwrap();
+    let expected: Vec<_> = (100..=500u64)
+        .filter(|i| i % 2 == 0)
+        .map(|i| (i, i as f64))
+        .collect();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aggregates_match_reference() {
+    let dir = tmp("agg");
+    let db = Tsdb::open(TsdbConfig::new(&dir)).unwrap();
+    let values: Vec<f64> = (0..2_000).map(|i| ((i * 7919) % 10_000) as f64).collect();
+    for (i, v) in values.iter().enumerate() {
+        db.write_sync(&Point::new("lat", i as u64, *v));
+    }
+    let count = db
+        .aggregate("lat", &[], 0, u64::MAX, TsAggregate::Count)
+        .unwrap();
+    assert_eq!(count, Some(2_000.0));
+    let max = db
+        .aggregate("lat", &[], 0, u64::MAX, TsAggregate::Max)
+        .unwrap();
+    assert_eq!(max, values.iter().copied().reduce(f64::max));
+    let mean = db
+        .aggregate("lat", &[], 0, u64::MAX, TsAggregate::Mean)
+        .unwrap();
+    let expected_mean = values.iter().sum::<f64>() / values.len() as f64;
+    assert!((mean.unwrap() - expected_mean).abs() < 1e-9);
+
+    let mut sorted = values.clone();
+    sorted.sort_by(f64::total_cmp);
+    for p in [50.0, 99.0, 99.9] {
+        let got = db
+            .aggregate("lat", &[], 0, u64::MAX, TsAggregate::Percentile(p))
+            .unwrap();
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        assert_eq!(got, Some(sorted[rank - 1]), "p{p}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_result_is_none() {
+    let dir = tmp("empty");
+    let db = Tsdb::open(TsdbConfig::new(&dir)).unwrap();
+    db.write_sync(&Point::new("m", 100, 1.0));
+    assert_eq!(
+        db.aggregate("m", &[], 0, 50, TsAggregate::Max).unwrap(),
+        None
+    );
+    assert_eq!(
+        db.aggregate("missing", &[], 0, u64::MAX, TsAggregate::Count)
+            .unwrap(),
+        None
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queued_ingest_processes_everything_when_slow() {
+    let dir = tmp("queued");
+    let db = Tsdb::open(TsdbConfig::new(&dir).with_queue_capacity(1024)).unwrap();
+    let mut accepted = 0u64;
+    for i in 0..5_000u64 {
+        if db.try_write(Point::new("m", i, i as f64)) {
+            accepted += 1;
+        }
+        // Writing slowly enough that the workers keep up.
+        if i % 100 == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    db.barrier();
+    let count = db
+        .aggregate("m", &[], 0, u64::MAX, TsAggregate::Count)
+        .unwrap()
+        .unwrap_or(0.0) as u64;
+    assert_eq!(count, accepted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_drops_points_and_counts_them() {
+    let dir = tmp("drops");
+    // A tiny queue and one worker: a burst must overflow it.
+    let db = Tsdb::open(
+        TsdbConfig::new(&dir)
+            .with_queue_capacity(64)
+            .with_ingest_threads(1),
+    )
+    .unwrap();
+    // Burst of payload-heavy points to slow the worker down.
+    for i in 0..50_000u64 {
+        db.try_write(Point::new("burst", i, i as f64).with_payload(vec![0u8; 64]));
+    }
+    db.barrier();
+    let stats = db.stats();
+    let dropped = stats.dropped.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(dropped > 0, "expected drops under burst load");
+    assert!(stats.drop_fraction() > 0.0);
+    // Stored points equal accepted points.
+    let count = db
+        .aggregate("burst", &[], 0, u64::MAX, TsAggregate::Count)
+        .unwrap()
+        .unwrap_or(0.0) as u64;
+    assert_eq!(count, 50_000 - dropped);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tag_index_narrows_scanned_data() {
+    let dir = tmp("narrow");
+    let db = Tsdb::open(TsdbConfig::new(&dir)).unwrap();
+    for i in 0..2_000u64 {
+        let node = format!("n{}", i % 10);
+        db.write_sync(&Point::new("m", i, i as f64).tag("node", &node));
+    }
+    // Selecting one node's series scans ~1/10th of the data.
+    let all = db.select("m", &[], 0, u64::MAX, |_row| {}).unwrap();
+    let one = db
+        .select("m", &filters(&[("node", "n3")]), 0, u64::MAX, |_row| {})
+        .unwrap();
+    assert_eq!(all, 2_000);
+    assert_eq!(one, 200);
+    assert_eq!(db.series_count(), 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn payloads_round_trip() {
+    let dir = tmp("payload");
+    let db = Tsdb::open(TsdbConfig::new(&dir)).unwrap();
+    db.write_sync(&Point::new("pkt", 5, 60.0).with_payload(b"packet-bytes".to_vec()));
+    let mut got = Vec::new();
+    db.select("pkt", &[], 0, 10, |row| {
+        got.push((row.ts, row.value, row.payload.clone()));
+    })
+    .unwrap();
+    assert_eq!(got, vec![(5, 60.0, b"packet-bytes".to_vec())]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_busy_time_is_tracked() {
+    let dir = tmp("busy");
+    let db = Tsdb::open(TsdbConfig::new(&dir)).unwrap();
+    for i in 0..10_000u64 {
+        db.write_sync(&Point::new("m", i, 0.0));
+    }
+    assert!(
+        db.stats()
+            .ingest_busy_nanos
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
+    db.flush().unwrap();
+    assert!(db.storage_stats().maintenance_nanos() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

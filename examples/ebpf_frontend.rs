@@ -1,0 +1,149 @@
+//! Loom as a sink behind an eBPF tracing front-end (§8).
+//!
+//! ```text
+//! cargo run --release --example ebpf_frontend
+//! ```
+//!
+//! Front-ends like bpftrace follow a *streaming aggregation* model: they
+//! summarize events into histograms as they occur and then discard them,
+//! so an engineer cannot drill into a specific anomalous event after the
+//! fact. The paper proposes deploying Loom as a sink for such
+//! front-ends: the front-end keeps its live summary, while Loom absorbs
+//! the full event stream so any event remains investigable.
+//!
+//! This example builds exactly that: a bpftrace-style front-end
+//! aggregating syscall latencies into a live power-of-two histogram
+//! (what `@lat = hist(nsecs - @start[tid])` would show) while forwarding
+//! every raw event to Loom. When the live histogram surfaces an
+//! anomalous bucket, the engineer drills into *those exact events* via
+//! Loom — something the streaming model alone cannot do.
+
+use loom::{Aggregate, Clock, Config, HistogramSpec, Loom, TimeRange, ValueRange};
+use telemetry::records::{LatencyRecord, LATENCY_NS_OFFSET};
+
+/// A bpftrace-style streaming power-of-two histogram.
+#[derive(Debug)]
+struct StreamingHist {
+    buckets: [u64; 40],
+    count: u64,
+}
+
+impl Default for StreamingHist {
+    fn default() -> Self {
+        StreamingHist {
+            buckets: [0; 40],
+            count: 0,
+        }
+    }
+}
+
+impl StreamingHist {
+    fn observe(&mut self, latency_ns: u64) {
+        let bucket = (64 - latency_ns.max(1).leading_zeros() as usize).min(39);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    fn print(&self) {
+        let max = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let bar = "@".repeat((n * 40 / max) as usize);
+            println!(
+                "  [{:>10}, {:>10}) {:>8} |{bar}",
+                1u64 << (i - 1),
+                1u64 << i,
+                n
+            );
+        }
+    }
+}
+
+fn main() -> loom::Result<()> {
+    let dir = std::env::temp_dir().join(format!("loom-ebpf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) = Loom::open_with_clock(Config::new(&dir), Clock::manual(0))?;
+    let syscalls = loom.define_source("ebpf.sys_enter_read");
+    let latency_idx = loom.define_index(
+        syscalls,
+        loom::extract::u64_le_at(LATENCY_NS_OFFSET),
+        HistogramSpec::exponential(1_000.0, 4.0, 10)?,
+    )?;
+
+    // The "kernel" produces events; the front-end aggregates AND forwards.
+    let mut live = StreamingHist::default();
+    let mut seq = 0u64;
+    let mut emit = |writer: &mut loom::LoomWriter, latency_ns: u64, pid: u32| {
+        let ts = loom.clock().advance(2_000);
+        let rec = LatencyRecord {
+            ts,
+            latency_ns,
+            op: 0, // read
+            pid,
+            key_hash: 0,
+            seq,
+            flags: 0,
+            cpu: (seq % 4) as u32,
+        };
+        seq += 1;
+        live.observe(latency_ns); // bpftrace-style streaming summary
+        writer.push(syscalls, &rec.encode()) // Loom retains the raw event
+    };
+
+    // Normal traffic from pid 1000, plus one misbehaving pid 4242 whose
+    // reads stall for ~30 ms a handful of times.
+    for i in 0..500_000u64 {
+        let (latency, pid) = if i % 100_000 == 67_891 {
+            (30_000_000 + i, 4242)
+        } else {
+            (3_000 + (i * 2_654_435_761) % 60_000, 1000)
+        };
+        emit(&mut writer, latency, pid)?;
+    }
+    writer.seal_active_chunk()?;
+
+    println!("live bpftrace-style histogram (streaming, events discarded):");
+    live.print();
+    println!("  total: {} events\n", live.count);
+
+    // The histogram shows an anomalous high bucket — but the streaming
+    // model has already discarded the events. Loom has not:
+    println!("drill-down via Loom (the streaming front-end cannot do this):");
+    let everything = TimeRange::new(0, loom.now());
+    let p999 = loom
+        .indexed_aggregate(
+            syscalls,
+            latency_idx,
+            everything,
+            Aggregate::Percentile(99.9),
+        )?
+        .value
+        .unwrap();
+    let mut culprits = Vec::new();
+    loom.indexed_scan(
+        syscalls,
+        latency_idx,
+        everything,
+        ValueRange::at_least(p999.max(1_000_000.0)),
+        |r| {
+            let rec = LatencyRecord::decode(r.payload).expect("48-byte record");
+            culprits.push((rec.pid, rec.latency_ns, r.ts));
+        },
+    )?;
+    println!("  events above max(p99.9, 1ms): {}", culprits.len());
+    let mut by_pid = std::collections::HashMap::new();
+    for (pid, _, _) in &culprits {
+        *by_pid.entry(*pid).or_insert(0u64) += 1;
+    }
+    for (pid, n) in &by_pid {
+        println!("  pid {pid}: {n} anomalous reads");
+    }
+    assert_eq!(by_pid.get(&4242), Some(&5));
+    println!("\nthe tail belongs to pid 4242 — identifiable only because Loom\nretained the raw events the streaming front-end discarded.");
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Quickstart: capture one high-frequency source and query it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the core Loom loop from the paper's Figure 9 API:
+//! define a source, define a histogram index over it, push records at
+//! high rate, and run interactive queries (max, percentile, and a
+//! data-dependent range scan) while ingest continues.
+
+use std::sync::Arc;
+
+use loom::{Aggregate, Config, HistogramSpec, Loom, TimeRange, ValueRange};
+
+fn main() -> loom::Result<()> {
+    let dir = std::env::temp_dir().join(format!("loom-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Open a Loom instance: one shared query handle, one ingest writer.
+    let (loom, mut writer) = Loom::open(Config::new(&dir))?;
+
+    // 2. Define a source and a latency index with exponential bins
+    //    covering 1 µs .. ~1 s (plus Loom's automatic outlier bins).
+    let requests = loom.define_source("app.requests");
+    let latency_index = loom.define_index(
+        requests,
+        // The index function extracts the latency field (first 8 bytes).
+        Arc::new(|payload: &[u8]| {
+            payload
+                .get(0..8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()) as f64)
+        }),
+        HistogramSpec::exponential(1_000.0, 4.0, 10)?,
+    )?;
+
+    // 3. Push a million records: lognormal-ish latencies with rare spikes.
+    println!("ingesting 1,000,000 records...");
+    let start = std::time::Instant::now();
+    for i in 0..1_000_000u64 {
+        let latency_ns: u64 = if i % 250_000 == 137 {
+            50_000_000 + i // four rare ~50 ms spikes
+        } else {
+            80_000 + (i * 2_654_435_761) % 160_000 // ~80-240 µs
+        };
+        let mut payload = [0u8; 48];
+        payload[0..8].copy_from_slice(&latency_ns.to_le_bytes());
+        payload[8..16].copy_from_slice(&i.to_le_bytes());
+        writer.push(requests, &payload)?;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "ingested in {:.2?} ({:.2}M records/s)\n",
+        elapsed,
+        1.0 / elapsed.as_secs_f64()
+    );
+
+    // 4. Query while the data is hot: aggregates served mostly from
+    //    chunk summaries, scans from the few matching chunks.
+    let everything = TimeRange::new(0, loom.now());
+
+    let max = loom.indexed_aggregate(requests, latency_index, everything, Aggregate::Max)?;
+    println!(
+        "max latency     : {:>12.0} ns   ({} summaries, {} chunks scanned)",
+        max.value.unwrap(),
+        max.stats.summaries_scanned,
+        max.stats.chunks_scanned
+    );
+
+    let p9999 = loom.indexed_aggregate(
+        requests,
+        latency_index,
+        everything,
+        Aggregate::Percentile(99.99),
+    )?;
+    println!(
+        "p99.99 latency  : {:>12.0} ns   ({} summaries, {} chunks scanned)",
+        p9999.value.unwrap(),
+        p9999.stats.summaries_scanned,
+        p9999.stats.chunks_scanned
+    );
+
+    // Data-dependent range scan: everything above the p99.99.
+    let mut slow = Vec::new();
+    let stats = loom.indexed_scan(
+        requests,
+        latency_index,
+        everything,
+        ValueRange::at_least(p9999.value.unwrap()),
+        |record| {
+            let latency = u64::from_le_bytes(record.payload[0..8].try_into().unwrap());
+            let seq = u64::from_le_bytes(record.payload[8..16].try_into().unwrap());
+            slow.push((seq, latency));
+        },
+    )?;
+    println!(
+        "requests above p99.99: {} (index skipped {} of {} summarized chunks)",
+        slow.len(),
+        stats.summaries_scanned.saturating_sub(stats.chunks_scanned),
+        stats.summaries_scanned
+    );
+    for (seq, latency) in slow.iter().take(8) {
+        println!("  request #{seq}: {latency} ns");
+    }
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

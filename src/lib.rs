@@ -1,0 +1,1 @@
+//! Workspace-level integration-test and example host for the Loom reproduction.

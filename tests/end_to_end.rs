@@ -1,0 +1,252 @@
+//! Workspace-level integration tests: the full capture-and-query
+//! pipeline across crates (generators → daemon → sinks → queries).
+
+use std::sync::Arc;
+
+use bench::caseload::{FishSetup, LoomSetup};
+use loom::{Aggregate, TimeRange, ValueRange};
+use telemetry::records::{LatencyRecord, PacketRecord};
+use telemetry::redis::{Phase, RedisConfig, RedisGenerator, REDIS_PORT};
+use telemetry::{SourceKind, TelemetrySink};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("loom-e2e-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn small_redis(seed: u64) -> RedisGenerator {
+    RedisGenerator::new(RedisConfig {
+        seed,
+        scale: 0.002,
+        phase_secs: 2.0,
+        anomalies: 4,
+    })
+}
+
+#[test]
+fn drilldown_finds_every_injected_anomaly() {
+    let dir = tmp("drilldown");
+    let mut setup = LoomSetup::open(&dir);
+    let mut generator = small_redis(3);
+    generator.run(|e| setup.push(e.kind, e.ts, e.bytes));
+    setup.writer.seal_active_chunk().unwrap();
+
+    let loom = &setup.loom;
+    let everything = TimeRange::new(0, loom.now());
+
+    // Slow requests above 10 ms (the injected anomalies).
+    let mut slow = Vec::new();
+    loom.indexed_scan(
+        setup.app,
+        setup.app_latency,
+        everything,
+        ValueRange::at_least(10_000_000.0),
+        |r| slow.push(r.ts),
+    )
+    .unwrap();
+    assert_eq!(slow.len(), 4);
+
+    // Packets with mangled ports near each slow request.
+    let mut mangled = 0;
+    for ts in &slow {
+        let vicinity = TimeRange::new(ts.saturating_sub(300_000_000), ts + 300_000_000);
+        loom.raw_scan(setup.packet, vicinity, |r| {
+            let pkt = PacketRecord::decode(r.payload).unwrap();
+            if pkt.dst_port != REDIS_PORT {
+                mangled += 1;
+            }
+        })
+        .unwrap();
+    }
+    assert_eq!(
+        mangled, 4,
+        "every slow request correlates with a mangled packet"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loom_fishstore_and_tsdb_agree_on_query_results() {
+    let dir = tmp("agree");
+    let mut loom_setup = LoomSetup::open(&dir.join("loom"));
+    let fish = FishSetup::open(&dir.join("fish"));
+    let db = Arc::new(tsdb::Tsdb::open(tsdb::TsdbConfig::new(dir.join("tsdb"))).unwrap());
+
+    let mut generator = small_redis(5);
+    generator.run(|e| {
+        loom_setup.push(e.kind, e.ts, e.bytes);
+        fish.push(e.kind, e.ts, e.bytes);
+        if let Some(point) = daemon::TsdbSink::to_point(e.kind, e.ts, e.bytes) {
+            db.write_sync(&point);
+        }
+    });
+    loom_setup.writer.seal_active_chunk().unwrap();
+    db.flush().unwrap();
+
+    let (start, end) = generator.phase_range(Phase::P2);
+    let window = TimeRange::new(start, end);
+
+    // Count app records in the P2 window on all three systems.
+    let loom_count = loom_setup
+        .loom
+        .indexed_aggregate(
+            loom_setup.app,
+            loom_setup.app_latency,
+            window,
+            Aggregate::Count,
+        )
+        .unwrap()
+        .value
+        .unwrap_or(0.0) as u64;
+    let mut fish_count = 0u64;
+    fish.store
+        .time_window_scan(start, end, |r| {
+            if r.source == SourceKind::AppRequest.id() {
+                fish_count += 1;
+            }
+        })
+        .unwrap();
+    let tsdb_count = db
+        .aggregate("app_request", &[], start, end, tsdb::TsAggregate::Count)
+        .unwrap()
+        .unwrap_or(0.0) as u64;
+    assert_eq!(loom_count, fish_count, "loom vs fishstore");
+    assert_eq!(loom_count, tsdb_count, "loom vs tsdb");
+    assert!(loom_count > 0);
+
+    // Max latency agrees too.
+    let loom_max = loom_setup
+        .loom
+        .indexed_aggregate(
+            loom_setup.app,
+            loom_setup.app_latency,
+            window,
+            Aggregate::Max,
+        )
+        .unwrap()
+        .value
+        .unwrap();
+    let tsdb_max = db
+        .aggregate("app_request", &[], start, end, tsdb::TsAggregate::Max)
+        .unwrap()
+        .unwrap();
+    let mut fish_max = 0.0f64;
+    fish.store
+        .time_window_scan(start, end, |r| {
+            if r.source == SourceKind::AppRequest.id() {
+                if let Some(rec) = LatencyRecord::decode(r.payload) {
+                    fish_max = fish_max.max(rec.latency_ns as f64);
+                }
+            }
+        })
+        .unwrap();
+    assert_eq!(loom_max, tsdb_max);
+    assert_eq!(loom_max, fish_max);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_pipeline_delivers_complete_stream_into_loom() {
+    let dir = tmp("pipeline");
+    let (l, w) = loom::Loom::open(loom::Config::new(&dir)).unwrap();
+    let sink = daemon::LoomSink::new(l.clone(), w);
+    let app = sink.source_id(SourceKind::AppRequest);
+    let pipeline = daemon::Daemon::spawn(sink, 16_384).unwrap();
+
+    // Two source threads submit concurrently through the daemon.
+    let mut threads = Vec::new();
+    for t in 0..2u64 {
+        let handle = pipeline.handle();
+        threads.push(std::thread::spawn(move || {
+            for i in 0..5_000u64 {
+                let rec = LatencyRecord {
+                    ts: t * 1_000_000 + i,
+                    latency_ns: i,
+                    op: t as u32,
+                    pid: 1,
+                    key_hash: i,
+                    seq: i,
+                    flags: 0,
+                    cpu: 0,
+                };
+                handle.push(SourceKind::AppRequest, rec.ts, &rec.encode());
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let sink = pipeline.shutdown();
+    assert_eq!(sink.offered(), 10_000);
+    assert_eq!(sink.dropped(), 0);
+
+    let mut scanned = 0u64;
+    l.raw_scan(app, TimeRange::new(0, u64::MAX), |_| scanned += 1)
+        .unwrap();
+    assert_eq!(scanned, 10_000, "every submitted record is queryable");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn raw_file_sink_is_replayable_into_loom() {
+    // Capture to a raw file (the perf-record baseline), then replay the
+    // file into Loom and verify equivalence — the workflow the paper
+    // describes for post-hoc analysis of file captures.
+    let dir = tmp("replay");
+    let capture = dir.join("capture.bin");
+    let mut raw = telemetry::RawFileSink::create(&capture).unwrap();
+    let mut generator = small_redis(9);
+    let mut pushed = 0u64;
+    generator.run(|e| {
+        raw.push(e.kind, e.ts, e.bytes);
+        pushed += 1;
+    });
+    raw.flush();
+
+    // Replay: parse the frame format and push into Loom.
+    let (l, mut w) = loom::Loom::open(loom::Config::new(dir.join("loom"))).unwrap();
+    let sources: std::collections::HashMap<u16, loom::SourceId> = SourceKind::ALL
+        .iter()
+        .map(|k| (k.id(), l.define_source(k.name())))
+        .collect();
+    let data = std::fs::read(&capture).unwrap();
+    let mut pos = 0usize;
+    let mut replayed = 0u64;
+    while pos + 12 <= data.len() {
+        let kind = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap());
+        let len = u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+        pos += 12; // skip ts too
+        w.push(sources[&kind], &data[pos..pos + len]).unwrap();
+        pos += len;
+        replayed += 1;
+    }
+    assert_eq!(replayed, pushed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampling_pipeline_misses_rare_events_that_complete_capture_finds() {
+    // The Figure 3 effect as an executable assertion.
+    let mut generator = small_redis(13);
+    let mut sampler = telemetry::sampling::UniformSampler::new(99, 0.05);
+    let mut complete_mangled = 0;
+    let mut sampled_mangled = 0;
+    generator.run(|e| {
+        let keep = sampler.keep();
+        if e.kind == SourceKind::Packet {
+            let pkt = PacketRecord::decode(e.bytes).unwrap();
+            if pkt.dst_port != REDIS_PORT {
+                complete_mangled += 1;
+                if keep {
+                    sampled_mangled += 1;
+                }
+            }
+        }
+    });
+    assert_eq!(complete_mangled, 4);
+    assert!(
+        sampled_mangled < complete_mangled,
+        "5% sampling should lose rare events (kept {sampled_mangled}/{complete_mangled})"
+    );
+}
