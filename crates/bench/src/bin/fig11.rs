@@ -43,6 +43,9 @@ fn phase_index(p: Phase) -> usize {
     }
 }
 
+/// An event sink that reports whether the event was dropped.
+type PushFn<'a> = &'a mut dyn FnMut(Phase, SourceKind, u64, &[u8]) -> bool;
+
 /// Paces `events` against the wall clock and offers each to `push`,
 /// which reports whether the event was dropped.
 fn drive_realtime(
@@ -53,7 +56,7 @@ fn drive_realtime(
     let mut drops = PhaseDrops::default();
     let start = Instant::now();
     let run = |drops: &mut PhaseDrops,
-               push: &mut dyn FnMut(Phase, SourceKind, u64, &[u8]) -> bool,
+               push: PushFn,
                phase: Phase,
                kind: SourceKind,
                ts: u64,

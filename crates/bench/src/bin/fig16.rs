@@ -58,6 +58,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: false,
                 use_chunk_index: false,
+                parallelism: None,
             },
         ),
         (
@@ -65,6 +66,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: true,
                 use_chunk_index: false,
+                parallelism: None,
             },
         ),
         (
@@ -72,6 +74,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: false,
                 use_chunk_index: true,
+                parallelism: None,
             },
         ),
         (
@@ -79,6 +82,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: true,
                 use_chunk_index: true,
+                parallelism: None,
             },
         ),
     ];
@@ -99,6 +103,7 @@ fn main() {
         QueryOptions {
             use_ts_index: false,
             use_chunk_index: false,
+            parallelism: None,
         },
         |_| sink += 1,
     )

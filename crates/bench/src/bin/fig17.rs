@@ -26,7 +26,7 @@ fn main() {
 
     // Loom: exact-match single-bin histogram over the syscall op field.
     let (l, mut writer) = Loom::open_with_clock(
-        Config::new(&dir.join("loom")).with_chunk_size(64 * 1024),
+        Config::new(dir.join("loom")).with_chunk_size(64 * 1024),
         Clock::manual(0),
     )
     .expect("open loom");

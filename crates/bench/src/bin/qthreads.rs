@@ -1,0 +1,206 @@
+//! Query worker-pool thread sweep.
+//!
+//! Loads a syscall-latency stream (same caseload as Figure 16), then runs
+//! the chunk-parallel query operators — indexed range scan, distributive
+//! aggregate, holistic percentile, and bin counting — at worker-pool
+//! sizes 1/2/4/8 and reports latency plus speedup over the serial
+//! baseline. Results are written as JSON (default
+//! `results/qthreads.json`, or `--out <path>`).
+//!
+//! Expected shape: on a machine with free cores, chunk-heavy queries
+//! scale until the pool saturates memory bandwidth or the core count;
+//! the deterministic log-order merge adds no measurable cost at pool
+//! size 1 (the serial path is the original inline loop). On a single-CPU
+//! host (see the `host_cpus` field in the output) extra workers only add
+//! scheduling overhead, so the sweep is flat-to-slightly-worse — record
+//! the host core count next to the numbers when quoting them.
+
+use std::time::Duration;
+
+use bench::caseload::{min_time, synthesize_syscalls};
+use bench::{ms, scratch_dir, Args, Table};
+use loom::{
+    extract, Aggregate, Clock, Config, HistogramSpec, Loom, QueryOptions, TimeRange, ValueRange,
+};
+use telemetry::records::LATENCY_NS_OFFSET;
+
+struct Measurement {
+    workers: usize,
+    scan: Duration,
+    scan_none: Duration,
+    agg_sum: Duration,
+    agg_p99: Duration,
+    bin_counts: Duration,
+}
+
+fn main() {
+    let args = Args::parse();
+    let dir = scratch_dir("qthreads");
+    let (l, mut writer) = Loom::open_with_clock(
+        Config::new(&dir).with_chunk_size(64 * 1024),
+        Clock::manual(0),
+    )
+    .expect("open loom");
+    let syscalls = l.define_source("syscall");
+    let latency_idx = l
+        .define_index(
+            syscalls,
+            extract::u64_le_at(LATENCY_NS_OFFSET),
+            HistogramSpec::exponential(1_000.0, 4.0, 12).expect("spec"),
+        )
+        .expect("index");
+
+    let total_secs = args.phase_secs * 2.0;
+    eprintln!(
+        "loading ~{:.1}M syscall records ({} s of simulated time)...",
+        telemetry::rocksdb::SYSCALL_RATE * args.scale * total_secs / 1e6,
+        total_secs
+    );
+    let loaded = synthesize_syscalls(args.seed, args.scale, total_secs, |ts, bytes| {
+        l.clock().set(ts.max(l.now()));
+        writer.push(syscalls, bytes).expect("push");
+    });
+    writer.seal_active_chunk().expect("seal");
+    eprintln!("loaded {loaded} records");
+
+    let now = l.now();
+    let range = TimeRange::new(0, now);
+    let threshold = 500_000.0; // "high-latency" syscalls: >0.5 ms
+    let repeats = if args.quick { 2 } else { 3 };
+    let worker_counts: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    // Warm the file cache once with a full-log scan.
+    let mut sink = 0u64;
+    l.raw_scan(syscalls, range, |_| sink += 1).expect("warmup");
+    eprintln!("warmup scanned {sink} records");
+
+    let mut sweep: Vec<Measurement> = Vec::new();
+    for &workers in worker_counts {
+        let opts = QueryOptions::default().with_parallelism(workers);
+        let none_opts = QueryOptions {
+            use_ts_index: false,
+            use_chunk_index: false,
+            ..opts
+        };
+        let scan = min_time(repeats, || {
+            let mut n = 0u64;
+            l.indexed_scan_opt(
+                syscalls,
+                latency_idx,
+                range,
+                ValueRange::at_least(threshold),
+                opts,
+                |_| n += 1,
+            )
+            .expect("scan");
+        });
+        let scan_none = min_time(repeats, || {
+            let mut n = 0u64;
+            l.indexed_scan_opt(
+                syscalls,
+                latency_idx,
+                range,
+                ValueRange::at_least(threshold),
+                none_opts,
+                |_| n += 1,
+            )
+            .expect("scan");
+        });
+        let agg_sum = min_time(repeats, || {
+            l.indexed_aggregate_opt(syscalls, latency_idx, range, Aggregate::Sum, opts)
+                .expect("sum");
+        });
+        let agg_p99 = min_time(repeats, || {
+            l.indexed_aggregate_opt(
+                syscalls,
+                latency_idx,
+                range,
+                Aggregate::Percentile(99.0),
+                opts,
+            )
+            .expect("p99");
+        });
+        let bin_counts = min_time(repeats, || {
+            l.bin_counts_opt(syscalls, latency_idx, range, opts)
+                .expect("bins");
+        });
+        sweep.push(Measurement {
+            workers,
+            scan,
+            scan_none,
+            agg_sum,
+            agg_p99,
+            bin_counts,
+        });
+    }
+    drop(writer);
+
+    let mut table = Table::new(
+        "Query latency (ms) vs worker-pool size",
+        &[
+            "workers",
+            "indexed_scan",
+            "scan_no_index",
+            "agg_sum",
+            "agg_p99",
+            "bin_counts",
+            "scan_speedup",
+        ],
+    );
+    let base_scan = sweep[0].scan_none.as_secs_f64();
+    for m in &sweep {
+        table.row(&[
+            format!("{}", m.workers),
+            ms(m.scan),
+            ms(m.scan_none),
+            ms(m.agg_sum),
+            ms(m.agg_p99),
+            ms(m.bin_counts),
+            format!("{:.2}x", base_scan / m.scan_none.as_secs_f64()),
+        ]);
+    }
+    table.print();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results/qthreads.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"qthreads\",\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"records\": {loaded},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str("  \"sweep\": [\n");
+    for (i, m) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"indexed_scan_ms\": {:.3}, \"scan_no_index_ms\": {:.3}, \
+             \"agg_sum_ms\": {:.3}, \"agg_p99_ms\": {:.3}, \"bin_counts_ms\": {:.3}, \
+             \"scan_no_index_speedup\": {:.3}}}{}\n",
+            m.workers,
+            m.scan.as_secs_f64() * 1e3,
+            m.scan_none.as_secs_f64() * 1e3,
+            m.agg_sum.as_secs_f64() * 1e3,
+            m.agg_p99.as_secs_f64() * 1e3,
+            m.bin_counts.as_secs_f64() * 1e3,
+            base_scan / m.scan_none.as_secs_f64(),
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, &json).expect("write json");
+    println!("\nwrote {}", json_path.display());
+    if host_cpus == 1 {
+        println!(
+            "note: host has 1 CPU; parallel speedup is not observable here \
+             (see the writeup next to results/qthreads.json)"
+        );
+    }
+    bench::cleanup(&dir);
+}

@@ -79,6 +79,7 @@ impl BTree {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(&config.path)?;
         let len = file.metadata()?.len();
         let mut tree = BTree {
@@ -233,17 +234,12 @@ impl BTree {
     ) -> io::Result<()> {
         // Descend to the leaf containing `lo` (or the leftmost leaf).
         let mut page = self.root;
-        loop {
-            match self.node(page)? {
-                Node::Branch { children, keys } => {
-                    let idx = match lo {
-                        Some(lo) => keys.partition_point(|k| k.as_slice() <= lo),
-                        None => 0,
-                    };
-                    page = children[idx];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Branch { children, keys } = self.node(page)? {
+            let idx = match lo {
+                Some(lo) => keys.partition_point(|k| k.as_slice() <= lo),
+                None => 0,
+            };
+            page = children[idx];
         }
         loop {
             let (entries, next) = match self.node(page)? {

@@ -133,7 +133,7 @@ fn append_then_insert_interoperate() {
         assert_eq!(u32::from_be_bytes(k.try_into().unwrap()), n);
         assert_eq!(
             v,
-            if n % 2 == 0 {
+            if n.is_multiple_of(2) {
                 b"even".as_slice()
             } else {
                 b"odd"

@@ -196,7 +196,7 @@ mod tests {
             handle.stats().queue_dropped.load(Ordering::Relaxed),
             dropped
         );
-        drop(daemon.shutdown());
+        let _ = daemon.shutdown();
     }
 
     #[test]

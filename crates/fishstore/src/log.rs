@@ -100,7 +100,7 @@ pub struct Reservation {
 impl SharedLog {
     /// Creates a log backed by `path` with the given segment size.
     pub fn create(path: &Path, segment_size: usize) -> Result<Arc<SharedLog>> {
-        assert!(segment_size >= 64 && segment_size % 8 == 0);
+        assert!(segment_size >= 64 && segment_size.is_multiple_of(8));
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }

@@ -182,7 +182,7 @@ fn concurrent_ingest_loses_nothing() {
 fn oversized_record_is_rejected() {
     let (fs, dir) = open("oversize", 512);
     assert!(fs.ingest_at(1, 0, &vec![0u8; 1024]).is_err());
-    assert!(fs.ingest_at(1, 0, &vec![0u8; 64]).is_ok());
+    assert!(fs.ingest_at(1, 0, &[0u8; 64]).is_ok());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

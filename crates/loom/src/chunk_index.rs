@@ -38,6 +38,8 @@ impl<'a, R: LogRead> SummaryCursor<'a, R> {
     /// Reads the next summary, advancing the cursor.
     ///
     /// Returns `Ok(None)` at the end of the view.
+    // Not `Iterator::next`: this is fallible and borrows internal scratch.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<ChunkSummary>> {
         let limit = self.log.limit();
         if self.pos + 4 > limit {

@@ -34,6 +34,15 @@ pub struct Config {
     /// records per source (§4.2, "periodic intervals when a source pushes a
     /// record").
     pub ts_mark_period: u64,
+    /// Default number of worker threads for query execution.
+    ///
+    /// `1` (the default) runs every operator on the calling thread —
+    /// the original serial code path. Larger values fan candidate-chunk
+    /// scans out across a scoped worker pool; results are merged back in
+    /// log order, so query output is independent of this setting. Each
+    /// query can override it via
+    /// [`QueryOptions::parallelism`](crate::QueryOptions).
+    pub query_threads: usize,
     /// Remove the log files when the instance is dropped.
     pub remove_on_drop: bool,
 }
@@ -48,6 +57,7 @@ impl Config {
             ts_block_size: 256 * 1024,
             chunk_size: 64 * 1024,
             ts_mark_period: 1024,
+            query_threads: 1,
             remove_on_drop: false,
         }
     }
@@ -61,6 +71,7 @@ impl Config {
             ts_block_size: 8 * 1024,
             chunk_size: 4 * 1024,
             ts_mark_period: 16,
+            query_threads: 1,
             remove_on_drop: true,
         }
     }
@@ -83,6 +94,12 @@ impl Config {
         self
     }
 
+    /// Sets the default query worker-thread count (must be non-zero).
+    pub fn with_query_threads(mut self, threads: usize) -> Self {
+        self.query_threads = threads;
+        self
+    }
+
     /// The largest payload that fits in a chunk alongside its header.
     pub fn max_record_payload(&self) -> usize {
         self.chunk_size - RECORD_HEADER_SIZE
@@ -97,13 +114,13 @@ impl Config {
                 2 * RECORD_HEADER_SIZE
             )));
         }
-        if self.block_size % self.chunk_size != 0 {
+        if !self.block_size.is_multiple_of(self.chunk_size) {
             return Err(LoomError::InvalidConfig(format!(
                 "chunk_size {} must divide block_size {}",
                 self.chunk_size, self.block_size
             )));
         }
-        if self.chunk_size % 8 != 0 || self.block_size % 8 != 0 {
+        if !self.chunk_size.is_multiple_of(8) || !self.block_size.is_multiple_of(8) {
             return Err(LoomError::InvalidConfig(
                 "block_size and chunk_size must be multiples of 8".into(),
             ));
@@ -113,7 +130,7 @@ impl Config {
                 "index block sizes must be non-zero".into(),
             ));
         }
-        if self.ts_block_size % 32 != 0 {
+        if !self.ts_block_size.is_multiple_of(32) {
             return Err(LoomError::InvalidConfig(
                 "ts_block_size must be a multiple of the 32-byte timestamp entry".into(),
             ));
@@ -121,6 +138,11 @@ impl Config {
         if self.ts_mark_period == 0 {
             return Err(LoomError::InvalidConfig(
                 "ts_mark_period must be non-zero".into(),
+            ));
+        }
+        if self.query_threads == 0 {
+            return Err(LoomError::InvalidConfig(
+                "query_threads must be non-zero (1 = serial execution)".into(),
             ));
         }
         Ok(())
@@ -156,6 +178,16 @@ mod tests {
         let mut c = Config::small("/tmp/x");
         c.ts_mark_period = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_query_threads() {
+        let c = Config::small("/tmp/x").with_query_threads(0);
+        assert!(c.validate().is_err());
+        assert!(Config::small("/tmp/x")
+            .with_query_threads(8)
+            .validate()
+            .is_ok());
     }
 
     #[test]

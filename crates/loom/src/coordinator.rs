@@ -182,13 +182,11 @@ impl Coordinator {
                 node.loom
                     .indexed_scan(node.source, node.index, range, fetch_range, |record| {
                         // Recompute the value via the node's extractor.
-                        if let Ok(spec_value) =
+                        if let Ok(Some(v)) =
                             node.loom
                                 .extract_value(node.source, node.index, record.payload)
                         {
-                            if let Some(v) = spec_value {
-                                values.push(v);
-                            }
+                            values.push(v);
                         }
                     })?;
             stats.merge(&node_stats);

@@ -97,7 +97,7 @@ struct CachedSource {
 struct CachedIndex {
     id: u32,
     extractor: ValueFn,
-    spec: HistogramSpec,
+    spec: Arc<HistogramSpec>,
     bins: Vec<Option<BinStats>>,
 }
 
@@ -337,7 +337,7 @@ impl LoomWriter {
 
         // Seal immediately when the record exactly filled the chunk, so
         // the active region visible to queries is always the tail chunk.
-        if self.record.tail() % chunk_size == 0 {
+        if self.record.tail().is_multiple_of(chunk_size) {
             self.seal_chunk(ts)?;
         }
 
@@ -517,7 +517,7 @@ impl LoomWriter {
                 indexes.push(CachedIndex {
                     id: iid.0,
                     extractor: Arc::clone(&idx.extractor),
-                    spec: idx.spec.clone(),
+                    spec: Arc::clone(&idx.spec),
                     bins,
                 });
             }

@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn io_error_round_trips_through_source() {
-        let e: LoomError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: LoomError = io::Error::other("boom").into();
         assert!(matches!(e, LoomError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
     }

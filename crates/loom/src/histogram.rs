@@ -8,6 +8,11 @@
 //! (by treating bin counts as a CDF), and — with a single bin — exact-match
 //! queries.
 
+// Boundary validation deliberately uses negated comparisons: `!(a < b)`
+// is true when either side is NaN, so NaN boundaries are rejected; the
+// "simpler" `a >= b` would silently accept them.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 use crate::error::{LoomError, Result};
 
 /// A histogram bin specification.

@@ -10,13 +10,112 @@
 //! rank; a second pass collects only that bin's values and selects the
 //! rank within it. This avoids materializing or sorting the whole data
 //! set.
+//!
+//! Exact chunk scans (the partially-covered chunks of every aggregate and
+//! the value collection of percentile phase B) are independent per chunk,
+//! so they run on the worker pool when `QueryOptions::parallelism` (or
+//! `Config::query_threads`) asks for more than one thread. Both the serial
+//! and parallel paths produce one partial result *per chunk* and merge
+//! them in chunk order — the floating-point association is therefore
+//! identical for every pool size, and results are bit-for-bit
+//! reproducible.
 
+use super::executor;
 use super::planner;
-use super::view::{QueryView, ScanControl};
-use super::{Aggregate, AggregateResult, IndexMeta, TimeRange};
+use super::view::{QueryView, RegionScan, ScanControl};
+use super::{Aggregate, AggregateResult, IndexMeta, QueryOptions, TimeRange};
 use crate::error::{LoomError, Result};
 use crate::stats::QueryStats;
 use crate::summary::BinStats;
+
+/// Runs `task(buf, chunk_addr)` over every chunk and returns the per-chunk
+/// partial results in chunk order, folding each chunk's scan counters into
+/// `stats` (also in chunk order).
+///
+/// With one worker the chunks are scanned inline on the calling thread
+/// with a single reusable buffer; otherwise they fan out across the pool.
+/// Both paths run the same per-chunk closure and merge in the same order,
+/// so the result is independent of the worker count.
+fn for_chunks<T, F>(
+    workers: usize,
+    chunks: &[u64],
+    stats: &mut QueryStats,
+    task: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut Vec<u8>, u64) -> Result<(T, RegionScan)> + Sync,
+{
+    let outputs = if workers <= 1 {
+        let mut buf = Vec::new();
+        let mut outputs = Vec::with_capacity(chunks.len());
+        for &chunk_addr in chunks {
+            outputs.push(task(&mut buf, chunk_addr)?);
+        }
+        outputs
+    } else {
+        executor::map_chunks(workers, chunks, |buf, chunk_addr| task(buf, chunk_addr))?
+    };
+    let mut results = Vec::with_capacity(outputs.len());
+    for (value, out) in outputs {
+        out.fold_into(stats);
+        results.push(value);
+    }
+    Ok(results)
+}
+
+/// Per-chunk exact bin counting: one `counts`-shaped vector per chunk.
+fn count_chunk_exact(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    bin_count: usize,
+    buf: &mut Vec<u8>,
+    chunk_addr: u64,
+) -> Result<(Vec<u64>, RegionScan)> {
+    let mut counts = vec![0u64; bin_count];
+    let out = view.scan_chunk_with_buf(chunk_addr, buf, |rec| {
+        if rec.header.ts > range.end {
+            return ScanControl::Stop;
+        }
+        if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+            if let Some(v) = (meta.extractor)(rec.payload) {
+                if let Some(bin) = meta.spec.bin_of(v) {
+                    counts[bin] += 1;
+                }
+            }
+        }
+        ScanControl::Continue
+    })?;
+    Ok((counts, out))
+}
+
+/// Exact bin counting for the unsummarized tail region (always serial:
+/// the region is at most one chunk of not-yet-sealed data).
+fn count_region_exact(
+    view: &QueryView<'_>,
+    meta: &IndexMeta,
+    range: TimeRange,
+    plan_region_start: u64,
+    counts: &mut [u64],
+    stats: &mut QueryStats,
+) -> Result<()> {
+    let out = view.scan_region(plan_region_start, view.rec.watermark(), |rec| {
+        if rec.header.ts > range.end {
+            return ScanControl::Stop;
+        }
+        if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+            if let Some(v) = (meta.extractor)(rec.payload) {
+                if let Some(bin) = meta.spec.bin_of(v) {
+                    counts[bin] += 1;
+                }
+            }
+        }
+        ScanControl::Continue
+    })?;
+    out.fold_into(stats);
+    Ok(())
+}
 
 /// Computes the per-bin record counts for an index over a time range
 /// (the CDF of §4.3, exposed for composition — e.g., the distributed
@@ -26,10 +125,15 @@ pub(crate) fn bin_counts(
     view: &QueryView<'_>,
     meta: &IndexMeta,
     range: TimeRange,
+    opts: QueryOptions,
 ) -> Result<(Vec<u64>, QueryStats)> {
-    let mut stats = QueryStats::default();
+    let mut stats = QueryStats {
+        workers_used: 1,
+        ..QueryStats::default()
+    };
     let plan = planner::plan(view, range)?;
-    let mut counts = vec![0u64; meta.spec.bin_count()];
+    let bin_count = meta.spec.bin_count();
+    let mut counts = vec![0u64; bin_count];
     let mut partial_chunks: Vec<u64> = Vec::new();
     planner::for_each_relevant_summary(
         view,
@@ -52,28 +156,25 @@ pub(crate) fn bin_counts(
             Ok(())
         },
     )?;
-    let mut count_exact = |counts: &mut Vec<u64>, from: u64, to: u64| -> Result<()> {
-        let out = view.scan_region(from, to, |rec| {
-            if rec.header.ts > range.end {
-                return ScanControl::Stop;
-            }
-            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
-                if let Some(v) = (meta.extractor)(rec.payload) {
-                    if let Some(bin) = meta.spec.bin_of(v) {
-                        counts[bin] += 1;
-                    }
-                }
-            }
-            ScanControl::Continue
-        })?;
-        out.fold_into(&mut stats);
-        Ok(())
-    };
-    for chunk_addr in &partial_chunks {
-        count_exact(&mut counts, *chunk_addr, *chunk_addr + view.chunk_size)?;
+    let workers = view.workers(opts.parallelism, partial_chunks.len());
+    stats.workers_used = stats.workers_used.max(workers as u64);
+    let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
+        count_chunk_exact(view, meta, range, bin_count, buf, addr)
+    })?;
+    for chunk_counts in per_chunk {
+        for (total, c) in counts.iter_mut().zip(chunk_counts) {
+            *total += c;
+        }
     }
     if plan.region_relevant {
-        count_exact(&mut counts, plan.region_start, view.rec.watermark())?;
+        count_region_exact(
+            view,
+            meta,
+            range,
+            plan.region_start,
+            &mut counts,
+            &mut stats,
+        )?;
     }
     Ok((counts, stats))
 }
@@ -84,6 +185,7 @@ pub(crate) fn run(
     meta: &IndexMeta,
     range: TimeRange,
     method: Aggregate,
+    opts: QueryOptions,
 ) -> Result<AggregateResult> {
     match method {
         Aggregate::Percentile(p) => {
@@ -92,9 +194,9 @@ pub(crate) fn run(
                     "percentile {p} outside [0, 100]"
                 )));
             }
-            percentile(view, meta, range, p)
+            percentile(view, meta, range, p, opts)
         }
-        _ => distributive(view, meta, range, method),
+        _ => distributive(view, meta, range, method, opts),
     }
 }
 
@@ -131,6 +233,15 @@ impl Acc {
         self.max = self.max.max(s.max);
     }
 
+    /// Folds another accumulator in (per-chunk partials merged in chunk
+    /// order so float association is the same on every pool size).
+    fn merge(&mut self, o: &Acc) {
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
     fn finish(&self, method: Aggregate) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -151,8 +262,12 @@ fn distributive(
     meta: &IndexMeta,
     range: TimeRange,
     method: Aggregate,
+    opts: QueryOptions,
 ) -> Result<AggregateResult> {
-    let mut stats = QueryStats::default();
+    let mut stats = QueryStats {
+        workers_used: 1,
+        ..QueryStats::default()
+    };
     let plan = planner::plan(view, range)?;
     let mut acc = Acc::new();
     let mut partial_chunks: Vec<u64> = Vec::new();
@@ -179,27 +294,43 @@ fn distributive(
         },
     )?;
 
-    // Exact aggregation for chunks only partially inside the time range.
-    let mut scan_exact = |acc: &mut Acc, from: u64, to: u64| -> Result<()> {
-        let out = view.scan_region(from, to, |rec| {
+    // Exact aggregation for chunks only partially inside the time range:
+    // one partial accumulator per chunk, merged in chunk order.
+    let workers = view.workers(opts.parallelism, partial_chunks.len());
+    stats.workers_used = stats.workers_used.max(workers as u64);
+    let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
+        let mut chunk_acc = Acc::new();
+        let out = view.scan_chunk_with_buf(addr, buf, |rec| {
             if rec.header.ts > range.end {
                 return ScanControl::Stop;
             }
             if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
                 if let Some(v) = (meta.extractor)(rec.payload) {
-                    acc.observe(v);
+                    chunk_acc.observe(v);
+                }
+            }
+            ScanControl::Continue
+        })?;
+        Ok((chunk_acc, out))
+    })?;
+    for chunk_acc in &per_chunk {
+        acc.merge(chunk_acc);
+    }
+    if plan.region_relevant {
+        let mut region_acc = Acc::new();
+        let out = view.scan_region(plan.region_start, view.rec.watermark(), |rec| {
+            if rec.header.ts > range.end {
+                return ScanControl::Stop;
+            }
+            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                if let Some(v) = (meta.extractor)(rec.payload) {
+                    region_acc.observe(v);
                 }
             }
             ScanControl::Continue
         })?;
         out.fold_into(&mut stats);
-        Ok(())
-    };
-    for chunk_addr in partial_chunks {
-        scan_exact(&mut acc, chunk_addr, chunk_addr + view.chunk_size)?;
-    }
-    if plan.region_relevant {
-        scan_exact(&mut acc, plan.region_start, view.rec.watermark())?;
+        acc.merge(&region_acc);
     }
 
     Ok(AggregateResult {
@@ -214,8 +345,12 @@ fn percentile(
     meta: &IndexMeta,
     range: TimeRange,
     p: f64,
+    opts: QueryOptions,
 ) -> Result<AggregateResult> {
-    let mut stats = QueryStats::default();
+    let mut stats = QueryStats {
+        workers_used: 1,
+        ..QueryStats::default()
+    };
     let plan = planner::plan(view, range)?;
     let bin_count = meta.spec.bin_count();
 
@@ -243,28 +378,25 @@ fn percentile(
             Ok(())
         },
     )?;
-    let mut count_exact = |counts: &mut Vec<u64>, from: u64, to: u64| -> Result<()> {
-        let out = view.scan_region(from, to, |rec| {
-            if rec.header.ts > range.end {
-                return ScanControl::Stop;
-            }
-            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
-                if let Some(v) = (meta.extractor)(rec.payload) {
-                    if let Some(bin) = meta.spec.bin_of(v) {
-                        counts[bin] += 1;
-                    }
-                }
-            }
-            ScanControl::Continue
-        })?;
-        out.fold_into(&mut stats);
-        Ok(())
-    };
-    for chunk_addr in &partial_chunks {
-        count_exact(&mut counts, *chunk_addr, *chunk_addr + view.chunk_size)?;
+    let workers = view.workers(opts.parallelism, partial_chunks.len());
+    stats.workers_used = stats.workers_used.max(workers as u64);
+    let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
+        count_chunk_exact(view, meta, range, bin_count, buf, addr)
+    })?;
+    for chunk_counts in per_chunk {
+        for (total, c) in counts.iter_mut().zip(chunk_counts) {
+            *total += c;
+        }
     }
     if plan.region_relevant {
-        count_exact(&mut counts, plan.region_start, view.rec.watermark())?;
+        count_region_exact(
+            view,
+            meta,
+            range,
+            plan.region_start,
+            &mut counts,
+            &mut stats,
+        )?;
     }
 
     let total: u64 = counts.iter().sum();
@@ -292,64 +424,59 @@ fn percentile(
     // Phase B: collect only the target bin's values and select the rank.
     // Memory is bounded by the number of values in one bin within the
     // range — small for tail percentiles by construction.
-    let mut values: Vec<f64> = Vec::new();
+    //
+    // Revisit summaries: scan only the fully-covered chunks that have
+    // values in the target bin, plus the partial chunks (already filtered
+    // by time above, re-filtered exactly here).
     let mut revisited = 0u64;
-    {
-        let mut collect =
-            |values: &mut Vec<f64>, from: u64, to: u64, ts_filter: bool| -> Result<()> {
-                let out = view.scan_region(from, to, |rec| {
-                    if ts_filter && rec.header.ts > range.end {
-                        return ScanControl::Stop;
-                    }
-                    if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
-                        if let Some(v) = (meta.extractor)(rec.payload) {
-                            if meta.spec.bin_of(v) == Some(target_bin) {
-                                values.push(v);
-                            }
-                        }
-                    }
-                    ScanControl::Continue
-                })?;
-                out.fold_into(&mut stats);
-                Ok(())
-            };
-
-        // Revisit summaries: scan only chunks that have values in the
-        // target bin.
-        let mut target_chunks: Vec<u64> = Vec::new();
-        planner::for_each_relevant_summary(
-            view,
-            &plan,
-            range,
-            &mut revisited,
-            |summary, fully| {
-                if !fully {
-                    return Ok(()); // already in partial_chunks
-                }
-                if let Some(bins) = summary.index_bins(meta.id.0) {
-                    if bins.get(&(target_bin as u32)).is_some_and(|s| s.count > 0) {
-                        target_chunks.push(summary.chunk_addr);
-                    }
-                }
-                Ok(())
-            },
-        )?;
-        for chunk_addr in target_chunks {
-            collect(&mut values, chunk_addr, chunk_addr + view.chunk_size, false)?;
+    let mut phase_b_chunks: Vec<u64> = Vec::new();
+    planner::for_each_relevant_summary(view, &plan, range, &mut revisited, |summary, fully| {
+        if !fully {
+            return Ok(()); // appended below, in partial-chunk order
         }
-        for chunk_addr in &partial_chunks {
-            collect(
-                &mut values,
-                *chunk_addr,
-                *chunk_addr + view.chunk_size,
-                false,
-            )?;
+        if let Some(bins) = summary.index_bins(meta.id.0) {
+            if bins.get(&(target_bin as u32)).is_some_and(|s| s.count > 0) {
+                phase_b_chunks.push(summary.chunk_addr);
+            }
         }
-        if plan.region_relevant {
-            collect(&mut values, plan.region_start, view.rec.watermark(), true)?;
-        }
-    }
+        Ok(())
+    })?;
+    phase_b_chunks.extend_from_slice(&partial_chunks);
     stats.summaries_scanned += revisited;
+
+    let workers = view.workers(opts.parallelism, phase_b_chunks.len());
+    stats.workers_used = stats.workers_used.max(workers as u64);
+    let per_chunk = for_chunks(workers, &phase_b_chunks, &mut stats, |buf, addr| {
+        let mut chunk_values: Vec<f64> = Vec::new();
+        let out = view.scan_chunk_with_buf(addr, buf, |rec| {
+            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                if let Some(v) = (meta.extractor)(rec.payload) {
+                    if meta.spec.bin_of(v) == Some(target_bin) {
+                        chunk_values.push(v);
+                    }
+                }
+            }
+            ScanControl::Continue
+        })?;
+        Ok((chunk_values, out))
+    })?;
+    let mut values: Vec<f64> = per_chunk.into_iter().flatten().collect();
+    if plan.region_relevant {
+        let out = view.scan_region(plan.region_start, view.rec.watermark(), |rec| {
+            if rec.header.ts > range.end {
+                return ScanControl::Stop;
+            }
+            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                if let Some(v) = (meta.extractor)(rec.payload) {
+                    if meta.spec.bin_of(v) == Some(target_bin) {
+                        values.push(v);
+                    }
+                }
+            }
+            ScanControl::Continue
+        })?;
+        out.fold_into(&mut stats);
+    }
 
     if values.len() < rank_in_bin as usize {
         return Err(LoomError::Corrupt(format!(

@@ -9,6 +9,7 @@
 //! The module also implements the paper's index-ablation modes (§6.4):
 //! timestamp-index-only, chunk-index-only, and no-index execution.
 
+use super::executor::{self, RecordBatch};
 use super::planner::{self, SummaryPlan};
 use super::view::{QueryView, ScanControl};
 use super::{IndexMeta, QueryOptions, Record, TimeRange, ValueRange};
@@ -30,21 +31,26 @@ pub(crate) fn run<F>(
 where
     F: FnMut(Record<'_>),
 {
-    let mut stats = QueryStats::default();
+    let mut stats = QueryStats {
+        workers_used: 1,
+        ..QueryStats::default()
+    };
     match (opts.use_ts_index, opts.use_chunk_index) {
         (true, true) => {
             let plan = planner::plan(view, range)?;
-            scan_with_summaries(view, meta, range, values, &plan, &mut stats, &mut f)?;
+            scan_with_summaries(view, meta, range, values, &plan, opts, &mut stats, &mut f)?;
         }
         (false, true) => {
             let plan = planner::plan_full(view)?;
-            scan_with_summaries(view, meta, range, values, &plan, &mut stats, &mut f)?;
+            scan_with_summaries(view, meta, range, values, &plan, opts, &mut stats, &mut f)?;
         }
         (true, false) => {
+            // A single forward region scan with early stop: sequential by
+            // construction, so the pool is never used here.
             scan_ts_only(view, meta, range, values, &mut stats, &mut f)?;
         }
         (false, false) => {
-            scan_none(view, meta, range, values, &mut stats, &mut f)?;
+            scan_none(view, meta, range, values, opts, &mut stats, &mut f)?;
         }
     }
     Ok(stats)
@@ -64,6 +70,22 @@ fn bins_may_match(meta: &IndexMeta, summary: &ChunkSummary, values: &ValueRange)
     })
 }
 
+/// Whether a chunk record passes the source/time/value filters.
+fn record_matches(
+    meta: &IndexMeta,
+    range: TimeRange,
+    values: &ValueRange,
+    rec: &ChunkRecord<'_>,
+) -> bool {
+    if rec.header.source != meta.source.0 || !range.contains(rec.header.ts) {
+        return false;
+    }
+    let Some(v) = (meta.extractor)(rec.payload) else {
+        return false;
+    };
+    values.contains(v)
+}
+
 /// Emits a chunk record if it passes the source/time/value filters;
 /// returns whether it matched.
 fn filter_emit<F>(
@@ -76,13 +98,7 @@ fn filter_emit<F>(
 where
     F: FnMut(Record<'_>),
 {
-    if rec.header.source != meta.source.0 || !range.contains(rec.header.ts) {
-        return false;
-    }
-    let Some(v) = (meta.extractor)(rec.payload) else {
-        return false;
-    };
-    if !values.contains(v) {
+    if !record_matches(meta, range, values, rec) {
         return false;
     }
     f(Record {
@@ -94,13 +110,35 @@ where
     true
 }
 
+/// Delivers a worker-collected batch to the user callback, in log order.
+fn deliver_batch<F>(meta: &IndexMeta, batch: &RecordBatch, f: &mut F)
+where
+    F: FnMut(Record<'_>),
+{
+    batch.for_each(|addr, ts, payload| {
+        f(Record {
+            addr,
+            source: meta.source,
+            ts,
+            payload,
+        })
+    });
+}
+
 /// Default path: summaries select chunks; the tail region is scanned raw.
+///
+/// The selected chunks are scanned serially (one worker) or fanned across
+/// the worker pool; either way records are delivered in log order. The
+/// unsummarized tail region always stays serial — it is at most one chunk
+/// ahead of the last seal and its early-stop scan is inherently ordered.
+#[allow(clippy::too_many_arguments)]
 fn scan_with_summaries<F>(
     view: &QueryView<'_>,
     meta: &IndexMeta,
     range: TimeRange,
     values: ValueRange,
     plan: &SummaryPlan,
+    opts: QueryOptions,
     stats: &mut QueryStats,
     f: &mut F,
 ) -> Result<()>
@@ -120,15 +158,36 @@ where
             Ok(())
         },
     )?;
+    let workers = view.workers(opts.parallelism, chunks.len());
+    stats.workers_used = stats.workers_used.max(workers as u64);
     let mut matched = 0u64;
-    for chunk_addr in chunks {
-        let out = view.scan_chunk(chunk_addr, |rec| {
-            if filter_emit(meta, range, &values, rec, f) {
-                matched += 1;
-            }
-            ScanControl::Continue
+    if workers <= 1 {
+        let mut buf = Vec::new();
+        for chunk_addr in chunks {
+            let out = view.scan_chunk_with_buf(chunk_addr, &mut buf, |rec| {
+                if filter_emit(meta, range, &values, rec, f) {
+                    matched += 1;
+                }
+                ScanControl::Continue
+            })?;
+            out.fold_into(stats);
+        }
+    } else {
+        let batches = executor::map_chunks(workers, &chunks, |buf, chunk_addr| {
+            let mut batch = RecordBatch::default();
+            let out = view.scan_chunk_with_buf(chunk_addr, buf, |rec| {
+                if record_matches(meta, range, &values, rec) {
+                    batch.push(rec.addr, rec.header.ts, rec.payload);
+                }
+                ScanControl::Continue
+            })?;
+            Ok((out, batch))
         })?;
-        out.fold_into(stats);
+        for (out, batch) in &batches {
+            out.fold_into(stats);
+            matched += batch.len() as u64;
+            deliver_batch(meta, batch, f);
+        }
     }
 
     if plan.region_relevant {
@@ -187,11 +246,17 @@ where
 /// piece by chunk piece, until reaching data older than the range. This is
 /// what a raw-file scan does and makes latency grow with lookback
 /// distance (§6.4, Figure 16).
+///
+/// With 2+ workers, descending batches of pieces are scanned in parallel
+/// and delivered newest-first; pieces scanned past the terminating one
+/// (speculative over-read) are discarded without folding their counters,
+/// so statistics match the serial path exactly.
 fn scan_none<F>(
     view: &QueryView<'_>,
     meta: &IndexMeta,
     range: TimeRange,
     values: ValueRange,
+    opts: QueryOptions,
     stats: &mut QueryStats,
     f: &mut F,
 ) -> Result<()>
@@ -202,27 +267,76 @@ where
     if wm == 0 {
         return Ok(());
     }
+    let newest_piece = (wm - 1) / view.chunk_size;
+    let total_pieces = newest_piece as usize + 1;
+    let workers = view.workers(opts.parallelism, total_pieces);
+    stats.workers_used = stats.workers_used.max(workers as u64);
     let mut matched = 0u64;
-    let mut piece = (wm - 1) / view.chunk_size;
-    loop {
-        let addr = piece * view.chunk_size;
-        let mut piece_max_ts = 0u64;
-        let out = view.scan_region(addr, (addr + view.chunk_size).min(wm), |rec| {
-            piece_max_ts = piece_max_ts.max(rec.header.ts);
-            if filter_emit(meta, range, &values, rec, f) {
-                matched += 1;
+    if workers <= 1 {
+        let mut buf = Vec::new();
+        let mut piece = newest_piece;
+        loop {
+            let addr = piece * view.chunk_size;
+            let mut piece_max_ts = 0u64;
+            let out = view.scan_region_with_buf(
+                addr,
+                (addr + view.chunk_size).min(wm),
+                &mut buf,
+                |rec| {
+                    piece_max_ts = piece_max_ts.max(rec.header.ts);
+                    if filter_emit(meta, range, &values, rec, f) {
+                        matched += 1;
+                    }
+                    ScanControl::Continue
+                },
+            )?;
+            out.fold_into(stats);
+            // All earlier pieces hold only older records.
+            if piece_max_ts != 0 && piece_max_ts < range.start {
+                break;
             }
-            ScanControl::Continue
-        })?;
-        out.fold_into(stats);
-        // All earlier pieces hold only older records.
-        if piece_max_ts != 0 && piece_max_ts < range.start {
-            break;
+            if piece == 0 {
+                break;
+            }
+            piece -= 1;
         }
-        if piece == 0 {
-            break;
+    } else {
+        let mut next_piece = newest_piece;
+        'outer: loop {
+            // Pieces for this round, newest first.
+            let batch_len = ((workers * 2) as u64).min(next_piece + 1);
+            let pieces: Vec<u64> = (0..batch_len).map(|i| next_piece - i).collect();
+            let outputs = executor::map_chunks(workers, &pieces, |buf, piece| {
+                let addr = piece * view.chunk_size;
+                let mut piece_max_ts = 0u64;
+                let mut batch = RecordBatch::default();
+                let out = view.scan_region_with_buf(
+                    addr,
+                    (addr + view.chunk_size).min(wm),
+                    buf,
+                    |rec| {
+                        piece_max_ts = piece_max_ts.max(rec.header.ts);
+                        if record_matches(meta, range, &values, rec) {
+                            batch.push(rec.addr, rec.header.ts, rec.payload);
+                        }
+                        ScanControl::Continue
+                    },
+                )?;
+                Ok((out, batch, piece_max_ts))
+            })?;
+            for (out, batch, piece_max_ts) in &outputs {
+                out.fold_into(stats);
+                matched += batch.len() as u64;
+                deliver_batch(meta, batch, f);
+                if *piece_max_ts != 0 && *piece_max_ts < range.start {
+                    break 'outer;
+                }
+            }
+            if next_piece + 1 == batch_len {
+                break;
+            }
+            next_piece -= batch_len;
         }
-        piece -= 1;
     }
     stats.records_matched += matched;
     Ok(())

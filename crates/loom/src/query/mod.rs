@@ -4,11 +4,21 @@
 //! to locate relevant positions in the chunk index and record log, use
 //! chunk summaries to skip or pre-aggregate chunks, and scan only the
 //! chunks that can contain matching records (plus the active, not-yet-
-//! summarized tail region). Every operator runs single-threaded with a
-//! bounded memory footprint (at most a snapshot of the in-memory log
-//! tails plus one chunk buffer).
+//! summarized tail region).
+//!
+//! Candidate chunks are immutable once summarized and selected up front,
+//! so operators can fan chunk scans across a scoped worker pool (see
+//! [`executor`]): `QueryOptions::parallelism` (or the
+//! `Config::query_threads` default) picks the pool size, and per-chunk
+//! results are merged back in log order so output is identical for every
+//! pool size. With one worker (the default) operators run entirely on the
+//! calling thread with a bounded memory footprint (a snapshot of the
+//! in-memory log tails plus one chunk buffer); with N workers the
+//! footprint adds one chunk buffer and the in-flight result batches per
+//! worker.
 
 mod aggregate;
+mod executor;
 mod indexed_scan;
 mod planner;
 mod raw_scan;
@@ -16,9 +26,12 @@ mod view;
 
 pub(crate) use view::QueryView;
 
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
 use crate::engine::Loom;
 use crate::error::{LoomError, Result};
-use crate::registry::{IndexId, SourceId};
+use crate::registry::{IndexId, SourceId, SourceShared};
 use crate::stats::QueryStats;
 
 /// An inclusive time range on Loom's internal (arrival) timeline.
@@ -142,7 +155,8 @@ pub struct AggregateResult {
     pub stats: QueryStats,
 }
 
-/// Ablation switches for query execution (§6.4, Figure 16).
+/// Per-query execution options: the paper's index-ablation switches
+/// (§6.4, Figure 16) plus the worker-pool size.
 ///
 /// Production use keeps both indexes on (the default); the switches exist
 /// to reproduce the paper's index ablation study.
@@ -152,6 +166,13 @@ pub struct QueryOptions {
     pub use_ts_index: bool,
     /// Use chunk summaries to skip and pre-aggregate chunks.
     pub use_chunk_index: bool,
+    /// Worker threads for chunk-parallel stages; `None` (the default)
+    /// uses [`Config::query_threads`](crate::Config::query_threads).
+    ///
+    /// Results are merged deterministically in log order, so a query
+    /// returns identical output for every setting; `1` runs the original
+    /// serial code path.
+    pub parallelism: Option<NonZeroUsize>,
 }
 
 impl Default for QueryOptions {
@@ -159,7 +180,16 @@ impl Default for QueryOptions {
         QueryOptions {
             use_ts_index: true,
             use_chunk_index: true,
+            parallelism: None,
         }
+    }
+}
+
+impl QueryOptions {
+    /// Sets the worker-pool size; `0` restores the config default.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = NonZeroUsize::new(workers);
+        self
     }
 }
 
@@ -205,7 +235,7 @@ impl Loom {
         F: FnMut(Record<'_>),
     {
         let meta = self.index_meta(source, index)?;
-        let view = QueryView::capture(&self.inner, source)?;
+        let view = QueryView::capture_from(&self.inner, &meta.source_shared)?;
         indexed_scan::run(&view, &meta, range, values, opts, f)
     }
 
@@ -218,9 +248,22 @@ impl Loom {
         range: TimeRange,
         method: Aggregate,
     ) -> Result<AggregateResult> {
+        self.indexed_aggregate_opt(source, index, range, method, QueryOptions::default())
+    }
+
+    /// [`Loom::indexed_aggregate`] with explicit execution options
+    /// (only [`QueryOptions::parallelism`] affects aggregates).
+    pub fn indexed_aggregate_opt(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        range: TimeRange,
+        method: Aggregate,
+        opts: QueryOptions,
+    ) -> Result<AggregateResult> {
         let meta = self.index_meta(source, index)?;
-        let view = QueryView::capture(&self.inner, source)?;
-        aggregate::run(&view, &meta, range, method)
+        let view = QueryView::capture_from(&self.inner, &meta.source_shared)?;
+        aggregate::run(&view, &meta, range, method, opts)
     }
 
     /// Returns the per-bin record counts of `index` over `range` — the
@@ -236,9 +279,21 @@ impl Loom {
         index: IndexId,
         range: TimeRange,
     ) -> Result<(Vec<u64>, QueryStats)> {
+        self.bin_counts_opt(source, index, range, QueryOptions::default())
+    }
+
+    /// [`Loom::bin_counts`] with explicit execution options
+    /// (only [`QueryOptions::parallelism`] affects bin counting).
+    pub fn bin_counts_opt(
+        &self,
+        source: SourceId,
+        index: IndexId,
+        range: TimeRange,
+        opts: QueryOptions,
+    ) -> Result<(Vec<u64>, QueryStats)> {
         let meta = self.index_meta(source, index)?;
-        let view = QueryView::capture(&self.inner, source)?;
-        aggregate::bin_counts(&view, &meta, range)
+        let view = QueryView::capture_from(&self.inner, &meta.source_shared)?;
+        aggregate::bin_counts(&view, &meta, range, opts)
     }
 
     /// Returns the histogram specification of an index (validating that
@@ -248,7 +303,7 @@ impl Loom {
         source: SourceId,
         index: IndexId,
     ) -> Result<crate::histogram::HistogramSpec> {
-        Ok(self.index_meta(source, index)?.spec)
+        Ok(self.index_meta(source, index)?.spec.as_ref().clone())
     }
 
     /// Applies an index's value-extraction function to raw payload bytes
@@ -268,6 +323,11 @@ impl Loom {
     }
 
     /// Resolves and validates the (source, index) pair.
+    ///
+    /// Takes the registry read lock exactly once per query: the histogram
+    /// spec is `Arc`-shared rather than deep-cloned, and the source's
+    /// shared handle is captured so the subsequent view capture does not
+    /// re-lock the registry.
     fn index_meta(&self, source: SourceId, index: IndexId) -> Result<IndexMeta> {
         let registry = self.inner.registry.read();
         let entry = registry.index(index)?;
@@ -278,11 +338,13 @@ impl Loom {
                 got_source: source.0,
             });
         }
+        let source_shared = Arc::clone(&registry.source(source)?.shared);
         Ok(IndexMeta {
             id: index,
             source,
-            extractor: std::sync::Arc::clone(&entry.extractor),
-            spec: entry.spec.clone(),
+            source_shared,
+            extractor: Arc::clone(&entry.extractor),
+            spec: Arc::clone(&entry.spec),
         })
     }
 }
@@ -291,6 +353,7 @@ impl Loom {
 pub(crate) struct IndexMeta {
     pub(crate) id: IndexId,
     pub(crate) source: SourceId,
+    pub(crate) source_shared: Arc<SourceShared>,
     pub(crate) extractor: crate::registry::ValueFn,
-    pub(crate) spec: crate::histogram::HistogramSpec,
+    pub(crate) spec: Arc<crate::histogram::HistogramSpec>,
 }

@@ -8,11 +8,13 @@
 //! snapshots. The view is the query's linearization point: data published
 //! before the first snapshot is visible; later data is not (§4.5).
 
+use std::num::NonZeroUsize;
+
 use crate::engine::Inner;
 use crate::error::Result;
 use crate::hybridlog::Snapshot;
 use crate::record::{ChunkIter, ChunkRecord, RecordHeader, RECORD_HEADER_SIZE};
-use crate::registry::SourceId;
+use crate::registry::{SourceId, SourceShared};
 use crate::stats::QueryStats;
 
 /// A consistent, point-in-time view over the three logs.
@@ -28,22 +30,41 @@ pub(crate) struct QueryView<'a> {
     pub source_last: u64,
     /// Record-log chunk size.
     pub chunk_size: u64,
+    /// Default worker-pool size for this view's queries
+    /// (`Config::query_threads`).
+    pub query_threads: usize,
 }
+
+// The parallel executor shares one view (and its three snapshots) across
+// scoped worker threads by reference. Everything inside is either immutable
+// owned data or atomics/raw blocks that `hybridlog` explicitly declares
+// thread-safe, so both types must remain `Send + Sync`; this assertion
+// turns an accidental regression (e.g., adding a `Cell` field) into a
+// compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot<'static>>();
+    assert_send_sync::<QueryView<'static>>();
+};
 
 impl<'a> QueryView<'a> {
     /// Captures a view for a query over `source`.
     pub fn capture(inner: &'a Inner, source: SourceId) -> Result<Self> {
+        let shared = std::sync::Arc::clone(&inner.registry.read().source(source)?.shared);
+        Self::capture_from(inner, &shared)
+    }
+
+    /// Captures a view given the source's shared state, without touching
+    /// the registry lock (callers that already resolved index metadata
+    /// hold the source handle and skip a second lock acquisition).
+    pub fn capture_from(inner: &'a Inner, source: &SourceShared) -> Result<Self> {
         let ts = inner.ts_log.snapshot()?;
         let chunk = inner.chunk_log.snapshot()?;
         // Load the source pointer *before* the record snapshot: the writer
         // publishes the record-log watermark before the pointer, so the
         // acquire load here guarantees the record snapshot (taken after)
         // covers the pointed-to record.
-        let source_last = inner
-            .registry
-            .read()
-            .source(source)?
-            .shared
+        let source_last = source
             .last_record
             .load(std::sync::atomic::Ordering::Acquire);
         let rec = inner.record_log.snapshot()?;
@@ -53,7 +74,19 @@ impl<'a> QueryView<'a> {
             rec,
             source_last,
             chunk_size: inner.config.chunk_size as u64,
+            query_threads: inner.config.query_threads,
         })
+    }
+
+    /// Resolves the worker-pool size for a stage with `tasks` independent
+    /// chunk scans: an explicit per-query override beats the config
+    /// default, and the pool never exceeds the task count.
+    pub fn workers(&self, requested: Option<NonZeroUsize>, tasks: usize) -> usize {
+        requested
+            .map(|n| n.get())
+            .unwrap_or(self.query_threads)
+            .min(tasks)
+            .max(1)
     }
 
     /// Reads a record header from the record log.
@@ -76,7 +109,28 @@ impl<'a> QueryView<'a> {
     ///
     /// Returns the scan's I/O and record counters; `stopped` is set if the
     /// callback requested an early stop.
-    pub fn scan_region<F>(&self, from: u64, to: u64, mut f: F) -> Result<RegionScan>
+    pub fn scan_region<F>(&self, from: u64, to: u64, f: F) -> Result<RegionScan>
+    where
+        F: FnMut(&ChunkRecord<'_>) -> ScanControl,
+    {
+        let mut buf = Vec::new();
+        self.scan_region_with_buf(from, to, &mut buf, f)
+    }
+
+    /// [`Self::scan_region`] with a caller-owned chunk buffer.
+    ///
+    /// The buffer is grown (and zero-initialized) to the chunk size at
+    /// most once and then reused for every piece, so repeated scans —
+    /// the serial chunk loop as well as each pool worker — pay neither a
+    /// per-piece allocation nor the redundant `resize` memset that
+    /// `read_at` would immediately overwrite.
+    pub fn scan_region_with_buf<F>(
+        &self,
+        from: u64,
+        to: u64,
+        buf: &mut Vec<u8>,
+        mut f: F,
+    ) -> Result<RegionScan>
     where
         F: FnMut(&ChunkRecord<'_>) -> ScanControl,
     {
@@ -84,14 +138,16 @@ impl<'a> QueryView<'a> {
         let to = to.min(self.rec.watermark());
         let mut out = RegionScan::default();
         let mut pos = from;
-        let mut buf = Vec::new();
         while pos < to {
             let len = self.chunk_size.min(to - pos) as usize;
-            buf.resize(len, 0);
-            self.rec.read_at(pos, &mut buf)?;
+            if buf.len() < len {
+                buf.resize(len, 0);
+            }
+            let piece = &mut buf[..len];
+            self.rec.read_at(pos, piece)?;
             out.chunks += 1;
             out.bytes += len as u64;
-            for rec in ChunkIter::new(&buf, pos) {
+            for rec in ChunkIter::new(piece, pos) {
                 let rec = rec?;
                 out.records += 1;
                 match f(&rec) {
@@ -108,12 +164,17 @@ impl<'a> QueryView<'a> {
     }
 
     /// Scans one chunk at `chunk_addr` (clamped to the watermark),
-    /// invoking `f` for every record.
-    pub fn scan_chunk<F>(&self, chunk_addr: u64, f: F) -> Result<RegionScan>
+    /// invoking `f` for every record, with a caller-owned reusable buffer.
+    pub fn scan_chunk_with_buf<F>(
+        &self,
+        chunk_addr: u64,
+        buf: &mut Vec<u8>,
+        f: F,
+    ) -> Result<RegionScan>
     where
         F: FnMut(&ChunkRecord<'_>) -> ScanControl,
     {
-        self.scan_region(chunk_addr, chunk_addr + self.chunk_size, f)
+        self.scan_region_with_buf(chunk_addr, chunk_addr + self.chunk_size, buf, f)
     }
 }
 

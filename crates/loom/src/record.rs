@@ -191,7 +191,7 @@ mod tests {
         chunk.extend(mk(SOURCE_PAD, &[0u8; 8], 0, 0));
         chunk.extend(mk(1, b"cccccc", 0, 12));
         // Zeroed tail.
-        chunk.extend(std::iter::repeat(0u8).take(40));
+        chunk.extend(std::iter::repeat_n(0u8, 40));
 
         let records: Vec<_> = ChunkIter::new(&chunk, 1000)
             .collect::<Result<Vec<_>>>()

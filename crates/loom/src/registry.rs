@@ -68,8 +68,9 @@ pub struct IndexEntry {
     pub source: SourceId,
     /// Value extractor applied to each record payload.
     pub extractor: ValueFn,
-    /// Histogram bin specification.
-    pub spec: HistogramSpec,
+    /// Histogram bin specification, `Arc`-shared so per-query metadata
+    /// capture clones a pointer instead of the bin-boundary vector.
+    pub spec: Arc<HistogramSpec>,
     /// Closed indexes stop being maintained for new chunks.
     pub closed: bool,
 }
@@ -146,7 +147,7 @@ impl Registry {
             IndexEntry {
                 source,
                 extractor,
-                spec,
+                spec: Arc::new(spec),
                 closed: false,
             },
         );

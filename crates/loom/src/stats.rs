@@ -81,6 +81,11 @@ pub struct QueryStats {
     pub records_matched: u64,
     /// Bytes read from the record log.
     pub bytes_read: u64,
+    /// Largest worker-pool size any stage of the query executed with
+    /// (`1` or `0` = fully serial execution). Per-worker chunk/byte
+    /// counters are folded into the fields above in log order, so they
+    /// stay exact regardless of this value.
+    pub workers_used: u64,
 }
 
 impl QueryStats {
@@ -91,6 +96,7 @@ impl QueryStats {
         self.records_scanned += other.records_scanned;
         self.records_matched += other.records_matched;
         self.bytes_read += other.bytes_read;
+        self.workers_used = self.workers_used.max(other.workers_used);
     }
 }
 
@@ -121,10 +127,13 @@ mod tests {
             records_scanned: 3,
             records_matched: 4,
             bytes_read: 5,
+            workers_used: 1,
         };
-        let b = a;
+        let mut b = a;
+        b.workers_used = 4;
         a.merge(&b);
         assert_eq!(a.summaries_scanned, 2);
         assert_eq!(a.bytes_read, 10);
+        assert_eq!(a.workers_used, 4, "workers_used merges by max, not sum");
     }
 }

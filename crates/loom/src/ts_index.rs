@@ -127,7 +127,7 @@ impl<'a, R: LogRead> TsIndexView<'a, R> {
     /// Reads the entry stored at log address `addr` (used to follow `prev`
     /// pointers).
     pub fn entry_at_addr(&self, addr: u64) -> Result<TsEntry> {
-        if addr % TS_ENTRY_SIZE as u64 != 0 {
+        if !addr.is_multiple_of(TS_ENTRY_SIZE as u64) {
             return Err(LoomError::Corrupt(format!(
                 "misaligned timestamp entry address {addr}"
             )));

@@ -7,7 +7,10 @@ use proptest::prelude::*;
 use loom::histogram::HistogramSpec;
 use loom::record::{ChunkIter, RecordHeader, NIL_ADDR};
 use loom::summary::ChunkSummary;
-use loom::{extract, Aggregate, Clock, Config, Loom, TimeRange, ValueRange};
+use loom::{
+    extract, Aggregate, Clock, Config, IndexId, Loom, QueryOptions, QueryStats, SourceId,
+    TimeRange, ValueRange,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -67,7 +70,7 @@ proptest! {
             chunk.extend_from_slice(&h.encode());
             chunk.extend_from_slice(payload);
         }
-        chunk.extend(std::iter::repeat(0u8).take(32));
+        chunk.extend(std::iter::repeat_n(0u8, 32));
         let got: Vec<_> = ChunkIter::new(&chunk, 0)
             .collect::<Result<Vec<_>, _>>()
             .unwrap();
@@ -166,6 +169,161 @@ proptest! {
         win in (0usize..600, 0usize..600),
     ) {
         check_workload(values, gaps, win)?;
+    }
+}
+
+/// Runs an indexed scan and collects every delivered record verbatim:
+/// address, timestamp, and payload bytes, in delivery order.
+fn collect_scan(
+    loom: &Loom,
+    s: SourceId,
+    idx: IndexId,
+    range: TimeRange,
+    vr: ValueRange,
+    opts: QueryOptions,
+) -> (Vec<(u64, u64, Vec<u8>)>, QueryStats) {
+    let mut got = Vec::new();
+    let stats = loom
+        .indexed_scan_opt(s, idx, range, vr, opts, |r| {
+            got.push((r.addr, r.ts, r.payload.to_vec()));
+        })
+        .unwrap();
+    (got, stats)
+}
+
+/// One random workload checked for serial/parallel equivalence: every
+/// operator must produce byte-identical output (and identical scan
+/// statistics) no matter the worker-pool size.
+fn check_parallel_equivalence(
+    values: Vec<u16>,
+    gaps: Vec<u8>,
+    win: (usize, usize),
+    vwin: (u16, u16),
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let dir = std::env::temp_dir().join(format!(
+        "loom-prop-par-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) =
+        Loom::open_with_clock(Config::small(&dir), Clock::manual(100)).unwrap();
+    let s = loom.define_source("src");
+    let spec = HistogramSpec::uniform(0.0, 65_536.0, 8).unwrap();
+    let idx = loom.define_index(s, extract::u64_le_at(0), spec).unwrap();
+
+    let mut pushed: Vec<(u64, u64)> = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        let dt = 1 + gaps.get(i % gaps.len().max(1)).copied().unwrap_or(1) as u64;
+        let ts = loom.clock().advance(dt);
+        writer.push(s, &(*v as u64).to_le_bytes()).unwrap();
+        pushed.push((ts, *v as u64));
+    }
+
+    let (a, b) = win;
+    let lo = a.min(values.len() - 1);
+    let hi = b.min(values.len() - 1);
+    let range = TimeRange::new(pushed[lo.min(hi)].0, pushed[lo.max(hi)].0);
+    let vr = ValueRange::new(vwin.0.min(vwin.1) as f64, vwin.0.max(vwin.1) as f64);
+
+    let serial = QueryOptions::default().with_parallelism(1);
+    let parallel = QueryOptions::default().with_parallelism(threads);
+
+    // Indexed scan, in every ablation mode that has a parallel stage:
+    // records must come back byte-identical and in identical order.
+    for (use_ts, use_chunk) in [(true, true), (false, true), (false, false)] {
+        let s_opts = QueryOptions {
+            use_ts_index: use_ts,
+            use_chunk_index: use_chunk,
+            ..serial
+        };
+        let p_opts = QueryOptions {
+            use_ts_index: use_ts,
+            use_chunk_index: use_chunk,
+            ..parallel
+        };
+        let (s_recs, s_stats) = collect_scan(&loom, s, idx, range, vr, s_opts);
+        let (p_recs, p_stats) = collect_scan(&loom, s, idx, range, vr, p_opts);
+        prop_assert_eq!(
+            &s_recs,
+            &p_recs,
+            "scan output diverges (ts={} chunk={} threads={})",
+            use_ts,
+            use_chunk,
+            threads
+        );
+        // The scan statistics are exact regardless of pool size; only the
+        // reported pool size itself may differ.
+        prop_assert_eq!(
+            QueryStats {
+                workers_used: 0,
+                ..s_stats
+            },
+            QueryStats {
+                workers_used: 0,
+                ..p_stats
+            },
+            "scan stats diverge (ts={} chunk={} threads={})",
+            use_ts,
+            use_chunk,
+            threads
+        );
+    }
+
+    // Aggregates: bit-identical for every variant (per-chunk partials are
+    // merged in chunk order on both paths, so float association matches).
+    for method in [
+        Aggregate::Count,
+        Aggregate::Sum,
+        Aggregate::Min,
+        Aggregate::Max,
+        Aggregate::Mean,
+        Aggregate::Percentile(0.0),
+        Aggregate::Percentile(50.0),
+        Aggregate::Percentile(99.0),
+        Aggregate::Percentile(100.0),
+    ] {
+        let sr = loom
+            .indexed_aggregate_opt(s, idx, range, method, serial)
+            .unwrap();
+        let pr = loom
+            .indexed_aggregate_opt(s, idx, range, method, parallel)
+            .unwrap();
+        prop_assert_eq!(
+            sr.value.map(f64::to_bits),
+            pr.value.map(f64::to_bits),
+            "{:?} diverges at {} threads: {:?} vs {:?}",
+            method,
+            threads,
+            sr.value,
+            pr.value
+        );
+        prop_assert_eq!(sr.count, pr.count, "{:?} count diverges", method);
+    }
+
+    // Bin counts (the coordinator's composition primitive).
+    let (s_counts, _) = loom.bin_counts_opt(s, idx, range, serial).unwrap();
+    let (p_counts, _) = loom.bin_counts_opt(s, idx, range, parallel).unwrap();
+    prop_assert_eq!(s_counts, p_counts);
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_execution_is_equivalent_to_serial(
+        values in proptest::collection::vec(any::<u16>(), 1..600),
+        gaps in proptest::collection::vec(1u8..20, 1..8),
+        win in (0usize..600, 0usize..600),
+        vwin in (any::<u16>(), any::<u16>()),
+        threads in 2usize..9,
+    ) {
+        check_parallel_equivalence(values, gaps, win, vwin, threads)?;
     }
 }
 

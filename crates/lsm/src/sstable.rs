@@ -414,10 +414,8 @@ impl Iterator for TableIter<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if !self.loaded || self.pos >= self.block.len() {
-                if !self.load_next_block() {
-                    return None;
-                }
+            if (!self.loaded || self.pos >= self.block.len()) && !self.load_next_block() {
+                return None;
             }
             // Decode one entry at pos.
             if self.pos + 8 > self.block.len() {

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the multi-producer multi-consumer channel subset the workspace
+//! uses (`unbounded`, `bounded`, cloneable `Sender`/`Receiver`, `send`,
+//! `try_send`, `recv`, `try_recv`, `recv_timeout`, disconnect-on-drop) on a
+//! `Mutex<VecDeque>` + two condvars. Crossbeam proper is lock-free; this shim
+//! trades that for zero external dependencies while keeping identical
+//! semantics, which is what the flusher/pipeline threads in this workspace
+//! rely on.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    impl<T> Shared<T> {
+        fn new(cap: Option<usize>) -> Arc<Self> {
+            Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    senders: 1,
+                    receivers: 1,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                cap,
+            })
+        }
+
+        fn full(&self, inner: &Inner<T>) -> bool {
+            self.cap.is_some_and(|c| inner.queue.len() >= c)
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Shared::new(None);
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Creates a bounded MPMC channel. A capacity of zero is treated as one:
+    /// the zero-capacity rendezvous channel is not needed by this workspace.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Shared::new(Some(cap.max(1)));
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued or every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if !self.0.full(&inner) {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.0.not_full.wait(inner).unwrap();
+            }
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if self.0.full(&inner) {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is gone and the
+        /// queue has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+                if res.timed_out() && inner.queue.is_empty() {
+                    if inner.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_backpressure_and_mpmc() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(tx.try_send(3).unwrap_err().is_full());
+        let rx2 = rx.clone();
+        assert_eq!(rx2.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        drop(rx2);
+        assert!(tx.try_send(4).unwrap_err().is_disconnected());
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let h = std::thread::spawn(move || tx.send(9).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        h.join().unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,572 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), `Strategy` with
+//! `prop_map`, `any::<T>()`, `Just`, tuple/range strategies,
+//! `collection::{vec, btree_set}`, `prop_oneof!` (weighted), and
+//! `prop_assert!`/`prop_assert_eq!` returning `TestCaseError`.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (derived from the test's module path and
+//! case number), and there is NO shrinking — a failure reports the exact
+//! inputs of the failing case instead of a minimized counterexample.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property: carries the rendered assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError(message.into())
+        }
+
+        /// Mirrors proptest's `TestCaseError::Reject` loosely: rejected
+        /// cases are treated as failures here (no strategy filtering is
+        /// implemented, so rejects should not occur).
+        pub fn reject<S: Into<String>>(message: S) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The concrete RNG handed to strategies (keeps `Strategy` object-safe).
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Deterministic seed per (test name, case index): reruns of a
+        /// failing test replay the identical input sequence.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            use rand::SeedableRng;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let seed = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// just draws one value per case.
+    pub trait Strategy {
+        type Value;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            (**self).sample_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Weighted choice between boxed alternative strategies
+    /// (the expansion of `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        pub fn arm<S>(mut self, weight: u32, strategy: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            self.arms.push((weight, Box::new(strategy)));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            let total: u32 = self.arms.iter().map(|(w, _)| w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            let mut pick = rng.random_range(0..total);
+            for (weight, strategy) in &self.arms {
+                if pick < *weight {
+                    return strategy.sample_value(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    use rand::Rng;
+                    rng.random()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for generated collections (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set below target; retry a bounded
+            // number of times (sparse domains make exact sizes cheap).
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(20) + 64 {
+                set.insert(self.element.sample_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset this workspace uses):
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(any::<u8>(), 0..64)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = ($cfg).cases;
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __sampled = $crate::strategy::Strategy::sample_value(&($strategy), &mut __rng);
+                        {
+                            use ::std::fmt::Write as _;
+                            if !__inputs.is_empty() {
+                                __inputs.push_str(", ");
+                            }
+                            let _ = ::core::write!(__inputs, "{} = {:?}", stringify!($arg), &__sampled);
+                        }
+                        let $arg = __sampled;
+                    )*
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(__err) = __result {
+                        ::core::panic!(
+                            "proptest {} failed at case {}/{}\n  inputs: {}\n  {}",
+                            stringify!($name),
+                            __case,
+                            __cases,
+                            __inputs,
+                            __err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (or any function returning
+/// `Result<_, TestCaseError>`), reporting the failing inputs on error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                            __left, __right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+                            ::std::format!($($fmt)+), __left, __right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!("assertion failed: `left != right`\n  both: `{:?}`", __left),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()
+            $(.arm(($weight) as u32, $strategy))+
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()
+            $(.arm(1u32, $strategy))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u64) -> Result<(), TestCaseError> {
+        prop_assert!(x < u64::MAX, "x = {}", x);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u32..100, f in -1.0..1.0f64, win in (0usize..10, 0usize..10)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(win.0 < 10 && win.1 < 10);
+            helper(x as u64)?;
+        }
+
+        #[test]
+        fn collections_respect_size_bounds(
+            v in crate::collection::vec(any::<u8>(), 3..6),
+            s in crate::collection::btree_set(0u32..1_000_000, 2..12),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!((2..12).contains(&s.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(choice in prop_oneof![
+            3 => (0u8..10).prop_map(|x| x as u16),
+            1 => Just(999u16),
+        ]) {
+            prop_assert!(choice < 10 || choice == 999);
+            prop_assert_eq!(choice, choice);
+            prop_assert_ne!(choice, 1000);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(any::<u64>(), 4..9);
+        let a = s.sample_value(&mut TestRng::for_case("t", 5));
+        let b = s.sample_value(&mut TestRng::for_case("t", 5));
+        assert_eq!(a, b);
+    }
+}

@@ -108,14 +108,14 @@ impl TelemetrySink for RawFileSink {
     fn push(&mut self, kind: SourceKind, ts: u64, bytes: &[u8]) -> bool {
         self.offered += 1;
         // [kind u16][len u16][ts u64][bytes]
-        let ok = self.file.write_all(&kind.id().to_le_bytes()).is_ok()
+
+        self.file.write_all(&kind.id().to_le_bytes()).is_ok()
             && self
                 .file
                 .write_all(&(bytes.len() as u16).to_le_bytes())
                 .is_ok()
             && self.file.write_all(&ts.to_le_bytes()).is_ok()
-            && self.file.write_all(bytes).is_ok();
-        ok
+            && self.file.write_all(bytes).is_ok()
     }
 
     fn flush(&mut self) {

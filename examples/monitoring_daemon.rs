@@ -63,7 +63,7 @@ fn main() -> loom::Result<()> {
                 };
                 handle.push(kind, ts, &rec.encode());
                 seq += 1;
-                if seq % 256 == 0 {
+                if seq.is_multiple_of(256) {
                     std::thread::sleep(Duration::from_micros(period_us * 256));
                 }
             }
