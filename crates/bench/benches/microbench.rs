@@ -127,20 +127,30 @@ fn bench_query_operators(c: &mut Criterion) {
 
     c.bench_function("indexed_aggregate_max_500k", |b| {
         b.iter(|| {
-            loom.indexed_aggregate(src, idx, range, Aggregate::Max)
+            loom.query(src)
+                .index(idx)
+                .range(range)
+                .aggregate(Aggregate::Max)
                 .unwrap()
         });
     });
     c.bench_function("indexed_aggregate_p9999_500k", |b| {
         b.iter(|| {
-            loom.indexed_aggregate(src, idx, range, Aggregate::Percentile(99.99))
+            loom.query(src)
+                .index(idx)
+                .range(range)
+                .aggregate(Aggregate::Percentile(99.99))
                 .unwrap()
         });
     });
     c.bench_function("indexed_scan_rare_500k", |b| {
         b.iter(|| {
             let mut n = 0u64;
-            loom.indexed_scan(src, idx, range, ValueRange::at_least(999_000.0), |_| n += 1)
+            loom.query(src)
+                .index(idx)
+                .range(range)
+                .value_range(ValueRange::at_least(999_000.0))
+                .scan(|_| n += 1)
                 .unwrap();
             std::hint::black_box(n)
         });

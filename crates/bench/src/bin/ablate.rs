@@ -74,14 +74,19 @@ fn main() {
         let scan_t = min_time(3, || {
             let mut n = 0;
             scanned_stats = l
-                .indexed_scan(s, idx, range, ValueRange::at_least(10_000_000.0), |_| {
-                    n += 1
-                })
+                .query(s)
+                .index(idx)
+                .range(range)
+                .value_range(ValueRange::at_least(10_000_000.0))
+                .scan(|_| n += 1)
                 .expect("scan");
             assert_eq!(n, (RECORDS / 10_000) as usize);
         });
         let pctl_t = min_time(3, || {
-            l.indexed_aggregate(s, idx, range, Aggregate::Percentile(99.99))
+            l.query(s)
+                .index(idx)
+                .range(range)
+                .aggregate(Aggregate::Percentile(99.99))
                 .expect("pctl");
         });
         table.row(&[

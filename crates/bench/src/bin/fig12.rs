@@ -64,25 +64,21 @@ fn slow_requests(sys: &Systems, window: (u64, u64)) -> [(std::time::Duration, u6
         let p = sys
             .loom
             .loom
-            .indexed_aggregate(
-                sys.loom.app,
-                sys.loom.app_latency,
-                range,
-                loom::Aggregate::Percentile(99.99),
-            )
+            .query(sys.loom.app)
+            .index(sys.loom.app_latency)
+            .range(range)
+            .aggregate(loom::Aggregate::Percentile(99.99))
             .expect("pctl")
             .value
             .unwrap_or(f64::INFINITY);
         let mut n = 0u64;
         sys.loom
             .loom
-            .indexed_scan(
-                sys.loom.app,
-                sys.loom.app_latency,
-                range,
-                loom::ValueRange::at_least(p),
-                |_| n += 1,
-            )
+            .query(sys.loom.app)
+            .index(sys.loom.app_latency)
+            .range(range)
+            .value_range(loom::ValueRange::at_least(p))
+            .scan(|_| n += 1)
             .expect("scan");
         n
     });
@@ -148,25 +144,21 @@ fn slow_sendto(sys: &Systems, window: (u64, u64)) -> [(std::time::Duration, u64)
         let p = sys
             .loom
             .loom
-            .indexed_aggregate(
-                sys.loom.syscall,
-                sys.loom.sendto_latency,
-                range,
-                loom::Aggregate::Percentile(99.99),
-            )
+            .query(sys.loom.syscall)
+            .index(sys.loom.sendto_latency)
+            .range(range)
+            .aggregate(loom::Aggregate::Percentile(99.99))
             .expect("pctl")
             .value
             .unwrap_or(f64::INFINITY);
         let mut n = 0u64;
         sys.loom
             .loom
-            .indexed_scan(
-                sys.loom.syscall,
-                sys.loom.sendto_latency,
-                range,
-                loom::ValueRange::at_least(p),
-                |_| n += 1,
-            )
+            .query(sys.loom.syscall)
+            .index(sys.loom.sendto_latency)
+            .range(range)
+            .value_range(loom::ValueRange::at_least(p))
+            .scan(|_| n += 1)
             .expect("scan");
         n
     });
@@ -230,28 +222,24 @@ fn max_request(sys: &Systems, window: (u64, u64)) -> ([(std::time::Duration, u64
         let max = sys
             .loom
             .loom
-            .indexed_aggregate(
-                sys.loom.app,
-                sys.loom.app_latency,
-                range,
-                loom::Aggregate::Max,
-            )
+            .query(sys.loom.app)
+            .index(sys.loom.app_latency)
+            .range(range)
+            .aggregate(loom::Aggregate::Max)
             .expect("max")
             .value
             .unwrap_or(0.0);
         let mut n = 0u64;
         sys.loom
             .loom
-            .indexed_scan(
-                sys.loom.app,
-                sys.loom.app_latency,
-                range,
-                loom::ValueRange::new(max, max),
-                |r| {
-                    n += 1;
-                    max_ts = r.ts;
-                },
-            )
+            .query(sys.loom.app)
+            .index(sys.loom.app_latency)
+            .range(range)
+            .value_range(loom::ValueRange::new(max, max))
+            .scan(|r| {
+                n += 1;
+                max_ts = r.ts;
+            })
             .expect("scan");
         n
     });

@@ -46,7 +46,10 @@ fn latency_aggregate(
     let (loom_v, loom_t) = time(|| {
         sys.loom
             .loom
-            .indexed_aggregate(loom_source, loom_index, range, method)
+            .query(loom_source)
+            .index(loom_index)
+            .range(range)
+            .aggregate(method)
             .expect("aggregate")
             .value
     });
@@ -114,12 +117,10 @@ fn page_cache_count(sys: &Systems, window: (u64, u64)) -> QueryResult {
     let (loom_v, loom_t) = time(|| {
         sys.loom
             .loom
-            .indexed_aggregate(
-                sys.loom.page_cache,
-                sys.loom.page_cache_adds,
-                range,
-                loom::Aggregate::Count,
-            )
+            .query(sys.loom.page_cache)
+            .index(sys.loom.page_cache_adds)
+            .range(range)
+            .aggregate(loom::Aggregate::Count)
             .expect("count")
             .value
     });

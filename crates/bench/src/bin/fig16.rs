@@ -95,19 +95,17 @@ fn main() {
 
     // Warm the file cache once with a full-log scan.
     let mut sink = 0u64;
-    l.indexed_scan_opt(
-        syscalls,
-        latency_idx,
-        TimeRange::new(0, now),
-        ValueRange::all(),
-        QueryOptions {
+    l.query(syscalls)
+        .index(latency_idx)
+        .range(TimeRange::new(0, now))
+        .value_range(ValueRange::all())
+        .options(QueryOptions {
             use_ts_index: false,
             use_chunk_index: false,
             parallelism: None,
-        },
-        |_| sink += 1,
-    )
-    .expect("warmup");
+        })
+        .scan(|_| sink += 1)
+        .expect("warmup");
     eprintln!("warmup scanned {sink} records");
 
     let mut table = Table::new(
@@ -131,15 +129,13 @@ fn main() {
         for (_, opts) in &configs {
             let elapsed = min_time(repeats, || {
                 let mut n = 0u64;
-                l.indexed_scan_opt(
-                    syscalls,
-                    latency_idx,
-                    range,
-                    ValueRange::at_least(threshold),
-                    *opts,
-                    |_| n += 1,
-                )
-                .expect("scan");
+                l.query(syscalls)
+                    .index(latency_idx)
+                    .range(range)
+                    .value_range(ValueRange::at_least(threshold))
+                    .options(*opts)
+                    .scan(|_| n += 1)
+                    .expect("scan");
                 matches = n;
             });
             cells.push(ms(elapsed));

@@ -83,14 +83,12 @@ fn main() {
         let mut loom_matches = 0u64;
         let loom_time = min_time(repeats, || {
             let mut n = 0u64;
-            l.indexed_scan(
-                syscalls,
-                op_idx,
-                range,
-                ValueRange::new(SYS_PREAD64 as f64, SYS_PREAD64 as f64),
-                |_| n += 1,
-            )
-            .expect("loom scan");
+            l.query(syscalls)
+                .index(op_idx)
+                .range(range)
+                .value_range(ValueRange::new(SYS_PREAD64 as f64, SYS_PREAD64 as f64))
+                .scan(|_| n += 1)
+                .expect("loom scan");
             loom_matches = n;
         });
 

@@ -84,44 +84,46 @@ fn main() {
         };
         let scan = min_time(repeats, || {
             let mut n = 0u64;
-            l.indexed_scan_opt(
-                syscalls,
-                latency_idx,
-                range,
-                ValueRange::at_least(threshold),
-                opts,
-                |_| n += 1,
-            )
-            .expect("scan");
+            l.query(syscalls)
+                .index(latency_idx)
+                .range(range)
+                .value_range(ValueRange::at_least(threshold))
+                .options(opts)
+                .scan(|_| n += 1)
+                .expect("scan");
         });
         let scan_none = min_time(repeats, || {
             let mut n = 0u64;
-            l.indexed_scan_opt(
-                syscalls,
-                latency_idx,
-                range,
-                ValueRange::at_least(threshold),
-                none_opts,
-                |_| n += 1,
-            )
-            .expect("scan");
+            l.query(syscalls)
+                .index(latency_idx)
+                .range(range)
+                .value_range(ValueRange::at_least(threshold))
+                .options(none_opts)
+                .scan(|_| n += 1)
+                .expect("scan");
         });
         let agg_sum = min_time(repeats, || {
-            l.indexed_aggregate_opt(syscalls, latency_idx, range, Aggregate::Sum, opts)
+            l.query(syscalls)
+                .index(latency_idx)
+                .range(range)
+                .options(opts)
+                .aggregate(Aggregate::Sum)
                 .expect("sum");
         });
         let agg_p99 = min_time(repeats, || {
-            l.indexed_aggregate_opt(
-                syscalls,
-                latency_idx,
-                range,
-                Aggregate::Percentile(99.0),
-                opts,
-            )
-            .expect("p99");
+            l.query(syscalls)
+                .index(latency_idx)
+                .range(range)
+                .options(opts)
+                .aggregate(Aggregate::Percentile(99.0))
+                .expect("p99");
         });
         let bin_counts = min_time(repeats, || {
-            l.bin_counts_opt(syscalls, latency_idx, range, opts)
+            l.query(syscalls)
+                .index(latency_idx)
+                .range(range)
+                .options(opts)
+                .bin_counts()
                 .expect("bins");
         });
         sweep.push(Measurement {

@@ -65,6 +65,8 @@ enum Command {
         lookback_ms: u64,
     },
     Stats,
+    Metrics,
+    Slow,
     Help,
     Quit,
 }
@@ -199,6 +201,8 @@ fn parse(line: &str) -> Result<Command, String> {
             _ => Err("usage: raw <source> <lookback-ms>".into()),
         },
         "stats" => Ok(Command::Stats),
+        "metrics" => Ok(Command::Metrics),
+        "slow" => Ok(Command::Slow),
         "help" => Ok(Command::Help),
         "quit" | "exit" => Ok(Command::Quit),
         other => Err(format!("unknown command {other:?} (try `help`)")),
@@ -217,6 +221,8 @@ commands:
   scan <src> <index> >=|<=|== <value>              indexed range scan
   raw <src> <lookback-ms>                          raw scan of recent records
   stats                                            ingest statistics
+  metrics                                          engine metrics (text format)
+  slow                                             recent slow-query traces
   quit";
 
 impl Shell {
@@ -317,7 +323,10 @@ impl Shell {
                 let start = std::time::Instant::now();
                 let r = self
                     .loom
-                    .indexed_aggregate(sid, iid, range, method)
+                    .query(sid)
+                    .index(iid)
+                    .range(range)
+                    .aggregate(method)
                     .map_err(|e| e.to_string())?;
                 Ok(format!(
                     "{:?} = {:?}  ({} values, {} summaries / {} chunks scanned, {:.2?})",
@@ -342,7 +351,11 @@ impl Shell {
                 let mut preview = Vec::new();
                 let stats = self
                     .loom
-                    .indexed_scan(sid, iid, range, values, |r| {
+                    .query(sid)
+                    .index(iid)
+                    .range(range)
+                    .value_range(values)
+                    .scan(|r| {
                         matches += 1;
                         if preview.len() < 5 {
                             if let Some(rec) = LatencyRecord::decode(r.payload) {
@@ -390,8 +403,67 @@ impl Shell {
                     self.loom.memory_budget()
                 ))
             }
+            Command::Metrics => {
+                let mut out = self.loom.metrics_snapshot().to_text();
+                // Drop the trailing newline; the prompt loop adds one.
+                out.truncate(out.trim_end().len());
+                Ok(out)
+            }
+            Command::Slow => {
+                let traces = self.loom.recent_slow_queries();
+                if traces.is_empty() {
+                    return Ok("no slow queries recorded".into());
+                }
+                let mut out = String::new();
+                for (i, t) in traces.iter().enumerate() {
+                    if i > 0 {
+                        out.push('\n');
+                    }
+                    out.push_str(&format_slow_trace(t));
+                }
+                Ok(out)
+            }
         }
     }
+}
+
+/// One human-readable line per slow-query trace.
+fn format_slow_trace(t: &loom::SlowQueryTrace) -> String {
+    format!(
+        "#{} {} source={} index={} total={:.3}ms \
+         [plan {}us | select {}us | chunks {}us | tail {}us] \
+         summaries={} chunks={} pruned={} records={}/{} workers={}",
+        t.seq,
+        t.kind.as_str(),
+        t.source,
+        t.index.map_or_else(|| "-".to_string(), |i| i.to_string()),
+        t.total_nanos as f64 / 1e6,
+        t.phases.plan_nanos / 1_000,
+        t.phases.select_nanos / 1_000,
+        t.phases.chunk_scan_nanos / 1_000,
+        t.phases.tail_scan_nanos / 1_000,
+        t.summaries_scanned,
+        t.chunks_scanned,
+        t.chunks_pruned,
+        t.records_matched,
+        t.records_scanned,
+        t.workers_used,
+    )
+}
+
+/// Parses `--stats-interval <secs>` from the command line, if present.
+fn stats_interval() -> Option<std::time::Duration> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--stats-interval" {
+            let secs: u64 = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("usage: loomd [--stats-interval <secs>]");
+            return Some(std::time::Duration::from_secs(secs.max(1)));
+        }
+    }
+    None
 }
 
 fn main() {
@@ -399,6 +471,18 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let (loom_handle, writer) =
         loom::Loom::open(loom::Config::new(&dir)).expect("open loom instance");
+    if let Some(interval) = stats_interval() {
+        // Periodic self-observability dump on stderr, so it interleaves
+        // with but never corrupts the interactive stdout stream.
+        let metrics_loom = loom_handle.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            eprintln!(
+                "--- metrics ---\n{}",
+                metrics_loom.metrics_snapshot().to_text()
+            );
+        });
+    }
     let mut shell = Shell {
         loom: loom_handle,
         writer,
@@ -475,6 +559,8 @@ mod tests {
             }
         ));
         assert_eq!(parse("stats").unwrap(), Command::Stats);
+        assert_eq!(parse("metrics").unwrap(), Command::Metrics);
+        assert_eq!(parse("slow").unwrap(), Command::Slow);
         assert_eq!(parse("quit").unwrap(), Command::Quit);
     }
 
@@ -513,6 +599,14 @@ mod tests {
         assert!(out.contains("Some("), "{out}");
         let out = shell.execute(parse("scan app lat >= 1 ").unwrap()).unwrap();
         assert!(out.starts_with("5000 matches"), "{out}");
+        // The metrics dump lists every engine metric; the query counter
+        // reflects the three queries above when self-obs is compiled in.
+        let out = shell.execute(parse("metrics").unwrap()).unwrap();
+        assert!(out.contains("loom_query_queries_total"), "{out}");
+        assert!(out.contains("loom_hybridlog_flushes_total"), "{out}");
+        // Nothing here crosses the default 100 ms slow threshold.
+        let out = shell.execute(parse("slow").unwrap()).unwrap();
+        assert_eq!(out, "no slow queries recorded");
         // Errors surface nicely.
         assert!(shell.execute(parse("agg nope lat max").unwrap()).is_err());
         assert!(shell.execute(parse("scan app nope >= 1").unwrap()).is_err());

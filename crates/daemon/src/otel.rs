@@ -336,14 +336,12 @@ mod tests {
         let (src, idx) = ex.spans;
         // The one slow span is findable by duration.
         let mut slow = Vec::new();
-        loom.indexed_scan(
-            src,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::at_least(1_000_000.0),
-            |r| slow.push(Span::decode(r.payload).unwrap()),
-        )
-        .unwrap();
+        loom.query(src)
+            .index(idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .value_range(ValueRange::at_least(1_000_000.0))
+            .scan(|r| slow.push(Span::decode(r.payload).unwrap()))
+            .unwrap();
         assert_eq!(slow.len(), 1);
         assert_eq!(slow[0].trace_id, 777);
         drop(ex);
@@ -366,17 +364,18 @@ mod tests {
         let loom = ex.loom().clone();
         let (src, idx) = ex.logs;
         let mut errors = 0u64;
-        loom.indexed_scan(
-            src,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::new(17.0, 24.0),
-            |_| errors += 1,
-        )
-        .unwrap();
+        loom.query(src)
+            .index(idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .value_range(ValueRange::new(17.0, 24.0))
+            .scan(|_| errors += 1)
+            .unwrap();
         assert_eq!(errors, 20);
         let total = loom
-            .indexed_aggregate(src, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+            .query(src)
+            .index(idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .aggregate(Aggregate::Count)
             .unwrap();
         assert_eq!(total.value, Some(1_000.0));
         drop(ex);
@@ -400,7 +399,10 @@ mod tests {
         let loom = ex.loom().clone();
         let (src, idx) = ex.metrics;
         let max = loom
-            .indexed_aggregate(src, idx, TimeRange::new(0, u64::MAX), Aggregate::Max)
+            .query(src)
+            .index(idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .aggregate(Aggregate::Max)
             .unwrap();
         assert_eq!(max.value, Some(99.0));
         assert_eq!(ex.exported(), 500);

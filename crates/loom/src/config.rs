@@ -43,6 +43,14 @@ pub struct Config {
     /// query can override it via
     /// [`QueryOptions::parallelism`](crate::QueryOptions).
     pub query_threads: usize,
+    /// Queries whose wall-clock duration reaches this many nanoseconds
+    /// leave a structured trace readable via
+    /// [`Loom::recent_slow_queries`](crate::Loom::recent_slow_queries)
+    /// (default 100 ms). Only meaningful with the `self-obs` feature.
+    pub slow_query_nanos: u64,
+    /// Number of slow-query traces retained in the ring buffer; older
+    /// traces are overwritten.
+    pub slow_query_log: usize,
     /// Remove the log files when the instance is dropped.
     pub remove_on_drop: bool,
 }
@@ -58,6 +66,8 @@ impl Config {
             chunk_size: 64 * 1024,
             ts_mark_period: 1024,
             query_threads: 1,
+            slow_query_nanos: 100_000_000,
+            slow_query_log: 64,
             remove_on_drop: false,
         }
     }
@@ -72,6 +82,8 @@ impl Config {
             chunk_size: 4 * 1024,
             ts_mark_period: 16,
             query_threads: 1,
+            slow_query_nanos: 100_000_000,
+            slow_query_log: 64,
             remove_on_drop: true,
         }
     }
@@ -97,6 +109,18 @@ impl Config {
     /// Sets the default query worker-thread count (must be non-zero).
     pub fn with_query_threads(mut self, threads: usize) -> Self {
         self.query_threads = threads;
+        self
+    }
+
+    /// Sets the slow-query threshold in nanoseconds.
+    pub fn with_slow_query_nanos(mut self, nanos: u64) -> Self {
+        self.slow_query_nanos = nanos;
+        self
+    }
+
+    /// Sets the slow-query ring-buffer capacity.
+    pub fn with_slow_query_log(mut self, entries: usize) -> Self {
+        self.slow_query_log = entries;
         self
     }
 

@@ -102,7 +102,10 @@ impl Coordinator {
             ] {
                 let r = node
                     .loom
-                    .indexed_aggregate(node.source, node.index, range, m)?;
+                    .query(node.source)
+                    .index(node.index)
+                    .range(range)
+                    .aggregate(m)?;
                 stats.merge(&r.stats);
                 if let Some(v) = r.value {
                     match m {
@@ -147,7 +150,12 @@ impl Coordinator {
         // Phase A: merge per-node bin counts into a global CDF.
         let mut merged = vec![0u64; self.spec.bin_count()];
         for node in &self.nodes {
-            let (counts, node_stats) = node.loom.bin_counts(node.source, node.index, range)?;
+            let (counts, node_stats) = node
+                .loom
+                .query(node.source)
+                .index(node.index)
+                .range(range)
+                .bin_counts()?;
             stats.merge(&node_stats);
             for (m, c) in merged.iter_mut().zip(&counts) {
                 *m += c;
@@ -178,17 +186,21 @@ impl Coordinator {
         let fetch_range = ValueRange::new(lo, next_down(hi));
         let mut values: Vec<f64> = Vec::new();
         for node in &self.nodes {
-            let node_stats =
-                node.loom
-                    .indexed_scan(node.source, node.index, range, fetch_range, |record| {
-                        // Recompute the value via the node's extractor.
-                        if let Ok(Some(v)) =
-                            node.loom
-                                .extract_value(node.source, node.index, record.payload)
-                        {
-                            values.push(v);
-                        }
-                    })?;
+            let node_stats = node
+                .loom
+                .query(node.source)
+                .index(node.index)
+                .range(range)
+                .value_range(fetch_range)
+                .scan(|record| {
+                    // Recompute the value via the node's extractor.
+                    if let Ok(Some(v)) =
+                        node.loom
+                            .extract_value(node.source, node.index, record.payload)
+                    {
+                        values.push(v);
+                    }
+                })?;
             stats.merge(&node_stats);
         }
         if values.len() < rank_in_bin {

@@ -23,6 +23,7 @@ use crate::config::Config;
 use crate::error::{LoomError, Result};
 use crate::histogram::HistogramSpec;
 use crate::hybridlog::{self, LogShared};
+use crate::obs::{MetricsSnapshot, Obs, SlowQueryTrace, Stopwatch};
 use crate::record::{RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
 use crate::registry::{IndexId, Registry, RegistryVersion, SourceId, SourceShared, ValueFn};
 use crate::stats::IngestStats;
@@ -39,6 +40,7 @@ pub(crate) struct Inner {
     pub(crate) chunk_log: Arc<LogShared>,
     pub(crate) ts_log: Arc<LogShared>,
     pub(crate) stats: IngestStats,
+    pub(crate) obs: Obs,
 }
 
 /// The cloneable schema and query handle of a Loom instance.
@@ -150,9 +152,23 @@ impl Loom {
     pub fn open_with_clock(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
         config.validate()?;
         std::fs::create_dir_all(&config.dir)?;
-        let record = hybridlog::create(&config.dir.join("records.log"), config.block_size)?;
-        let chunk = hybridlog::create(&config.dir.join("chunks.log"), config.index_block_size)?;
-        let ts = hybridlog::create(&config.dir.join("ts.log"), config.ts_block_size)?;
+        let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
+        // All three logs report into one shared hybridlog metrics block.
+        let record = hybridlog::create_with_obs(
+            &config.dir.join("records.log"),
+            config.block_size,
+            Arc::clone(&obs.log),
+        )?;
+        let chunk = hybridlog::create_with_obs(
+            &config.dir.join("chunks.log"),
+            config.index_block_size,
+            Arc::clone(&obs.log),
+        )?;
+        let ts = hybridlog::create_with_obs(
+            &config.dir.join("ts.log"),
+            config.ts_block_size,
+            Arc::clone(&obs.log),
+        )?;
         let inner = Arc::new(Inner {
             config,
             clock,
@@ -162,6 +178,7 @@ impl Loom {
             chunk_log: Arc::clone(chunk.shared()),
             ts_log: Arc::clone(ts.shared()),
             stats: IngestStats::default(),
+            obs,
         });
         let writer = LoomWriter {
             inner: Arc::clone(&inner),
@@ -241,6 +258,25 @@ impl Loom {
     /// Cumulative ingest statistics.
     pub fn ingest_stats(&self) -> &IngestStats {
         &self.inner.stats
+    }
+
+    /// A point-in-time copy of every engine self-observability metric:
+    /// hybridlog, write-path, index, and query-layer counters plus flush
+    /// and query latency histograms.
+    ///
+    /// Counters are monotone, so two snapshots can be subtracted to get
+    /// rates. Without the `self-obs` cargo feature all values are zero.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.obs.snapshot()
+    }
+
+    /// The retained slow-query traces, oldest first.
+    ///
+    /// Queries slower than [`Config::slow_query_nanos`] leave a
+    /// structured trace here; the ring keeps the most recent
+    /// [`Config::slow_query_log`] of them.
+    pub fn recent_slow_queries(&self) -> Vec<SlowQueryTrace> {
+        self.inner.obs.recent_slow_queries()
     }
 
     /// Current memory footprint of the staging blocks, in bytes.
@@ -445,6 +481,7 @@ impl LoomWriter {
         let chunk_addr = chunk_end - chunk_size;
         let chunk_seq = chunk_addr / chunk_size;
 
+        let timer = Stopwatch::start();
         let mut summary = ChunkSummary::new(chunk_seq, chunk_addr, chunk_size as u32);
         summary.ts_min = self.active.ts_min;
         summary.ts_max = self.active.ts_max;
@@ -469,6 +506,10 @@ impl LoomWriter {
         let mut buf = Vec::with_capacity(256);
         summary.encode(&mut buf);
         let summary_addr = self.chunk.append(&buf)?;
+        self.inner
+            .obs
+            .engine
+            .chunk_sealed(timer.elapsed_nanos(), buf.len() as u64);
 
         let entry = TsEntry {
             kind: TsKind::ChunkSeal,

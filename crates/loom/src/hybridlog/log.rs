@@ -17,6 +17,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use super::block::Block;
 use crate::error::{LoomError, Result};
+use crate::obs::{LogObs, Stopwatch};
 
 /// State shared between the writer, the flusher, and readers.
 pub struct LogShared {
@@ -37,6 +38,8 @@ pub struct LogShared {
     /// Set when the flusher hits an I/O error; the writer surfaces it
     /// instead of waiting forever for a flush that will never complete.
     io_failed: std::sync::atomic::AtomicBool,
+    /// Self-observability counters, shared with the engine's registry.
+    obs: Arc<LogObs>,
 }
 
 impl LogShared {
@@ -109,6 +112,9 @@ impl LogShared {
                 if block.try_read(gen, offset, dst) {
                     return Ok(());
                 }
+                // Torn read: the block was recycled mid-copy and the
+                // generation check failed.
+                self.obs.seqlock_retry();
             }
         }
         // The block was recycled while we looked: its contents were flushed
@@ -290,6 +296,12 @@ impl Writer {
     fn seal_active(&mut self) -> Result<()> {
         let bs = self.shared.block_size;
         let base = self.tail - bs as u64;
+        self.shared.obs.block_sealed();
+        // Count the enqueue before the send: once the message is in the
+        // channel the flusher may complete it (and bump `flushes`) at
+        // any moment, and `flushes` must never be observed above
+        // `flushes_enqueued`.
+        self.shared.obs.flush_enqueued();
         self.tx
             .send(FlushMsg::Seal {
                 block: self.active,
@@ -303,11 +315,14 @@ impl Writer {
         let next = &self.shared.blocks[self.active];
         // Backpressure: wait until the other block's previous contents are
         // durable before reusing it. This bounds memory at two blocks.
-        while !next.is_flushed() {
-            if self.shared.io_failed.load(Ordering::Acquire) {
-                return Err(LoomError::ShutDown);
+        if !next.is_flushed() {
+            self.shared.obs.backpressure_wait();
+            while !next.is_flushed() {
+                if self.shared.io_failed.load(Ordering::Acquire) {
+                    return Err(LoomError::ShutDown);
+                }
+                std::thread::yield_now();
             }
-            std::thread::yield_now();
         }
         next.claim(self.tail);
         Ok(())
@@ -319,6 +334,10 @@ impl Writer {
         let within = (self.tail % self.shared.block_size as u64) as usize;
         if within > self.active_flushed_prefix {
             let base = self.tail - within as u64;
+            // Enqueue counter first, for the same reason as in
+            // `seal_active`: `flushes <= flushes_enqueued` must hold the
+            // instant the flusher can see the message.
+            self.shared.obs.flush_enqueued();
             self.tx
                 .send(FlushMsg::Partial {
                     block: self.active,
@@ -360,6 +379,12 @@ impl Drop for Writer {
 /// Returns the single-writer handle; readers obtain the shared state via
 /// [`Writer::shared`].
 pub fn create(path: &Path, block_size: usize) -> Result<Writer> {
+    create_with_obs(path, block_size, Arc::new(LogObs::default()))
+}
+
+/// [`create`] with an externally owned metrics handle, so the engine can
+/// aggregate flush/seal/retry counters across its three logs.
+pub fn create_with_obs(path: &Path, block_size: usize, obs: Arc<LogObs>) -> Result<Writer> {
     if block_size == 0 {
         return Err(LoomError::InvalidConfig(
             "block_size must be non-zero".into(),
@@ -383,6 +408,7 @@ pub fn create(path: &Path, block_size: usize) -> Result<Writer> {
         flushed_upto: AtomicU64::new(0),
         tail: AtomicU64::new(0),
         io_failed: std::sync::atomic::AtomicBool::new(false),
+        obs,
     });
     shared.blocks[0].claim(0);
 
@@ -430,6 +456,7 @@ fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
             FlushMsg::Shutdown => break,
         };
         let n = to - from;
+        let timer = Stopwatch::start();
         buf.resize(n, 0);
         shared.blocks[block].flusher_read(from, &mut buf);
         if let Err(e) = shared.file.write_all_at(&buf, base + from as u64) {
@@ -442,6 +469,7 @@ fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
         if seal {
             shared.blocks[block].mark_flushed();
         }
+        shared.obs.flush_done(timer.elapsed_nanos(), n as u64);
     }
     Ok(())
 }

@@ -4,7 +4,7 @@ mod block;
 mod log;
 
 pub use block::Block;
-pub use log::{create, LogShared, Snapshot, Writer};
+pub use log::{create, create_with_obs, LogShared, Snapshot, Writer};
 
 use crate::error::Result;
 

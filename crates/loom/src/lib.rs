@@ -56,9 +56,11 @@
 //! }
 //!
 //! // What was the maximum latency over the whole run?
-//! let range = TimeRange::new(0, loom.now());
 //! let max = loom
-//!     .indexed_aggregate(reqs, latency, range, Aggregate::Max)
+//!     .query(reqs)
+//!     .index(latency)
+//!     .range(TimeRange::new(0, loom.now()))
+//!     .aggregate(Aggregate::Max)
 //!     .unwrap();
 //! assert_eq!(max.value, Some(1_000_000.0));
 //! # drop(writer);
@@ -74,6 +76,7 @@ pub mod error;
 pub mod extract;
 pub mod histogram;
 pub mod hybridlog;
+pub mod obs;
 pub mod query;
 pub mod record;
 pub mod registry;
@@ -86,6 +89,7 @@ pub use config::Config;
 pub use engine::{Loom, LoomWriter};
 pub use error::{LoomError, Result};
 pub use histogram::HistogramSpec;
-pub use query::{Aggregate, AggregateResult, QueryOptions, Record, TimeRange, ValueRange};
+pub use obs::{MetricsSnapshot, QueryKind, SlowQueryTrace};
+pub use query::{Aggregate, AggregateResult, Query, QueryOptions, Record, TimeRange, ValueRange};
 pub use registry::{IndexId, SourceId, ValueFn};
 pub use stats::{IngestStats, QueryStats};

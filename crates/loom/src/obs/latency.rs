@@ -1,0 +1,126 @@
+//! Fixed-bucket latency histograms for the metrics registry.
+//!
+//! Reuses the chunk-index [`HistogramSpec`] machinery (§4.2) for bucket
+//! layout and lookup: a spec defines `n` interior buckets plus two
+//! outlier buckets, and `bin_of` locates a bucket with one binary search.
+//! Counts are atomic, so recording never blocks and costs one
+//! `fetch_add` (nothing at all when `self-obs` is compiled out).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::histogram::HistogramSpec;
+
+/// A lock-free histogram of durations in nanoseconds.
+pub struct LatencyHistogram {
+    spec: HistogramSpec,
+    bins: Box<[AtomicU64]>,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the bucket layout of `spec` (boundaries
+    /// are interpreted as nanoseconds).
+    pub fn new(spec: HistogramSpec) -> Self {
+        let bins = (0..spec.bin_count())
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LatencyHistogram { spec, bins }
+    }
+
+    /// Default layout for engine latencies: exponential buckets from 1 µs
+    /// growing ×4, covering 1 µs to ~4.4 s plus the two outlier buckets.
+    pub fn default_nanos() -> Self {
+        Self::new(HistogramSpec::exponential(1_000.0, 4.0, 12).expect("static spec is valid"))
+    }
+
+    /// Records one observation of `nanos`.
+    ///
+    /// Release, pairing with the acquire loads in
+    /// [`counts`](LatencyHistogram::counts): a snapshot that observes a
+    /// recorded sample also observes the counter increments sequenced
+    /// before it (e.g. the query counter), keeping
+    /// `histogram.total() <= counter` true in any snapshot that reads
+    /// the histogram first.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        #[cfg(feature = "self-obs")]
+        if let Some(bin) = self.spec.bin_of(nanos as f64) {
+            self.bins[bin].fetch_add(1, Ordering::Release);
+        }
+        #[cfg(not(feature = "self-obs"))]
+        let _ = nanos;
+    }
+
+    /// Point-in-time copy of the bucket boundaries and counts.
+    pub fn counts(&self) -> HistogramCounts {
+        HistogramCounts {
+            bounds: self.spec.bounds().to_vec(),
+            counts: self
+                .bins
+                .iter()
+                .map(|b| b.load(Ordering::Acquire))
+                .collect(),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::default_nanos()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+/// A plain copy of a histogram's buckets, as captured by a snapshot.
+///
+/// `bounds` holds the `n + 1` interior boundaries; `counts` has `n + 2`
+/// entries — the low outlier bucket, the `n` interior buckets, and the
+/// high outlier bucket, matching [`HistogramSpec`]'s bin numbering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramCounts {
+    /// Interior bucket boundaries, in nanoseconds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (outlier buckets included).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramCounts {
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_increasing_buckets() {
+        let h = LatencyHistogram::default_nanos();
+        h.record(500); // below the first boundary: low outlier bucket
+        h.record(2_000);
+        h.record(2_000_000);
+        h.record(u64::MAX / 2); // high outlier bucket
+        let c = h.counts();
+        assert_eq!(c.counts.len(), c.bounds.len() + 1);
+        if cfg!(feature = "self-obs") {
+            assert_eq!(c.total(), 4);
+            assert_eq!(c.counts[0], 1, "sub-boundary value in low outlier bucket");
+            assert_eq!(
+                *c.counts.last().unwrap(),
+                1,
+                "huge value in high outlier bucket"
+            );
+        } else {
+            assert_eq!(c.total(), 0);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The slow-query log: a bounded ring buffer of structured traces.
+//!
+//! Queries whose wall-clock duration exceeds
+//! [`Config::slow_query_nanos`](crate::Config::slow_query_nanos) record a
+//! [`SlowQueryTrace`] here. The buffer holds the most recent
+//! [`Config::slow_query_log`](crate::Config::slow_query_log) traces;
+//! older entries are overwritten. Recording takes a mutex, which is fine
+//! because by definition only slow queries ever reach it.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use super::QueryPhases;
+
+/// Which query operator produced a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `Query::scan` without an index (back-pointer chain walk).
+    RawScan,
+    /// `Query::scan` with an index (summary-pruned chunk scans).
+    IndexedScan,
+    /// `Query::aggregate`.
+    Aggregate,
+    /// `Query::bin_counts`.
+    BinCounts,
+}
+
+impl QueryKind {
+    /// Short stable name, for text output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryKind::RawScan => "raw_scan",
+            QueryKind::IndexedScan => "indexed_scan",
+            QueryKind::Aggregate => "aggregate",
+            QueryKind::BinCounts => "bin_counts",
+        }
+    }
+}
+
+/// A structured trace of one slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQueryTrace {
+    /// Monotone sequence number (total slow queries ever recorded gives
+    /// how many were overwritten).
+    pub seq: u64,
+    /// The operator that ran.
+    pub kind: QueryKind,
+    /// The queried source.
+    pub source: u32,
+    /// The index used, if any.
+    pub index: Option<u32>,
+    /// Total wall-clock duration.
+    pub total_nanos: u64,
+    /// Per-phase durations (plan / summary selection / chunk scan / tail).
+    pub phases: QueryPhases,
+    /// Planner decision: was the timestamp index used to seek?
+    pub used_ts_index: bool,
+    /// Planner decision: were chunk summaries used to skip chunks?
+    pub used_chunk_index: bool,
+    /// Largest worker-pool size any stage executed with.
+    pub workers_used: u64,
+    /// Chunk summaries examined.
+    pub summaries_scanned: u64,
+    /// Record-log chunks actually read.
+    pub chunks_scanned: u64,
+    /// Summaries examined whose chunks were skipped (pruned) — the
+    /// difference between summaries examined and chunks read, floored at
+    /// zero (tail-region pieces also count as chunk reads).
+    pub chunks_pruned: u64,
+    /// Records decoded.
+    pub records_scanned: u64,
+    /// Records that matched all predicates.
+    pub records_matched: u64,
+}
+
+/// The bounded ring buffer behind [`Loom::recent_slow_queries`](crate::Loom::recent_slow_queries).
+pub struct SlowQueryLog {
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+struct State {
+    next_seq: u64,
+    entries: VecDeque<SlowQueryTrace>,
+}
+
+impl SlowQueryLog {
+    /// Creates a log retaining at most `capacity` traces.
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity,
+            state: Mutex::new(State {
+                next_seq: 0,
+                entries: VecDeque::with_capacity(capacity.min(64)),
+            }),
+        }
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a trace, evicting the oldest when full. The trace's `seq`
+    /// is assigned here.
+    #[cfg_attr(not(feature = "self-obs"), allow(dead_code))]
+    pub(crate) fn record(&self, trace: SlowQueryTrace) {
+        #[cfg(feature = "self-obs")]
+        {
+            if self.capacity == 0 {
+                return;
+            }
+            let mut state = self.state.lock();
+            let mut trace = trace;
+            trace.seq = state.next_seq;
+            state.next_seq += 1;
+            if state.entries.len() == self.capacity {
+                state.entries.pop_front();
+            }
+            state.entries.push_back(trace);
+        }
+        #[cfg(not(feature = "self-obs"))]
+        let _ = trace;
+    }
+
+    /// The retained traces, oldest first.
+    pub fn recent(&self) -> Vec<SlowQueryTrace> {
+        self.state.lock().entries.iter().cloned().collect()
+    }
+
+    /// Total slow queries ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.state.lock().next_seq
+    }
+}
+
+impl std::fmt::Debug for SlowQueryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowQueryLog")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.total_recorded())
+            .finish()
+    }
+}
+
+#[cfg(all(test, feature = "self-obs"))]
+mod tests {
+    use super::*;
+
+    fn trace(kind: QueryKind) -> SlowQueryTrace {
+        SlowQueryTrace {
+            seq: 0,
+            kind,
+            source: 1,
+            index: None,
+            total_nanos: 42,
+            phases: QueryPhases::default(),
+            used_ts_index: true,
+            used_chunk_index: true,
+            workers_used: 1,
+            summaries_scanned: 0,
+            chunks_scanned: 0,
+            chunks_pruned: 0,
+            records_scanned: 0,
+            records_matched: 0,
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let log = SlowQueryLog::new(3);
+        for _ in 0..7 {
+            log.record(trace(QueryKind::RawScan));
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 3);
+        let seqs: Vec<u64> = recent.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6], "oldest-first, newest retained");
+        assert_eq!(log.total_recorded(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_discards_everything() {
+        let log = SlowQueryLog::new(0);
+        log.record(trace(QueryKind::Aggregate));
+        assert!(log.recent().is_empty());
+    }
+}

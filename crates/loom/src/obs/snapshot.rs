@@ -1,0 +1,247 @@
+//! Point-in-time copies of the metrics registry.
+//!
+//! [`MetricsSnapshot`] is a plain-data struct: capturing one reads every
+//! counter once (relaxed loads summed across shards) and copies the
+//! histogram buckets, so the caller can diff, serialize, or print it
+//! without holding any engine state. Counters are monotone, so two
+//! snapshots can always be subtracted to get a rate.
+
+use super::latency::HistogramCounts;
+
+/// Hybrid-log layer: in-memory block lifecycle and background flushing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HybridLogMetrics {
+    /// Active-block seals (ping-pong swaps) across all three logs.
+    pub block_seals: u64,
+    /// Times an ingest thread had to spin waiting for the flusher to
+    /// release the next block (backpressure).
+    pub backpressure_waits: u64,
+    /// Flush requests handed to the flusher thread (seals + partial syncs).
+    pub flushes_enqueued: u64,
+    /// Flushes completed by the flusher thread.
+    pub flushes: u64,
+    /// Total time spent inside completed flushes, in nanoseconds.
+    pub flush_nanos: u64,
+    /// Bytes written to storage by completed flushes.
+    pub flushed_bytes: u64,
+    /// Flush requests currently queued or in progress (gauge).
+    pub flush_queue_depth: u64,
+    /// Snapshot reads that observed a torn generation and retried
+    /// (seqlock validation failures).
+    pub seqlock_retries: u64,
+    /// Latency distribution of completed flushes, in nanoseconds.
+    pub flush_latency: HistogramCounts,
+}
+
+/// Coordinator / write-path layer: chunk sealing and summary building.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoordinatorMetrics {
+    /// Record-log chunks sealed (each producing one chunk summary).
+    pub chunks_sealed: u64,
+    /// Total time spent building and encoding chunk summaries, in
+    /// nanoseconds.
+    pub summary_build_nanos: u64,
+    /// Encoded bytes appended to the chunk-summary log.
+    pub summary_bytes: u64,
+}
+
+/// Index layer: timestamp-index seeks and chunk-summary pruning.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexMetrics {
+    /// Queries that used the timestamp index to seek to the time range.
+    pub ts_seeks: u64,
+    /// Chunk summaries examined by the planner across all queries.
+    pub summary_probes: u64,
+    /// Summaries whose histogram overlapped the value predicate (chunk
+    /// had to be read).
+    pub chunk_hits: u64,
+    /// Chunks read because their summary matched, that then yielded zero
+    /// matching records — the summary's false positives.
+    pub false_positive_chunks: u64,
+}
+
+/// Query layer: operator counts, per-query latency, and pool usage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Queries executed (any operator).
+    pub queries: u64,
+    /// Total wall-clock time across all queries, in nanoseconds.
+    pub query_nanos: u64,
+    /// Queries that ran any stage on a worker pool (parallelism > 1).
+    pub parallel_queries: u64,
+    /// Tasks submitted to query worker pools.
+    pub pool_tasks: u64,
+    /// Queries that exceeded the slow-query threshold.
+    pub slow_queries: u64,
+    /// Latency distribution of whole queries, in nanoseconds.
+    pub query_latency: HistogramCounts,
+}
+
+/// A consistent-enough point-in-time copy of every engine metric.
+///
+/// "Consistent enough": each value is read atomically, but the snapshot
+/// as a whole is not a linearizable cut — counters incremented while the
+/// snapshot is being taken may or may not appear. This is the standard
+/// monitoring-counter contract; all counters are monotone.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Hybrid-log layer metrics.
+    pub hybridlog: HybridLogMetrics,
+    /// Coordinator / write-path metrics.
+    pub coordinator: CoordinatorMetrics,
+    /// Index-layer metrics.
+    pub index: IndexMetrics,
+    /// Query-layer metrics.
+    pub query: QueryMetrics,
+}
+
+impl MetricsSnapshot {
+    /// Every scalar metric as a `(name, value)` pair, in a stable order.
+    ///
+    /// Names follow the `loom_<layer>_<metric>` convention used by the
+    /// text exposition format.
+    pub fn named_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                "loom_hybridlog_block_seals_total",
+                self.hybridlog.block_seals,
+            ),
+            (
+                "loom_hybridlog_backpressure_waits_total",
+                self.hybridlog.backpressure_waits,
+            ),
+            (
+                "loom_hybridlog_flushes_enqueued_total",
+                self.hybridlog.flushes_enqueued,
+            ),
+            ("loom_hybridlog_flushes_total", self.hybridlog.flushes),
+            (
+                "loom_hybridlog_flush_nanos_total",
+                self.hybridlog.flush_nanos,
+            ),
+            (
+                "loom_hybridlog_flushed_bytes_total",
+                self.hybridlog.flushed_bytes,
+            ),
+            (
+                "loom_hybridlog_flush_queue_depth",
+                self.hybridlog.flush_queue_depth,
+            ),
+            (
+                "loom_hybridlog_seqlock_retries_total",
+                self.hybridlog.seqlock_retries,
+            ),
+            (
+                "loom_coordinator_chunks_sealed_total",
+                self.coordinator.chunks_sealed,
+            ),
+            (
+                "loom_coordinator_summary_build_nanos_total",
+                self.coordinator.summary_build_nanos,
+            ),
+            (
+                "loom_coordinator_summary_bytes_total",
+                self.coordinator.summary_bytes,
+            ),
+            ("loom_index_ts_seeks_total", self.index.ts_seeks),
+            ("loom_index_summary_probes_total", self.index.summary_probes),
+            ("loom_index_chunk_hits_total", self.index.chunk_hits),
+            (
+                "loom_index_false_positive_chunks_total",
+                self.index.false_positive_chunks,
+            ),
+            ("loom_query_queries_total", self.query.queries),
+            ("loom_query_nanos_total", self.query.query_nanos),
+            (
+                "loom_query_parallel_queries_total",
+                self.query.parallel_queries,
+            ),
+            ("loom_query_pool_tasks_total", self.query.pool_tasks),
+            ("loom_query_slow_queries_total", self.query.slow_queries),
+        ]
+    }
+
+    /// Renders the snapshot in a Prometheus-style text format: one
+    /// `name value` line per scalar, plus cumulative `_bucket` lines for
+    /// the two latency histograms.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.named_values() {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        write_histogram(
+            &mut out,
+            "loom_hybridlog_flush_latency",
+            &self.hybridlog.flush_latency,
+        );
+        write_histogram(&mut out, "loom_query_latency", &self.query.query_latency);
+        out
+    }
+}
+
+/// Appends cumulative `<name>_bucket{le="..."}` lines plus a `_count`
+/// line, mirroring the Prometheus histogram exposition shape.
+fn write_histogram(out: &mut String, name: &str, h: &HistogramCounts) {
+    let mut cumulative = 0u64;
+    // counts[0] is the low-outlier bucket (< bounds[0]); fold it into the
+    // first boundary's cumulative count like Prometheus folds everything
+    // below the first `le`.
+    for (i, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.counts.get(i).copied().unwrap_or(0);
+        out.push_str(name);
+        out.push_str("_bucket{le=\"");
+        out.push_str(&format!("{bound}"));
+        out.push_str("\"} ");
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    // The +Inf bucket is everything, including the high-outlier count(s)
+    // past the last boundary — by construction it equals `_count`.
+    out.push_str(name);
+    out.push_str("_bucket{le=\"+Inf\"} ");
+    out.push_str(&h.total().to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count ");
+    out.push_str(&h.total().to_string());
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_values_are_distinct_and_span_all_layers() {
+        let snap = MetricsSnapshot::default();
+        let names: Vec<&str> = snap.named_values().iter().map(|(n, _)| *n).collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(names.len(), unique.len(), "metric names must be unique");
+        assert!(names.len() >= 12, "need at least 12 distinct metrics");
+        for layer in ["hybridlog", "coordinator", "index", "query"] {
+            assert!(
+                names.iter().any(|n| n.contains(layer)),
+                "missing layer {layer}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_format_has_one_line_per_scalar_and_histogram_buckets() {
+        let mut snap = MetricsSnapshot::default();
+        snap.query.queries = 7;
+        snap.query.query_latency = HistogramCounts {
+            bounds: vec![1_000.0, 4_000.0],
+            counts: vec![1, 2, 3, 4],
+        };
+        let text = snap.to_text();
+        assert!(text.contains("loom_query_queries_total 7\n"));
+        assert!(text.contains("loom_query_latency_bucket{le=\"1000\"} 1\n"));
+        assert!(text.contains("loom_query_latency_bucket{le=\"4000\"} 3\n"));
+        assert!(text.contains("loom_query_latency_bucket{le=\"+Inf\"} 10\n"));
+        assert!(text.contains("loom_query_latency_count 10\n"));
+    }
+}

@@ -25,6 +25,7 @@ use super::planner;
 use super::view::{QueryView, RegionScan, ScanControl};
 use super::{Aggregate, AggregateResult, IndexMeta, QueryOptions, TimeRange};
 use crate::error::{LoomError, Result};
+use crate::obs::{QueryPhases, Stopwatch};
 use crate::stats::QueryStats;
 use crate::summary::BinStats;
 
@@ -126,15 +127,19 @@ pub(crate) fn bin_counts(
     meta: &IndexMeta,
     range: TimeRange,
     opts: QueryOptions,
+    phases: &mut QueryPhases,
 ) -> Result<(Vec<u64>, QueryStats)> {
     let mut stats = QueryStats {
         workers_used: 1,
         ..QueryStats::default()
     };
+    let plan_timer = Stopwatch::start();
     let plan = planner::plan(view, range)?;
+    phases.plan_nanos += plan_timer.elapsed_nanos();
     let bin_count = meta.spec.bin_count();
     let mut counts = vec![0u64; bin_count];
     let mut partial_chunks: Vec<u64> = Vec::new();
+    let select_timer = Stopwatch::start();
     planner::for_each_relevant_summary(
         view,
         &plan,
@@ -156,8 +161,15 @@ pub(crate) fn bin_counts(
             Ok(())
         },
     )?;
+    phases.select_nanos += select_timer.elapsed_nanos();
+    view.obs.index.summary_probes(stats.summaries_scanned);
+    view.obs.index.chunk_hits(partial_chunks.len() as u64);
     let workers = view.workers(opts.parallelism, partial_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
+    if workers > 1 {
+        view.obs.query.pool_tasks(partial_chunks.len() as u64);
+    }
+    let scan_timer = Stopwatch::start();
     let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
         count_chunk_exact(view, meta, range, bin_count, buf, addr)
     })?;
@@ -166,7 +178,9 @@ pub(crate) fn bin_counts(
             *total += c;
         }
     }
+    phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
     if plan.region_relevant {
+        let tail_timer = Stopwatch::start();
         count_region_exact(
             view,
             meta,
@@ -175,6 +189,7 @@ pub(crate) fn bin_counts(
             &mut counts,
             &mut stats,
         )?;
+        phases.tail_scan_nanos += tail_timer.elapsed_nanos();
     }
     Ok((counts, stats))
 }
@@ -186,6 +201,7 @@ pub(crate) fn run(
     range: TimeRange,
     method: Aggregate,
     opts: QueryOptions,
+    phases: &mut QueryPhases,
 ) -> Result<AggregateResult> {
     match method {
         Aggregate::Percentile(p) => {
@@ -194,9 +210,9 @@ pub(crate) fn run(
                     "percentile {p} outside [0, 100]"
                 )));
             }
-            percentile(view, meta, range, p, opts)
+            percentile(view, meta, range, p, opts, phases)
         }
-        _ => distributive(view, meta, range, method, opts),
+        _ => distributive(view, meta, range, method, opts, phases),
     }
 }
 
@@ -263,15 +279,19 @@ fn distributive(
     range: TimeRange,
     method: Aggregate,
     opts: QueryOptions,
+    phases: &mut QueryPhases,
 ) -> Result<AggregateResult> {
     let mut stats = QueryStats {
         workers_used: 1,
         ..QueryStats::default()
     };
+    let plan_timer = Stopwatch::start();
     let plan = planner::plan(view, range)?;
+    phases.plan_nanos += plan_timer.elapsed_nanos();
     let mut acc = Acc::new();
     let mut partial_chunks: Vec<u64> = Vec::new();
 
+    let select_timer = Stopwatch::start();
     planner::for_each_relevant_summary(
         view,
         &plan,
@@ -294,10 +314,18 @@ fn distributive(
         },
     )?;
 
+    phases.select_nanos += select_timer.elapsed_nanos();
+    view.obs.index.summary_probes(stats.summaries_scanned);
+    view.obs.index.chunk_hits(partial_chunks.len() as u64);
+
     // Exact aggregation for chunks only partially inside the time range:
     // one partial accumulator per chunk, merged in chunk order.
     let workers = view.workers(opts.parallelism, partial_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
+    if workers > 1 {
+        view.obs.query.pool_tasks(partial_chunks.len() as u64);
+    }
+    let scan_timer = Stopwatch::start();
     let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
         let mut chunk_acc = Acc::new();
         let out = view.scan_chunk_with_buf(addr, buf, |rec| {
@@ -316,7 +344,9 @@ fn distributive(
     for chunk_acc in &per_chunk {
         acc.merge(chunk_acc);
     }
+    phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
     if plan.region_relevant {
+        let tail_timer = Stopwatch::start();
         let mut region_acc = Acc::new();
         let out = view.scan_region(plan.region_start, view.rec.watermark(), |rec| {
             if rec.header.ts > range.end {
@@ -331,6 +361,7 @@ fn distributive(
         })?;
         out.fold_into(&mut stats);
         acc.merge(&region_acc);
+        phases.tail_scan_nanos += tail_timer.elapsed_nanos();
     }
 
     Ok(AggregateResult {
@@ -346,17 +377,21 @@ fn percentile(
     range: TimeRange,
     p: f64,
     opts: QueryOptions,
+    phases: &mut QueryPhases,
 ) -> Result<AggregateResult> {
     let mut stats = QueryStats {
         workers_used: 1,
         ..QueryStats::default()
     };
+    let plan_timer = Stopwatch::start();
     let plan = planner::plan(view, range)?;
+    phases.plan_nanos += plan_timer.elapsed_nanos();
     let bin_count = meta.spec.bin_count();
 
     // Phase A: per-bin counts across the range (bins as a CDF).
     let mut counts = vec![0u64; bin_count];
     let mut partial_chunks: Vec<u64> = Vec::new();
+    let select_timer = Stopwatch::start();
     planner::for_each_relevant_summary(
         view,
         &plan,
@@ -378,8 +413,15 @@ fn percentile(
             Ok(())
         },
     )?;
+    phases.select_nanos += select_timer.elapsed_nanos();
+    view.obs.index.summary_probes(stats.summaries_scanned);
+    view.obs.index.chunk_hits(partial_chunks.len() as u64);
     let workers = view.workers(opts.parallelism, partial_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
+    if workers > 1 {
+        view.obs.query.pool_tasks(partial_chunks.len() as u64);
+    }
+    let scan_timer = Stopwatch::start();
     let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
         count_chunk_exact(view, meta, range, bin_count, buf, addr)
     })?;
@@ -388,7 +430,9 @@ fn percentile(
             *total += c;
         }
     }
+    phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
     if plan.region_relevant {
+        let tail_timer = Stopwatch::start();
         count_region_exact(
             view,
             meta,
@@ -397,6 +441,7 @@ fn percentile(
             &mut counts,
             &mut stats,
         )?;
+        phases.tail_scan_nanos += tail_timer.elapsed_nanos();
     }
 
     let total: u64 = counts.iter().sum();
@@ -430,6 +475,7 @@ fn percentile(
     // by time above, re-filtered exactly here).
     let mut revisited = 0u64;
     let mut phase_b_chunks: Vec<u64> = Vec::new();
+    let select_b_timer = Stopwatch::start();
     planner::for_each_relevant_summary(view, &plan, range, &mut revisited, |summary, fully| {
         if !fully {
             return Ok(()); // appended below, in partial-chunk order
@@ -443,9 +489,16 @@ fn percentile(
     })?;
     phase_b_chunks.extend_from_slice(&partial_chunks);
     stats.summaries_scanned += revisited;
+    phases.select_nanos += select_b_timer.elapsed_nanos();
+    view.obs.index.summary_probes(revisited);
+    view.obs.index.chunk_hits(phase_b_chunks.len() as u64);
 
     let workers = view.workers(opts.parallelism, phase_b_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
+    if workers > 1 {
+        view.obs.query.pool_tasks(phase_b_chunks.len() as u64);
+    }
+    let scan_b_timer = Stopwatch::start();
     let per_chunk = for_chunks(workers, &phase_b_chunks, &mut stats, |buf, addr| {
         let mut chunk_values: Vec<f64> = Vec::new();
         let out = view.scan_chunk_with_buf(addr, buf, |rec| {
@@ -461,7 +514,9 @@ fn percentile(
         Ok((chunk_values, out))
     })?;
     let mut values: Vec<f64> = per_chunk.into_iter().flatten().collect();
+    phases.chunk_scan_nanos += scan_b_timer.elapsed_nanos();
     if plan.region_relevant {
+        let tail_b_timer = Stopwatch::start();
         let out = view.scan_region(plan.region_start, view.rec.watermark(), |rec| {
             if rec.header.ts > range.end {
                 return ScanControl::Stop;
@@ -476,6 +531,7 @@ fn percentile(
             ScanControl::Continue
         })?;
         out.fold_into(&mut stats);
+        phases.tail_scan_nanos += tail_b_timer.elapsed_nanos();
     }
 
     if values.len() < rank_in_bin as usize {

@@ -14,18 +14,21 @@ use super::planner::{self, SummaryPlan};
 use super::view::{QueryView, ScanControl};
 use super::{IndexMeta, QueryOptions, Record, TimeRange, ValueRange};
 use crate::error::Result;
+use crate::obs::{QueryPhases, Stopwatch};
 use crate::record::ChunkRecord;
 use crate::stats::QueryStats;
 use crate::summary::ChunkSummary;
 use crate::ts_index::{TsIndexView, TsKind};
 
-/// Executes an indexed scan over `view`.
+/// Executes an indexed scan over `view`, filling `phases` with per-stage
+/// wall-clock durations.
 pub(crate) fn run<F>(
     view: &QueryView<'_>,
     meta: &IndexMeta,
     range: TimeRange,
     values: ValueRange,
     opts: QueryOptions,
+    phases: &mut QueryPhases,
     mut f: F,
 ) -> Result<QueryStats>
 where
@@ -37,20 +40,28 @@ where
     };
     match (opts.use_ts_index, opts.use_chunk_index) {
         (true, true) => {
+            let timer = Stopwatch::start();
             let plan = planner::plan(view, range)?;
-            scan_with_summaries(view, meta, range, values, &plan, opts, &mut stats, &mut f)?;
+            phases.plan_nanos += timer.elapsed_nanos();
+            scan_with_summaries(
+                view, meta, range, values, &plan, opts, &mut stats, phases, &mut f,
+            )?;
         }
         (false, true) => {
+            let timer = Stopwatch::start();
             let plan = planner::plan_full(view)?;
-            scan_with_summaries(view, meta, range, values, &plan, opts, &mut stats, &mut f)?;
+            phases.plan_nanos += timer.elapsed_nanos();
+            scan_with_summaries(
+                view, meta, range, values, &plan, opts, &mut stats, phases, &mut f,
+            )?;
         }
         (true, false) => {
             // A single forward region scan with early stop: sequential by
             // construction, so the pool is never used here.
-            scan_ts_only(view, meta, range, values, &mut stats, &mut f)?;
+            scan_ts_only(view, meta, range, values, &mut stats, phases, &mut f)?;
         }
         (false, false) => {
-            scan_none(view, meta, range, values, opts, &mut stats, &mut f)?;
+            scan_none(view, meta, range, values, opts, &mut stats, phases, &mut f)?;
         }
     }
     Ok(stats)
@@ -140,11 +151,14 @@ fn scan_with_summaries<F>(
     plan: &SummaryPlan,
     opts: QueryOptions,
     stats: &mut QueryStats,
+    phases: &mut QueryPhases,
     f: &mut F,
 ) -> Result<()>
 where
     F: FnMut(Record<'_>),
 {
+    let select_timer = Stopwatch::start();
+    let probes_before = stats.summaries_scanned;
     let mut chunks: Vec<u64> = Vec::new();
     planner::for_each_relevant_summary(
         view,
@@ -158,12 +172,19 @@ where
             Ok(())
         },
     )?;
+    phases.select_nanos += select_timer.elapsed_nanos();
+    view.obs
+        .index
+        .summary_probes(stats.summaries_scanned - probes_before);
+    view.obs.index.chunk_hits(chunks.len() as u64);
     let workers = view.workers(opts.parallelism, chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
     let mut matched = 0u64;
+    let scan_timer = Stopwatch::start();
     if workers <= 1 {
         let mut buf = Vec::new();
         for chunk_addr in chunks {
+            let matched_before = matched;
             let out = view.scan_chunk_with_buf(chunk_addr, &mut buf, |rec| {
                 if filter_emit(meta, range, &values, rec, f) {
                     matched += 1;
@@ -171,8 +192,12 @@ where
                 ScanControl::Continue
             })?;
             out.fold_into(stats);
+            if matched == matched_before {
+                view.obs.index.false_positive_chunk();
+            }
         }
     } else {
+        view.obs.query.pool_tasks(chunks.len() as u64);
         let batches = executor::map_chunks(workers, &chunks, |buf, chunk_addr| {
             let mut batch = RecordBatch::default();
             let out = view.scan_chunk_with_buf(chunk_addr, buf, |rec| {
@@ -186,11 +211,16 @@ where
         for (out, batch) in &batches {
             out.fold_into(stats);
             matched += batch.len() as u64;
+            if batch.len() == 0 {
+                view.obs.index.false_positive_chunk();
+            }
             deliver_batch(meta, batch, f);
         }
     }
+    phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
 
     if plan.region_relevant {
+        let tail_timer = Stopwatch::start();
         let out = view.scan_region(plan.region_start, view.rec.watermark(), |rec| {
             if rec.header.ts > range.end {
                 return ScanControl::Stop;
@@ -201,6 +231,7 @@ where
             ScanControl::Continue
         })?;
         out.fold_into(stats);
+        phases.tail_scan_nanos += tail_timer.elapsed_nanos();
     }
     stats.records_matched += matched;
     Ok(())
@@ -214,11 +245,14 @@ fn scan_ts_only<F>(
     range: TimeRange,
     values: ValueRange,
     stats: &mut QueryStats,
+    phases: &mut QueryPhases,
     f: &mut F,
 ) -> Result<()>
 where
     F: FnMut(Record<'_>),
 {
+    view.obs.index.ts_seek();
+    let plan_timer = Stopwatch::start();
     let tsv = TsIndexView::new(&view.ts);
     // Seek: the newest timestamp entry at or before the range start gives
     // a record-log position from which scanning forward covers the range.
@@ -227,7 +261,9 @@ where
         .find_backward(pos, |e| e.kind == TsKind::RecordMark)?
         .map(|(_, e)| e.target - e.target % view.chunk_size)
         .unwrap_or(0);
+    phases.plan_nanos += plan_timer.elapsed_nanos();
     let mut matched = 0u64;
+    let scan_timer = Stopwatch::start();
     let out = view.scan_region(start_addr, view.rec.watermark(), |rec| {
         if rec.header.ts > range.end {
             return ScanControl::Stop;
@@ -238,6 +274,7 @@ where
         ScanControl::Continue
     })?;
     out.fold_into(stats);
+    phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
     stats.records_matched += matched;
     Ok(())
 }
@@ -251,6 +288,7 @@ where
 /// and delivered newest-first; pieces scanned past the terminating one
 /// (speculative over-read) are discarded without folding their counters,
 /// so statistics match the serial path exactly.
+#[allow(clippy::too_many_arguments)]
 fn scan_none<F>(
     view: &QueryView<'_>,
     meta: &IndexMeta,
@@ -258,6 +296,7 @@ fn scan_none<F>(
     values: ValueRange,
     opts: QueryOptions,
     stats: &mut QueryStats,
+    phases: &mut QueryPhases,
     f: &mut F,
 ) -> Result<()>
 where
@@ -272,6 +311,7 @@ where
     let workers = view.workers(opts.parallelism, total_pieces);
     stats.workers_used = stats.workers_used.max(workers as u64);
     let mut matched = 0u64;
+    let scan_timer = Stopwatch::start();
     if workers <= 1 {
         let mut buf = Vec::new();
         let mut piece = newest_piece;
@@ -306,6 +346,7 @@ where
             // Pieces for this round, newest first.
             let batch_len = ((workers * 2) as u64).min(next_piece + 1);
             let pieces: Vec<u64> = (0..batch_len).map(|i| next_piece - i).collect();
+            view.obs.query.pool_tasks(pieces.len() as u64);
             let outputs = executor::map_chunks(workers, &pieces, |buf, piece| {
                 let addr = piece * view.chunk_size;
                 let mut piece_max_ts = 0u64;
@@ -338,6 +379,7 @@ where
             next_piece -= batch_len;
         }
     }
+    phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
     stats.records_matched += matched;
     Ok(())
 }

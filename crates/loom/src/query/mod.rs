@@ -7,8 +7,8 @@
 //! summarized tail region).
 //!
 //! Candidate chunks are immutable once summarized and selected up front,
-//! so operators can fan chunk scans across a scoped worker pool (see
-//! [`executor`]): `QueryOptions::parallelism` (or the
+//! so operators can fan chunk scans across a scoped worker pool (the
+//! private `executor` module): `QueryOptions::parallelism` (or the
 //! `Config::query_threads` default) picks the pool size, and per-chunk
 //! results are merged back in log order so output is identical for every
 //! pool size. With one worker (the default) operators run entirely on the
@@ -18,13 +18,14 @@
 //! worker.
 
 mod aggregate;
+mod builder;
 mod executor;
 mod indexed_scan;
 mod planner;
 mod raw_scan;
 mod view;
 
-pub(crate) use view::QueryView;
+pub use builder::Query;
 
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -196,17 +197,23 @@ impl QueryOptions {
 impl Loom {
     /// Scans all records of `source` in `range`, newest to oldest
     /// (Figure 9: `raw_scan`).
+    ///
+    /// Equivalent to [`Loom::query`] with a [`TimeRange`] and no index;
+    /// kept as a named entry point because raw scans are a figure-9 API.
     pub fn raw_scan<F>(&self, source: SourceId, range: TimeRange, f: F) -> Result<QueryStats>
     where
         F: FnMut(Record<'_>),
     {
-        let view = QueryView::capture(&self.inner, source)?;
-        raw_scan::run(&view, source, range, f)
+        self.query(source).range(range).scan(f)
     }
 
     /// Scans records of `source` whose indexed value (per index `index`)
     /// lies in `values` and whose arrival time lies in `range`
     /// (Figure 9: `indexed_scan`). Records are delivered in log order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `loom.query(source).index(index).range(range).value_range(values).scan(f)`"
+    )]
     pub fn indexed_scan<F>(
         &self,
         source: SourceId,
@@ -218,10 +225,18 @@ impl Loom {
     where
         F: FnMut(Record<'_>),
     {
-        self.indexed_scan_opt(source, index, range, values, QueryOptions::default(), f)
+        self.query(source)
+            .index(index)
+            .range(range)
+            .value_range(values)
+            .scan(f)
     }
 
     /// [`Loom::indexed_scan`] with explicit index-ablation options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `loom.query(source).index(index).range(range).value_range(values).options(opts).scan(f)`"
+    )]
     pub fn indexed_scan_opt<F>(
         &self,
         source: SourceId,
@@ -234,13 +249,20 @@ impl Loom {
     where
         F: FnMut(Record<'_>),
     {
-        let meta = self.index_meta(source, index)?;
-        let view = QueryView::capture_from(&self.inner, &meta.source_shared)?;
-        indexed_scan::run(&view, &meta, range, values, opts, f)
+        self.query(source)
+            .index(index)
+            .range(range)
+            .value_range(values)
+            .options(opts)
+            .scan(f)
     }
 
     /// Aggregates the indexed values of `source` over `range`
     /// (Figure 9: `indexed_aggregate`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `loom.query(source).index(index).range(range).aggregate(method)`"
+    )]
     pub fn indexed_aggregate(
         &self,
         source: SourceId,
@@ -248,11 +270,18 @@ impl Loom {
         range: TimeRange,
         method: Aggregate,
     ) -> Result<AggregateResult> {
-        self.indexed_aggregate_opt(source, index, range, method, QueryOptions::default())
+        self.query(source)
+            .index(index)
+            .range(range)
+            .aggregate(method)
     }
 
     /// [`Loom::indexed_aggregate`] with explicit execution options
     /// (only [`QueryOptions::parallelism`] affects aggregates).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `loom.query(source).index(index).range(range).options(opts).aggregate(method)`"
+    )]
     pub fn indexed_aggregate_opt(
         &self,
         source: SourceId,
@@ -261,9 +290,11 @@ impl Loom {
         method: Aggregate,
         opts: QueryOptions,
     ) -> Result<AggregateResult> {
-        let meta = self.index_meta(source, index)?;
-        let view = QueryView::capture_from(&self.inner, &meta.source_shared)?;
-        aggregate::run(&view, &meta, range, method, opts)
+        self.query(source)
+            .index(index)
+            .range(range)
+            .options(opts)
+            .aggregate(method)
     }
 
     /// Returns the per-bin record counts of `index` over `range` — the
@@ -273,17 +304,25 @@ impl Loom {
     /// distributed coordinator (§8) merges per-node bin counts, picks
     /// the global target bin, and then range-scans only that bin's value
     /// range on each node. See [`coordinator`](crate::coordinator).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `loom.query(source).index(index).range(range).bin_counts()`"
+    )]
     pub fn bin_counts(
         &self,
         source: SourceId,
         index: IndexId,
         range: TimeRange,
     ) -> Result<(Vec<u64>, QueryStats)> {
-        self.bin_counts_opt(source, index, range, QueryOptions::default())
+        self.query(source).index(index).range(range).bin_counts()
     }
 
     /// [`Loom::bin_counts`] with explicit execution options
     /// (only [`QueryOptions::parallelism`] affects bin counting).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `loom.query(source).index(index).range(range).options(opts).bin_counts()`"
+    )]
     pub fn bin_counts_opt(
         &self,
         source: SourceId,
@@ -291,9 +330,11 @@ impl Loom {
         range: TimeRange,
         opts: QueryOptions,
     ) -> Result<(Vec<u64>, QueryStats)> {
-        let meta = self.index_meta(source, index)?;
-        let view = QueryView::capture_from(&self.inner, &meta.source_shared)?;
-        aggregate::bin_counts(&view, &meta, range, opts)
+        self.query(source)
+            .index(index)
+            .range(range)
+            .options(opts)
+            .bin_counts()
     }
 
     /// Returns the histogram specification of an index (validating that

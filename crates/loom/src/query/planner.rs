@@ -27,6 +27,7 @@ pub(crate) struct SummaryPlan {
 
 /// Builds a [`SummaryPlan`] for `range` using the timestamp index.
 pub(crate) fn plan(view: &QueryView<'_>, range: TimeRange) -> Result<SummaryPlan> {
+    view.obs.index.ts_seek();
     let tsv = TsIndexView::new(&view.ts);
     let last_seal = tsv.last_seal_at_or_before(u64::MAX)?;
     let (region_start, region_relevant, stop) = match &last_seal {

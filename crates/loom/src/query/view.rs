@@ -13,6 +13,7 @@ use std::num::NonZeroUsize;
 use crate::engine::Inner;
 use crate::error::Result;
 use crate::hybridlog::Snapshot;
+use crate::obs::Obs;
 use crate::record::{ChunkIter, ChunkRecord, RecordHeader, RECORD_HEADER_SIZE};
 use crate::registry::{SourceId, SourceShared};
 use crate::stats::QueryStats;
@@ -33,6 +34,8 @@ pub(crate) struct QueryView<'a> {
     /// Default worker-pool size for this view's queries
     /// (`Config::query_threads`).
     pub query_threads: usize,
+    /// The engine's self-observability registry.
+    pub obs: &'a Obs,
 }
 
 // The parallel executor shares one view (and its three snapshots) across
@@ -75,6 +78,7 @@ impl<'a> QueryView<'a> {
             source_last,
             chunk_size: inner.config.chunk_size as u64,
             query_threads: inner.config.query_threads,
+            obs: &inner.obs,
         })
     }
 

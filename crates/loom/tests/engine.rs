@@ -133,7 +133,11 @@ fn indexed_scan_matches_brute_force_filter() {
     let mut got = Vec::new();
     let stats = env
         .loom
-        .indexed_scan(s, idx, range, values, |r| {
+        .query(s)
+        .index(idx)
+        .range(range)
+        .value_range(values)
+        .scan(|r| {
             got.push((r.ts, u64::from_le_bytes(r.payload.try_into().unwrap())));
         })
         .unwrap();
@@ -181,7 +185,12 @@ fn indexed_scan_all_ablation_modes_agree() {
         };
         let mut got = std::collections::BTreeSet::new();
         env.loom
-            .indexed_scan_opt(s, idx, range, values, opts, |r| {
+            .query(s)
+            .index(idx)
+            .range(range)
+            .value_range(values)
+            .options(opts)
+            .scan(|r| {
                 got.insert((r.ts, u64::from_le_bytes(r.payload.try_into().unwrap())));
             })
             .unwrap();
@@ -207,31 +216,46 @@ fn distributive_aggregates_match_brute_force() {
 
     let count = env
         .loom
-        .indexed_aggregate(s, idx, range, Aggregate::Count)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .aggregate(Aggregate::Count)
         .unwrap();
     assert_eq!(count.value, Some(in_range.len() as f64));
 
     let sum = env
         .loom
-        .indexed_aggregate(s, idx, range, Aggregate::Sum)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .aggregate(Aggregate::Sum)
         .unwrap();
     assert!((sum.value.unwrap() - in_range.iter().sum::<f64>()).abs() < 1e-6);
 
     let min = env
         .loom
-        .indexed_aggregate(s, idx, range, Aggregate::Min)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .aggregate(Aggregate::Min)
         .unwrap();
     assert_eq!(min.value, in_range.iter().copied().reduce(f64::min));
 
     let max = env
         .loom
-        .indexed_aggregate(s, idx, range, Aggregate::Max)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .aggregate(Aggregate::Max)
         .unwrap();
     assert_eq!(max.value, in_range.iter().copied().reduce(f64::max));
 
     let mean = env
         .loom
-        .indexed_aggregate(s, idx, range, Aggregate::Mean)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .aggregate(Aggregate::Mean)
         .unwrap();
     let expected_mean = in_range.iter().sum::<f64>() / in_range.len() as f64;
     assert!((mean.value.unwrap() - expected_mean).abs() < 1e-9);
@@ -254,7 +278,10 @@ fn percentiles_match_nearest_rank_reference() {
     for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
         let result = env
             .loom
-            .indexed_aggregate(s, idx, range, Aggregate::Percentile(p))
+            .query(s)
+            .index(idx)
+            .range(range)
+            .aggregate(Aggregate::Percentile(p))
             .unwrap();
         let n = sorted.len() as f64;
         let rank = ((p / 100.0 * n).ceil() as usize).clamp(1, sorted.len());
@@ -279,13 +306,19 @@ fn aggregate_over_empty_range_is_none() {
     // A range before any data.
     let r = env
         .loom
-        .indexed_aggregate(s, idx, TimeRange::new(0, 500), Aggregate::Max)
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, 500))
+        .aggregate(Aggregate::Max)
         .unwrap();
     assert_eq!(r.value, None);
     assert_eq!(r.count, 0);
     let r = env
         .loom
-        .indexed_aggregate(s, idx, TimeRange::new(0, 500), Aggregate::Percentile(99.0))
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, 500))
+        .aggregate(Aggregate::Percentile(99.0))
         .unwrap();
     assert_eq!(r.value, None);
 }
@@ -301,12 +334,10 @@ fn percentile_out_of_range_is_rejected() {
     push_values(&mut env, s, 10, 10, |i| i);
     assert!(env
         .loom
-        .indexed_aggregate(
-            s,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            Aggregate::Percentile(101.0)
-        )
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .aggregate(Aggregate::Percentile(101.0))
         .is_err());
 }
 
@@ -326,7 +357,10 @@ fn querying_while_ingesting_sees_consistent_data() {
         total += 150;
         let r = env
             .loom
-            .indexed_aggregate(s, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+            .query(s)
+            .index(idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .aggregate(Aggregate::Count)
             .unwrap();
         assert_eq!(r.value, Some(total as f64), "batch {batch}");
     }
@@ -376,13 +410,11 @@ fn index_source_mismatch_is_rejected() {
     push_values(&mut env, a, 10, 5, |i| i);
     let err = env
         .loom
-        .indexed_scan(
-            b,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::all(),
-            |_| {},
-        )
+        .query(b)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .value_range(ValueRange::all())
+        .scan(|_| {})
         .unwrap_err();
     assert!(err.to_string().contains("defined over source"));
 }
@@ -404,15 +436,13 @@ fn late_defined_index_covers_only_new_data() {
     // (§5.3: older data is not re-indexed).
     let mut got = Vec::new();
     env.loom
-        .indexed_scan(
-            s,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::all(),
-            |r| {
-                got.push(u64::from_le_bytes(r.payload.try_into().unwrap()));
-            },
-        )
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .value_range(ValueRange::all())
+        .scan(|r| {
+            got.push(u64::from_le_bytes(r.payload.try_into().unwrap()));
+        })
         .unwrap();
     assert_eq!(got.len(), after.len());
     assert!(got.iter().all(|v| *v >= 200));
@@ -509,12 +539,18 @@ fn many_sources_with_indexes_do_not_interfere() {
     for (k, (s, idx)) in sources.iter().zip(&indexes).enumerate() {
         let r = env
             .loom
-            .indexed_aggregate(*s, *idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+            .query(*s)
+            .index(*idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .aggregate(Aggregate::Count)
             .unwrap();
         assert_eq!(r.value, Some(500.0), "source {k}");
         let min = env
             .loom
-            .indexed_aggregate(*s, *idx, TimeRange::new(0, u64::MAX), Aggregate::Min)
+            .query(*s)
+            .index(*idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .aggregate(Aggregate::Min)
             .unwrap();
         assert_eq!(min.value, Some((k as f64) * 10_000.0), "source {k}");
     }
@@ -542,13 +578,11 @@ fn exact_match_index_emulation_finds_only_matches() {
     let mut got = Vec::new();
     let stats = env
         .loom
-        .indexed_scan(
-            s,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::new(42.0, 42.0),
-            |r| got.push(u64::from_le_bytes(r.payload.try_into().unwrap())),
-        )
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .value_range(ValueRange::new(42.0, 42.0))
+        .scan(|r| got.push(u64::from_le_bytes(r.payload.try_into().unwrap())))
         .unwrap();
     // 42 appears at i = 0, 97, 194, ... but only when i % 1000 != 42 path;
     // count directly:
@@ -576,7 +610,10 @@ fn concurrent_reader_thread_never_sees_inconsistency() {
         let mut queries = 0u64;
         while !stop_r.load(std::sync::atomic::Ordering::Relaxed) {
             let r = reader_loom
-                .indexed_aggregate(s, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+                .query(s)
+                .index(idx)
+                .range(TimeRange::new(0, u64::MAX))
+                .aggregate(Aggregate::Count)
                 .unwrap();
             // Counts must be monotone over time; checked via max-so-far.
             queries = queries.max(r.value.unwrap_or(0.0) as u64);
@@ -589,7 +626,10 @@ fn concurrent_reader_thread_never_sees_inconsistency() {
     assert!(max_seen <= 30_000);
     let final_count = env
         .loom
-        .indexed_aggregate(s, idx, TimeRange::new(0, u64::MAX), Aggregate::Count)
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .aggregate(Aggregate::Count)
         .unwrap();
     assert_eq!(final_count.value, Some(30_000.0));
 }
@@ -629,16 +669,14 @@ fn external_timestamps_are_queryable_via_an_index() {
     // stays unbounded.
     let mut got = Vec::new();
     env.loom
-        .indexed_scan(
-            s,
-            ext_idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::new(200_000.0, 300_000.0),
-            |r| {
-                let ext = u64::from_le_bytes(r.payload[0..8].try_into().unwrap());
-                got.push(ext);
-            },
-        )
+        .query(s)
+        .index(ext_idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .value_range(ValueRange::new(200_000.0, 300_000.0))
+        .scan(|r| {
+            let ext = u64::from_le_bytes(r.payload[0..8].try_into().unwrap());
+            got.push(ext);
+        })
         .unwrap();
     assert_eq!(got.len() as u64, expected);
     assert!(got.iter().all(|e| (200_000..=300_000).contains(e)));
@@ -681,19 +719,28 @@ fn index_redefinition_covers_only_new_data_without_ingest_impact() {
     // The new index answers over post-cutover data.
     let r = env
         .loom
-        .indexed_aggregate(s, fine, TimeRange::new(cutover, u64::MAX), Aggregate::Max)
+        .query(s)
+        .index(fine)
+        .range(TimeRange::new(cutover, u64::MAX))
+        .aggregate(Aggregate::Max)
         .unwrap();
     assert_eq!(r.value, Some(10_000.0 + 799.0 * 100.0));
     // And sees none of the pre-cutover records (not re-indexed).
     let r = env
         .loom
-        .indexed_aggregate(s, fine, TimeRange::new(0, u64::MAX), Aggregate::Count)
+        .query(s)
+        .index(fine)
+        .range(TimeRange::new(0, u64::MAX))
+        .aggregate(Aggregate::Count)
         .unwrap();
     assert_eq!(r.value, Some(800.0));
     // The closed index still serves its own epoch's chunks.
     let r = env
         .loom
-        .indexed_aggregate(s, coarse, TimeRange::new(0, cutover), Aggregate::Count)
+        .query(s)
+        .index(coarse)
+        .range(TimeRange::new(0, cutover))
+        .aggregate(Aggregate::Count)
         .unwrap();
     assert_eq!(r.value, Some(800.0));
     // Raw scans are unaffected by index churn.
@@ -714,7 +761,13 @@ fn bin_counts_sum_to_indexed_record_count() {
         .unwrap();
     let pushed = push_values(&mut env, s, 3_000, 3, |i| (i * 17) % 120_000);
     let range = TimeRange::new(pushed[500].0, pushed[2500].0);
-    let (counts, stats) = env.loom.bin_counts(s, idx, range).unwrap();
+    let (counts, stats) = env
+        .loom
+        .query(s)
+        .index(idx)
+        .range(range)
+        .bin_counts()
+        .unwrap();
     assert_eq!(counts.iter().sum::<u64>(), 2_001);
     assert!(stats.summaries_scanned > 0);
     // Brute-force per-bin reference.
@@ -833,12 +886,19 @@ fn queries_spanning_memory_and_disk_are_seamless() {
     let range = TimeRange::new(first[1_500].0, env.loom.now());
     let count = env
         .loom
-        .indexed_aggregate(s, idx, range, Aggregate::Count)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .aggregate(Aggregate::Count)
         .unwrap();
     assert_eq!(count.value, Some(2_500.0));
     let mut n = 0;
     env.loom
-        .indexed_scan(s, idx, range, ValueRange::at_least(6_000.0), |_| n += 1)
+        .query(s)
+        .index(idx)
+        .range(range)
+        .value_range(ValueRange::at_least(6_000.0))
+        .scan(|_| n += 1)
         .unwrap();
     let expected = first[1_500..]
         .iter()
@@ -880,13 +940,11 @@ fn query_options_default_is_serial_with_both_indexes() {
     push_values(&mut env, s, 2_000, 3, |i| i % 900);
     let stats = env
         .loom
-        .indexed_scan(
-            s,
-            idx,
-            TimeRange::new(0, u64::MAX),
-            ValueRange::all(),
-            |_| {},
-        )
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .value_range(ValueRange::all())
+        .scan(|_| {})
         .unwrap();
     assert_eq!(stats.workers_used, 1, "default must stay serial: {stats:?}");
 }
@@ -916,7 +974,12 @@ fn parallel_queries_agree_with_serial_under_live_ingest() {
             // consistent (log-ordered) and counts monotone over rounds.
             let mut recs = Vec::new();
             let stats = reader_loom
-                .indexed_scan_opt(s, idx, range, vr, par, |r| recs.push(r.addr))
+                .query(s)
+                .index(idx)
+                .range(range)
+                .value_range(vr)
+                .options(par)
+                .scan(|r| recs.push(r.addr))
                 .unwrap();
             assert!(
                 recs.windows(2).all(|w| w[0] < w[1]),
@@ -927,7 +990,11 @@ fn parallel_queries_agree_with_serial_under_live_ingest() {
             // here (different snapshots), so compare against monotonicity
             // rather than equality with a racing snapshot.
             let count = reader_loom
-                .indexed_aggregate_opt(s, idx, range, Aggregate::Count, par)
+                .query(s)
+                .index(idx)
+                .range(range)
+                .options(par)
+                .aggregate(Aggregate::Count)
                 .unwrap();
             let c = count.value.unwrap_or(0.0) as u64;
             assert!(c >= last_count, "count went backwards: {c} < {last_count}");
@@ -952,18 +1019,31 @@ fn parallel_queries_agree_with_serial_under_live_ingest() {
     ] {
         let a = env
             .loom
-            .indexed_aggregate_opt(s, idx, range, method, serial)
+            .query(s)
+            .index(idx)
+            .range(range)
+            .options(serial)
+            .aggregate(method)
             .unwrap();
         let b = env
             .loom
-            .indexed_aggregate_opt(s, idx, range, method, par)
+            .query(s)
+            .index(idx)
+            .range(range)
+            .options(par)
+            .aggregate(method)
             .unwrap();
         assert_eq!(a.value, b.value, "{method:?}");
         assert_eq!(a.count, b.count, "{method:?}");
     }
     let stats = env
         .loom
-        .indexed_scan_opt(s, idx, range, ValueRange::all(), par, |_| {})
+        .query(s)
+        .index(idx)
+        .range(range)
+        .value_range(ValueRange::all())
+        .options(par)
+        .scan(|_| {})
         .unwrap();
     assert!(
         stats.workers_used > 1,
@@ -983,13 +1063,11 @@ fn value_range_edge_semantics_are_inclusive() {
     let count = |lo: f64, hi: f64| {
         let mut n = 0;
         env.loom
-            .indexed_scan(
-                s,
-                idx,
-                TimeRange::new(0, u64::MAX),
-                ValueRange::new(lo, hi),
-                |_| n += 1,
-            )
+            .query(s)
+            .index(idx)
+            .range(TimeRange::new(0, u64::MAX))
+            .value_range(ValueRange::new(lo, hi))
+            .scan(|_| n += 1)
             .unwrap();
         n
     };

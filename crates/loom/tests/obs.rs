@@ -1,0 +1,185 @@
+//! Integration tests for engine self-observability: metric snapshot
+//! consistency under concurrent ingest + query, and slow-query tracing.
+
+#![cfg(feature = "self-obs")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use loom::{extract, Aggregate, Clock, Config, HistogramSpec, Loom, QueryKind, TimeRange};
+
+fn spec() -> HistogramSpec {
+    HistogramSpec::from_bounds(vec![0.0, 100.0, 1_000.0, 10_000.0, 100_000.0]).unwrap()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("loom-obs-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn snapshot_is_consistent_under_concurrent_ingest_and_query() {
+    let dir = tmp("concurrent");
+    let (loom, mut writer) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+    let s = loom.define_source("src");
+    let idx = loom.define_index(s, extract::u64_le_at(0), spec()).unwrap();
+
+    // A reader thread issues queries and takes snapshots while the
+    // writer pushes; every intermediate snapshot must be internally
+    // consistent and counters must be monotone across snapshots.
+    let reader_loom = loom.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_r = Arc::clone(&stop);
+    let reader = std::thread::spawn(move || {
+        let mut last_queries = 0u64;
+        let mut last_flushes = 0u64;
+        let mut rounds = 0u64;
+        while !stop_r.load(Ordering::Relaxed) {
+            reader_loom
+                .query(s)
+                .index(idx)
+                .range(TimeRange::new(0, u64::MAX))
+                .aggregate(Aggregate::Count)
+                .unwrap();
+            let snap = reader_loom.metrics_snapshot();
+            // Monotone counters.
+            assert!(snap.query.queries >= last_queries, "queries went backwards");
+            assert!(
+                snap.hybridlog.flushes >= last_flushes,
+                "flushes went backwards"
+            );
+            last_queries = snap.query.queries;
+            last_flushes = snap.hybridlog.flushes;
+            // Internal consistency: completed flushes never exceed
+            // enqueued ones, and chunk-index hits never exceed probes.
+            assert!(snap.hybridlog.flushes <= snap.hybridlog.flushes_enqueued);
+            assert!(snap.index.chunk_hits <= snap.index.summary_probes + snap.query.queries);
+            // The latency histogram accounts for every query it saw (it
+            // may lag the counter by in-flight queries, never exceed it).
+            assert!(snap.query.query_latency.total() <= snap.query.queries);
+            rounds += 1;
+        }
+        rounds
+    });
+
+    for i in 0..20_000u64 {
+        loom.clock().advance(1_000);
+        writer.push(s, &(i % 10_000).to_le_bytes()).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let rounds = reader.join().unwrap();
+    assert!(rounds > 0, "reader thread never completed a round");
+    writer.sync().unwrap();
+
+    // Quiesced: the final snapshot spans all four layers.
+    let snap = loom.metrics_snapshot();
+    assert!(snap.query.queries >= rounds, "each round ran one query");
+    assert!(snap.query.query_nanos > 0);
+    assert!(
+        snap.hybridlog.block_seals > 0,
+        "20k records must seal blocks"
+    );
+    assert!(snap.hybridlog.flushes > 0, "sync forces at least one flush");
+    assert_eq!(snap.hybridlog.flushes, snap.hybridlog.flushes_enqueued);
+    assert_eq!(snap.hybridlog.flush_queue_depth, 0, "queue drains at sync");
+    assert_eq!(snap.hybridlog.flush_latency.total(), snap.hybridlog.flushes);
+    assert!(snap.coordinator.chunks_sealed > 0);
+    assert!(snap.coordinator.summary_bytes > 0);
+    assert!(snap.index.ts_seeks >= rounds, "every indexed query seeks");
+    assert!(snap.index.summary_probes > 0);
+    assert_eq!(snap.query.query_latency.total(), snap.query.queries);
+
+    // The flat view exposes at least 12 distinct metrics over 4 layers.
+    let names = snap.named_values();
+    assert!(names.len() >= 12, "only {} metrics", names.len());
+    for layer in ["hybridlog", "coordinator", "index", "query"] {
+        assert!(
+            names.iter().any(|(n, _)| n.contains(layer)),
+            "no metric for layer {layer}"
+        );
+    }
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_query_ring_wraps_under_a_near_zero_threshold() {
+    let dir = tmp("slow");
+    // Threshold 1 ns: every query is "slow". Ring of 4.
+    let config = Config::small(&dir)
+        .with_slow_query_nanos(1)
+        .with_slow_query_log(4);
+    let (loom, mut writer) = Loom::open_with_clock(config, Clock::manual(0)).unwrap();
+    let s = loom.define_source("src");
+    let idx = loom.define_index(s, extract::u64_le_at(0), spec()).unwrap();
+    for i in 0..2_000u64 {
+        loom.clock().advance(500);
+        writer.push(s, &(i % 5_000).to_le_bytes()).unwrap();
+    }
+
+    let range = TimeRange::new(0, loom.now());
+    for _ in 0..9 {
+        loom.query(s)
+            .index(idx)
+            .range(range)
+            .aggregate(Aggregate::Max)
+            .unwrap();
+    }
+    let (_counts, _stats) = loom.query(s).index(idx).range(range).bin_counts().unwrap();
+
+    let traces = loom.recent_slow_queries();
+    assert_eq!(traces.len(), 4, "ring capacity bounds retained traces");
+    // Oldest first, contiguous sequence numbers ending at the last query.
+    let seqs: Vec<u64> = traces.iter().map(|t| t.seq).collect();
+    assert_eq!(seqs, vec![6, 7, 8, 9]);
+    assert_eq!(traces[3].kind, QueryKind::BinCounts);
+    assert_eq!(traces[2].kind, QueryKind::Aggregate);
+    for t in &traces {
+        assert_eq!(t.source, s.0);
+        assert_eq!(t.index, Some(idx.0));
+        assert!(t.total_nanos >= 1);
+        assert!(t.used_ts_index && t.used_chunk_index);
+        assert!(t.summaries_scanned > 0, "sealed chunks were summarized");
+        assert_eq!(
+            t.chunks_pruned,
+            t.summaries_scanned.saturating_sub(t.chunks_scanned)
+        );
+    }
+    // Per-phase timings were captured for the traced queries.
+    assert!(traces.iter().any(|t| {
+        t.phases.plan_nanos
+            + t.phases.select_nanos
+            + t.phases.chunk_scan_nanos
+            + t.phases.tail_scan_nanos
+            > 0
+    }));
+    let snap = loom.metrics_snapshot();
+    assert_eq!(snap.query.slow_queries, 10, "all ten queries crossed 1 ns");
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn default_threshold_records_no_slow_queries_for_fast_workloads() {
+    let dir = tmp("fast");
+    // Default threshold is 100 ms; tiny queries stay well under it.
+    let (loom, mut writer) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+    let s = loom.define_source("src");
+    let idx = loom.define_index(s, extract::u64_le_at(0), spec()).unwrap();
+    for i in 0..100u64 {
+        loom.clock().advance(10);
+        writer.push(s, &i.to_le_bytes()).unwrap();
+    }
+    loom.query(s)
+        .index(idx)
+        .range(TimeRange::new(0, u64::MAX))
+        .aggregate(Aggregate::Count)
+        .unwrap();
+    assert!(loom.recent_slow_queries().is_empty());
+    assert_eq!(loom.metrics_snapshot().query.slow_queries, 0);
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -614,15 +614,19 @@ fn drain(db: &Arc<DbInner>) -> std::io::Result<()> {
                 state.levels.push(Vec::new());
             }
             state.levels[0].push(Arc::new(table));
+            // Publish the flush statistics before dropping the immutable:
+            // waiters poll `immutables.is_empty()` (e.g. `sync`,
+            // `wait_maintenance_idle`) and must not observe an empty queue
+            // with the flush still unaccounted.
+            db.stats.flushes.fetch_add(1, Ordering::Relaxed);
+            db.stats.bytes_flushed.fetch_add(bytes, Ordering::Relaxed);
+            db.stats
+                .flush_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             state.immutables.pop_front();
             save_manifest(db, &state)?;
         }
         let _ = std::fs::remove_file(db.config.dir.join(format!("wal-{wal_seq:010}")));
-        db.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        db.stats.bytes_flushed.fetch_add(bytes, Ordering::Relaxed);
-        db.stats
-            .flush_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
     // Size-tiered compaction to fixpoint.
     loop {

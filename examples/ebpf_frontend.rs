@@ -113,25 +113,21 @@ fn main() -> loom::Result<()> {
     println!("drill-down via Loom (the streaming front-end cannot do this):");
     let everything = TimeRange::new(0, loom.now());
     let p999 = loom
-        .indexed_aggregate(
-            syscalls,
-            latency_idx,
-            everything,
-            Aggregate::Percentile(99.9),
-        )?
+        .query(syscalls)
+        .index(latency_idx)
+        .range(everything)
+        .aggregate(Aggregate::Percentile(99.9))?
         .value
         .unwrap();
     let mut culprits = Vec::new();
-    loom.indexed_scan(
-        syscalls,
-        latency_idx,
-        everything,
-        ValueRange::at_least(p999.max(1_000_000.0)),
-        |r| {
+    loom.query(syscalls)
+        .index(latency_idx)
+        .range(everything)
+        .value_range(ValueRange::at_least(p999.max(1_000_000.0)))
+        .scan(|r| {
             let rec = LatencyRecord::decode(r.payload).expect("48-byte record");
             culprits.push((rec.pid, rec.latency_ns, r.ts));
-        },
-    )?;
+        })?;
     println!("  events above max(p99.9, 1ms): {}", culprits.len());
     let mut by_pid = std::collections::HashMap::new();
     for (pid, _, _) in &culprits {

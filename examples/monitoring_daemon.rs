@@ -80,8 +80,11 @@ fn main() -> loom::Result<()> {
             std::thread::sleep(Duration::from_millis(200));
             let now = query_loom.now();
             let last_100ms = TimeRange::last(now, 100_000_000);
-            if let Ok(result) =
-                query_loom.indexed_aggregate(app_source, latency_index, last_100ms, Aggregate::Max)
+            if let Ok(result) = query_loom
+                .query(app_source)
+                .index(latency_index)
+                .range(last_100ms)
+                .aggregate(Aggregate::Max)
             {
                 reports.push(result.value);
             }

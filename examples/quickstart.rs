@@ -59,7 +59,11 @@ fn main() -> loom::Result<()> {
     //    chunk summaries, scans from the few matching chunks.
     let everything = TimeRange::new(0, loom.now());
 
-    let max = loom.indexed_aggregate(requests, latency_index, everything, Aggregate::Max)?;
+    let max = loom
+        .query(requests)
+        .index(latency_index)
+        .range(everything)
+        .aggregate(Aggregate::Max)?;
     println!(
         "max latency     : {:>12.0} ns   ({} summaries, {} chunks scanned)",
         max.value.unwrap(),
@@ -67,12 +71,11 @@ fn main() -> loom::Result<()> {
         max.stats.chunks_scanned
     );
 
-    let p9999 = loom.indexed_aggregate(
-        requests,
-        latency_index,
-        everything,
-        Aggregate::Percentile(99.99),
-    )?;
+    let p9999 = loom
+        .query(requests)
+        .index(latency_index)
+        .range(everything)
+        .aggregate(Aggregate::Percentile(99.99))?;
     println!(
         "p99.99 latency  : {:>12.0} ns   ({} summaries, {} chunks scanned)",
         p9999.value.unwrap(),
@@ -82,17 +85,16 @@ fn main() -> loom::Result<()> {
 
     // Data-dependent range scan: everything above the p99.99.
     let mut slow = Vec::new();
-    let stats = loom.indexed_scan(
-        requests,
-        latency_index,
-        everything,
-        ValueRange::at_least(p9999.value.unwrap()),
-        |record| {
+    let stats = loom
+        .query(requests)
+        .index(latency_index)
+        .range(everything)
+        .value_range(ValueRange::at_least(p9999.value.unwrap()))
+        .scan(|record| {
             let latency = u64::from_le_bytes(record.payload[0..8].try_into().unwrap());
             let seq = u64::from_le_bytes(record.payload[8..16].try_into().unwrap());
             slow.push((seq, latency));
-        },
-    )?;
+        })?;
     println!(
         "requests above p99.99: {} (index skipped {} of {} summarized chunks)",
         slow.len(),

@@ -44,25 +44,21 @@ fn main() -> loom::Result<()> {
 
     // Step 1: find the slow requests (above p99.99).
     let p = loom
-        .indexed_aggregate(
-            setup.app,
-            setup.app_latency,
-            everything,
-            Aggregate::Percentile(99.99),
-        )?
+        .query(setup.app)
+        .index(setup.app_latency)
+        .range(everything)
+        .aggregate(Aggregate::Percentile(99.99))?
         .value
         .expect("data present");
     let mut slow_requests = Vec::new();
-    loom.indexed_scan(
-        setup.app,
-        setup.app_latency,
-        everything,
-        ValueRange::at_least(p.max(10_000_000.0)), // clearly-slow: >10 ms
-        |r| {
+    loom.query(setup.app)
+        .index(setup.app_latency)
+        .range(everything)
+        .value_range(ValueRange::at_least(p.max(10_000_000.0))) // clearly-slow: >10 ms
+        .scan(|r| {
             let rec = LatencyRecord::decode(r.payload).expect("48-byte record");
             slow_requests.push((r.ts, rec.latency_ns));
-        },
-    )?;
+        })?;
     println!(
         "step 1: {} suspiciously slow requests (>10 ms):",
         slow_requests.len()
@@ -76,18 +72,16 @@ fn main() -> loom::Result<()> {
     let mut slow_recvs = Vec::new();
     for (ts, _) in &slow_requests {
         let vicinity = TimeRange::new(ts.saturating_sub(200_000_000), ts + 200_000_000);
-        loom.indexed_scan(
-            setup.syscall,
-            setup.syscall_latency,
-            vicinity,
-            ValueRange::at_least(10_000_000.0),
-            |r| {
+        loom.query(setup.syscall)
+            .index(setup.syscall_latency)
+            .range(vicinity)
+            .value_range(ValueRange::at_least(10_000_000.0))
+            .scan(|r| {
                 let rec = LatencyRecord::decode(r.payload).expect("48-byte record");
                 if rec.op == SYS_RECVFROM {
                     slow_recvs.push((r.ts, rec.latency_ns));
                 }
-            },
-        )?;
+            })?;
     }
     println!(
         "  every slow request has a slow recvfrom nearby: {} found",

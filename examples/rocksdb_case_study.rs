@@ -32,7 +32,10 @@ fn main() -> loom::Result<()> {
     let loom = &setup.loom;
 
     let aggregate = |source, index, range: (u64, u64), method| {
-        loom.indexed_aggregate(source, index, TimeRange::new(range.0, range.1), method)
+        loom.query(source)
+            .index(index)
+            .range(TimeRange::new(range.0, range.1))
+            .aggregate(method)
     };
 
     // Phase 1: application-level aggregates.

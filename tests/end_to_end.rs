@@ -37,14 +37,12 @@ fn drilldown_finds_every_injected_anomaly() {
 
     // Slow requests above 10 ms (the injected anomalies).
     let mut slow = Vec::new();
-    loom.indexed_scan(
-        setup.app,
-        setup.app_latency,
-        everything,
-        ValueRange::at_least(10_000_000.0),
-        |r| slow.push(r.ts),
-    )
-    .unwrap();
+    loom.query(setup.app)
+        .index(setup.app_latency)
+        .range(everything)
+        .value_range(ValueRange::at_least(10_000_000.0))
+        .scan(|r| slow.push(r.ts))
+        .unwrap();
     assert_eq!(slow.len(), 4);
 
     // Packets with mangled ports near each slow request.
@@ -90,12 +88,10 @@ fn loom_fishstore_and_tsdb_agree_on_query_results() {
     // Count app records in the P2 window on all three systems.
     let loom_count = loom_setup
         .loom
-        .indexed_aggregate(
-            loom_setup.app,
-            loom_setup.app_latency,
-            window,
-            Aggregate::Count,
-        )
+        .query(loom_setup.app)
+        .index(loom_setup.app_latency)
+        .range(window)
+        .aggregate(Aggregate::Count)
         .unwrap()
         .value
         .unwrap_or(0.0) as u64;
@@ -118,12 +114,10 @@ fn loom_fishstore_and_tsdb_agree_on_query_results() {
     // Max latency agrees too.
     let loom_max = loom_setup
         .loom
-        .indexed_aggregate(
-            loom_setup.app,
-            loom_setup.app_latency,
-            window,
-            Aggregate::Max,
-        )
+        .query(loom_setup.app)
+        .index(loom_setup.app_latency)
+        .range(window)
+        .aggregate(Aggregate::Max)
         .unwrap()
         .value
         .unwrap();
