@@ -7,7 +7,7 @@
 //! and run the three query operators interactively.
 //!
 //! ```text
-//! cargo run --release -p daemon --bin loomd
+//! cargo run --release -p daemon --bin loomd -- --dir /var/tmp/loom-data
 //! loom> source app
 //! loom> index app lat 8 exp 1000 4 10
 //! loom> gen app 100000 lognormal 200000 0.5
@@ -18,18 +18,30 @@
 //! loom> quit
 //! ```
 //!
+//! With `--dir` the data directory is durable: it is reopened (running
+//! crash recovery if the previous process died) and kept on exit, and
+//! SIGINT/SIGTERM trigger a graceful [`loom::LoomWriter::close`] so the
+//! next start takes the clean-shutdown fast path. Without `--dir` loomd
+//! uses a throwaway temp directory.
+//!
 //! Generated records use the 48-byte `LatencyRecord` layout, so the
 //! index field offset for the latency value is 8.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
-use loom::{Aggregate, HistogramSpec, TimeRange, ValueRange};
+use loom::{Aggregate, ExtractorDesc, HistogramSpec, TimeRange, ValueRange};
 use telemetry::records::LatencyRecord;
+
+/// The writer slot shared between the shell and the signal watcher: taking
+/// the writer out closes the instance exactly once.
+type WriterSlot = Arc<Mutex<Option<loom::LoomWriter>>>;
 
 struct Shell {
     loom: loom::Loom,
-    writer: loom::LoomWriter,
+    writer: WriterSlot,
     sources: HashMap<String, loom::SourceId>,
     indexes: HashMap<(String, String), loom::IndexId>,
     seq: u64,
@@ -264,9 +276,11 @@ impl Shell {
                     SpecKind::Exact(v) => HistogramSpec::exact_match(v),
                 }
                 .map_err(|e| e.to_string())?;
+                // Declarative extractor, so the index survives a reopen of
+                // a `--dir` data directory in full.
                 let id = self
                     .loom
-                    .define_index(sid, loom::extract::u64_le_at(offset), spec)
+                    .define_index_desc(sid, ExtractorDesc::U64Le(offset as u32), spec)
                     .map_err(|e| e.to_string())?;
                 self.indexes.insert((source.clone(), name.clone()), id);
                 Ok(format!("index {source}.{name} = {id:?}"))
@@ -280,6 +294,9 @@ impl Shell {
                 use rand::SeedableRng;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(self.seq ^ 0x9E37);
                 let start = std::time::Instant::now();
+                let writer = Arc::clone(&self.writer);
+                let mut guard = writer.lock().map_err(|_| "writer lock poisoned")?;
+                let writer = guard.as_mut().ok_or("instance already closed")?;
                 for _ in 0..count {
                     let latency = match &dist {
                         DistKind::LogNormal { median, sigma } => {
@@ -301,9 +318,7 @@ impl Shell {
                         flags: 0,
                         cpu: 0,
                     };
-                    self.writer
-                        .push(sid, &rec.encode())
-                        .map_err(|e| e.to_string())?;
+                    writer.push(sid, &rec.encode()).map_err(|e| e.to_string())?;
                     self.seq += 1;
                 }
                 let elapsed = start.elapsed();
@@ -451,27 +466,151 @@ fn format_slow_trace(t: &loom::SlowQueryTrace) -> String {
     )
 }
 
-/// Parses `--stats-interval <secs>` from the command line, if present.
-fn stats_interval() -> Option<std::time::Duration> {
-    let mut args = std::env::args().skip(1);
+const USAGE: &str = "\
+usage: loomd [--dir <path>] [--stats-interval <secs>] [--help]
+  --dir <path>            durable data directory: reopened (with crash
+                          recovery) if it already holds Loom data, created
+                          otherwise, and kept on exit. Without --dir loomd
+                          uses a throwaway temp directory.
+  --stats-interval <secs> dump engine metrics to stderr periodically
+  --help                  show this help";
+
+struct Options {
+    dir: Option<PathBuf>,
+    stats_interval: Option<std::time::Duration>,
+    help: bool,
+}
+
+/// Parses the command line. Exposed for tests.
+fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut opts = Options {
+        dir: None,
+        stats_interval: None,
+        help: false,
+    };
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
-        if arg == "--stats-interval" {
-            let secs: u64 = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("usage: loomd [--stats-interval <secs>]");
-            return Some(std::time::Duration::from_secs(secs.max(1)));
+        match arg.as_str() {
+            "--dir" => {
+                let path = args.next().ok_or("--dir needs a path")?;
+                opts.dir = Some(PathBuf::from(path));
+            }
+            "--stats-interval" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--stats-interval needs a number of seconds")?;
+                opts.stats_interval = Some(std::time::Duration::from_secs(secs.max(1)));
+            }
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    None
+    Ok(opts)
+}
+
+/// Human-readable recovery report, printed to stderr on reopen.
+fn format_recovery(report: &loom::RecoveryReport) -> String {
+    if report.clean {
+        return "loomd: reopened data directory (clean shutdown fast path)".to_string();
+    }
+    let mut out = format!(
+        "loomd: recovered data directory after unclean shutdown in {:.2?}:\n\
+         loomd:   {} records scanned, {} summaries rebuilt, {} seals re-appended",
+        std::time::Duration::from_nanos(report.duration_nanos),
+        report.records_scanned,
+        report.summaries_rebuilt,
+        report.seals_appended,
+    );
+    for t in &report.truncations {
+        out.push_str(&format!(
+            "\nloomd:   {}: truncated {} torn bytes at {} ({})",
+            t.log.file_name(),
+            t.bytes_truncated(),
+            t.new_tail,
+            t.reason
+        ));
+    }
+    out
+}
+
+/// Closes the instance exactly once (the slot is emptied), optionally
+/// removes an ephemeral data directory, and exits.
+fn shutdown(writer: &WriterSlot, keep_dir: bool, dir: &Path, why: &str) -> ! {
+    let taken = writer.lock().ok().and_then(|mut slot| slot.take());
+    if let Some(w) = taken {
+        match w.close() {
+            Ok(()) => eprintln!("loomd: {why}: closed cleanly"),
+            Err(e) => eprintln!("loomd: {why}: close failed: {e}"),
+        }
+    }
+    if keep_dir {
+        eprintln!("loomd: data kept at {}", dir.display());
+    } else {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    std::process::exit(0);
+}
+
+/// SIGINT/SIGTERM handling without a libc dependency: a raw binding to
+/// `signal(2)` installs a handler that only sets an atomic flag, and a
+/// watcher thread polls the flag and runs the graceful shutdown.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
 }
 
 fn main() {
-    let dir = std::env::temp_dir().join(format!("loomd-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let (loom_handle, writer) =
-        loom::Loom::open(loom::Config::new(&dir)).expect("open loom instance");
-    if let Some(interval) = stats_interval() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loomd: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    let (dir, ephemeral) = match opts.dir {
+        Some(d) => (d, false),
+        None => {
+            let d = std::env::temp_dir().join(format!("loomd-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            (d, true)
+        }
+    };
+    let (loom_handle, writer) = match loom::Loom::open(loom::Config::new(&dir)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loomd: cannot open {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    if let Some(report) = loom_handle.recovery_report() {
+        eprintln!("{}", format_recovery(&report));
+    }
+    if let Some(interval) = opts.stats_interval {
         // Periodic self-observability dump on stderr, so it interleaves
         // with but never corrupts the interactive stdout stream.
         let metrics_loom = loom_handle.clone();
@@ -483,13 +622,45 @@ fn main() {
             );
         });
     }
+
+    let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
+    #[cfg(unix)]
+    {
+        signals::install();
+        let slot = Arc::clone(&writer);
+        let keep_dir = !ephemeral;
+        let dir = dir.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            if signals::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+                shutdown(&slot, keep_dir, &dir, "signal");
+            }
+        });
+    }
+
     let mut shell = Shell {
-        loom: loom_handle,
-        writer,
+        loom: loom_handle.clone(),
+        writer: Arc::clone(&writer),
         sources: HashMap::new(),
         indexes: HashMap::new(),
         seq: 0,
     };
+    // Re-resolve the schema that survived a reopen: sources keep their
+    // names; restored indexes get positional names (`i<id>`) because
+    // shell-local index names are not part of the durable schema.
+    for (sid, name, closed) in loom_handle.sources() {
+        if closed {
+            continue;
+        }
+        for iid in loom_handle.indexes_of(sid) {
+            let iname = format!("i{}", iid.0);
+            eprintln!("loomd: restored index {name}.{iname}");
+            shell.indexes.insert((name.clone(), iname), iid);
+        }
+        eprintln!("loomd: restored source {name} = {sid:?}");
+        shell.sources.insert(name, sid);
+    }
+
     println!("loomd — interactive Loom shell (type `help`)");
     let stdin = std::io::stdin();
     loop {
@@ -511,7 +682,7 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
-    let _ = std::fs::remove_dir_all(&dir);
+    shutdown(&shell.writer, !ephemeral, &dir, "quit");
 }
 
 #[cfg(test)]
@@ -565,6 +736,20 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_handles_dir_interval_and_help() {
+        fn to_args(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(String::from)
+        }
+        let opts = parse_args(to_args("--dir /tmp/x --stats-interval 5")).unwrap();
+        assert_eq!(opts.dir.as_deref(), Some(Path::new("/tmp/x")));
+        assert_eq!(opts.stats_interval, Some(std::time::Duration::from_secs(5)));
+        assert!(!opts.help);
+        assert!(parse_args(to_args("--help")).unwrap().help);
+        assert!(parse_args(to_args("--dir")).is_err());
+        assert!(parse_args(to_args("--bogus")).is_err());
+    }
+
+    #[test]
     fn parse_rejects_malformed_lines() {
         assert!(parse("").is_err());
         assert!(parse("source").is_err());
@@ -581,7 +766,7 @@ mod tests {
         let (l, w) = loom::Loom::open(loom::Config::small(&dir)).unwrap();
         let mut shell = Shell {
             loom: l,
-            writer: w,
+            writer: Arc::new(Mutex::new(Some(w))),
             sources: HashMap::new(),
             indexes: HashMap::new(),
             seq: 0,

@@ -1,12 +1,13 @@
 //! Read-side access to the chunk index (§4.2).
 //!
-//! The chunk index is a hybrid log of serialized, length-prefixed
+//! The chunk index is a hybrid log of serialized, checksum-framed
 //! [`ChunkSummary`] entries, appended in chunk order when chunks seal.
 //! Because the writer publishes the chunk-index watermark only after
 //! appending a complete summary, every view of the chunk index ends at a
 //! summary boundary and can be scanned sequentially.
 
-use crate::error::Result;
+use crate::durability::{LogId, FRAME_HEADER_SIZE, MAX_FRAME_LEN};
+use crate::error::{LoomError, Result};
 use crate::hybridlog::LogRead;
 use crate::summary::ChunkSummary;
 
@@ -37,26 +38,46 @@ impl<'a, R: LogRead> SummaryCursor<'a, R> {
 
     /// Reads the next summary, advancing the cursor.
     ///
-    /// Returns `Ok(None)` at the end of the view.
+    /// Returns `Ok(None)` at the end of the view. A nonsense length prefix
+    /// (larger than any encodable summary) or a checksum mismatch is
+    /// reported as [`LoomError::CorruptLog`] *before* any oversized
+    /// allocation is attempted.
     // Not `Iterator::next`: this is fallible and borrows internal scratch.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<ChunkSummary>> {
         let limit = self.log.limit();
-        if self.pos + 4 > limit {
+        if self.pos + FRAME_HEADER_SIZE as u64 > limit {
             return Ok(None);
         }
         let mut len_buf = [0u8; 4];
         self.log.read_at(self.pos, &mut len_buf)?;
         let body_len = u32::from_le_bytes(len_buf) as u64;
-        if self.pos + 4 + body_len > limit {
-            // A summary is published atomically with its length prefix, so
+        if body_len > MAX_FRAME_LEN {
+            // Validate the length prefix before sizing the scratch buffer:
+            // a corrupt prefix must not trigger a huge allocation.
+            return Err(LoomError::CorruptLog {
+                log: LogId::Chunks,
+                addr: self.pos,
+                reason: format!("summary length prefix {body_len} exceeds {MAX_FRAME_LEN}"),
+            });
+        }
+        if self.pos + FRAME_HEADER_SIZE as u64 + body_len > limit {
+            // A summary is published atomically with its frame header, so
             // running past the limit means the caller's view simply ends
             // here (e.g., a snapshot taken mid-append of the *next* batch).
             return Ok(None);
         }
-        self.scratch.resize(4 + body_len as usize, 0);
+        self.scratch
+            .resize(FRAME_HEADER_SIZE + body_len as usize, 0);
         self.log.read_at(self.pos, &mut self.scratch)?;
-        let (summary, consumed) = ChunkSummary::decode(&self.scratch)?;
+        let (summary, consumed) = ChunkSummary::decode(&self.scratch).map_err(|e| match e {
+            LoomError::Corrupt(reason) => LoomError::CorruptLog {
+                log: LogId::Chunks,
+                addr: self.pos,
+                reason,
+            },
+            other => other,
+        })?;
         self.pos += consumed as u64;
         Ok(Some(summary))
     }
@@ -65,7 +86,6 @@ impl<'a, R: LogRead> SummaryCursor<'a, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::LoomError;
 
     struct MemLog(Vec<u8>);
 
@@ -116,12 +136,12 @@ mod tests {
     #[test]
     fn cursor_starting_mid_log_reads_suffix() {
         let (log, expected) = summaries(5);
-        // Find the address of the third summary by replaying lengths.
+        // Find the address of the third summary by replaying frame lengths.
         let mut pos = 0u64;
         for _ in 0..2 {
             let mut len_buf = [0u8; 4];
             log.read_at(pos, &mut len_buf).unwrap();
-            pos += 4 + u32::from_le_bytes(len_buf) as u64;
+            pos += FRAME_HEADER_SIZE as u64 + u32::from_le_bytes(len_buf) as u64;
         }
         let mut cur = SummaryCursor::new(&log, pos);
         let mut got = Vec::new();
@@ -143,6 +163,45 @@ mod tests {
             got.push(s);
         }
         assert_eq!(got, expected[..2]);
+    }
+
+    #[test]
+    fn nonsense_length_prefix_is_corrupt_not_an_allocation() {
+        let (log, _) = summaries(2);
+        let mut bytes = log.0;
+        // Stamp an absurd length into the first frame's prefix.
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let log = MemLog(bytes);
+        let mut cur = SummaryCursor::new(&log, 0);
+        match cur.next() {
+            Err(LoomError::CorruptLog { log, addr, reason }) => {
+                assert_eq!(log, LogId::Chunks);
+                assert_eq!(addr, 0);
+                assert!(reason.contains("length prefix"), "{reason}");
+            }
+            other => panic!("expected CorruptLog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_reported_with_address() {
+        let (log, _) = summaries(3);
+        let mut bytes = log.0;
+        // Locate the second frame and corrupt a body byte.
+        let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let second = FRAME_HEADER_SIZE + first_len;
+        bytes[second + FRAME_HEADER_SIZE + 3] ^= 0x20;
+        let log = MemLog(bytes);
+        let mut cur = SummaryCursor::new(&log, 0);
+        assert!(cur.next().unwrap().is_some());
+        match cur.next() {
+            Err(LoomError::CorruptLog { log, addr, reason }) => {
+                assert_eq!(log, LogId::Chunks);
+                assert_eq!(addr, second as u64);
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected CorruptLog, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,8 +12,10 @@ use std::time::Instant;
 /// A source of monotonically non-decreasing nanosecond timestamps.
 #[derive(Debug, Clone)]
 pub enum Clock {
-    /// Wall-free monotonic clock: nanoseconds since the clock was created.
-    Monotonic(Arc<Instant>),
+    /// Wall-free monotonic clock: nanoseconds since the clock was created,
+    /// plus a resume offset so a reopened instance continues the timeline
+    /// of its data directory instead of restarting at zero.
+    Monotonic(Arc<Instant>, Arc<AtomicU64>),
     /// Manually advanced clock for tests and deterministic replay.
     Manual(Arc<AtomicU64>),
 }
@@ -21,7 +23,7 @@ pub enum Clock {
 impl Clock {
     /// Creates a monotonic clock whose epoch is "now".
     pub fn monotonic() -> Self {
-        Clock::Monotonic(Arc::new(Instant::now()))
+        Clock::Monotonic(Arc::new(Instant::now()), Arc::new(AtomicU64::new(0)))
     }
 
     /// Creates a manual clock starting at `start` nanoseconds.
@@ -32,8 +34,27 @@ impl Clock {
     /// Returns the current timestamp in nanoseconds.
     pub fn now(&self) -> u64 {
         match self {
-            Clock::Monotonic(epoch) => epoch.elapsed().as_nanos() as u64,
+            Clock::Monotonic(epoch, offset) => {
+                epoch.elapsed().as_nanos() as u64 + offset.load(Ordering::Relaxed)
+            }
             Clock::Manual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ensures every future [`Clock::now`] returns at least `floor`.
+    ///
+    /// Used when reopening a data directory: record timestamps must keep
+    /// increasing across restarts, so the clock resumes after the last
+    /// durable timestamp. Never moves the clock backwards.
+    pub fn resume_at_least(&self, floor: u64) {
+        match self {
+            Clock::Monotonic(epoch, offset) => {
+                let elapsed = epoch.elapsed().as_nanos() as u64;
+                offset.fetch_max(floor.saturating_sub(elapsed), Ordering::Relaxed);
+            }
+            Clock::Manual(t) => {
+                t.fetch_max(floor, Ordering::Relaxed);
+            }
         }
     }
 
@@ -46,7 +67,7 @@ impl Clock {
     pub fn advance(&self, delta: u64) -> u64 {
         match self {
             Clock::Manual(t) => t.fetch_add(delta, Ordering::Relaxed) + delta,
-            Clock::Monotonic(_) => panic!("cannot advance a monotonic clock"),
+            Clock::Monotonic(..) => panic!("cannot advance a monotonic clock"),
         }
     }
 
@@ -62,7 +83,7 @@ impl Clock {
                 let prev = cur.swap(t, Ordering::Relaxed);
                 assert!(prev <= t, "manual clock moved backwards: {prev} -> {t}");
             }
-            Clock::Monotonic(_) => panic!("cannot set a monotonic clock"),
+            Clock::Monotonic(..) => panic!("cannot set a monotonic clock"),
         }
     }
 }
@@ -100,6 +121,23 @@ mod tests {
     fn manual_clock_rejects_backwards_set() {
         let c = Clock::manual(100);
         c.set(50);
+    }
+
+    #[test]
+    fn resume_at_least_lifts_both_clock_kinds() {
+        let m = Clock::monotonic();
+        m.resume_at_least(1_000_000_000_000);
+        assert!(m.now() >= 1_000_000_000_000);
+        // Resuming below the current time is a no-op.
+        let t = m.now();
+        m.resume_at_least(5);
+        assert!(m.now() >= t);
+
+        let c = Clock::manual(100);
+        c.resume_at_least(500);
+        assert_eq!(c.now(), 500);
+        c.resume_at_least(50);
+        assert_eq!(c.now(), 500);
     }
 
     #[test]

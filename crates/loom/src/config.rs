@@ -4,6 +4,7 @@ use std::path::PathBuf;
 
 use crate::error::{LoomError, Result};
 use crate::record::RECORD_HEADER_SIZE;
+use crate::ts_index::TS_ENTRY_SIZE;
 
 /// Configuration for a [`Loom`](crate::Loom) instance.
 ///
@@ -62,7 +63,8 @@ impl Config {
             dir: dir.into(),
             block_size: 8 * 1024 * 1024,
             index_block_size: 1024 * 1024,
-            ts_block_size: 256 * 1024,
+            // Must be a multiple of the 40-byte timestamp entry (320 KiB).
+            ts_block_size: 320 * 1024,
             chunk_size: 64 * 1024,
             ts_mark_period: 1024,
             query_threads: 1,
@@ -78,7 +80,8 @@ impl Config {
             dir: dir.into(),
             block_size: 64 * 1024,
             index_block_size: 16 * 1024,
-            ts_block_size: 8 * 1024,
+            // Must be a multiple of the 40-byte timestamp entry (10 KiB).
+            ts_block_size: 10 * 1024,
             chunk_size: 4 * 1024,
             ts_mark_period: 16,
             query_threads: 1,
@@ -154,10 +157,10 @@ impl Config {
                 "index block sizes must be non-zero".into(),
             ));
         }
-        if !self.ts_block_size.is_multiple_of(32) {
-            return Err(LoomError::InvalidConfig(
-                "ts_block_size must be a multiple of the 32-byte timestamp entry".into(),
-            ));
+        if !self.ts_block_size.is_multiple_of(TS_ENTRY_SIZE) {
+            return Err(LoomError::InvalidConfig(format!(
+                "ts_block_size must be a multiple of the {TS_ENTRY_SIZE}-byte timestamp entry"
+            )));
         }
         if self.ts_mark_period == 0 {
             return Err(LoomError::InvalidConfig(

@@ -1,0 +1,412 @@
+//! On-disk format primitives shared by every durable structure: the
+//! CRC32 checksum, log identifiers for corruption reports, the framed
+//! record layout used by the manifest and the chunk index, and the
+//! versioned superblock that makes a Loom data directory self-describing.
+//!
+//! Every entry Loom persists — record-log entries, timestamp-index
+//! entries, chunk summaries, manifest records — carries a CRC32 over its
+//! contents, so a torn tail or a flipped bit is *detected* during
+//! recovery or reads instead of being mis-parsed as data.
+
+use std::io::Read;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::error::{LoomError, Result};
+
+/// On-disk format version stamped into the superblock. Bumped whenever
+/// any persisted encoding changes incompatibly.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening the superblock file.
+pub const SUPERBLOCK_MAGIC: &[u8; 8] = b"LOOMSUP\x01";
+
+/// File name of the superblock inside a data directory.
+pub const SUPERBLOCK_FILE: &str = "loom.super";
+
+/// File name of the manifest log inside a data directory.
+pub const MANIFEST_FILE: &str = "manifest.log";
+
+/// Identifies which durable structure an error or report refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogId {
+    /// The record log (`records.log`).
+    Records,
+    /// The chunk index (`chunks.log`).
+    Chunks,
+    /// The timestamp index (`ts.log`).
+    Ts,
+    /// The schema/lifecycle manifest (`manifest.log`).
+    Manifest,
+    /// The superblock (`loom.super`).
+    Superblock,
+}
+
+impl LogId {
+    /// The file name this log uses inside the data directory.
+    pub fn file_name(&self) -> &'static str {
+        match self {
+            LogId::Records => "records.log",
+            LogId::Chunks => "chunks.log",
+            LogId::Ts => "ts.log",
+            LogId::Manifest => MANIFEST_FILE,
+            LogId::Superblock => SUPERBLOCK_FILE,
+        }
+    }
+}
+
+impl std::fmt::Display for LogId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.file_name())
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC32 (IEEE) hasher, for checksums spanning several
+/// buffers (e.g., a record header plus its separately stored payload).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ CRC32_TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+        self
+    }
+
+    /// Finalizes and returns the checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC32 of one contiguous buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+/// CRC32 of two logically contiguous buffers (header ++ payload).
+pub fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
+    Crc32::new().update(a).update(b).finish()
+}
+
+/// The superblock: a tiny fixed-size file written once when a data
+/// directory is created. It records the format version and the
+/// configuration fingerprint — every parameter that shapes the on-disk
+/// layout — so a reopen can refuse a mismatched [`Config`] instead of
+/// mis-parsing the logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// On-disk format version ([`FORMAT_VERSION`] for new directories).
+    pub format_version: u32,
+    /// Record-log staging-block size.
+    pub block_size: u64,
+    /// Chunk-index staging-block size.
+    pub index_block_size: u64,
+    /// Timestamp-index staging-block size.
+    pub ts_block_size: u64,
+    /// Record-log chunk size (the unit of sparse indexing).
+    pub chunk_size: u64,
+    /// Timestamp-mark period.
+    pub ts_mark_period: u64,
+}
+
+/// Encoded size: magic (8) + version (4) + five u64 fields + crc (4).
+const SUPERBLOCK_SIZE: usize = 8 + 4 + 5 * 8 + 4;
+
+impl Superblock {
+    /// The superblock a fresh directory created with `config` gets.
+    pub fn of(config: &Config) -> Self {
+        Superblock {
+            format_version: FORMAT_VERSION,
+            block_size: config.block_size as u64,
+            index_block_size: config.index_block_size as u64,
+            ts_block_size: config.ts_block_size as u64,
+            chunk_size: config.chunk_size as u64,
+            ts_mark_period: config.ts_mark_period,
+        }
+    }
+
+    /// Encodes the superblock into its fixed-size on-disk form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(SUPERBLOCK_SIZE);
+        buf.extend_from_slice(SUPERBLOCK_MAGIC);
+        buf.extend_from_slice(&self.format_version.to_le_bytes());
+        buf.extend_from_slice(&self.block_size.to_le_bytes());
+        buf.extend_from_slice(&self.index_block_size.to_le_bytes());
+        buf.extend_from_slice(&self.ts_block_size.to_le_bytes());
+        buf.extend_from_slice(&self.chunk_size.to_le_bytes());
+        buf.extend_from_slice(&self.ts_mark_period.to_le_bytes());
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and verifies a superblock.
+    pub fn decode(bytes: &[u8]) -> Result<Superblock> {
+        let corrupt = |reason: &str| LoomError::CorruptLog {
+            log: LogId::Superblock,
+            addr: 0,
+            reason: reason.to_string(),
+        };
+        if bytes.len() < SUPERBLOCK_SIZE {
+            return Err(corrupt(&format!(
+                "superblock truncated: {} of {} bytes",
+                bytes.len(),
+                SUPERBLOCK_SIZE
+            )));
+        }
+        if &bytes[0..8] != SUPERBLOCK_MAGIC {
+            return Err(corrupt("bad superblock magic"));
+        }
+        let body = &bytes[..SUPERBLOCK_SIZE - 4];
+        let stored = u32::from_le_bytes(
+            bytes[SUPERBLOCK_SIZE - 4..SUPERBLOCK_SIZE]
+                .try_into()
+                .expect("len 4"),
+        );
+        if crc32(body) != stored {
+            return Err(corrupt("superblock checksum mismatch"));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("len 4"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("len 8"));
+        let sb = Superblock {
+            format_version: u32_at(8),
+            block_size: u64_at(12),
+            index_block_size: u64_at(20),
+            ts_block_size: u64_at(28),
+            chunk_size: u64_at(36),
+            ts_mark_period: u64_at(44),
+        };
+        if sb.format_version != FORMAT_VERSION {
+            return Err(corrupt(&format!(
+                "unsupported format version {} (this build reads {})",
+                sb.format_version, FORMAT_VERSION
+            )));
+        }
+        Ok(sb)
+    }
+
+    /// Writes the superblock to `dir/loom.super` and syncs it.
+    pub fn write_to(&self, dir: &Path) -> Result<()> {
+        let path = dir.join(SUPERBLOCK_FILE);
+        let bytes = self.encode();
+        let mut f = std::fs::File::create(&path)?;
+        std::io::Write::write_all(&mut f, &bytes)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads and verifies the superblock from `dir/loom.super`.
+    pub fn read_from(dir: &Path) -> Result<Superblock> {
+        let mut f = std::fs::File::open(dir.join(SUPERBLOCK_FILE))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        Self::decode(&bytes)
+    }
+
+    /// Validates that `config` matches the layout this directory was
+    /// created with. A mismatch (e.g., a different chunk size) would make
+    /// every address computation wrong, so reopen refuses it.
+    pub fn check_config(&self, config: &Config) -> Result<()> {
+        let mismatch = |field: &str, disk: u64, cfg: u64| {
+            Err(LoomError::InvalidConfig(format!(
+                "config does not match existing data directory: \
+                 {field} is {cfg} but the directory was created with {disk}"
+            )))
+        };
+        if self.block_size != config.block_size as u64 {
+            return mismatch("block_size", self.block_size, config.block_size as u64);
+        }
+        if self.index_block_size != config.index_block_size as u64 {
+            return mismatch(
+                "index_block_size",
+                self.index_block_size,
+                config.index_block_size as u64,
+            );
+        }
+        if self.ts_block_size != config.ts_block_size as u64 {
+            return mismatch(
+                "ts_block_size",
+                self.ts_block_size,
+                config.ts_block_size as u64,
+            );
+        }
+        if self.chunk_size != config.chunk_size as u64 {
+            return mismatch("chunk_size", self.chunk_size, config.chunk_size as u64);
+        }
+        if self.ts_mark_period != config.ts_mark_period {
+            return mismatch("ts_mark_period", self.ts_mark_period, config.ts_mark_period);
+        }
+        Ok(())
+    }
+}
+
+/// Appends one `[len][crc][body]` frame to `out` (the layout used by the
+/// manifest and, with the same header shape, the chunk index).
+pub fn write_frame(out: &mut Vec<u8>, body: &[u8]) {
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Size of a frame header: a u32 length plus a u32 CRC.
+pub const FRAME_HEADER_SIZE: usize = 8;
+
+/// Upper bound on a single frame body. Anything larger is treated as a
+/// corrupt length prefix rather than attempted as an allocation.
+pub const MAX_FRAME_LEN: u64 = 1 << 24;
+
+/// Reads the frame starting at `pos` in `bytes`, verifying its checksum.
+///
+/// Returns `Ok(None)` when fewer than a whole frame remains (a torn
+/// tail), and an error when the frame is present but invalid.
+pub fn read_frame(bytes: &[u8], pos: usize, log: LogId) -> Result<Option<(&[u8], usize)>> {
+    if pos + FRAME_HEADER_SIZE > bytes.len() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as u64;
+    if len > MAX_FRAME_LEN {
+        return Err(LoomError::CorruptLog {
+            log,
+            addr: pos as u64,
+            reason: format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}"),
+        });
+    }
+    let body_start = pos + FRAME_HEADER_SIZE;
+    let body_end = body_start + len as usize;
+    if body_end > bytes.len() {
+        return Ok(None);
+    }
+    let stored = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
+    let body = &bytes[body_start..body_end];
+    if crc32(body) != stored {
+        return Err(LoomError::CorruptLog {
+            log,
+            addr: pos as u64,
+            reason: "frame checksum mismatch".into(),
+        });
+    }
+    Ok(Some((body, body_end)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_pair_equals_concatenation() {
+        let a = b"hello ";
+        let b = b"world";
+        assert_eq!(crc32_pair(a, b), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn superblock_round_trips() {
+        let cfg = Config::small("/tmp/unused");
+        let sb = Superblock::of(&cfg);
+        let decoded = Superblock::decode(&sb.encode()).unwrap();
+        assert_eq!(decoded, sb);
+        assert!(decoded.check_config(&cfg).is_ok());
+    }
+
+    #[test]
+    fn superblock_rejects_corruption_and_mismatch() {
+        let cfg = Config::small("/tmp/unused");
+        let sb = Superblock::of(&cfg);
+        let mut bytes = sb.encode();
+        bytes[10] ^= 0xFF;
+        assert!(matches!(
+            Superblock::decode(&bytes),
+            Err(LoomError::CorruptLog {
+                log: LogId::Superblock,
+                ..
+            })
+        ));
+        assert!(Superblock::decode(&bytes[..10]).is_err());
+
+        let mut other = cfg.clone();
+        other.chunk_size *= 2;
+        assert!(matches!(
+            sb.check_config(&other),
+            Err(LoomError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        write_frame(&mut buf, b"second record");
+        let (body, next) = read_frame(&buf, 0, LogId::Manifest).unwrap().unwrap();
+        assert_eq!(body, b"first");
+        let (body2, next2) = read_frame(&buf, next, LogId::Manifest).unwrap().unwrap();
+        assert_eq!(body2, b"second record");
+        assert_eq!(next2, buf.len());
+        // Torn tail: a partial frame reads as None.
+        assert!(read_frame(&buf[..next + 3], next, LogId::Manifest)
+            .unwrap()
+            .is_none());
+        // Flipped body byte: checksum error.
+        let mut bad = buf.clone();
+        bad[FRAME_HEADER_SIZE + 1] ^= 0x01;
+        assert!(matches!(
+            read_frame(&bad, 0, LogId::Manifest),
+            Err(LoomError::CorruptLog { .. })
+        ));
+        // Nonsense length prefix: rejected before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(
+            read_frame(&huge, 0, LogId::Manifest),
+            Err(LoomError::CorruptLog { .. })
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! Clean-shutdown bookkeeping.
+//!
+//! A graceful [`LoomWriter::close`](crate::LoomWriter::close) flushes all three logs
+//! and appends a [`CleanShutdown`] record — the durable tails plus the
+//! writer state needed to resume — to the manifest. A reopen that finds
+//! this record as the manifest's *last* entry takes the fast path: it
+//! trusts the recorded tails (after sanity-checking them against the
+//! files) and skips the log tail scans entirely.
+
+use std::path::Path;
+
+use crate::config::Config;
+use crate::durability::format::LogId;
+use crate::error::{LoomError, Result};
+use crate::ts_index::TS_ENTRY_SIZE;
+
+/// Per-source writer state captured at clean shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceTail {
+    /// Source ID.
+    pub id: u32,
+    /// Address of the source's last record, or [`crate::record::NIL_ADDR`].
+    pub prev: u64,
+    /// Total records the source has pushed (drives the mark cadence).
+    pub count: u64,
+    /// Timestamp-log address of the source's last record mark, or
+    /// [`crate::record::NIL_ADDR`].
+    pub last_mark: u64,
+}
+
+/// The durable tails and writer state written at graceful shutdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CleanShutdown {
+    /// Record-log tail; always a chunk boundary (close seals the active
+    /// chunk).
+    pub record_tail: u64,
+    /// Chunk-index tail.
+    pub chunk_tail: u64,
+    /// Timestamp-index tail.
+    pub ts_tail: u64,
+    /// Timestamp-log address of the last chunk-seal entry, or
+    /// [`crate::record::NIL_ADDR`] if no chunk ever sealed.
+    pub last_seal: u64,
+    /// Per-source writer state.
+    pub sources: Vec<SourceTail>,
+}
+
+impl CleanShutdown {
+    /// Serializes the state into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.record_tail.to_le_bytes());
+        out.extend_from_slice(&self.chunk_tail.to_le_bytes());
+        out.extend_from_slice(&self.ts_tail.to_le_bytes());
+        out.extend_from_slice(&self.last_seal.to_le_bytes());
+        out.extend_from_slice(&(self.sources.len() as u32).to_le_bytes());
+        for s in &self.sources {
+            out.extend_from_slice(&s.id.to_le_bytes());
+            out.extend_from_slice(&s.prev.to_le_bytes());
+            out.extend_from_slice(&s.count.to_le_bytes());
+            out.extend_from_slice(&s.last_mark.to_le_bytes());
+        }
+    }
+
+    /// Deserializes the state from `bytes`, returning it and the number of
+    /// bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(CleanShutdown, usize)> {
+        let need = |n: usize| -> Result<()> {
+            if bytes.len() < n {
+                Err(LoomError::Corrupt("clean-shutdown record truncated".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(36)?;
+        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8"));
+        let record_tail = u64_at(0);
+        let chunk_tail = u64_at(8);
+        let ts_tail = u64_at(16);
+        let last_seal = u64_at(24);
+        let n = u32::from_le_bytes(bytes[32..36].try_into().expect("4")) as usize;
+        need(36 + n * 28)?;
+        let mut sources = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 36 + i * 28;
+            sources.push(SourceTail {
+                id: u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")),
+                prev: u64_at(off + 4),
+                count: u64_at(off + 12),
+                last_mark: u64_at(off + 20),
+            });
+        }
+        Ok((
+            CleanShutdown {
+                record_tail,
+                chunk_tail,
+                ts_tail,
+                last_seal,
+                sources,
+            },
+            36 + n * 28,
+        ))
+    }
+
+    /// Sanity-checks the recorded tails against the configuration and the
+    /// actual log files; any violation disqualifies the fast path (the
+    /// caller falls back to a full recovery scan).
+    pub fn validate(&self, dir: &Path, config: &Config) -> Result<()> {
+        if !self.record_tail.is_multiple_of(config.chunk_size as u64) {
+            return Err(LoomError::Corrupt(format!(
+                "clean-shutdown record tail {} is not a chunk boundary",
+                self.record_tail
+            )));
+        }
+        if !self.ts_tail.is_multiple_of(TS_ENTRY_SIZE as u64) {
+            return Err(LoomError::Corrupt(format!(
+                "clean-shutdown ts tail {} is not entry-aligned",
+                self.ts_tail
+            )));
+        }
+        for (log, tail) in [
+            (LogId::Records, self.record_tail),
+            (LogId::Chunks, self.chunk_tail),
+            (LogId::Ts, self.ts_tail),
+        ] {
+            let len = std::fs::metadata(dir.join(log.file_name()))?.len();
+            if len < tail {
+                return Err(LoomError::Corrupt(format!(
+                    "{log} is {len} bytes, shorter than its clean-shutdown tail {tail}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NIL_ADDR;
+
+    fn sample() -> CleanShutdown {
+        CleanShutdown {
+            record_tail: 8192,
+            chunk_tail: 300,
+            ts_tail: 120,
+            last_seal: 80,
+            sources: vec![
+                SourceTail {
+                    id: 1,
+                    prev: 4096,
+                    count: 57,
+                    last_mark: 40,
+                },
+                SourceTail {
+                    id: 2,
+                    prev: NIL_ADDR,
+                    count: 0,
+                    last_mark: NIL_ADDR,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let (decoded, n) = CleanShutdown::decode(&buf).unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        assert!(CleanShutdown::decode(&buf[..buf.len() - 1]).is_err());
+        assert!(CleanShutdown::decode(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_short_files_and_misalignment() {
+        let dir = std::env::temp_dir().join(format!("loom-shutdown-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = Config::small(&dir);
+        for log in [LogId::Records, LogId::Chunks, LogId::Ts] {
+            std::fs::write(dir.join(log.file_name()), vec![0u8; 8192]).unwrap();
+        }
+        let mut s = CleanShutdown {
+            record_tail: 8192,
+            chunk_tail: 300,
+            ts_tail: 120,
+            last_seal: NIL_ADDR,
+            sources: vec![],
+        };
+        assert!(s.validate(&dir, &config).is_ok());
+        s.record_tail = 100; // not a chunk boundary
+        assert!(s.validate(&dir, &config).is_err());
+        s.record_tail = 16384; // beyond the file
+        assert!(s.validate(&dir, &config).is_err());
+        s.record_tail = 8192;
+        s.ts_tail = 41; // misaligned
+        assert!(s.validate(&dir, &config).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,19 +16,24 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::clock::Clock;
 use crate::config::Config;
+use crate::durability::{
+    recover_dirty, CleanShutdown, LogId, Manifest, ManifestRecord, RecoveredState, RecoveryReport,
+    SourceState, SourceTail, Superblock, SUPERBLOCK_FILE,
+};
 use crate::error::{LoomError, Result};
+use crate::extract::ExtractorDesc;
 use crate::histogram::HistogramSpec;
 use crate::hybridlog::{self, LogShared};
 use crate::obs::{MetricsSnapshot, Obs, SlowQueryTrace, Stopwatch};
-use crate::record::{RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
+use crate::record::{ChunkIter, RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
 use crate::registry::{IndexId, Registry, RegistryVersion, SourceId, SourceShared, ValueFn};
 use crate::stats::IngestStats;
 use crate::summary::{BinStats, ChunkSummary};
-use crate::ts_index::{TsEntry, TsKind};
+use crate::ts_index::{TsEntry, TsKind, TS_ENTRY_SIZE};
 
 /// State shared between the [`Loom`] handle and its [`LoomWriter`].
 pub(crate) struct Inner {
@@ -41,6 +46,10 @@ pub(crate) struct Inner {
     pub(crate) ts_log: Arc<LogShared>,
     pub(crate) stats: IngestStats,
     pub(crate) obs: Obs,
+    /// The schema/lifecycle journal; every schema change appends here.
+    pub(crate) manifest: Mutex<Manifest>,
+    /// Set when this instance reopened an existing directory.
+    pub(crate) recovery: Mutex<Option<RecoveryReport>>,
 }
 
 /// The cloneable schema and query handle of a Loom instance.
@@ -69,6 +78,11 @@ pub struct LoomWriter {
     last_seal: u64,
     /// Reusable zero buffer for chunk padding.
     zeros: Vec<u8>,
+    /// Set once a clean-shutdown marker has been written.
+    closed: bool,
+    /// Set by [`LoomWriter::simulate_crash`]; suppresses the clean
+    /// shutdown on drop.
+    crashed: bool,
 }
 
 /// Writer-private state for one source.
@@ -149,23 +163,51 @@ impl Loom {
     }
 
     /// Opens a Loom instance with an explicit clock (tests and replay).
+    ///
+    /// A directory that already holds a Loom superblock is *reopened*: the
+    /// schema is rebuilt from the manifest and all data flushed before the
+    /// previous shutdown or crash becomes queryable again. A directory
+    /// without one is initialized fresh.
     pub fn open_with_clock(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
         config.validate()?;
         std::fs::create_dir_all(&config.dir)?;
+        if config.dir.join(SUPERBLOCK_FILE).exists() {
+            Self::reopen(config, clock)
+        } else {
+            Self::open_fresh(config, clock)
+        }
+    }
+
+    /// Initializes a brand-new data directory: superblock first, then an
+    /// empty manifest, then the three logs.
+    fn open_fresh(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
+        // Refuse directories that have log files but no superblock: they
+        // predate the durable format (or lost their superblock), and
+        // recreating the logs would silently destroy their data.
+        for log in [LogId::Records, LogId::Chunks, LogId::Ts, LogId::Manifest] {
+            if config.dir.join(log.file_name()).exists() {
+                return Err(LoomError::Corrupt(format!(
+                    "{} exists but {SUPERBLOCK_FILE} does not; refusing to reinitialize",
+                    log.file_name()
+                )));
+            }
+        }
+        Superblock::of(&config).write_to(&config.dir)?;
+        let manifest = Manifest::create(&config.dir)?;
         let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
         // All three logs report into one shared hybridlog metrics block.
         let record = hybridlog::create_with_obs(
-            &config.dir.join("records.log"),
+            &config.dir.join(LogId::Records.file_name()),
             config.block_size,
             Arc::clone(&obs.log),
         )?;
         let chunk = hybridlog::create_with_obs(
-            &config.dir.join("chunks.log"),
+            &config.dir.join(LogId::Chunks.file_name()),
             config.index_block_size,
             Arc::clone(&obs.log),
         )?;
         let ts = hybridlog::create_with_obs(
-            &config.dir.join("ts.log"),
+            &config.dir.join(LogId::Ts.file_name()),
             config.ts_block_size,
             Arc::clone(&obs.log),
         )?;
@@ -179,27 +221,208 @@ impl Loom {
             ts_log: Arc::clone(ts.shared()),
             stats: IngestStats::default(),
             obs,
+            manifest: Mutex::new(manifest),
+            recovery: Mutex::new(None),
         });
-        let writer = LoomWriter {
-            inner: Arc::clone(&inner),
+        let writer = LoomWriter::new(
+            Arc::clone(&inner),
             record,
             chunk,
             ts,
-            sources: HashMap::new(),
-            cache: WriterCache {
-                version: u64::MAX,
-                sources: HashMap::new(),
-            },
-            active: ActiveChunk::new(),
-            last_seal: NIL_ADDR,
-            zeros: Vec::new(),
+            HashMap::new(),
+            NIL_ADDR,
+        );
+        Ok((Loom { inner }, writer))
+    }
+
+    /// Reopens an existing data directory: validates the superblock
+    /// against `config`, rebuilds the registry from the manifest, then
+    /// either takes the clean-shutdown fast path or runs a full recovery
+    /// scan with torn-tail truncation and cross-log reconciliation.
+    fn reopen(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
+        Superblock::read_from(&config.dir)?.check_config(&config)?;
+        let mut manifest = Manifest::open(&config.dir)?;
+
+        // Rebuild the schema registry from the manifest journal.
+        let mut registry = Registry::new();
+        for rec in manifest.records() {
+            match rec {
+                ManifestRecord::SourceDef { id, name } => {
+                    registry.restore_source(*id, name, false)?
+                }
+                ManifestRecord::SourceClosed { id } => registry.close_source(SourceId(*id))?,
+                ManifestRecord::IndexDef {
+                    id,
+                    source,
+                    bounds,
+                    desc,
+                } => registry.restore_index(
+                    *id,
+                    *source,
+                    *desc,
+                    ManifestRecord::spec_from_bounds(bounds)?,
+                    false,
+                )?,
+                ManifestRecord::IndexClosed { id } => registry.close_index(IndexId(*id))?,
+                ManifestRecord::Reopened | ManifestRecord::CleanShutdown(_) => {}
+            }
+        }
+
+        // A crash can land between superblock creation and log creation;
+        // make sure all three log files exist before scanning them.
+        for log in [LogId::Records, LogId::Chunks, LogId::Ts] {
+            let path = config.dir.join(log.file_name());
+            if !path.exists() {
+                std::fs::File::create(&path)?.sync_all()?;
+            }
+        }
+
+        // Fast path: the manifest ends with a clean-shutdown marker whose
+        // tails are consistent with the files on disk. Anything else gets
+        // the full scan.
+        let clean = manifest
+            .clean_shutdown()
+            .filter(|s| s.validate(&config.dir, &config).is_ok())
+            .cloned();
+        let recovered = match clean {
+            Some(s) => {
+                let mut st = RecoveredState {
+                    record_tail: s.record_tail,
+                    chunk_tail: s.chunk_tail,
+                    ts_tail: s.ts_tail,
+                    last_seal: s.last_seal,
+                    ..RecoveredState::default()
+                };
+                st.report.clean = true;
+                for t in &s.sources {
+                    st.sources.insert(
+                        t.id,
+                        SourceState {
+                            prev: t.prev,
+                            count: t.count,
+                            last_mark: t.last_mark,
+                        },
+                    );
+                }
+                st
+            }
+            None => recover_dirty(&config.dir, &config)?,
         };
+
+        // Resume the timeline: the clock must never hand out a timestamp
+        // below one already durable, or the reopened instance would write
+        // records that appear to predate existing ones. The last surviving
+        // timestamp-index entry is a floor (the clean-shutdown seal covers
+        // every record); dirty recovery raises it further below.
+        let mut ts_floor = recovered.last_ts;
+        if recovered.ts_tail >= TS_ENTRY_SIZE as u64 {
+            use std::os::unix::fs::FileExt;
+            let file = std::fs::File::open(config.dir.join(LogId::Ts.file_name()))?;
+            let mut buf = [0u8; TS_ENTRY_SIZE];
+            file.read_exact_at(&mut buf, recovered.ts_tail - TS_ENTRY_SIZE as u64)?;
+            if let Ok(entry) = TsEntry::decode(&buf) {
+                ts_floor = ts_floor.max(entry.ts);
+            }
+        }
+        clock.resume_at_least(ts_floor);
+
+        // Invalidate the clean marker: if this process crashes from here
+        // on, the next open must scan.
+        manifest.append(ManifestRecord::Reopened)?;
+
+        let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
+        let record = hybridlog::open_existing_with_obs(
+            &config.dir.join(LogId::Records.file_name()),
+            config.block_size,
+            recovered.record_tail,
+            Arc::clone(&obs.log),
+        )?;
+        let chunk = hybridlog::open_existing_with_obs(
+            &config.dir.join(LogId::Chunks.file_name()),
+            config.index_block_size,
+            recovered.chunk_tail,
+            Arc::clone(&obs.log),
+        )?;
+        let ts = hybridlog::open_existing_with_obs(
+            &config.dir.join(LogId::Ts.file_name()),
+            config.ts_block_size,
+            recovered.ts_tail,
+            Arc::clone(&obs.log),
+        )?;
+
+        // Republish the recovered per-source read pointers and seed the
+        // writer-private source state.
+        let mut writer_sources = HashMap::new();
+        for (id, s) in &recovered.sources {
+            let Ok(entry) = registry.source(SourceId(*id)) else {
+                // A source the manifest does not know (its definition was
+                // lost with an unflushed manifest tail): its records stay
+                // scannable but the source is no longer addressable.
+                continue;
+            };
+            entry.shared.last_record.store(s.prev, Ordering::Release);
+            entry.shared.records.store(s.count, Ordering::Release);
+            writer_sources.insert(
+                *id,
+                SourceWriterState {
+                    prev: s.prev,
+                    count: s.count,
+                    last_mark: s.last_mark,
+                    shared: Arc::clone(&entry.shared),
+                },
+            );
+        }
+
+        let inner = Arc::new(Inner {
+            config,
+            clock,
+            registry: RwLock::new(registry),
+            registry_version: RegistryVersion::default(),
+            record_log: Arc::clone(record.shared()),
+            chunk_log: Arc::clone(chunk.shared()),
+            ts_log: Arc::clone(ts.shared()),
+            stats: IngestStats::default(),
+            obs,
+            manifest: Mutex::new(manifest),
+            recovery: Mutex::new(None),
+        });
+        let mut writer = LoomWriter::new(
+            Arc::clone(&inner),
+            record,
+            chunk,
+            ts,
+            writer_sources,
+            recovered.last_seal,
+        );
+        let mut report = recovered.report.clone();
+        if !report.clean {
+            let (rebuilt, appended) = writer.apply_recovery(&recovered)?;
+            report.summaries_rebuilt = rebuilt;
+            report.seals_appended = appended;
+        }
+        inner.obs.engine.reopened(
+            report.clean,
+            report.duration_nanos,
+            report.bytes_truncated(),
+        );
+        *inner.recovery.lock() = Some(report);
         Ok((Loom { inner }, writer))
     }
 
     /// Registers a new source (Figure 9: `define_source`).
     pub fn define_source(&self, name: &str) -> SourceId {
         let id = self.inner.registry.write().define_source(name);
+        // Journaled best-effort: a failing manifest write surfaces on the
+        // next fallible schema call or at close; the in-memory registry
+        // stays usable either way.
+        let _ = self
+            .inner
+            .manifest
+            .lock()
+            .append(ManifestRecord::SourceDef {
+                id: id.0,
+                name: name.to_string(),
+            });
         self.inner.registry_version.bump();
         id
     }
@@ -208,6 +431,10 @@ impl Loom {
     /// queryable but new pushes are rejected.
     pub fn close_source(&self, id: SourceId) -> Result<()> {
         self.inner.registry.write().close_source(id)?;
+        self.inner
+            .manifest
+            .lock()
+            .append(ManifestRecord::SourceClosed { id: id.0 })?;
         self.inner.registry_version.bump();
         Ok(())
     }
@@ -216,18 +443,64 @@ impl Loom {
     /// and a histogram (Figure 9: `define_index`).
     ///
     /// The index covers only data arriving after its definition (§5.3);
-    /// older chunks are not re-indexed.
+    /// older chunks are not re-indexed. A closure-based index cannot be
+    /// persisted as code, so after a reopen it is restored *closed*:
+    /// summaries already in the chunk index keep serving queries, but new
+    /// chunks are not indexed. Use [`Loom::define_index_desc`] for an
+    /// index that survives a reopen in full.
     pub fn define_index(
         &self,
         source: SourceId,
         extractor: ValueFn,
         spec: HistogramSpec,
     ) -> Result<IndexId> {
+        let bounds = spec.bounds().to_vec();
         let id = self
             .inner
             .registry
             .write()
             .define_index(source, extractor, spec)?;
+        self.inner
+            .manifest
+            .lock()
+            .append(ManifestRecord::IndexDef {
+                id: id.0,
+                source,
+                bounds,
+                desc: None,
+            })?;
+        self.inner.registry_version.bump();
+        Ok(id)
+    }
+
+    /// [`Loom::define_index`] with a declarative extractor instead of a
+    /// closure.
+    ///
+    /// The descriptor is journaled in the manifest, so after a reopen the
+    /// extraction function is rebuilt and the index keeps covering new
+    /// chunks — the durable counterpart to closure-based indexes.
+    pub fn define_index_desc(
+        &self,
+        source: SourceId,
+        desc: ExtractorDesc,
+        spec: HistogramSpec,
+    ) -> Result<IndexId> {
+        let bounds = spec.bounds().to_vec();
+        let id = self.inner.registry.write().define_index_full(
+            source,
+            desc.to_fn(),
+            Some(desc),
+            spec,
+        )?;
+        self.inner
+            .manifest
+            .lock()
+            .append(ManifestRecord::IndexDef {
+                id: id.0,
+                source,
+                bounds,
+                desc: Some(desc),
+            })?;
         self.inner.registry_version.bump();
         Ok(id)
     }
@@ -241,8 +514,43 @@ impl Loom {
     /// records must stay reachable through this index.
     pub fn close_index(&self, id: IndexId) -> Result<()> {
         self.inner.registry.write().close_index(id)?;
+        self.inner
+            .manifest
+            .lock()
+            .append(ManifestRecord::IndexClosed { id: id.0 })?;
         self.inner.registry_version.bump();
         Ok(())
+    }
+
+    /// The report from reopening an existing data directory, or `None`
+    /// when this instance initialized a fresh one.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.inner.recovery.lock().clone()
+    }
+
+    /// All defined sources as `(id, name, closed)`, sorted by ID.
+    ///
+    /// After a reopen this reflects the schema rebuilt from the manifest,
+    /// so callers can re-resolve names without re-defining sources.
+    pub fn sources(&self) -> Vec<(SourceId, String, bool)> {
+        let registry = self.inner.registry.read();
+        let mut v: Vec<_> = registry
+            .sources()
+            .map(|(id, e)| (id, e.name.clone(), e.closed))
+            .collect();
+        v.sort_by_key(|(id, _, _)| id.0);
+        v
+    }
+
+    /// The open indexes defined over `source`, sorted by ID.
+    pub fn indexes_of(&self, source: SourceId) -> Vec<IndexId> {
+        self.inner
+            .registry
+            .read()
+            .indexes_of(source)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// The instance's clock; query time ranges use its timeline.
@@ -288,6 +596,141 @@ impl Loom {
 }
 
 impl LoomWriter {
+    /// Assembles a writer around freshly opened hybrid-log writers.
+    fn new(
+        inner: Arc<Inner>,
+        record: hybridlog::Writer,
+        chunk: hybridlog::Writer,
+        ts: hybridlog::Writer,
+        sources: HashMap<u32, SourceWriterState>,
+        last_seal: u64,
+    ) -> LoomWriter {
+        LoomWriter {
+            inner,
+            record,
+            chunk,
+            ts,
+            sources,
+            cache: WriterCache {
+                version: u64::MAX,
+                sources: HashMap::new(),
+            },
+            active: ActiveChunk::new(),
+            last_seal,
+            zeros: Vec::new(),
+            closed: false,
+            crashed: false,
+        }
+    }
+
+    /// Applies the repairs scheduled by a dirty recovery scan: re-seals
+    /// surviving summaries whose seal entries were torn off, rebuilds
+    /// summaries for complete chunks that lost theirs, and replays the
+    /// partial tail chunk into the active-chunk accumulator. Returns
+    /// `(summaries_rebuilt, seals_appended)`.
+    fn apply_recovery(&mut self, recovered: &RecoveredState) -> Result<(u64, u64)> {
+        self.refresh_cache_if_stale();
+        let chunk_size = self.inner.config.chunk_size as u64;
+
+        // Seal timestamps must stay monotone in the timestamp index, so
+        // repairs are stamped with the latest surviving timestamp (or the
+        // summary's own maximum, whichever is later).
+        let mut seal_ts = recovered.last_ts;
+        let mut appended = 0u64;
+        for u in &recovered.unsealed_summaries {
+            seal_ts = seal_ts.max(u.ts_max);
+            let entry = TsEntry {
+                kind: TsKind::ChunkSeal,
+                source: 0,
+                ts: seal_ts,
+                target: u.summary_addr,
+                prev: self.last_seal,
+            };
+            self.last_seal = self.ts.append(&entry.encode())?;
+            appended += 1;
+        }
+
+        let mut rebuilt = 0u64;
+        let mut buf = vec![0u8; chunk_size as usize];
+        for &chunk_addr in &recovered.resummarize {
+            self.inner.record_log.read_at(chunk_addr, &mut buf)?;
+            let timer = Stopwatch::start();
+            let mut summary =
+                ChunkSummary::new(chunk_addr / chunk_size, chunk_addr, chunk_size as u32);
+            for item in ChunkIter::new(&buf, chunk_addr) {
+                let rec = item?;
+                summary.observe_record(rec.header.source, rec.header.ts);
+                if let Some(cached) = self.cache.sources.get(&rec.header.source) {
+                    for idx in &cached.indexes {
+                        if let Some(value) = (idx.extractor)(rec.payload) {
+                            if let Some(bin) = idx.spec.bin_of(value) {
+                                summary.observe_value(idx.id, bin as u32, value, rec.header.ts);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut out = Vec::with_capacity(256);
+            summary.encode(&mut out);
+            let summary_addr = self.chunk.append(&out)?;
+            self.inner
+                .obs
+                .engine
+                .chunk_sealed(timer.elapsed_nanos(), out.len() as u64);
+            seal_ts = seal_ts.max(summary.ts_max);
+            let entry = TsEntry {
+                kind: TsKind::ChunkSeal,
+                source: 0,
+                ts: seal_ts,
+                target: summary_addr,
+                prev: self.last_seal,
+            };
+            self.last_seal = self.ts.append(&entry.encode())?;
+            rebuilt += 1;
+        }
+
+        // Replay the partial tail chunk into the active-chunk state so the
+        // next seal's summary covers the pre-crash records too.
+        let tail = self.record.tail();
+        let within = tail % chunk_size;
+        if within > 0 {
+            let base = tail - within;
+            let mut tail_buf = vec![0u8; within as usize];
+            self.inner.record_log.read_at(base, &mut tail_buf)?;
+            for item in ChunkIter::new(&tail_buf, base) {
+                let rec = item?;
+                self.active.observe(rec.header.source, rec.header.ts);
+                if let Some(cached) = self.cache.sources.get_mut(&rec.header.source) {
+                    for idx in &mut cached.indexes {
+                        if let Some(value) = (idx.extractor)(rec.payload) {
+                            if let Some(bin) = idx.spec.bin_of(value) {
+                                match &mut idx.bins[bin] {
+                                    Some(s) => s.observe(value, rec.header.ts),
+                                    slot @ None => *slot = Some(BinStats::of(value, rec.header.ts)),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Records in the replayed tail chunk may postdate every surviving
+        // timestamp-index entry; lift the clock past them too.
+        self.inner
+            .clock
+            .resume_at_least(seal_ts.max(self.active.ts_max));
+
+        // Make the repairs durable before handing out the writer.
+        self.record.publish();
+        self.chunk.publish();
+        self.ts.publish();
+        self.record.flush()?;
+        self.chunk.flush()?;
+        self.ts.flush()?;
+        Ok((rebuilt, appended))
+    }
+
     /// Writes one record from `source` into Loom (Figure 9: `push`).
     ///
     /// Returns the record's log address. The record is immediately visible
@@ -348,7 +791,7 @@ impl LoomWriter {
             prev,
             ts,
         };
-        let addr = self.record.append(&header.encode())?;
+        let addr = self.record.append(&header.encode(payload))?;
         self.record.append(payload)?;
 
         // Update the active chunk summary.
@@ -458,12 +901,13 @@ impl LoomWriter {
                 prev: NIL_ADDR,
                 ts: 0,
             };
-            record.append(&header.encode())?;
             // The pad payload must be zeroed: staging blocks are recycled
             // without clearing, and a chunk scan relies on zeroed bytes
             // after the pad only when the pad is shorter than a header.
-            // Zeroing unconditionally keeps on-disk chunks deterministic.
+            // Zeroing unconditionally keeps on-disk chunks deterministic,
+            // and the header checksum covers the zeroed payload.
             zeros.resize(pad - RECORD_HEADER_SIZE, 0);
+            record.append(&header.encode(zeros))?;
             record.append(zeros)?;
         } else {
             zeros.resize(pad, 0);
@@ -524,6 +968,61 @@ impl LoomWriter {
         Ok(())
     }
 
+    /// Gracefully shuts the writer down: seals the active chunk, flushes
+    /// all three logs, and writes a clean-shutdown marker into the
+    /// manifest so the next [`Loom::open`] takes the scan-free fast path.
+    ///
+    /// Dropping the writer does the same on a best-effort basis; `close`
+    /// surfaces the errors.
+    pub fn close(mut self) -> Result<()> {
+        self.close_inner()
+    }
+
+    fn close_inner(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.seal_active_chunk()?;
+        self.record.flush()?;
+        self.chunk.flush()?;
+        self.ts.flush()?;
+        let mut sources: Vec<SourceTail> = self
+            .sources
+            .iter()
+            .map(|(id, s)| SourceTail {
+                id: *id,
+                prev: s.prev,
+                count: s.count,
+                last_mark: s.last_mark,
+            })
+            .collect();
+        sources.sort_by_key(|s| s.id);
+        let state = CleanShutdown {
+            record_tail: self.record.tail(),
+            chunk_tail: self.chunk.tail(),
+            ts_tail: self.ts.tail(),
+            last_seal: self.last_seal,
+            sources,
+        };
+        self.inner
+            .manifest
+            .lock()
+            .append(ManifestRecord::CleanShutdown(state))?;
+        self.closed = true;
+        Ok(())
+    }
+
+    /// Abandons the writer the way a crash would: nothing is sealed or
+    /// flushed, and no clean-shutdown marker is written, so only bytes the
+    /// flusher already wrote survive. The next open runs recovery.
+    /// Test-support API for exercising the recovery path.
+    pub fn simulate_crash(mut self) {
+        self.crashed = true;
+        self.record.mark_crashed();
+        self.chunk.mark_crashed();
+        self.ts.mark_crashed();
+    }
+
     /// The shared handle, for convenience.
     pub fn handle(&self) -> Loom {
         Loom {
@@ -577,8 +1076,11 @@ impl LoomWriter {
 
 impl Drop for LoomWriter {
     fn drop(&mut self) {
-        // Seal the active chunk so a reopened reader sees a complete chunk
-        // index; ignore errors since drop cannot fail.
-        let _ = self.seal_active_chunk();
+        // A graceful drop is a clean shutdown: seal, flush, and write the
+        // marker; ignore errors since drop cannot fail. A simulated crash
+        // skips all of it.
+        if !self.crashed {
+            let _ = self.close_inner();
+        }
     }
 }

@@ -48,6 +48,18 @@ pub enum LoomError {
     ShutDown,
     /// A corrupt or truncated entry was encountered while reading a log.
     Corrupt(String),
+    /// A checksum or framing violation in a specific durable log.
+    ///
+    /// Reported by decode paths that know which file and address the bad
+    /// entry lives at; recovery turns these into tail truncations.
+    CorruptLog {
+        /// Which durable structure the corruption was found in.
+        log: crate::durability::LogId,
+        /// Byte address of the bad entry within that log.
+        addr: u64,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// An invalid query parameter (e.g., a percentile outside `[0, 100]`).
     InvalidQuery(String),
 }
@@ -77,6 +89,9 @@ impl fmt::Display for LoomError {
             }
             LoomError::ShutDown => write!(f, "log has been shut down"),
             LoomError::Corrupt(msg) => write!(f, "corrupt log entry: {msg}"),
+            LoomError::CorruptLog { log, addr, reason } => {
+                write!(f, "corrupt entry in {log} at address {addr}: {reason}")
+            }
             LoomError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
         }
     }
@@ -120,6 +135,19 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('1') && s.contains('2'));
+    }
+
+    #[test]
+    fn corrupt_log_names_file_address_and_reason() {
+        let e = LoomError::CorruptLog {
+            log: crate::durability::LogId::Records,
+            addr: 4096,
+            reason: "record checksum mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("records.log"), "{s}");
+        assert!(s.contains("4096"), "{s}");
+        assert!(s.contains("checksum"), "{s}");
     }
 
     #[test]

@@ -7,7 +7,78 @@
 
 use std::sync::Arc;
 
+use crate::error::{LoomError, Result};
 use crate::registry::ValueFn;
+
+/// A declarative, persistable description of a value extractor.
+///
+/// Index extractors are arbitrary closures and cannot be serialized; an
+/// index defined through a descriptor instead records *what* to extract,
+/// so the index can be rebuilt identically when a data directory is
+/// reopened (see
+/// [`Loom::define_index_desc`](crate::Loom::define_index_desc)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractorDesc {
+    /// Little-endian `u64` at a byte offset ([`u64_le_at`]).
+    U64Le(u32),
+    /// Little-endian `u32` at a byte offset ([`u32_le_at`]).
+    U32Le(u32),
+    /// Little-endian `u16` at a byte offset ([`u16_le_at`]).
+    U16Le(u32),
+    /// Little-endian `f64` at a byte offset ([`f64_le_at`]).
+    F64Le(u32),
+    /// The constant `1.0` for every record ([`count_all`]).
+    CountAll,
+}
+
+/// Size in bytes of an encoded [`ExtractorDesc`].
+pub const EXTRACTOR_DESC_SIZE: usize = 5;
+
+impl ExtractorDesc {
+    /// Builds the closure this descriptor describes.
+    pub fn to_fn(&self) -> ValueFn {
+        match *self {
+            ExtractorDesc::U64Le(off) => u64_le_at(off as usize),
+            ExtractorDesc::U32Le(off) => u32_le_at(off as usize),
+            ExtractorDesc::U16Le(off) => u16_le_at(off as usize),
+            ExtractorDesc::F64Le(off) => f64_le_at(off as usize),
+            ExtractorDesc::CountAll => count_all(),
+        }
+    }
+
+    /// Serializes the descriptor (tag byte plus offset).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let (tag, off) = match *self {
+            ExtractorDesc::U64Le(off) => (1u8, off),
+            ExtractorDesc::U32Le(off) => (2, off),
+            ExtractorDesc::U16Le(off) => (3, off),
+            ExtractorDesc::F64Le(off) => (4, off),
+            ExtractorDesc::CountAll => (5, 0),
+        };
+        out.push(tag);
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+
+    /// Deserializes a descriptor from [`EXTRACTOR_DESC_SIZE`] bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ExtractorDesc> {
+        if bytes.len() < EXTRACTOR_DESC_SIZE {
+            return Err(LoomError::Corrupt("extractor descriptor truncated".into()));
+        }
+        let off = u32::from_le_bytes(bytes[1..5].try_into().expect("len 4"));
+        Ok(match bytes[0] {
+            1 => ExtractorDesc::U64Le(off),
+            2 => ExtractorDesc::U32Le(off),
+            3 => ExtractorDesc::U16Le(off),
+            4 => ExtractorDesc::F64Le(off),
+            5 => ExtractorDesc::CountAll,
+            t => {
+                return Err(LoomError::Corrupt(format!(
+                    "unknown extractor descriptor tag {t}"
+                )))
+            }
+        })
+    }
+}
 
 /// Extracts a little-endian `u64` at `offset` in the payload.
 pub fn u64_le_at(offset: usize) -> ValueFn {
@@ -85,5 +156,33 @@ mod tests {
         let f = count_all();
         assert_eq!(f(b""), Some(1.0));
         assert_eq!(f(b"anything"), Some(1.0));
+    }
+
+    #[test]
+    fn descriptor_round_trips_and_matches_closures() {
+        let mut payload = vec![0u8; 16];
+        payload[0..8].copy_from_slice(&99u64.to_le_bytes());
+        payload[8..16].copy_from_slice(&1.25f64.to_le_bytes());
+        for desc in [
+            ExtractorDesc::U64Le(0),
+            ExtractorDesc::U32Le(0),
+            ExtractorDesc::U16Le(0),
+            ExtractorDesc::F64Le(8),
+            ExtractorDesc::CountAll,
+        ] {
+            let mut buf = Vec::new();
+            desc.encode(&mut buf);
+            assert_eq!(buf.len(), EXTRACTOR_DESC_SIZE);
+            assert_eq!(ExtractorDesc::decode(&buf).unwrap(), desc);
+            assert_eq!(desc.to_fn()(&payload), desc.to_fn()(&payload));
+        }
+        assert_eq!(ExtractorDesc::F64Le(8).to_fn()(&payload), Some(1.25));
+        assert_eq!(ExtractorDesc::U64Le(0).to_fn()(&payload), Some(99.0));
+    }
+
+    #[test]
+    fn descriptor_decode_rejects_garbage() {
+        assert!(ExtractorDesc::decode(&[9, 0, 0, 0, 0]).is_err());
+        assert!(ExtractorDesc::decode(&[1, 0]).is_err());
     }
 }

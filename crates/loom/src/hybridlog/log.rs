@@ -254,6 +254,9 @@ pub struct Writer {
     tail: u64,
     /// Bytes of the active block already handed to the flusher.
     active_flushed_prefix: usize,
+    /// Set by [`Writer::simulate_crash`]: skip the final flush on drop so
+    /// tests can exercise recovery of a non-cleanly-closed log.
+    crashed: bool,
 }
 
 impl Writer {
@@ -360,13 +363,32 @@ impl Writer {
     pub fn shared(&self) -> &Arc<LogShared> {
         &self.shared
     }
+
+    /// Drops the writer *without* the final flush, as if the process had
+    /// been killed. Flushes already handed to the background flusher may
+    /// still complete (exactly as they could before a real crash), but
+    /// nothing new is enqueued, so the file is left with whatever prefix
+    /// happened to be durable.
+    pub fn simulate_crash(mut self) {
+        self.crashed = true;
+    }
+
+    /// Marks the writer crashed without consuming it, for callers that
+    /// own the writer behind a `Drop` impl of their own (see
+    /// [`LoomWriter::simulate_crash`](crate::LoomWriter::simulate_crash)).
+    pub(crate) fn mark_crashed(&mut self) {
+        self.crashed = true;
+    }
 }
 
 impl Drop for Writer {
     fn drop(&mut self) {
         // Best-effort final flush so tests and crash-recovery see a durable
-        // prefix; errors are ignored because drop cannot fail.
-        let _ = self.flush();
+        // prefix; errors are ignored because drop cannot fail. Skipped when
+        // simulating a crash.
+        if !self.crashed {
+            let _ = self.flush();
+        }
         let _ = self.tx.send(FlushMsg::Shutdown);
         if let Some(h) = self.flusher.take() {
             let _ = h.join();
@@ -428,6 +450,78 @@ pub fn create_with_obs(path: &Path, block_size: usize, obs: Arc<LogObs>) -> Resu
         active: 0,
         tail: 0,
         active_flushed_prefix: 0,
+        crashed: false,
+    })
+}
+
+/// Reopens an existing hybrid log file at `path`, resuming appends at
+/// `tail` (a byte address determined by recovery).
+///
+/// The file is truncated to `tail`, discarding any torn bytes beyond the
+/// recovered prefix, and the whole prefix is treated as durable: reads of
+/// recovered addresses are served from the file, and the active staging
+/// block covers only `[tail - tail % block_size, ...)` going forward.
+pub fn open_existing_with_obs(
+    path: &Path,
+    block_size: usize,
+    tail: u64,
+    obs: Arc<LogObs>,
+) -> Result<Writer> {
+    if block_size == 0 {
+        return Err(LoomError::InvalidConfig(
+            "block_size must be non-zero".into(),
+        ));
+    }
+    let file = OpenOptions::new().read(true).write(true).open(path)?;
+    if file.metadata()?.len() < tail {
+        return Err(LoomError::Corrupt(format!(
+            "{} is shorter than its recovered tail {tail}",
+            path.display()
+        )));
+    }
+    file.set_len(tail)?;
+    file.sync_all()?;
+    let shared = Arc::new(LogShared {
+        file,
+        path: path.to_path_buf(),
+        blocks: [Block::new(block_size), Block::new(block_size)],
+        block_size,
+        watermark: AtomicU64::new(tail),
+        flushed_upto: AtomicU64::new(tail),
+        tail: AtomicU64::new(tail),
+        io_failed: std::sync::atomic::AtomicBool::new(false),
+        obs,
+    });
+    let within = (tail % block_size as u64) as usize;
+    shared.blocks[0].claim(tail - within as u64);
+    if within > 0 {
+        // Backfill the recovered prefix of the active block from the file:
+        // a read whose range straddles the recovered tail is served from
+        // the block, so its pre-tail bytes must match the durable ones.
+        let mut prefix = vec![0u8; within];
+        shared
+            .file
+            .read_exact_at(&mut prefix, tail - within as u64)?;
+        shared.blocks[0].write(0, &prefix);
+    }
+
+    let (tx, rx) = unbounded();
+    let flusher_shared = Arc::clone(&shared);
+    let flusher = std::thread::Builder::new()
+        .name(format!(
+            "loom-flush-{}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("log")
+        ))
+        .spawn(move || flusher_loop(flusher_shared, rx))?;
+
+    Ok(Writer {
+        shared,
+        tx,
+        flusher: Some(flusher),
+        active: 0,
+        tail,
+        active_flushed_prefix: within,
+        crashed: false,
     })
 }
 

@@ -4,7 +4,7 @@ mod block;
 mod log;
 
 pub use block::Block;
-pub use log::{create, create_with_obs, LogShared, Snapshot, Writer};
+pub use log::{create, create_with_obs, open_existing_with_obs, LogShared, Snapshot, Writer};
 
 use crate::error::Result;
 
@@ -242,6 +242,101 @@ mod tests {
         w.publish();
         assert_eq!(w.shared().watermark(), 100);
         assert_eq!(w.shared().tail(), 100);
+    }
+
+    #[test]
+    fn reopen_resumes_appends_at_recovered_tail() {
+        let d = tmpdir("reopen");
+        let path = d.join("log");
+        {
+            let mut w = create(&path, 256).unwrap();
+            // 600 bytes: spans two sealed blocks plus a partial third.
+            for i in 0..6u8 {
+                w.append(&[i; 100]).unwrap();
+            }
+            w.publish();
+            w.flush().unwrap();
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 600);
+        let mut w = super::log::open_existing_with_obs(
+            &path,
+            256,
+            600,
+            Arc::new(crate::obs::LogObs::default()),
+        )
+        .unwrap();
+        assert_eq!(w.tail(), 600);
+        // Old bytes are readable immediately.
+        let mut buf = [0u8; 100];
+        w.shared().read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 100]);
+        w.shared().read_at(500, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 100]);
+        // New appends continue at the recovered tail and round-trip,
+        // including across the next block seal.
+        let a = w.append(&[7u8; 200]).unwrap();
+        assert_eq!(a, 600);
+        w.publish();
+        let mut buf = [0u8; 200];
+        w.shared().read_at(a, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 200]);
+        // Straddling read across the reopen boundary.
+        let mut buf = [0u8; 150];
+        w.shared().read_at(550, &mut buf).unwrap();
+        assert_eq!(&buf[..50], &[5u8; 50][..]);
+        assert_eq!(&buf[50..], &[7u8; 100][..]);
+    }
+
+    #[test]
+    fn reopen_truncates_bytes_past_the_recovered_tail() {
+        let d = tmpdir("reopen-trunc");
+        let path = d.join("log");
+        {
+            let mut w = create(&path, 256).unwrap();
+            w.append(&[1u8; 300]).unwrap();
+            w.publish();
+            w.flush().unwrap();
+        }
+        // Recovery decided only 120 bytes are good.
+        let w = super::log::open_existing_with_obs(
+            &path,
+            256,
+            120,
+            Arc::new(crate::obs::LogObs::default()),
+        )
+        .unwrap();
+        drop(w);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 120);
+    }
+
+    #[test]
+    fn reopen_rejects_tail_beyond_file() {
+        let d = tmpdir("reopen-short");
+        let path = d.join("log");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        assert!(super::log::open_existing_with_obs(
+            &path,
+            256,
+            100,
+            Arc::new(crate::obs::LogObs::default()),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_crash_skips_the_final_flush() {
+        let d = tmpdir("crash");
+        let path = d.join("log");
+        let mut w = create(&path, 4096).unwrap();
+        w.append(b"flushed part").unwrap();
+        w.publish();
+        w.flush().unwrap();
+        w.append(b" never flushed").unwrap();
+        w.publish();
+        w.simulate_crash();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), 12, "unflushed tail must not reach disk");
+        assert_eq!(&on_disk, b"flushed part");
     }
 
     #[test]

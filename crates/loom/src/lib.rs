@@ -71,6 +71,7 @@ pub mod chunk_index;
 pub mod clock;
 pub mod config;
 pub mod coordinator;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod extract;
@@ -86,8 +87,10 @@ pub mod ts_index;
 
 pub use clock::Clock;
 pub use config::Config;
+pub use durability::{CleanShutdown, LogId, RecoveryReport, TailTruncation};
 pub use engine::{Loom, LoomWriter};
 pub use error::{LoomError, Result};
+pub use extract::ExtractorDesc;
 pub use histogram::HistogramSpec;
 pub use obs::{MetricsSnapshot, QueryKind, SlowQueryTrace};
 pub use query::{Aggregate, AggregateResult, Query, QueryOptions, Record, TimeRange, ValueRange};

@@ -169,12 +169,16 @@ impl LogObs {
     }
 }
 
-/// Coordinator / write-path metrics (chunk sealing).
+/// Coordinator / write-path metrics (chunk sealing and recovery).
 #[derive(Debug, Default)]
 pub struct EngineObs {
     chunks_sealed: Counter,
     summary_build_nanos: Counter,
     summary_bytes: Counter,
+    clean_reopens: Counter,
+    dirty_recoveries: Counter,
+    recovery_nanos: Counter,
+    recovery_truncated_bytes: Counter,
 }
 
 impl EngineObs {
@@ -187,11 +191,29 @@ impl EngineObs {
         self.summary_bytes.add(bytes);
     }
 
+    /// A data directory was reopened: via the clean-shutdown fast path,
+    /// or through a dirty scan that took `nanos` and discarded
+    /// `truncated_bytes` of torn log tails.
+    #[inline]
+    pub(crate) fn reopened(&self, clean: bool, nanos: u64, truncated_bytes: u64) {
+        if clean {
+            self.clean_reopens.inc();
+        } else {
+            self.dirty_recoveries.inc();
+            self.recovery_nanos.add(nanos);
+            self.recovery_truncated_bytes.add(truncated_bytes);
+        }
+    }
+
     fn snapshot(&self) -> CoordinatorMetrics {
         CoordinatorMetrics {
             chunks_sealed: self.chunks_sealed.get(),
             summary_build_nanos: self.summary_build_nanos.get(),
             summary_bytes: self.summary_bytes.get(),
+            clean_reopens: self.clean_reopens.get(),
+            dirty_recoveries: self.dirty_recoveries.get(),
+            recovery_nanos: self.recovery_nanos.get(),
+            recovery_truncated_bytes: self.recovery_truncated_bytes.get(),
         }
     }
 }

@@ -43,6 +43,14 @@ pub struct CoordinatorMetrics {
     pub summary_build_nanos: u64,
     /// Encoded bytes appended to the chunk-summary log.
     pub summary_bytes: u64,
+    /// Data-directory reopens that took the clean-shutdown fast path.
+    pub clean_reopens: u64,
+    /// Data-directory reopens that required a dirty recovery scan.
+    pub dirty_recoveries: u64,
+    /// Total time spent in dirty recovery scans, in nanoseconds.
+    pub recovery_nanos: u64,
+    /// Torn-tail bytes discarded across all dirty recoveries.
+    pub recovery_truncated_bytes: u64,
 }
 
 /// Index layer: timestamp-index seeks and chunk-summary pruning.
@@ -142,6 +150,22 @@ impl MetricsSnapshot {
             (
                 "loom_coordinator_summary_bytes_total",
                 self.coordinator.summary_bytes,
+            ),
+            (
+                "loom_coordinator_clean_reopens_total",
+                self.coordinator.clean_reopens,
+            ),
+            (
+                "loom_coordinator_dirty_recoveries_total",
+                self.coordinator.dirty_recoveries,
+            ),
+            (
+                "loom_coordinator_recovery_nanos_total",
+                self.coordinator.recovery_nanos,
+            ),
+            (
+                "loom_coordinator_recovery_truncated_bytes_total",
+                self.coordinator.recovery_truncated_bytes,
             ),
             ("loom_index_ts_seeks_total", self.index.ts_seeks),
             ("loom_index_summary_probes_total", self.index.summary_probes),

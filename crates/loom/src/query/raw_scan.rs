@@ -40,7 +40,7 @@ where
     let mut addr = start;
     let mut payload = Vec::new();
     loop {
-        let header = view.read_header(addr)?;
+        let (header, header_buf) = view.read_header(addr)?;
         debug_assert_eq!(header.source, source.0, "record chain crossed sources");
         stats.records_scanned += 1;
         stats.bytes_read += RECORD_HEADER_SIZE as u64;
@@ -50,7 +50,7 @@ where
             break;
         }
         if header.ts <= range.end {
-            view.read_payload(addr, &header, &mut payload)?;
+            view.read_payload(addr, &header, &header_buf, &mut payload)?;
             stats.bytes_read += header.len as u64;
             stats.records_matched += 1;
             f(Record {

@@ -93,17 +93,33 @@ impl<'a> QueryView<'a> {
             .max(1)
     }
 
-    /// Reads a record header from the record log.
-    pub fn read_header(&self, addr: u64) -> Result<RecordHeader> {
+    /// Reads a record header from the record log, returning the decoded
+    /// header together with its raw bytes (needed to verify the entry
+    /// checksum once the payload is available).
+    pub fn read_header(&self, addr: u64) -> Result<(RecordHeader, [u8; RECORD_HEADER_SIZE])> {
         let mut buf = [0u8; RECORD_HEADER_SIZE];
         self.rec.read_at(addr, &mut buf)?;
-        RecordHeader::decode(&buf)
+        Ok((RecordHeader::decode(&buf)?, buf))
     }
 
-    /// Reads a record's payload into `buf` (resized to fit).
-    pub fn read_payload(&self, addr: u64, header: &RecordHeader, buf: &mut Vec<u8>) -> Result<()> {
+    /// Reads a record's payload into `buf` (resized to fit) and verifies
+    /// the entry checksum against `header_buf`.
+    pub fn read_payload(
+        &self,
+        addr: u64,
+        header: &RecordHeader,
+        header_buf: &[u8; RECORD_HEADER_SIZE],
+        buf: &mut Vec<u8>,
+    ) -> Result<()> {
         buf.resize(header.len as usize, 0);
         self.rec.read_at(addr + RECORD_HEADER_SIZE as u64, buf)?;
+        if !RecordHeader::verify(header_buf, buf) {
+            return Err(crate::error::LoomError::CorruptLog {
+                log: crate::durability::LogId::Records,
+                addr,
+                reason: "record checksum mismatch".into(),
+            });
+        }
         Ok(())
     }
 

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::{LoomError, Result};
+use crate::extract::ExtractorDesc;
 use crate::histogram::HistogramSpec;
 use crate::record::NIL_ADDR;
 
@@ -73,6 +74,11 @@ pub struct IndexEntry {
     pub spec: Arc<HistogramSpec>,
     /// Closed indexes stop being maintained for new chunks.
     pub closed: bool,
+    /// Declarative description of the extractor, if the index was defined
+    /// through one. Indexes with a descriptor survive a reopen intact;
+    /// closure-defined indexes are restored closed (their historical chunk
+    /// summaries remain queryable, but new chunks are not indexed).
+    pub desc: Option<ExtractorDesc>,
 }
 
 /// The mutable registry of sources and indexes.
@@ -133,6 +139,18 @@ impl Registry {
         extractor: ValueFn,
         spec: HistogramSpec,
     ) -> Result<IndexId> {
+        self.define_index_full(source, extractor, None, spec)
+    }
+
+    /// [`Registry::define_index`] with an optional persistable descriptor
+    /// of the extractor.
+    pub fn define_index_full(
+        &mut self,
+        source: SourceId,
+        extractor: ValueFn,
+        desc: Option<ExtractorDesc>,
+        spec: HistogramSpec,
+    ) -> Result<IndexId> {
         let entry = self
             .sources
             .get(&source.0)
@@ -149,6 +167,7 @@ impl Registry {
                 extractor,
                 spec: Arc::new(spec),
                 closed: false,
+                desc,
             },
         );
         Ok(IndexId(id))
@@ -185,6 +204,69 @@ impl Registry {
     /// Iterates over all indexes.
     pub fn indexes(&self) -> impl Iterator<Item = (IndexId, &IndexEntry)> {
         self.indexes.iter().map(|(id, e)| (IndexId(*id), e))
+    }
+
+    /// Re-inserts a source with its original ID during recovery.
+    ///
+    /// IDs come from the manifest, so collisions indicate a corrupt
+    /// manifest rather than a programming error.
+    pub fn restore_source(&mut self, id: u32, name: &str, closed: bool) -> Result<()> {
+        if id == 0 || id == u32::MAX || self.sources.contains_key(&id) {
+            return Err(LoomError::Corrupt(format!(
+                "manifest restored invalid or duplicate source id {id}"
+            )));
+        }
+        self.sources.insert(
+            id,
+            SourceEntry {
+                name: name.to_string(),
+                closed,
+                shared: Arc::new(SourceShared::default()),
+            },
+        );
+        self.next_source = self.next_source.max(id + 1);
+        Ok(())
+    }
+
+    /// Re-inserts an index with its original ID during recovery.
+    ///
+    /// Indexes without a descriptor cannot rebuild their extractor closure
+    /// and are restored closed: summaries already in the chunk index keep
+    /// serving queries, but new chunks are not indexed.
+    pub fn restore_index(
+        &mut self,
+        id: u32,
+        source: SourceId,
+        desc: Option<ExtractorDesc>,
+        spec: HistogramSpec,
+        closed: bool,
+    ) -> Result<()> {
+        if self.indexes.contains_key(&id) {
+            return Err(LoomError::Corrupt(format!(
+                "manifest restored duplicate index id {id}"
+            )));
+        }
+        if !self.sources.contains_key(&source.0) {
+            return Err(LoomError::UnknownSource(source.0));
+        }
+        let (extractor, closed) = match desc {
+            Some(d) => (d.to_fn(), closed),
+            // No descriptor: the closure is unrecoverable. The stub is
+            // never invoked because the index is forced closed.
+            None => (Arc::new(|_: &[u8]| None) as ValueFn, true),
+        };
+        self.indexes.insert(
+            id,
+            IndexEntry {
+                source,
+                extractor,
+                spec: Arc::new(spec),
+                closed,
+                desc,
+            },
+        );
+        self.next_index = self.next_index.max(id + 1);
+        Ok(())
     }
 
     /// The open indexes defined over `source`.
@@ -271,6 +353,36 @@ mod tests {
         r.close_index(i2).unwrap();
         let ids: Vec<_> = r.indexes_of(s).into_iter().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![i1, i3]);
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_forces_closure_indexes_closed() {
+        let mut r = Registry::new();
+        r.restore_source(3, "late", false).unwrap();
+        r.restore_source(1, "early", true).unwrap();
+        let spec = HistogramSpec::uniform(0.0, 1.0, 2).unwrap();
+        r.restore_index(
+            2,
+            SourceId(3),
+            Some(ExtractorDesc::U64Le(0)),
+            spec.clone(),
+            false,
+        )
+        .unwrap();
+        r.restore_index(5, SourceId(3), None, spec, false).unwrap();
+
+        assert_eq!(r.source(SourceId(1)).unwrap().name, "early");
+        assert!(r.source(SourceId(1)).unwrap().closed);
+        assert!(!r.index(IndexId(2)).unwrap().closed);
+        // Closure-defined index (no descriptor) comes back closed.
+        assert!(r.index(IndexId(5)).unwrap().closed);
+        // New definitions continue after the highest restored IDs.
+        assert_eq!(r.define_source("next"), SourceId(4));
+        let spec = HistogramSpec::uniform(0.0, 1.0, 2).unwrap();
+        let next_idx = r.define_index(SourceId(4), any_extractor(), spec).unwrap();
+        assert_eq!(next_idx, IndexId(6));
+        // Duplicate restores are rejected.
+        assert!(r.restore_source(1, "dup", false).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::durability::{crc32, FRAME_HEADER_SIZE};
 use crate::error::{LoomError, Result};
 
 /// Statistics for the records of one chunk whose indexed values fall in
@@ -128,11 +129,13 @@ impl ChunkSummary {
         self.indexes.get(&index_id)
     }
 
-    /// Serializes the summary, prefixed with its total length, so the
-    /// chunk index can be scanned sequentially.
+    /// Serializes the summary as a checksummed frame —
+    /// `[body_len u32][crc32 u32][body]` — so the chunk index can be
+    /// scanned sequentially and torn or corrupted frames detected.
     pub fn encode(&self, out: &mut Vec<u8>) {
         let len_pos = out.len();
-        out.extend_from_slice(&0u32.to_le_bytes()); // placeholder
+        out.extend_from_slice(&0u32.to_le_bytes()); // length placeholder
+        out.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
         out.extend_from_slice(&self.chunk_seq.to_le_bytes());
         out.extend_from_slice(&self.chunk_addr.to_le_bytes());
         out.extend_from_slice(&self.chunk_len.to_le_bytes());
@@ -157,21 +160,29 @@ impl ChunkSummary {
                 out.extend_from_slice(&s.ts_max.to_le_bytes());
             }
         }
-        let total = (out.len() - len_pos - 4) as u32;
+        let total = (out.len() - len_pos - FRAME_HEADER_SIZE) as u32;
+        let crc = crc32(&out[len_pos + FRAME_HEADER_SIZE..]);
         out[len_pos..len_pos + 4].copy_from_slice(&total.to_le_bytes());
+        out[len_pos + 4..len_pos + 8].copy_from_slice(&crc.to_le_bytes());
     }
 
-    /// Decodes a summary from `bytes` (which must start at the length
-    /// prefix). Returns the summary and the number of bytes consumed.
+    /// Decodes a summary from `bytes` (which must start at the frame
+    /// header). Verifies the frame checksum and returns the summary and
+    /// the number of bytes consumed.
     pub fn decode(bytes: &[u8]) -> Result<(ChunkSummary, usize)> {
         let mut c = Cursor::new(bytes);
         let body_len = c.u32()? as usize;
-        if bytes.len() < 4 + body_len {
+        let stored_crc = c.u32()?;
+        if bytes.len() < FRAME_HEADER_SIZE + body_len {
             return Err(LoomError::Corrupt(format!(
                 "chunk summary truncated: need {} bytes, have {}",
-                4 + body_len,
+                FRAME_HEADER_SIZE + body_len,
                 bytes.len()
             )));
+        }
+        let body = &bytes[FRAME_HEADER_SIZE..FRAME_HEADER_SIZE + body_len];
+        if crc32(body) != stored_crc {
+            return Err(LoomError::Corrupt("chunk summary checksum mismatch".into()));
         }
         let chunk_seq = c.u64()?;
         let chunk_addr = c.u64()?;
@@ -205,7 +216,7 @@ impl ChunkSummary {
             }
             indexes.insert(index_id, bins);
         }
-        let consumed = 4 + body_len;
+        let consumed = FRAME_HEADER_SIZE + body_len;
         if c.pos > consumed {
             return Err(LoomError::Corrupt(
                 "chunk summary body overran its length prefix".into(),
@@ -332,6 +343,16 @@ mod tests {
         s.encode(&mut buf);
         assert!(ChunkSummary::decode(&buf[..buf.len() - 1]).is_err());
         assert!(ChunkSummary::decode(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn flipped_body_byte_is_detected() {
+        let s = sample_summary();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        buf[FRAME_HEADER_SIZE + 5] ^= 0x10;
+        let err = ChunkSummary::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

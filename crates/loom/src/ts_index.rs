@@ -7,17 +7,27 @@
 //! or chunk index, and a back pointer to the previous entry of the same
 //! stream (same source's marks, or the chain of chunk seals).
 //!
-//! Because entries are fixed-size (32 bytes) and timestamps increase
+//! Because entries are fixed-size (40 bytes) and timestamps increase
 //! monotonically, "find the latest event at or before time t" is a binary
 //! search over the index — no tree maintenance on the write path.
+//!
+//! Each entry is self-checksummed: bytes `[32..36]` hold a CRC32 over the
+//! first 32 bytes, and the final 4 bytes are reserved (zero). Decoding
+//! verifies the checksum, so a torn or bit-flipped entry surfaces as a
+//! corruption error instead of a bogus timeline event.
 
+use crate::durability::{crc32, LogId};
 use crate::error::{LoomError, Result};
 use crate::hybridlog::LogRead;
 #[cfg(test)]
 use crate::record::NIL_ADDR;
 
-/// Size in bytes of one timestamp-index entry.
-pub const TS_ENTRY_SIZE: usize = 32;
+/// Size in bytes of one timestamp-index entry (including CRC + padding).
+pub const TS_ENTRY_SIZE: usize = 40;
+
+/// Offset of the CRC32 field inside an encoded entry; the checksum covers
+/// `entry[0..TS_ENTRY_CRC_OFFSET]`.
+pub const TS_ENTRY_CRC_OFFSET: usize = 32;
 
 /// The kind of event a timestamp-index entry records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +55,8 @@ pub struct TsEntry {
 }
 
 impl TsEntry {
-    /// Encodes the entry into its fixed-size on-log form.
+    /// Encodes the entry into its fixed-size on-log form, including its
+    /// CRC32 checksum.
     pub fn encode(&self) -> [u8; TS_ENTRY_SIZE] {
         let mut buf = [0u8; TS_ENTRY_SIZE];
         let kind: u32 = match self.kind {
@@ -57,16 +68,33 @@ impl TsEntry {
         buf[8..16].copy_from_slice(&self.ts.to_le_bytes());
         buf[16..24].copy_from_slice(&self.target.to_le_bytes());
         buf[24..32].copy_from_slice(&self.prev.to_le_bytes());
+        let crc = crc32(&buf[..TS_ENTRY_CRC_OFFSET]);
+        buf[32..36].copy_from_slice(&crc.to_le_bytes());
+        // buf[36..40] reserved, zero.
         buf
     }
 
-    /// Decodes an entry from its fixed-size on-log form.
+    /// Decodes an entry from its fixed-size on-log form, verifying its
+    /// checksum.
     pub fn decode(buf: &[u8]) -> Result<TsEntry> {
         if buf.len() < TS_ENTRY_SIZE {
             return Err(LoomError::Corrupt(format!(
                 "timestamp entry truncated: {} bytes",
                 buf.len()
             )));
+        }
+        let stored = u32::from_le_bytes(buf[32..36].try_into().expect("len 4"));
+        if crc32(&buf[..TS_ENTRY_CRC_OFFSET]) != stored {
+            return Err(LoomError::Corrupt(
+                "timestamp entry checksum mismatch".into(),
+            ));
+        }
+        // The reserved tail is outside the checksum; a nonzero byte there
+        // still means the entry was never written whole.
+        if buf[36..TS_ENTRY_SIZE] != [0; 4] {
+            return Err(LoomError::Corrupt(
+                "timestamp entry reserved bytes not zero".into(),
+            ));
         }
         let kind = match u32::from_le_bytes(buf[0..4].try_into().expect("len 4")) {
             1 => TsKind::RecordMark,
@@ -113,15 +141,23 @@ impl<'a, R: LogRead> TsIndexView<'a, R> {
 
     /// Reads entry number `idx` (0-based).
     pub fn entry(&self, idx: u64) -> Result<TsEntry> {
+        let addr = idx * TS_ENTRY_SIZE as u64;
         if idx >= self.entries {
             return Err(LoomError::AddressOutOfBounds {
-                addr: idx * TS_ENTRY_SIZE as u64,
+                addr,
                 tail: self.entries * TS_ENTRY_SIZE as u64,
             });
         }
         let mut buf = [0u8; TS_ENTRY_SIZE];
-        self.log.read_at(idx * TS_ENTRY_SIZE as u64, &mut buf)?;
-        TsEntry::decode(&buf)
+        self.log.read_at(addr, &mut buf)?;
+        TsEntry::decode(&buf).map_err(|e| match e {
+            LoomError::Corrupt(reason) => LoomError::CorruptLog {
+                log: LogId::Ts,
+                addr,
+                reason,
+            },
+            other => other,
+        })
     }
 
     /// Reads the entry stored at log address `addr` (used to follow `prev`
@@ -283,7 +319,45 @@ mod tests {
     fn decode_rejects_bad_kind() {
         let mut buf = mark(1, 2, 3).encode();
         buf[0] = 9;
+        // Flipping the kind byte also invalidates the checksum; restamp it
+        // so the kind check itself is exercised.
+        let crc = crc32(&buf[..TS_ENTRY_CRC_OFFSET]);
+        buf[32..36].copy_from_slice(&crc.to_le_bytes());
         assert!(TsEntry::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_flipped_byte() {
+        let mut buf = mark(1, 2, 3).encode();
+        buf[17] ^= 0x01; // corrupt the target field
+        let err = TsEntry::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_nonzero_reserved_bytes() {
+        // The reserved tail sits outside the checksum; a flip there must
+        // still be rejected.
+        let mut buf = mark(1, 2, 3).encode();
+        buf[39] ^= 0xFF;
+        let err = TsEntry::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_entry_read_reports_log_and_address() {
+        let mut bytes = build_index(&[mark(1, 10, 0), mark(1, 20, 1)]).0;
+        bytes[TS_ENTRY_SIZE + 9] ^= 0x80; // corrupt entry 1's ts field
+        let log = MemLog(bytes);
+        let v = TsIndexView::new(&log);
+        assert!(v.entry(0).is_ok());
+        match v.entry(1) {
+            Err(LoomError::CorruptLog { log, addr, .. }) => {
+                assert_eq!(log, LogId::Ts);
+                assert_eq!(addr, TS_ENTRY_SIZE as u64);
+            }
+            other => panic!("expected CorruptLog, got {other:?}"),
+        }
     }
 
     #[test]
@@ -344,7 +418,7 @@ mod tests {
     #[test]
     fn truncated_view_ignores_partial_entry() {
         let mut bytes = build_index(&[mark(1, 10, 0), mark(1, 20, 1)]).0;
-        bytes.extend_from_slice(&[0u8; 16]); // half an entry
+        bytes.extend_from_slice(&[0u8; 16]); // less than one entry
         let log = MemLog(bytes);
         let v = TsIndexView::new(&log);
         assert_eq!(v.len(), 2);

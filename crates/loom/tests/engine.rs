@@ -505,7 +505,7 @@ fn ingest_stats_track_pushes_and_seals() {
     push_values(&mut env, s, 1000, 5, |i| i);
     let stats = env.loom.ingest_stats();
     assert_eq!(stats.records(), 1000);
-    assert_eq!(stats.bytes(), 1000 * (24 + 8));
+    assert_eq!(stats.bytes(), 1000 * (28 + 8));
     // 32 KiB written into 4 KiB chunks: several seals must have happened.
     assert!(
         stats.chunks_sealed() >= 7,

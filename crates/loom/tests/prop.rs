@@ -16,10 +16,13 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn record_header_round_trips(source in 1u32..u32::MAX, len in 0u32..1_000_000,
+    fn record_header_round_trips(source in 1u32..u32::MAX,
+                                 payload in proptest::collection::vec(any::<u8>(), 0..256),
                                  prev in any::<u64>(), ts in any::<u64>()) {
-        let h = RecordHeader { source, len, prev, ts };
-        prop_assert_eq!(RecordHeader::decode(&h.encode()).unwrap(), h);
+        let h = RecordHeader { source, len: payload.len() as u32, prev, ts };
+        let buf = h.encode(&payload);
+        prop_assert_eq!(RecordHeader::decode(&buf).unwrap(), h);
+        prop_assert!(RecordHeader::verify(&buf, &payload));
     }
 
     #[test]
@@ -67,7 +70,7 @@ proptest! {
                 prev: NIL_ADDR,
                 ts: i as u64,
             };
-            chunk.extend_from_slice(&h.encode());
+            chunk.extend_from_slice(&h.encode(payload));
             chunk.extend_from_slice(payload);
         }
         chunk.extend(std::iter::repeat_n(0u8, 32));
@@ -578,5 +581,107 @@ proptest! {
             let expected = timestamps.iter().filter(|t| **t <= probe).count() as u64;
             prop_assert_eq!(got, expected, "probe {}", probe);
         }
+    }
+}
+
+/// One random workload captured before a shutdown — a clean `close()` or a
+/// synced hard crash — must answer indexed scans, every aggregate, and
+/// bin counts identically after `Loom::open` reopens the directory.
+fn check_reopen_equivalence(
+    values: Vec<u16>,
+    gaps: Vec<u8>,
+    win: (usize, usize),
+    crash: bool,
+) -> Result<(), TestCaseError> {
+    use loom::ExtractorDesc;
+
+    let dir = std::env::temp_dir().join(format!(
+        "loom-prop-reopen-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) =
+        Loom::open_with_clock(Config::small(&dir), Clock::manual(100)).unwrap();
+    let s = loom.define_source("src");
+    let spec = HistogramSpec::uniform(0.0, 65_536.0, 8).unwrap();
+    // A descriptor-based extractor survives the reopen (closures cannot).
+    let idx = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(0), spec)
+        .unwrap();
+
+    let mut pushed: Vec<(u64, u64)> = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        let dt = 1 + gaps.get(i % gaps.len().max(1)).copied().unwrap_or(1) as u64;
+        let ts = loom.clock().advance(dt);
+        writer.push(s, &(*v as u64).to_le_bytes()).unwrap();
+        pushed.push((ts, *v as u64));
+    }
+
+    let (a, b) = win;
+    let lo = a.min(values.len() - 1);
+    let hi = b.min(values.len() - 1);
+    let (lo, hi) = (lo.min(hi), lo.max(hi));
+    let range = TimeRange::new(pushed[lo].0, pushed[hi].0);
+    let vr = ValueRange::all();
+    let opts = QueryOptions::default();
+
+    const AGGS: [Aggregate; 7] = [
+        Aggregate::Count,
+        Aggregate::Sum,
+        Aggregate::Min,
+        Aggregate::Max,
+        Aggregate::Mean,
+        Aggregate::Percentile(50.0),
+        Aggregate::Percentile(99.0),
+    ];
+    let capture = |l: &Loom| {
+        let scan = collect_scan(l, s, idx, range, vr, opts).0;
+        let aggs: Vec<(Option<f64>, u64)> = AGGS
+            .iter()
+            .map(|m| {
+                let r = l.query(s).index(idx).range(range).aggregate(*m).unwrap();
+                (r.value, r.count)
+            })
+            .collect();
+        let bins = l.query(s).index(idx).range(range).bin_counts().unwrap().0;
+        (scan, aggs, bins)
+    };
+    let before = capture(&loom);
+
+    if crash {
+        writer.sync().unwrap();
+        writer.simulate_crash();
+    } else {
+        writer.close().unwrap();
+    }
+    drop(loom);
+
+    let (loom2, writer2) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+    let report = loom2.recovery_report().unwrap();
+    prop_assert_eq!(report.clean, !crash);
+    prop_assert!(report.truncations.is_empty(), "{:?}", report.truncations);
+    let after = capture(&loom2);
+    prop_assert_eq!(&after.0, &before.0, "scan results diverged after reopen");
+    prop_assert_eq!(&after.1, &before.1, "aggregates diverged after reopen");
+    prop_assert_eq!(&after.2, &before.2, "bin counts diverged after reopen");
+
+    drop(writer2);
+    drop(loom2);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn queries_after_reopen_match_pre_shutdown(
+        values in proptest::collection::vec(any::<u16>(), 1..600),
+        gaps in proptest::collection::vec(1u8..20, 1..8),
+        win in (0usize..600, 0usize..600),
+        crash in any::<bool>(),
+    ) {
+        check_reopen_equivalence(values, gaps, win, crash)?;
     }
 }

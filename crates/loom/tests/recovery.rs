@@ -1,0 +1,438 @@
+//! Crash-recovery and durable-reopen tests: clean-shutdown fast path,
+//! hard-killed writers, fault injection on every log, and schema
+//! survival across restarts.
+
+use loom::{
+    Aggregate, Clock, Config, ExtractorDesc, HistogramSpec, LogId, Loom, SourceId, TimeRange,
+};
+
+struct Env {
+    dir: std::path::PathBuf,
+}
+
+impl Env {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("loom-recov-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Env { dir }
+    }
+
+    fn open(&self, start: u64) -> (Loom, loom::LoomWriter) {
+        Loom::open_with_clock(Config::small(&self.dir), Clock::manual(start)).unwrap()
+    }
+}
+
+impl Drop for Env {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn spec() -> HistogramSpec {
+    HistogramSpec::uniform(0.0, 65_536.0, 8).unwrap()
+}
+
+/// Collects `(ts, value)` for every record of `s`, oldest first.
+fn scan_all(loom: &Loom, s: SourceId) -> Vec<(u64, u64)> {
+    let mut got = Vec::new();
+    loom.raw_scan(s, TimeRange::new(0, loom.now()), |r| {
+        let v = u64::from_le_bytes(r.payload.try_into().unwrap());
+        got.push((r.ts, v));
+    })
+    .unwrap();
+    got.reverse();
+    got
+}
+
+fn push_n(
+    loom: &Loom,
+    writer: &mut loom::LoomWriter,
+    s: SourceId,
+    n: u64,
+    f: impl Fn(u64) -> u64,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        let ts = loom.clock().advance(10);
+        writer.push(s, &f(i).to_le_bytes()).unwrap();
+        out.push((ts, f(i)));
+    }
+    out
+}
+
+#[test]
+fn clean_shutdown_reopens_via_fast_path_with_identical_data() {
+    let env = Env::new("clean");
+    let (loom, mut writer) = env.open(1_000);
+    let s = loom.define_source("app");
+    let idx = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(0), spec())
+        .unwrap();
+    let pushed = push_n(&loom, &mut writer, s, 1_000, |i| i * 3 % 50_000);
+    let before = scan_all(&loom, s);
+    assert_eq!(before, pushed);
+    let max_before = loom
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, loom.now()))
+        .aggregate(Aggregate::Max)
+        .unwrap();
+    writer.close().unwrap();
+    drop(loom);
+
+    let (loom2, mut writer2) = env.open(0);
+    let report = loom2.recovery_report().expect("reopen yields a report");
+    assert!(report.clean, "clean shutdown must take the fast path");
+    assert!(report.truncations.is_empty());
+    assert_eq!(report.summaries_rebuilt, 0);
+    assert_eq!(report.seals_appended, 0);
+
+    // Same source ID, same records, same indexed answers.
+    assert_eq!(
+        loom2.sources(),
+        vec![(s, "app".to_string(), false)],
+        "schema must survive the restart"
+    );
+    assert_eq!(scan_all(&loom2, s), pushed);
+    let max_after = loom2
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, loom2.now()))
+        .aggregate(Aggregate::Max)
+        .unwrap();
+    assert_eq!(max_after.value, max_before.value);
+    assert_eq!(max_after.count, max_before.count);
+
+    // The clock resumed past the old timeline and ingest continues.
+    assert!(loom2.now() >= pushed.last().unwrap().0);
+    let more = push_n(&loom2, &mut writer2, s, 100, |i| i + 60_000);
+    let all = scan_all(&loom2, s);
+    assert_eq!(all.len(), 1_100);
+    assert_eq!(&all[1_000..], &more[..]);
+}
+
+#[test]
+fn killed_writer_recovers_every_synced_record() {
+    let env = Env::new("kill");
+    let (loom, mut writer) = env.open(1_000);
+    let s = loom.define_source("app");
+    let idx = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(0), spec())
+        .unwrap();
+    // Enough records to span many chunks and several staging blocks.
+    let pushed = push_n(&loom, &mut writer, s, 4_000, |i| i % 7_919);
+    writer.sync().unwrap();
+    writer.simulate_crash();
+    drop(loom);
+
+    let (loom2, mut writer2) = env.open(0);
+    let report = loom2.recovery_report().unwrap();
+    assert!(!report.clean, "a killed writer must trigger a dirty scan");
+    assert_eq!(report.records_scanned, 4_000);
+
+    // Every synced record survives, byte for byte, in order.
+    assert_eq!(scan_all(&loom2, s), pushed);
+
+    // Indexed aggregation over the recovered data matches brute force.
+    let sum = loom2
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, loom2.now()))
+        .aggregate(Aggregate::Sum)
+        .unwrap();
+    let expected: f64 = pushed.iter().map(|(_, v)| *v as f64).sum();
+    assert_eq!(sum.value, Some(expected));
+    assert_eq!(sum.count, 4_000);
+
+    // Per-source record chain state recovered: new pushes append after
+    // the old ones and stay linked.
+    let more = push_n(&loom2, &mut writer2, s, 50, |i| i);
+    let all = scan_all(&loom2, s);
+    assert_eq!(all.len(), 4_050);
+    assert_eq!(&all[4_000..], &more[..]);
+}
+
+#[test]
+fn unsynced_tail_is_lost_but_flushed_prefix_survives() {
+    let env = Env::new("unsynced");
+    let (loom, mut writer) = env.open(1_000);
+    let s = loom.define_source("app");
+    let pushed = push_n(&loom, &mut writer, s, 2_000, |i| i);
+    writer.sync().unwrap();
+    // More records after the sync; these may vanish with the crash.
+    push_n(&loom, &mut writer, s, 500, |i| i + 1_000_000);
+    writer.simulate_crash();
+    drop(loom);
+
+    let (loom2, _writer2) = env.open(0);
+    let got = scan_all(&loom2, s);
+    assert!(
+        got.len() >= 2_000,
+        "everything synced must survive, got {}",
+        got.len()
+    );
+    assert_eq!(&got[..2_000], &pushed[..]);
+}
+
+/// Makes a dirty directory holding `n` synced records and returns the
+/// pushed `(ts, value)` pairs. The writer is hard-dropped, so the clean
+/// fast path cannot be taken on reopen.
+fn dirty_dir(env: &Env, n: u64) -> Vec<(u64, u64)> {
+    let (loom, mut writer) = env.open(1_000);
+    let s = loom.define_source("app");
+    loom.define_index_desc(s, ExtractorDesc::U64Le(0), spec())
+        .unwrap();
+    let pushed = push_n(&loom, &mut writer, s, n, |i| i % 3_000);
+    writer.sync().unwrap();
+    writer.simulate_crash();
+    pushed
+}
+
+fn flip_byte(path: &std::path::Path, offset_from_end: u64) {
+    use std::os::unix::fs::FileExt;
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
+    let len = file.metadata().unwrap().len();
+    assert!(len > offset_from_end, "file too short to corrupt");
+    let pos = len - 1 - offset_from_end;
+    let mut b = [0u8; 1];
+    file.read_exact_at(&mut b, pos).unwrap();
+    b[0] ^= 0xFF;
+    file.write_all_at(&b, pos).unwrap();
+    file.sync_all().unwrap();
+}
+
+fn append_garbage(path: &std::path::Path, n: usize) {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+    file.write_all(&vec![0xA7u8; n]).unwrap();
+    file.sync_all().unwrap();
+}
+
+#[test]
+fn flipped_byte_in_record_log_truncates_and_recovers_a_prefix() {
+    let env = Env::new("flip-rec");
+    let pushed = dirty_dir(&env, 3_000);
+    flip_byte(&env.dir.join(LogId::Records.file_name()), 40);
+
+    let (loom2, _w) = env.open(0);
+    let report = loom2.recovery_report().unwrap();
+    assert!(!report.clean);
+    assert!(
+        report.truncations.iter().any(|t| t.log == LogId::Records),
+        "corruption must be detected in the record log: {:?}",
+        report.truncations
+    );
+    assert!(report.bytes_truncated() > 0);
+
+    // The surviving records are an exact prefix of what was pushed.
+    let s = loom2.sources()[0].0;
+    let got = scan_all(&loom2, s);
+    assert!(got.len() < 3_000, "the corrupt tail must be dropped");
+    assert_eq!(&pushed[..got.len()], &got[..]);
+}
+
+#[test]
+fn flipped_byte_in_chunk_index_rebuilds_summaries() {
+    let env = Env::new("flip-chunk");
+    let pushed = dirty_dir(&env, 3_000);
+    flip_byte(&env.dir.join(LogId::Chunks.file_name()), 10);
+
+    let (loom2, _w) = env.open(0);
+    let report = loom2.recovery_report().unwrap();
+    assert!(!report.clean);
+    assert!(report.truncations.iter().any(|t| t.log == LogId::Chunks));
+    assert!(
+        report.summaries_rebuilt > 0,
+        "chunks that lost their summary must be resummarized: {report:?}"
+    );
+
+    // No records are lost — only derived state was damaged — and the
+    // rebuilt summaries serve indexed queries over all of them.
+    let s = loom2.sources()[0].0;
+    assert_eq!(scan_all(&loom2, s), pushed);
+    let idx = loom2.indexes_of(s)[0];
+    let count = loom2
+        .query(s)
+        .index(idx)
+        .range(TimeRange::new(0, loom2.now()))
+        .aggregate(Aggregate::Count)
+        .unwrap();
+    assert_eq!(count.value, Some(3_000.0));
+}
+
+#[test]
+fn flipped_byte_in_ts_index_truncates_and_reappends_seals() {
+    let env = Env::new("flip-ts");
+    let pushed = dirty_dir(&env, 3_000);
+    // Flip a byte halfway into the timestamp index so the second half —
+    // including many chunk-seal entries — is truncated, not just a
+    // trailing per-source mark.
+    let ts_path = env.dir.join(LogId::Ts.file_name());
+    let mid = std::fs::metadata(&ts_path).unwrap().len() / 2;
+    flip_byte(&ts_path, mid);
+
+    let (loom2, _w) = env.open(0);
+    let report = loom2.recovery_report().unwrap();
+    assert!(!report.clean);
+    assert!(report.truncations.iter().any(|t| t.log == LogId::Ts));
+    assert!(
+        report.seals_appended > 0,
+        "seals for surviving summaries must be re-appended: {report:?}"
+    );
+
+    // Record data is untouched and time-ranged queries still work.
+    let s = loom2.sources()[0].0;
+    assert_eq!(scan_all(&loom2, s), pushed);
+}
+
+#[test]
+fn torn_tails_in_every_log_are_truncated() {
+    let env = Env::new("torn");
+    let pushed = dirty_dir(&env, 2_000);
+    for log in [LogId::Records, LogId::Chunks, LogId::Ts] {
+        append_garbage(&env.dir.join(log.file_name()), 13);
+    }
+
+    let (loom2, _w) = env.open(0);
+    let report = loom2.recovery_report().unwrap();
+    assert!(!report.clean);
+    // The garbage bytes never checksum; every log loses exactly its torn
+    // tail (the record log tears at a chunk boundary, so its 13 bytes are
+    // dropped as a partial header).
+    assert!(report.bytes_truncated() >= 3 * 13 - 26);
+    let s = loom2.sources()[0].0;
+    assert_eq!(scan_all(&loom2, s), pushed);
+}
+
+#[test]
+fn schema_survives_restart_and_closure_indexes_reopen_closed() {
+    let env = Env::new("schema");
+    let (loom, mut writer) = env.open(1_000);
+    let a = loom.define_source("alpha");
+    let b = loom.define_source("beta");
+    let desc_idx = loom
+        .define_index_desc(a, ExtractorDesc::U64Le(0), spec())
+        .unwrap();
+    let closure_idx = loom
+        .define_index(a, loom::extract::u64_le_at(0), spec())
+        .unwrap();
+    push_n(&loom, &mut writer, a, 600, |i| i);
+    loom.close_source(b).unwrap();
+    writer.close().unwrap();
+    drop(loom);
+
+    let (loom2, mut writer2) = env.open(0);
+    assert_eq!(
+        loom2.sources(),
+        vec![
+            (a, "alpha".to_string(), false),
+            (b, "beta".to_string(), true),
+        ]
+    );
+    // The descriptor-based index is fully restored and keeps indexing;
+    // the closure-based one comes back closed.
+    assert_eq!(loom2.indexes_of(a), vec![desc_idx]);
+
+    // Closed sources still reject pushes after the restart.
+    let err = writer2.push(b, &7u64.to_le_bytes());
+    assert!(err.is_err(), "closed source must stay closed: {err:?}");
+
+    // Data indexed before the restart stays queryable through both
+    // indexes; new data flows only into the restored descriptor index
+    // (the closure index is closed, so it stops at the restart point).
+    push_n(&loom2, &mut writer2, a, 600, |i| i + 600);
+    writer2.seal_active_chunk().unwrap();
+    for (idx, expected) in [(desc_idx, 1_200.0), (closure_idx, 600.0)] {
+        let r = loom2
+            .query(a)
+            .index(idx)
+            .range(TimeRange::new(0, loom2.now()))
+            .aggregate(Aggregate::Count)
+            .unwrap();
+        assert_eq!(r.value, Some(expected), "index {idx:?}");
+    }
+}
+
+#[test]
+fn reopen_rejects_a_mismatched_config() {
+    let env = Env::new("config");
+    let (loom, writer) = env.open(1_000);
+    writer.close().unwrap();
+    drop(loom);
+
+    let mut config = Config::small(&env.dir);
+    config.chunk_size *= 2;
+    let err = Loom::open_with_clock(config, Clock::manual(0))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(err, loom::LoomError::InvalidConfig(_)),
+        "chunk-size change must be rejected: {err:?}"
+    );
+}
+
+#[test]
+fn fresh_open_refuses_logs_without_a_superblock() {
+    let env = Env::new("nosuper");
+    std::fs::create_dir_all(&env.dir).unwrap();
+    std::fs::write(env.dir.join(LogId::Records.file_name()), b"data").unwrap();
+    let err = Loom::open_with_clock(Config::small(&env.dir), Clock::manual(0))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(err, loom::LoomError::Corrupt(_)),
+        "must not clobber unrecognized log files: {err:?}"
+    );
+}
+
+#[test]
+fn reopen_reports_recovery_metrics() {
+    let env = Env::new("metrics");
+    dirty_dir(&env, 2_000);
+    let (loom2, writer2) = env.open(0);
+    let m = loom2.metrics_snapshot();
+    // Without the self-obs feature all counters are zero; with it, the
+    // dirty recovery must be visible.
+    if m.query.queries == 0 && m.coordinator.dirty_recoveries == 0 {
+        return; // counters compiled out
+    }
+    assert_eq!(m.coordinator.dirty_recoveries, 1);
+    assert_eq!(m.coordinator.clean_reopens, 0);
+    writer2.close().unwrap();
+    drop(loom2);
+
+    let (loom3, _w3) = env.open(0);
+    let m = loom3.metrics_snapshot();
+    assert_eq!(m.coordinator.clean_reopens, 1);
+}
+
+#[test]
+fn repeated_crashes_and_reopens_accumulate_correctly() {
+    let env = Env::new("repeat");
+    let mut expected = Vec::new();
+    let mut start = 1_000;
+    for round in 0..5u64 {
+        let (loom, mut writer) = env.open(start);
+        let s = if round == 0 {
+            loom.define_source("app")
+        } else {
+            loom.sources()[0].0
+        };
+        expected.extend(push_n(&loom, &mut writer, s, 300, |i| round * 1_000 + i));
+        if round % 2 == 0 {
+            writer.sync().unwrap();
+            writer.simulate_crash();
+        } else {
+            writer.close().unwrap();
+        }
+        drop(loom);
+        start = 0;
+    }
+    let (loom, _writer) = env.open(0);
+    let s = loom.sources()[0].0;
+    assert_eq!(scan_all(&loom, s), expected);
+}
