@@ -297,7 +297,7 @@ impl Shell {
                 let writer = Arc::clone(&self.writer);
                 let mut guard = writer.lock().map_err(|_| "writer lock poisoned")?;
                 let writer = guard.as_mut().ok_or("instance already closed")?;
-                for _ in 0..count {
+                for pushed in 0..count {
                     let latency = match &dist {
                         DistKind::LogNormal { median, sigma } => {
                             telemetry::dist::LogNormal::from_median(*median, *sigma)
@@ -318,8 +318,20 @@ impl Shell {
                         flags: 0,
                         cpu: 0,
                     };
-                    writer.push(sid, &rec.encode()).map_err(|e| e.to_string())?;
-                    self.seq += 1;
+                    match writer.push(sid, &rec.encode()) {
+                        Ok(_) => self.seq += 1,
+                        Err(e @ loom::LoomError::Degraded { .. }) => {
+                            // Disk failure mid-generation must not kill the
+                            // shell: report the partial progress and keep
+                            // serving queries over the flushed prefix.
+                            eprintln!("loomd: ingest halted after {pushed} records: {e}");
+                            return Err(format!(
+                                "engine degraded after {pushed}/{count} records: {e} \
+                                 (existing data remains queryable)"
+                            ));
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
                 }
                 let elapsed = start.elapsed();
                 Ok(format!(
@@ -410,7 +422,8 @@ impl Shell {
             Command::Stats => {
                 let s = self.loom.ingest_stats();
                 Ok(format!(
-                    "records {} | bytes {} | chunks sealed {} | ts entries {} | memory budget {} B",
+                    "health {} | records {} | bytes {} | chunks sealed {} | ts entries {} | memory budget {} B",
+                    self.loom.health().name(),
                     s.records(),
                     s.bytes(),
                     s.chunks_sealed(),
@@ -419,7 +432,8 @@ impl Shell {
                 ))
             }
             Command::Metrics => {
-                let mut out = self.loom.metrics_snapshot().to_text();
+                let mut out = format!("# health: {}\n", self.loom.health());
+                out.push_str(&self.loom.metrics_snapshot().to_text());
                 // Drop the trailing newline; the prompt loop adds one.
                 out.truncate(out.trim_end().len());
                 Ok(out)
@@ -536,12 +550,22 @@ fn format_recovery(report: &loom::RecoveryReport) -> String {
 
 /// Closes the instance exactly once (the slot is emptied), optionally
 /// removes an ephemeral data directory, and exits.
-fn shutdown(writer: &WriterSlot, keep_dir: bool, dir: &Path, why: &str) -> ! {
+///
+/// Exits with `code` on a clean close (`0` for `quit`, non-zero for a
+/// forced signal shutdown so supervisors can tell the two apart) and
+/// with `1` if the close itself failed — the directory is still left in
+/// a recoverable state either way, since the hybrid logs flush what they
+/// can and the next open runs crash recovery.
+fn shutdown(writer: &WriterSlot, keep_dir: bool, dir: &Path, why: &str, code: i32) -> ! {
+    let mut code = code;
     let taken = writer.lock().ok().and_then(|mut slot| slot.take());
     if let Some(w) = taken {
         match w.close() {
             Ok(()) => eprintln!("loomd: {why}: closed cleanly"),
-            Err(e) => eprintln!("loomd: {why}: close failed: {e}"),
+            Err(e) => {
+                eprintln!("loomd: {why}: close failed ({e}); next open will run recovery");
+                code = code.max(1);
+            }
         }
     }
     if keep_dir {
@@ -549,7 +573,7 @@ fn shutdown(writer: &WriterSlot, keep_dir: bool, dir: &Path, why: &str) -> ! {
     } else {
         let _ = std::fs::remove_dir_all(dir);
     }
-    std::process::exit(0);
+    std::process::exit(code);
 }
 
 /// SIGINT/SIGTERM handling without a libc dependency: a raw binding to
@@ -633,7 +657,7 @@ fn main() {
         std::thread::spawn(move || loop {
             std::thread::sleep(std::time::Duration::from_millis(50));
             if signals::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
-                shutdown(&slot, keep_dir, &dir, "signal");
+                shutdown(&slot, keep_dir, &dir, "signal", 1);
             }
         });
     }
@@ -682,7 +706,7 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
-    shutdown(&shell.writer, !ephemeral, &dir, "quit");
+    shutdown(&shell.writer, !ephemeral, &dir, "quit", 0);
 }
 
 #[cfg(test)]

@@ -1,10 +1,70 @@
 //! Configuration for a Loom instance.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::error::{LoomError, Result};
 use crate::record::RECORD_HEADER_SIZE;
 use crate::ts_index::TS_ENTRY_SIZE;
+
+/// Retry policy for transient I/O errors in the background flushers.
+///
+/// A failing flush is retried up to `attempts` times total, sleeping
+/// `base_backoff * 2^(retry-1)` between tries, capped at `max_backoff`.
+/// While retrying, the engine reports
+/// [`EngineHealth::Degraded`](crate::EngineHealth::Degraded); when the
+/// budget is exhausted it transitions to terminal
+/// [`EngineHealth::ReadOnly`](crate::EngineHealth::ReadOnly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRetryPolicy {
+    /// Total write attempts (first try included). `1` disables retries.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for IoRetryPolicy {
+    fn default() -> Self {
+        IoRetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl IoRetryPolicy {
+    /// The backoff to sleep after the `retry`-th failed attempt
+    /// (1-based): `base * 2^(retry-1)`, capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32
+            .checked_shl(retry.saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// What `push` does when admitting a record would block on flusher
+/// backpressure (both staging blocks full, flusher still writing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Spin until the flusher frees a block (the original behavior).
+    /// Ingest never loses data but can stall arbitrarily long.
+    #[default]
+    Block,
+    /// Drop the incoming record and return
+    /// [`NIL_ADDR`](crate::record::NIL_ADDR); drops are counted in the
+    /// `ingest_drops` metric. Ingest never stalls.
+    DropNewest,
+    /// Fail fast with [`LoomError::Overloaded`]
+    /// so the caller decides; retrying later succeeds once the flusher
+    /// catches up.
+    ErrorFast,
+}
 
 /// Configuration for a [`Loom`](crate::Loom) instance.
 ///
@@ -52,6 +112,10 @@ pub struct Config {
     /// Number of slow-query traces retained in the ring buffer; older
     /// traces are overwritten.
     pub slow_query_log: usize,
+    /// Retry policy for transient I/O errors in the background flushers.
+    pub io_retry: IoRetryPolicy,
+    /// Backpressure policy when ingest outruns the flusher.
+    pub overload: OverloadPolicy,
     /// Remove the log files when the instance is dropped.
     pub remove_on_drop: bool,
 }
@@ -70,6 +134,8 @@ impl Config {
             query_threads: 1,
             slow_query_nanos: 100_000_000,
             slow_query_log: 64,
+            io_retry: IoRetryPolicy::default(),
+            overload: OverloadPolicy::default(),
             remove_on_drop: false,
         }
     }
@@ -87,6 +153,13 @@ impl Config {
             query_threads: 1,
             slow_query_nanos: 100_000_000,
             slow_query_log: 64,
+            // Tests exercise retries; keep the worst-case stall tiny.
+            io_retry: IoRetryPolicy {
+                attempts: 4,
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(2),
+            },
+            overload: OverloadPolicy::default(),
             remove_on_drop: true,
         }
     }
@@ -124,6 +197,18 @@ impl Config {
     /// Sets the slow-query ring-buffer capacity.
     pub fn with_slow_query_log(mut self, entries: usize) -> Self {
         self.slow_query_log = entries;
+        self
+    }
+
+    /// Sets the flusher I/O retry policy.
+    pub fn with_io_retry(mut self, policy: IoRetryPolicy) -> Self {
+        self.io_retry = policy;
+        self
+    }
+
+    /// Sets the ingest overload (backpressure) policy.
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
         self
     }
 
@@ -170,6 +255,11 @@ impl Config {
         if self.query_threads == 0 {
             return Err(LoomError::InvalidConfig(
                 "query_threads must be non-zero (1 = serial execution)".into(),
+            ));
+        }
+        if self.io_retry.attempts == 0 {
+            return Err(LoomError::InvalidConfig(
+                "io_retry.attempts must be non-zero (1 = no retries)".into(),
             ));
         }
         Ok(())

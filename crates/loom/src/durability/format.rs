@@ -226,6 +226,9 @@ impl Superblock {
     pub fn write_to(&self, dir: &Path) -> Result<()> {
         let path = dir.join(SUPERBLOCK_FILE);
         let bytes = self.encode();
+        if let Some(k) = crate::fault::check(crate::fault::SUPERBLOCK_WRITE, "") {
+            return Err(crate::error::LoomError::Io(k.to_io_error()));
+        }
         let mut f = std::fs::File::create(&path)?;
         std::io::Write::write_all(&mut f, &bytes)?;
         f.sync_all()?;

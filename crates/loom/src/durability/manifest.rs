@@ -71,6 +71,19 @@ pub enum ManifestRecord {
 }
 
 impl ManifestRecord {
+    /// Short variant name, used as the failpoint tag so fault schedules
+    /// can target e.g. only the `CleanShutdown` append.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ManifestRecord::SourceDef { .. } => "SourceDef",
+            ManifestRecord::SourceClosed { .. } => "SourceClosed",
+            ManifestRecord::IndexDef { .. } => "IndexDef",
+            ManifestRecord::IndexClosed { .. } => "IndexClosed",
+            ManifestRecord::Reopened => "Reopened",
+            ManifestRecord::CleanShutdown(_) => "CleanShutdown",
+        }
+    }
+
     /// Serializes the record body (tag byte plus fields) into `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -266,7 +279,13 @@ impl Manifest {
         record.encode(&mut frame);
         let mut out = Vec::with_capacity(frame.len() + 8);
         write_frame(&mut out, &frame);
+        if let Some(k) = crate::fault::check(crate::fault::MANIFEST_APPEND, record.kind_name()) {
+            return Err(LoomError::Io(k.to_io_error()));
+        }
         self.file.write_all(&out)?;
+        if let Some(k) = crate::fault::check(crate::fault::MANIFEST_SYNC, record.kind_name()) {
+            return Err(LoomError::Io(k.to_io_error()));
+        }
         self.file.sync_data()?;
         self.records.push(record);
         Ok(())

@@ -19,15 +19,17 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::clock::Clock;
-use crate::config::Config;
+use crate::config::{Config, OverloadPolicy};
 use crate::durability::{
     recover_dirty, CleanShutdown, LogId, Manifest, ManifestRecord, RecoveredState, RecoveryReport,
     SourceState, SourceTail, Superblock, SUPERBLOCK_FILE,
 };
 use crate::error::{LoomError, Result};
 use crate::extract::ExtractorDesc;
+use crate::fault;
+use crate::health::{EngineHealth, HealthState};
 use crate::histogram::HistogramSpec;
-use crate::hybridlog::{self, LogShared};
+use crate::hybridlog::{self, LogOptions, LogShared};
 use crate::obs::{MetricsSnapshot, Obs, SlowQueryTrace, Stopwatch};
 use crate::record::{ChunkIter, RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
 use crate::registry::{IndexId, Registry, RegistryVersion, SourceId, SourceShared, ValueFn};
@@ -50,6 +52,21 @@ pub(crate) struct Inner {
     pub(crate) manifest: Mutex<Manifest>,
     /// Set when this instance reopened an existing directory.
     pub(crate) recovery: Mutex<Option<RecoveryReport>>,
+    /// Health cell shared with the three hybridlog flushers.
+    pub(crate) health: Arc<HealthState>,
+}
+
+impl Inner {
+    /// The error a rejected ingest call reports: the health cell's
+    /// reason when one was recorded, else the generic shutdown error.
+    fn degraded_error(&self) -> LoomError {
+        match self.health.current() {
+            EngineHealth::ReadOnly { reason } | EngineHealth::Degraded { reason } => {
+                LoomError::Degraded { reason }
+            }
+            EngineHealth::Healthy => LoomError::ShutDown,
+        }
+    }
 }
 
 /// The cloneable schema and query handle of a Loom instance.
@@ -195,21 +212,26 @@ impl Loom {
         Superblock::of(&config).write_to(&config.dir)?;
         let manifest = Manifest::create(&config.dir)?;
         let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
-        // All three logs report into one shared hybridlog metrics block.
-        let record = hybridlog::create_with_obs(
+        let health = Arc::new(HealthState::new());
+        // All three logs report into one shared hybridlog metrics block
+        // and degrade through one shared health cell.
+        let opts = |block_size: usize| LogOptions {
+            block_size,
+            obs: Arc::clone(&obs.log),
+            retry: config.io_retry,
+            health: Arc::clone(&health),
+        };
+        let record = hybridlog::create_with(
             &config.dir.join(LogId::Records.file_name()),
-            config.block_size,
-            Arc::clone(&obs.log),
+            opts(config.block_size),
         )?;
-        let chunk = hybridlog::create_with_obs(
+        let chunk = hybridlog::create_with(
             &config.dir.join(LogId::Chunks.file_name()),
-            config.index_block_size,
-            Arc::clone(&obs.log),
+            opts(config.index_block_size),
         )?;
-        let ts = hybridlog::create_with_obs(
+        let ts = hybridlog::create_with(
             &config.dir.join(LogId::Ts.file_name()),
-            config.ts_block_size,
-            Arc::clone(&obs.log),
+            opts(config.ts_block_size),
         )?;
         let inner = Arc::new(Inner {
             config,
@@ -223,6 +245,7 @@ impl Loom {
             obs,
             manifest: Mutex::new(manifest),
             recovery: Mutex::new(None),
+            health,
         });
         let writer = LoomWriter::new(
             Arc::clone(&inner),
@@ -331,23 +354,27 @@ impl Loom {
         manifest.append(ManifestRecord::Reopened)?;
 
         let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
-        let record = hybridlog::open_existing_with_obs(
+        let health = Arc::new(HealthState::new());
+        let opts = |block_size: usize| LogOptions {
+            block_size,
+            obs: Arc::clone(&obs.log),
+            retry: config.io_retry,
+            health: Arc::clone(&health),
+        };
+        let record = hybridlog::open_existing_with(
             &config.dir.join(LogId::Records.file_name()),
-            config.block_size,
+            opts(config.block_size),
             recovered.record_tail,
-            Arc::clone(&obs.log),
         )?;
-        let chunk = hybridlog::open_existing_with_obs(
+        let chunk = hybridlog::open_existing_with(
             &config.dir.join(LogId::Chunks.file_name()),
-            config.index_block_size,
+            opts(config.index_block_size),
             recovered.chunk_tail,
-            Arc::clone(&obs.log),
         )?;
-        let ts = hybridlog::open_existing_with_obs(
+        let ts = hybridlog::open_existing_with(
             &config.dir.join(LogId::Ts.file_name()),
-            config.ts_block_size,
+            opts(config.ts_block_size),
             recovered.ts_tail,
-            Arc::clone(&obs.log),
         )?;
 
         // Republish the recovered per-source read pointers and seed the
@@ -385,6 +412,7 @@ impl Loom {
             obs,
             manifest: Mutex::new(manifest),
             recovery: Mutex::new(None),
+            health,
         });
         let mut writer = LoomWriter::new(
             Arc::clone(&inner),
@@ -568,6 +596,18 @@ impl Loom {
         &self.inner.stats
     }
 
+    /// The instance's current health state.
+    ///
+    /// `Healthy` in normal operation; `Degraded` while a background
+    /// flusher retries a transient I/O error; terminal `ReadOnly` once a
+    /// flusher exhausted its retry budget (see
+    /// [`Config::io_retry`](crate::Config)), after which
+    /// [`LoomWriter::push`] fails fast with [`LoomError::Degraded`] while
+    /// all flushed data stays queryable.
+    pub fn health(&self) -> EngineHealth {
+        self.inner.health.current()
+    }
+
     /// A point-in-time copy of every engine self-observability metric:
     /// hybridlog, write-path, index, and query-layer counters plus flush
     /// and query latency histograms.
@@ -736,7 +776,18 @@ impl LoomWriter {
     /// Returns the record's log address. The record is immediately visible
     /// to queries (the watermark is published per push; see also
     /// [`LoomWriter::sync`]).
+    ///
+    /// When the engine is in degraded read-only mode (a background
+    /// flusher exhausted its I/O retry budget), `push` fails fast with
+    /// [`LoomError::Degraded`]; flushed data stays queryable. Under the
+    /// [`OverloadPolicy::DropNewest`] backpressure policy a record that
+    /// would stall on the flusher is dropped and
+    /// [`NIL_ADDR`] returned instead of an
+    /// address; drops are counted in the `ingest_drops` metric.
     pub fn push(&mut self, source: SourceId, payload: &[u8]) -> Result<u64> {
+        if self.inner.health.is_read_only() {
+            return Err(self.inner.degraded_error());
+        }
         self.refresh_cache_if_stale();
         let max = self.inner.config.max_record_payload();
         if payload.len() > max {
@@ -754,33 +805,54 @@ impl LoomWriter {
         let ts = self.inner.clock.now();
         let entry_size = RECORD_HEADER_SIZE + payload.len();
         let chunk_size = self.inner.config.chunk_size as u64;
+        let within = self.record.tail() % chunk_size;
+        let needs_pad = within as usize + entry_size > chunk_size as usize;
+        let pad = if needs_pad {
+            (chunk_size - within) as usize
+        } else {
+            0
+        };
+
+        // Backpressure policy: if admitting this record (plus any chunk
+        // padding) would stall on the record-log flusher, apply the
+        // configured overload policy before any bytes are written. The
+        // check covers the record log only — the far smaller index logs
+        // keep the original blocking behavior.
+        if self.inner.config.overload != OverloadPolicy::Block
+            && self.record.append_would_wait(pad + entry_size)
+        {
+            match self.inner.config.overload {
+                OverloadPolicy::DropNewest => {
+                    self.inner.obs.engine.ingest_drop();
+                    return Ok(NIL_ADDR);
+                }
+                OverloadPolicy::ErrorFast => return Err(LoomError::Overloaded),
+                OverloadPolicy::Block => unreachable!(),
+            }
+        }
 
         // Pad and seal the active chunk if the record does not fit.
-        let within = self.record.tail() % chunk_size;
-        if within as usize + entry_size > chunk_size as usize {
-            let pad = (chunk_size - within) as usize;
+        if needs_pad {
             Self::write_padding(&mut self.record, &mut self.zeros, pad)?;
             self.inner.stats.add_pad_bytes(pad as u64);
             self.seal_chunk(ts)?;
         }
 
-        // Lazily create the writer-side state for this source.
-        if !self.sources.contains_key(&source.0) {
-            let shared = Arc::clone(&self.inner.registry.read().source(source)?.shared);
-            self.sources.insert(
-                source.0,
-                SourceWriterState {
-                    prev: NIL_ADDR,
-                    count: 0,
-                    last_mark: NIL_ADDR,
-                    shared,
-                },
-            );
-        }
-
-        // Append the record.
+        // Look up — lazily creating — the writer-side source state, and
+        // append the record.
         let (prev, count, last_mark) = {
-            let state = self.sources.get_mut(&source.0).expect("inserted above");
+            let state = match self.sources.entry(source.0) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let shared = Arc::clone(&self.inner.registry.read().source(source)?.shared);
+                    v.insert(SourceWriterState {
+                        prev: NIL_ADDR,
+                        count: 0,
+                        last_mark: NIL_ADDR,
+                        shared,
+                    })
+                }
+            };
             let prev = state.prev;
             state.count += 1;
             (prev, state.count, state.last_mark)
@@ -797,11 +869,15 @@ impl LoomWriter {
         // Update the active chunk summary.
         self.active.observe(source.0, ts);
         {
-            let cached = self
-                .cache
-                .sources
-                .get_mut(&source.0)
-                .expect("validated above");
+            // Validated non-absent at the top of push; the cache is only
+            // rebuilt by refresh_cache_if_stale, which cannot run between
+            // there and here.
+            let cached = self.cache.sources.get_mut(&source.0).ok_or_else(|| {
+                LoomError::Internal(format!(
+                    "cached schema for source {} vanished mid-push",
+                    source.0
+                ))
+            })?;
             for idx in &mut cached.indexes {
                 if let Some(value) = (idx.extractor)(payload) {
                     if let Some(bin) = idx.spec.bin_of(value) {
@@ -839,7 +915,13 @@ impl LoomWriter {
         self.record.publish();
         self.chunk.publish();
         self.ts.publish();
-        let state = self.sources.get_mut(&source.0).expect("inserted above");
+        // Created by the entry() above; nothing between removes entries.
+        let state = self.sources.get_mut(&source.0).ok_or_else(|| {
+            LoomError::Internal(format!(
+                "writer state for source {} vanished mid-push",
+                source.0
+            ))
+        })?;
         state.prev = addr;
         if let Some(mark) = new_mark {
             state.last_mark = mark;
@@ -861,6 +943,22 @@ impl LoomWriter {
         self.record.flush()?;
         self.chunk.flush()?;
         self.ts.flush()?;
+        Ok(())
+    }
+
+    /// [`LoomWriter::sync`] plus an fdatasync of each log that changed,
+    /// so the synced prefix survives an OS crash or power loss, not just
+    /// a process crash. Markedly more expensive than `sync` — it waits on
+    /// real disk writeback — so it is meant for checkpoints and shutdown,
+    /// not the per-batch path. [`LoomWriter::close`] syncs durably before
+    /// writing the clean-shutdown marker.
+    pub fn sync_durable(&mut self) -> Result<()> {
+        self.record.publish();
+        self.chunk.publish();
+        self.ts.publish();
+        self.record.flush_durable()?;
+        self.chunk.flush_durable()?;
+        self.ts.flush_durable()?;
         Ok(())
     }
 
@@ -983,9 +1081,18 @@ impl LoomWriter {
             return Ok(());
         }
         self.seal_active_chunk()?;
-        self.record.flush()?;
-        self.chunk.flush()?;
-        self.ts.flush()?;
+        // Durable flush: the clean-shutdown marker below asserts the
+        // tails it records are on disk, so they must survive more than
+        // the page cache.
+        self.record.flush_durable()?;
+        self.chunk.flush_durable()?;
+        self.ts.flush_durable()?;
+        if let Some(k) = fault::check(fault::WRITER_CLOSE, "") {
+            // Injected close failure: everything is flushed but the
+            // clean-shutdown marker is never written, so the next open
+            // must take the recovery path.
+            return Err(LoomError::Io(k.to_io_error()));
+        }
         let mut sources: Vec<SourceTail> = self
             .sources
             .iter()

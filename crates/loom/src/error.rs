@@ -46,6 +46,24 @@ pub enum LoomError {
     },
     /// The ingest side of the log has shut down.
     ShutDown,
+    /// The instance is in degraded read-only mode: persistent I/O failed
+    /// beyond the retry budget (see
+    /// [`Config::io_retry`](crate::Config::io_retry)), so new pushes are
+    /// rejected while already-flushed data stays queryable.
+    Degraded {
+        /// Why the engine went read-only (e.g. the failing file and
+        /// underlying I/O error).
+        reason: String,
+    },
+    /// Ingest was rejected by the
+    /// [`OverloadPolicy::ErrorFast`](crate::OverloadPolicy::ErrorFast)
+    /// backpressure policy: admitting the record would have blocked on
+    /// the flusher. The record was not written; retrying later succeeds
+    /// once the flusher catches up.
+    Overloaded,
+    /// An internal invariant was violated — a bug in Loom, not in the
+    /// caller. Please report it.
+    Internal(String),
     /// A corrupt or truncated entry was encountered while reading a log.
     Corrupt(String),
     /// A checksum or framing violation in a specific durable log.
@@ -88,6 +106,14 @@ impl fmt::Display for LoomError {
                 write!(f, "address {addr} is beyond log tail {tail}")
             }
             LoomError::ShutDown => write!(f, "log has been shut down"),
+            LoomError::Degraded { reason } => {
+                write!(f, "engine is in degraded read-only mode: {reason}")
+            }
+            LoomError::Overloaded => write!(
+                f,
+                "ingest rejected: flusher backpressure (ErrorFast overload policy)"
+            ),
+            LoomError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             LoomError::Corrupt(msg) => write!(f, "corrupt log entry: {msg}"),
             LoomError::CorruptLog { log, addr, reason } => {
                 write!(f, "corrupt entry in {log} at address {addr}: {reason}")
@@ -148,6 +174,20 @@ mod tests {
         assert!(s.contains("records.log"), "{s}");
         assert!(s.contains("4096"), "{s}");
         assert!(s.contains("checksum"), "{s}");
+    }
+
+    #[test]
+    fn degraded_and_overloaded_are_descriptive() {
+        let e = LoomError::Degraded {
+            reason: "records.log: ENOSPC".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("read-only"), "{s}");
+        assert!(s.contains("ENOSPC"), "{s}");
+        assert!(LoomError::Overloaded.to_string().contains("backpressure"));
+        assert!(LoomError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
     }
 
     #[test]

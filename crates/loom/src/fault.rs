@@ -1,0 +1,387 @@
+//! Failpoint-driven fault injection for every disk touchpoint.
+//!
+//! A *failpoint* is a named site in an I/O path that can be armed, from a
+//! test, to fail in a controlled way: return `ENOSPC`/`EIO`, perform a
+//! short write, or panic. Sites are checked via [`check`], which the I/O
+//! paths call with a static site name and a per-call tag (typically the
+//! file being written), and which reports the fault the caller should
+//! inject — or `None`, the overwhelmingly common case.
+//!
+//! # Zero cost when disabled
+//!
+//! The whole registry lives behind the default-off `failpoints` cargo
+//! feature. Without it, [`check`] is an `#[inline(always)]` function that
+//! returns `None` with no atomic, no lock, and no branch the optimizer
+//! keeps — production call sites compile to the plain I/O call. Even with
+//! the feature on, an unarmed registry is a single relaxed atomic load.
+//!
+//! # Determinism
+//!
+//! Probabilistic triggers use a per-site SplitMix64 generator seeded via
+//! [`FaultSpec::seed`], so a chaos schedule replays identically across
+//! runs. Counting triggers ([`Trigger::Nth`], [`Trigger::EveryNth`])
+//! count only calls whose tag matched the spec's tag filter.
+//!
+//! # Site catalog
+//!
+//! | site | tag | covers |
+//! |------|-----|--------|
+//! | [`FLUSHER_WRITE`] | log file name | hybridlog flusher `pwrite` (records/chunks/ts) |
+//! | [`FLUSHER_SYNC`] | log file name | hybridlog flusher `fdatasync` on [`sync_durable`](crate::LoomWriter::sync_durable) / [`close`](crate::LoomWriter::close) |
+//! | [`MANIFEST_APPEND`] | — | manifest journal append (`write_all`) |
+//! | [`MANIFEST_SYNC`] | — | manifest journal `fdatasync` |
+//! | [`SUPERBLOCK_WRITE`] | — | superblock creation on fresh open |
+//! | [`WRITER_CLOSE`] | — | [`LoomWriter::close`](crate::LoomWriter::close) before the clean-shutdown marker |
+//! | `lsm::wal_append` / `lsm::wal_flush` / `lsm::sstable_write` | — | LSM baseline WAL and SSTable writes |
+
+use std::io;
+
+/// Hybridlog flusher block/partial write (`pwrite`). Tag: log file name.
+pub const FLUSHER_WRITE: &str = "hybridlog::flush_write";
+/// Hybridlog flusher `fdatasync` issued on an explicit sync. Tag: log
+/// file name.
+pub const FLUSHER_SYNC: &str = "hybridlog::flush_sync";
+/// Manifest journal append (the `write_all` half).
+pub const MANIFEST_APPEND: &str = "manifest::append";
+/// Manifest journal `fdatasync` (the durability half of an append).
+pub const MANIFEST_SYNC: &str = "manifest::sync";
+/// Superblock write during fresh-directory initialization.
+pub const SUPERBLOCK_WRITE: &str = "superblock::write";
+/// `LoomWriter::close` just before the clean-shutdown marker.
+pub const WRITER_CLOSE: &str = "engine::writer_close";
+
+/// The failure a failpoint injects at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `ENOSPC`: the device is out of space.
+    Enospc,
+    /// `EIO`: a low-level I/O error.
+    Eio,
+    /// Write only a prefix of the buffer, then report an error. Sites
+    /// that are not buffer writes treat this like [`FaultKind::Eio`].
+    ShortWrite,
+    /// Panic at the site, exercising panic-capture paths.
+    Panic,
+}
+
+impl FaultKind {
+    /// The `io::Error` this fault surfaces as.
+    pub fn to_io_error(self) -> io::Error {
+        match self {
+            FaultKind::Enospc => io::Error::from_raw_os_error(28), // ENOSPC
+            FaultKind::Eio => io::Error::from_raw_os_error(5),     // EIO
+            FaultKind::ShortWrite => {
+                io::Error::new(io::ErrorKind::WriteZero, "injected short write")
+            }
+            FaultKind::Panic => io::Error::other("injected panic"),
+        }
+    }
+}
+
+/// When an armed failpoint fires, counting only tag-matching calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on every call.
+    Always,
+    /// Fire exactly on the `n`-th call (1-based).
+    Nth(u64),
+    /// Fire on every `n`-th call (calls `n`, `2n`, `3n`, ...).
+    EveryNth(u64),
+    /// Fire on each call independently with probability `p` in `[0, 1]`,
+    /// drawn from the site's seeded generator.
+    Probability(f64),
+}
+
+/// A full failpoint arming: what to inject, when, and how often.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// The error to inject when the trigger fires.
+    pub kind: FaultKind,
+    /// When the site fires.
+    pub trigger: Trigger,
+    /// Only calls whose tag contains this substring count (and can
+    /// fire); `None` matches every call.
+    pub tag: Option<String>,
+    /// Stop firing after this many injections (the site keeps counting
+    /// calls but reports no further faults).
+    pub max_fires: Option<u64>,
+    /// Seed for the site's deterministic generator (probabilistic
+    /// triggers only).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A spec firing `kind` per `trigger` on every call of the site.
+    pub fn new(kind: FaultKind, trigger: Trigger) -> FaultSpec {
+        FaultSpec {
+            kind,
+            trigger,
+            tag: None,
+            max_fires: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Restricts the spec to calls whose tag contains `tag`.
+    pub fn for_tag(mut self, tag: impl Into<String>) -> FaultSpec {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// Caps the number of injections.
+    pub fn max_fires(mut self, n: u64) -> FaultSpec {
+        self.max_fires = Some(n);
+        self
+    }
+
+    /// Seeds the site's deterministic generator.
+    pub fn seed(mut self, seed: u64) -> FaultSpec {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Consults the failpoint registry at a named `site`.
+///
+/// `tag` carries per-call context (the hybridlog sites pass the log file
+/// name) so one spec can target, say, only `ts.log` flushes. Returns the
+/// fault to inject, or `None` when the site is unarmed or its trigger
+/// did not fire. Compiled to a constant `None` without the `failpoints`
+/// feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn check(_site: &str, _tag: &str) -> Option<FaultKind> {
+    None
+}
+
+/// Consults the failpoint registry at a named `site` (see the
+/// feature-off twin above; this is the real implementation).
+#[cfg(feature = "failpoints")]
+pub fn check(site: &str, tag: &str) -> Option<FaultKind> {
+    registry::check(site, tag)
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{clear, clear_all, configure, fires, Scenario};
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::{FaultKind, FaultSpec, Trigger};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct SiteState {
+        spec: FaultSpec,
+        /// Tag-matching calls seen so far.
+        calls: u64,
+        /// Faults injected so far.
+        fires: u64,
+        /// SplitMix64 state for probabilistic triggers.
+        rng: u64,
+    }
+
+    /// Number of armed sites; the fast path for an unarmed registry.
+    static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+    fn sites() -> &'static Mutex<HashMap<String, SiteState>> {
+        static SITES: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+        SITES.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock_sites() -> MutexGuard<'static, HashMap<String, SiteState>> {
+        // A panicking failpoint (FaultKind::Panic) can poison the lock
+        // while it is *not* held across the panic site itself; recover
+        // rather than cascade.
+        sites().lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Arms `site` with `spec`, replacing any existing arming.
+    pub fn configure(site: impl Into<String>, spec: FaultSpec) {
+        let rng = spec.seed;
+        let prev = lock_sites().insert(
+            site.into(),
+            SiteState {
+                spec,
+                calls: 0,
+                fires: 0,
+                rng,
+            },
+        );
+        if prev.is_none() {
+            ACTIVE.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Disarms `site`; unarmed sites are ignored.
+    pub fn clear(site: &str) {
+        if lock_sites().remove(site).is_some() {
+            ACTIVE.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Disarms every site.
+    pub fn clear_all() {
+        let mut map = lock_sites();
+        let n = map.len();
+        map.clear();
+        ACTIVE.fetch_sub(n, Ordering::Release);
+    }
+
+    /// Faults injected so far at `site` (0 when unarmed).
+    pub fn fires(site: &str) -> u64 {
+        lock_sites().get(site).map_or(0, |s| s.fires)
+    }
+
+    pub(super) fn check(site: &str, tag: &str) -> Option<FaultKind> {
+        if ACTIVE.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut map = lock_sites();
+        let st = map.get_mut(site)?;
+        if let Some(want) = &st.spec.tag {
+            if !tag.contains(want.as_str()) {
+                return None;
+            }
+        }
+        st.calls += 1;
+        if let Some(max) = st.spec.max_fires {
+            if st.fires >= max {
+                return None;
+            }
+        }
+        let fire = match st.spec.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => st.calls == n,
+            Trigger::EveryNth(n) => n != 0 && st.calls.is_multiple_of(n),
+            Trigger::Probability(p) => {
+                let draw = (splitmix64(&mut st.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                draw < p
+            }
+        };
+        if fire {
+            st.fires += 1;
+            Some(st.spec.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Serializes chaos tests against the process-global registry.
+    ///
+    /// The registry is process-wide, so concurrently running tests would
+    /// see each other's armings. `Scenario::begin` takes a global lock
+    /// and clears the registry; dropping it clears again, so faults
+    /// never leak past a test even on panic.
+    pub struct Scenario {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl Scenario {
+        /// Starts an exclusive, clean-slate failpoint scenario.
+        pub fn begin() -> Scenario {
+            static SCENARIO: Mutex<()> = Mutex::new(());
+            let guard = SCENARIO.lock().unwrap_or_else(|p| p.into_inner());
+            clear_all();
+            Scenario { _guard: guard }
+        }
+    }
+
+    impl Drop for Scenario {
+        fn drop(&mut self) {
+            clear_all();
+        }
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_never_fires() {
+        let _s = Scenario::begin();
+        assert_eq!(check("nope", ""), None);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _s = Scenario::begin();
+        configure("t::nth", FaultSpec::new(FaultKind::Eio, Trigger::Nth(3)));
+        let hits: Vec<bool> = (0..6).map(|_| check("t::nth", "").is_some()).collect();
+        assert_eq!(hits, vec![false, false, true, false, false, false]);
+        assert_eq!(fires("t::nth"), 1);
+    }
+
+    #[test]
+    fn every_nth_and_max_fires() {
+        let _s = Scenario::begin();
+        configure(
+            "t::every",
+            FaultSpec::new(FaultKind::Enospc, Trigger::EveryNth(2)).max_fires(2),
+        );
+        let hits: Vec<bool> = (0..8).map(|_| check("t::every", "").is_some()).collect();
+        assert_eq!(
+            hits,
+            vec![false, true, false, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn tag_filter_restricts_counting_and_firing() {
+        let _s = Scenario::begin();
+        configure(
+            "t::tag",
+            FaultSpec::new(FaultKind::Eio, Trigger::Nth(2)).for_tag("ts.log"),
+        );
+        assert_eq!(check("t::tag", "records.log"), None);
+        assert_eq!(check("t::tag", "ts.log"), None); // call 1
+        assert_eq!(check("t::tag", "records.log"), None);
+        assert_eq!(check("t::tag", "ts.log"), Some(FaultKind::Eio)); // call 2
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let draws = |seed: u64| -> Vec<bool> {
+            let _s = Scenario::begin();
+            configure(
+                "t::prob",
+                FaultSpec::new(FaultKind::Eio, Trigger::Probability(0.5)).seed(seed),
+            );
+            (0..32).map(|_| check("t::prob", "").is_some()).collect()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+        let n = draws(7).iter().filter(|b| **b).count();
+        assert!((4..=28).contains(&n), "p=0.5 over 32 draws hit {n}");
+    }
+
+    #[test]
+    fn scenario_drop_clears_the_registry() {
+        {
+            let _s = Scenario::begin();
+            configure("t::leak", FaultSpec::new(FaultKind::Eio, Trigger::Always));
+            assert!(check("t::leak", "").is_some());
+        }
+        let _s = Scenario::begin();
+        assert_eq!(check("t::leak", ""), None);
+    }
+
+    #[test]
+    fn error_kinds_map_to_os_errors() {
+        assert_eq!(FaultKind::Enospc.to_io_error().raw_os_error(), Some(28));
+        assert_eq!(FaultKind::Eio.to_io_error().raw_os_error(), Some(5));
+        assert_eq!(
+            FaultKind::ShortWrite.to_io_error().kind(),
+            std::io::ErrorKind::WriteZero
+        );
+    }
+}

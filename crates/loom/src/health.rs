@@ -1,0 +1,205 @@
+//! Engine health: an explicit state machine for degraded operation.
+//!
+//! A telemetry store that aborts when the disk hiccups is worse than no
+//! telemetry at all. Instead of poisoning the writer on the first flush
+//! error, Loom tracks an [`EngineHealth`] state per instance:
+//!
+//! ```text
+//!             transient I/O error
+//!        ┌──────────────────────────┐
+//!        ▼                          │
+//!   ┌─────────┐  retry succeeded ┌──┴───────┐  retries exhausted  ┌──────────┐
+//!   │ Healthy │ ◀─────────────── │ Degraded │ ──────────────────▶ │ ReadOnly │
+//!   └─────────┘                  └──────────┘   (or panic)        └──────────┘
+//!        │                                                             ▲
+//!        └─────────────────────────────────────────────────────────────┘
+//!                       flusher panic / unrecoverable error
+//! ```
+//!
+//! `Healthy ⇄ Degraded` flaps while the background flusher retries a
+//! transient error with bounded exponential backoff
+//! ([`Config::io_retry`](crate::Config::io_retry)); `ReadOnly` is
+//! terminal for the process: [`push`](crate::LoomWriter::push) fails
+//! fast with [`LoomError::Degraded`](crate::LoomError::Degraded), but
+//! everything already flushed stays queryable, snapshots keep working,
+//! and the directory remains recoverable by the next
+//! [`Loom::open`](crate::Loom::open).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
+const HEALTHY: u8 = 0;
+const DEGRADED: u8 = 1;
+const READ_ONLY: u8 = 2;
+
+/// A point-in-time health observation (see the module docs for the
+/// transition diagram).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// All I/O paths operating normally.
+    Healthy,
+    /// A transient I/O error is being retried; ingest continues from the
+    /// staging blocks but durability lags.
+    Degraded {
+        /// What went wrong (e.g. the failing file and error).
+        reason: String,
+    },
+    /// Persistent I/O has failed permanently for this instance: new
+    /// pushes are rejected, existing data stays queryable.
+    ReadOnly {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl EngineHealth {
+    /// Short lowercase state name (`healthy` / `degraded` / `read-only`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineHealth::Healthy => "healthy",
+            EngineHealth::Degraded { .. } => "degraded",
+            EngineHealth::ReadOnly { .. } => "read-only",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineHealth::Healthy => write!(f, "healthy"),
+            EngineHealth::Degraded { reason } => write!(f, "degraded: {reason}"),
+            EngineHealth::ReadOnly { reason } => write!(f, "read-only: {reason}"),
+        }
+    }
+}
+
+/// The shared, lock-free-to-read health cell.
+///
+/// One `HealthState` is shared (via `Arc`) by the engine and the three
+/// hybridlog flusher threads. The state byte is read on the ingest hot
+/// path ([`is_read_only`](HealthState::is_read_only) is one acquire
+/// load); the reason string is behind a mutex touched only on
+/// transitions and full reads.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    state: AtomicU8,
+    reason: Mutex<Option<String>>,
+}
+
+impl HealthState {
+    /// A fresh, healthy cell.
+    pub fn new() -> HealthState {
+        HealthState::default()
+    }
+
+    /// The current state with its reason.
+    pub fn current(&self) -> EngineHealth {
+        // Read the reason first: the writer stores the reason before the
+        // state byte (release), so a reader that observes the new state
+        // also observes its reason. The inverse race (fresh reason, old
+        // state) only widens the reason, never loses it.
+        let reason = self.reason.lock().clone();
+        match self.state.load(Ordering::Acquire) {
+            HEALTHY => EngineHealth::Healthy,
+            DEGRADED => EngineHealth::Degraded {
+                reason: reason.unwrap_or_default(),
+            },
+            _ => EngineHealth::ReadOnly {
+                reason: reason.unwrap_or_default(),
+            },
+        }
+    }
+
+    /// Whether pushes must be rejected (one acquire load; hot path).
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        self.state.load(Ordering::Acquire) == READ_ONLY
+    }
+
+    /// `Healthy → Degraded` (no-op from any other state). Returns
+    /// whether the transition happened.
+    pub fn degrade(&self, reason: impl Into<String>) -> bool {
+        // Hold the reason lock across the CAS so the reason is only
+        // replaced when the transition actually happens (a failed CAS
+        // must not clobber a ReadOnly reason).
+        let mut guard = self.reason.lock();
+        if self
+            .state
+            .compare_exchange(HEALTHY, DEGRADED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            *guard = Some(reason.into());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `Degraded → Healthy`, when a retry succeeded. Returns whether
+    /// the transition happened (`ReadOnly` never recovers).
+    pub fn recover(&self) -> bool {
+        self.state
+            .compare_exchange(DEGRADED, HEALTHY, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// `Healthy | Degraded → ReadOnly` (terminal). Returns whether the
+    /// transition happened; the first reason to land wins.
+    pub fn read_only(&self, reason: impl Into<String>) -> bool {
+        let mut guard = self.reason.lock();
+        let was = self.state.swap(READ_ONLY, Ordering::AcqRel);
+        if was != READ_ONLY {
+            *guard = Some(reason.into());
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_healthy() {
+        let h = HealthState::new();
+        assert_eq!(h.current(), EngineHealth::Healthy);
+        assert!(!h.is_read_only());
+    }
+
+    #[test]
+    fn degrade_recover_round_trip() {
+        let h = HealthState::new();
+        assert!(h.degrade("disk blip"));
+        assert!(matches!(h.current(), EngineHealth::Degraded { reason } if reason == "disk blip"));
+        assert!(!h.degrade("second blip"), "already degraded");
+        assert!(h.recover());
+        assert_eq!(h.current(), EngineHealth::Healthy);
+        assert!(!h.recover(), "already healthy");
+    }
+
+    #[test]
+    fn read_only_is_terminal() {
+        let h = HealthState::new();
+        assert!(h.read_only("gave up"));
+        assert!(h.is_read_only());
+        assert!(!h.degrade("too late"));
+        assert!(!h.recover());
+        assert!(!h.read_only("again"), "first reason wins");
+        assert!(matches!(h.current(), EngineHealth::ReadOnly { reason } if reason == "gave up"));
+    }
+
+    #[test]
+    fn display_names_states() {
+        assert_eq!(EngineHealth::Healthy.to_string(), "healthy");
+        assert_eq!(EngineHealth::Healthy.name(), "healthy");
+        let d = EngineHealth::Degraded { reason: "x".into() };
+        assert_eq!(d.to_string(), "degraded: x");
+        assert_eq!(d.name(), "degraded");
+        let r = EngineHealth::ReadOnly { reason: "y".into() };
+        assert_eq!(r.to_string(), "read-only: y");
+        assert_eq!(r.name(), "read-only");
+    }
+}

@@ -354,7 +354,12 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         for h in handles {
-            h.join().unwrap();
+            // Re-raise a reader panic (e.g. the torn-read assertion) with
+            // its original message instead of unwrapping the opaque
+            // `Any` payload.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 }

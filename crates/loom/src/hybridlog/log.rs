@@ -16,8 +16,40 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use super::block::Block;
+use crate::config::IoRetryPolicy;
 use crate::error::{LoomError, Result};
+use crate::fault::{self, FaultKind};
+use crate::health::{EngineHealth, HealthState};
 use crate::obs::{LogObs, Stopwatch};
+
+/// Construction options for a hybrid log beyond its path.
+///
+/// The retry policy and health cell exist so the engine can share one
+/// [`HealthState`] across its three logs; standalone logs get private
+/// defaults.
+pub struct LogOptions {
+    /// Capacity of each staging block in bytes.
+    pub block_size: usize,
+    /// Metrics handle, shared with the flusher thread.
+    pub obs: Arc<LogObs>,
+    /// Retry policy for transient flusher I/O errors.
+    pub retry: IoRetryPolicy,
+    /// Health cell the flusher reports degradation into.
+    pub health: Arc<HealthState>,
+}
+
+impl LogOptions {
+    /// Options with a private metrics handle, the default retry policy,
+    /// and a private health cell.
+    pub fn new(block_size: usize) -> LogOptions {
+        LogOptions {
+            block_size,
+            obs: Arc::new(LogObs::default()),
+            retry: IoRetryPolicy::default(),
+            health: Arc::new(HealthState::new()),
+        }
+    }
+}
 
 /// State shared between the writer, the flusher, and readers.
 pub struct LogShared {
@@ -35,11 +67,14 @@ pub struct LogShared {
     flushed_upto: AtomicU64,
     /// Total bytes appended (may exceed `watermark` until publication).
     tail: AtomicU64,
-    /// Set when the flusher hits an I/O error; the writer surfaces it
-    /// instead of waiting forever for a flush that will never complete.
+    /// Set when the flusher gave up on an I/O error; the writer surfaces
+    /// it instead of waiting forever for a flush that will never
+    /// complete.
     io_failed: std::sync::atomic::AtomicBool,
     /// Self-observability counters, shared with the engine's registry.
     obs: Arc<LogObs>,
+    /// Health cell the flusher degrades through; shared with the engine.
+    health: Arc<HealthState>,
 }
 
 impl LogShared {
@@ -151,7 +186,7 @@ impl LogShared {
     pub fn wait_flushed(&self, addr: u64) -> Result<()> {
         while self.flushed_upto() < addr {
             if self.io_failed.load(Ordering::Acquire) {
-                return Err(LoomError::ShutDown);
+                return Err(self.failure_error());
             }
             std::thread::yield_now();
         }
@@ -161,6 +196,26 @@ impl LogShared {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// File name of the backing file (failpoint tag / health reasons).
+    fn file_tag(&self) -> &str {
+        self.path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("log")
+    }
+
+    /// The error the writer reports when the flusher has failed: the
+    /// health cell's reason when the flusher recorded one, otherwise the
+    /// generic shutdown error (e.g. a plain dropped channel).
+    fn failure_error(&self) -> LoomError {
+        match self.health.current() {
+            EngineHealth::ReadOnly { reason } | EngineHealth::Degraded { reason } => {
+                LoomError::Degraded { reason }
+            }
+            EngineHealth::Healthy => LoomError::ShutDown,
+        }
     }
 }
 
@@ -233,8 +288,11 @@ enum FlushMsg {
         from: usize,
         to: usize,
     },
-    /// Acknowledge that all prior messages were processed.
-    Sync(Sender<()>),
+    /// Acknowledge that all prior messages were processed. With
+    /// `durable` set, first fdatasync the file if anything was written
+    /// since the last sync — the plain barrier stays syscall-free so the
+    /// common `sync()` path costs no more than draining the queue.
+    Sync { durable: bool, ack: Sender<()> },
     /// Terminate the flusher.
     Shutdown,
 }
@@ -312,7 +370,7 @@ impl Writer {
                 from: self.active_flushed_prefix,
                 to: bs,
             })
-            .map_err(|_| LoomError::ShutDown)?;
+            .map_err(|_| self.shared.failure_error())?;
         self.active ^= 1;
         self.active_flushed_prefix = 0;
         let next = &self.shared.blocks[self.active];
@@ -322,7 +380,7 @@ impl Writer {
             self.shared.obs.backpressure_wait();
             while !next.is_flushed() {
                 if self.shared.io_failed.load(Ordering::Acquire) {
-                    return Err(LoomError::ShutDown);
+                    return Err(self.shared.failure_error());
                 }
                 std::thread::yield_now();
             }
@@ -332,8 +390,20 @@ impl Writer {
     }
 
     /// Flushes the filled portion of the active block without sealing it,
-    /// then waits until it is durable.
+    /// then waits until the flusher has written it (write barrier; no
+    /// fdatasync).
     pub fn flush(&mut self) -> Result<()> {
+        self.flush_inner(false)
+    }
+
+    /// Like [`Writer::flush`], but additionally fdatasyncs the file if
+    /// anything was written since the last durable sync, so the flushed
+    /// prefix survives an OS crash (not just a process crash).
+    pub fn flush_durable(&mut self) -> Result<()> {
+        self.flush_inner(true)
+    }
+
+    fn flush_inner(&mut self, durable: bool) -> Result<()> {
         let within = (self.tail % self.shared.block_size as u64) as usize;
         if within > self.active_flushed_prefix {
             let base = self.tail - within as u64;
@@ -348,20 +418,34 @@ impl Writer {
                     from: self.active_flushed_prefix,
                     to: within,
                 })
-                .map_err(|_| LoomError::ShutDown)?;
+                .map_err(|_| self.shared.failure_error())?;
             self.active_flushed_prefix = within;
         }
         let (ack_tx, ack_rx) = unbounded();
         self.tx
-            .send(FlushMsg::Sync(ack_tx))
-            .map_err(|_| LoomError::ShutDown)?;
-        ack_rx.recv().map_err(|_| LoomError::ShutDown)?;
+            .send(FlushMsg::Sync {
+                durable,
+                ack: ack_tx,
+            })
+            .map_err(|_| self.shared.failure_error())?;
+        ack_rx.recv().map_err(|_| self.shared.failure_error())?;
         Ok(())
     }
 
     /// Shared handle for readers.
     pub fn shared(&self) -> &Arc<LogShared> {
         &self.shared
+    }
+
+    /// Whether appending `len` bytes would block on flusher backpressure:
+    /// the append fills (at least) the active block, and the sibling
+    /// block's previous contents are not yet durable. Conservative in the
+    /// other direction — a `false` answer can still wait if the flusher
+    /// falls behind between the check and the append.
+    pub fn append_would_wait(&self, len: usize) -> bool {
+        let bs = self.shared.block_size;
+        let within = (self.tail % bs as u64) as usize;
+        within + len >= bs && !self.shared.blocks[self.active ^ 1].is_flushed()
     }
 
     /// Drops the writer *without* the final flush, as if the process had
@@ -401,12 +485,30 @@ impl Drop for Writer {
 /// Returns the single-writer handle; readers obtain the shared state via
 /// [`Writer::shared`].
 pub fn create(path: &Path, block_size: usize) -> Result<Writer> {
-    create_with_obs(path, block_size, Arc::new(LogObs::default()))
+    create_with(path, LogOptions::new(block_size))
 }
 
 /// [`create`] with an externally owned metrics handle, so the engine can
 /// aggregate flush/seal/retry counters across its three logs.
 pub fn create_with_obs(path: &Path, block_size: usize, obs: Arc<LogObs>) -> Result<Writer> {
+    create_with(
+        path,
+        LogOptions {
+            obs,
+            ..LogOptions::new(block_size)
+        },
+    )
+}
+
+/// [`create`] with full [`LogOptions`]: shared metrics, retry policy,
+/// and health cell.
+pub fn create_with(path: &Path, opts: LogOptions) -> Result<Writer> {
+    let LogOptions {
+        block_size,
+        obs,
+        retry,
+        health,
+    } = opts;
     if block_size == 0 {
         return Err(LoomError::InvalidConfig(
             "block_size must be non-zero".into(),
@@ -431,17 +533,12 @@ pub fn create_with_obs(path: &Path, block_size: usize, obs: Arc<LogObs>) -> Resu
         tail: AtomicU64::new(0),
         io_failed: std::sync::atomic::AtomicBool::new(false),
         obs,
+        health,
     });
     shared.blocks[0].claim(0);
 
     let (tx, rx) = unbounded();
-    let flusher_shared = Arc::clone(&shared);
-    let flusher = std::thread::Builder::new()
-        .name(format!(
-            "loom-flush-{}",
-            path.file_name().and_then(|n| n.to_str()).unwrap_or("log")
-        ))
-        .spawn(move || flusher_loop(flusher_shared, rx))?;
+    let flusher = spawn_flusher(&shared, rx, retry)?;
 
     Ok(Writer {
         shared,
@@ -467,6 +564,24 @@ pub fn open_existing_with_obs(
     tail: u64,
     obs: Arc<LogObs>,
 ) -> Result<Writer> {
+    open_existing_with(
+        path,
+        LogOptions {
+            obs,
+            ..LogOptions::new(block_size)
+        },
+        tail,
+    )
+}
+
+/// [`open_existing_with_obs`] with full [`LogOptions`].
+pub fn open_existing_with(path: &Path, opts: LogOptions, tail: u64) -> Result<Writer> {
+    let LogOptions {
+        block_size,
+        obs,
+        retry,
+        health,
+    } = opts;
     if block_size == 0 {
         return Err(LoomError::InvalidConfig(
             "block_size must be non-zero".into(),
@@ -491,6 +606,7 @@ pub fn open_existing_with_obs(
         tail: AtomicU64::new(tail),
         io_failed: std::sync::atomic::AtomicBool::new(false),
         obs,
+        health,
     });
     let within = (tail % block_size as u64) as usize;
     shared.blocks[0].claim(tail - within as u64);
@@ -506,13 +622,7 @@ pub fn open_existing_with_obs(
     }
 
     let (tx, rx) = unbounded();
-    let flusher_shared = Arc::clone(&shared);
-    let flusher = std::thread::Builder::new()
-        .name(format!(
-            "loom-flush-{}",
-            path.file_name().and_then(|n| n.to_str()).unwrap_or("log")
-        ))
-        .spawn(move || flusher_loop(flusher_shared, rx))?;
+    let flusher = spawn_flusher(&shared, rx, retry)?;
 
     Ok(Writer {
         shared,
@@ -525,10 +635,54 @@ pub fn open_existing_with_obs(
     })
 }
 
+/// Spawns the flusher thread with panic capture: a panicking flusher
+/// marks the log failed and the health cell read-only, so the writer
+/// observes [`LoomError::Degraded`] instead of wedging forever (or a
+/// cross-thread abort on join).
+fn spawn_flusher(
+    shared: &Arc<LogShared>,
+    rx: Receiver<FlushMsg>,
+    retry: IoRetryPolicy,
+) -> Result<JoinHandle<Result<()>>> {
+    let name = format!("loom-flush-{}", shared.file_tag());
+    let loop_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new().name(name).spawn(move || {
+        let guard = Arc::clone(&loop_shared);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            flusher_loop(loop_shared, rx, retry)
+        }));
+        match result {
+            Ok(r) => r,
+            Err(_) => {
+                let reason = format!("{}: flusher panicked", guard.file_tag());
+                if guard.health.read_only(&reason) {
+                    guard.obs.degraded_transition();
+                }
+                guard.io_failed.store(true, Ordering::Release);
+                Err(LoomError::Internal(reason))
+            }
+        }
+    })?;
+    Ok(handle)
+}
+
 /// Background flusher: writes sealed and partial block ranges to the file
 /// in message order, advancing `flushed_upto` contiguously.
-fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
+///
+/// Transient I/O errors are retried with bounded exponential backoff per
+/// `retry`; during retries the shared health cell reads `Degraded`, and a
+/// successful retry recovers it. Exhausting the budget marks the log
+/// failed, flips health to terminal `ReadOnly`, and exits the flusher —
+/// the already-durable prefix stays readable.
+fn flusher_loop(
+    shared: Arc<LogShared>,
+    rx: Receiver<FlushMsg>,
+    retry: IoRetryPolicy,
+) -> Result<()> {
     let mut buf: Vec<u8> = Vec::new();
+    // Whether bytes were written since the last fdatasync; a Sync request
+    // only pays for the syscall when the file actually changed.
+    let mut dirty = false;
     while let Ok(msg) = rx.recv() {
         let (block, base, from, to, seal) = match msg {
             FlushMsg::Partial {
@@ -543,7 +697,16 @@ fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
                 from,
                 to,
             } => (block, base, from, to, true),
-            FlushMsg::Sync(ack) => {
+            FlushMsg::Sync { durable, ack } => {
+                if durable && dirty {
+                    if let Err(e) = with_retry(&shared, &retry, || sync_once(&shared)) {
+                        give_up(&shared, &e);
+                        // The dropped `ack` surfaces the failure to the
+                        // waiting writer.
+                        return Err(e);
+                    }
+                    dirty = false;
+                }
                 let _ = ack.send(());
                 continue;
             }
@@ -553,10 +716,12 @@ fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
         let timer = Stopwatch::start();
         buf.resize(n, 0);
         shared.blocks[block].flusher_read(from, &mut buf);
-        if let Err(e) = shared.file.write_all_at(&buf, base + from as u64) {
-            shared.io_failed.store(true, Ordering::Release);
-            return Err(e.into());
+        let off = base + from as u64;
+        if let Err(e) = with_retry(&shared, &retry, || write_once(&shared, &buf, off)) {
+            give_up(&shared, &e);
+            return Err(e);
         }
+        dirty = true;
         shared
             .flushed_upto
             .store(base + to as u64, Ordering::Release);
@@ -566,4 +731,74 @@ fn flusher_loop(shared: Arc<LogShared>, rx: Receiver<FlushMsg>) -> Result<()> {
         shared.obs.flush_done(timer.elapsed_nanos(), n as u64);
     }
     Ok(())
+}
+
+/// One positional write, with its failpoint. `pwrite` at a fixed offset
+/// is idempotent, so a short or failed write is safely repaired by the
+/// retry rewriting the full range.
+fn write_once(shared: &LogShared, buf: &[u8], off: u64) -> std::io::Result<()> {
+    match fault::check(fault::FLUSHER_WRITE, shared.file_tag()) {
+        None => shared.file.write_all_at(buf, off),
+        Some(FaultKind::ShortWrite) => {
+            shared.file.write_all_at(&buf[..buf.len() / 2], off)?;
+            Err(FaultKind::ShortWrite.to_io_error())
+        }
+        Some(FaultKind::Panic) => panic!("failpoint {}: injected panic", fault::FLUSHER_WRITE),
+        Some(k) => Err(k.to_io_error()),
+    }
+}
+
+/// One `fdatasync`, with its failpoint.
+fn sync_once(shared: &LogShared) -> std::io::Result<()> {
+    match fault::check(fault::FLUSHER_SYNC, shared.file_tag()) {
+        None => shared.file.sync_data(),
+        Some(FaultKind::Panic) => panic!("failpoint {}: injected panic", fault::FLUSHER_SYNC),
+        Some(k) => Err(k.to_io_error()),
+    }
+}
+
+/// Runs `op` up to `retry.attempts` times with exponential backoff,
+/// flapping the health cell `Healthy → Degraded` (and back on success).
+fn with_retry(
+    shared: &LogShared,
+    retry: &IoRetryPolicy,
+    mut op: impl FnMut() -> std::io::Result<()>,
+) -> Result<()> {
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(()) => {
+                if attempt > 1 {
+                    shared.health.recover();
+                }
+                return Ok(());
+            }
+            Err(e) if attempt < retry.attempts => {
+                shared.obs.io_retry();
+                if shared
+                    .health
+                    .degrade(format!("{}: {e} (retrying)", shared.file_tag()))
+                {
+                    shared.obs.degraded_transition();
+                }
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Records a permanent flusher failure: counts the giveup, flips health
+/// to terminal read-only, and sets `io_failed` (in that order, so a
+/// writer that observes `io_failed` also sees the read-only reason).
+fn give_up(shared: &LogShared, e: &LoomError) {
+    shared.obs.io_giveup();
+    if shared
+        .health
+        .read_only(format!("{}: {e}", shared.file_tag()))
+    {
+        shared.obs.degraded_transition();
+    }
+    shared.io_failed.store(true, Ordering::Release);
 }

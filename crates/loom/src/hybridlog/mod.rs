@@ -4,7 +4,10 @@ mod block;
 mod log;
 
 pub use block::Block;
-pub use log::{create, create_with_obs, open_existing_with_obs, LogShared, Snapshot, Writer};
+pub use log::{
+    create, create_with, create_with_obs, open_existing_with, open_existing_with_obs, LogOptions,
+    LogShared, Snapshot, Writer,
+};
 
 use crate::error::Result;
 

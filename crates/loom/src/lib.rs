@@ -75,6 +75,8 @@ pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod extract;
+pub mod fault;
+pub mod health;
 pub mod histogram;
 pub mod hybridlog;
 pub mod obs;
@@ -86,11 +88,12 @@ pub mod summary;
 pub mod ts_index;
 
 pub use clock::Clock;
-pub use config::Config;
+pub use config::{Config, IoRetryPolicy, OverloadPolicy};
 pub use durability::{CleanShutdown, LogId, RecoveryReport, TailTruncation};
 pub use engine::{Loom, LoomWriter};
 pub use error::{LoomError, Result};
 pub use extract::ExtractorDesc;
+pub use health::EngineHealth;
 pub use histogram::HistogramSpec;
 pub use obs::{MetricsSnapshot, QueryKind, SlowQueryTrace};
 pub use query::{Aggregate, AggregateResult, Query, QueryOptions, Record, TimeRange, ValueRange};

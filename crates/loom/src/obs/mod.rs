@@ -105,6 +105,9 @@ pub struct LogObs {
     flushed_bytes: Counter,
     flush_queue: Gauge,
     seqlock_retries: Counter,
+    io_retries: Counter,
+    io_giveups: Counter,
+    degraded_transitions: Counter,
     flush_latency: LatencyHistogram,
 }
 
@@ -144,6 +147,25 @@ impl LogObs {
         self.seqlock_retries.inc();
     }
 
+    /// A flusher I/O operation failed transiently and will be retried.
+    #[inline]
+    pub(crate) fn io_retry(&self) {
+        self.io_retries.inc();
+    }
+
+    /// A flusher exhausted its retry budget and gave up permanently.
+    #[inline]
+    pub(crate) fn io_giveup(&self) {
+        self.io_giveups.inc();
+    }
+
+    /// The engine health state left `Healthy` (either into `Degraded`
+    /// or straight into `ReadOnly`).
+    #[inline]
+    pub(crate) fn degraded_transition(&self) {
+        self.degraded_transitions.inc();
+    }
+
     fn snapshot(&self) -> HybridLogMetrics {
         // Read effect-side counters before their causes so the snapshot
         // preserves the invariants a monitoring consumer will check:
@@ -164,6 +186,9 @@ impl LogObs {
             flushed_bytes: self.flushed_bytes.get(),
             flush_queue_depth: self.flush_queue.get(),
             seqlock_retries: self.seqlock_retries.get(),
+            io_retries: self.io_retries.get(),
+            io_giveups: self.io_giveups.get(),
+            degraded_transitions: self.degraded_transitions.get(),
             flush_latency,
         }
     }
@@ -179,6 +204,7 @@ pub struct EngineObs {
     dirty_recoveries: Counter,
     recovery_nanos: Counter,
     recovery_truncated_bytes: Counter,
+    ingest_drops: Counter,
 }
 
 impl EngineObs {
@@ -205,6 +231,12 @@ impl EngineObs {
         }
     }
 
+    /// A record was dropped by the `DropNewest` overload policy.
+    #[inline]
+    pub(crate) fn ingest_drop(&self) {
+        self.ingest_drops.inc();
+    }
+
     fn snapshot(&self) -> CoordinatorMetrics {
         CoordinatorMetrics {
             chunks_sealed: self.chunks_sealed.get(),
@@ -214,6 +246,7 @@ impl EngineObs {
             dirty_recoveries: self.dirty_recoveries.get(),
             recovery_nanos: self.recovery_nanos.get(),
             recovery_truncated_bytes: self.recovery_truncated_bytes.get(),
+            ingest_drops: self.ingest_drops.get(),
         }
     }
 }

@@ -29,6 +29,15 @@ pub struct HybridLogMetrics {
     /// Snapshot reads that observed a torn generation and retried
     /// (seqlock validation failures).
     pub seqlock_retries: u64,
+    /// Transient flusher I/O errors absorbed by the retry policy
+    /// ([`Config::io_retry`](crate::Config::io_retry)).
+    pub io_retries: u64,
+    /// Flushers that exhausted their retry budget and failed permanently
+    /// (each flips the engine to read-only).
+    pub io_giveups: u64,
+    /// Health-state departures from `Healthy` (into `Degraded` or
+    /// `ReadOnly`).
+    pub degraded_transitions: u64,
     /// Latency distribution of completed flushes, in nanoseconds.
     pub flush_latency: HistogramCounts,
 }
@@ -51,6 +60,10 @@ pub struct CoordinatorMetrics {
     pub recovery_nanos: u64,
     /// Torn-tail bytes discarded across all dirty recoveries.
     pub recovery_truncated_bytes: u64,
+    /// Records dropped by the
+    /// [`OverloadPolicy::DropNewest`](crate::OverloadPolicy::DropNewest)
+    /// backpressure policy.
+    pub ingest_drops: u64,
 }
 
 /// Index layer: timestamp-index seeks and chunk-summary pruning.
@@ -139,6 +152,12 @@ impl MetricsSnapshot {
                 "loom_hybridlog_seqlock_retries_total",
                 self.hybridlog.seqlock_retries,
             ),
+            ("loom_hybridlog_io_retries_total", self.hybridlog.io_retries),
+            ("loom_hybridlog_io_giveups_total", self.hybridlog.io_giveups),
+            (
+                "loom_hybridlog_degraded_transitions_total",
+                self.hybridlog.degraded_transitions,
+            ),
             (
                 "loom_coordinator_chunks_sealed_total",
                 self.coordinator.chunks_sealed,
@@ -166,6 +185,10 @@ impl MetricsSnapshot {
             (
                 "loom_coordinator_recovery_truncated_bytes_total",
                 self.coordinator.recovery_truncated_bytes,
+            ),
+            (
+                "loom_coordinator_ingest_drops_total",
+                self.coordinator.ingest_drops,
             ),
             ("loom_index_ts_seeks_total", self.index.ts_seeks),
             ("loom_index_summary_probes_total", self.index.summary_probes),

@@ -183,3 +183,50 @@ fn default_threshold_records_no_slow_queries_for_fast_workloads() {
     drop(writer);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The fault/degradation counters exist precisely so operators can
+/// alert on them, which only works if a healthy engine keeps them at
+/// zero: a full fault-free ingest + seal + sync + close cycle must not
+/// tick `io_retries`, `io_giveups`, `degraded_transitions`, or
+/// `ingest_drops`.
+#[test]
+fn fault_counters_stay_zero_on_a_fault_free_run() {
+    let dir = tmp("fault-free");
+    let (loom, mut writer) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+    let s = loom.define_source("src");
+    // Enough records to seal several 64 KiB blocks, so the flusher's
+    // retry wrapper runs on every write path at least once.
+    for i in 0..20_000u64 {
+        loom.clock().advance(1);
+        writer.push(s, &i.to_le_bytes()).unwrap();
+    }
+    writer.sync().unwrap();
+
+    let snap = loom.metrics_snapshot();
+    assert!(snap.hybridlog.block_seals > 0, "workload must seal blocks");
+    assert_eq!(snap.hybridlog.io_retries, 0);
+    assert_eq!(snap.hybridlog.io_giveups, 0);
+    assert_eq!(snap.hybridlog.degraded_transitions, 0);
+    assert_eq!(snap.coordinator.ingest_drops, 0);
+    assert_eq!(loom.health(), loom::EngineHealth::Healthy);
+
+    // The counters are also exported under stable names, all zero.
+    let zeros: Vec<&str> = snap
+        .named_values()
+        .into_iter()
+        .filter(|(name, _)| {
+            name.contains("io_retries")
+                || name.contains("io_giveups")
+                || name.contains("degraded")
+                || name.contains("ingest_drops")
+        })
+        .map(|(name, v)| {
+            assert_eq!(v, 0, "{name} must be zero on a fault-free run");
+            name
+        })
+        .collect();
+    assert_eq!(zeros.len(), 4, "all four fault counters must be exported");
+
+    writer.close().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

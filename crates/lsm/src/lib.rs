@@ -18,6 +18,25 @@
 //! point lookups.
 
 pub mod bloom;
+
+/// Consults the shared `loom::fault` failpoint registry at `site`,
+/// converting a triggered fault into an `io::Error`. Compiles to nothing
+/// without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+#[inline]
+pub(crate) fn failpoint(site: &str) -> std::io::Result<()> {
+    match loom::fault::check(site, "") {
+        Some(k) => Err(k.to_io_error()),
+        None => Ok(()),
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn failpoint(_site: &str) -> std::io::Result<()> {
+    Ok(())
+}
+
 pub mod cache;
 pub mod db;
 pub mod memtable;

@@ -122,6 +122,7 @@ impl TableBuilder {
         if self.block.is_empty() {
             return Ok(());
         }
+        crate::failpoint("lsm::sstable_write")?;
         self.file.write_all(&self.block)?;
         self.index.push(IndexEntry {
             last_key: self.last_key.clone().expect("non-empty block has a key"),
@@ -137,6 +138,7 @@ impl TableBuilder {
     /// Finalizes the table and returns an open handle to it.
     pub fn finish(mut self) -> io::Result<Table> {
         self.finish_block()?;
+        crate::failpoint("lsm::sstable_write")?;
         // Bloom filter over all keys.
         let mut bloom = Bloom::new(self.keys.len().max(1), 10);
         for h in &self.keys {

@@ -53,6 +53,7 @@ impl WalWriter {
     /// Appends one entry (no fsync: the engine trades durability for
     /// ingest throughput exactly like the evaluated systems).
     pub fn append(&mut self, key: &[u8], value: &Slot) -> io::Result<()> {
+        crate::failpoint("lsm::wal_append")?;
         self.file.write_all(&(key.len() as u32).to_le_bytes())?;
         match value {
             Some(v) => {
@@ -70,6 +71,7 @@ impl WalWriter {
 
     /// Flushes buffered appends to the OS.
     pub fn flush(&mut self) -> io::Result<()> {
+        crate::failpoint("lsm::wal_flush")?;
         self.file.flush()
     }
 }

@@ -189,7 +189,14 @@ pub mod channel {
             let mut inner = self.0.inner.lock().unwrap();
             inner.receivers -= 1;
             if inner.receivers == 0 {
+                // Crossbeam proper discards queued messages once no receiver
+                // can ever take them. Matching that matters when a message
+                // carries a channel endpoint (e.g. a sync-ack `Sender`): if
+                // it lingered in the queue until the senders also dropped,
+                // the peer waiting on that endpoint would never wake.
+                let orphaned = std::mem::take(&mut inner.queue);
                 drop(inner);
+                drop(orphaned);
                 self.0.not_full.notify_all();
             }
         }
@@ -329,6 +336,19 @@ mod tests {
         drop(rx2);
         assert!(tx.try_send(4).unwrap_err().is_disconnected());
         assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn dropping_last_receiver_discards_queued_messages() {
+        let (tx, rx) = unbounded();
+        let (ack_tx, ack_rx) = unbounded::<()>();
+        tx.send(ack_tx).unwrap();
+        drop(rx);
+        // The queued message (holding the only ack sender) must die with
+        // the last receiver, so the ack receiver observes disconnection
+        // instead of blocking forever.
+        assert_eq!(ack_rx.recv(), Err(RecvError));
+        assert!(tx.send(unbounded::<()>().0).is_err());
     }
 
     #[test]
