@@ -1,0 +1,319 @@
+//! Exploration drivers: bounded-exhaustive DFS, iterative context
+//! bounding, seeded random search, and deterministic replay.
+
+use std::sync::Arc;
+
+use crate::runtime::{self, Choice, FailureKind, RunOutcome, ScheduleSrc};
+
+/// How [`Checker::check`] walks the schedule space.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    /// Depth-first enumeration of every schedule, iterating the
+    /// preemption bound from 0 upward (iterative context bounding), so
+    /// low-preemption bugs — the common kind — are found first.
+    Exhaustive,
+    /// Independent seeded-PRNG schedules derived from a base seed.
+    Random { seed: u64 },
+}
+
+/// Configures and runs schedule exploration over a test body.
+///
+/// ```
+/// use conc_check::Checker;
+/// use conc_check::sync::atomic::{AtomicU64, Ordering};
+/// use conc_check::sync::{thread, Arc};
+///
+/// let report = Checker::new()
+///     .check(|| {
+///         let a = Arc::new(AtomicU64::new(0));
+///         let a2 = Arc::clone(&a);
+///         let t = thread::spawn(move || {
+///             a2.fetch_add(1, Ordering::Relaxed);
+///         });
+///         a.fetch_add(1, Ordering::Relaxed);
+///         t.join().unwrap();
+///         assert_eq!(a.load(Ordering::Relaxed), 2);
+///     })
+///     .expect("no interleaving fails");
+/// assert!(report.complete);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Checker {
+    mode: Mode,
+    preemption_bound: Option<usize>,
+    max_schedules: u64,
+    max_steps: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    /// Exhaustive exploration with the default preemption bound (3) and
+    /// schedule budget.
+    pub fn new() -> Checker {
+        Checker {
+            mode: Mode::Exhaustive,
+            preemption_bound: Some(3),
+            max_schedules: 100_000,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Seeded random exploration: `max_schedules` independent schedules
+    /// whose per-schedule seeds derive deterministically from `seed`.
+    pub fn random(seed: u64) -> Checker {
+        Checker {
+            mode: Mode::Random { seed },
+            preemption_bound: None,
+            max_schedules: 1_000,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Caps involuntary context switches per schedule. Exhaustive mode
+    /// iterates bounds `0..=bound`.
+    pub fn with_preemption_bound(mut self, bound: usize) -> Checker {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Removes the preemption bound (full exhaustive search; only viable
+    /// for very small bodies).
+    pub fn unbounded_preemptions(mut self) -> Checker {
+        self.preemption_bound = None;
+        self
+    }
+
+    /// Caps the number of schedules explored. Exhaustive exploration
+    /// that exhausts the budget returns a [`Report`] with
+    /// `complete == false`.
+    pub fn max_schedules(mut self, n: u64) -> Checker {
+        self.max_schedules = n.max(1);
+        self
+    }
+
+    /// Caps scheduled operations per schedule; an execution exceeding it
+    /// fails as a livelock.
+    pub fn max_steps(mut self, n: u64) -> Checker {
+        self.max_steps = n.max(1);
+        self
+    }
+
+    /// Explores schedules of `body` until a failure, the schedule space
+    /// is exhausted, or the budget runs out. The body must be
+    /// deterministic apart from scheduling: it runs once per schedule.
+    pub fn check<F>(&self, body: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        runtime::install_quiet_panic_hook();
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        match self.mode {
+            Mode::Exhaustive => self.check_exhaustive(body),
+            Mode::Random { seed } => self.check_random(seed, body),
+        }
+    }
+
+    fn check_exhaustive(&self, body: Arc<dyn Fn() + Send + Sync>) -> Result<Report, Failure> {
+        let bounds: Vec<Option<usize>> = match self.preemption_bound {
+            Some(b) => (0..=b).map(Some).collect(),
+            None => vec![None],
+        };
+        let mut schedules = 0u64;
+        for bound in bounds {
+            let mut prefix: Vec<Choice> = Vec::new();
+            loop {
+                if schedules >= self.max_schedules {
+                    return Ok(Report {
+                        schedules,
+                        complete: false,
+                    });
+                }
+                let outcome = runtime::Exec::run(
+                    ScheduleSrc::Dfs { prefix, cursor: 0 },
+                    bound,
+                    self.max_steps,
+                    Arc::clone(&body),
+                );
+                schedules += 1;
+                if let Some((kind, message)) = outcome.failure {
+                    return Err(Failure {
+                        kind,
+                        message,
+                        trace: outcome.trace,
+                        seed: None,
+                        schedules,
+                    });
+                }
+                match next_prefix(outcome.prefix) {
+                    Some(p) => prefix = p,
+                    None => break,
+                }
+            }
+        }
+        Ok(Report {
+            schedules,
+            complete: true,
+        })
+    }
+
+    fn check_random(
+        &self,
+        seed: u64,
+        body: Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<Report, Failure> {
+        for i in 0..self.max_schedules {
+            let run_seed = splitmix64(seed.wrapping_add(i));
+            let outcome = self.run_seed(run_seed, &body);
+            if let Some((kind, message)) = outcome.failure {
+                return Err(Failure {
+                    kind,
+                    message,
+                    trace: outcome.trace,
+                    seed: Some(run_seed),
+                    schedules: i + 1,
+                });
+            }
+        }
+        Ok(Report {
+            schedules: self.max_schedules,
+            complete: false,
+        })
+    }
+
+    fn run_seed(&self, run_seed: u64, body: &Arc<dyn Fn() + Send + Sync>) -> RunOutcome {
+        runtime::Exec::run(
+            ScheduleSrc::Random {
+                // xorshift64 state must be nonzero.
+                state: run_seed.max(1),
+            },
+            self.preemption_bound,
+            self.max_steps,
+            Arc::clone(body),
+        )
+    }
+
+    /// Re-runs `body` under the exact schedule of a reported
+    /// [`Failure::trace`]. Returns the (expected) failure, or `Ok` if the
+    /// trace no longer fails (e.g. the bug was fixed).
+    pub fn replay_trace<F>(&self, trace: &[usize], body: F) -> Result<(), Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        runtime::install_quiet_panic_hook();
+        let outcome = runtime::Exec::run(
+            ScheduleSrc::Trace {
+                steps: trace.to_vec(),
+                cursor: 0,
+            },
+            None,
+            self.max_steps,
+            Arc::new(body),
+        );
+        match outcome.failure {
+            Some((kind, message)) => Err(Failure {
+                kind,
+                message,
+                trace: outcome.trace,
+                seed: None,
+                schedules: 1,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-runs `body` under the single random schedule identified by a
+    /// reported [`Failure::seed`].
+    pub fn replay_seed<F>(&self, seed: u64, body: F) -> Result<(), Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        runtime::install_quiet_panic_hook();
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        let outcome = self.run_seed(seed, &body);
+        match outcome.failure {
+            Some((kind, message)) => Err(Failure {
+                kind,
+                message,
+                trace: outcome.trace,
+                seed: Some(seed),
+                schedules: 1,
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Advances a DFS prefix to the next unexplored branch: backtracks past
+/// exhausted trailing choices and takes the next sibling of the deepest
+/// non-exhausted one. `None` when the whole space has been enumerated.
+fn next_prefix(mut prefix: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = prefix.last_mut() {
+        if last.index + 1 < last.options {
+            last.index += 1;
+            return Some(prefix);
+        }
+        prefix.pop();
+    }
+    None
+}
+
+/// splitmix64: decorrelates sequential indices into per-run seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Successful exploration summary.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Whether the bounded schedule space was fully enumerated (always
+    /// `false` for random exploration).
+    pub complete: bool,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Panic message, deadlock description, or livelock note.
+    pub message: String,
+    /// Thread chosen at each choice point of the failing schedule; feed
+    /// to [`Checker::replay_trace`].
+    pub trace: Vec<usize>,
+    /// The per-run seed, when found by random exploration; feed to
+    /// [`Checker::replay_seed`].
+    pub seed: Option<u64>,
+    /// Schedules executed up to and including the failing one.
+    pub schedules: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "conc-check: {} on schedule {}: {}",
+            self.kind, self.schedules, self.message
+        )?;
+        writeln!(f, "  failing schedule trace: {:?}", self.trace)?;
+        match self.seed {
+            Some(seed) => write!(
+                f,
+                "  replay: Checker::random(..).replay_seed({seed:#018x}, body) \
+                 or Checker::new().replay_trace(&trace, body)"
+            ),
+            None => write!(f, "  replay: Checker::new().replay_trace(&trace, body)"),
+        }
+    }
+}
+
+impl std::error::Error for Failure {}

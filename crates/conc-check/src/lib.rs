@@ -1,0 +1,48 @@
+//! # conc-check — in-tree deterministic-scheduler model checker
+//!
+//! Systematic exploration of thread interleavings for the workspace's
+//! hand-rolled concurrent protocols (the hybridlog seqlock, ping-pong
+//! block recycling, FishStore tail reservation, and the crossbeam shim
+//! channel), in the spirit of `tokio-rs/loom` and Microsoft's Shuttle —
+//! rebuilt in-tree because the workspace builds fully offline.
+//!
+//! ## How it works
+//!
+//! Code under test swaps its `std::sync` imports for this crate's
+//! [`sync`] module (each workspace crate has a facade that does this
+//! under `cfg(conc_check)`). Every operation on an instrumented type is
+//! a *scheduling point*: the calling thread asks the scheduler for
+//! permission, and the scheduler — which lets exactly one controlled
+//! thread run at a time — decides who proceeds. Enumerating those
+//! decisions enumerates interleavings:
+//!
+//! - **Bounded-exhaustive DFS** ([`Checker::new`]) walks every schedule,
+//!   iterating the preemption bound from 0 upward (iterative context
+//!   bounding), so bugs needing few preemptions — almost all of them —
+//!   are found first and the search stays tractable.
+//! - **Seeded random search** ([`Checker::random`]) samples schedules
+//!   from a PRNG for bodies too big to enumerate.
+//! - **Replay** ([`Checker::replay_trace`], [`Checker::replay_seed`])
+//!   re-runs one exact schedule from a [`Failure`], deterministically.
+//!
+//! Failures are panics (assertions in the body or invariants in the code
+//! under test), deadlocks (every thread blocked; the report names each
+//! thread's blocker), and livelocks (step-cap exceeded). A [`Failure`]
+//! prints the schedule trace and replay instructions.
+//!
+//! ## Scope
+//!
+//! Interleavings are explored under **sequential consistency**; the
+//! checker finds atomicity violations, protocol races, lost wakeups, and
+//! deadlocks, but not bugs that require a non-SC weak-memory reordering
+//! to manifest. Instrumented primitives degrade to plain `std` behavior
+//! on threads that are not part of a model execution, so a crate
+//! compiled with `--cfg conc_check` still runs its normal test suite
+//! unchanged.
+
+mod explore;
+mod runtime;
+pub mod sync;
+
+pub use explore::{Checker, Failure, Report};
+pub use runtime::FailureKind;

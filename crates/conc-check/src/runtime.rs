@@ -1,0 +1,833 @@
+//! The controlled-preemption execution runtime.
+//!
+//! One *execution* runs a test body with every instrumented operation
+//! (atomic access, mutex/condvar op, spawn/join, yield) funneled through
+//! [`Exec::yield_op`] or one of the blocking helpers. Exactly one
+//! controlled thread runs at any instant: each thread owns a binary
+//! *gate*, and the running thread hands the baton to the chosen next
+//! thread before parking on its own gate. Scheduling decisions come from
+//! a pluggable [`ScheduleSrc`] (DFS frontier, seeded PRNG, or a fixed
+//! replay trace), which is what makes executions deterministic and
+//! replayable.
+//!
+//! # Scheduling points and termination
+//!
+//! A *choice point* is a scheduling point with more than one candidate
+//! thread. Three rules keep exhaustive exploration finite in the
+//! presence of spin loops:
+//!
+//! 1. A voluntary yield (`thread::yield_now`, `hint::spin_loop`) forces a
+//!    switch whenever another thread is runnable, and the switch is not
+//!    counted as a preemption.
+//! 2. A thread about to re-load the same atomic it just loaded, with no
+//!    other thread having run in between, is *spinning*: re-running it
+//!    would re-read unchanged state (stutter), so the scheduler forces a
+//!    switch exactly as for a voluntary yield.
+//! 3. Involuntary switches away from a runnable thread are *preemptions*
+//!    and are capped by the configured preemption bound (context
+//!    bounding); an execution exceeding `max_steps` operations is
+//!    reported as a livelock.
+//!
+//! # Blocking and deadlock
+//!
+//! Model mutexes, condvars, and joins park threads in the scheduler, not
+//! the OS. When no thread is runnable, timed condvar waiters (if any) are
+//! woken with a timeout result — modeling the passage of time — and
+//! otherwise the execution is reported as a deadlock listing every
+//! thread's blocking reason. Condvar notifies with no waiter are no-ops,
+//! exactly the semantics that make lost-wakeup bugs discoverable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to unwind controlled threads when an execution
+/// aborts (a failure was found or a cap was hit). Never surfaces to
+/// callers of the public API.
+pub(crate) struct AbortToken;
+
+/// Monotonic generation counter distinguishing executions, so per-object
+/// model ids (see [`ObjCell`]) from one execution are never mistaken for
+/// ids of the next.
+static EXEC_GEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution and thread id of the calling thread, when it is a
+/// controlled thread of an active model execution.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is a controlled thread of a model run.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Binary semaphore a controlled thread parks on between scheduling
+/// grants.
+struct Gate {
+    allowed: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            allowed: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        let mut g = self.allowed.lock().unwrap_or_else(|p| p.into_inner());
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut g = self.allowed.lock().unwrap_or_else(|p| p.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        *g = false;
+    }
+}
+
+/// Why a thread is parked in the scheduler.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockReason {
+    /// Waiting to acquire model mutex `mid`.
+    Mutex(usize),
+    /// Waiting on condvar `cv` (will reacquire `mutex` on wake).
+    Condvar { cv: usize, timed: bool },
+    /// Waiting for thread `target` to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockReason),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    gate: Arc<Gate>,
+    /// Set by a voluntary yield; deprioritized until next scheduled.
+    yielded: bool,
+    /// Location (atomic address) of the last executed op if it was a pure
+    /// load, for spin (stutter) detection.
+    spin_last_load: Option<usize>,
+    /// Whether any other thread has executed an op since this thread's
+    /// last op.
+    other_ran_since: bool,
+    /// Set when a timed condvar wait was woken by the timeout rule.
+    wake_timed_out: bool,
+}
+
+#[derive(Default)]
+struct MutexState {
+    owner: Option<usize>,
+}
+
+#[derive(Default)]
+struct CondvarState {
+    waiters: VecDeque<usize>,
+}
+
+/// One recorded decision of a DFS exploration: which of `options`
+/// candidates was taken at a choice point.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub index: usize,
+    pub options: usize,
+}
+
+/// Where scheduling decisions come from.
+pub(crate) enum ScheduleSrc {
+    /// Replay `prefix`, then take the first branch at every new choice
+    /// point, extending the prefix (depth-first frontier).
+    Dfs { prefix: Vec<Choice>, cursor: usize },
+    /// Seeded xorshift64* choice at every point.
+    Random { state: u64 },
+    /// Replay an explicit thread-id trace; after it is exhausted, take
+    /// the first candidate.
+    Trace { steps: Vec<usize>, cursor: usize },
+}
+
+impl ScheduleSrc {
+    /// Decides the next thread at a scheduling point. `options` is the
+    /// heuristically preferred candidate set; `runnable` is every legal
+    /// candidate. Trace replay consumes one recorded step per scheduling
+    /// point and may pick any runnable thread (the recording scheduler's
+    /// heuristics don't bound what is *legal*), so a trace reproduces its
+    /// schedule exactly even under different exploration settings.
+    fn decide(&mut self, options: &[usize], runnable: &[usize]) -> usize {
+        match self {
+            ScheduleSrc::Trace { steps, cursor } => {
+                let want = steps.get(*cursor).copied();
+                *cursor += 1;
+                match want {
+                    Some(id) if runnable.contains(&id) => id,
+                    _ => options[0],
+                }
+            }
+            _ if options.len() > 1 => self.choose(options),
+            _ => options[0],
+        }
+    }
+
+    /// Picks one of `options` (sorted thread ids). Called only when
+    /// `options.len() > 1`.
+    fn choose(&mut self, options: &[usize]) -> usize {
+        match self {
+            ScheduleSrc::Dfs { prefix, cursor } => {
+                let c = if *cursor < prefix.len() {
+                    let c = prefix[*cursor];
+                    assert_eq!(
+                        c.options,
+                        options.len(),
+                        "nondeterministic test body: choice point {} had {} options on \
+                         replay but {} when first explored; model-checked bodies must \
+                         depend only on scheduling",
+                        *cursor,
+                        options.len(),
+                        c.options,
+                    );
+                    c
+                } else {
+                    let c = Choice {
+                        index: 0,
+                        options: options.len(),
+                    };
+                    prefix.push(c);
+                    c
+                };
+                *cursor += 1;
+                options[c.index]
+            }
+            ScheduleSrc::Random { state } => {
+                // xorshift64*; deterministic per seed.
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                let r = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                options[(r % options.len() as u64) as usize]
+            }
+            ScheduleSrc::Trace { .. } => unreachable!("trace replay is handled by decide()"),
+        }
+    }
+}
+
+/// Failure classes an execution can end in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// A controlled thread panicked (assertion failure, explicit panic,
+    /// or a protocol invariant such as claiming an unflushed block).
+    Panic,
+    /// Every live thread was blocked with no timed waiter to wake.
+    Deadlock,
+    /// The execution exceeded the per-schedule step cap without
+    /// finishing.
+    Livelock,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic => f.write_str("panic"),
+            FailureKind::Deadlock => f.write_str("deadlock"),
+            FailureKind::Livelock => f.write_str("livelock (step cap exceeded)"),
+        }
+    }
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    current: usize,
+    live: usize,
+    schedule: ScheduleSrc,
+    /// Thread chosen at each choice point, for failure reports/replay.
+    trace: Vec<usize>,
+    steps: u64,
+    max_steps: u64,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    failure: Option<(FailureKind, String)>,
+    aborting: bool,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One model execution: shared between the driver and every controlled
+/// thread.
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    done: Condvar,
+    pub(crate) gen: u64,
+}
+
+/// Outcome of a single execution, consumed by the explorers.
+pub(crate) struct RunOutcome {
+    pub failure: Option<(FailureKind, String)>,
+    pub prefix: Vec<Choice>,
+    pub trace: Vec<usize>,
+}
+
+impl Exec {
+    /// Runs `body` as controlled thread 0 under `schedule`, to
+    /// completion, failure, or abort. Synchronous: returns only after
+    /// every controlled thread has exited.
+    pub(crate) fn run(
+        schedule: ScheduleSrc,
+        preemption_bound: Option<usize>,
+        max_steps: u64,
+        body: Arc<dyn Fn() + Send + Sync>,
+    ) -> RunOutcome {
+        let exec = Arc::new(Exec {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                current: 0,
+                live: 0,
+                schedule,
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                preemptions: 0,
+                preemption_bound,
+                failure: None,
+                aborting: false,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                handles: Vec::new(),
+            }),
+            done: Condvar::new(),
+            gen: EXEC_GEN.fetch_add(1, Ordering::Relaxed),
+        });
+
+        let id0 = exec.register_thread();
+        debug_assert_eq!(id0, 0);
+        exec.start_controlled(0, move || body());
+        // Hand the baton to thread 0 and wait for the execution to end.
+        let gate0 = {
+            let st = exec.lock();
+            st.threads[0].gate.clone()
+        };
+        gate0.open();
+        let handles = {
+            let mut st = exec.lock();
+            while st.live > 0 {
+                st = exec
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            std::mem::take(&mut st.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = exec.lock();
+        RunOutcome {
+            failure: st.failure.take(),
+            prefix: match &mut st.schedule {
+                ScheduleSrc::Dfs { prefix, .. } => std::mem::take(prefix),
+                _ => Vec::new(),
+            },
+            trace: std::mem::take(&mut st.trace),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether the calling (controlled) thread is unwinding while the
+    /// execution aborts. Instrumented ops must then degrade to plain
+    /// `std` behavior: panicking again (the usual abort protocol) inside
+    /// a `Drop` during unwind would be a fatal double panic.
+    pub(crate) fn in_abort_unwind(&self) -> bool {
+        std::thread::panicking() && self.lock().aborting
+    }
+
+    /// Registers a new controlled thread slot and returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.threads.len();
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            gate: Gate::new(),
+            yielded: false,
+            spin_last_load: None,
+            other_ran_since: true,
+            wake_timed_out: false,
+        });
+        st.live += 1;
+        id
+    }
+
+    /// Spawns the real OS thread backing controlled thread `id`. The
+    /// thread parks on its gate until first scheduled.
+    pub(crate) fn start_controlled(self: &Arc<Self>, id: usize, f: impl FnOnce() + Send + 'static) {
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("conc-check-{id}"))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), id)));
+                let gate = {
+                    let st = exec.lock();
+                    st.threads[id].gate.clone()
+                };
+                gate.wait();
+                let aborting = exec.lock().aborting;
+                if !aborting {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<AbortToken>().is_none() {
+                            // &*payload: downcast the payload, not the Box.
+                            exec.record_panic(&*payload);
+                        }
+                    }
+                }
+                exec.finish_thread(id);
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("spawn controlled thread");
+        self.lock().handles.push(handle);
+    }
+
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some((FailureKind::Panic, msg));
+        }
+        Self::start_abort(&mut st);
+    }
+
+    /// Marks the execution failed and opens every gate so parked threads
+    /// unwind with [`AbortToken`] at their next scheduler interaction.
+    fn start_abort(st: &mut ExecState) {
+        if st.aborting {
+            return;
+        }
+        st.aborting = true;
+        for t in &st.threads {
+            if t.status != Status::Finished {
+                t.gate.open();
+            }
+        }
+    }
+
+    /// Scheduling point before (and granting execution of) one shared
+    /// operation by thread `me`. `load_loc` identifies pure atomic loads
+    /// for spin detection; `voluntary` marks yield_now/spin_loop.
+    pub(crate) fn yield_op(self: &Arc<Self>, me: usize, load_loc: Option<usize>, voluntary: bool) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            if std::thread::panicking() {
+                // Mid-unwind (running drops): execute the op without
+                // scheduling; panicking again would abort the process.
+                return;
+            }
+            std::panic::panic_any(AbortToken);
+        }
+        debug_assert_eq!(st.current, me, "only the scheduled thread may run");
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let cap = st.max_steps;
+            if st.failure.is_none() {
+                st.failure = Some((
+                    FailureKind::Livelock,
+                    format!("execution exceeded {cap} scheduled operations"),
+                ));
+            }
+            Self::start_abort(&mut st);
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            std::panic::panic_any(AbortToken);
+        }
+
+        let spinning = match load_loc {
+            Some(loc) => {
+                st.threads[me].spin_last_load == Some(loc) && !st.threads[me].other_ran_since
+            }
+            None => false,
+        };
+        let must_switch = voluntary || spinning;
+
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Runnable)
+            .collect();
+        debug_assert!(runnable.contains(&me));
+        let others: Vec<usize> = runnable.iter().copied().filter(|&t| t != me).collect();
+
+        let options: Vec<usize> = if must_switch && !others.is_empty() {
+            let fresh: Vec<usize> = others
+                .iter()
+                .copied()
+                .filter(|&t| !st.threads[t].yielded)
+                .collect();
+            if fresh.is_empty() {
+                others
+            } else {
+                fresh
+            }
+        } else if st.preemption_bound.is_some_and(|b| st.preemptions >= b) {
+            vec![me]
+        } else {
+            let opts: Vec<usize> = runnable
+                .iter()
+                .copied()
+                .filter(|&t| t == me || !st.threads[t].yielded)
+                .collect();
+            if opts.is_empty() {
+                runnable.clone()
+            } else {
+                opts
+            }
+        };
+
+        let chosen = st.schedule.decide(&options, &runnable);
+        st.trace.push(chosen);
+
+        if chosen != me {
+            if !must_switch {
+                st.preemptions += 1;
+            }
+            self.switch_to(st, me, chosen);
+            st = self.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+        }
+        // `me` is (again) the running thread, about to execute its op.
+        Self::note_op(&mut st, me, load_loc);
+    }
+
+    /// Records that `me` executes an op now: updates spin trackers.
+    fn note_op(st: &mut ExecState, me: usize, load_loc: Option<usize>) {
+        for (t, ts) in st.threads.iter_mut().enumerate() {
+            if t != me {
+                ts.other_ran_since = true;
+            }
+        }
+        let ts = &mut st.threads[me];
+        ts.spin_last_load = load_loc;
+        ts.other_ran_since = false;
+        ts.yielded = false;
+    }
+
+    /// Hands the baton from `me` to `chosen` and parks `me` on its gate.
+    /// Consumes the state guard; `me` holds no locks while parked.
+    fn switch_to(&self, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize, chosen: usize) {
+        st.current = chosen;
+        let next_gate = st.threads[chosen].gate.clone();
+        let my_gate = st.threads[me].gate.clone();
+        drop(st);
+        next_gate.open();
+        my_gate.wait();
+    }
+
+    /// Parks `me` with `reason` and schedules some runnable thread; when
+    /// no thread is runnable, wakes a timed condvar waiter (modeling a
+    /// timeout) or reports a deadlock. Returns once `me` is rescheduled.
+    fn block_and_reschedule(
+        self: &Arc<Self>,
+        mut st: std::sync::MutexGuard<'_, ExecState>,
+        me: usize,
+        reason: BlockReason,
+    ) {
+        st.threads[me].status = Status::Blocked(reason);
+        let chosen = match Self::pick_runnable(self, &mut st, Some(me)) {
+            Some(c) => c,
+            None => {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+        };
+        self.switch_to(st, me, chosen);
+        let st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        debug_assert_eq!(st.current, me);
+    }
+
+    /// Chooses the next runnable thread (a recorded choice point when
+    /// several are runnable). On empty runnable set: wakes a timed
+    /// waiter, or records a deadlock failure, starts the abort, and
+    /// returns `None` (the caller unwinds).
+    fn pick_runnable(
+        self: &Arc<Self>,
+        st: &mut ExecState,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        let mut runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| Some(t) != exclude && st.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            // Model the passage of time: a timed condvar waiter times out
+            // when nothing else can run.
+            let timed = (0..st.threads.len()).find(|&t| {
+                matches!(
+                    st.threads[t].status,
+                    Status::Blocked(BlockReason::Condvar { timed: true, .. })
+                )
+            });
+            match timed {
+                Some(t) => {
+                    if let Status::Blocked(BlockReason::Condvar { cv, .. }) = st.threads[t].status {
+                        if let Some(pos) = st.condvars[cv].waiters.iter().position(|&w| w == t) {
+                            st.condvars[cv].waiters.remove(pos);
+                        }
+                    }
+                    st.threads[t].wake_timed_out = true;
+                    st.threads[t].status = Status::Runnable;
+                    runnable = vec![t];
+                }
+                None => {
+                    let msg = Self::describe_deadlock(st);
+                    if st.failure.is_none() {
+                        st.failure = Some((FailureKind::Deadlock, msg));
+                    }
+                    Self::start_abort(st);
+                    return None;
+                }
+            }
+        }
+        let chosen = st.schedule.decide(&runnable, &runnable);
+        st.trace.push(chosen);
+        Some(chosen)
+    }
+
+    fn describe_deadlock(st: &ExecState) -> String {
+        let mut parts = Vec::new();
+        for (t, ts) in st.threads.iter().enumerate() {
+            if let Status::Blocked(r) = ts.status {
+                let what = match r {
+                    BlockReason::Mutex(m) => format!("mutex #{m}"),
+                    BlockReason::Condvar { cv, timed } => {
+                        format!("condvar #{cv}{}", if timed { " (timed)" } else { "" })
+                    }
+                    BlockReason::Join(j) => format!("join of thread {j}"),
+                };
+                parts.push(format!("thread {t} blocked on {what}"));
+            }
+        }
+        format!("all live threads blocked: {}", parts.join("; "))
+    }
+
+    /// Marks `me` finished, wakes joiners, and either ends the execution
+    /// or schedules the next thread.
+    fn finish_thread(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        st.live -= 1;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::Blocked(BlockReason::Join(me)) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        if st.live == 0 {
+            self.done.notify_all();
+            return;
+        }
+        if st.aborting {
+            // Gates were all opened by start_abort; remaining threads
+            // unwind on their own.
+            return;
+        }
+        if let Some(chosen) = Self::pick_runnable(self, &mut st, None) {
+            st.current = chosen;
+            let gate = st.threads[chosen].gate.clone();
+            drop(st);
+            gate.open();
+        }
+        // On None, pick_runnable recorded the deadlock and opened every
+        // gate; nothing to schedule.
+    }
+
+    // ---- model objects -------------------------------------------------
+
+    /// Resolves `cell` to this execution's id for a mutex, allocating on
+    /// first use.
+    pub(crate) fn mutex_model_id(&self, cell: &ObjCell) -> usize {
+        let mut st = self.lock();
+        if let Some(id) = cell.get(self.gen) {
+            return id;
+        }
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexState::default());
+        cell.set(self.gen, id);
+        id
+    }
+
+    /// Resolves `cell` to this execution's id for a condvar, allocating
+    /// on first use.
+    pub(crate) fn condvar_model_id(&self, cell: &ObjCell) -> usize {
+        let mut st = self.lock();
+        if let Some(id) = cell.get(self.gen) {
+            return id;
+        }
+        let id = st.condvars.len();
+        st.condvars.push(CondvarState::default());
+        cell.set(self.gen, id);
+        id
+    }
+
+    /// Acquires model mutex `mid` for `me`, parking while contended.
+    pub(crate) fn model_mutex_lock(self: &Arc<Self>, me: usize, mid: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                return;
+            }
+            self.block_and_reschedule(st, me, BlockReason::Mutex(mid));
+        }
+    }
+
+    /// Releases model mutex `mid` and makes its waiters runnable (they
+    /// re-contend when scheduled: barging semantics, like std).
+    pub(crate) fn model_mutex_unlock(&self, me: usize, mid: usize) {
+        let mut st = self.lock();
+        debug_assert!(st.aborting || st.mutexes[mid].owner == Some(me));
+        st.mutexes[mid].owner = None;
+        if st.aborting {
+            return;
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::Blocked(BlockReason::Mutex(mid)) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Atomically releases `mid`, registers `me` on condvar `cv`, and
+    /// parks. Returns whether the wake was a (modeled) timeout. The
+    /// caller reacquires the mutex afterwards.
+    pub(crate) fn model_condvar_wait(
+        self: &Arc<Self>,
+        me: usize,
+        cv: usize,
+        mid: usize,
+        timed: bool,
+    ) -> bool {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        debug_assert!(st.mutexes[mid].owner == Some(me));
+        st.mutexes[mid].owner = None;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::Blocked(BlockReason::Mutex(mid)) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        st.condvars[cv].waiters.push_back(me);
+        st.threads[me].wake_timed_out = false;
+        self.block_and_reschedule(st, me, BlockReason::Condvar { cv, timed });
+        let mut st = self.lock();
+        let timed_out = st.threads[me].wake_timed_out;
+        st.threads[me].wake_timed_out = false;
+        timed_out
+    }
+
+    /// Wakes one (FIFO) or all waiters of condvar `cv`. A notify with no
+    /// waiter is a no-op — the semantics that surface lost wakeups.
+    pub(crate) fn model_condvar_notify(&self, cv: usize, all: bool) {
+        let mut st = self.lock();
+        while let Some(t) = st.condvars[cv].waiters.pop_front() {
+            st.threads[t].status = Status::Runnable;
+            if !all {
+                break;
+            }
+        }
+    }
+
+    /// Parks `me` until thread `target` finishes.
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            let st = self.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.threads[target].status == Status::Finished {
+                return;
+            }
+            self.block_and_reschedule(st, me, BlockReason::Join(target));
+        }
+    }
+}
+
+/// Lazily assigned per-execution model id carried by instrumented
+/// mutexes/condvars. Packs the execution generation with the id so an
+/// object surviving across executions (or a recycled allocation) is
+/// re-registered instead of aliasing stale scheduler state.
+pub(crate) struct ObjCell(AtomicU64);
+
+impl ObjCell {
+    pub(crate) const fn new() -> ObjCell {
+        ObjCell(AtomicU64::new(0))
+    }
+
+    fn get(&self, gen: u64) -> Option<usize> {
+        let v = self.0.load(Ordering::Relaxed);
+        if v >> 32 == gen & 0xffff_ffff && v & 0xffff_ffff != 0 {
+            Some((v & 0xffff_ffff) as usize - 1)
+        } else {
+            None
+        }
+    }
+
+    fn set(&self, gen: u64, id: usize) {
+        self.0.store(
+            ((gen & 0xffff_ffff) << 32) | (id as u64 + 1),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics in
+/// controlled threads: their payloads are captured and reported through
+/// [`Failure`](crate::Failure), so the default stderr backtrace would
+/// only be noise — and exploration legitimately panics thousands of
+/// times with [`AbortToken`].
+pub(crate) fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !in_model() {
+                prev(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,602 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Each type mirrors the `std` API surface the workspace uses. When the
+//! calling thread belongs to an active model execution, every operation
+//! first passes through the scheduler (the `runtime` module); otherwise the
+//! operation degrades to the plain `std` behavior, so crates compiled
+//! with `--cfg conc_check` still run their ordinary test suites
+//! unchanged.
+//!
+//! # Memory model
+//!
+//! The checker explores thread *interleavings* under sequential
+//! consistency: user-specified orderings are passed through to the
+//! hardware but do not add reorderings to the exploration. This finds
+//! atomicity bugs, protocol races, lost wakeups, and deadlocks — the
+//! dominant failure classes of the workspace's seqlock/tail-reservation
+//! protocols — but not bugs that *require* a non-SC weak-memory
+//! reordering to manifest.
+
+use crate::runtime::{self, ObjCell};
+
+pub use std::sync::{Arc, LockResult, OnceLock, PoisonError, Weak};
+
+/// Atomic types whose every operation is a scheduling point in a model
+/// execution.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::runtime;
+
+    /// Scheduling point before an atomic op. `load` marks pure loads
+    /// (spin detection).
+    #[inline]
+    fn point(loc: usize, load: bool) {
+        if let Some((exec, me)) = runtime::current() {
+            exec.yield_op(me, if load { Some(loc) } else { None }, false);
+        }
+    }
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ty, $t:ty) => {
+            /// Instrumented atomic; see the module docs.
+            #[repr(transparent)]
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic (const, usable in statics).
+                pub const fn new(v: $t) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// Loads the value; a scheduling point in model runs.
+                pub fn load(&self, order: Ordering) -> $t {
+                    point(self as *const _ as usize, true);
+                    self.inner.load(order)
+                }
+
+                /// Stores `val`; a scheduling point in model runs.
+                pub fn store(&self, val: $t, order: Ordering) {
+                    point(self as *const _ as usize, false);
+                    self.inner.store(val, order)
+                }
+
+                /// Swaps in `val`; a scheduling point in model runs.
+                pub fn swap(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.swap(val, order)
+                }
+
+                /// Compare-exchange; a scheduling point in model runs.
+                pub fn compare_exchange(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    point(self as *const _ as usize, false);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-exchange; a scheduling point in model
+                /// runs (no spurious failures are modeled).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    point(self as *const _ as usize, false);
+                    self.inner
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Mutable access; no scheduling point (exclusive).
+                pub fn get_mut(&mut self) -> &mut $t {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $t {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_int_atomic {
+        ($name:ident, $std:ty, $t:ty) => {
+            instrumented_atomic!($name, $std, $t);
+
+            impl $name {
+                /// Atomic add; a scheduling point in model runs.
+                pub fn fetch_add(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.fetch_add(val, order)
+                }
+
+                /// Atomic subtract; a scheduling point in model runs.
+                pub fn fetch_sub(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.fetch_sub(val, order)
+                }
+
+                /// Atomic max; a scheduling point in model runs.
+                pub fn fetch_max(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.fetch_max(val, order)
+                }
+
+                /// Atomic min; a scheduling point in model runs.
+                pub fn fetch_min(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.fetch_min(val, order)
+                }
+
+                /// Atomic or; a scheduling point in model runs.
+                pub fn fetch_or(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.fetch_or(val, order)
+                }
+
+                /// Atomic and; a scheduling point in model runs.
+                pub fn fetch_and(&self, val: $t, order: Ordering) -> $t {
+                    point(self as *const _ as usize, false);
+                    self.inner.fetch_and(val, order)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    instrumented_int_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+    instrumented_int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    instrumented_int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    instrumented_int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// Atomic or; a scheduling point in model runs.
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            point(self as *const _ as usize, false);
+            self.inner.fetch_or(val, order)
+        }
+
+        /// Atomic and; a scheduling point in model runs.
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            point(self as *const _ as usize, false);
+            self.inner.fetch_and(val, order)
+        }
+    }
+
+    impl AtomicU64 {
+        /// Reinterprets an aligned `*mut u64` as an instrumented atomic,
+        /// mirroring `std::sync::atomic::AtomicU64::from_ptr`.
+        ///
+        /// # Safety
+        ///
+        /// Same contract as the std method: `ptr` must be valid for the
+        /// returned lifetime, 8-byte aligned, and concurrently accessed
+        /// only through atomics. Sound because the wrapper is
+        /// `repr(transparent)` over the std atomic.
+        pub const unsafe fn from_ptr<'a>(ptr: *mut u64) -> &'a AtomicU64 {
+            &*(ptr as *const AtomicU64)
+        }
+    }
+}
+
+/// A mutex with std's API whose lock/unlock are modeled by the
+/// scheduler in model runs.
+pub struct Mutex<T: ?Sized> {
+    model: ObjCell,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (const, usable in statics).
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            model: ObjCell::new(),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Acquires the mutex, parking in the scheduler when contended
+    /// during a model run.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match runtime::current() {
+            // Mid-abort-unwind (drops running while the execution tears
+            // down): plain std locking; touching the model would panic
+            // inside a panic.
+            Some((exec, _)) if exec.in_abort_unwind() => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    g: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    g: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    g: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    g: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((exec, me)) => {
+                exec.yield_op(me, None, false);
+                let mid = exec.mutex_model_id(&self.model);
+                exec.model_mutex_lock(me, mid);
+                Ok(MutexGuard {
+                    lock: self,
+                    g: Some(take_std_lock(&self.inner)),
+                    model: Some((exec, me, mid)),
+                })
+            }
+        }
+    }
+}
+
+/// Acquires the std mutex that backs a model-owned lock. Model ownership
+/// means no *lasting* contention — the only transient holders are
+/// threads unwinding through an execution abort — so a blocking acquire
+/// returns promptly. A poisoned lock (a prior aborted execution unwound
+/// while holding it) is taken anyway; model state is what matters.
+fn take_std_lock<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Guard for [`Mutex`]; releasing it is a model unlock in model runs.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    g: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<crate::runtime::Exec>, usize, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.g.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.g.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock before the model unlock can schedule
+        // another thread into `take_std_lock`.
+        self.g = None;
+        if let Some((exec, me, mid)) = self.model.take() {
+            exec.model_mutex_unlock(me, mid);
+        }
+    }
+}
+
+/// Result of a timed condvar wait; mirrors
+/// `std::sync::WaitTimeoutResult`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with std's API, modeled by the scheduler in
+/// model runs. Notifies with no waiter are no-ops — the semantics that
+/// surface lost-wakeup bugs.
+pub struct Condvar {
+    model: ObjCell,
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a new condvar (const, usable in statics).
+    pub const fn new() -> Condvar {
+        Condvar {
+            model: ObjCell::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Releases the guard's mutex and parks until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match self.wait_inner(guard, false) {
+            Ok((g, _)) => Ok(g),
+            Err(p) => {
+                let (g, _) = p.into_inner();
+                Err(PoisonError::new(g))
+            }
+        }
+    }
+
+    /// Releases the guard's mutex and parks until notified or until the
+    /// model decides the timeout fires (only when nothing else can run —
+    /// the model's stand-in for the passage of time). The duration is
+    /// otherwise ignored in model runs.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.model {
+            Some(_) => self.wait_inner(guard, true),
+            None => {
+                let lock = guard.lock;
+                let mut guard = guard;
+                let std_g = guard.g.take().expect("live guard");
+                drop(guard);
+                match self.inner.wait_timeout(std_g, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            lock,
+                            g: Some(g),
+                            model: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(p) => {
+                        let (g, r) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                g: Some(g),
+                                model: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let lock = guard.lock;
+        let mut guard = guard;
+        match guard.model.take() {
+            None => {
+                // Out-of-model passthrough.
+                let std_g = guard.g.take().expect("live guard");
+                drop(guard);
+                match self.inner.wait(std_g) {
+                    Ok(g) => Ok((
+                        MutexGuard {
+                            lock,
+                            g: Some(g),
+                            model: None,
+                        },
+                        WaitTimeoutResult { timed_out: false },
+                    )),
+                    Err(p) => Err(PoisonError::new((
+                        MutexGuard {
+                            lock,
+                            g: Some(p.into_inner()),
+                            model: None,
+                        },
+                        WaitTimeoutResult { timed_out: false },
+                    ))),
+                }
+            }
+            Some((exec, me, mid)) if exec.in_abort_unwind() => {
+                // Mid-abort-unwind: report a spurious wakeup instead of
+                // parking in (or panicking out of) the dying scheduler.
+                guard.model = Some((exec, me, mid));
+                Ok((guard, WaitTimeoutResult { timed_out: false }))
+            }
+            Some((exec, me, mid)) => {
+                let cv = exec.condvar_model_id(&self.model);
+                // Drop the real lock before any other thread can be
+                // scheduled, then atomically (under the scheduler lock)
+                // release the model mutex, register as waiter, and park.
+                guard.g = None;
+                drop(guard);
+                let timed_out = exec.model_condvar_wait(me, cv, mid, timed);
+                exec.model_mutex_lock(me, mid);
+                Ok((
+                    MutexGuard {
+                        lock,
+                        g: Some(take_std_lock(&lock.inner)),
+                        model: Some((exec, me, mid)),
+                    },
+                    WaitTimeoutResult { timed_out },
+                ))
+            }
+        }
+    }
+
+    /// Wakes one waiter (FIFO in model runs).
+    pub fn notify_one(&self) {
+        match runtime::current() {
+            None => self.inner.notify_one(),
+            Some((exec, me)) => {
+                exec.yield_op(me, None, false);
+                let cv = exec.condvar_model_id(&self.model);
+                exec.model_condvar_notify(cv, false);
+            }
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match runtime::current() {
+            None => self.inner.notify_all(),
+            Some((exec, me)) => {
+                exec.yield_op(me, None, false);
+                let cv = exec.condvar_model_id(&self.model);
+                exec.model_condvar_notify(cv, true);
+            }
+        }
+    }
+}
+
+/// `std::thread` stand-ins: spawn/join/yield become controlled-thread
+/// operations inside a model run.
+pub mod thread {
+    use std::sync::{Arc, Mutex};
+
+    use crate::runtime;
+
+    pub use std::thread::Result;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<runtime::Exec>,
+            id: usize,
+            slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    /// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result (the
+        /// panic payload when it panicked — though in a model run a
+        /// panicking thread fails the whole execution first).
+        pub fn join(self) -> Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { exec, id, slot } => {
+                    let me = runtime::current()
+                        .expect("model JoinHandle joined outside its execution")
+                        .1;
+                    exec.join_wait(me, id);
+                    slot.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .unwrap_or_else(|| Err(Box::new("thread aborted by the model checker")))
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread; inside a model run it becomes a controlled
+    /// thread of the execution.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match runtime::current() {
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+            Some((exec, me)) => {
+                let id = exec.register_thread();
+                let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                exec.start_controlled(id, move || {
+                    // Panics are caught (and fail the execution) by the
+                    // controlled-thread wrapper; here the closure runs to
+                    // completion or unwinds past us.
+                    let v = f();
+                    *slot2
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Ok(v));
+                });
+                // The child is schedulable from this point on.
+                exec.yield_op(me, None, false);
+                JoinHandle(Inner::Model { exec, id, slot })
+            }
+        }
+    }
+
+    /// Yields the scheduler; in a model run this is a voluntary switch
+    /// (deprioritized and never counted as a preemption).
+    pub fn yield_now() {
+        match runtime::current() {
+            None => std::thread::yield_now(),
+            Some((exec, me)) => exec.yield_op(me, None, true),
+        }
+    }
+
+    /// Sleeps; in a model run time does not exist, so this is a
+    /// voluntary yield.
+    pub fn sleep(dur: std::time::Duration) {
+        match runtime::current() {
+            None => std::thread::sleep(dur),
+            Some((exec, me)) => exec.yield_op(me, None, true),
+        }
+    }
+}
+
+/// `std::hint` stand-ins, plus model-only access annotations.
+pub mod hint {
+    use crate::runtime;
+
+    /// Spin-loop hint; in a model run a voluntary yield, so spin-wait
+    /// loops hand the schedule to the thread they are waiting on.
+    pub fn spin_loop() {
+        match runtime::current() {
+            None => std::hint::spin_loop(),
+            Some((exec, me)) => exec.yield_op(me, None, true),
+        }
+    }
+
+    /// Declares a raw (non-atomic) shared-buffer *read* at `loc` — e.g.
+    /// a seqlock snapshot memcpy. A scheduling point in model runs so
+    /// the checker can interleave other threads between the protocol's
+    /// validation loads and the copy itself; the copy is modeled as one
+    /// atomic access (byte-level tearing is out of scope). Free outside
+    /// a model run.
+    ///
+    /// Deliberately not reported as a load for spin-stutter pruning: a
+    /// copy often follows a validation load of the *same* address (a
+    /// commit word at the buffer head), and pruning it as a spinning
+    /// re-read would force a switch that masks the very interleavings
+    /// this annotation exists to expose.
+    pub fn raw_read(loc: usize) {
+        if let Some((exec, me)) = runtime::current() {
+            exec.yield_op(me, None, false);
+        }
+        let _ = loc;
+    }
+
+    /// Declares a raw (non-atomic) shared-buffer *write* at `loc`; the
+    /// write-side counterpart of [`raw_read`].
+    pub fn raw_write(loc: usize) {
+        if let Some((exec, me)) = runtime::current() {
+            exec.yield_op(me, None, false);
+        }
+        let _ = loc;
+    }
+}

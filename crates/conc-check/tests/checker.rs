@@ -1,0 +1,223 @@
+//! Self-tests: the checker must find classic bugs (racy read-modify-
+//! write, AB-BA deadlock, lost wakeup), declare clean bodies clean with
+//! a complete search, and replay failures deterministically.
+
+use conc_check::sync::atomic::{AtomicU64, Ordering};
+use conc_check::sync::{thread, Arc, Condvar, Mutex};
+use conc_check::{Checker, FailureKind};
+
+/// Two threads doing load-then-store lose an increment under the right
+/// interleaving; the checker must find it (as an assertion panic).
+fn racy_increment_body() {
+    let a = Arc::new(AtomicU64::new(0));
+    let a2 = Arc::clone(&a);
+    let t = thread::spawn(move || {
+        let v = a2.load(Ordering::Relaxed);
+        a2.store(v + 1, Ordering::Relaxed);
+    });
+    let v = a.load(Ordering::Relaxed);
+    a.store(v + 1, Ordering::Relaxed);
+    t.join().unwrap();
+    assert_eq!(a.load(Ordering::Relaxed), 2, "lost increment");
+}
+
+#[test]
+fn finds_racy_increment() {
+    let failure = Checker::new()
+        .check(racy_increment_body)
+        .expect_err("the lost increment must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("lost increment"), "{failure}");
+}
+
+#[test]
+fn replay_reproduces_failure() {
+    let failure = Checker::new()
+        .check(racy_increment_body)
+        .expect_err("the lost increment must be found");
+    let replayed = Checker::new()
+        .replay_trace(&failure.trace, racy_increment_body)
+        .expect_err("replaying the failing trace must fail again");
+    assert_eq!(replayed.kind, FailureKind::Panic);
+    assert!(replayed.message.contains("lost increment"));
+}
+
+#[test]
+fn random_exploration_finds_and_replays() {
+    let failure = Checker::random(0x1007)
+        .check(racy_increment_body)
+        .expect_err("random exploration must find the lost increment");
+    let seed = failure.seed.expect("random failures carry a seed");
+    let replayed = Checker::random(0)
+        .replay_seed(seed, racy_increment_body)
+        .expect_err("the failing seed must fail again");
+    assert_eq!(replayed.kind, FailureKind::Panic);
+}
+
+/// `fetch_add` is atomic, so the same shape with RMW is clean — and the
+/// bounded space must be fully enumerated.
+#[test]
+fn atomic_increment_is_clean_and_complete() {
+    let report = Checker::new()
+        .check(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::Relaxed);
+            });
+            a.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::Relaxed), 2);
+        })
+        .expect("atomic RMW has no failing interleaving");
+    assert!(report.complete, "bounded space must be enumerated");
+    assert!(report.schedules > 1, "there must be real choice points");
+}
+
+/// Classic AB-BA lock-order inversion; the checker must report a
+/// deadlock naming both threads.
+#[test]
+fn finds_abba_deadlock() {
+    let failure = Checker::new()
+        .check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_gb, _ga));
+            t.join().unwrap();
+        })
+        .expect_err("AB-BA must deadlock under some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("mutex"), "{failure}");
+}
+
+/// Check-then-wait without re-checking under the lock: the notify can
+/// land between the check and the wait, and the waiter sleeps forever.
+/// The checker must report the lost wakeup as a deadlock.
+#[test]
+fn finds_lost_wakeup() {
+    let failure = Checker::new()
+        .check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                *s2.0.lock().unwrap() = true;
+                s2.1.notify_one();
+            });
+            // BUG under test: decide to wait outside the lock, then wait
+            // without re-checking the flag.
+            let ready = *state.0.lock().unwrap();
+            if !ready {
+                let g = state.0.lock().unwrap();
+                let _g = state.1.wait(g).unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("the lost wakeup must be found");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("condvar"), "{failure}");
+}
+
+/// The correct waiter loop (predicate re-checked under the lock) passes
+/// exhaustively.
+#[test]
+fn correct_condvar_protocol_is_clean() {
+    let report = Checker::new()
+        .check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                *s2.0.lock().unwrap() = true;
+                s2.1.notify_one();
+            });
+            let mut g = state.0.lock().unwrap();
+            while !*g {
+                g = state.1.wait(g).unwrap();
+            }
+            drop(g);
+            t.join().unwrap();
+        })
+        .expect("predicate loop has no failing interleaving");
+    assert!(report.complete);
+}
+
+/// Timed waits model the timeout instead of deadlocking: a waiter with
+/// no notifier wakes with `timed_out()` and the body completes.
+#[test]
+fn timed_wait_models_timeout() {
+    let report = Checker::new()
+        .check(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let g = pair.0.lock().unwrap();
+            let (_g, res) = pair
+                .1
+                .wait_timeout(g, std::time::Duration::from_millis(1))
+                .unwrap();
+            assert!(res.timed_out());
+        })
+        .expect("a lone timed waiter must time out, not deadlock");
+    assert!(report.complete);
+}
+
+/// Spin loops terminate: stutter pruning forces the spinner off-CPU so
+/// the releasing thread can run, and exploration stays finite.
+#[test]
+fn spin_wait_terminates() {
+    let report = Checker::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                f2.store(1, Ordering::Release);
+            });
+            while flag.load(Ordering::Acquire) == 0 {
+                std::hint::spin_loop();
+            }
+            t.join().unwrap();
+        })
+        .expect("spin on a flag another thread sets must terminate");
+    assert!(report.complete);
+}
+
+/// A genuine livelock (spin on a flag nobody sets) is reported as such
+/// rather than hanging the checker.
+#[test]
+fn reports_livelock() {
+    let failure = Checker::new()
+        .max_steps(500)
+        .check(|| {
+            let flag = AtomicU64::new(0);
+            while flag.load(Ordering::Acquire) == 0 {
+                std::hint::spin_loop();
+            }
+        })
+        .expect_err("spinning on a never-set flag must be a livelock");
+    assert_eq!(failure.kind, FailureKind::Livelock);
+}
+
+/// Instrumented types degrade to std behavior outside a model run, so
+/// `--cfg conc_check` builds still pass ordinary tests.
+#[test]
+fn out_of_model_passthrough() {
+    let a = Arc::new(AtomicU64::new(0));
+    let m = Arc::new(Mutex::new(0u64));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let (a, m) = (Arc::clone(&a), Arc::clone(&m));
+        handles.push(thread::spawn(move || {
+            a.fetch_add(1, Ordering::Relaxed);
+            *m.lock().unwrap() += 1;
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(a.load(Ordering::Relaxed), 4);
+    assert_eq!(*m.lock().unwrap(), 4);
+}

@@ -593,10 +593,17 @@ mod signals {
     }
 
     extern "C" fn on_signal(_sig: i32) {
-        SHUTDOWN.store(true, Ordering::SeqCst);
+        // Ordering: Release pairs with the watcher thread's Acquire
+        // load. The flag is the only shared state — no other writes
+        // need to be ordered around it, so SeqCst buys nothing here.
+        SHUTDOWN.store(true, Ordering::Release);
     }
 
     pub fn install() {
+        // SAFETY: `signal` matches the C prototype of signal(2);
+        // `on_signal` is async-signal-safe (it only performs a relaxed-
+        // class atomic store, no allocation or locking) and stays alive
+        // for the process lifetime as a plain fn item.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
@@ -656,7 +663,8 @@ fn main() {
         let dir = dir.clone();
         std::thread::spawn(move || loop {
             std::thread::sleep(std::time::Duration::from_millis(50));
-            if signals::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+            // Ordering: Acquire pairs with the handler's Release store.
+            if signals::SHUTDOWN.load(std::sync::atomic::Ordering::Acquire) {
                 shutdown(&slot, keep_dir, &dir, "signal", 1);
             }
         });

@@ -21,6 +21,7 @@ pub mod log;
 pub mod record;
 pub mod segment;
 pub mod store;
+pub mod sync;
 
 pub use log::{LogError, Result, SharedLog};
 pub use store::{FishStore, FishStoreConfig, FsRecord, PsfFn, PsfId};

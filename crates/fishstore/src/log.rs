@@ -8,10 +8,10 @@
 //! at their base offset (addresses equal file offsets) and their memory is
 //! dropped after eviction.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -203,7 +203,7 @@ impl SharedLog {
                     .map_err(|_| LogError::ShutDown)?;
             } else {
                 // Another thread is installing a new segment; wait for it.
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
     }
@@ -219,7 +219,7 @@ impl SharedLog {
     fn flush_segment(&self, segment: &Arc<Segment>, seq: u64) {
         let used = segment.used.load(Ordering::Acquire);
         while segment.committed.load(Ordering::Acquire) < used {
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
         // Write the full capacity so file offsets stay aligned with
         // addresses; the dead tail is zeros.

@@ -15,7 +15,7 @@
 //! pointers are also accessed atomically because they are published after
 //! the commit word (see `record.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-size, zero-initialized log segment.
 pub struct Segment {
@@ -39,7 +39,9 @@ pub struct Segment {
 // bytes covered by an acquire-loaded commit word or plain bytes of
 // committed records; commit words and chain pointers use atomic ops.
 unsafe impl Sync for Segment {}
-// SAFETY: the raw allocation is owned by the segment.
+// SAFETY: the segment exclusively owns its heap allocation (freed once
+// in `Drop`) and holds no thread-affine state, so moving it between
+// threads transfers ownership without aliasing.
 unsafe impl Send for Segment {}
 
 impl Segment {
@@ -80,9 +82,13 @@ impl Segment {
             offset + src.len() <= self.capacity,
             "segment write overflow"
         );
-        // SAFETY: bounds checked; the caller owns this reserved range, so
-        // no other thread reads or writes it until the commit word is
-        // published (after which the bytes are immutable).
+        crate::sync::hint::raw_write(self.data as usize);
+        // SAFETY: bounds checked above; `data` is valid for `capacity`
+        // bytes for the segment's lifetime. The caller owns this range
+        // by way of a unique `fetch_add` reservation on `reserved`, so
+        // no other thread reads or writes these bytes until the caller
+        // publishes them via `commit_word`'s release store — after
+        // which they are immutable, so the plain write never races.
         unsafe {
             std::ptr::copy_nonoverlapping(src.as_ptr(), self.data.add(offset), src.len());
         }
@@ -92,9 +98,14 @@ impl Segment {
     /// previously acquire-loaded commit word.
     pub fn read(&self, offset: usize, dst: &mut [u8]) {
         assert!(offset + dst.len() <= self.capacity, "segment read overflow");
-        // SAFETY: bounds checked; per protocol the caller observed the
-        // record's commit word with acquire ordering, so these bytes are
-        // immutable and visible.
+        crate::sync::hint::raw_read(self.data as usize);
+        // SAFETY: bounds checked above; `data` is valid for `capacity`
+        // bytes for the segment's lifetime. Per protocol the caller
+        // observed the record's commit word via `load_word`'s acquire
+        // load, which pairs with the writer's release store in
+        // `commit_word`; that edge makes the payload bytes written
+        // before the commit both visible and immutable, so the plain
+        // read never races a write.
         unsafe {
             std::ptr::copy_nonoverlapping(self.data.add(offset), dst.as_mut_ptr(), dst.len());
         }

@@ -11,8 +11,8 @@
 //! "above the 99.99th percentile"), or arbitrary-lookback time windows —
 //! the flexibility gap that Loom's sparse histogram indexes close.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 

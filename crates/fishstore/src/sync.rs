@@ -1,0 +1,44 @@
+//! Synchronization facade for the crate's concurrent modules.
+//!
+//! Normal builds re-export the `std` primitives unchanged. Under
+//! `--cfg conc_check` the same names resolve to `conc-check`'s
+//! instrumented types so the model-check harness in
+//! `tests/conc_check.rs` can exhaustively explore the shared-log tail
+//! reservation protocol. Outside a model execution the instrumented
+//! types degrade to plain `std` behavior. Concurrent code in this crate
+//! imports atomics and yields from here, never from `std` directly.
+
+#[cfg(not(conc_check))]
+pub use std::sync::atomic;
+
+#[cfg(conc_check)]
+pub use conc_check::sync::atomic;
+
+/// Model-only raw-buffer access annotations (free no-ops in normal
+/// builds); see the loom crate's facade for details.
+pub mod hint {
+    #[cfg(conc_check)]
+    pub use conc_check::sync::hint::{raw_read, raw_write};
+
+    /// Raw shared-buffer read annotation: a model-run scheduling point,
+    /// a free no-op here.
+    #[cfg(not(conc_check))]
+    #[inline(always)]
+    pub fn raw_read(_loc: usize) {}
+
+    /// Raw shared-buffer write annotation: a model-run scheduling
+    /// point, a free no-op here.
+    #[cfg(not(conc_check))]
+    #[inline(always)]
+    pub fn raw_write(_loc: usize) {}
+}
+
+/// Scheduler-yield, facaded so model runs treat it as a voluntary
+/// (unpenalized) context switch.
+pub mod thread {
+    #[cfg(not(conc_check))]
+    pub use std::thread::yield_now;
+
+    #[cfg(conc_check)]
+    pub use conc_check::sync::thread::yield_now;
+}

@@ -1,0 +1,106 @@
+//! Model-check harness for the FishStore-style tail reservation
+//! protocol (fetch-add reserve, write payload, release-store commit
+//! word; scanners acquire-load the commit word before touching payload
+//! bytes).
+//!
+//! Compiled only under `--cfg conc_check`; run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg conc_check" cargo test -p fishstore --test conc_check
+//! ```
+#![cfg(conc_check)]
+
+use conc_check::sync::atomic::Ordering;
+use conc_check::sync::{thread, Arc};
+use conc_check::{Checker, FailureKind};
+use fishstore::segment::Segment;
+
+const SLOT: u64 = 16;
+
+/// Writer thread `id` (1-based): reserve one slot, write the payload,
+/// then publish it via the commit word.
+fn ingest(seg: &Segment, id: u64) -> u64 {
+    let off = seg.reserved.fetch_add(SLOT, Ordering::Relaxed);
+    assert!(off + SLOT <= seg.capacity() as u64, "over-reservation");
+    seg.write(off as usize + 8, &[id as u8; 8]);
+    seg.commit_word(off as usize, id);
+    off
+}
+
+/// Two ingest threads race a scanner. Invariants: reservations are
+/// disjoint, and a scanner that acquire-loads a nonzero commit word sees
+/// that record's complete payload (commit-after-payload publication).
+#[test]
+fn tail_reservation_reserve_write_commit() {
+    let report = Checker::new()
+        .with_preemption_bound(3)
+        .max_schedules(300_000)
+        .check(|| {
+            let seg = Arc::new(Segment::new(0, 2 * SLOT as usize));
+
+            let s1 = Arc::clone(&seg);
+            let w1 = thread::spawn(move || ingest(&s1, 1));
+            let s2 = Arc::clone(&seg);
+            let scanner = thread::spawn(move || {
+                for slot in 0..2usize {
+                    let word = s2.load_word(slot * SLOT as usize);
+                    if word != 0 {
+                        let mut payload = [0u8; 8];
+                        s2.read(slot * SLOT as usize + 8, &mut payload);
+                        assert!(
+                            payload.iter().all(|&b| b == word as u8),
+                            "commit word {word} published before its payload: {payload:?}"
+                        );
+                    }
+                }
+            });
+
+            let off2 = ingest(&seg, 2);
+            let off1 = w1.join().unwrap();
+            scanner.join().unwrap();
+
+            // Reservations must be disjoint and exhaustive.
+            let mut offs = [off1, off2];
+            offs.sort_unstable();
+            assert_eq!(offs, [0, SLOT], "overlapping or skipped reservations");
+            assert_eq!(seg.reserved.load(Ordering::Relaxed), 2 * SLOT);
+            // Both records are now published with their own ids.
+            assert_eq!(seg.load_word(off1 as usize), 1);
+            assert_eq!(seg.load_word(off2 as usize), 2);
+        })
+        .expect("tail reservation must have no failing interleaving");
+    assert!(report.schedules > 10);
+}
+
+/// Teeth check: committing *before* writing the payload (publication
+/// order inverted) must be caught by the scanner invariant.
+#[test]
+fn commit_before_payload_is_caught() {
+    let failure = Checker::new()
+        .with_preemption_bound(3)
+        .check(|| {
+            let seg = Arc::new(Segment::new(0, SLOT as usize));
+
+            let s = Arc::clone(&seg);
+            let scanner = thread::spawn(move || {
+                let word = s.load_word(0);
+                if word != 0 {
+                    let mut payload = [0u8; 8];
+                    s.read(8, &mut payload);
+                    assert!(
+                        payload.iter().all(|&b| b == word as u8),
+                        "commit word {word} published before its payload: {payload:?}"
+                    );
+                }
+            });
+
+            // BUG under test: commit word stored before the payload.
+            let off = seg.reserved.fetch_add(SLOT, Ordering::Relaxed);
+            seg.commit_word(off as usize, 1);
+            seg.write(off as usize + 8, &[1u8; 8]);
+            scanner.join().unwrap();
+        })
+        .expect_err("inverted publication order must be caught");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("before its payload"), "{failure}");
+}

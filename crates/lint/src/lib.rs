@@ -1,0 +1,758 @@
+//! Line-based repository invariant lint for the unsafe seqlock /
+//! shared-log cores.
+//!
+//! This is deliberately *not* a compiler plugin: every rule is a simple
+//! textual invariant that a reviewer can re-check by eye, applied to
+//! comment-stripped source lines. Five rule classes:
+//!
+//! 1. **`unsafe` needs `// SAFETY:`** — every `unsafe {` block and
+//!    `unsafe impl` must be immediately preceded (allowing contiguous
+//!    comment/attribute lines) by a `// SAFETY:` comment; every
+//!    `unsafe fn` declaration needs a `# Safety` doc section.
+//! 2. **`SeqCst` needs justification** — any code use of
+//!    `Ordering::SeqCst` must carry a nearby `// Ordering:` comment
+//!    explaining why the strongest ordering is required. (The workspace
+//!    currently has none; the rule keeps it that way unless argued.)
+//! 3. **unwrap ratchet** — `.unwrap()` / `.expect(` in the loom ingest
+//!    and query hot paths (`loom/src/{hybridlog,engine,query}`) may not
+//!    grow beyond the checked-in per-file baseline
+//!    (`crates/lint/unwrap_baseline.txt`). Test modules are exempt.
+//! 4. **no deprecated query API** — the pre-builder Figure-9 entry
+//!    points (`indexed_scan[_opt]`, `indexed_aggregate[_opt]`,
+//!    `bin_counts_opt`, and `bin_counts` *with arguments*) must not be
+//!    called outside their definition file. A file that opts in with
+//!    `#[allow(deprecated)]` (the builder-equivalence property tests)
+//!    is exempt from that marker line onward.
+//! 5. **failpoint site uniqueness** — every failpoint site name has
+//!    exactly one owner: either one `const` in `loom/src/fault.rs` or
+//!    literal use within a single non-test source file. Two consts with
+//!    the same string, or the same literal appearing in two files,
+//!    means two code paths silently share one registry slot.
+//!
+//! Known textual limitations (accepted for a line-based tool): comment
+//! stripping tracks string literals but not raw strings or block
+//! comments, and test-module exclusion treats everything from a
+//! top-level `#[cfg(test)]` to end-of-file as test code (the workspace
+//! convention puts test modules last).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which invariant a [`Violation`] broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` block / impl / fn without a SAFETY argument.
+    UnsafeSafety,
+    /// `Ordering::SeqCst` without a justification comment.
+    SeqCstJustification,
+    /// unwrap/expect growth in hot paths beyond the baseline.
+    UnwrapRatchet,
+    /// Call of a `#[deprecated]` pre-builder query entry point.
+    DeprecatedQueryApi,
+    /// Failpoint site name owned by more than one definition site.
+    FailpointUniqueness,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::UnsafeSafety => "unsafe-safety",
+            Rule::SeqCstJustification => "seqcst-justification",
+            Rule::UnwrapRatchet => "unwrap-ratchet",
+            Rule::DeprecatedQueryApi => "deprecated-query-api",
+            Rule::FailpointUniqueness => "failpoint-uniqueness",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One broken invariant at a specific line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path (as given to the checker).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule class.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source file handed to the checkers: repo-relative path plus raw
+/// lines.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Raw source lines.
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Builds a source file from a path label and full text (test
+    /// seeding convenience).
+    pub fn from_text(path: &str, text: &str) -> Self {
+        SourceFile {
+            path: path.to_string(),
+            lines: text.lines().map(|l| l.to_string()).collect(),
+        }
+    }
+}
+
+/// Strips a trailing `// ...` comment, tracking double-quoted string
+/// literals (with backslash escapes) so a `//` inside a string
+/// survives. Returns the code portion of the line.
+pub fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1, // skip the escaped byte
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Comment-stripped line with string-literal *contents* blanked out,
+/// so `"unsafe {"` inside a string (e.g. this lint's own test
+/// fixtures) never matches a code pattern.
+pub fn code_text(line: &str) -> String {
+    let code = strip_comment(line);
+    let mut out = String::with_capacity(code.len());
+    let mut in_string = false;
+    let mut chars = code.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_string => {
+                chars.next();
+            }
+            '"' => {
+                in_string = !in_string;
+                out.push('"');
+            }
+            _ if in_string => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// True for lines that are pure comment, attribute, or blank — the
+/// lines allowed between an `unsafe` site and its SAFETY argument.
+fn is_annotation_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+}
+
+/// Index (exclusive) of the first top-level `#[cfg(test)]`; lines from
+/// there on are treated as test code.
+fn test_region_start(lines: &[String]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len())
+}
+
+/// True when the whole file is test or bench code by location.
+fn is_test_file(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/")
+}
+
+/// Scans the contiguous annotation block above `idx` for `needle`.
+fn annotation_block_contains(lines: &[String], idx: usize, needle: &str) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        if !is_annotation_line(line) {
+            return false;
+        }
+        if line.contains(needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 1: every `unsafe` site carries a SAFETY argument.
+pub fn check_unsafe_safety(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, raw) in file.lines.iter().enumerate() {
+        let code = code_text(raw);
+        let needs_block_safety =
+            code.contains("unsafe {") || code.contains("unsafe{") || code.contains("unsafe impl");
+        let is_unsafe_fn = code.contains("unsafe fn");
+        if needs_block_safety {
+            // The SAFETY comment may sit above the line or trail it.
+            if !raw.contains("// SAFETY:") && !annotation_block_contains(&file.lines, i, "SAFETY:")
+            {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: i + 1,
+                    rule: Rule::UnsafeSafety,
+                    message: "unsafe block/impl without a preceding `// SAFETY:` comment"
+                        .to_string(),
+                });
+            }
+        } else if is_unsafe_fn {
+            // Declarations document their contract for callers instead:
+            // a `# Safety` doc section (or an explicit SAFETY comment).
+            if !annotation_block_contains(&file.lines, i, "# Safety")
+                && !annotation_block_contains(&file.lines, i, "SAFETY:")
+            {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: i + 1,
+                    rule: Rule::UnsafeSafety,
+                    message: "unsafe fn without a `# Safety` doc section".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule 2: `Ordering::SeqCst` in code must carry a nearby `// Ordering:`
+/// justification comment (same line or the annotation block above).
+pub fn check_seqcst(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, raw) in file.lines.iter().enumerate() {
+        if !contains_word(&code_text(raw), "SeqCst") {
+            continue;
+        }
+        let justified =
+            raw.contains("// Ordering:") || annotation_block_contains(&file.lines, i, "Ordering:");
+        if !justified {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: Rule::SeqCstJustification,
+                message: "Ordering::SeqCst without an `// Ordering:` justification comment \
+                          (prefer Acquire/Release with a pairing argument)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// True when `needle` occurs in `hay` as a whole identifier (not as a
+/// fragment of a longer one, e.g. `SeqCst` inside `SeqCstJustification`).
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before = hay[..start].chars().next_back();
+        let after = hay[end..].chars().next();
+        let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+        if !before.is_some_and(is_ident) && !after.is_some_and(is_ident) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// True when `path` is inside the unwrap-ratcheted hot paths.
+fn in_hot_path(path: &str) -> bool {
+    path.starts_with("crates/loom/src/hybridlog")
+        || path.starts_with("crates/loom/src/engine.rs")
+        || path.starts_with("crates/loom/src/query")
+}
+
+/// Parses the baseline: `<repo-relative-path> <allowed-count>` lines,
+/// `#` comments and blanks ignored.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(path), Some(count)) = (it.next(), it.next()) {
+            if let Ok(n) = count.parse() {
+                map.insert(path.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+/// Rule 3: per-file unwrap/expect counts in the hot paths may not
+/// exceed the baseline. Counts non-test code only.
+pub fn check_unwrap_ratchet(
+    files: &[SourceFile],
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !in_hot_path(&file.path) || is_test_file(&file.path) {
+            continue;
+        }
+        let end = test_region_start(&file.lines);
+        let mut count = 0;
+        let mut last_line = 0;
+        for (i, raw) in file.lines[..end].iter().enumerate() {
+            let code = code_text(raw);
+            if code.contains(".unwrap()") || code.contains(".expect(") {
+                count += 1;
+                last_line = i + 1;
+            }
+        }
+        let allowed = baseline.get(&file.path).copied().unwrap_or(0);
+        if count > allowed {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: last_line,
+                rule: Rule::UnwrapRatchet,
+                message: format!(
+                    "{count} unwrap()/expect() in hot-path code, baseline allows {allowed}; \
+                     return an Error variant or document the invariant and bump \
+                     crates/lint/unwrap_baseline.txt"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Deprecated pre-builder entry points matched as method calls.
+const DEPRECATED_CALLS: &[&str] = &[
+    ".indexed_scan(",
+    ".indexed_scan_opt(",
+    ".indexed_aggregate(",
+    ".indexed_aggregate_opt(",
+    ".bin_counts_opt(",
+];
+
+/// Rule 4: no calls of the deprecated query API outside its definition
+/// file; `#[allow(deprecated)]` exempts the rest of the file.
+pub fn check_deprecated_api(file: &SourceFile) -> Vec<Violation> {
+    if file.path == "crates/loom/src/query/mod.rs" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut allowed = false;
+    for (i, raw) in file.lines.iter().enumerate() {
+        if raw.contains("#[allow(deprecated)]") {
+            allowed = true;
+        }
+        if allowed {
+            continue;
+        }
+        let code = code_text(raw);
+        let mut hit = DEPRECATED_CALLS.iter().find(|p| code.contains(*p)).copied();
+        // `.bin_counts(` is both the deprecated 3-arg entry point and
+        // the builder terminal; only the call *with arguments* is
+        // deprecated.
+        if hit.is_none() {
+            if let Some(pos) = code.find(".bin_counts(") {
+                let rest = &code[pos + ".bin_counts(".len()..];
+                if !rest.starts_with(')') {
+                    hit = Some(".bin_counts(<args>");
+                }
+            }
+        }
+        if let Some(pat) = hit {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: Rule::DeprecatedQueryApi,
+                message: format!(
+                    "call of deprecated pre-builder query API `{}`; use `loom.query(..)` \
+                     (or mark the enclosing test `#[allow(deprecated)]`)",
+                    pat.trim_start_matches('.').trim_end_matches('(')
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts all double-quoted string literals from a code line.
+fn string_literals(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            out.push(String::from_utf8_lossy(&bytes[start..j.min(bytes.len())]).into_owned());
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Rule 5: each failpoint site name has exactly one owner.
+///
+/// Owners are (a) a `const NAME: &str = ".."` in `loom/src/fault.rs`,
+/// or (b) literal use with `failpoint(` / `fault::check(` /
+/// `fault::configure(` within one non-test source file (several call
+/// sites in the same file are one owner — e.g. `lsm::sstable_write` is
+/// legitimately checked on both the data and index write of one
+/// sstable build). Test files arm existing sites, they never own one.
+pub fn check_failpoint_uniqueness(files: &[SourceFile]) -> Vec<Violation> {
+    // site name -> owner label -> first line seen
+    let mut owners: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for file in files {
+        if is_test_file(&file.path) {
+            continue;
+        }
+        let end = test_region_start(&file.lines);
+        let is_fault_registry = file.path == "crates/loom/src/fault.rs";
+        for (i, raw) in file.lines[..end].iter().enumerate() {
+            let code = strip_comment(raw);
+            if is_fault_registry && code.contains("const ") && code.contains("&str") {
+                let cname = code
+                    .split("const ")
+                    .nth(1)
+                    .and_then(|r| r.split(':').next())
+                    .unwrap_or("?")
+                    .trim()
+                    .to_string();
+                for lit in string_literals(code) {
+                    owners
+                        .entry(lit)
+                        .or_default()
+                        .entry(format!("const {cname} in {}", file.path))
+                        .or_insert(i + 1);
+                }
+            } else if code.contains("failpoint(")
+                || code.contains("fault::check(")
+                || code.contains("fault::configure(")
+            {
+                // Site names follow the `component::site` convention;
+                // other literals on the line (tags) don't.
+                for lit in string_literals(code) {
+                    if lit.contains("::") {
+                        owners
+                            .entry(lit)
+                            .or_default()
+                            .entry(format!("literal in {}", file.path))
+                            .or_insert(i + 1);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (site, defs) in owners {
+        if defs.len() > 1 {
+            let where_ = defs
+                .iter()
+                .map(|(owner, line)| format!("{owner}:{line}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let (first_owner, first_line) = defs.iter().next().expect("len checked > 1");
+            let file = first_owner
+                .rsplit(' ')
+                .next()
+                .unwrap_or(first_owner)
+                .to_string();
+            out.push(Violation {
+                file,
+                line: *first_line,
+                rule: Rule::FailpointUniqueness,
+                message: format!("failpoint site name \"{site}\" has multiple owners: {where_}"),
+            });
+        }
+    }
+    out
+}
+
+/// Runs every rule over the given files with the given unwrap
+/// baseline. Returned violations are sorted by file and line.
+pub fn check_all(files: &[SourceFile], baseline: &BTreeMap<String, usize>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        out.extend(check_unsafe_safety(f));
+        out.extend(check_seqcst(f));
+        out.extend(check_deprecated_api(f));
+    }
+    out.extend(check_unwrap_ratchet(files, baseline));
+    out.extend(check_failpoint_uniqueness(files));
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Collects every `.rs` file under `root` (skipping `target*` and
+/// hidden directories) and runs [`check_all`] with the checked-in
+/// baseline at `crates/lint/unwrap_baseline.txt` (missing file = empty
+/// baseline).
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut paths = Vec::new();
+    collect_rs(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::from_text(&rel, &std::fs::read_to_string(p)?));
+    }
+    let baseline = match std::fs::read_to_string(root.join("crates/lint/unwrap_baseline.txt")) {
+        Ok(text) => parse_baseline(&text),
+        Err(_) => BTreeMap::new(),
+    };
+    Ok(check_all(&files, &baseline))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name.starts_with("target") || name == "related" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(path: &str, text: &str) -> SourceFile {
+        SourceFile::from_text(path, text)
+    }
+
+    fn rules(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn strip_comment_respects_strings() {
+        assert_eq!(strip_comment("let x = 1; // note"), "let x = 1; ");
+        assert_eq!(
+            strip_comment(r#"let u = "http://a"; y"#),
+            r#"let u = "http://a"; y"#
+        );
+        assert_eq!(strip_comment("// all comment"), "");
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_flagged() {
+        let bad = f("a.rs", "fn g() {\n    unsafe { do_it(); }\n}\n");
+        assert_eq!(rules(&check_unsafe_safety(&bad)), vec![Rule::UnsafeSafety]);
+
+        let good = f(
+            "a.rs",
+            "fn g() {\n    // SAFETY: pointer valid per protocol.\n    unsafe { do_it(); }\n}\n",
+        );
+        assert!(check_unsafe_safety(&good).is_empty());
+
+        // A multi-line SAFETY comment still counts.
+        let multi = f(
+            "a.rs",
+            "// SAFETY: the writer owns this range until the commit\n// word publishes it.\nunsafe impl Sync for X {}\n",
+        );
+        assert!(check_unsafe_safety(&multi).is_empty());
+
+        // `unsafe` only inside a comment is not a site.
+        let comment = f("a.rs", "// unsafe { not real }\n");
+        assert!(check_unsafe_safety(&comment).is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_and_fn_variants() {
+        let bad_impl = f("a.rs", "unsafe impl Sync for X {}\n");
+        assert_eq!(
+            rules(&check_unsafe_safety(&bad_impl)),
+            vec![Rule::UnsafeSafety]
+        );
+
+        let bad_fn = f("a.rs", "pub unsafe fn from_ptr(p: *mut u8) {}\n");
+        assert_eq!(
+            rules(&check_unsafe_safety(&bad_fn)),
+            vec![Rule::UnsafeSafety]
+        );
+
+        let good_fn = f(
+            "a.rs",
+            "/// Docs.\n///\n/// # Safety\n///\n/// `p` must be valid.\npub unsafe fn from_ptr(p: *mut u8) {}\n",
+        );
+        assert!(check_unsafe_safety(&good_fn).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_justification() {
+        let bad = f("a.rs", "flag.store(true, Ordering::SeqCst);\n");
+        assert_eq!(rules(&check_seqcst(&bad)), vec![Rule::SeqCstJustification]);
+
+        let good = f(
+            "a.rs",
+            "// Ordering: total order needed across three flags; see DESIGN.md.\nflag.store(true, Ordering::SeqCst);\n",
+        );
+        assert!(check_seqcst(&good).is_empty());
+
+        // Mentions in comments alone don't trip the rule.
+        let comment = f("a.rs", "// SeqCst buys nothing here.\n");
+        assert!(check_seqcst(&comment).is_empty());
+    }
+
+    #[test]
+    fn unwrap_ratchet_counts_against_baseline() {
+        let path = "crates/loom/src/query/executor.rs";
+        let hot = f(
+            path,
+            "fn a() { x.unwrap(); }\nfn b() { y.expect(\"inv\"); }\n",
+        );
+        let empty = BTreeMap::new();
+        let v = check_unwrap_ratchet(std::slice::from_ref(&hot), &empty);
+        assert_eq!(rules(&v), vec![Rule::UnwrapRatchet]);
+        assert!(v[0].message.contains("2 unwrap"), "{}", v[0].message);
+
+        let mut baseline = BTreeMap::new();
+        baseline.insert(path.to_string(), 2);
+        assert!(check_unwrap_ratchet(&[hot], &baseline).is_empty());
+    }
+
+    #[test]
+    fn unwrap_ratchet_ignores_tests_and_cold_paths() {
+        let test_code = f(
+            "crates/loom/src/query/executor.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        let cold = f("crates/daemon/src/bin/loomd.rs", "fn a() { x.unwrap(); }\n");
+        let empty = BTreeMap::new();
+        assert!(check_unwrap_ratchet(&[test_code, cold], &empty).is_empty());
+    }
+
+    #[test]
+    fn deprecated_api_flagged_unless_allowed() {
+        let bad = f(
+            "crates/x.rs",
+            "let r = loom.indexed_scan(s, i, r, vr, cb);\n",
+        );
+        assert_eq!(
+            rules(&check_deprecated_api(&bad)),
+            vec![Rule::DeprecatedQueryApi]
+        );
+
+        // 3-arg bin_counts is deprecated; the builder terminal is not.
+        let dep = f("crates/x.rs", "let c = loom.bin_counts(s, i, r);\n");
+        assert_eq!(
+            rules(&check_deprecated_api(&dep)),
+            vec![Rule::DeprecatedQueryApi]
+        );
+        let builder = f("crates/x.rs", "let c = q.range(r).bin_counts()?;\n");
+        assert!(check_deprecated_api(&builder).is_empty());
+
+        let allowed = f(
+            "crates/x.rs",
+            "#[allow(deprecated)]\nfn equiv() { loom.indexed_scan(s, i, r, vr, cb); }\n",
+        );
+        assert!(check_deprecated_api(&allowed).is_empty());
+
+        // The definition file itself is exempt.
+        let def = f(
+            "crates/loom/src/query/mod.rs",
+            "self.indexed_scan_opt(s, i, r, vr, opts, cb)\n",
+        );
+        assert!(check_deprecated_api(&def).is_empty());
+    }
+
+    #[test]
+    fn failpoint_duplicate_owners_flagged() {
+        // Two consts with the same string.
+        let dup_consts = f(
+            "crates/loom/src/fault.rs",
+            "pub const A: &str = \"x::w\";\npub const B: &str = \"x::w\";\n",
+        );
+        let v = check_failpoint_uniqueness(&[dup_consts]);
+        assert_eq!(rules(&v), vec![Rule::FailpointUniqueness]);
+
+        // A literal colliding with a const.
+        let consts = f(
+            "crates/loom/src/fault.rs",
+            "pub const A: &str = \"x::w\";\n",
+        );
+        let lit = f("crates/lsm/src/wal.rs", "crate::failpoint(\"x::w\")?;\n");
+        let v = check_failpoint_uniqueness(&[consts, lit]);
+        assert_eq!(rules(&v), vec![Rule::FailpointUniqueness]);
+
+        // The same literal in two different files.
+        let a = f("crates/lsm/src/wal.rs", "crate::failpoint(\"y::z\")?;\n");
+        let b = f(
+            "crates/lsm/src/sstable.rs",
+            "crate::failpoint(\"y::z\")?;\n",
+        );
+        let v = check_failpoint_uniqueness(&[a, b]);
+        assert_eq!(rules(&v), vec![Rule::FailpointUniqueness]);
+    }
+
+    #[test]
+    fn failpoint_same_file_call_sites_are_one_owner() {
+        let two_calls = f(
+            "crates/lsm/src/sstable.rs",
+            "crate::failpoint(\"lsm::sstable_write\")?;\ncrate::failpoint(\"lsm::sstable_write\")?;\n",
+        );
+        let consts = f(
+            "crates/loom/src/fault.rs",
+            "pub const A: &str = \"x::w\";\n",
+        );
+        assert!(check_failpoint_uniqueness(&[two_calls, consts]).is_empty());
+
+        // Test files arming existing sites don't count as owners.
+        let arm = f(
+            "crates/lsm/tests/failpoints.rs",
+            "fault::configure(\"x::w\", spec);\n",
+        );
+        let use_site = f("crates/lsm/src/wal.rs", "crate::failpoint(\"x::w\")?;\n");
+        assert!(check_failpoint_uniqueness(&[arm, use_site]).is_empty());
+    }
+
+    #[test]
+    fn repo_head_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let violations = lint_repo(&root).expect("repo scan must succeed");
+        assert!(
+            violations.is_empty(),
+            "repository lint must be clean on HEAD:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! `cargo run -p lint [root]` — scans the repository for invariant
+//! violations (see the library docs for the rule classes) and exits
+//! nonzero when any are found, so CI and pre-commit hooks can gate on
+//! it. Defaults to the workspace root this binary was built from.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let violations = match lint::lint_repo(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("lint: clean ({} ok)", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!("lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

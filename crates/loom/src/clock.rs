@@ -5,7 +5,7 @@
 //! requiring a sort of out-of-order external timestamps. A manually driven
 //! clock variant makes tests and deterministic workload replay possible.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 

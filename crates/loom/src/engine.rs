@@ -12,8 +12,8 @@
 //! 4. publish the record log, chunk index, and timestamp index watermarks
 //!    (in that order), then the source's last-record pointer.
 
+use crate::sync::atomic::Ordering;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};

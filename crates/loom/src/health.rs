@@ -25,7 +25,7 @@
 //! and the directory remains recoverable by the next
 //! [`Loom::open`](crate::Loom::open).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU8, Ordering};
 
 use parking_lot::Mutex;
 

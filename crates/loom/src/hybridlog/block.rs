@@ -31,7 +31,7 @@
 //! and appends target disjoint byte ranges, no data race on the buffer
 //! exists despite the absence of locks.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// A fixed-size in-memory staging block of a hybrid log.
 pub struct Block {
@@ -127,9 +127,9 @@ impl Block {
         while self.readers.load(Ordering::Acquire) != 0 {
             spins += 1;
             if spins < 64 {
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
         self.base.store(new_base, Ordering::Release);
@@ -162,6 +162,7 @@ impl Block {
             src.len(),
             self.capacity()
         );
+        crate::sync::hint::raw_write(self.data as usize);
         // SAFETY: bounds checked above. Only the single writer thread calls
         // `write`, and per the module protocol these bytes are not yet
         // published, so no reader accesses them concurrently.
@@ -189,6 +190,7 @@ impl Block {
             self.readers.fetch_sub(1, Ordering::Release);
             return false;
         }
+        crate::sync::hint::raw_read(self.data as usize);
         // SAFETY: bounds checked above. We hold a reader registration and
         // validated the generation, so the writer cannot recycle these
         // bytes until we deregister; the writer's concurrent appends target
@@ -213,6 +215,7 @@ impl Block {
     /// read is never concurrent with a write to the same bytes.
     pub fn flusher_read(&self, offset: usize, dst: &mut [u8]) {
         assert!(offset + dst.len() <= self.capacity());
+        crate::sync::hint::raw_read(self.data as usize);
         // SAFETY: see method docs — the writer recycles only after
         // `mark_flushed`, which the flusher calls after this read returns,
         // and appends by the writer target bytes above the sealed range.

@@ -6,10 +6,10 @@
 //! stable logical address equal to its file offset, so record lookup by
 //! address is O(1) regardless of whether the byte is in memory or on disk.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -188,7 +188,7 @@ impl LogShared {
             if self.io_failed.load(Ordering::Acquire) {
                 return Err(self.failure_error());
             }
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
         Ok(())
     }
@@ -382,7 +382,7 @@ impl Writer {
                 if self.shared.io_failed.load(Ordering::Acquire) {
                     return Err(self.shared.failure_error());
                 }
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
         next.claim(self.tail);

@@ -85,6 +85,7 @@ pub mod record;
 pub mod registry;
 pub mod stats;
 pub mod summary;
+pub mod sync;
 pub mod ts_index;
 
 pub use clock::Clock;

@@ -12,7 +12,7 @@
 //! With the `self-obs` feature disabled every mutating method compiles to
 //! an empty body, so instrumented call sites cost nothing.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of shards per counter; threads hash onto shards round-robin.
 const SHARDS: usize = 8;
@@ -107,8 +107,8 @@ impl Gauge {
 /// first use, spreading writers evenly without a hash of the thread id.
 #[cfg(feature = "self-obs")]
 fn shard_of_thread() -> usize {
+    use crate::sync::atomic::AtomicUsize;
     use std::cell::Cell;
-    use std::sync::atomic::AtomicUsize;
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };

@@ -6,7 +6,7 @@
 //! Counts are atomic, so recording never blocks and costs one
 //! `fetch_add` (nothing at all when `self-obs` is compiled out).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::histogram::HistogramSpec;
 

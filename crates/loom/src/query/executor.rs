@@ -25,7 +25,7 @@
 //! Callers keep `pool size == 1` on the plain serial code path (no
 //! spawning, no batching) — this module is only entered for 2+ workers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::error::Result;
 
@@ -179,7 +179,7 @@ mod tests {
         let out = map_chunks(3, &chunks, |buf, addr| {
             buf.clear();
             buf.extend_from_slice(&addr.to_le_bytes());
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
             let read = u64::from_le_bytes(buf[..8].try_into().unwrap());
             Ok(read == addr)
         })

@@ -4,8 +4,8 @@
 //! private cache of source/index definitions and refreshes it only when
 //! the registry's version counter changes (schema changes are rare).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::{LoomError, Result};

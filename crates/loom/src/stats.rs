@@ -1,6 +1,6 @@
 //! Ingest and query statistics counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative ingest-side statistics for a Loom instance.
 ///

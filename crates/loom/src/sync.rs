@@ -1,0 +1,56 @@
+//! Synchronization facade for the crate's concurrent modules.
+//!
+//! Normal builds re-export the `std` primitives unchanged (zero cost).
+//! Under `--cfg conc_check` the same names resolve to `conc-check`'s
+//! instrumented types, whose every operation is a scheduling point of
+//! the deterministic model checker — that is what lets the harnesses in
+//! `tests/conc_check.rs` exhaustively explore the seqlock and ping-pong
+//! recycle protocols. Outside a model execution the instrumented types
+//! degrade to plain `std` behavior, so a `conc_check` build still runs
+//! the ordinary test suite.
+//!
+//! Concurrent code in this crate must import atomics, spin hints, and
+//! yields from here, never from `std` directly; the `lint` crate's
+//! conventions assume it and DESIGN.md §"Memory model and verification"
+//! documents the protocols that depend on it.
+
+#[cfg(not(conc_check))]
+pub use std::sync::atomic;
+
+#[cfg(conc_check)]
+pub use conc_check::sync::atomic;
+
+/// Spin-wait hint, facaded so model runs deprioritize spinners instead
+/// of burning schedules on stutter steps.
+pub mod hint {
+    #[cfg(not(conc_check))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(conc_check)]
+    pub use conc_check::sync::hint::spin_loop;
+
+    #[cfg(conc_check)]
+    pub use conc_check::sync::hint::{raw_read, raw_write};
+
+    /// Raw shared-buffer read annotation: a model-run scheduling point,
+    /// a free no-op here.
+    #[cfg(not(conc_check))]
+    #[inline(always)]
+    pub fn raw_read(_loc: usize) {}
+
+    /// Raw shared-buffer write annotation: a model-run scheduling
+    /// point, a free no-op here.
+    #[cfg(not(conc_check))]
+    #[inline(always)]
+    pub fn raw_write(_loc: usize) {}
+}
+
+/// Scheduler-yield, facaded so model runs treat it as a voluntary
+/// (unpenalized) context switch.
+pub mod thread {
+    #[cfg(not(conc_check))]
+    pub use std::thread::yield_now;
+
+    #[cfg(conc_check)]
+    pub use conc_check::sync::thread::yield_now;
+}

@@ -8,11 +8,26 @@
 //! semantics, which is what the flusher/pipeline threads in this workspace
 //! rely on.
 
+/// Synchronization facade: `std` primitives normally, `conc-check`'s
+/// instrumented ones under `--cfg conc_check`, so the channel protocol
+/// itself (the code that once carried a real lost-wakeup bug) can be
+/// model-checked by `tests/conc_check.rs`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    #[cfg(not(conc_check))]
+    pub use std::sync::{Condvar, Mutex};
+
+    #[cfg(conc_check)]
+    pub use conc_check::sync::{Condvar, Mutex};
+}
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
+
+    use crate::sync::{Arc, Condvar, Mutex};
 
     struct Inner<T> {
         queue: VecDeque<T>,
@@ -25,10 +40,18 @@ pub mod channel {
         not_empty: Condvar,
         not_full: Condvar,
         cap: Option<usize>,
+        /// Whether dropping the last receiver discards queued messages
+        /// (crossbeam semantics; always true outside the model-check
+        /// regression harness — see [`unbounded_leaky`]).
+        discard_on_last_rx_drop: bool,
     }
 
     impl<T> Shared<T> {
         fn new(cap: Option<usize>) -> Arc<Self> {
+            Self::with_discard(cap, true)
+        }
+
+        fn with_discard(cap: Option<usize>, discard_on_last_rx_drop: bool) -> Arc<Self> {
             Arc::new(Shared {
                 inner: Mutex::new(Inner {
                     queue: VecDeque::new(),
@@ -38,6 +61,7 @@ pub mod channel {
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 cap,
+                discard_on_last_rx_drop,
             })
         }
 
@@ -56,6 +80,18 @@ pub mod channel {
     /// the zero-capacity rendezvous channel is not needed by this workspace.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Shared::new(Some(cap.max(1)));
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// An unbounded channel with the pre-fix last-receiver-drop behavior:
+    /// queued messages are *kept* (leaked) instead of discarded, the bug
+    /// the chaos harness found and PR "fault injection" fixed. Exists
+    /// only so the model-check regression harness can prove the checker
+    /// rediscovers that lost wakeup deterministically; never use it in
+    /// product code.
+    #[cfg(conc_check)]
+    pub fn unbounded_leaky<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Shared::with_discard(None, false);
         (Sender(shared.clone()), Receiver(shared))
     }
 
@@ -194,9 +230,16 @@ pub mod channel {
                 // carries a channel endpoint (e.g. a sync-ack `Sender`): if
                 // it lingered in the queue until the senders also dropped,
                 // the peer waiting on that endpoint would never wake.
-                let orphaned = std::mem::take(&mut inner.queue);
-                drop(inner);
-                drop(orphaned);
+                // (`discard_on_last_rx_drop` is false only for the
+                // model-check regression channel that re-creates the
+                // pre-fix behavior on purpose.)
+                if self.0.discard_on_last_rx_drop {
+                    let orphaned = std::mem::take(&mut inner.queue);
+                    drop(inner);
+                    drop(orphaned);
+                } else {
+                    drop(inner);
+                }
                 self.0.not_full.notify_all();
             }
         }

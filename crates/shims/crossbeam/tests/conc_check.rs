@@ -1,0 +1,85 @@
+//! Model-check harness for the channel disconnect protocol — the code
+//! that carried this workspace's one known-real concurrency bug: before
+//! the fault-injection PR's fix, dropping the last receiver kept queued
+//! messages alive, so a sync-ack `Sender` queued in the flusher's
+//! give-up window leaked and the writer blocked forever on its ack
+//! receiver (a lost wakeup the chaos harness only found by scheduling
+//! luck).
+//!
+//! Two harnesses: the fixed channel must survive exhaustive bounded
+//! exploration; the same protocol over [`channel::unbounded_leaky`]
+//! (the pre-fix behavior, kept compiled only under `conc_check`) must
+//! fail deterministically, proving the checker re-finds the real bug.
+//!
+//! Compiled only under `--cfg conc_check`; run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg conc_check" cargo test -p crossbeam --test conc_check
+//! ```
+#![cfg(conc_check)]
+
+use conc_check::sync::thread;
+use conc_check::{Checker, FailureKind};
+use crossbeam::channel::{self, Receiver, Sender};
+
+/// The PR-4 scenario, miniaturized: a writer sends a sync ack-sender to
+/// a flusher that may give up (drop its receiver) at any point, then
+/// blocks on the ack receiver. Exactly what `hybridlog::log`'s
+/// `flush_inner` does on shutdown.
+fn sync_ack_protocol(make: fn() -> (Sender<Sender<()>>, Receiver<Sender<()>>)) {
+    let (tx, rx) = make();
+    let flusher = thread::spawn(move || {
+        // Give-up window: the flusher drops its endpoint without
+        // draining, racing the writer's send below.
+        drop(rx);
+    });
+    let (ack_tx, ack_rx) = channel::unbounded::<()>();
+    match tx.send(ack_tx) {
+        // The ack sender is now either queued (receiver alive at send
+        // time) or owned by us having failed. Either way the writer's
+        // wait must terminate: recv may only return, never block
+        // forever.
+        Ok(()) => {
+            let _ = ack_rx.recv();
+        }
+        Err(_) => {}
+    }
+    flusher.join().unwrap();
+}
+
+/// With the disconnect fix (last receiver drop discards the queue), no
+/// interleaving can strand the writer.
+#[test]
+fn disconnect_discards_queued_acks() {
+    let report = Checker::new()
+        .with_preemption_bound(3)
+        .max_schedules(300_000)
+        .check(|| sync_ack_protocol(channel::unbounded))
+        .expect("fixed disconnect protocol must have no failing interleaving");
+    assert!(report.schedules > 5);
+}
+
+/// Regression: with the fix reverted (`unbounded_leaky` keeps queued
+/// messages on last-receiver drop), the checker must deterministically
+/// rediscover the lost wakeup — the writer deadlocked on a condvar wait
+/// nobody can ever notify — within the schedule bound, and the failing
+/// schedule must replay.
+#[test]
+fn reverted_fix_lost_wakeup_is_found() {
+    let failure = Checker::new()
+        .with_preemption_bound(3)
+        .check(|| sync_ack_protocol(channel::unbounded_leaky))
+        .expect_err("the pre-fix lost wakeup must be rediscovered");
+    // Printable replay: kind, schedule index, per-thread block reasons,
+    // and the exact scheduling trace to hand to `replay_trace`.
+    println!("rediscovered PR-4 lost wakeup:\n{failure}");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("condvar"), "{failure}");
+
+    let replayed = Checker::new()
+        .replay_trace(&failure.trace, || {
+            sync_ack_protocol(channel::unbounded_leaky)
+        })
+        .expect_err("the failing schedule must reproduce on replay");
+    assert_eq!(replayed.kind, FailureKind::Deadlock);
+}
