@@ -1,0 +1,159 @@
+//! Columnar vs record-at-a-time scan kernels on identical data.
+//!
+//! Every benchmark here runs the same query twice — once through the
+//! columnar batch-decode path (`decode=columnar`) and once with
+//! [`QueryOptions::with_columnar(false)`] forcing the record-at-a-time
+//! path (`decode=record`) — over the same preloaded sealed chunks. The
+//! two paths are bit-identical by construction (see
+//! `crates/loom/tests/columnar.rs`), so any delta is pure kernel cost.
+//! Results are summarized in `results/scan_kernels.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use loom::{
+    Aggregate, Clock, Config, ExtractorDesc, HistogramSpec, IndexId, Loom, LoomWriter,
+    QueryOptions, SourceId, TimeRange, ValueRange,
+};
+
+const ROWS: u64 = 500_000;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("loom-scank-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Preloads a sealed data set: 48-byte records, values cycling over
+/// [0, 1_000_000), one record per microsecond, all chunks sealed so the
+/// whole range is eligible for the columnar path.
+fn preload(name: &str) -> (Loom, LoomWriter, SourceId, IndexId, TimeRange) {
+    let dir = scratch(name);
+    let (loom, mut writer) = Loom::open_with_clock(Config::new(&dir), Clock::manual(0)).unwrap();
+    let src = loom.define_source("bench");
+    let idx = loom
+        .define_index_desc(
+            src,
+            ExtractorDesc::U64Le(0),
+            HistogramSpec::exponential(100.0, 4.0, 10).unwrap(),
+        )
+        .unwrap();
+    let mut payload = [0u8; 48];
+    for i in 0..ROWS {
+        loom.clock().advance(1_000);
+        payload[0..8].copy_from_slice(&((i * 31) % 1_000_000).to_le_bytes());
+        writer.push(src, &payload).unwrap();
+    }
+    writer.seal_active_chunk().unwrap();
+    let range = TimeRange::new(0, loom.now());
+    (loom, writer, src, idx, range)
+}
+
+fn opts(columnar: bool) -> QueryOptions {
+    QueryOptions::default().with_columnar(columnar)
+}
+
+const PATHS: [(&str, bool); 2] = [("columnar", true), ("record", false)];
+
+fn bench_scan_selectivity(c: &mut Criterion) {
+    let (loom, _writer, src, idx, range) = preload("scan");
+    let mut group = c.benchmark_group("scan_kernels/scan");
+    group.throughput(Throughput::Elements(ROWS));
+    // Values are uniform over [0, 1e6): pick predicates matching ~0.1%,
+    // ~50%, and 100% of rows.
+    for (sel, vr) in [
+        ("0.1pct", ValueRange::at_least(999_000.0)),
+        ("50pct", ValueRange::at_least(500_000.0)),
+        ("100pct", ValueRange::all()),
+    ] {
+        for (path, on) in PATHS {
+            group.bench_with_input(BenchmarkId::new(sel, path), &on, |b, &on| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    loom.query(src)
+                        .index(idx)
+                        .range(range)
+                        .value_range(vr)
+                        .options(opts(on))
+                        .scan(|r| n += r.payload.len() as u64)
+                        .unwrap();
+                    std::hint::black_box(n)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scan_ts_only_and_none(c: &mut Criterion) {
+    let (loom, _writer, src, idx, range) = preload("plan");
+    let window = TimeRange::new(range.end / 2, range.end / 2 + range.end / 10);
+    let mut group = c.benchmark_group("scan_kernels/ablation");
+    for (plan, use_ts, use_chunk) in [("ts_only", true, false), ("none", false, false)] {
+        for (path, on) in PATHS {
+            group.bench_with_input(BenchmarkId::new(plan, path), &on, |b, &on| {
+                let o = QueryOptions {
+                    use_ts_index: use_ts,
+                    use_chunk_index: use_chunk,
+                    ..opts(on)
+                };
+                b.iter(|| {
+                    let mut n = 0u64;
+                    loom.query(src)
+                        .index(idx)
+                        .range(window)
+                        .options(o)
+                        .scan(|_| n += 1)
+                        .unwrap();
+                    std::hint::black_box(n)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let (loom, _writer, src, idx, range) = preload("agg");
+    let mut group = c.benchmark_group("scan_kernels/aggregate");
+    group.throughput(Throughput::Elements(ROWS));
+    for (name, agg) in [
+        ("max", Aggregate::Max),
+        ("sum", Aggregate::Sum),
+        ("p999", Aggregate::Percentile(99.9)),
+    ] {
+        for (path, on) in PATHS {
+            group.bench_with_input(BenchmarkId::new(name, path), &on, |b, &on| {
+                b.iter(|| {
+                    loom.query(src)
+                        .index(idx)
+                        .range(range)
+                        .options(opts(on))
+                        .aggregate(agg)
+                        .unwrap()
+                });
+            });
+        }
+    }
+    for (path, on) in PATHS {
+        group.bench_with_input(BenchmarkId::new("bin_counts_half", path), &on, |b, &on| {
+            let half = TimeRange::new(0, range.end / 2);
+            b.iter(|| {
+                loom.query(src)
+                    .index(idx)
+                    .range(half)
+                    .options(opts(on))
+                    .bin_counts()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_selectivity,
+    bench_scan_ts_only_and_none,
+    bench_aggregates
+);
+criterion_main!(benches);

@@ -58,6 +58,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: false,
                 use_chunk_index: false,
+                use_columnar: true,
                 parallelism: None,
             },
         ),
@@ -66,6 +67,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: true,
                 use_chunk_index: false,
+                use_columnar: true,
                 parallelism: None,
             },
         ),
@@ -74,6 +76,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: false,
                 use_chunk_index: true,
+                use_columnar: true,
                 parallelism: None,
             },
         ),
@@ -82,6 +85,7 @@ fn main() {
             QueryOptions {
                 use_ts_index: true,
                 use_chunk_index: true,
+                use_columnar: true,
                 parallelism: None,
             },
         ),
@@ -102,6 +106,7 @@ fn main() {
         .options(QueryOptions {
             use_ts_index: false,
             use_chunk_index: false,
+            use_columnar: true,
             parallelism: None,
         })
         .scan(|_| sink += 1)

@@ -61,9 +61,16 @@ impl std::fmt::Display for LogId {
     }
 }
 
-/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// CRC32 (IEEE 802.3, reflected) slice-by-8 lookup tables, built at
+/// compile time.
+///
+/// `CRC32_TABLES[0]` is the classic byte-at-a-time table; table `k`
+/// maps a byte to its CRC contribution from `k` positions further back,
+/// so eight table lookups retire eight input bytes per iteration. Every
+/// table is derived from the same polynomial, so the computed function —
+/// and therefore every checksum already on disk — is unchanged.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -76,14 +83,30 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
 /// Incremental CRC32 (IEEE) hasher, for checksums spanning several
 /// buffers (e.g., a record header plus its separately stored payload).
+///
+/// Uses slice-by-8: eight bytes are folded per loop iteration through
+/// eight parallel lookup tables, which is 4–6× faster than the classic
+/// byte-at-a-time loop on record-sized inputs. Per-record verification
+/// is the single largest cost of a chunk scan, so this directly bounds
+/// query throughput (see `results/scan_kernels.md`).
 #[derive(Debug, Clone, Copy)]
 pub struct Crc32 {
     state: u32,
@@ -97,8 +120,23 @@ impl Crc32 {
 
     /// Folds `bytes` into the checksum.
     pub fn update(mut self, bytes: &[u8]) -> Self {
-        for &b in bytes {
-            self.state = (self.state >> 8) ^ CRC32_TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        let t = &CRC32_TABLES;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("len 8"));
+            let lo = self.state ^ (word as u32);
+            let hi = (word >> 32) as u32;
+            self.state = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            self.state = (self.state >> 8) ^ t[0][((self.state ^ b as u32) & 0xFF) as usize];
         }
         self
     }
@@ -348,6 +386,34 @@ mod tests {
         let a = b"hello ";
         let b = b"world";
         assert_eq!(crc32_pair(a, b), crc32(b"hello world"));
+    }
+
+    /// The slice-by-8 fast path must compute the identical function as
+    /// the classic byte-at-a-time loop, for every input length (word
+    /// remainders) and every split point across an incremental `update`
+    /// boundary (carried state enters the 8-byte path mid-stream).
+    #[test]
+    fn crc32_slice_by_8_matches_bytewise_reference() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut state = !0u32;
+            for &b in bytes {
+                state = (state >> 8) ^ CRC32_TABLES[0][((state ^ b as u32) & 0xFF) as usize];
+            }
+            !state
+        }
+        let data: Vec<u8> = (0..193u32)
+            .map(|i| (i.wrapping_mul(131) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+        for split in 0..data.len() {
+            assert_eq!(
+                crc32_pair(&data[..split], &data[split..]),
+                reference(&data),
+                "split {split}"
+            );
+        }
     }
 
     #[test]

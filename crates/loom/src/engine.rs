@@ -54,6 +54,9 @@ pub(crate) struct Inner {
     pub(crate) recovery: Mutex<Option<RecoveryReport>>,
     /// Health cell shared with the three hybridlog flushers.
     pub(crate) health: Arc<HealthState>,
+    /// Pooled columnar scan/decode buffers, reused across queries and
+    /// worker threads (grow-once allocation).
+    pub(crate) scan_bufs: crate::query::columnar::BufferPool,
 }
 
 impl Inner {
@@ -246,6 +249,7 @@ impl Loom {
             manifest: Mutex::new(manifest),
             recovery: Mutex::new(None),
             health,
+            scan_bufs: Default::default(),
         });
         let writer = LoomWriter::new(
             Arc::clone(&inner),
@@ -413,6 +417,7 @@ impl Loom {
             manifest: Mutex::new(manifest),
             recovery: Mutex::new(None),
             health,
+            scan_bufs: Default::default(),
         });
         let mut writer = LoomWriter::new(
             Arc::clone(&inner),
@@ -513,6 +518,7 @@ impl Loom {
         desc: ExtractorDesc,
         spec: HistogramSpec,
     ) -> Result<IndexId> {
+        desc.validate_for_payload(self.inner.config.max_record_payload())?;
         let bounds = spec.bounds().to_vec();
         let id = self.inner.registry.write().define_index_full(
             source,

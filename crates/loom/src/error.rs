@@ -35,6 +35,18 @@ pub enum LoomError {
         /// Maximum payload size permitted by the configuration.
         max: usize,
     },
+    /// An extractor descriptor reads a field that ends past the largest
+    /// payload the configuration can store, so it could never extract a
+    /// value from any record.
+    ExtractorOutOfBounds {
+        /// Byte offset the descriptor reads at.
+        offset: u32,
+        /// Width of the field in bytes.
+        width: u32,
+        /// Largest payload a record can carry
+        /// ([`Config::max_record_payload`](crate::Config::max_record_payload)).
+        max_payload: usize,
+    },
     /// A histogram definition is invalid (e.g., unsorted or empty boundaries).
     InvalidHistogram(String),
     /// The requested address lies beyond the end of the log.
@@ -101,6 +113,15 @@ impl fmt::Display for LoomError {
             LoomError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds maximum of {max} bytes")
             }
+            LoomError::ExtractorOutOfBounds {
+                offset,
+                width,
+                max_payload,
+            } => write!(
+                f,
+                "extractor field of {width} bytes at offset {offset} ends past the \
+                 maximum record payload of {max_payload} bytes"
+            ),
             LoomError::InvalidHistogram(msg) => write!(f, "invalid histogram: {msg}"),
             LoomError::AddressOutOfBounds { addr, tail } => {
                 write!(f, "address {addr} is beyond log tail {tail}")

@@ -35,6 +35,52 @@ pub enum ExtractorDesc {
 pub const EXTRACTOR_DESC_SIZE: usize = 5;
 
 impl ExtractorDesc {
+    /// The byte offset this descriptor reads at (`0` for [`CountAll`]).
+    ///
+    /// [`CountAll`]: ExtractorDesc::CountAll
+    pub fn offset(&self) -> u32 {
+        match *self {
+            ExtractorDesc::U64Le(off)
+            | ExtractorDesc::U32Le(off)
+            | ExtractorDesc::U16Le(off)
+            | ExtractorDesc::F64Le(off) => off,
+            ExtractorDesc::CountAll => 0,
+        }
+    }
+
+    /// Width of the extracted field in bytes (`0` for [`CountAll`]).
+    ///
+    /// [`CountAll`]: ExtractorDesc::CountAll
+    pub fn width(&self) -> u32 {
+        match *self {
+            ExtractorDesc::U64Le(_) | ExtractorDesc::F64Le(_) => 8,
+            ExtractorDesc::U32Le(_) => 4,
+            ExtractorDesc::U16Le(_) => 2,
+            ExtractorDesc::CountAll => 0,
+        }
+    }
+
+    /// Rejects descriptors whose field ends past `max_payload`: such an
+    /// extractor could never succeed on any record, so defining an index
+    /// with it is a caller bug reported as
+    /// [`LoomError::ExtractorOutOfBounds`] instead of an index that
+    /// silently matches nothing.
+    ///
+    /// Payloads *shorter* than `offset + width` are still legal at push
+    /// time (sources may emit variable-length records); those records
+    /// simply extract no value.
+    pub fn validate_for_payload(&self, max_payload: usize) -> Result<()> {
+        let end = self.offset() as u64 + self.width() as u64;
+        if end > max_payload as u64 {
+            return Err(LoomError::ExtractorOutOfBounds {
+                offset: self.offset(),
+                width: self.width(),
+                max_payload,
+            });
+        }
+        Ok(())
+    }
+
     /// Builds the closure this descriptor describes.
     pub fn to_fn(&self) -> ValueFn {
         match *self {
@@ -80,40 +126,57 @@ impl ExtractorDesc {
     }
 }
 
+/// Reads a little-endian `u64` at `offset` in `payload`, or `None` when
+/// the payload is too short. Alignment-safe: the bytes are copied into a
+/// stack array, never reinterpreted in place.
+///
+/// These helpers are the single decode routine shared by the closure
+/// constructors below and the columnar batch decoder
+/// (`query::columnar`), so both paths extract bit-identical values.
+#[inline(always)]
+pub fn read_u64_le(payload: &[u8], offset: usize) -> Option<u64> {
+    let bytes = payload.get(offset..)?.first_chunk::<8>()?;
+    Some(u64::from_le_bytes(*bytes))
+}
+
+/// Reads a little-endian `u32` at `offset` in `payload` ([`read_u64_le`]).
+#[inline(always)]
+pub fn read_u32_le(payload: &[u8], offset: usize) -> Option<u32> {
+    let bytes = payload.get(offset..)?.first_chunk::<4>()?;
+    Some(u32::from_le_bytes(*bytes))
+}
+
+/// Reads a little-endian `u16` at `offset` in `payload` ([`read_u64_le`]).
+#[inline(always)]
+pub fn read_u16_le(payload: &[u8], offset: usize) -> Option<u16> {
+    let bytes = payload.get(offset..)?.first_chunk::<2>()?;
+    Some(u16::from_le_bytes(*bytes))
+}
+
+/// Reads a little-endian `f64` at `offset` in `payload` ([`read_u64_le`]).
+#[inline(always)]
+pub fn read_f64_le(payload: &[u8], offset: usize) -> Option<f64> {
+    read_u64_le(payload, offset).map(f64::from_bits)
+}
+
 /// Extracts a little-endian `u64` at `offset` in the payload.
 pub fn u64_le_at(offset: usize) -> ValueFn {
-    Arc::new(move |payload: &[u8]| {
-        payload
-            .get(offset..offset + 8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("slice of 8")) as f64)
-    })
+    Arc::new(move |payload: &[u8]| read_u64_le(payload, offset).map(|v| v as f64))
 }
 
 /// Extracts a little-endian `u32` at `offset` in the payload.
 pub fn u32_le_at(offset: usize) -> ValueFn {
-    Arc::new(move |payload: &[u8]| {
-        payload
-            .get(offset..offset + 4)
-            .map(|b| u32::from_le_bytes(b.try_into().expect("slice of 4")) as f64)
-    })
+    Arc::new(move |payload: &[u8]| read_u32_le(payload, offset).map(|v| v as f64))
 }
 
 /// Extracts a little-endian `u16` at `offset` in the payload.
 pub fn u16_le_at(offset: usize) -> ValueFn {
-    Arc::new(move |payload: &[u8]| {
-        payload
-            .get(offset..offset + 2)
-            .map(|b| u16::from_le_bytes(b.try_into().expect("slice of 2")) as f64)
-    })
+    Arc::new(move |payload: &[u8]| read_u16_le(payload, offset).map(|v| v as f64))
 }
 
 /// Extracts a little-endian `f64` at `offset` in the payload.
 pub fn f64_le_at(offset: usize) -> ValueFn {
-    Arc::new(move |payload: &[u8]| {
-        payload
-            .get(offset..offset + 8)
-            .map(|b| f64::from_le_bytes(b.try_into().expect("slice of 8")))
-    })
+    Arc::new(move |payload: &[u8]| read_f64_le(payload, offset))
 }
 
 /// Maps every record to the constant `1.0`, turning the index into a pure
@@ -184,5 +247,47 @@ mod tests {
     fn descriptor_decode_rejects_garbage() {
         assert!(ExtractorDesc::decode(&[9, 0, 0, 0, 0]).is_err());
         assert!(ExtractorDesc::decode(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn shared_readers_match_from_le_bytes() {
+        let mut payload = vec![0u8; 14];
+        payload[0..8].copy_from_slice(&0xdead_beef_1234_5678u64.to_le_bytes());
+        payload[8..12].copy_from_slice(&0xcafe_babeu32.to_le_bytes());
+        payload[12..14].copy_from_slice(&513u16.to_le_bytes());
+        assert_eq!(read_u64_le(&payload, 0), Some(0xdead_beef_1234_5678));
+        assert_eq!(read_u32_le(&payload, 8), Some(0xcafe_babe));
+        assert_eq!(read_u16_le(&payload, 12), Some(513));
+        // Too short, offset past the end, and offset + width overflowing
+        // the slice all yield None instead of panicking.
+        assert_eq!(read_u64_le(&payload, 7), None);
+        assert_eq!(read_u32_le(&payload, 14), None);
+        assert_eq!(read_u16_le(&payload, usize::MAX), None);
+        let bits = (-2.5f64).to_le_bytes();
+        assert_eq!(read_f64_le(&bits, 0), Some(-2.5));
+        // NaN payload bytes round-trip exactly (bit pattern preserved).
+        let nan_bits = u64::MAX.to_le_bytes();
+        assert_eq!(read_f64_le(&nan_bits, 0).map(f64::to_bits), Some(u64::MAX));
+    }
+
+    #[test]
+    fn validate_for_payload_rejects_unreachable_fields() {
+        use crate::error::LoomError;
+        assert!(ExtractorDesc::U64Le(0).validate_for_payload(8).is_ok());
+        assert!(ExtractorDesc::U64Le(1).validate_for_payload(8).is_err());
+        assert!(ExtractorDesc::U16Le(6).validate_for_payload(8).is_ok());
+        assert!(ExtractorDesc::CountAll.validate_for_payload(0).is_ok());
+        match ExtractorDesc::F64Le(u32::MAX).validate_for_payload(4096) {
+            Err(LoomError::ExtractorOutOfBounds {
+                offset,
+                width,
+                max_payload,
+            }) => {
+                assert_eq!(offset, u32::MAX);
+                assert_eq!(width, 8);
+                assert_eq!(max_payload, 4096);
+            }
+            other => panic!("expected ExtractorOutOfBounds, got {other:?}"),
+        }
     }
 }

@@ -296,14 +296,43 @@ impl IndexObs {
 }
 
 /// Query-layer metrics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryObs {
     queries: Counter,
     query_nanos: Counter,
     parallel_queries: Counter,
     pool_tasks: Counter,
     slow_queries: Counter,
+    columnar_batches: Counter,
+    columnar_rows: Counter,
     query_latency: LatencyHistogram,
+    batch_rows: LatencyHistogram,
+    batch_selectivity: LatencyHistogram,
+}
+
+impl Default for QueryObs {
+    fn default() -> Self {
+        QueryObs {
+            queries: Counter::default(),
+            query_nanos: Counter::default(),
+            parallel_queries: Counter::default(),
+            pool_tasks: Counter::default(),
+            slow_queries: Counter::default(),
+            columnar_batches: Counter::default(),
+            columnar_rows: Counter::default(),
+            query_latency: LatencyHistogram::default_nanos(),
+            // Rows per decoded batch: 1 .. 4^10 ≈ 1M, exponential.
+            batch_rows: LatencyHistogram::new(
+                crate::histogram::HistogramSpec::exponential(1.0, 4.0, 10)
+                    .expect("static spec is valid"),
+            ),
+            // Selection percentage per batch: 0..100 in 10% steps.
+            batch_selectivity: LatencyHistogram::new(
+                crate::histogram::HistogramSpec::uniform(0.0, 100.0, 10)
+                    .expect("static spec is valid"),
+            ),
+        }
+    }
 }
 
 impl QueryObs {
@@ -313,18 +342,44 @@ impl QueryObs {
         self.pool_tasks.add(n);
     }
 
+    /// A chunk piece was decoded into a column batch of `rows` rows of
+    /// which `selected` passed the selection kernel.
+    #[inline]
+    pub(crate) fn columnar_batch(&self, rows: u64, selected: u64) {
+        #[cfg(feature = "self-obs")]
+        {
+            self.columnar_batches.inc();
+            self.columnar_rows.add(rows);
+            self.batch_rows.record(rows);
+            if let Some(pct) = (selected * 100).checked_div(rows) {
+                self.batch_selectivity.record(pct);
+            }
+        }
+        #[cfg(not(feature = "self-obs"))]
+        let _ = (rows, selected);
+    }
+
     fn snapshot(&self) -> QueryMetrics {
         // `observe_query` bumps `queries` before recording the latency
         // sample; reading the histogram first therefore guarantees
-        // `query_latency.total() <= queries` in any snapshot.
+        // `query_latency.total() <= queries` in any snapshot. Same for
+        // the per-batch histograms vs. `columnar_batches` (the counter
+        // is bumped first in `columnar_batch`, so histogram totals never
+        // exceed it).
         let query_latency = self.query_latency.counts();
+        let batch_rows = self.batch_rows.counts();
+        let batch_selectivity = self.batch_selectivity.counts();
         QueryMetrics {
             queries: self.queries.get(),
             query_nanos: self.query_nanos.get(),
             parallel_queries: self.parallel_queries.get(),
             pool_tasks: self.pool_tasks.get(),
             slow_queries: self.slow_queries.get(),
+            columnar_batches: self.columnar_batches.get(),
+            columnar_rows: self.columnar_rows.get(),
             query_latency,
+            batch_rows,
+            batch_selectivity,
         }
     }
 }
@@ -448,6 +503,8 @@ mod tests {
                 records_scanned: 300,
                 records_matched: 42,
                 bytes_read: 9_000,
+                columnar_batches: 2,
+                columnar_rows: 200,
                 workers_used: 2,
             },
             phases: QueryPhases::default(),

@@ -94,8 +94,17 @@ pub struct QueryMetrics {
     pub pool_tasks: u64,
     /// Queries that exceeded the slow-query threshold.
     pub slow_queries: u64,
+    /// Chunk pieces decoded through the columnar batch path.
+    pub columnar_batches: u64,
+    /// Rows decoded into column batches across all queries.
+    pub columnar_rows: u64,
     /// Latency distribution of whole queries, in nanoseconds.
     pub query_latency: HistogramCounts,
+    /// Distribution of rows per decoded column batch.
+    pub batch_rows: HistogramCounts,
+    /// Distribution of per-batch selection percentage (selected rows /
+    /// decoded rows, 0–100).
+    pub batch_selectivity: HistogramCounts,
 }
 
 /// A consistent-enough point-in-time copy of every engine metric.
@@ -205,6 +214,11 @@ impl MetricsSnapshot {
             ),
             ("loom_query_pool_tasks_total", self.query.pool_tasks),
             ("loom_query_slow_queries_total", self.query.slow_queries),
+            (
+                "loom_query_columnar_batches_total",
+                self.query.columnar_batches,
+            ),
+            ("loom_query_columnar_rows_total", self.query.columnar_rows),
         ]
     }
 
@@ -225,6 +239,12 @@ impl MetricsSnapshot {
             &self.hybridlog.flush_latency,
         );
         write_histogram(&mut out, "loom_query_latency", &self.query.query_latency);
+        write_histogram(&mut out, "loom_query_batch_rows", &self.query.batch_rows);
+        write_histogram(
+            &mut out,
+            "loom_query_batch_selectivity_pct",
+            &self.query.batch_selectivity,
+        );
         out
     }
 }

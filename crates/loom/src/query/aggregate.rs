@@ -20,8 +20,9 @@
 //! identical for every pool size, and results are bit-for-bit
 //! reproducible.
 
+use super::columnar::{self, ScanBuffers};
 use super::executor;
-use super::planner;
+use super::planner::{self, DecodeMode};
 use super::view::{QueryView, RegionScan, ScanControl};
 use super::{Aggregate, AggregateResult, IndexMeta, QueryOptions, TimeRange};
 use crate::error::{LoomError, Result};
@@ -29,15 +30,16 @@ use crate::obs::{QueryPhases, Stopwatch};
 use crate::stats::QueryStats;
 use crate::summary::BinStats;
 
-/// Runs `task(buf, chunk_addr)` over every chunk and returns the per-chunk
+/// Runs `task(bufs, chunk_addr)` over every chunk and returns the per-chunk
 /// partial results in chunk order, folding each chunk's scan counters into
 /// `stats` (also in chunk order).
 ///
 /// With one worker the chunks are scanned inline on the calling thread
-/// with a single reusable buffer; otherwise they fan out across the pool.
-/// Both paths run the same per-chunk closure and merge in the same order,
-/// so the result is independent of the worker count.
+/// with a single pooled scratch buffer; otherwise they fan out across the
+/// pool. Both paths run the same per-chunk closure and merge in the same
+/// order, so the result is independent of the worker count.
 fn for_chunks<T, F>(
+    view: &QueryView<'_>,
     workers: usize,
     chunks: &[u64],
     stats: &mut QueryStats,
@@ -45,17 +47,20 @@ fn for_chunks<T, F>(
 ) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(&mut Vec<u8>, u64) -> Result<(T, RegionScan)> + Sync,
+    F: Fn(&mut ScanBuffers, u64) -> Result<(T, RegionScan)> + Sync,
 {
     let outputs = if workers <= 1 {
-        let mut buf = Vec::new();
+        let mut bufs = view.bufs.acquire();
         let mut outputs = Vec::with_capacity(chunks.len());
         for &chunk_addr in chunks {
-            outputs.push(task(&mut buf, chunk_addr)?);
+            outputs.push(task(&mut bufs, chunk_addr)?);
         }
+        view.bufs.release(bufs);
         outputs
     } else {
-        executor::map_chunks(workers, chunks, |buf, chunk_addr| task(buf, chunk_addr))?
+        executor::map_chunks(view.bufs, workers, chunks, |bufs, chunk_addr| {
+            task(bufs, chunk_addr)
+        })?
     };
     let mut results = Vec::with_capacity(outputs.len());
     for (value, out) in outputs {
@@ -71,24 +76,49 @@ fn count_chunk_exact(
     meta: &IndexMeta,
     range: TimeRange,
     bin_count: usize,
-    buf: &mut Vec<u8>,
+    mode: DecodeMode,
+    bufs: &mut ScanBuffers,
     chunk_addr: u64,
 ) -> Result<(Vec<u64>, RegionScan)> {
     let mut counts = vec![0u64; bin_count];
-    let out = view.scan_chunk_with_buf(chunk_addr, buf, |rec| {
-        if rec.header.ts > range.end {
-            return ScanControl::Stop;
-        }
-        if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
-            if let Some(v) = (meta.extractor)(rec.payload) {
+    match mode {
+        DecodeMode::Columnar(desc) => {
+            let out = columnar::decode_chunk(
+                view,
+                chunk_addr,
+                meta.source.0,
+                desc,
+                Some(range.end),
+                bufs,
+            )?;
+            let selected = bufs.cols.select_time(range);
+            view.obs
+                .query
+                .columnar_batch(bufs.cols.len() as u64, selected);
+            for v in bufs.cols.selected_values() {
                 if let Some(bin) = meta.spec.bin_of(v) {
                     counts[bin] += 1;
                 }
             }
+            Ok((counts, out.scan))
         }
-        ScanControl::Continue
-    })?;
-    Ok((counts, out))
+        DecodeMode::RecordAtATime => {
+            let out = view.scan_chunk_with_buf(chunk_addr, &mut bufs.chunk, |rec| {
+                if rec.header.ts > range.end {
+                    return ScanControl::Stop;
+                }
+                if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                    if let Some(v) = (meta.extractor)(rec.payload) {
+                        if let Some(bin) = meta.spec.bin_of(v) {
+                            counts[bin] += 1;
+                        }
+                    }
+                }
+                ScanControl::Continue
+            })?;
+            Ok((counts, out))
+        }
+    }
 }
 
 /// Exact bin counting for the unsummarized tail region (always serial:
@@ -164,14 +194,15 @@ pub(crate) fn bin_counts(
     phases.select_nanos += select_timer.elapsed_nanos();
     view.obs.index.summary_probes(stats.summaries_scanned);
     view.obs.index.chunk_hits(partial_chunks.len() as u64);
+    let mode = planner::decode_mode(meta, opts);
     let workers = view.workers(opts.parallelism, partial_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
     if workers > 1 {
         view.obs.query.pool_tasks(partial_chunks.len() as u64);
     }
     let scan_timer = Stopwatch::start();
-    let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
-        count_chunk_exact(view, meta, range, bin_count, buf, addr)
+    let per_chunk = for_chunks(view, workers, &partial_chunks, &mut stats, |bufs, addr| {
+        count_chunk_exact(view, meta, range, bin_count, mode, bufs, addr)
     })?;
     for chunk_counts in per_chunk {
         for (total, c) in counts.iter_mut().zip(chunk_counts) {
@@ -319,27 +350,46 @@ fn distributive(
     view.obs.index.chunk_hits(partial_chunks.len() as u64);
 
     // Exact aggregation for chunks only partially inside the time range:
-    // one partial accumulator per chunk, merged in chunk order.
+    // one partial accumulator per chunk, merged in chunk order. The
+    // columnar path feeds the selected values to the *same* accumulator
+    // in the same chunk order, so float association is unchanged.
+    let mode = planner::decode_mode(meta, opts);
     let workers = view.workers(opts.parallelism, partial_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
     if workers > 1 {
         view.obs.query.pool_tasks(partial_chunks.len() as u64);
     }
     let scan_timer = Stopwatch::start();
-    let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
+    let per_chunk = for_chunks(view, workers, &partial_chunks, &mut stats, |bufs, addr| {
         let mut chunk_acc = Acc::new();
-        let out = view.scan_chunk_with_buf(addr, buf, |rec| {
-            if rec.header.ts > range.end {
-                return ScanControl::Stop;
-            }
-            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
-                if let Some(v) = (meta.extractor)(rec.payload) {
+        match mode {
+            DecodeMode::Columnar(desc) => {
+                let out =
+                    columnar::decode_chunk(view, addr, meta.source.0, desc, Some(range.end), bufs)?;
+                let selected = bufs.cols.select_time(range);
+                view.obs
+                    .query
+                    .columnar_batch(bufs.cols.len() as u64, selected);
+                for v in bufs.cols.selected_values() {
                     chunk_acc.observe(v);
                 }
+                Ok((chunk_acc, out.scan))
             }
-            ScanControl::Continue
-        })?;
-        Ok((chunk_acc, out))
+            DecodeMode::RecordAtATime => {
+                let out = view.scan_chunk_with_buf(addr, &mut bufs.chunk, |rec| {
+                    if rec.header.ts > range.end {
+                        return ScanControl::Stop;
+                    }
+                    if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                        if let Some(v) = (meta.extractor)(rec.payload) {
+                            chunk_acc.observe(v);
+                        }
+                    }
+                    ScanControl::Continue
+                })?;
+                Ok((chunk_acc, out))
+            }
+        }
     })?;
     for chunk_acc in &per_chunk {
         acc.merge(chunk_acc);
@@ -416,14 +466,15 @@ fn percentile(
     phases.select_nanos += select_timer.elapsed_nanos();
     view.obs.index.summary_probes(stats.summaries_scanned);
     view.obs.index.chunk_hits(partial_chunks.len() as u64);
+    let mode = planner::decode_mode(meta, opts);
     let workers = view.workers(opts.parallelism, partial_chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
     if workers > 1 {
         view.obs.query.pool_tasks(partial_chunks.len() as u64);
     }
     let scan_timer = Stopwatch::start();
-    let per_chunk = for_chunks(workers, &partial_chunks, &mut stats, |buf, addr| {
-        count_chunk_exact(view, meta, range, bin_count, buf, addr)
+    let per_chunk = for_chunks(view, workers, &partial_chunks, &mut stats, |bufs, addr| {
+        count_chunk_exact(view, meta, range, bin_count, mode, bufs, addr)
     })?;
     for chunk_counts in per_chunk {
         for (total, c) in counts.iter_mut().zip(chunk_counts) {
@@ -499,19 +550,39 @@ fn percentile(
         view.obs.query.pool_tasks(phase_b_chunks.len() as u64);
     }
     let scan_b_timer = Stopwatch::start();
-    let per_chunk = for_chunks(workers, &phase_b_chunks, &mut stats, |buf, addr| {
+    let per_chunk = for_chunks(view, workers, &phase_b_chunks, &mut stats, |bufs, addr| {
         let mut chunk_values: Vec<f64> = Vec::new();
-        let out = view.scan_chunk_with_buf(addr, buf, |rec| {
-            if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
-                if let Some(v) = (meta.extractor)(rec.payload) {
+        match mode {
+            DecodeMode::Columnar(desc) => {
+                // No early stop here: the record path scans phase-B chunks
+                // in full, and decode must visit the same records for the
+                // scan counters to stay identical.
+                let out = columnar::decode_chunk(view, addr, meta.source.0, desc, None, bufs)?;
+                let selected = bufs.cols.select_time(range);
+                view.obs
+                    .query
+                    .columnar_batch(bufs.cols.len() as u64, selected);
+                for v in bufs.cols.selected_values() {
                     if meta.spec.bin_of(v) == Some(target_bin) {
                         chunk_values.push(v);
                     }
                 }
+                Ok((chunk_values, out.scan))
             }
-            ScanControl::Continue
-        })?;
-        Ok((chunk_values, out))
+            DecodeMode::RecordAtATime => {
+                let out = view.scan_chunk_with_buf(addr, &mut bufs.chunk, |rec| {
+                    if rec.header.source == meta.source.0 && range.contains(rec.header.ts) {
+                        if let Some(v) = (meta.extractor)(rec.payload) {
+                            if meta.spec.bin_of(v) == Some(target_bin) {
+                                chunk_values.push(v);
+                            }
+                        }
+                    }
+                    ScanControl::Continue
+                })?;
+                Ok((chunk_values, out))
+            }
+        }
     })?;
     let mut values: Vec<f64> = per_chunk.into_iter().flatten().collect();
     phases.chunk_scan_nanos += scan_b_timer.elapsed_nanos();

@@ -1,0 +1,568 @@
+//! Columnar batch decode and selection kernels for sealed chunks.
+//!
+//! The record-at-a-time scan path walks a chunk with [`ChunkIter`],
+//! calling a closure per record that re-decodes the header, dispatches
+//! through an `Arc<dyn Fn>` extractor, and branches on every predicate.
+//! For descriptor-defined indexes (fixed-offset binary fields, the
+//! overwhelmingly common case) all of that work is data-independent, so
+//! this module decodes a chunk **once** into struct-of-arrays column
+//! buffers and evaluates predicates and aggregates as tight loops over
+//! those columns:
+//!
+//! 1. [`ColumnBatch::decode`] parses the chunk's entries exactly like
+//!    `ChunkIter` (same pad skipping, zeroed-tail termination, CRC
+//!    verification, and corruption errors) and appends one row per record
+//!    of the queried source: log address, timestamp, payload offset and
+//!    length, and the extracted value (plus a validity byte for payloads
+//!    too short for the field).
+//! 2. [`ColumnBatch::select`] / [`ColumnBatch::select_time`] evaluate the
+//!    time- and value-range predicates as a branch-free byte mask over
+//!    the columns (integer compares only — no float arithmetic, so the
+//!    mask is trivially autovectorizable).
+//! 3. Emission and aggregation iterate the selected rows directly —
+//!    [`ColumnBatch::emit`] for scans, [`ColumnBatch::selected_values`]
+//!    for aggregate accumulators — with no per-record closure dispatch.
+//!
+//! Results are bit-identical to the record-at-a-time path: the decode
+//! loop reproduces `ChunkIter`'s semantics (including which record an
+//! early stop counts), extraction goes through the same shared
+//! little-endian readers (`crate::extract::read_*_le`), and aggregate
+//! callers feed `selected_values()` to the same accumulator in the same
+//! order, so float association is unchanged.
+//!
+//! The module also owns the grow-once buffer pool ([`BufferPool`]): one
+//! [`ScanBuffers`] (raw chunk bytes + column vectors) per worker, reused
+//! across chunks within a query and across queries, plus recycled
+//! [`RecordBatch`] arenas for the parallel delivery path.
+
+use parking_lot::Mutex;
+
+use super::executor::RecordBatch;
+use super::view::{QueryView, RegionScan};
+use super::{Record, TimeRange, ValueRange};
+use crate::durability::LogId;
+use crate::error::{LoomError, Result};
+use crate::extract::{self, ExtractorDesc};
+use crate::record::{RecordHeader, RECORD_HEADER_SIZE};
+use crate::registry::SourceId;
+
+/// Struct-of-arrays decode of one chunk piece, filtered to one source.
+///
+/// All vectors have one entry per retained row except `sel`, which is
+/// (re)built by the `select*` kernels. Buffers keep their capacity across
+/// [`ColumnBatch::decode`] calls (grow-once reuse).
+#[derive(Debug, Default)]
+pub(crate) struct ColumnBatch {
+    /// Log address of each row's record header.
+    addrs: Vec<u64>,
+    /// Arrival timestamp of each row.
+    ts: Vec<u64>,
+    /// Extracted value per row (`0.0` when `valid` is 0).
+    values: Vec<f64>,
+    /// 1 when the row's payload was long enough for the extractor field.
+    valid: Vec<u8>,
+    /// Payload start offset of each row within the decoded chunk bytes.
+    pay_off: Vec<u32>,
+    /// Payload length of each row.
+    pay_len: Vec<u32>,
+    /// Selection mask from the last `select*` call (1 = row selected).
+    sel: Vec<u8>,
+}
+
+/// Per-batch counters returned by [`ColumnBatch::decode`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct BatchScan {
+    /// Non-pad records decoded (all sources), matching the
+    /// record-at-a-time `records_scanned` accounting.
+    pub records: u64,
+    /// Whether decode stopped early at a record past `stop_after`.
+    pub stopped: bool,
+    /// Maximum timestamp over every decoded record of any source (`0`
+    /// when the piece held none) — the no-index backward scan uses this
+    /// to detect when it has walked past the range.
+    pub max_ts: u64,
+}
+
+impl ColumnBatch {
+    /// Number of rows decoded for the queried source.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    fn clear(&mut self) {
+        self.addrs.clear();
+        self.ts.clear();
+        self.values.clear();
+        self.valid.clear();
+        self.pay_off.clear();
+        self.pay_len.clear();
+        self.sel.clear();
+    }
+
+    /// Decodes one chunk piece into columns, retaining records of
+    /// `source` and extracting values per `desc`.
+    ///
+    /// Entry walking is semantically identical to
+    /// [`ChunkIter`](crate::record::ChunkIter): padding entries are
+    /// verified and skipped without counting, a zeroed (source 0) header
+    /// terminates the piece, and overruns or checksum mismatches yield
+    /// [`LoomError::CorruptLog`] with the entry's log address. When
+    /// `stop_after` is set, the first record with a later timestamp is
+    /// counted in `records` (the callback path invokes the closure on it
+    /// before honoring the `Stop`) but excluded from the columns, and
+    /// `stopped` is reported.
+    pub fn decode(
+        &mut self,
+        bytes: &[u8],
+        base_addr: u64,
+        source: u32,
+        desc: ExtractorDesc,
+        stop_after: Option<u64>,
+    ) -> Result<BatchScan> {
+        // Monomorphize the decode loop per descriptor variant so the
+        // extraction — the same shared little-endian readers the
+        // descriptor's closure would call — fuses into the single pass
+        // over the chunk with no per-row dispatch.
+        match desc {
+            ExtractorDesc::CountAll => {
+                self.decode_rows(bytes, base_addr, source, stop_after, |_| Some(1.0))
+            }
+            ExtractorDesc::U64Le(off) => {
+                let off = off as usize;
+                self.decode_rows(bytes, base_addr, source, stop_after, move |p| {
+                    extract::read_u64_le(p, off).map(|v| v as f64)
+                })
+            }
+            ExtractorDesc::U32Le(off) => {
+                let off = off as usize;
+                self.decode_rows(bytes, base_addr, source, stop_after, move |p| {
+                    extract::read_u32_le(p, off).map(|v| v as f64)
+                })
+            }
+            ExtractorDesc::U16Le(off) => {
+                let off = off as usize;
+                self.decode_rows(bytes, base_addr, source, stop_after, move |p| {
+                    extract::read_u16_le(p, off).map(|v| v as f64)
+                })
+            }
+            ExtractorDesc::F64Le(off) => {
+                let off = off as usize;
+                self.decode_rows(bytes, base_addr, source, stop_after, move |p| {
+                    extract::read_f64_le(p, off)
+                })
+            }
+        }
+    }
+
+    fn decode_rows<R>(
+        &mut self,
+        bytes: &[u8],
+        base_addr: u64,
+        source: u32,
+        stop_after: Option<u64>,
+        read: R,
+    ) -> Result<BatchScan>
+    where
+        R: Fn(&[u8]) -> Option<f64>,
+    {
+        self.clear();
+        let mut out = BatchScan::default();
+        let mut pos = 0usize;
+        while pos + RECORD_HEADER_SIZE <= bytes.len() {
+            let header_buf = &bytes[pos..pos + RECORD_HEADER_SIZE];
+            let header = RecordHeader::decode(header_buf)?;
+            if header.source == 0 {
+                break; // zeroed tail: end of valid data in this piece
+            }
+            let payload_start = pos + RECORD_HEADER_SIZE;
+            let payload_end = payload_start + header.len as usize;
+            if payload_end > bytes.len() {
+                return Err(LoomError::CorruptLog {
+                    log: LogId::Records,
+                    addr: base_addr + pos as u64,
+                    reason: format!("entry overruns chunk ({} > {})", payload_end, bytes.len()),
+                });
+            }
+            let payload = &bytes[payload_start..payload_end];
+            if !RecordHeader::verify(header_buf, payload) {
+                return Err(LoomError::CorruptLog {
+                    log: LogId::Records,
+                    addr: base_addr + pos as u64,
+                    reason: "record checksum mismatch".into(),
+                });
+            }
+            let addr = base_addr + pos as u64;
+            pos = payload_end;
+            if header.is_pad() {
+                continue;
+            }
+            out.records += 1;
+            out.max_ts = out.max_ts.max(header.ts);
+            if stop_after.is_some_and(|t| header.ts > t) {
+                out.stopped = true;
+                break;
+            }
+            if header.source == source {
+                self.addrs.push(addr);
+                self.ts.push(header.ts);
+                self.pay_off.push(payload_start as u32);
+                self.pay_len.push(header.len);
+                match read(payload) {
+                    Some(v) => {
+                        self.values.push(v);
+                        self.valid.push(1);
+                    }
+                    None => {
+                        self.values.push(0.0);
+                        self.valid.push(0);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the selection mask `valid ∧ ts ∈ range ∧ value ∈ values`
+    /// and returns the number of selected rows.
+    ///
+    /// Branch-free: each term is a compare lowered to a 0/1 byte and the
+    /// mask is their bitwise AND, so the loop has no data-dependent
+    /// branches. `NaN` values fail both value compares, matching
+    /// `ValueRange::contains`.
+    pub fn select(&mut self, range: TimeRange, values: &ValueRange) -> u64 {
+        self.sel.clear();
+        self.sel.reserve(self.ts.len());
+        let mut selected = 0u64;
+        for i in 0..self.ts.len() {
+            let t = self.ts[i];
+            let v = self.values[i];
+            let in_time = (t >= range.start) as u8 & (t <= range.end) as u8;
+            let in_value = (v >= values.lo) as u8 & (v <= values.hi) as u8;
+            let m = self.valid[i] & in_time & in_value;
+            self.sel.push(m);
+            selected += u64::from(m);
+        }
+        selected
+    }
+
+    /// [`ColumnBatch::select`] without a value predicate (aggregates
+    /// filter on source, time, and extractability only).
+    pub fn select_time(&mut self, range: TimeRange) -> u64 {
+        self.sel.clear();
+        self.sel.reserve(self.ts.len());
+        let mut selected = 0u64;
+        for i in 0..self.ts.len() {
+            let t = self.ts[i];
+            let in_time = (t >= range.start) as u8 & (t <= range.end) as u8;
+            let m = self.valid[i] & in_time;
+            self.sel.push(m);
+            selected += u64::from(m);
+        }
+        selected
+    }
+
+    /// The extracted values of the selected rows, in chunk order —
+    /// aggregate callers feed these to the same accumulator the
+    /// record-at-a-time path uses, preserving float association exactly.
+    pub fn selected_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sel
+            .iter()
+            .zip(self.values.iter())
+            .filter_map(|(&m, &v)| (m != 0).then_some(v))
+    }
+
+    /// Delivers the selected rows to the user callback in chunk order.
+    /// `bytes` must be the buffer `decode` ran over.
+    pub fn emit<F>(&self, bytes: &[u8], source: SourceId, f: &mut F)
+    where
+        F: FnMut(Record<'_>),
+    {
+        for i in 0..self.sel.len() {
+            if self.sel[i] == 0 {
+                continue;
+            }
+            let ps = self.pay_off[i] as usize;
+            let pl = self.pay_len[i] as usize;
+            f(Record {
+                addr: self.addrs[i],
+                source,
+                ts: self.ts[i],
+                payload: &bytes[ps..ps + pl],
+            });
+        }
+    }
+
+    /// Copies the selected rows into a [`RecordBatch`] for in-order
+    /// delivery from the parallel path.
+    pub fn emit_to_batch(&self, bytes: &[u8], batch: &mut RecordBatch) {
+        for i in 0..self.sel.len() {
+            if self.sel[i] == 0 {
+                continue;
+            }
+            let ps = self.pay_off[i] as usize;
+            let pl = self.pay_len[i] as usize;
+            batch.push(self.addrs[i], self.ts[i], &bytes[ps..ps + pl]);
+        }
+    }
+}
+
+/// Result of [`decode_chunk`]: the scan counters to fold into
+/// [`QueryStats`](crate::QueryStats) plus the batch's max timestamp.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct DecodeOut {
+    /// Counters identical to what `scan_chunk_with_buf` would report for
+    /// the same piece, with the columnar accounting fields set.
+    pub scan: RegionScan,
+    /// See [`BatchScan::max_ts`].
+    pub max_ts: u64,
+}
+
+/// Reads the chunk piece at `chunk_addr` (clamped to the view's
+/// watermark) into `bufs.chunk` and decodes it into `bufs.cols`.
+///
+/// The returned counters match the record-at-a-time equivalent exactly:
+/// an empty piece (at or past the watermark) counts no chunk, and the
+/// stop/record accounting follows [`ColumnBatch::decode`]. Callers
+/// report batch observability (rows, selectivity) after running a
+/// `select*` kernel.
+pub(crate) fn decode_chunk(
+    view: &QueryView<'_>,
+    chunk_addr: u64,
+    source: u32,
+    desc: ExtractorDesc,
+    stop_after: Option<u64>,
+    bufs: &mut ScanBuffers,
+) -> Result<DecodeOut> {
+    let len = view.read_chunk_raw(chunk_addr, &mut bufs.chunk)?;
+    if len == 0 {
+        bufs.cols.clear();
+        return Ok(DecodeOut::default());
+    }
+    let batch = bufs
+        .cols
+        .decode(&bufs.chunk[..len], chunk_addr, source, desc, stop_after)?;
+    Ok(DecodeOut {
+        scan: RegionScan {
+            chunks: 1,
+            bytes: len as u64,
+            records: batch.records,
+            stopped: batch.stopped,
+            columnar_batches: 1,
+            columnar_rows: bufs.cols.len() as u64,
+        },
+        max_ts: batch.max_ts,
+    })
+}
+
+/// One worker's reusable scan scratch: the raw chunk buffer plus the
+/// column vectors decoded from it. Grown once to the working-set size
+/// and then recycled through the [`BufferPool`].
+#[derive(Debug, Default)]
+pub(crate) struct ScanBuffers {
+    /// Raw chunk bytes (grow-once, shared with the record-at-a-time
+    /// fallback which uses it as its chunk buffer).
+    pub chunk: Vec<u8>,
+    /// Columns decoded from `chunk`.
+    pub cols: ColumnBatch,
+}
+
+/// Number of [`ScanBuffers`] / [`RecordBatch`] slots retained across
+/// queries. Matches the executor's worker-count ceiling; extra releases
+/// beyond this simply drop their buffers.
+const POOL_SLOTS: usize = 16;
+
+/// A small engine-wide pool of scan scratch buffers, shared by every
+/// query and worker thread (PR 1's grow-once scan buffer, extended
+/// across queries).
+///
+/// `acquire`/`release` take one uncontended mutex lock per *chunk batch
+/// lifetime* (not per record or per chunk), so pooling is never on the
+/// hot path. Buffers lost to early error returns are simply not
+/// recycled — the pool is a cache, not an accounting structure.
+#[derive(Default)]
+pub(crate) struct BufferPool {
+    bufs: Mutex<Vec<ScanBuffers>>,
+    batches: Mutex<Vec<RecordBatch>>,
+}
+
+impl BufferPool {
+    /// Takes a scratch buffer from the pool (or a fresh one).
+    pub fn acquire(&self) -> ScanBuffers {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool, keeping its capacity.
+    pub fn release(&self, bufs: ScanBuffers) {
+        let mut slots = self.bufs.lock();
+        if slots.len() < POOL_SLOTS {
+            slots.push(bufs);
+        }
+    }
+
+    /// Takes an empty (cleared, capacity-preserving) record batch.
+    pub fn acquire_batch(&self) -> RecordBatch {
+        self.batches.lock().pop().unwrap_or_default()
+    }
+
+    /// Recycles a delivered record batch.
+    pub fn release_batch(&self, mut batch: RecordBatch) {
+        batch.clear();
+        let mut slots = self.batches.lock();
+        if slots.len() < POOL_SLOTS {
+            slots.push(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ChunkIter, NIL_ADDR, SOURCE_PAD};
+
+    fn mk(source: u32, payload: &[u8], ts: u64) -> Vec<u8> {
+        let h = RecordHeader {
+            source,
+            len: payload.len() as u32,
+            prev: NIL_ADDR,
+            ts,
+        };
+        let mut v = h.encode(payload).to_vec();
+        v.extend_from_slice(payload);
+        v
+    }
+
+    fn sample_chunk() -> Vec<u8> {
+        let mut chunk = Vec::new();
+        chunk.extend(mk(1, &10u64.to_le_bytes(), 100));
+        chunk.extend(mk(2, &99u64.to_le_bytes(), 101)); // other source
+        chunk.extend(mk(SOURCE_PAD, &[0u8; 6], 0)); // padding
+        chunk.extend(mk(1, b"abc", 102)); // too short for u64 extractor
+        chunk.extend(mk(1, &30u64.to_le_bytes(), 103));
+        chunk.extend(std::iter::repeat_n(0u8, 50)); // zeroed tail
+        chunk
+    }
+
+    #[test]
+    fn decode_matches_chunk_iter_rows_and_counters() {
+        let chunk = sample_chunk();
+        let mut cols = ColumnBatch::default();
+        let out = cols
+            .decode(&chunk, 4096, 1, ExtractorDesc::U64Le(0), None)
+            .unwrap();
+
+        let iter_records: Vec<_> = ChunkIter::new(&chunk, 4096)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(out.records, iter_records.len() as u64);
+        assert_eq!(out.max_ts, 103);
+        assert!(!out.stopped);
+
+        let expected: Vec<_> = iter_records
+            .iter()
+            .filter(|r| r.header.source == 1)
+            .collect();
+        assert_eq!(cols.len(), expected.len());
+        assert_eq!(
+            cols.addrs,
+            expected.iter().map(|r| r.addr).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            cols.ts,
+            expected.iter().map(|r| r.header.ts).collect::<Vec<_>>()
+        );
+        assert_eq!(cols.valid, vec![1, 0, 1], "short payload row is invalid");
+        assert_eq!(cols.values[0], 10.0);
+        assert_eq!(cols.values[2], 30.0);
+    }
+
+    #[test]
+    fn decode_stop_after_counts_the_stopping_record() {
+        let chunk = sample_chunk();
+        let mut cols = ColumnBatch::default();
+        let out = cols
+            .decode(&chunk, 0, 1, ExtractorDesc::U64Le(0), Some(101))
+            .unwrap();
+        // Records at ts 100 and 101 pass; ts 102 is the stopping record:
+        // counted in `records` (the callback path invokes the closure on
+        // it) but not retained as a row.
+        assert!(out.stopped);
+        assert_eq!(out.records, 3);
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols.ts, vec![100]);
+    }
+
+    #[test]
+    fn decode_reports_corruption_like_chunk_iter() {
+        let mut chunk = mk(1, b"payload!", 7);
+        chunk[RECORD_HEADER_SIZE + 1] ^= 0x10;
+        let mut cols = ColumnBatch::default();
+        let err = cols
+            .decode(&chunk, 512, 1, ExtractorDesc::CountAll, None)
+            .unwrap_err();
+        match err {
+            LoomError::CorruptLog { log, addr, reason } => {
+                assert_eq!(log, LogId::Records);
+                assert_eq!(addr, 512);
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected CorruptLog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_masks_time_value_and_validity() {
+        let chunk = sample_chunk();
+        let mut cols = ColumnBatch::default();
+        cols.decode(&chunk, 0, 1, ExtractorDesc::U64Le(0), None)
+            .unwrap();
+        // Rows: (ts 100, v 10, valid), (ts 102, invalid), (ts 103, v 30, valid).
+        assert_eq!(cols.select(TimeRange::new(0, 200), &ValueRange::all()), 2);
+        assert_eq!(cols.sel, vec![1, 0, 1]);
+        assert_eq!(
+            cols.select(TimeRange::new(0, 200), &ValueRange::new(20.0, 40.0)),
+            1
+        );
+        assert_eq!(cols.select(TimeRange::new(103, 200), &ValueRange::all()), 1);
+        assert_eq!(cols.select_time(TimeRange::new(100, 102)), 1);
+        assert_eq!(
+            cols.selected_values().collect::<Vec<_>>(),
+            vec![10.0],
+            "select_time keeps only the valid in-range row"
+        );
+    }
+
+    #[test]
+    fn emit_and_batch_agree() {
+        let chunk = sample_chunk();
+        let mut cols = ColumnBatch::default();
+        cols.decode(&chunk, 0, 1, ExtractorDesc::U64Le(0), None)
+            .unwrap();
+        cols.select(TimeRange::new(0, 200), &ValueRange::all());
+        let mut direct = Vec::new();
+        cols.emit(&chunk, SourceId(1), &mut |r: Record<'_>| {
+            direct.push((r.addr, r.ts, r.payload.to_vec()))
+        });
+        let mut batch = RecordBatch::default();
+        cols.emit_to_batch(&chunk, &mut batch);
+        let mut via_batch = Vec::new();
+        batch.for_each(|addr, ts, payload| via_batch.push((addr, ts, payload.to_vec())));
+        assert_eq!(direct, via_batch);
+        assert_eq!(direct.len(), 2);
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let pool = BufferPool::default();
+        let mut b = pool.acquire();
+        b.chunk.resize(1 << 16, 0);
+        let cap = b.chunk.capacity();
+        pool.release(b);
+        let b2 = pool.acquire();
+        assert!(b2.chunk.capacity() >= cap, "capacity survives the pool");
+        let mut batch = pool.acquire_batch();
+        batch.push(0, 1, b"xyz");
+        pool.release_batch(batch);
+        let batch2 = pool.acquire_batch();
+        assert_eq!(batch2.len(), 0, "recycled batches come back empty");
+    }
+}

@@ -27,18 +27,25 @@
 
 use crate::sync::atomic::{AtomicUsize, Ordering};
 
+use super::columnar::{BufferPool, ScanBuffers};
 use crate::error::Result;
 
-/// Runs `task(worker_buf, chunk_addr)` for every chunk address across
+/// Runs `task(worker_bufs, chunk_addr)` for every chunk address across
 /// `workers` scoped threads and returns the outputs in input order.
 ///
 /// `task` must be safe to call concurrently from multiple threads
-/// (`Sync`); the `&mut Vec<u8>` it receives is the calling worker's
-/// private, reusable chunk buffer.
-pub(crate) fn map_chunks<T, F>(workers: usize, chunks: &[u64], task: F) -> Result<Vec<T>>
+/// (`Sync`); the [`ScanBuffers`] it receives is the calling worker's
+/// private scan scratch, checked out of `pool` for the pool's lifetime
+/// and recycled afterwards so buffer capacity survives across queries.
+pub(crate) fn map_chunks<T, F>(
+    pool: &BufferPool,
+    workers: usize,
+    chunks: &[u64],
+    task: F,
+) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(&mut Vec<u8>, u64) -> Result<T> + Sync,
+    F: Fn(&mut ScanBuffers, u64) -> Result<T> + Sync,
 {
     debug_assert!(
         workers >= 2,
@@ -49,14 +56,14 @@ where
         let handles: Vec<_> = (0..workers.min(chunks.len()))
             .map(|_| {
                 scope.spawn(|| {
-                    let mut buf: Vec<u8> = Vec::new();
+                    let mut bufs = pool.acquire();
                     let mut local: Vec<(usize, Result<T>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= chunks.len() {
                             break;
                         }
-                        let result = task(&mut buf, chunks[i]);
+                        let result = task(&mut bufs, chunks[i]);
                         let failed = result.is_err();
                         local.push((i, result));
                         if failed {
@@ -65,6 +72,7 @@ where
                             break;
                         }
                     }
+                    pool.release(bufs);
                     local
                 })
             })
@@ -125,6 +133,17 @@ impl RecordBatch {
         self.recs.len()
     }
 
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Removes all records, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.recs.clear();
+        self.bytes.clear();
+    }
+
     /// Invokes `f(addr, ts, payload)` for every record in batch order.
     pub fn for_each<F>(&self, mut f: F)
     where
@@ -146,8 +165,9 @@ mod tests {
 
     #[test]
     fn map_chunks_preserves_input_order() {
+        let pool = BufferPool::default();
         let chunks: Vec<u64> = (0..257).collect();
-        let out = map_chunks(4, &chunks, |_buf, addr| Ok(addr * 3)).unwrap();
+        let out = map_chunks(&pool, 4, &chunks, |_bufs, addr| Ok(addr * 3)).unwrap();
         assert_eq!(out.len(), chunks.len());
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 3);
@@ -156,8 +176,9 @@ mod tests {
 
     #[test]
     fn map_chunks_reports_the_lowest_failing_chunk() {
+        let pool = BufferPool::default();
         let chunks: Vec<u64> = (0..64).collect();
-        let err = map_chunks(4, &chunks, |_buf, addr| {
+        let err = map_chunks(&pool, 4, &chunks, |_bufs, addr| {
             if addr >= 10 {
                 Err(LoomError::InvalidQuery(format!("chunk {addr}")))
             } else {
@@ -175,12 +196,13 @@ mod tests {
     fn worker_buffers_are_private_and_reused() {
         // Each task writes a marker and checks it never sees another
         // chunk's marker mid-write (buffers are per-worker, not shared).
+        let pool = BufferPool::default();
         let chunks: Vec<u64> = (0..128).collect();
-        let out = map_chunks(3, &chunks, |buf, addr| {
-            buf.clear();
-            buf.extend_from_slice(&addr.to_le_bytes());
+        let out = map_chunks(&pool, 3, &chunks, |bufs, addr| {
+            bufs.chunk.clear();
+            bufs.chunk.extend_from_slice(&addr.to_le_bytes());
             crate::sync::thread::yield_now();
-            let read = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            let read = u64::from_le_bytes(bufs.chunk[..8].try_into().unwrap());
             Ok(read == addr)
         })
         .unwrap();

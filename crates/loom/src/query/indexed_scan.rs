@@ -9,8 +9,9 @@
 //! The module also implements the paper's index-ablation modes (§6.4):
 //! timestamp-index-only, chunk-index-only, and no-index execution.
 
+use super::columnar;
 use super::executor::{self, RecordBatch};
-use super::planner::{self, SummaryPlan};
+use super::planner::{self, DecodeMode, SummaryPlan};
 use super::view::{QueryView, ScanControl};
 use super::{IndexMeta, QueryOptions, Record, TimeRange, ValueRange};
 use crate::error::Result;
@@ -58,7 +59,7 @@ where
         (true, false) => {
             // A single forward region scan with early stop: sequential by
             // construction, so the pool is never used here.
-            scan_ts_only(view, meta, range, values, &mut stats, phases, &mut f)?;
+            scan_ts_only(view, meta, range, values, opts, &mut stats, phases, &mut f)?;
         }
         (false, false) => {
             scan_none(view, meta, range, values, opts, &mut stats, phases, &mut f)?;
@@ -177,44 +178,82 @@ where
         .index
         .summary_probes(stats.summaries_scanned - probes_before);
     view.obs.index.chunk_hits(chunks.len() as u64);
+    let mode = planner::decode_mode(meta, opts);
     let workers = view.workers(opts.parallelism, chunks.len());
     stats.workers_used = stats.workers_used.max(workers as u64);
     let mut matched = 0u64;
     let scan_timer = Stopwatch::start();
     if workers <= 1 {
-        let mut buf = Vec::new();
+        let mut bufs = view.bufs.acquire();
         for chunk_addr in chunks {
             let matched_before = matched;
-            let out = view.scan_chunk_with_buf(chunk_addr, &mut buf, |rec| {
-                if filter_emit(meta, range, &values, rec, f) {
-                    matched += 1;
+            match mode {
+                DecodeMode::Columnar(desc) => {
+                    let out = columnar::decode_chunk(
+                        view,
+                        chunk_addr,
+                        meta.source.0,
+                        desc,
+                        None,
+                        &mut bufs,
+                    )?;
+                    let selected = bufs.cols.select(range, &values);
+                    view.obs
+                        .query
+                        .columnar_batch(bufs.cols.len() as u64, selected);
+                    bufs.cols.emit(&bufs.chunk, meta.source, f);
+                    matched += selected;
+                    out.scan.fold_into(stats);
                 }
-                ScanControl::Continue
-            })?;
-            out.fold_into(stats);
+                DecodeMode::RecordAtATime => {
+                    let out = view.scan_chunk_with_buf(chunk_addr, &mut bufs.chunk, |rec| {
+                        if filter_emit(meta, range, &values, rec, f) {
+                            matched += 1;
+                        }
+                        ScanControl::Continue
+                    })?;
+                    out.fold_into(stats);
+                }
+            }
             if matched == matched_before {
                 view.obs.index.false_positive_chunk();
             }
         }
+        view.bufs.release(bufs);
     } else {
         view.obs.query.pool_tasks(chunks.len() as u64);
-        let batches = executor::map_chunks(workers, &chunks, |buf, chunk_addr| {
-            let mut batch = RecordBatch::default();
-            let out = view.scan_chunk_with_buf(chunk_addr, buf, |rec| {
-                if record_matches(meta, range, &values, rec) {
-                    batch.push(rec.addr, rec.header.ts, rec.payload);
+        let batches = executor::map_chunks(view.bufs, workers, &chunks, |bufs, chunk_addr| {
+            let mut batch = view.bufs.acquire_batch();
+            match mode {
+                DecodeMode::Columnar(desc) => {
+                    let out =
+                        columnar::decode_chunk(view, chunk_addr, meta.source.0, desc, None, bufs)?;
+                    let selected = bufs.cols.select(range, &values);
+                    view.obs
+                        .query
+                        .columnar_batch(bufs.cols.len() as u64, selected);
+                    bufs.cols.emit_to_batch(&bufs.chunk, &mut batch);
+                    Ok((out.scan, batch))
                 }
-                ScanControl::Continue
-            })?;
-            Ok((out, batch))
+                DecodeMode::RecordAtATime => {
+                    let out = view.scan_chunk_with_buf(chunk_addr, &mut bufs.chunk, |rec| {
+                        if record_matches(meta, range, &values, rec) {
+                            batch.push(rec.addr, rec.header.ts, rec.payload);
+                        }
+                        ScanControl::Continue
+                    })?;
+                    Ok((out, batch))
+                }
+            }
         })?;
-        for (out, batch) in &batches {
+        for (out, batch) in batches {
             out.fold_into(stats);
             matched += batch.len() as u64;
-            if batch.len() == 0 {
+            if batch.is_empty() {
                 view.obs.index.false_positive_chunk();
             }
-            deliver_batch(meta, batch, f);
+            deliver_batch(meta, &batch, f);
+            view.bufs.release_batch(batch);
         }
     }
     phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
@@ -239,11 +278,13 @@ where
 
 /// Timestamp-index-only ablation: seek to the range start by time, then
 /// scan forward without chunk skipping.
+#[allow(clippy::too_many_arguments)]
 fn scan_ts_only<F>(
     view: &QueryView<'_>,
     meta: &IndexMeta,
     range: TimeRange,
     values: ValueRange,
+    opts: QueryOptions,
     stats: &mut QueryStats,
     phases: &mut QueryPhases,
     f: &mut F,
@@ -264,16 +305,49 @@ where
     phases.plan_nanos += plan_timer.elapsed_nanos();
     let mut matched = 0u64;
     let scan_timer = Stopwatch::start();
-    let out = view.scan_region(start_addr, view.rec.watermark(), |rec| {
-        if rec.header.ts > range.end {
-            return ScanControl::Stop;
+    match planner::decode_mode(meta, opts) {
+        DecodeMode::Columnar(desc) => {
+            // Forward piece-by-piece decode with the same early stop the
+            // record path takes: a record past `range.end` ends the scan.
+            let mut bufs = view.bufs.acquire();
+            let wm = view.rec.watermark();
+            let mut pos = start_addr;
+            while pos < wm {
+                let out = columnar::decode_chunk(
+                    view,
+                    pos,
+                    meta.source.0,
+                    desc,
+                    Some(range.end),
+                    &mut bufs,
+                )?;
+                let selected = bufs.cols.select(range, &values);
+                view.obs
+                    .query
+                    .columnar_batch(bufs.cols.len() as u64, selected);
+                bufs.cols.emit(&bufs.chunk, meta.source, f);
+                matched += selected;
+                out.scan.fold_into(stats);
+                if out.scan.stopped {
+                    break;
+                }
+                pos += view.chunk_size;
+            }
+            view.bufs.release(bufs);
         }
-        if filter_emit(meta, range, &values, rec, f) {
-            matched += 1;
+        DecodeMode::RecordAtATime => {
+            let out = view.scan_region(start_addr, view.rec.watermark(), |rec| {
+                if rec.header.ts > range.end {
+                    return ScanControl::Stop;
+                }
+                if filter_emit(meta, range, &values, rec, f) {
+                    matched += 1;
+                }
+                ScanControl::Continue
+            })?;
+            out.fold_into(stats);
         }
-        ScanControl::Continue
-    })?;
-    out.fold_into(stats);
+    }
     phases.chunk_scan_nanos += scan_timer.elapsed_nanos();
     stats.records_matched += matched;
     Ok(())
@@ -308,29 +382,48 @@ where
     }
     let newest_piece = (wm - 1) / view.chunk_size;
     let total_pieces = newest_piece as usize + 1;
+    let mode = planner::decode_mode(meta, opts);
     let workers = view.workers(opts.parallelism, total_pieces);
     stats.workers_used = stats.workers_used.max(workers as u64);
     let mut matched = 0u64;
     let scan_timer = Stopwatch::start();
     if workers <= 1 {
-        let mut buf = Vec::new();
+        let mut bufs = view.bufs.acquire();
         let mut piece = newest_piece;
         loop {
             let addr = piece * view.chunk_size;
-            let mut piece_max_ts = 0u64;
-            let out = view.scan_region_with_buf(
-                addr,
-                (addr + view.chunk_size).min(wm),
-                &mut buf,
-                |rec| {
-                    piece_max_ts = piece_max_ts.max(rec.header.ts);
-                    if filter_emit(meta, range, &values, rec, f) {
-                        matched += 1;
-                    }
-                    ScanControl::Continue
-                },
-            )?;
-            out.fold_into(stats);
+            let piece_max_ts;
+            match mode {
+                DecodeMode::Columnar(desc) => {
+                    let out =
+                        columnar::decode_chunk(view, addr, meta.source.0, desc, None, &mut bufs)?;
+                    let selected = bufs.cols.select(range, &values);
+                    view.obs
+                        .query
+                        .columnar_batch(bufs.cols.len() as u64, selected);
+                    bufs.cols.emit(&bufs.chunk, meta.source, f);
+                    matched += selected;
+                    out.scan.fold_into(stats);
+                    piece_max_ts = out.max_ts;
+                }
+                DecodeMode::RecordAtATime => {
+                    let mut max_ts = 0u64;
+                    let out = view.scan_region_with_buf(
+                        addr,
+                        (addr + view.chunk_size).min(wm),
+                        &mut bufs.chunk,
+                        |rec| {
+                            max_ts = max_ts.max(rec.header.ts);
+                            if filter_emit(meta, range, &values, rec, f) {
+                                matched += 1;
+                            }
+                            ScanControl::Continue
+                        },
+                    )?;
+                    out.fold_into(stats);
+                    piece_max_ts = max_ts;
+                }
+            }
             // All earlier pieces hold only older records.
             if piece_max_ts != 0 && piece_max_ts < range.start {
                 break;
@@ -340,6 +433,7 @@ where
             }
             piece -= 1;
         }
+        view.bufs.release(bufs);
     } else {
         let mut next_piece = newest_piece;
         'outer: loop {
@@ -347,29 +441,45 @@ where
             let batch_len = ((workers * 2) as u64).min(next_piece + 1);
             let pieces: Vec<u64> = (0..batch_len).map(|i| next_piece - i).collect();
             view.obs.query.pool_tasks(pieces.len() as u64);
-            let outputs = executor::map_chunks(workers, &pieces, |buf, piece| {
+            let outputs = executor::map_chunks(view.bufs, workers, &pieces, |bufs, piece| {
                 let addr = piece * view.chunk_size;
-                let mut piece_max_ts = 0u64;
-                let mut batch = RecordBatch::default();
-                let out = view.scan_region_with_buf(
-                    addr,
-                    (addr + view.chunk_size).min(wm),
-                    buf,
-                    |rec| {
-                        piece_max_ts = piece_max_ts.max(rec.header.ts);
-                        if record_matches(meta, range, &values, rec) {
-                            batch.push(rec.addr, rec.header.ts, rec.payload);
-                        }
-                        ScanControl::Continue
-                    },
-                )?;
-                Ok((out, batch, piece_max_ts))
+                let mut batch = view.bufs.acquire_batch();
+                match mode {
+                    DecodeMode::Columnar(desc) => {
+                        let out =
+                            columnar::decode_chunk(view, addr, meta.source.0, desc, None, bufs)?;
+                        let selected = bufs.cols.select(range, &values);
+                        view.obs
+                            .query
+                            .columnar_batch(bufs.cols.len() as u64, selected);
+                        bufs.cols.emit_to_batch(&bufs.chunk, &mut batch);
+                        Ok((out.scan, batch, out.max_ts))
+                    }
+                    DecodeMode::RecordAtATime => {
+                        let mut piece_max_ts = 0u64;
+                        let out = view.scan_region_with_buf(
+                            addr,
+                            (addr + view.chunk_size).min(wm),
+                            &mut bufs.chunk,
+                            |rec| {
+                                piece_max_ts = piece_max_ts.max(rec.header.ts);
+                                if record_matches(meta, range, &values, rec) {
+                                    batch.push(rec.addr, rec.header.ts, rec.payload);
+                                }
+                                ScanControl::Continue
+                            },
+                        )?;
+                        Ok((out, batch, piece_max_ts))
+                    }
+                }
             })?;
-            for (out, batch, piece_max_ts) in &outputs {
+            for (out, batch, piece_max_ts) in outputs {
                 out.fold_into(stats);
                 matched += batch.len() as u64;
-                deliver_batch(meta, batch, f);
-                if *piece_max_ts != 0 && *piece_max_ts < range.start {
+                deliver_batch(meta, &batch, f);
+                let past_range = piece_max_ts != 0 && piece_max_ts < range.start;
+                view.bufs.release_batch(batch);
+                if past_range {
                     break 'outer;
                 }
             }

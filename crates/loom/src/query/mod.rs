@@ -19,6 +19,7 @@
 
 mod aggregate;
 mod builder;
+pub(crate) mod columnar;
 mod executor;
 mod indexed_scan;
 mod planner;
@@ -167,6 +168,15 @@ pub struct QueryOptions {
     pub use_ts_index: bool,
     /// Use chunk summaries to skip and pre-aggregate chunks.
     pub use_chunk_index: bool,
+    /// Decode sealed chunks through the columnar batch kernels
+    /// (`query::columnar`) when the index was defined through an
+    /// [`ExtractorDesc`](crate::extract::ExtractorDesc). Off forces the
+    /// record-at-a-time path everywhere; results are bit-identical
+    /// either way (this switch exists for benchmarking and equivalence
+    /// testing, like the index ablations). Closure-defined indexes and
+    /// the unsummarized tail of summary-planned queries always run
+    /// record-at-a-time regardless.
+    pub use_columnar: bool,
     /// Worker threads for chunk-parallel stages; `None` (the default)
     /// uses [`Config::query_threads`](crate::Config::query_threads).
     ///
@@ -181,6 +191,7 @@ impl Default for QueryOptions {
         QueryOptions {
             use_ts_index: true,
             use_chunk_index: true,
+            use_columnar: true,
             parallelism: None,
         }
     }
@@ -190,6 +201,13 @@ impl QueryOptions {
     /// Sets the worker-pool size; `0` restores the config default.
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = NonZeroUsize::new(workers);
+        self
+    }
+
+    /// Enables or disables the columnar batch-decode path
+    /// ([`QueryOptions::use_columnar`]).
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.use_columnar = on;
         self
     }
 }
@@ -386,6 +404,7 @@ impl Loom {
             source_shared,
             extractor: Arc::clone(&entry.extractor),
             spec: Arc::clone(&entry.spec),
+            desc: entry.desc,
         })
     }
 }
@@ -397,4 +416,8 @@ pub(crate) struct IndexMeta {
     pub(crate) source_shared: Arc<SourceShared>,
     pub(crate) extractor: crate::registry::ValueFn,
     pub(crate) spec: Arc<crate::histogram::HistogramSpec>,
+    /// The declarative extractor, when the index was defined through one
+    /// — the precondition for the columnar decode path (`desc.to_fn()`
+    /// and `extractor` are the same function by construction).
+    pub(crate) desc: Option<crate::extract::ExtractorDesc>,
 }

@@ -10,6 +10,7 @@
 
 use std::num::NonZeroUsize;
 
+use super::columnar::BufferPool;
 use crate::engine::Inner;
 use crate::error::Result;
 use crate::hybridlog::Snapshot;
@@ -36,6 +37,9 @@ pub(crate) struct QueryView<'a> {
     pub query_threads: usize,
     /// The engine's self-observability registry.
     pub obs: &'a Obs,
+    /// The engine's pooled scan/decode buffers (grow-once reuse across
+    /// chunks, workers, and queries).
+    pub bufs: &'a BufferPool,
 }
 
 // The parallel executor shares one view (and its three snapshots) across
@@ -79,6 +83,7 @@ impl<'a> QueryView<'a> {
             chunk_size: inner.config.chunk_size as u64,
             query_threads: inner.config.query_threads,
             obs: &inner.obs,
+            bufs: &inner.scan_bufs,
         })
     }
 
@@ -183,6 +188,33 @@ impl<'a> QueryView<'a> {
         Ok(out)
     }
 
+    /// Reads the raw bytes of the chunk piece at `chunk_addr` (clamped
+    /// to the watermark) into `buf`, returning the piece length — `0`
+    /// when the address is at or past the watermark.
+    ///
+    /// This is the columnar decode path's read primitive: the length and
+    /// clamping match exactly what [`Self::scan_chunk_with_buf`] (one
+    /// piece of [`Self::scan_region_with_buf`]) would read, so callers
+    /// can account `chunks`/`bytes` identically. Like the region scan,
+    /// the buffer is grown (and zero-initialized) at most once.
+    pub fn read_chunk_raw(&self, chunk_addr: u64, buf: &mut Vec<u8>) -> Result<usize> {
+        debug_assert_eq!(
+            chunk_addr % self.chunk_size,
+            0,
+            "chunk addr must be aligned"
+        );
+        let wm = self.rec.watermark();
+        if chunk_addr >= wm {
+            return Ok(0);
+        }
+        let len = self.chunk_size.min(wm - chunk_addr) as usize;
+        if buf.len() < len {
+            buf.resize(len, 0);
+        }
+        self.rec.read_at(chunk_addr, &mut buf[..len])?;
+        Ok(len)
+    }
+
     /// Scans one chunk at `chunk_addr` (clamped to the watermark),
     /// invoking `f` for every record, with a caller-owned reusable buffer.
     pub fn scan_chunk_with_buf<F>(
@@ -209,6 +241,11 @@ pub(crate) struct RegionScan {
     pub records: u64,
     /// Whether the callback stopped the scan early.
     pub stopped: bool,
+    /// Chunk pieces decoded through the columnar batch path (zero on the
+    /// record-at-a-time path).
+    pub columnar_batches: u64,
+    /// Rows of the queried source decoded into column batches.
+    pub columnar_rows: u64,
 }
 
 impl RegionScan {
@@ -217,6 +254,8 @@ impl RegionScan {
         stats.chunks_scanned += self.chunks;
         stats.bytes_read += self.bytes;
         stats.records_scanned += self.records;
+        stats.columnar_batches += self.columnar_batches;
+        stats.columnar_rows += self.columnar_rows;
     }
 }
 

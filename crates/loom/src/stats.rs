@@ -81,6 +81,16 @@ pub struct QueryStats {
     pub records_matched: u64,
     /// Bytes read from the record log.
     pub bytes_read: u64,
+    /// Chunk pieces decoded through the columnar batch path
+    /// (descriptor-defined indexes over sealed chunks). Zero means the
+    /// whole query ran record-at-a-time — either the index uses a
+    /// closure extractor, [`QueryOptions::use_columnar`] was off, or
+    /// only the unsummarized tail was scanned.
+    ///
+    /// [`QueryOptions::use_columnar`]: crate::QueryOptions::use_columnar
+    pub columnar_batches: u64,
+    /// Rows (records of the queried source) decoded into column batches.
+    pub columnar_rows: u64,
     /// Largest worker-pool size any stage of the query executed with
     /// (`1` or `0` = fully serial execution). Per-worker chunk/byte
     /// counters are folded into the fields above in log order, so they
@@ -96,6 +106,8 @@ impl QueryStats {
         self.records_scanned += other.records_scanned;
         self.records_matched += other.records_matched;
         self.bytes_read += other.bytes_read;
+        self.columnar_batches += other.columnar_batches;
+        self.columnar_rows += other.columnar_rows;
         self.workers_used = self.workers_used.max(other.workers_used);
     }
 }
@@ -127,6 +139,8 @@ mod tests {
             records_scanned: 3,
             records_matched: 4,
             bytes_read: 5,
+            columnar_batches: 6,
+            columnar_rows: 7,
             workers_used: 1,
         };
         let mut b = a;
@@ -134,6 +148,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.summaries_scanned, 2);
         assert_eq!(a.bytes_read, 10);
+        assert_eq!(a.columnar_batches, 12);
+        assert_eq!(a.columnar_rows, 14);
         assert_eq!(a.workers_used, 4, "workers_used merges by max, not sum");
     }
 }

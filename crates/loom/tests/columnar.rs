@@ -1,0 +1,435 @@
+//! Columnar-path equivalence tests: the batch decode + selection kernels
+//! must be indistinguishable from the record-at-a-time path — identical
+//! records in identical order, bit-identical aggregate floats, and
+//! identical `QueryStats` scan counters — across random chunk layouts,
+//! selectivities, index ablations, and worker-pool sizes. Plus: the
+//! typed out-of-bounds extractor rejection, the path-reporting stats,
+//! and a live-ingest sealed/tail boundary check.
+
+use proptest::prelude::*;
+
+use loom::histogram::HistogramSpec;
+use loom::{
+    extract, Aggregate, Clock, Config, ExtractorDesc, IndexId, Loom, LoomError, QueryOptions,
+    QueryStats, SourceId, TimeRange, ValueRange,
+};
+
+fn rand_suffix() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+fn collect_scan(
+    loom: &Loom,
+    s: SourceId,
+    idx: IndexId,
+    range: TimeRange,
+    vr: ValueRange,
+    opts: QueryOptions,
+) -> (Vec<(u64, u64, Vec<u8>)>, QueryStats) {
+    let mut got = Vec::new();
+    let stats = loom
+        .query(s)
+        .index(idx)
+        .range(range)
+        .value_range(vr)
+        .options(opts)
+        .scan(|r| {
+            got.push((r.addr, r.ts, r.payload.to_vec()));
+        })
+        .unwrap();
+    (got, stats)
+}
+
+/// `a` with the columnar path-reporting fields zeroed, so stats from the
+/// columnar and record-at-a-time paths can be compared field-for-field
+/// (those two counters are *defined* to differ between the paths).
+fn sans_columnar(a: QueryStats) -> QueryStats {
+    QueryStats {
+        columnar_batches: 0,
+        columnar_rows: 0,
+        ..a
+    }
+}
+
+/// One random workload checked for columnar/record-at-a-time equivalence
+/// across every index ablation and the requested pool size.
+///
+/// The workload interleaves a second "noise" source (whose records the
+/// decode must skip) and occasional short payloads (too short for the
+/// u64 extractor, exercising the validity column).
+fn check_columnar_equivalence(
+    values: Vec<u16>,
+    gaps: Vec<u8>,
+    win: (usize, usize),
+    vwin: (u16, u16),
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let dir = std::env::temp_dir().join(format!(
+        "loom-columnar-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) =
+        Loom::open_with_clock(Config::small(&dir), Clock::manual(100)).unwrap();
+    let s = loom.define_source("src");
+    let noise = loom.define_source("noise");
+    let spec = HistogramSpec::uniform(0.0, 65_536.0, 8).unwrap();
+    let idx = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(0), spec)
+        .unwrap();
+
+    let mut pushed: Vec<(u64, u64)> = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        let g = gaps.get(i % gaps.len().max(1)).copied().unwrap_or(1);
+        let ts = loom.clock().advance(1 + g as u64);
+        if g % 7 == 0 {
+            // Payload too short for the u64 field: scanned but never
+            // extracted, on either path.
+            writer.push(s, &(*v as u32).to_le_bytes()).unwrap();
+        } else {
+            writer.push(s, &(*v as u64).to_le_bytes()).unwrap();
+        }
+        pushed.push((ts, *v as u64));
+        if g % 3 == 0 {
+            loom.clock().advance(1);
+            writer.push(noise, &[g; 12]).unwrap();
+        }
+    }
+
+    let (a, b) = win;
+    let lo = a.min(values.len() - 1);
+    let hi = b.min(values.len() - 1);
+    let range = TimeRange::new(pushed[lo.min(hi)].0, pushed[lo.max(hi)].0);
+    let vr = ValueRange::new(vwin.0.min(vwin.1) as f64, vwin.0.max(vwin.1) as f64);
+
+    let base = QueryOptions::default().with_parallelism(threads);
+
+    // Scans: every ablation mode, columnar on vs off.
+    for (use_ts, use_chunk) in [(true, true), (true, false), (false, true), (false, false)] {
+        let opts = QueryOptions {
+            use_ts_index: use_ts,
+            use_chunk_index: use_chunk,
+            ..base
+        };
+        let (on_recs, on_stats) = collect_scan(&loom, s, idx, range, vr, opts);
+        let (off_recs, off_stats) =
+            collect_scan(&loom, s, idx, range, vr, opts.with_columnar(false));
+        prop_assert_eq!(
+            &on_recs,
+            &off_recs,
+            "scan records diverge (ts={} chunk={} threads={})",
+            use_ts,
+            use_chunk,
+            threads
+        );
+        prop_assert_eq!(
+            on_stats.records_scanned,
+            off_stats.records_scanned,
+            "records_scanned diverges (ts={} chunk={} threads={})",
+            use_ts,
+            use_chunk,
+            threads
+        );
+        prop_assert_eq!(
+            sans_columnar(on_stats),
+            sans_columnar(off_stats),
+            "scan stats diverge (ts={} chunk={} threads={})",
+            use_ts,
+            use_chunk,
+            threads
+        );
+        prop_assert_eq!(
+            off_stats.columnar_batches,
+            0,
+            "disabled columnar path must report zero batches"
+        );
+    }
+
+    // Aggregates: bit-identical floats (same accumulator, same order).
+    for method in [
+        Aggregate::Count,
+        Aggregate::Sum,
+        Aggregate::Min,
+        Aggregate::Max,
+        Aggregate::Mean,
+        Aggregate::Percentile(0.0),
+        Aggregate::Percentile(50.0),
+        Aggregate::Percentile(99.0),
+        Aggregate::Percentile(100.0),
+    ] {
+        let on = loom
+            .query(s)
+            .index(idx)
+            .range(range)
+            .options(base)
+            .aggregate(method)
+            .unwrap();
+        let off = loom
+            .query(s)
+            .index(idx)
+            .range(range)
+            .options(base.with_columnar(false))
+            .aggregate(method)
+            .unwrap();
+        prop_assert_eq!(
+            on.value.map(f64::to_bits),
+            off.value.map(f64::to_bits),
+            "{:?} diverges at {} threads: {:?} vs {:?}",
+            method,
+            threads,
+            on.value,
+            off.value
+        );
+        prop_assert_eq!(on.count, off.count, "{:?} count diverges", method);
+        prop_assert_eq!(
+            sans_columnar(on.stats),
+            sans_columnar(off.stats),
+            "{:?} stats diverge",
+            method
+        );
+    }
+
+    // Bin counts (the coordinator's composition primitive).
+    let (on_counts, on_bstats) = loom
+        .query(s)
+        .index(idx)
+        .range(range)
+        .options(base)
+        .bin_counts()
+        .unwrap();
+    let (off_counts, off_bstats) = loom
+        .query(s)
+        .index(idx)
+        .range(range)
+        .options(base.with_columnar(false))
+        .bin_counts()
+        .unwrap();
+    prop_assert_eq!(on_counts, off_counts, "bin counts diverge");
+    prop_assert_eq!(sans_columnar(on_bstats), sans_columnar(off_bstats));
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn columnar_is_equivalent_to_record_at_a_time(
+        values in proptest::collection::vec(any::<u16>(), 1..600),
+        gaps in proptest::collection::vec(1u8..20, 1..8),
+        win in (0usize..600, 0usize..600),
+        vwin in (any::<u16>(), any::<u16>()),
+        threads in 1usize..4,
+    ) {
+        check_columnar_equivalence(values, gaps, win, vwin, threads)?;
+    }
+}
+
+fn fill(loom: &Loom, writer: &mut loom::LoomWriter, s: SourceId, n: u64) {
+    for i in 0..n {
+        loom.clock().advance(10);
+        writer.push(s, &(i % 100).to_le_bytes()).unwrap();
+    }
+}
+
+#[test]
+fn stats_report_which_decode_path_ran() {
+    let dir = std::env::temp_dir().join(format!(
+        "loom-columnar-path-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+    let s = loom.define_source("s");
+    let spec = HistogramSpec::uniform(0.0, 100.0, 4).unwrap();
+    let desc_idx = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(0), spec.clone())
+        .unwrap();
+    let closure_idx = loom.define_index(s, extract::u64_le_at(0), spec).unwrap();
+    fill(&loom, &mut writer, s, 2_000);
+    writer.seal_active_chunk().unwrap();
+    let range = TimeRange::new(0, u64::MAX);
+
+    // Descriptor-defined index over sealed chunks: columnar runs.
+    let stats = loom
+        .query(s)
+        .index(desc_idx)
+        .range(range)
+        .scan(|_| {})
+        .unwrap();
+    assert!(
+        stats.columnar_batches > 0,
+        "sealed chunks with a descriptor index must decode columnar: {stats:?}"
+    );
+    assert!(stats.columnar_rows > 0);
+    assert!(stats.columnar_rows <= stats.records_scanned);
+
+    // Opting out per query falls back to record-at-a-time.
+    let off = loom
+        .query(s)
+        .index(desc_idx)
+        .range(range)
+        .options(QueryOptions::default().with_columnar(false))
+        .scan(|_| {})
+        .unwrap();
+    assert_eq!(off.columnar_batches, 0);
+    assert_eq!(off.columnar_rows, 0);
+    assert_eq!(off.records_matched, stats.records_matched);
+
+    // A closure index cannot be vectorized: always record-at-a-time.
+    let closure = loom
+        .query(s)
+        .index(closure_idx)
+        .range(range)
+        .scan(|_| {})
+        .unwrap();
+    assert_eq!(closure.columnar_batches, 0);
+    assert_eq!(closure.records_matched, stats.records_matched);
+
+    // The engine-wide metrics registry saw the batches too.
+    let snap = loom.metrics_snapshot();
+    if cfg!(feature = "self-obs") {
+        assert!(snap.query.columnar_batches >= stats.columnar_batches);
+        assert!(snap.query.columnar_rows >= stats.columnar_rows);
+        assert_eq!(snap.query.batch_rows.total(), snap.query.columnar_batches);
+        let text = snap.to_text();
+        assert!(text.contains("loom_query_columnar_batches_total"));
+        assert!(text.contains("loom_query_batch_selectivity_pct_count"));
+    }
+
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn define_index_desc_rejects_unreachable_fields() {
+    let dir = std::env::temp_dir().join(format!(
+        "loom-columnar-oob-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = Config::small(&dir);
+    let max = config.max_record_payload() as u32;
+    let (loom, _writer) = Loom::open_with_clock(config, Clock::manual(0)).unwrap();
+    let s = loom.define_source("s");
+    let spec = HistogramSpec::uniform(0.0, 100.0, 4).unwrap();
+
+    // Boundary: a u64 ending exactly at the payload limit is fine...
+    loom.define_index_desc(s, ExtractorDesc::U64Le(max - 8), spec.clone())
+        .unwrap();
+    // ...one byte later can never be satisfied by any record.
+    let err = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(max - 7), spec.clone())
+        .unwrap_err();
+    match err {
+        LoomError::ExtractorOutOfBounds {
+            offset,
+            width,
+            max_payload,
+        } => {
+            assert_eq!(offset, max - 7);
+            assert_eq!(width, 8);
+            assert_eq!(max_payload as u32, max);
+        }
+        other => panic!("expected ExtractorOutOfBounds, got {other:?}"),
+    }
+    // Narrower fields get their own width accounting.
+    loom.define_index_desc(s, ExtractorDesc::U16Le(max - 2), spec.clone())
+        .unwrap();
+    assert!(matches!(
+        loom.define_index_desc(s, ExtractorDesc::U16Le(max - 1), spec.clone()),
+        Err(LoomError::ExtractorOutOfBounds { width: 2, .. })
+    ));
+    // CountAll reads no bytes and is always valid.
+    loom.define_index_desc(s, ExtractorDesc::CountAll, spec)
+        .unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Live ingest: scans racing a writer must see no duplicate and no
+/// out-of-order records at the sealed/tail boundary (the columnar path
+/// covers sealed chunks while the tail stays record-at-a-time), and a
+/// final scan after the writer stops must see exactly everything.
+#[test]
+fn live_ingest_scans_lose_nothing_at_the_sealed_tail_boundary() {
+    let dir = std::env::temp_dir().join(format!(
+        "loom-columnar-live-{}-{}",
+        std::process::id(),
+        rand_suffix()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (loom, mut writer) = Loom::open_with_clock(Config::small(&dir), Clock::manual(0)).unwrap();
+    let s = loom.define_source("s");
+    let spec = HistogramSpec::uniform(0.0, 20_000.0, 8).unwrap();
+    let idx = loom
+        .define_index_desc(s, ExtractorDesc::U64Le(0), spec)
+        .unwrap();
+
+    const TOTAL: u64 = 20_000;
+    let range = TimeRange::new(0, u64::MAX);
+    std::thread::scope(|scope| {
+        let l = loom.clone();
+        let w = scope.spawn(move || {
+            for i in 0..TOTAL {
+                l.clock().advance(1);
+                writer.push(s, &i.to_le_bytes()).unwrap();
+            }
+            writer
+        });
+        // Race scans against the writer: each sees a consistent prefix.
+        for _ in 0..50 {
+            let mut prev_addr = None;
+            let mut prev_val = None;
+            let mut seen = 0u64;
+            loom.query(s)
+                .index(idx)
+                .range(range)
+                .scan(|r| {
+                    let val = u64::from_le_bytes(r.payload.try_into().unwrap());
+                    if let Some(p) = prev_addr {
+                        assert!(r.addr > p, "duplicate or out-of-order addr {}", r.addr);
+                    }
+                    if let Some(p) = prev_val {
+                        assert_eq!(val, p + 1, "gap or duplicate at the chunk boundary");
+                    }
+                    prev_addr = Some(r.addr);
+                    prev_val = Some(val);
+                    seen += 1;
+                })
+                .unwrap();
+            assert!(seen <= TOTAL);
+        }
+        let writer = w.join().unwrap();
+        drop(writer);
+    });
+
+    // Writer done: the snapshot now covers everything, exactly once.
+    let mut count = 0u64;
+    let mut expect = 0u64;
+    let stats = loom
+        .query(s)
+        .index(idx)
+        .range(range)
+        .scan(|r| {
+            let val = u64::from_le_bytes(r.payload.try_into().unwrap());
+            assert_eq!(val, expect, "record lost or duplicated");
+            expect += 1;
+            count += 1;
+        })
+        .unwrap();
+    assert_eq!(count, TOTAL);
+    assert!(
+        stats.columnar_batches > 0,
+        "sealed chunks should have gone columnar: {stats:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
