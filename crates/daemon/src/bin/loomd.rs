@@ -421,7 +421,7 @@ impl Shell {
             }
             Command::Stats => {
                 let s = self.loom.ingest_stats();
-                Ok(format!(
+                let mut out = format!(
                     "health {} | records {} | bytes {} | chunks sealed {} | ts entries {} | memory budget {} B",
                     self.loom.health().name(),
                     s.records(),
@@ -429,7 +429,21 @@ impl Shell {
                     s.chunks_sealed(),
                     s.ts_entries(),
                     self.loom.memory_budget()
-                ))
+                );
+                // Engine health is worst-of-shards; name the culprit(s)
+                // when the engine is actually partitioned.
+                if self.loom.shard_count() > 1 {
+                    let per_shard = self
+                        .loom
+                        .shard_health()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, h)| format!("{i}:{}", h.name()))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    out.push_str(&format!(" | shards {per_shard}"));
+                }
+                Ok(out)
             }
             Command::Metrics => {
                 let mut out = format!("# health: {}\n", self.loom.health());
@@ -481,16 +495,21 @@ fn format_slow_trace(t: &loom::SlowQueryTrace) -> String {
 }
 
 const USAGE: &str = "\
-usage: loomd [--dir <path>] [--stats-interval <secs>] [--help]
+usage: loomd [--dir <path>] [--shards <n>] [--stats-interval <secs>] [--help]
   --dir <path>            durable data directory: reopened (with crash
                           recovery) if it already holds Loom data, created
                           otherwise, and kept on exit. Without --dir loomd
                           uses a throwaway temp directory.
+  --shards <n>            partition the engine into n independent shards
+                          (default 1). A directory remembers its shard
+                          count; reopening with a different --shards is an
+                          error.
   --stats-interval <secs> dump engine metrics to stderr periodically
   --help                  show this help";
 
 struct Options {
     dir: Option<PathBuf>,
+    shards: usize,
     stats_interval: Option<std::time::Duration>,
     help: bool,
 }
@@ -499,6 +518,7 @@ struct Options {
 fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Options, String> {
     let mut opts = Options {
         dir: None,
+        shards: 1,
         stats_interval: None,
         help: false,
     };
@@ -508,6 +528,16 @@ fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Options, String> {
             "--dir" => {
                 let path = args.next().ok_or("--dir needs a path")?;
                 opts.dir = Some(PathBuf::from(path));
+            }
+            "--shards" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shards needs a shard count")?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                opts.shards = n;
             }
             "--stats-interval" => {
                 let secs: u64 = args
@@ -631,7 +661,14 @@ fn main() {
             (d, true)
         }
     };
-    let (loom_handle, writer) = match loom::Loom::open(loom::Config::new(&dir)) {
+    let config = match loom::Config::builder(&dir).shards(opts.shards).build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loomd: invalid configuration: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let (loom_handle, writer) = match loom::Loom::open(config) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("loomd: cannot open {}: {e}", dir.display());
@@ -775,9 +812,18 @@ mod tests {
         let opts = parse_args(to_args("--dir /tmp/x --stats-interval 5")).unwrap();
         assert_eq!(opts.dir.as_deref(), Some(Path::new("/tmp/x")));
         assert_eq!(opts.stats_interval, Some(std::time::Duration::from_secs(5)));
+        assert_eq!(opts.shards, 1, "default stays the single-funnel engine");
         assert!(!opts.help);
+        assert_eq!(
+            parse_args(to_args("--dir /tmp/x --shards 4"))
+                .unwrap()
+                .shards,
+            4
+        );
         assert!(parse_args(to_args("--help")).unwrap().help);
         assert!(parse_args(to_args("--dir")).is_err());
+        assert!(parse_args(to_args("--shards 0")).is_err());
+        assert!(parse_args(to_args("--shards")).is_err());
         assert!(parse_args(to_args("--bogus")).is_err());
     }
 

@@ -17,17 +17,23 @@
 //!    and query hot paths (`loom/src/{hybridlog,engine,query}`) may not
 //!    grow beyond the checked-in per-file baseline
 //!    (`crates/lint/unwrap_baseline.txt`). Test modules are exempt.
-//! 4. **no deprecated query API** — the pre-builder Figure-9 entry
-//!    points (`indexed_scan[_opt]`, `indexed_aggregate[_opt]`,
-//!    `bin_counts_opt`, and `bin_counts` *with arguments*) must not be
-//!    called outside their definition file. A file that opts in with
-//!    `#[allow(deprecated)]` (the builder-equivalence property tests)
-//!    is exempt from that marker line onward.
+//! 4. **no removed query API** — the pre-builder Figure-9 entry points
+//!    (`indexed_scan[_opt]`, `indexed_aggregate[_opt]`,
+//!    `bin_counts_opt`, and `bin_counts` *with arguments*) were deleted
+//!    in the shard PR after a deprecation cycle; no call may reappear
+//!    anywhere, with no opt-out. `loom.query(..)` is the sole entry
+//!    point.
 //! 5. **failpoint site uniqueness** — every failpoint site name has
 //!    exactly one owner: either one `const` in `loom/src/fault.rs` or
 //!    literal use within a single non-test source file. Two consts with
 //!    the same string, or the same literal appearing in two files,
 //!    means two code paths silently share one registry slot.
+//! 6. **no `Config` struct literals** — `loom::Config` must be built
+//!    through `Config::builder()` / the `Config::small` preset so
+//!    validation always runs; a bare `Config { .. }` literal anywhere
+//!    outside `crates/loom/src/config.rs` bypasses it. Type positions
+//!    (`-> Config {`, `struct Config {`) are not literals and don't
+//!    count.
 //!
 //! Known textual limitations (accepted for a line-based tool): comment
 //! stripping tracks string literals but not raw strings or block
@@ -48,10 +54,12 @@ pub enum Rule {
     SeqCstJustification,
     /// unwrap/expect growth in hot paths beyond the baseline.
     UnwrapRatchet,
-    /// Call of a `#[deprecated]` pre-builder query entry point.
+    /// Call of a removed pre-builder query entry point.
     DeprecatedQueryApi,
     /// Failpoint site name owned by more than one definition site.
     FailpointUniqueness,
+    /// `Config { .. }` struct literal outside the config module.
+    ConfigLiteral,
 }
 
 impl fmt::Display for Rule {
@@ -62,6 +70,7 @@ impl fmt::Display for Rule {
             Rule::UnwrapRatchet => "unwrap-ratchet",
             Rule::DeprecatedQueryApi => "deprecated-query-api",
             Rule::FailpointUniqueness => "failpoint-uniqueness",
+            Rule::ConfigLiteral => "config-literal",
         };
         f.write_str(s)
     }
@@ -337,8 +346,8 @@ pub fn check_unwrap_ratchet(
     out
 }
 
-/// Deprecated pre-builder entry points matched as method calls.
-const DEPRECATED_CALLS: &[&str] = &[
+/// Removed pre-builder entry points matched as method calls.
+const REMOVED_CALLS: &[&str] = &[
     ".indexed_scan(",
     ".indexed_scan_opt(",
     ".indexed_aggregate(",
@@ -346,26 +355,18 @@ const DEPRECATED_CALLS: &[&str] = &[
     ".bin_counts_opt(",
 ];
 
-/// Rule 4: no calls of the deprecated query API outside its definition
-/// file; `#[allow(deprecated)]` exempts the rest of the file.
+/// Rule 4: no calls of the removed pre-builder query API, anywhere.
+///
+/// The six entry points were deleted after their deprecation cycle;
+/// there is no definition file and no `#[allow(deprecated)]` opt-out
+/// any more — any textual reappearance is a violation.
 pub fn check_deprecated_api(file: &SourceFile) -> Vec<Violation> {
-    if file.path == "crates/loom/src/query/mod.rs" {
-        return Vec::new();
-    }
     let mut out = Vec::new();
-    let mut allowed = false;
     for (i, raw) in file.lines.iter().enumerate() {
-        if raw.contains("#[allow(deprecated)]") {
-            allowed = true;
-        }
-        if allowed {
-            continue;
-        }
         let code = code_text(raw);
-        let mut hit = DEPRECATED_CALLS.iter().find(|p| code.contains(*p)).copied();
-        // `.bin_counts(` is both the deprecated 3-arg entry point and
-        // the builder terminal; only the call *with arguments* is
-        // deprecated.
+        let mut hit = REMOVED_CALLS.iter().find(|p| code.contains(*p)).copied();
+        // `.bin_counts(` was both the removed 3-arg entry point and the
+        // builder terminal; only the call *with arguments* is banned.
         if hit.is_none() {
             if let Some(pos) = code.find(".bin_counts(") {
                 let rest = &code[pos + ".bin_counts(".len()..];
@@ -380,11 +381,59 @@ pub fn check_deprecated_api(file: &SourceFile) -> Vec<Violation> {
                 line: i + 1,
                 rule: Rule::DeprecatedQueryApi,
                 message: format!(
-                    "call of deprecated pre-builder query API `{}`; use `loom.query(..)` \
-                     (or mark the enclosing test `#[allow(deprecated)]`)",
+                    "call of removed pre-builder query API `{}`; \
+                     `loom.query(..)` is the sole query entry point",
                     pat.trim_start_matches('.').trim_end_matches('(')
                 ),
             });
+        }
+    }
+    out
+}
+
+/// Rule 6: `Config { .. }` struct literals are confined to the config
+/// module, so every construction goes through the validating builder
+/// (or a preset that does).
+///
+/// Matches `Config` as a whole identifier followed by `{`, then
+/// excludes type positions by the token before it: `-> Config {` (a
+/// return type followed by the fn body), `struct` / `impl` / `for` /
+/// `dyn` declarations. Longer names like `KvAppConfig {` never match.
+pub fn check_config_literal(file: &SourceFile) -> Vec<Violation> {
+    if file.path == "crates/loom/src/config.rs" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    for (i, raw) in file.lines.iter().enumerate() {
+        let code = code_text(raw);
+        let mut from = 0;
+        while let Some(pos) = code[from..].find("Config") {
+            let start = from + pos;
+            let end = start + "Config".len();
+            from = end;
+            if code[..start].chars().next_back().is_some_and(is_ident) {
+                continue; // fragment of a longer identifier
+            }
+            if !code[end..].trim_start().starts_with('{') {
+                continue; // not a struct-literal-shaped use
+            }
+            let prefix = code[..start].trim_end();
+            let type_position = ["->", "struct", "impl", "for", "dyn"]
+                .iter()
+                .any(|t| prefix.ends_with(t));
+            if type_position {
+                continue;
+            }
+            out.push(Violation {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: Rule::ConfigLiteral,
+                message: "direct `Config { .. }` literal bypasses validation; build configs \
+                          with `Config::builder()` or a `Config::small`-style preset"
+                    .to_string(),
+            });
+            break; // one violation per line is enough
         }
     }
     out
@@ -498,6 +547,7 @@ pub fn check_all(files: &[SourceFile], baseline: &BTreeMap<String, usize>) -> Ve
         out.extend(check_unsafe_safety(f));
         out.extend(check_seqcst(f));
         out.extend(check_deprecated_api(f));
+        out.extend(check_config_literal(f));
     }
     out.extend(check_unwrap_ratchet(files, baseline));
     out.extend(check_failpoint_uniqueness(files));
@@ -658,7 +708,7 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_api_flagged_unless_allowed() {
+    fn removed_api_flagged_with_no_opt_out() {
         let bad = f(
             "crates/x.rs",
             "let r = loom.indexed_scan(s, i, r, vr, cb);\n",
@@ -668,7 +718,7 @@ mod tests {
             vec![Rule::DeprecatedQueryApi]
         );
 
-        // 3-arg bin_counts is deprecated; the builder terminal is not.
+        // 3-arg bin_counts was removed; the builder terminal was not.
         let dep = f("crates/x.rs", "let c = loom.bin_counts(s, i, r);\n");
         assert_eq!(
             rules(&check_deprecated_api(&dep)),
@@ -677,18 +727,86 @@ mod tests {
         let builder = f("crates/x.rs", "let c = q.range(r).bin_counts()?;\n");
         assert!(check_deprecated_api(&builder).is_empty());
 
-        let allowed = f(
+        // `#[allow(deprecated)]` no longer buys an exemption — the
+        // methods are gone, not deprecated.
+        let marked = f(
             "crates/x.rs",
             "#[allow(deprecated)]\nfn equiv() { loom.indexed_scan(s, i, r, vr, cb); }\n",
         );
-        assert!(check_deprecated_api(&allowed).is_empty());
+        assert_eq!(
+            rules(&check_deprecated_api(&marked)),
+            vec![Rule::DeprecatedQueryApi]
+        );
 
-        // The definition file itself is exempt.
+        // Neither does the old definition file.
         let def = f(
             "crates/loom/src/query/mod.rs",
             "self.indexed_scan_opt(s, i, r, vr, opts, cb)\n",
         );
-        assert!(check_deprecated_api(&def).is_empty());
+        assert_eq!(
+            rules(&check_deprecated_api(&def)),
+            vec![Rule::DeprecatedQueryApi]
+        );
+    }
+
+    #[test]
+    fn config_literal_flagged_outside_config_module() {
+        let bad = f(
+            "crates/loom/src/engine.rs",
+            "let c = Config { dir: d.into(), ..base };\n",
+        );
+        assert_eq!(
+            rules(&check_config_literal(&bad)),
+            vec![Rule::ConfigLiteral]
+        );
+
+        // Path-qualified literals are still literals.
+        let qualified = f(
+            "crates/x/tests/t.rs",
+            "let c = loom::Config { dir, ..b };\n",
+        );
+        assert_eq!(
+            rules(&check_config_literal(&qualified)),
+            vec![Rule::ConfigLiteral]
+        );
+
+        // The config module itself may construct its own type.
+        let home = f(
+            "crates/loom/src/config.rs",
+            "        Config {\n            dir: dir.into(),\n",
+        );
+        assert!(check_config_literal(&home).is_empty());
+    }
+
+    #[test]
+    fn config_literal_ignores_types_and_other_configs() {
+        // Return type followed by the fn body brace.
+        let ret = f(
+            "crates/loom/src/engine.rs",
+            "fn shard_config(root: &Config, i: usize) -> Config {\n",
+        );
+        assert!(check_config_literal(&ret).is_empty());
+
+        // Declarations are type positions, not literals.
+        let decls = f(
+            "crates/x.rs",
+            "pub struct Config {\nimpl Config {\nimpl Default for Config {\n",
+        );
+        assert!(check_config_literal(&decls).is_empty());
+
+        // Longer identifiers never match the whole word.
+        let other = f(
+            "crates/telemetry/src/kvapp.rs",
+            "let config = KvAppConfig {\n    ops_per_tick: 1,\n};\n",
+        );
+        assert!(check_config_literal(&other).is_empty());
+
+        // Builder calls are the sanctioned path.
+        let builder = f(
+            "crates/x.rs",
+            "let c = Config::builder(dir).shards(4).build()?;\n",
+        );
+        assert!(check_config_literal(&builder).is_empty());
     }
 
     #[test]

@@ -118,6 +118,17 @@ pub struct Config {
     pub overload: OverloadPolicy,
     /// Remove the log files when the instance is dropped.
     pub remove_on_drop: bool,
+    /// Number of independent engine shards.
+    ///
+    /// `1` (the default) is the original single-funnel layout: one hybrid
+    /// log triple, one flusher set, one manifest, all in `dir`. With `N >
+    /// 1` the engine partitions into `N` independent shards under
+    /// `dir/shard-0 .. dir/shard-N-1`, each with its own logs, flusher,
+    /// manifest, and health state; sources are routed to a home shard by a
+    /// stable hash of their id, so one tenant's data (and its failures)
+    /// stay colocated. The shard count is recorded in the root superblock
+    /// and must match on reopen.
+    pub shards: usize,
 }
 
 impl Config {
@@ -137,6 +148,7 @@ impl Config {
             io_retry: IoRetryPolicy::default(),
             overload: OverloadPolicy::default(),
             remove_on_drop: false,
+            shards: 1,
         }
     }
 
@@ -161,6 +173,15 @@ impl Config {
             },
             overload: OverloadPolicy::default(),
             remove_on_drop: true,
+            // The whole test suite can be rerun against a sharded engine
+            // by exporting LOOM_TEST_SHARDS (the CI shards=4 leg); tests
+            // that depend on the flat single-shard layout pin shards
+            // explicitly with `with_shards(1)`.
+            shards: std::env::var("LOOM_TEST_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
         }
     }
 
@@ -210,6 +231,22 @@ impl Config {
     pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
         self.overload = policy;
         self
+    }
+
+    /// Sets the shard count (must be non-zero; `1` = single-funnel).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Starts a validating [`ConfigBuilder`] seeded with the paper-like
+    /// defaults of [`Config::new`]. Unlike direct field mutation, the
+    /// builder rejects invalid combinations at [`ConfigBuilder::build`]
+    /// with a typed [`LoomError::InvalidConfig`].
+    pub fn builder(dir: impl Into<PathBuf>) -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::new(dir),
+        }
     }
 
     /// The largest payload that fits in a chunk alongside its header.
@@ -262,7 +299,111 @@ impl Config {
                 "io_retry.attempts must be non-zero (1 = no retries)".into(),
             ));
         }
+        if self.shards == 0 {
+            return Err(LoomError::InvalidConfig(
+                "shards must be non-zero (1 = single-funnel engine)".into(),
+            ));
+        }
         Ok(())
+    }
+}
+
+/// Validating builder for [`Config`], created by [`Config::builder`].
+///
+/// Every setter mirrors a `Config` field; [`ConfigBuilder::build`] runs
+/// [`Config::validate`] so an invalid combination (e.g. `shards = 0`, a
+/// chunk size that does not divide the block size) is rejected with a
+/// typed error before it ever reaches [`Loom::open`](crate::Loom::open).
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Starts from the small-footprint test defaults instead of the
+    /// paper-like production defaults.
+    pub fn small(dir: impl Into<PathBuf>) -> Self {
+        ConfigBuilder {
+            config: Config::small(dir),
+        }
+    }
+
+    /// Sets the number of independent engine shards (`Config::shards`).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the record-log staging-block size.
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.config.block_size = bytes;
+        self
+    }
+
+    /// Sets the chunk-index staging-block size.
+    pub fn index_block_size(mut self, bytes: usize) -> Self {
+        self.config.index_block_size = bytes;
+        self
+    }
+
+    /// Sets the timestamp-index staging-block size.
+    pub fn ts_block_size(mut self, bytes: usize) -> Self {
+        self.config.ts_block_size = bytes;
+        self
+    }
+
+    /// Sets the record-log chunk size.
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.config.chunk_size = bytes;
+        self
+    }
+
+    /// Sets the timestamp-mark period.
+    pub fn ts_mark_period(mut self, period: u64) -> Self {
+        self.config.ts_mark_period = period;
+        self
+    }
+
+    /// Sets the default query worker-thread count.
+    pub fn query_threads(mut self, threads: usize) -> Self {
+        self.config.query_threads = threads;
+        self
+    }
+
+    /// Sets the slow-query threshold in nanoseconds.
+    pub fn slow_query_nanos(mut self, nanos: u64) -> Self {
+        self.config.slow_query_nanos = nanos;
+        self
+    }
+
+    /// Sets the slow-query ring-buffer capacity.
+    pub fn slow_query_log(mut self, entries: usize) -> Self {
+        self.config.slow_query_log = entries;
+        self
+    }
+
+    /// Sets the flusher I/O retry policy.
+    pub fn io_retry(mut self, policy: IoRetryPolicy) -> Self {
+        self.config.io_retry = policy;
+        self
+    }
+
+    /// Sets the ingest overload (backpressure) policy.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.config.overload = policy;
+        self
+    }
+
+    /// Sets whether log files are removed when the instance is dropped.
+    pub fn remove_on_drop(mut self, remove: bool) -> Self {
+        self.config.remove_on_drop = remove;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    pub fn build(self) -> Result<Config> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -311,5 +452,38 @@ mod tests {
     fn max_payload_accounts_for_header() {
         let c = Config::small("/tmp/x");
         assert_eq!(c.max_record_payload(), c.chunk_size - RECORD_HEADER_SIZE);
+    }
+
+    #[test]
+    fn builder_builds_valid_configs() {
+        let c = Config::builder("/tmp/x")
+            .shards(4)
+            .query_threads(8)
+            .slow_query_nanos(5)
+            .overload(OverloadPolicy::ErrorFast)
+            .build()
+            .unwrap();
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.query_threads, 8);
+        assert_eq!(c.slow_query_nanos, 5);
+        assert_eq!(c.overload, OverloadPolicy::ErrorFast);
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        let err = Config::builder("/tmp/x").shards(0).build().unwrap_err();
+        assert!(matches!(err, LoomError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_chunk_block_combo() {
+        assert!(Config::builder("/tmp/x").chunk_size(1000).build().is_err());
+        assert!(ConfigBuilder::small("/tmp/x")
+            .io_retry(IoRetryPolicy {
+                attempts: 0,
+                ..IoRetryPolicy::default()
+            })
+            .build()
+            .is_err());
     }
 }

@@ -16,7 +16,9 @@ use crate::error::{LoomError, Result};
 
 /// On-disk format version stamped into the superblock. Bumped whenever
 /// any persisted encoding changes incompatibly.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 added the shard count to the superblock fingerprint.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes opening the superblock file.
 pub const SUPERBLOCK_MAGIC: &[u8; 8] = b"LOOMSUP\x01";
@@ -182,10 +184,14 @@ pub struct Superblock {
     pub chunk_size: u64,
     /// Timestamp-mark period.
     pub ts_mark_period: u64,
+    /// Number of engine shards this directory is partitioned into
+    /// (`1` = the flat single-funnel layout, all logs directly in the
+    /// directory; `N > 1` = `shard-0 .. shard-N-1` subdirectories).
+    pub shards: u64,
 }
 
-/// Encoded size: magic (8) + version (4) + five u64 fields + crc (4).
-const SUPERBLOCK_SIZE: usize = 8 + 4 + 5 * 8 + 4;
+/// Encoded size: magic (8) + version (4) + six u64 fields + crc (4).
+const SUPERBLOCK_SIZE: usize = 8 + 4 + 6 * 8 + 4;
 
 impl Superblock {
     /// The superblock a fresh directory created with `config` gets.
@@ -197,6 +203,7 @@ impl Superblock {
             ts_block_size: config.ts_block_size as u64,
             chunk_size: config.chunk_size as u64,
             ts_mark_period: config.ts_mark_period,
+            shards: config.shards as u64,
         }
     }
 
@@ -210,6 +217,7 @@ impl Superblock {
         buf.extend_from_slice(&self.ts_block_size.to_le_bytes());
         buf.extend_from_slice(&self.chunk_size.to_le_bytes());
         buf.extend_from_slice(&self.ts_mark_period.to_le_bytes());
+        buf.extend_from_slice(&self.shards.to_le_bytes());
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
         buf
@@ -250,6 +258,7 @@ impl Superblock {
             ts_block_size: u64_at(28),
             chunk_size: u64_at(36),
             ts_mark_period: u64_at(44),
+            shards: u64_at(52),
         };
         if sb.format_version != FORMAT_VERSION {
             return Err(corrupt(&format!(
@@ -313,6 +322,16 @@ impl Superblock {
         }
         if self.ts_mark_period != config.ts_mark_period {
             return mismatch("ts_mark_period", self.ts_mark_period, config.ts_mark_period);
+        }
+        if self.shards != config.shards as u64 {
+            // A dedicated typed error: unlike the layout parameters above
+            // this is the mismatch an operator is most likely to hit (a
+            // resharding attempt on an existing directory), and callers
+            // want to distinguish it.
+            return Err(LoomError::ShardMismatch {
+                on_disk: self.shards,
+                requested: config.shards as u64,
+            });
         }
         Ok(())
     }
@@ -445,6 +464,13 @@ mod tests {
         assert!(matches!(
             sb.check_config(&other),
             Err(LoomError::InvalidConfig(_))
+        ));
+
+        let mut resharded = cfg.clone();
+        resharded.shards = cfg.shards + 3;
+        assert!(matches!(
+            sb.check_config(&resharded),
+            Err(LoomError::ShardMismatch { .. })
         ));
     }
 

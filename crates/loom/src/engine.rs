@@ -11,6 +11,25 @@
 //!    record mark to the timestamp index;
 //! 4. publish the record log, chunk index, and timestamp index watermarks
 //!    (in that order), then the source's last-record pointer.
+//!
+//! # Sharding
+//!
+//! With [`Config::shards`](crate::Config::shards) ≥ 2 the engine is
+//! partitioned into independent *shards*, each owning a complete
+//! single-funnel engine — its own hybrid logs, chunk/timestamp indexes,
+//! flusher threads, manifest, and health state — rooted in a `shard-N/`
+//! subdirectory. A source is routed to its *home shard* by a stable hash
+//! of its ID (FNV-1a, `shard_of`), so all of a source's records, summaries, and
+//! marks stay colocated and a single-source query touches exactly one
+//! shard (the same path a single-funnel engine takes). The schema
+//! registry, ingest statistics, clock, and slow-query ring remain shared
+//! across shards; schema changes are journaled in the home shard's
+//! manifest and merged back at reopen. One shard's I/O failure degrades
+//! only that shard: the others keep ingesting and serving queries.
+//!
+//! `shards = 1` (the default) is byte-for-byte the flat single-directory
+//! layout: no `shard-N/` subdirectories, one funnel, identical on-disk
+//! format and crash-recovery behavior to a pre-sharding engine.
 
 use crate::sync::atomic::Ordering;
 use std::collections::HashMap;
@@ -30,29 +49,95 @@ use crate::fault;
 use crate::health::{EngineHealth, HealthState};
 use crate::histogram::HistogramSpec;
 use crate::hybridlog::{self, LogOptions, LogShared};
-use crate::obs::{MetricsSnapshot, Obs, SlowQueryTrace, Stopwatch};
+use crate::obs::{MetricsSnapshot, Obs, SlowQueryLog, SlowQueryTrace, Stopwatch};
 use crate::record::{ChunkIter, RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
 use crate::registry::{IndexId, Registry, RegistryVersion, SourceId, SourceShared, ValueFn};
 use crate::stats::IngestStats;
 use crate::summary::{BinStats, ChunkSummary};
 use crate::ts_index::{TsEntry, TsKind, TS_ENTRY_SIZE};
 
-/// State shared between the [`Loom`] handle and its [`LoomWriter`].
-pub(crate) struct Inner {
+/// Deterministic home-shard routing: FNV-1a over the source ID's
+/// little-endian bytes, reduced modulo the shard count.
+///
+/// The hash must be stable across processes and reopens — a source's data
+/// lives in its home shard's directory forever — so this is a fixed
+/// algorithm, never `std`'s randomized `RandomState`.
+pub(crate) fn shard_of(source: u32, shards: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in source.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Directory name of shard `i` under the engine root.
+fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i}")
+}
+
+/// The effective configuration of shard `i`: the root config scoped to
+/// the shard's subdirectory with sharding disabled, because each shard is
+/// a complete single-funnel engine.
+fn shard_config(root: &Config, i: usize) -> Config {
+    let mut c = root.clone();
+    c.dir = root.dir.join(shard_dir_name(i));
+    c.shards = 1;
+    c
+}
+
+/// Severity rank for worst-of-shards health merging.
+fn health_severity(h: &EngineHealth) -> u8 {
+    match h {
+        EngineHealth::Healthy => 0,
+        EngineHealth::Degraded { .. } => 1,
+        EngineHealth::ReadOnly { .. } => 2,
+    }
+}
+
+/// Engine-level state shared by the [`Loom`] handle and [`LoomWriter`]:
+/// the cross-shard pieces plus one [`Inner`] per shard.
+pub(crate) struct EngineInner {
+    /// The root configuration (`dir` is the engine root; `shards` ≥ 1).
     pub(crate) config: Config,
     pub(crate) clock: Clock,
-    pub(crate) registry: RwLock<Registry>,
-    pub(crate) registry_version: RegistryVersion,
+    /// Schema registry, shared across shards: IDs are global so routing
+    /// and query resolution never consult shard-local state.
+    pub(crate) registry: Arc<RwLock<Registry>>,
+    pub(crate) registry_version: Arc<RegistryVersion>,
+    /// Engine-wide ingest counters (shards all feed the same block).
+    pub(crate) stats: Arc<IngestStats>,
+    /// The per-shard engines; index = shard ordinal. Length 1 in the
+    /// single-funnel layout.
+    pub(crate) shards: Vec<Arc<Inner>>,
+    /// Merged per-shard recovery reports; `None` on a fresh directory.
+    pub(crate) recovery: Mutex<Option<RecoveryReport>>,
+}
+
+/// Per-shard engine state shared between the handles and the shard's
+/// writer. In a single-funnel engine there is exactly one.
+pub(crate) struct Inner {
+    /// The shard-scoped config: `dir` is the shard's directory and
+    /// `shards == 1` (see [`shard_config`]).
+    pub(crate) config: Config,
+    pub(crate) clock: Clock,
+    /// Engine-wide registry (`Arc`-shared with [`EngineInner`]).
+    pub(crate) registry: Arc<RwLock<Registry>>,
+    pub(crate) registry_version: Arc<RegistryVersion>,
     pub(crate) record_log: Arc<LogShared>,
     pub(crate) chunk_log: Arc<LogShared>,
     pub(crate) ts_log: Arc<LogShared>,
-    pub(crate) stats: IngestStats,
+    /// Engine-wide ingest counters (`Arc`-shared with [`EngineInner`]).
+    pub(crate) stats: Arc<IngestStats>,
+    /// Per-shard metrics registry; the slow-query ring inside is
+    /// `Arc`-shared across shards.
     pub(crate) obs: Obs,
-    /// The schema/lifecycle journal; every schema change appends here.
+    /// The shard's schema/lifecycle journal; schema changes for sources
+    /// homed here append to it.
     pub(crate) manifest: Mutex<Manifest>,
-    /// Set when this instance reopened an existing directory.
-    pub(crate) recovery: Mutex<Option<RecoveryReport>>,
-    /// Health cell shared with the three hybridlog flushers.
+    /// Health cell shared with this shard's three hybridlog flushers.
     pub(crate) health: Arc<HealthState>,
     /// Pooled columnar scan/decode buffers, reused across queries and
     /// worker threads (grow-once allocation).
@@ -75,15 +160,24 @@ impl Inner {
 /// The cloneable schema and query handle of a Loom instance.
 #[derive(Clone)]
 pub struct Loom {
-    pub(crate) inner: Arc<Inner>,
+    pub(crate) inner: Arc<EngineInner>,
 }
 
 /// The single-threaded ingest handle of a Loom instance (§4.1).
 ///
-/// Exactly one `LoomWriter` exists per instance. It owns the hybrid-log
-/// writers; keeping ingest single-threaded is what makes appends take a
-/// few hundred cycles with no cross-thread coordination.
+/// Exactly one `LoomWriter` exists per instance. It owns one private
+/// per-shard writer; [`LoomWriter::push`] routes each record to
+/// its source's home shard. Within a shard ingest stays single-threaded,
+/// which is what makes appends take a few hundred cycles with no
+/// cross-thread coordination.
 pub struct LoomWriter {
+    engine: Arc<EngineInner>,
+    shards: Vec<ShardWriter>,
+}
+
+/// The ingest funnel of one shard: owns the shard's hybrid-log writers
+/// and all writer-private state.
+struct ShardWriter {
     inner: Arc<Inner>,
     record: hybridlog::Writer,
     chunk: hybridlog::Writer,
@@ -175,6 +269,45 @@ impl ActiveChunk {
     }
 }
 
+/// One opened shard: the engine-side state, the writer half, and the
+/// shard's recovery report (`None` for a freshly initialized shard).
+type OpenedShard = (Arc<Inner>, ShardWriter, Option<RecoveryReport>);
+
+/// Cross-shard state built once per open and `Arc`-shared into every
+/// shard's [`Inner`].
+struct SharedParts {
+    clock: Clock,
+    registry: Arc<RwLock<Registry>>,
+    registry_version: Arc<RegistryVersion>,
+    stats: Arc<IngestStats>,
+    /// One slow-query ring for the whole engine, so traces from every
+    /// shard interleave in a single arrival order.
+    slow: Arc<SlowQueryLog>,
+}
+
+/// Folds per-shard recovery reports into the engine-level report. A
+/// shard initialized fresh (`None`) does not falsify cleanliness; the
+/// merge is `None` only when every shard was fresh.
+fn merge_reports(reports: Vec<Option<RecoveryReport>>) -> Option<RecoveryReport> {
+    let mut merged: Option<RecoveryReport> = None;
+    for r in reports.into_iter().flatten() {
+        match &mut merged {
+            None => merged = Some(r),
+            Some(m) => {
+                m.clean &= r.clean;
+                m.records_scanned += r.records_scanned;
+                m.truncations.extend(r.truncations);
+                m.summaries_rebuilt += r.summaries_rebuilt;
+                m.seals_appended += r.seals_appended;
+                // Shards recover in parallel, so the engine-level
+                // duration is the slowest shard, not the sum.
+                m.duration_nanos = m.duration_nanos.max(r.duration_nanos);
+            }
+        }
+    }
+    merged
+}
+
 impl Loom {
     /// Opens a Loom instance rooted at `config.dir`, returning the shared
     /// handle and the unique ingest writer.
@@ -185,22 +318,126 @@ impl Loom {
     /// Opens a Loom instance with an explicit clock (tests and replay).
     ///
     /// A directory that already holds a Loom superblock is *reopened*: the
-    /// schema is rebuilt from the manifest and all data flushed before the
-    /// previous shutdown or crash becomes queryable again. A directory
-    /// without one is initialized fresh.
+    /// schema is rebuilt from the manifest(s) and all data flushed before
+    /// the previous shutdown or crash becomes queryable again. A directory
+    /// without one is initialized fresh. With
+    /// [`Config::shards`](crate::Config::shards) ≥ 2 every shard
+    /// recovers in parallel; the shard count is recorded in the root
+    /// superblock and reopening with a different count fails with
+    /// [`LoomError::ShardMismatch`].
     pub fn open_with_clock(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
         config.validate()?;
         std::fs::create_dir_all(&config.dir)?;
-        if config.dir.join(SUPERBLOCK_FILE).exists() {
-            Self::reopen(config, clock)
+        let shared = SharedParts {
+            clock: clock.clone(),
+            registry: Arc::new(RwLock::new(Registry::new())),
+            registry_version: Arc::new(RegistryVersion::default()),
+            stats: Arc::new(IngestStats::default()),
+            slow: Arc::new(SlowQueryLog::new(config.slow_query_log)),
+        };
+        // The single-funnel engine opens its one shard directly on the
+        // root directory — exactly the flat pre-sharding layout.
+        let parts = if config.shards == 1 {
+            vec![Self::open_shard(config.clone(), &shared)?]
         } else {
-            Self::open_fresh(config, clock)
+            Self::open_shards(&config, &shared)?
+        };
+        let mut shards = Vec::with_capacity(parts.len());
+        let mut writers = Vec::with_capacity(parts.len());
+        let mut reports = Vec::with_capacity(parts.len());
+        for (inner, writer, report) in parts {
+            shards.push(inner);
+            writers.push(writer);
+            reports.push(report);
+        }
+        let engine = Arc::new(EngineInner {
+            config,
+            clock,
+            registry: shared.registry,
+            registry_version: shared.registry_version,
+            stats: shared.stats,
+            shards,
+            recovery: Mutex::new(merge_reports(reports)),
+        });
+        let writer = LoomWriter {
+            engine: Arc::clone(&engine),
+            shards: writers,
+        };
+        Ok((Loom { inner: engine }, writer))
+    }
+
+    /// Opens all shards of a multi-shard engine: validates (or writes)
+    /// the root superblock, then opens every `shard-N/` directory in
+    /// parallel — recovery scans are independent per shard.
+    fn open_shards(config: &Config, shared: &SharedParts) -> Result<Vec<OpenedShard>> {
+        if config.dir.join(SUPERBLOCK_FILE).exists() {
+            // Catches both parameter drift and a shard-count change
+            // (LoomError::ShardMismatch): rerouting sources over a
+            // different shard count would misplace every source.
+            Superblock::read_from(&config.dir)?.check_config(config)?;
+        } else {
+            // Refuse directories with flat log files or shard data but no
+            // root superblock: they predate the durable format or lost
+            // their superblock, and reinitializing would destroy data.
+            for log in [LogId::Records, LogId::Chunks, LogId::Ts, LogId::Manifest] {
+                if config.dir.join(log.file_name()).exists() {
+                    return Err(LoomError::Corrupt(format!(
+                        "{} exists but {SUPERBLOCK_FILE} does not; refusing to reinitialize",
+                        log.file_name()
+                    )));
+                }
+            }
+            if config
+                .dir
+                .join(shard_dir_name(0))
+                .join(SUPERBLOCK_FILE)
+                .exists()
+            {
+                return Err(LoomError::Corrupt(format!(
+                    "{}/{SUPERBLOCK_FILE} exists but the root {SUPERBLOCK_FILE} does not; \
+                     refusing to reinitialize",
+                    shard_dir_name(0)
+                )));
+            }
+            Superblock::of(config).write_to(&config.dir)?;
+        }
+        // A crash after the root superblock but before (some) shard
+        // directories were created self-heals here: each shard dispatches
+        // on its own superblock, so missing shards initialize fresh.
+        let results: Vec<Result<_>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..config.shards)
+                .map(|i| {
+                    let cfg = shard_config(config, i);
+                    s.spawn(move || Self::open_shard(cfg, shared))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(res) => res,
+                    Err(_) => Err(LoomError::Internal(
+                        "shard open thread panicked".to_string(),
+                    )),
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Opens one shard (or the whole engine when `shards == 1`):
+    /// dispatches on the shard directory's own superblock.
+    fn open_shard(config: Config, shared: &SharedParts) -> Result<OpenedShard> {
+        std::fs::create_dir_all(&config.dir)?;
+        if config.dir.join(SUPERBLOCK_FILE).exists() {
+            Self::reopen_shard(config, shared)
+        } else {
+            Self::open_fresh_shard(config, shared).map(|(inner, w)| (inner, w, None))
         }
     }
 
-    /// Initializes a brand-new data directory: superblock first, then an
+    /// Initializes a brand-new shard directory: superblock first, then an
     /// empty manifest, then the three logs.
-    fn open_fresh(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
+    fn open_fresh_shard(config: Config, shared: &SharedParts) -> Result<(Arc<Inner>, ShardWriter)> {
         // Refuse directories that have log files but no superblock: they
         // predate the durable format (or lost their superblock), and
         // recreating the logs would silently destroy their data.
@@ -214,7 +451,7 @@ impl Loom {
         }
         Superblock::of(&config).write_to(&config.dir)?;
         let manifest = Manifest::create(&config.dir)?;
-        let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
+        let obs = Obs::with_slow_log(config.slow_query_nanos, Arc::clone(&shared.slow));
         let health = Arc::new(HealthState::new());
         // All three logs report into one shared hybridlog metrics block
         // and degrade through one shared health cell.
@@ -238,20 +475,19 @@ impl Loom {
         )?;
         let inner = Arc::new(Inner {
             config,
-            clock,
-            registry: RwLock::new(Registry::new()),
-            registry_version: RegistryVersion::default(),
+            clock: shared.clock.clone(),
+            registry: Arc::clone(&shared.registry),
+            registry_version: Arc::clone(&shared.registry_version),
             record_log: Arc::clone(record.shared()),
             chunk_log: Arc::clone(chunk.shared()),
             ts_log: Arc::clone(ts.shared()),
-            stats: IngestStats::default(),
+            stats: Arc::clone(&shared.stats),
             obs,
             manifest: Mutex::new(manifest),
-            recovery: Mutex::new(None),
             health,
             scan_bufs: Default::default(),
         });
-        let writer = LoomWriter::new(
+        let writer = ShardWriter::new(
             Arc::clone(&inner),
             record,
             chunk,
@@ -259,39 +495,48 @@ impl Loom {
             HashMap::new(),
             NIL_ADDR,
         );
-        Ok((Loom { inner }, writer))
+        Ok((inner, writer))
     }
 
-    /// Reopens an existing data directory: validates the superblock
-    /// against `config`, rebuilds the registry from the manifest, then
-    /// either takes the clean-shutdown fast path or runs a full recovery
-    /// scan with torn-tail truncation and cross-log reconciliation.
-    fn reopen(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
+    /// Reopens an existing shard directory: validates the superblock
+    /// against the shard config, merges the shard's manifest into the
+    /// shared registry, then either takes the clean-shutdown fast path or
+    /// runs a full recovery scan with torn-tail truncation and cross-log
+    /// reconciliation.
+    fn reopen_shard(
+        config: Config,
+        shared: &SharedParts,
+    ) -> Result<(Arc<Inner>, ShardWriter, Option<RecoveryReport>)> {
         Superblock::read_from(&config.dir)?.check_config(&config)?;
         let mut manifest = Manifest::open(&config.dir)?;
 
-        // Rebuild the schema registry from the manifest journal.
-        let mut registry = Registry::new();
-        for rec in manifest.records() {
-            match rec {
-                ManifestRecord::SourceDef { id, name } => {
-                    registry.restore_source(*id, name, false)?
+        // Merge this shard's schema journal into the shared registry.
+        // Restores carry explicit IDs and the registry tracks next-ID as
+        // a max, so concurrent restores from sibling shards interleave
+        // in any order with the same result.
+        {
+            let mut registry = shared.registry.write();
+            for rec in manifest.records() {
+                match rec {
+                    ManifestRecord::SourceDef { id, name } => {
+                        registry.restore_source(*id, name, false)?
+                    }
+                    ManifestRecord::SourceClosed { id } => registry.close_source(SourceId(*id))?,
+                    ManifestRecord::IndexDef {
+                        id,
+                        source,
+                        bounds,
+                        desc,
+                    } => registry.restore_index(
+                        *id,
+                        *source,
+                        *desc,
+                        ManifestRecord::spec_from_bounds(bounds)?,
+                        false,
+                    )?,
+                    ManifestRecord::IndexClosed { id } => registry.close_index(IndexId(*id))?,
+                    ManifestRecord::Reopened | ManifestRecord::CleanShutdown(_) => {}
                 }
-                ManifestRecord::SourceClosed { id } => registry.close_source(SourceId(*id))?,
-                ManifestRecord::IndexDef {
-                    id,
-                    source,
-                    bounds,
-                    desc,
-                } => registry.restore_index(
-                    *id,
-                    *source,
-                    *desc,
-                    ManifestRecord::spec_from_bounds(bounds)?,
-                    false,
-                )?,
-                ManifestRecord::IndexClosed { id } => registry.close_index(IndexId(*id))?,
-                ManifestRecord::Reopened | ManifestRecord::CleanShutdown(_) => {}
             }
         }
 
@@ -340,7 +585,9 @@ impl Loom {
         // below one already durable, or the reopened instance would write
         // records that appear to predate existing ones. The last surviving
         // timestamp-index entry is a floor (the clean-shutdown seal covers
-        // every record); dirty recovery raises it further below.
+        // every record); dirty recovery raises it further below. The
+        // shared clock resumes with `fetch_max`, so concurrent shard
+        // reopens settle on the highest floor.
         let mut ts_floor = recovered.last_ts;
         if recovered.ts_tail >= TS_ENTRY_SIZE as u64 {
             use std::os::unix::fs::FileExt;
@@ -351,13 +598,13 @@ impl Loom {
                 ts_floor = ts_floor.max(entry.ts);
             }
         }
-        clock.resume_at_least(ts_floor);
+        shared.clock.resume_at_least(ts_floor);
 
         // Invalidate the clean marker: if this process crashes from here
         // on, the next open must scan.
         manifest.append(ManifestRecord::Reopened)?;
 
-        let obs = Obs::new(config.slow_query_nanos, config.slow_query_log);
+        let obs = Obs::with_slow_log(config.slow_query_nanos, Arc::clone(&shared.slow));
         let health = Arc::new(HealthState::new());
         let opts = |block_size: usize| LogOptions {
             block_size,
@@ -382,44 +629,49 @@ impl Loom {
         )?;
 
         // Republish the recovered per-source read pointers and seed the
-        // writer-private source state.
+        // writer-private source state. Only sources homed in this shard
+        // appear in its logs, so sibling shards never contend on the same
+        // source entry.
         let mut writer_sources = HashMap::new();
-        for (id, s) in &recovered.sources {
-            let Ok(entry) = registry.source(SourceId(*id)) else {
-                // A source the manifest does not know (its definition was
-                // lost with an unflushed manifest tail): its records stay
-                // scannable but the source is no longer addressable.
-                continue;
-            };
-            entry.shared.last_record.store(s.prev, Ordering::Release);
-            entry.shared.records.store(s.count, Ordering::Release);
-            writer_sources.insert(
-                *id,
-                SourceWriterState {
-                    prev: s.prev,
-                    count: s.count,
-                    last_mark: s.last_mark,
-                    shared: Arc::clone(&entry.shared),
-                },
-            );
+        {
+            let registry = shared.registry.read();
+            for (id, s) in &recovered.sources {
+                let Ok(entry) = registry.source(SourceId(*id)) else {
+                    // A source the manifest does not know (its definition
+                    // was lost with an unflushed manifest tail): its
+                    // records stay scannable but the source is no longer
+                    // addressable.
+                    continue;
+                };
+                entry.shared.last_record.store(s.prev, Ordering::Release);
+                entry.shared.records.store(s.count, Ordering::Release);
+                writer_sources.insert(
+                    *id,
+                    SourceWriterState {
+                        prev: s.prev,
+                        count: s.count,
+                        last_mark: s.last_mark,
+                        shared: Arc::clone(&entry.shared),
+                    },
+                );
+            }
         }
 
         let inner = Arc::new(Inner {
             config,
-            clock,
-            registry: RwLock::new(registry),
-            registry_version: RegistryVersion::default(),
+            clock: shared.clock.clone(),
+            registry: Arc::clone(&shared.registry),
+            registry_version: Arc::clone(&shared.registry_version),
             record_log: Arc::clone(record.shared()),
             chunk_log: Arc::clone(chunk.shared()),
             ts_log: Arc::clone(ts.shared()),
-            stats: IngestStats::default(),
+            stats: Arc::clone(&shared.stats),
             obs,
             manifest: Mutex::new(manifest),
-            recovery: Mutex::new(None),
             health,
             scan_bufs: Default::default(),
         });
-        let mut writer = LoomWriter::new(
+        let mut writer = ShardWriter::new(
             Arc::clone(&inner),
             record,
             chunk,
@@ -438,19 +690,32 @@ impl Loom {
             report.duration_nanos,
             report.bytes_truncated(),
         );
-        *inner.recovery.lock() = Some(report);
-        Ok((Loom { inner }, writer))
+        Ok((inner, writer, Some(report)))
+    }
+
+    /// The shard that owns `source`'s data, resolved by the stable
+    /// routing hash.
+    pub(crate) fn shard(&self, source: u32) -> &Inner {
+        &self.inner.shards[shard_of(source, self.inner.shards.len())]
+    }
+
+    /// The manifest of the shard that owns `source`, for schema
+    /// journaling.
+    fn home_manifest(&self, source: u32) -> &Mutex<Manifest> {
+        &self.shard(source).manifest
     }
 
     /// Registers a new source (Figure 9: `define_source`).
+    ///
+    /// The source is assigned a *home shard* by a stable hash of its ID;
+    /// all its records, summaries, and timestamp marks live there.
     pub fn define_source(&self, name: &str) -> SourceId {
         let id = self.inner.registry.write().define_source(name);
         // Journaled best-effort: a failing manifest write surfaces on the
         // next fallible schema call or at close; the in-memory registry
         // stays usable either way.
         let _ = self
-            .inner
-            .manifest
+            .home_manifest(id.0)
             .lock()
             .append(ManifestRecord::SourceDef {
                 id: id.0,
@@ -464,8 +729,7 @@ impl Loom {
     /// queryable but new pushes are rejected.
     pub fn close_source(&self, id: SourceId) -> Result<()> {
         self.inner.registry.write().close_source(id)?;
-        self.inner
-            .manifest
+        self.home_manifest(id.0)
             .lock()
             .append(ManifestRecord::SourceClosed { id: id.0 })?;
         self.inner.registry_version.bump();
@@ -493,8 +757,9 @@ impl Loom {
             .registry
             .write()
             .define_index(source, extractor, spec)?;
-        self.inner
-            .manifest
+        // An index is journaled in its source's home shard: the shard
+        // whose chunks it summarizes.
+        self.home_manifest(source.0)
             .lock()
             .append(ManifestRecord::IndexDef {
                 id: id.0,
@@ -526,8 +791,7 @@ impl Loom {
             Some(desc),
             spec,
         )?;
-        self.inner
-            .manifest
+        self.home_manifest(source.0)
             .lock()
             .append(ManifestRecord::IndexDef {
                 id: id.0,
@@ -547,9 +811,13 @@ impl Loom {
     /// summary); call [`LoomWriter::seal_active_chunk`] first when those
     /// records must stay reachable through this index.
     pub fn close_index(&self, id: IndexId) -> Result<()> {
-        self.inner.registry.write().close_index(id)?;
-        self.inner
-            .manifest
+        let source = {
+            let mut registry = self.inner.registry.write();
+            let source = registry.index(id)?.source;
+            registry.close_index(id)?;
+            source
+        };
+        self.home_manifest(source.0)
             .lock()
             .append(ManifestRecord::IndexClosed { id: id.0 })?;
         self.inner.registry_version.bump();
@@ -558,6 +826,10 @@ impl Loom {
 
     /// The report from reopening an existing data directory, or `None`
     /// when this instance initialized a fresh one.
+    ///
+    /// On a multi-shard engine this is the merge of the per-shard
+    /// reports: clean only if every shard reopened clean, counters
+    /// summed, duration the slowest shard (they recover in parallel).
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
         self.inner.recovery.lock().clone()
     }
@@ -597,52 +869,204 @@ impl Loom {
         self.inner.clock.now()
     }
 
-    /// Cumulative ingest statistics.
+    /// Cumulative ingest statistics, aggregated over all shards.
     pub fn ingest_stats(&self) -> &IngestStats {
         &self.inner.stats
     }
 
-    /// The instance's current health state.
+    /// The number of shards this engine runs with (`1` = single-funnel).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The home shard of `source`: the shard ordinal its data routes to.
+    pub fn home_shard(&self, source: SourceId) -> usize {
+        shard_of(source.0, self.inner.shards.len())
+    }
+
+    /// The instance's current health state — the *worst* across shards.
     ///
     /// `Healthy` in normal operation; `Degraded` while a background
     /// flusher retries a transient I/O error; terminal `ReadOnly` once a
     /// flusher exhausted its retry budget (see
     /// [`Config::io_retry`](crate::Config)), after which
-    /// [`LoomWriter::push`] fails fast with [`LoomError::Degraded`] while
-    /// all flushed data stays queryable.
+    /// [`LoomWriter::push`] to that shard fails fast with
+    /// [`LoomError::Degraded`] while all flushed data stays queryable.
+    /// On a multi-shard engine a degraded shard only rejects its own
+    /// sources; use [`Loom::shard_health`] for the per-shard view.
     pub fn health(&self) -> EngineHealth {
-        self.inner.health.current()
+        let mut worst = EngineHealth::Healthy;
+        for shard in &self.inner.shards {
+            let h = shard.health.current();
+            if health_severity(&h) > health_severity(&worst) {
+                worst = h;
+            }
+        }
+        worst
+    }
+
+    /// Per-shard health, indexed by shard ordinal.
+    pub fn shard_health(&self) -> Vec<EngineHealth> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.health.current())
+            .collect()
     }
 
     /// A point-in-time copy of every engine self-observability metric:
     /// hybridlog, write-path, index, and query-layer counters plus flush
     /// and query latency histograms.
     ///
-    /// Counters are monotone, so two snapshots can be subtracted to get
-    /// rates. Without the `self-obs` cargo feature all values are zero.
+    /// On a multi-shard engine the scalar counters and histograms are
+    /// summed across shards (existing metric names keep their meaning)
+    /// and [`MetricsSnapshot::shards`] carries a per-shard headline
+    /// rollup. Counters are monotone, so two snapshots can be subtracted
+    /// to get rates. Without the `self-obs` cargo feature all values are
+    /// zero.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.inner.obs.snapshot()
+        if self.inner.shards.len() == 1 {
+            return self.inner.shards[0].obs.snapshot();
+        }
+        let mut merged = MetricsSnapshot::default();
+        let mut rollups = Vec::with_capacity(self.inner.shards.len());
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let snap = shard.obs.snapshot();
+            rollups.push(snap.rollup(i as u64));
+            merged.merge(&snap);
+        }
+        merged.shards = rollups;
+        merged
+    }
+
+    /// The full (unmerged) metrics snapshot of every shard, indexed by
+    /// shard ordinal. One element on a single-funnel engine.
+    pub fn shard_metrics(&self) -> Vec<MetricsSnapshot> {
+        self.inner.shards.iter().map(|s| s.obs.snapshot()).collect()
     }
 
     /// The retained slow-query traces, oldest first.
     ///
     /// Queries slower than [`Config::slow_query_nanos`] leave a
-    /// structured trace here; the ring keeps the most recent
-    /// [`Config::slow_query_log`] of them.
+    /// structured trace here; the ring is shared across shards and keeps
+    /// the most recent [`Config::slow_query_log`] of them in one global
+    /// arrival order.
+    ///
+    /// [`Config::slow_query_nanos`]: crate::Config::slow_query_nanos
+    /// [`Config::slow_query_log`]: crate::Config::slow_query_log
     pub fn recent_slow_queries(&self) -> Vec<SlowQueryTrace> {
-        self.inner.obs.recent_slow_queries()
+        self.inner.shards[0].obs.recent_slow_queries()
     }
 
-    /// Current memory footprint of the staging blocks, in bytes.
+    /// Current memory footprint of the staging blocks, in bytes: each
+    /// shard stages two blocks per log.
     pub fn memory_budget(&self) -> usize {
-        2 * (self.inner.config.block_size
-            + self.inner.config.index_block_size
-            + self.inner.config.ts_block_size)
+        self.inner.shards.len()
+            * 2
+            * (self.inner.config.block_size
+                + self.inner.config.index_block_size
+                + self.inner.config.ts_block_size)
     }
 }
 
 impl LoomWriter {
-    /// Assembles a writer around freshly opened hybrid-log writers.
+    /// Writes one record from `source` into Loom (Figure 9: `push`).
+    ///
+    /// The record is appended to the source's home shard and the record's
+    /// log address within that shard is returned. The record is
+    /// immediately visible to queries (the watermark is published per
+    /// push; see also [`LoomWriter::sync`]).
+    ///
+    /// When the home shard is in degraded read-only mode (a background
+    /// flusher exhausted its I/O retry budget), `push` fails fast with
+    /// [`LoomError::Degraded`]; flushed data stays queryable and sources
+    /// homed in other shards keep ingesting. Under the
+    /// [`OverloadPolicy::DropNewest`] backpressure policy a record that
+    /// would stall on the flusher is dropped and
+    /// [`NIL_ADDR`] returned instead of an
+    /// address; drops are counted in the `ingest_drops` metric.
+    pub fn push(&mut self, source: SourceId, payload: &[u8]) -> Result<u64> {
+        let shard = shard_of(source.0, self.shards.len());
+        self.shards[shard].push(source, payload)
+    }
+
+    /// Runs `f` over every shard, attempting all shards even after a
+    /// failure; the first error wins.
+    fn each_shard(&mut self, mut f: impl FnMut(&mut ShardWriter) -> Result<()>) -> Result<()> {
+        let mut first_err = None;
+        for shard in &mut self.shards {
+            if let Err(e) = f(shard) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Forces queryability of all pushed records (Figure 9: `sync`).
+    ///
+    /// `push` already publishes each record, so `sync` additionally forces
+    /// every shard's staged tail to persistent storage, bounding loss on
+    /// crash. A per-shard failure does not stop the barrier: all shards
+    /// are synced and the first error is returned.
+    pub fn sync(&mut self) -> Result<()> {
+        self.each_shard(ShardWriter::sync)
+    }
+
+    /// [`LoomWriter::sync`] plus an fdatasync of each log that changed,
+    /// so the synced prefix survives an OS crash or power loss, not just
+    /// a process crash. Markedly more expensive than `sync` — it waits on
+    /// real disk writeback — so it is meant for checkpoints and shutdown,
+    /// not the per-batch path. [`LoomWriter::close`] syncs durably before
+    /// writing the clean-shutdown markers.
+    pub fn sync_durable(&mut self) -> Result<()> {
+        self.each_shard(ShardWriter::sync_durable)
+    }
+
+    /// Pads and seals the active chunk of every shard even if it is not
+    /// full.
+    ///
+    /// Useful before shutdown or when a workload phase ends: it moves
+    /// each shard's active-chunk summary into its chunk index so
+    /// subsequent queries can use it.
+    pub fn seal_active_chunk(&mut self) -> Result<()> {
+        self.each_shard(ShardWriter::seal_active_chunk)
+    }
+
+    /// Gracefully shuts the writer down: seals each shard's active chunk,
+    /// flushes all logs, and writes a clean-shutdown marker into each
+    /// shard's manifest so the next [`Loom::open`] takes the scan-free
+    /// fast path. All shards are closed even if one fails; the first
+    /// error is returned.
+    ///
+    /// Dropping the writer does the same on a best-effort basis; `close`
+    /// surfaces the errors.
+    pub fn close(mut self) -> Result<()> {
+        self.each_shard(ShardWriter::close_inner)
+    }
+
+    /// Abandons the writer the way a crash would: nothing is sealed or
+    /// flushed, and no clean-shutdown marker is written, so only bytes the
+    /// flushers already wrote survive. The next open runs recovery on
+    /// every shard. Test-support API for exercising the recovery path.
+    pub fn simulate_crash(mut self) {
+        for shard in &mut self.shards {
+            shard.simulate_crash_in_place();
+        }
+    }
+
+    /// The shared handle, for convenience.
+    pub fn handle(&self) -> Loom {
+        Loom {
+            inner: Arc::clone(&self.engine),
+        }
+    }
+}
+
+impl ShardWriter {
+    /// Assembles a shard writer around freshly opened hybrid-log writers.
     fn new(
         inner: Arc<Inner>,
         record: hybridlog::Writer,
@@ -650,8 +1074,8 @@ impl LoomWriter {
         ts: hybridlog::Writer,
         sources: HashMap<u32, SourceWriterState>,
         last_seal: u64,
-    ) -> LoomWriter {
-        LoomWriter {
+    ) -> ShardWriter {
+        ShardWriter {
             inner,
             record,
             chunk,
@@ -777,20 +1201,8 @@ impl LoomWriter {
         Ok((rebuilt, appended))
     }
 
-    /// Writes one record from `source` into Loom (Figure 9: `push`).
-    ///
-    /// Returns the record's log address. The record is immediately visible
-    /// to queries (the watermark is published per push; see also
-    /// [`LoomWriter::sync`]).
-    ///
-    /// When the engine is in degraded read-only mode (a background
-    /// flusher exhausted its I/O retry budget), `push` fails fast with
-    /// [`LoomError::Degraded`]; flushed data stays queryable. Under the
-    /// [`OverloadPolicy::DropNewest`] backpressure policy a record that
-    /// would stall on the flusher is dropped and
-    /// [`NIL_ADDR`] returned instead of an
-    /// address; drops are counted in the `ingest_drops` metric.
-    pub fn push(&mut self, source: SourceId, payload: &[u8]) -> Result<u64> {
+    /// Writes one record from `source` into this shard.
+    fn push(&mut self, source: SourceId, payload: &[u8]) -> Result<u64> {
         if self.inner.health.is_read_only() {
             return Err(self.inner.degraded_error());
         }
@@ -938,11 +1350,8 @@ impl LoomWriter {
         Ok(addr)
     }
 
-    /// Forces queryability of all pushed records (Figure 9: `sync`).
-    ///
-    /// `push` already publishes each record, so `sync` additionally forces
-    /// the staged tail to persistent storage, bounding loss on crash.
-    pub fn sync(&mut self) -> Result<()> {
+    /// Publishes and flushes this shard's three logs.
+    fn sync(&mut self) -> Result<()> {
         self.record.publish();
         self.chunk.publish();
         self.ts.publish();
@@ -952,13 +1361,8 @@ impl LoomWriter {
         Ok(())
     }
 
-    /// [`LoomWriter::sync`] plus an fdatasync of each log that changed,
-    /// so the synced prefix survives an OS crash or power loss, not just
-    /// a process crash. Markedly more expensive than `sync` — it waits on
-    /// real disk writeback — so it is meant for checkpoints and shutdown,
-    /// not the per-batch path. [`LoomWriter::close`] syncs durably before
-    /// writing the clean-shutdown marker.
-    pub fn sync_durable(&mut self) -> Result<()> {
+    /// [`ShardWriter::sync`] with fdatasync.
+    fn sync_durable(&mut self) -> Result<()> {
         self.record.publish();
         self.chunk.publish();
         self.ts.publish();
@@ -968,12 +1372,8 @@ impl LoomWriter {
         Ok(())
     }
 
-    /// Pads and seals the active chunk even if it is not full.
-    ///
-    /// Useful before shutdown or when a workload phase ends: it moves the
-    /// active chunk's summary into the chunk index so subsequent queries
-    /// can use it.
-    pub fn seal_active_chunk(&mut self) -> Result<()> {
+    /// Pads and seals this shard's active chunk even if it is not full.
+    fn seal_active_chunk(&mut self) -> Result<()> {
         if self.active.is_empty() {
             return Ok(());
         }
@@ -1072,16 +1472,6 @@ impl LoomWriter {
         Ok(())
     }
 
-    /// Gracefully shuts the writer down: seals the active chunk, flushes
-    /// all three logs, and writes a clean-shutdown marker into the
-    /// manifest so the next [`Loom::open`] takes the scan-free fast path.
-    ///
-    /// Dropping the writer does the same on a best-effort basis; `close`
-    /// surfaces the errors.
-    pub fn close(mut self) -> Result<()> {
-        self.close_inner()
-    }
-
     fn close_inner(&mut self) -> Result<()> {
         if self.closed {
             return Ok(());
@@ -1125,26 +1515,22 @@ impl LoomWriter {
         Ok(())
     }
 
-    /// Abandons the writer the way a crash would: nothing is sealed or
-    /// flushed, and no clean-shutdown marker is written, so only bytes the
-    /// flusher already wrote survive. The next open runs recovery.
-    /// Test-support API for exercising the recovery path.
-    pub fn simulate_crash(mut self) {
+    /// Marks the shard crashed: logs stop flushing and the clean
+    /// shutdown on drop is suppressed.
+    fn simulate_crash_in_place(&mut self) {
         self.crashed = true;
         self.record.mark_crashed();
         self.chunk.mark_crashed();
         self.ts.mark_crashed();
     }
 
-    /// The shared handle, for convenience.
-    pub fn handle(&self) -> Loom {
-        Loom {
-            inner: Arc::clone(&self.inner),
-        }
-    }
-
     /// Refreshes the schema cache when the registry version changed,
     /// carrying over in-progress bin accumulations for surviving indexes.
+    ///
+    /// The cache deliberately covers *every* source in the registry, not
+    /// just those homed here: routing guarantees foreign sources are
+    /// never pushed to this shard, and a full copy keeps cache rebuilds
+    /// independent of the routing function.
     fn refresh_cache_if_stale(&mut self) {
         let version = self.inner.registry_version.get();
         if version == self.cache.version {
@@ -1187,13 +1573,43 @@ impl LoomWriter {
     }
 }
 
-impl Drop for LoomWriter {
+impl Drop for ShardWriter {
     fn drop(&mut self) {
         // A graceful drop is a clean shutdown: seal, flush, and write the
         // marker; ignore errors since drop cannot fail. A simulated crash
         // skips all of it.
         if !self.crashed {
             let _ = self.close_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            let mut hit = vec![false; shards];
+            for source in 0..1024u32 {
+                let a = shard_of(source, shards);
+                let b = shard_of(source, shards);
+                assert_eq!(a, b, "routing must be deterministic");
+                assert!(a < shards, "routing must stay in range");
+                hit[a] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "1024 sources should touch all {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for source in [0u32, 1, 42, u32::MAX] {
+            assert_eq!(shard_of(source, 1), 0);
         }
     }
 }

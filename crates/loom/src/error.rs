@@ -92,6 +92,17 @@ pub enum LoomError {
     },
     /// An invalid query parameter (e.g., a percentile outside `[0, 100]`).
     InvalidQuery(String),
+    /// The configured shard count does not match the one the data
+    /// directory was created with. Shard routing is a pure function of
+    /// `hash(source) % shards`, so opening a directory with a different
+    /// shard count would route every source to the wrong shard's logs;
+    /// reopen refuses instead.
+    ShardMismatch {
+        /// Shard count recorded in the directory's root superblock.
+        on_disk: u64,
+        /// Shard count the caller's [`Config`](crate::Config) requested.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for LoomError {
@@ -140,6 +151,11 @@ impl fmt::Display for LoomError {
                 write!(f, "corrupt entry in {log} at address {addr}: {reason}")
             }
             LoomError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            LoomError::ShardMismatch { on_disk, requested } => write!(
+                f,
+                "config requests {requested} shard(s) but the data directory was created \
+                 with {on_disk}; shard routing would misplace every source"
+            ),
         }
     }
 }

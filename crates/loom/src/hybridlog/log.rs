@@ -57,6 +57,9 @@ pub struct LogShared {
     file: File,
     /// Path of the backing file (for diagnostics and cleanup).
     path: PathBuf,
+    /// Precomputed diagnostic tag: file name, shard-qualified when the
+    /// log lives inside a `shard-N/` directory (see [`Self::file_tag`]).
+    tag: String,
     /// The two ping-pong staging blocks.
     blocks: [Block; 2],
     /// Capacity of each block in bytes.
@@ -198,12 +201,13 @@ impl LogShared {
         &self.path
     }
 
-    /// File name of the backing file (failpoint tag / health reasons).
+    /// Identifies this log in failpoint tags and health reasons: the
+    /// file name, prefixed with the parent directory when that parent is
+    /// a shard directory (`shard-N/records.log`), so chaos schedules can
+    /// target one shard's flusher with
+    /// [`FaultSpec::for_tag`](crate::fault::FaultSpec::for_tag).
     fn file_tag(&self) -> &str {
-        self.path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("log")
+        &self.tag
     }
 
     /// The error the writer reports when the flusher has failed: the
@@ -480,6 +484,23 @@ impl Drop for Writer {
     }
 }
 
+/// Builds the diagnostic tag for a log at `path`: the bare file name in
+/// the flat layout, `shard-N/<file>` inside a shard directory (keeping
+/// flat-layout health messages byte-identical to the pre-sharding ones
+/// while making each shard's logs individually addressable by
+/// substring-matched failpoint tags).
+fn log_tag(path: &Path) -> String {
+    let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("log");
+    match path
+        .parent()
+        .and_then(|p| p.file_name())
+        .and_then(|n| n.to_str())
+    {
+        Some(parent) if parent.starts_with("shard-") => format!("{parent}/{file}"),
+        _ => file.to_string(),
+    }
+}
+
 /// Opens (creating or truncating) a hybrid log at `path`.
 ///
 /// Returns the single-writer handle; readers obtain the shared state via
@@ -526,6 +547,7 @@ pub fn create_with(path: &Path, opts: LogOptions) -> Result<Writer> {
     let shared = Arc::new(LogShared {
         file,
         path: path.to_path_buf(),
+        tag: log_tag(path),
         blocks: [Block::new(block_size), Block::new(block_size)],
         block_size,
         watermark: AtomicU64::new(0),
@@ -599,6 +621,7 @@ pub fn open_existing_with(path: &Path, opts: LogOptions, tail: u64) -> Result<Wr
     let shared = Arc::new(LogShared {
         file,
         path: path.to_path_buf(),
+        tag: log_tag(path),
         blocks: [Block::new(block_size), Block::new(block_size)],
         block_size,
         watermark: AtomicU64::new(tail),

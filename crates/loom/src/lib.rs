@@ -89,14 +89,14 @@ pub mod sync;
 pub mod ts_index;
 
 pub use clock::Clock;
-pub use config::{Config, IoRetryPolicy, OverloadPolicy};
+pub use config::{Config, ConfigBuilder, IoRetryPolicy, OverloadPolicy};
 pub use durability::{CleanShutdown, LogId, RecoveryReport, TailTruncation};
 pub use engine::{Loom, LoomWriter};
 pub use error::{LoomError, Result};
 pub use extract::ExtractorDesc;
 pub use health::EngineHealth;
 pub use histogram::HistogramSpec;
-pub use obs::{MetricsSnapshot, QueryKind, SlowQueryTrace};
+pub use obs::{MetricsSnapshot, QueryKind, ShardRollup, SlowQueryTrace};
 pub use query::{Aggregate, AggregateResult, Query, QueryOptions, Record, TimeRange, ValueRange};
 pub use registry::{IndexId, SourceId, ValueFn};
 pub use stats::{IngestStats, QueryStats};

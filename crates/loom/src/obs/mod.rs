@@ -39,7 +39,7 @@ pub use counters::{Counter, Gauge};
 pub use latency::{HistogramCounts, LatencyHistogram};
 pub use slow_query::{QueryKind, SlowQueryLog, SlowQueryTrace};
 pub use snapshot::{
-    CoordinatorMetrics, HybridLogMetrics, IndexMetrics, MetricsSnapshot, QueryMetrics,
+    CoordinatorMetrics, HybridLogMetrics, IndexMetrics, MetricsSnapshot, QueryMetrics, ShardRollup,
 };
 
 use std::sync::Arc;
@@ -412,7 +412,9 @@ pub struct Obs {
     pub(crate) index: IndexObs,
     /// Query metrics.
     pub(crate) query: QueryObs,
-    slow: SlowQueryLog,
+    /// Slow-query ring; `Arc`-shared across every shard of an engine so
+    /// traces interleave in one global arrival order.
+    slow: Arc<SlowQueryLog>,
     #[cfg_attr(not(feature = "self-obs"), allow(dead_code))]
     slow_threshold_nanos: u64,
 }
@@ -420,13 +422,27 @@ pub struct Obs {
 impl Obs {
     /// Creates a registry; queries slower than `slow_threshold_nanos`
     /// are traced into a ring of `slow_capacity` entries.
+    ///
+    /// The engine always shares one slow-query ring across shards via
+    /// [`Obs::with_slow_log`]; this stand-alone constructor remains for
+    /// unit tests of the observability layer itself.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(slow_threshold_nanos: u64, slow_capacity: usize) -> Self {
+        Self::with_slow_log(
+            slow_threshold_nanos,
+            Arc::new(SlowQueryLog::new(slow_capacity)),
+        )
+    }
+
+    /// [`Obs::new`] with an externally owned slow-query ring, so the
+    /// per-shard registries of a sharded engine share one trace log.
+    pub(crate) fn with_slow_log(slow_threshold_nanos: u64, slow: Arc<SlowQueryLog>) -> Self {
         Obs {
             log: Arc::new(LogObs::default()),
             engine: EngineObs::default(),
             index: IndexObs::default(),
             query: QueryObs::default(),
-            slow: SlowQueryLog::new(slow_capacity),
+            slow,
             slow_threshold_nanos: slow_threshold_nanos.max(1),
         }
     }
@@ -476,6 +492,7 @@ impl Obs {
             coordinator: self.engine.snapshot(),
             index: self.index.snapshot(),
             query: self.query.snapshot(),
+            shards: Vec::new(),
         }
     }
 
@@ -506,6 +523,7 @@ mod tests {
                 columnar_batches: 2,
                 columnar_rows: 200,
                 workers_used: 2,
+                shards_fanned_out: 1,
             },
             phases: QueryPhases::default(),
             total_nanos,

@@ -107,6 +107,29 @@ pub struct QueryMetrics {
     pub batch_selectivity: HistogramCounts,
 }
 
+/// Per-shard headline counters, attached to an aggregated
+/// [`MetricsSnapshot`] when the engine runs with more than one shard.
+///
+/// The rollup is intentionally a small selection — the full per-shard
+/// snapshot is available via
+/// [`Loom::shard_metrics`](crate::Loom::shard_metrics); these are the
+/// values an operator scans first when one tenant misbehaves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardRollup {
+    /// Shard ordinal (the value of `hash(source) % shards`).
+    pub shard: u64,
+    /// Flushes completed by this shard's flushers.
+    pub flushes: u64,
+    /// Bytes this shard's flushers wrote to storage.
+    pub flushed_bytes: u64,
+    /// Record-log chunks this shard sealed.
+    pub chunks_sealed: u64,
+    /// Queries executed against this shard.
+    pub queries: u64,
+    /// Health-state departures from `Healthy` on this shard.
+    pub degraded_transitions: u64,
+}
+
 /// A consistent-enough point-in-time copy of every engine metric.
 ///
 /// "Consistent enough": each value is read atomically, but the snapshot
@@ -123,9 +146,77 @@ pub struct MetricsSnapshot {
     pub index: IndexMetrics,
     /// Query-layer metrics.
     pub query: QueryMetrics,
+    /// Per-shard headline rollups; empty on a single-shard engine, one
+    /// entry per shard otherwise. The layer metrics above are always the
+    /// across-shards aggregate, so every pre-existing metric name keeps
+    /// its meaning.
+    pub shards: Vec<ShardRollup>,
 }
 
 impl MetricsSnapshot {
+    /// Folds another snapshot into this one: scalar counters are summed
+    /// and histogram buckets merged element-wise. This is how a sharded
+    /// engine presents one aggregate registry — the per-shard snapshots
+    /// are merged, so existing metric names report whole-engine totals.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let h = &mut self.hybridlog;
+        let oh = &other.hybridlog;
+        h.block_seals += oh.block_seals;
+        h.backpressure_waits += oh.backpressure_waits;
+        h.flushes_enqueued += oh.flushes_enqueued;
+        h.flushes += oh.flushes;
+        h.flush_nanos += oh.flush_nanos;
+        h.flushed_bytes += oh.flushed_bytes;
+        h.flush_queue_depth += oh.flush_queue_depth;
+        h.seqlock_retries += oh.seqlock_retries;
+        h.io_retries += oh.io_retries;
+        h.io_giveups += oh.io_giveups;
+        h.degraded_transitions += oh.degraded_transitions;
+        merge_histogram(&mut h.flush_latency, &oh.flush_latency);
+
+        let c = &mut self.coordinator;
+        let oc = &other.coordinator;
+        c.chunks_sealed += oc.chunks_sealed;
+        c.summary_build_nanos += oc.summary_build_nanos;
+        c.summary_bytes += oc.summary_bytes;
+        c.clean_reopens += oc.clean_reopens;
+        c.dirty_recoveries += oc.dirty_recoveries;
+        c.recovery_nanos += oc.recovery_nanos;
+        c.recovery_truncated_bytes += oc.recovery_truncated_bytes;
+        c.ingest_drops += oc.ingest_drops;
+
+        let i = &mut self.index;
+        let oi = &other.index;
+        i.ts_seeks += oi.ts_seeks;
+        i.summary_probes += oi.summary_probes;
+        i.chunk_hits += oi.chunk_hits;
+        i.false_positive_chunks += oi.false_positive_chunks;
+
+        let q = &mut self.query;
+        let oq = &other.query;
+        q.queries += oq.queries;
+        q.query_nanos += oq.query_nanos;
+        q.parallel_queries += oq.parallel_queries;
+        q.pool_tasks += oq.pool_tasks;
+        q.slow_queries += oq.slow_queries;
+        q.columnar_batches += oq.columnar_batches;
+        q.columnar_rows += oq.columnar_rows;
+        merge_histogram(&mut q.query_latency, &oq.query_latency);
+        merge_histogram(&mut q.batch_rows, &oq.batch_rows);
+        merge_histogram(&mut q.batch_selectivity, &oq.batch_selectivity);
+    }
+
+    /// The rollup row a per-shard snapshot contributes to the aggregate.
+    pub fn rollup(&self, shard: u64) -> ShardRollup {
+        ShardRollup {
+            shard,
+            flushes: self.hybridlog.flushes,
+            flushed_bytes: self.hybridlog.flushed_bytes,
+            chunks_sealed: self.coordinator.chunks_sealed,
+            queries: self.query.queries,
+            degraded_transitions: self.hybridlog.degraded_transitions,
+        }
+    }
     /// Every scalar metric as a `(name, value)` pair, in a stable order.
     ///
     /// Names follow the `loom_<layer>_<metric>` convention used by the
@@ -245,7 +336,46 @@ impl MetricsSnapshot {
             "loom_query_batch_selectivity_pct",
             &self.query.batch_selectivity,
         );
+        // Per-shard rollups use a `shard` label so aggregators can group
+        // by shard without any of the unlabeled totals above changing.
+        for r in &self.shards {
+            let shard = r.shard;
+            for (name, value) in [
+                ("loom_shard_flushes_total", r.flushes),
+                ("loom_shard_flushed_bytes_total", r.flushed_bytes),
+                ("loom_shard_chunks_sealed_total", r.chunks_sealed),
+                ("loom_shard_queries_total", r.queries),
+                (
+                    "loom_shard_degraded_transitions_total",
+                    r.degraded_transitions,
+                ),
+            ] {
+                out.push_str(&format!("{name}{{shard=\"{shard}\"}} {value}\n"));
+            }
+        }
         out
+    }
+}
+
+/// Merges histogram buckets element-wise. A side with no samples adopts
+/// the other's bounds; mismatched bounds (impossible for snapshots taken
+/// from one engine, where every shard uses the same spec) fall back to
+/// keeping the left side's shape and folding the other's total into its
+/// overflow bucket rather than mixing incomparable boundaries.
+fn merge_histogram(into: &mut HistogramCounts, other: &HistogramCounts) {
+    if other.counts.iter().all(|&c| c == 0) {
+        return;
+    }
+    if into.counts.iter().all(|&c| c == 0) {
+        *into = other.clone();
+        return;
+    }
+    if into.bounds == other.bounds && into.counts.len() == other.counts.len() {
+        for (a, b) in into.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    } else if let Some(last) = into.counts.last_mut() {
+        *last += other.total();
     }
 }
 
@@ -310,5 +440,57 @@ mod tests {
         assert!(text.contains("loom_query_latency_bucket{le=\"4000\"} 3\n"));
         assert!(text.contains("loom_query_latency_bucket{le=\"+Inf\"} 10\n"));
         assert!(text.contains("loom_query_latency_count 10\n"));
+    }
+
+    #[test]
+    fn merge_sums_scalars_and_histogram_buckets() {
+        let mut a = MetricsSnapshot::default();
+        a.query.queries = 3;
+        a.hybridlog.flushes = 2;
+        a.query.query_latency = HistogramCounts {
+            bounds: vec![1_000.0, 4_000.0],
+            counts: vec![1, 2, 3, 4],
+        };
+        let mut b = MetricsSnapshot::default();
+        b.query.queries = 5;
+        b.hybridlog.flushes = 7;
+        b.index.chunk_hits = 1;
+        b.query.query_latency = HistogramCounts {
+            bounds: vec![1_000.0, 4_000.0],
+            counts: vec![10, 0, 0, 1],
+        };
+        a.merge(&b);
+        assert_eq!(a.query.queries, 8);
+        assert_eq!(a.hybridlog.flushes, 9);
+        assert_eq!(a.index.chunk_hits, 1);
+        assert_eq!(a.query.query_latency.counts, vec![11, 2, 3, 5]);
+        // Merging into an empty snapshot adopts the source histogram.
+        let mut empty = MetricsSnapshot::default();
+        empty.merge(&b);
+        assert_eq!(empty.query.query_latency.counts, vec![10, 0, 0, 1]);
+    }
+
+    #[test]
+    fn shard_rollups_render_with_shard_label() {
+        let snap = MetricsSnapshot {
+            shards: vec![
+                ShardRollup {
+                    shard: 0,
+                    flushes: 4,
+                    ..ShardRollup::default()
+                },
+                ShardRollup {
+                    shard: 1,
+                    queries: 9,
+                    ..ShardRollup::default()
+                },
+            ],
+            ..MetricsSnapshot::default()
+        };
+        let text = snap.to_text();
+        assert!(text.contains("loom_shard_flushes_total{shard=\"0\"} 4\n"));
+        assert!(text.contains("loom_shard_queries_total{shard=\"1\"} 9\n"));
+        // Unlabeled totals are untouched by the rollup lines.
+        assert!(text.contains("loom_query_queries_total 0\n"));
     }
 }

@@ -124,8 +124,9 @@ impl<'a> Query<'a> {
             Some(index) => {
                 let values = self.values.unwrap_or_else(ValueRange::all);
                 let meta = self.loom.index_meta(self.source, index)?;
-                let view = QueryView::capture_from(&self.loom.inner, &meta.source_shared)?;
-                let stats = indexed_scan::run(
+                let view =
+                    QueryView::capture_from(self.loom.shard(self.source.0), &meta.source_shared)?;
+                let mut stats = indexed_scan::run(
                     &view,
                     &meta,
                     self.range,
@@ -134,6 +135,7 @@ impl<'a> Query<'a> {
                     &mut phases,
                     &mut f,
                 )?;
+                stats.shards_fanned_out = 1;
                 self.observe(QueryKind::IndexedScan, Some(index), &stats, phases, &timer);
                 Ok(stats)
             }
@@ -143,8 +145,9 @@ impl<'a> Query<'a> {
                         "value_range requires an index; add .index(...) to the query".into(),
                     ));
                 }
-                let view = QueryView::capture(&self.loom.inner, self.source)?;
-                let stats = raw_scan::run(&view, self.source, self.range, f)?;
+                let view = QueryView::capture(self.loom.shard(self.source.0), self.source)?;
+                let mut stats = raw_scan::run(&view, self.source, self.range, f)?;
+                stats.shards_fanned_out = 1;
                 self.observe(QueryKind::RawScan, None, &stats, phases, &timer);
                 Ok(stats)
             }
@@ -161,8 +164,9 @@ impl<'a> Query<'a> {
         let index = self.require_index("aggregate")?;
         self.reject_value_range("aggregate")?;
         let meta = self.loom.index_meta(self.source, index)?;
-        let view = QueryView::capture_from(&self.loom.inner, &meta.source_shared)?;
-        let result = aggregate::run(&view, &meta, self.range, method, self.opts, &mut phases)?;
+        let view = QueryView::capture_from(self.loom.shard(self.source.0), &meta.source_shared)?;
+        let mut result = aggregate::run(&view, &meta, self.range, method, self.opts, &mut phases)?;
+        result.stats.shards_fanned_out = 1;
         self.observe(
             QueryKind::Aggregate,
             Some(index),
@@ -185,9 +189,10 @@ impl<'a> Query<'a> {
         let index = self.require_index("bin_counts")?;
         self.reject_value_range("bin_counts")?;
         let meta = self.loom.index_meta(self.source, index)?;
-        let view = QueryView::capture_from(&self.loom.inner, &meta.source_shared)?;
-        let (counts, stats) =
+        let view = QueryView::capture_from(self.loom.shard(self.source.0), &meta.source_shared)?;
+        let (counts, mut stats) =
             aggregate::bin_counts(&view, &meta, self.range, self.opts, &mut phases)?;
+        stats.shards_fanned_out = 1;
         self.observe(QueryKind::BinCounts, Some(index), &stats, phases, &timer);
         Ok((counts, stats))
     }
@@ -217,15 +222,21 @@ impl<'a> Query<'a> {
         phases: QueryPhases,
         timer: &Stopwatch,
     ) {
-        self.loom.inner.obs.observe_query(QueryObservation {
-            kind,
-            source: self.source.0,
-            index: index.map(|i| i.0),
-            used_ts_index: self.opts.use_ts_index && index.is_some(),
-            used_chunk_index: self.opts.use_chunk_index && index.is_some(),
-            stats: *stats,
-            phases,
-            total_nanos: timer.elapsed_nanos(),
-        });
+        // Observed into the home shard's registry: a single-source query
+        // runs entirely on one shard, so its metrics land there (the
+        // slow-query ring behind it is engine-global).
+        self.loom
+            .shard(self.source.0)
+            .obs
+            .observe_query(QueryObservation {
+                kind,
+                source: self.source.0,
+                index: index.map(|i| i.0),
+                used_ts_index: self.opts.use_ts_index && index.is_some(),
+                used_chunk_index: self.opts.use_chunk_index && index.is_some(),
+                stats: *stats,
+                phases,
+                total_nanos: timer.elapsed_nanos(),
+            });
     }
 }

@@ -225,136 +225,6 @@ impl Loom {
         self.query(source).range(range).scan(f)
     }
 
-    /// Scans records of `source` whose indexed value (per index `index`)
-    /// lies in `values` and whose arrival time lies in `range`
-    /// (Figure 9: `indexed_scan`). Records are delivered in log order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `loom.query(source).index(index).range(range).value_range(values).scan(f)`"
-    )]
-    pub fn indexed_scan<F>(
-        &self,
-        source: SourceId,
-        index: IndexId,
-        range: TimeRange,
-        values: ValueRange,
-        f: F,
-    ) -> Result<QueryStats>
-    where
-        F: FnMut(Record<'_>),
-    {
-        self.query(source)
-            .index(index)
-            .range(range)
-            .value_range(values)
-            .scan(f)
-    }
-
-    /// [`Loom::indexed_scan`] with explicit index-ablation options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `loom.query(source).index(index).range(range).value_range(values).options(opts).scan(f)`"
-    )]
-    pub fn indexed_scan_opt<F>(
-        &self,
-        source: SourceId,
-        index: IndexId,
-        range: TimeRange,
-        values: ValueRange,
-        opts: QueryOptions,
-        f: F,
-    ) -> Result<QueryStats>
-    where
-        F: FnMut(Record<'_>),
-    {
-        self.query(source)
-            .index(index)
-            .range(range)
-            .value_range(values)
-            .options(opts)
-            .scan(f)
-    }
-
-    /// Aggregates the indexed values of `source` over `range`
-    /// (Figure 9: `indexed_aggregate`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `loom.query(source).index(index).range(range).aggregate(method)`"
-    )]
-    pub fn indexed_aggregate(
-        &self,
-        source: SourceId,
-        index: IndexId,
-        range: TimeRange,
-        method: Aggregate,
-    ) -> Result<AggregateResult> {
-        self.query(source)
-            .index(index)
-            .range(range)
-            .aggregate(method)
-    }
-
-    /// [`Loom::indexed_aggregate`] with explicit execution options
-    /// (only [`QueryOptions::parallelism`] affects aggregates).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `loom.query(source).index(index).range(range).options(opts).aggregate(method)`"
-    )]
-    pub fn indexed_aggregate_opt(
-        &self,
-        source: SourceId,
-        index: IndexId,
-        range: TimeRange,
-        method: Aggregate,
-        opts: QueryOptions,
-    ) -> Result<AggregateResult> {
-        self.query(source)
-            .index(index)
-            .range(range)
-            .options(opts)
-            .aggregate(method)
-    }
-
-    /// Returns the per-bin record counts of `index` over `range` — the
-    /// histogram-as-CDF of §4.3 — along with the bin boundaries' count.
-    ///
-    /// This is the composition primitive behind holistic aggregates: a
-    /// distributed coordinator (§8) merges per-node bin counts, picks
-    /// the global target bin, and then range-scans only that bin's value
-    /// range on each node. See [`coordinator`](crate::coordinator).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `loom.query(source).index(index).range(range).bin_counts()`"
-    )]
-    pub fn bin_counts(
-        &self,
-        source: SourceId,
-        index: IndexId,
-        range: TimeRange,
-    ) -> Result<(Vec<u64>, QueryStats)> {
-        self.query(source).index(index).range(range).bin_counts()
-    }
-
-    /// [`Loom::bin_counts`] with explicit execution options
-    /// (only [`QueryOptions::parallelism`] affects bin counting).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `loom.query(source).index(index).range(range).options(opts).bin_counts()`"
-    )]
-    pub fn bin_counts_opt(
-        &self,
-        source: SourceId,
-        index: IndexId,
-        range: TimeRange,
-        opts: QueryOptions,
-    ) -> Result<(Vec<u64>, QueryStats)> {
-        self.query(source)
-            .index(index)
-            .range(range)
-            .options(opts)
-            .bin_counts()
-    }
-
     /// Returns the histogram specification of an index (validating that
     /// it covers `source`).
     pub fn index_spec(

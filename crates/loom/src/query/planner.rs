@@ -177,7 +177,7 @@ mod tests {
     fn empty_log_plans_cover_only_the_region() {
         let (l, _w, dir) = env("empty");
         let s = l.define_source("s");
-        let view = QueryView::capture(&l.inner, s).unwrap();
+        let view = QueryView::capture(l.shard(s.0), s).unwrap();
         let plan = plan(&view, TimeRange::new(0, u64::MAX)).unwrap();
         assert_eq!(plan.start, None);
         assert_eq!(plan.stop, None);
@@ -206,7 +206,7 @@ mod tests {
             l.clock().advance(10);
             w.push(s, &(i % 100).to_le_bytes()).unwrap();
         }
-        let view = QueryView::capture(&l.inner, s).unwrap();
+        let view = QueryView::capture(l.shard(s.0), s).unwrap();
         // A range that ends before the last seal: the region is irrelevant.
         let plan_hist = plan(&view, TimeRange::new(0, mid / 2)).unwrap();
         assert!(
@@ -239,7 +239,7 @@ mod tests {
         }
         w.seal_active_chunk().unwrap();
         let sealed = l.ingest_stats().chunks_sealed();
-        let view = QueryView::capture(&l.inner, s).unwrap();
+        let view = QueryView::capture(l.shard(s.0), s).unwrap();
         let plan = plan_full(&view).unwrap();
         let mut seen = 0u64;
         for_each_relevant_summary(
@@ -263,7 +263,7 @@ mod tests {
             w.push(s, &i.to_le_bytes()).unwrap();
         }
         w.seal_active_chunk().unwrap();
-        let view = QueryView::capture(&l.inner, s).unwrap();
+        let view = QueryView::capture(l.shard(s.0), s).unwrap();
         let p = plan(&view, TimeRange::new(0, l.now() / 10)).unwrap();
         let mut scanned = 0u64;
         let mut max_ts_seen = 0u64;

@@ -96,6 +96,12 @@ pub struct QueryStats {
     /// counters are folded into the fields above in log order, so they
     /// stay exact regardless of this value.
     pub workers_used: u64,
+    /// Number of engine shards this stats block covers. A single-source
+    /// query always resolves to the source's home shard, so its
+    /// terminals report `1`; [`QueryStats::merge`] sums the field, so a
+    /// fan-out that merges per-shard (or per-node) results reports the
+    /// total number of shards consulted.
+    pub shards_fanned_out: u64,
 }
 
 impl QueryStats {
@@ -109,6 +115,7 @@ impl QueryStats {
         self.columnar_batches += other.columnar_batches;
         self.columnar_rows += other.columnar_rows;
         self.workers_used = self.workers_used.max(other.workers_used);
+        self.shards_fanned_out += other.shards_fanned_out;
     }
 }
 
@@ -142,6 +149,7 @@ mod tests {
             columnar_batches: 6,
             columnar_rows: 7,
             workers_used: 1,
+            shards_fanned_out: 1,
         };
         let mut b = a;
         b.workers_used = 4;
@@ -151,5 +159,6 @@ mod tests {
         assert_eq!(a.columnar_batches, 12);
         assert_eq!(a.columnar_rows, 14);
         assert_eq!(a.workers_used, 4, "workers_used merges by max, not sum");
+        assert_eq!(a.shards_fanned_out, 2, "fan-out merges by sum");
     }
 }

@@ -42,8 +42,12 @@ impl Env {
 
     /// Small config with a tiny retry budget so give-up paths run in
     /// milliseconds, and `remove_on_drop` off so reopens see the files.
+    /// Pinned to the flat single-shard layout: the schedules target log
+    /// files by bare-name tag (which would substring-match every
+    /// shard's log) and are calibrated to one funnel. Cross-shard fault
+    /// isolation is covered in tests/shard.rs.
     fn config(&self) -> Config {
-        let mut c = Config::small(&self.dir);
+        let mut c = Config::small(&self.dir).with_shards(1);
         c.remove_on_drop = false;
         c
     }

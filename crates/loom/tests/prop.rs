@@ -369,129 +369,6 @@ proptest! {
     }
 }
 
-/// One random workload checked for builder/deprecated equivalence: the
-/// fluent `Loom::query` builder must produce byte-identical records,
-/// results, and `QueryStats` as the deprecated Figure-9 entry points it
-/// replaces.
-#[allow(deprecated)]
-fn check_builder_matches_deprecated(
-    values: Vec<u16>,
-    gaps: Vec<u8>,
-    win: (usize, usize),
-    vwin: (u16, u16),
-) -> Result<(), TestCaseError> {
-    let dir = std::env::temp_dir().join(format!(
-        "loom-prop-bld-{}-{}",
-        std::process::id(),
-        rand_suffix()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    let (loom, mut writer) =
-        Loom::open_with_clock(Config::small(&dir), Clock::manual(100)).unwrap();
-    let s = loom.define_source("src");
-    let spec = HistogramSpec::uniform(0.0, 65_536.0, 8).unwrap();
-    let idx = loom.define_index(s, extract::u64_le_at(0), spec).unwrap();
-
-    let mut pushed: Vec<(u64, u64)> = Vec::new();
-    for (i, v) in values.iter().enumerate() {
-        let dt = 1 + gaps.get(i % gaps.len().max(1)).copied().unwrap_or(1) as u64;
-        let ts = loom.clock().advance(dt);
-        writer.push(s, &(*v as u64).to_le_bytes()).unwrap();
-        pushed.push((ts, *v as u64));
-    }
-
-    let (a, b) = win;
-    let lo = a.min(values.len() - 1);
-    let hi = b.min(values.len() - 1);
-    let range = TimeRange::new(pushed[lo.min(hi)].0, pushed[lo.max(hi)].0);
-    let vr = ValueRange::new(vwin.0.min(vwin.1) as f64, vwin.0.max(vwin.1) as f64);
-    let opts = QueryOptions::default();
-
-    // Scans: identical records in identical order, identical stats.
-    let (bld_recs, bld_stats) = collect_scan(&loom, s, idx, range, vr, opts);
-    let mut dep_recs = Vec::new();
-    let dep_stats = loom
-        .indexed_scan_opt(s, idx, range, vr, opts, |r| {
-            dep_recs.push((r.addr, r.ts, r.payload.to_vec()));
-        })
-        .unwrap();
-    prop_assert_eq!(
-        &bld_recs,
-        &dep_recs,
-        "builder scan diverges from indexed_scan_opt"
-    );
-    prop_assert_eq!(bld_stats, dep_stats, "builder scan stats diverge");
-    let mut plain_recs = Vec::new();
-    let plain_stats = loom
-        .indexed_scan(s, idx, range, vr, |r| {
-            plain_recs.push((r.addr, r.ts, r.payload.to_vec()));
-        })
-        .unwrap();
-    prop_assert_eq!(
-        &bld_recs,
-        &plain_recs,
-        "builder scan diverges from indexed_scan"
-    );
-    prop_assert_eq!(bld_stats, plain_stats);
-
-    // Aggregates: bit-identical values, counts, and stats.
-    for method in [
-        Aggregate::Count,
-        Aggregate::Sum,
-        Aggregate::Min,
-        Aggregate::Max,
-        Aggregate::Mean,
-        Aggregate::Percentile(50.0),
-        Aggregate::Percentile(99.9),
-    ] {
-        let bld = loom
-            .query(s)
-            .index(idx)
-            .range(range)
-            .aggregate(method)
-            .unwrap();
-        let dep = loom.indexed_aggregate(s, idx, range, method).unwrap();
-        prop_assert_eq!(
-            bld.value.map(f64::to_bits),
-            dep.value.map(f64::to_bits),
-            "{:?} diverges",
-            method
-        );
-        prop_assert_eq!(bld.count, dep.count);
-        prop_assert_eq!(bld.stats, dep.stats, "{:?} stats diverge", method);
-        let dep_opt = loom
-            .indexed_aggregate_opt(s, idx, range, method, opts)
-            .unwrap();
-        prop_assert_eq!(bld.value.map(f64::to_bits), dep_opt.value.map(f64::to_bits));
-    }
-
-    // Bin counts.
-    let (bld_counts, bld_bstats) = loom.query(s).index(idx).range(range).bin_counts().unwrap();
-    let (dep_counts, dep_bstats) = loom.bin_counts(s, idx, range).unwrap();
-    prop_assert_eq!(&bld_counts, &dep_counts, "bin_counts diverge");
-    prop_assert_eq!(bld_bstats, dep_bstats);
-    let (dep_opt_counts, _) = loom.bin_counts_opt(s, idx, range, opts).unwrap();
-    prop_assert_eq!(&bld_counts, &dep_opt_counts);
-
-    drop(writer);
-    let _ = std::fs::remove_dir_all(&dir);
-    Ok(())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn builder_is_equivalent_to_deprecated_entry_points(
-        values in proptest::collection::vec(any::<u16>(), 1..600),
-        gaps in proptest::collection::vec(1u8..20, 1..8),
-        win in (0usize..600, 0usize..600),
-        vwin in (any::<u16>(), any::<u16>()),
-    ) {
-        check_builder_matches_deprecated(values, gaps, win, vwin)?;
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
