@@ -1,0 +1,150 @@
+//! Hot vs cold tier query cost on identical data.
+//!
+//! Two engines are preloaded with the same sealed record set. One keeps
+//! retention disabled (every chunk stays hot in the record log); the
+//! other runs a full compaction round first, so every sealed chunk is
+//! served from compressed cold segments. Queries are bit-identical
+//! across the tiers by construction (`crates/loom/tests/retention.rs`
+//! proves it property-wise), so the delta is pure decompression and
+//! segment-read cost. The cold engine's compression ratio is printed at
+//! startup. Results are summarized in `results/tiered_scan.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use loom::{
+    Aggregate, Clock, Config, ExtractorDesc, HistogramSpec, IndexId, Loom, LoomWriter,
+    RetentionConfig, SourceId, TimeRange, ValueRange,
+};
+
+const ROWS: u64 = 400_000;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("loom-tiered-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Preloads one engine: 8-byte single-value records with a smooth value
+/// series — the high-frequency metric shape the cold codec's XOR value
+/// path is built for (larger opaque payloads take the byte-level
+/// fallback and compress far less; see results/tiered_scan.md). All
+/// chunks are sealed and durable. With `aged` the whole history is then
+/// compacted into cold segments; without it the layout stays flat.
+fn preload(name: &str, aged: bool) -> (Loom, LoomWriter, SourceId, IndexId, TimeRange) {
+    let dir = scratch(name);
+    let mut config = Config::new(&dir);
+    if aged {
+        config = config.with_retention(RetentionConfig {
+            enabled: true,
+            cold_after: 0,
+            slice: 1 << 40,
+            drop_after: None,
+            interval: None,
+            compact_on_seal: false,
+        });
+    }
+    let (loom, mut writer) = Loom::open_with_clock(config, Clock::manual(0)).unwrap();
+    let src = loom.define_source("bench");
+    let idx = loom
+        .define_index_desc(
+            src,
+            ExtractorDesc::U64Le(0),
+            HistogramSpec::exponential(100.0, 4.0, 10).unwrap(),
+        )
+        .unwrap();
+    for i in 0..ROWS {
+        loom.clock().advance(1_000);
+        let v = 4_000 + (i % 97) * 13;
+        writer.push(src, &v.to_le_bytes()).unwrap();
+    }
+    writer.seal_active_chunk().unwrap();
+    writer.sync_durable().unwrap();
+    if aged {
+        let report = loom.compact().unwrap();
+        let t = &loom.tier_stats()[0];
+        eprintln!(
+            "tiered_scan: aged {} chunks, cold tier {} -> {} bytes (ratio {:.2}x)",
+            report.chunks_aged,
+            t.cold.raw_bytes,
+            t.cold.comp_bytes,
+            t.compression_ratio().unwrap_or(0.0)
+        );
+        assert!(t.cold.chunks > 0, "the cold engine must actually age");
+    }
+    let range = TimeRange::new(0, loom.now());
+    (loom, writer, src, idx, range)
+}
+
+const TIERS: [(&str, bool); 2] = [("hot", false), ("cold", true)];
+
+fn bench_raw_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiered_scan/raw_full");
+    group.throughput(Throughput::Elements(ROWS));
+    for (tier, aged) in TIERS {
+        let (loom, _writer, src, _idx, range) = preload("raw", aged);
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &(), |b, _| {
+            b.iter(|| {
+                let mut n = 0u64;
+                loom.raw_scan(src, range, |r| n += r.payload.len() as u64)
+                    .unwrap();
+                std::hint::black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_indexed_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiered_scan/scan");
+    group.throughput(Throughput::Elements(ROWS));
+    // Values cycle over [4_000, 5_248]; the midpoint predicate matches
+    // about half the rows on either tier.
+    let vr = ValueRange::at_least(4_624.0);
+    for (tier, aged) in TIERS {
+        let (loom, _writer, src, idx, range) = preload("scan", aged);
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &(), |b, _| {
+            b.iter(|| {
+                let mut n = 0u64;
+                loom.query(src)
+                    .index(idx)
+                    .range(range)
+                    .value_range(vr)
+                    .scan(|_| n += 1)
+                    .unwrap();
+                std::hint::black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiered_scan/aggregate");
+    group.throughput(Throughput::Elements(ROWS));
+    for (tier, aged) in TIERS {
+        let (loom, _writer, src, idx, range) = preload("agg", aged);
+        for (name, agg) in [
+            ("max", Aggregate::Max),
+            ("p999", Aggregate::Percentile(99.9)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, tier), &(), |b, _| {
+                b.iter(|| {
+                    loom.query(src)
+                        .index(idx)
+                        .range(range)
+                        .aggregate(agg)
+                        .unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_scan,
+    bench_indexed_scan,
+    bench_aggregates
+);
+criterion_main!(benches);

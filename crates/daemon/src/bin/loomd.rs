@@ -79,6 +79,8 @@ enum Command {
     Stats,
     Metrics,
     Slow,
+    Compact,
+    Retention,
     Help,
     Quit,
 }
@@ -215,6 +217,8 @@ fn parse(line: &str) -> Result<Command, String> {
         "stats" => Ok(Command::Stats),
         "metrics" => Ok(Command::Metrics),
         "slow" => Ok(Command::Slow),
+        "compact" => Ok(Command::Compact),
+        "retention" => Ok(Command::Retention),
         "help" => Ok(Command::Help),
         "quit" | "exit" => Ok(Command::Quit),
         other => Err(format!("unknown command {other:?} (try `help`)")),
@@ -235,6 +239,8 @@ commands:
   stats                                            ingest statistics
   metrics                                          engine metrics (text format)
   slow                                             recent slow-query traces
+  compact                                          run one retention round (age + prune)
+  retention                                        retention policy and tier breakdown
   quit";
 
 impl Shell {
@@ -443,6 +449,19 @@ impl Shell {
                         .join(" ");
                     out.push_str(&format!(" | shards {per_shard}"));
                 }
+                let tiers = self.loom.tier_stats();
+                let hot: u64 = tiers.iter().map(|t| t.hot_chunks).sum();
+                let cold: u64 = tiers.iter().map(|t| t.cold.chunks).sum();
+                let raw: u64 = tiers.iter().map(|t| t.cold.raw_bytes).sum();
+                let comp: u64 = tiers.iter().map(|t| t.cold.comp_bytes).sum();
+                let pruned: u64 = tiers.iter().map(|t| t.cold.pruned_slices).sum();
+                out.push_str(&format!(" | tiers hot {hot} cold {cold}"));
+                if comp > 0 {
+                    out.push_str(&format!(" (ratio {:.2}x)", raw as f64 / comp as f64));
+                }
+                if pruned > 0 {
+                    out.push_str(&format!(" pruned-slices {pruned}"));
+                }
                 Ok(out)
             }
             Command::Metrics => {
@@ -450,6 +469,55 @@ impl Shell {
                 out.push_str(&self.loom.metrics_snapshot().to_text());
                 // Drop the trailing newline; the prompt loop adds one.
                 out.truncate(out.trim_end().len());
+                Ok(out)
+            }
+            Command::Compact => {
+                let start = std::time::Instant::now();
+                let r = self.loom.compact().map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "aged {} chunks, pruned {} slices in {:.2?}",
+                    r.chunks_aged,
+                    r.slices_pruned,
+                    start.elapsed()
+                ))
+            }
+            Command::Retention => {
+                let p = self.loom.retention_policy();
+                let mut out = if p.enabled {
+                    let drop_after = match p.drop_after {
+                        Some(d) => format!("{d} ns"),
+                        None => "never".into(),
+                    };
+                    let interval = match p.interval {
+                        Some(i) => format!("{i:?}"),
+                        None => "manual".into(),
+                    };
+                    format!(
+                        "retention enabled | cold after {} ns | slice {} ns | drop after {drop_after} | interval {interval} | compact on seal {}",
+                        p.cold_after, p.slice, p.compact_on_seal
+                    )
+                } else {
+                    "retention disabled (flat layout; `compact` is a no-op)".to_string()
+                };
+                for t in self.loom.tier_stats() {
+                    let ratio = match t.compression_ratio() {
+                        Some(r) => format!("{r:.2}x"),
+                        None => "-".into(),
+                    };
+                    out.push_str(&format!(
+                        "\nshard {}: hot {} chunks ({} B) | cold {} chunks, {} records, {} B raw -> {} B ({ratio}) in {} slices | pruned {} slices / {} chunks",
+                        t.shard,
+                        t.hot_chunks,
+                        t.hot_bytes,
+                        t.cold.chunks,
+                        t.cold.records,
+                        t.cold.raw_bytes,
+                        t.cold.comp_bytes,
+                        t.cold.slices,
+                        t.cold.pruned_slices,
+                        t.cold.pruned_chunks
+                    ));
+                }
                 Ok(out)
             }
             Command::Slow => {
@@ -801,6 +869,8 @@ mod tests {
         assert_eq!(parse("stats").unwrap(), Command::Stats);
         assert_eq!(parse("metrics").unwrap(), Command::Metrics);
         assert_eq!(parse("slow").unwrap(), Command::Slow);
+        assert_eq!(parse("compact").unwrap(), Command::Compact);
+        assert_eq!(parse("retention").unwrap(), Command::Retention);
         assert_eq!(parse("quit").unwrap(), Command::Quit);
     }
 
@@ -870,9 +940,75 @@ mod tests {
         // Nothing here crosses the default 100 ms slow threshold.
         let out = shell.execute(parse("slow").unwrap()).unwrap();
         assert_eq!(out, "no slow queries recorded");
+        // Retention is off by default: `retention` says so, `compact`
+        // no-ops, and `stats` still shows the (all-hot) tier line.
+        let out = shell.execute(parse("retention").unwrap()).unwrap();
+        assert!(out.starts_with("retention disabled"), "{out}");
+        let out = shell.execute(parse("compact").unwrap()).unwrap();
+        assert!(out.starts_with("aged 0 chunks, pruned 0 slices"), "{out}");
+        let out = shell.execute(parse("stats").unwrap()).unwrap();
+        assert!(out.contains("| tiers hot "), "{out}");
+        assert!(out.contains(" cold 0"), "{out}");
         // Errors surface nicely.
         assert!(shell.execute(parse("agg nope lat max").unwrap()).is_err());
         assert!(shell.execute(parse("scan app nope >= 1").unwrap()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shell_compacts_and_reports_tiers_with_retention_on() {
+        let dir = std::env::temp_dir().join(format!("loomd-ret-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = loom::Config::small(&dir).with_retention(loom::RetentionConfig {
+            enabled: true,
+            cold_after: 0,
+            slice: 1 << 40,
+            drop_after: None,
+            interval: None,
+            compact_on_seal: false,
+        });
+        let (l, w) = loom::Loom::open(config).unwrap();
+        let mut shell = Shell {
+            loom: l,
+            writer: Arc::new(Mutex::new(Some(w))),
+            sources: HashMap::new(),
+            indexes: HashMap::new(),
+            seq: 0,
+        };
+        shell.execute(parse("source app").unwrap()).unwrap();
+        shell
+            .execute(parse("gen app 5000 lognormal 200000 0.5").unwrap())
+            .unwrap();
+        // The compactor only ages durably flushed chunks; the shell's
+        // generator leaves the tail in the staging buffers.
+        shell
+            .writer
+            .lock()
+            .unwrap()
+            .as_mut()
+            .unwrap()
+            .sync_durable()
+            .unwrap();
+        let out = shell.execute(parse("compact").unwrap()).unwrap();
+        assert!(out.starts_with("aged "), "{out}");
+        assert!(!out.starts_with("aged 0 "), "compaction must age: {out}");
+        let out = shell.execute(parse("retention").unwrap()).unwrap();
+        assert!(out.starts_with("retention enabled"), "{out}");
+        assert!(out.contains("shard 0:"), "{out}");
+        assert!(out.contains("cold"), "{out}");
+        let out = shell.execute(parse("stats").unwrap()).unwrap();
+        assert!(out.contains("| tiers hot "), "{out}");
+        assert!(
+            out.contains("(ratio "),
+            "aged stats must show a ratio: {out}"
+        );
+        // Queries still work over the now-cold history.
+        let out = shell
+            .execute(parse("agg app lat count").unwrap())
+            .map_err(|e| e.to_string());
+        assert!(out.is_err(), "no index was defined; count must error");
+        let out = shell.execute(parse("raw app 60000").unwrap()).unwrap();
+        assert!(out.starts_with("5000 records"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

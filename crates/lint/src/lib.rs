@@ -287,6 +287,7 @@ fn in_hot_path(path: &str) -> bool {
     path.starts_with("crates/loom/src/hybridlog")
         || path.starts_with("crates/loom/src/engine.rs")
         || path.starts_with("crates/loom/src/query")
+        || path.starts_with("crates/loom/src/retention")
 }
 
 /// Parses the baseline: `<repo-relative-path> <allowed-count>` lines,

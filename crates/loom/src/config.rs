@@ -66,6 +66,75 @@ pub enum OverloadPolicy {
     ErrorFast,
 }
 
+/// Tiered-retention policy: when sealed chunks age into the compressed
+/// cold tier, how cold data is grouped into prunable time slices, and
+/// when whole slices are dropped.
+///
+/// Disabled by default. With retention disabled the engine never writes a
+/// `cold/` directory or a tier manifest record, so the on-disk layout is
+/// byte-identical to a build without retention support. With it enabled,
+/// a per-shard compactor moves sealed chunks whose newest timestamp is
+/// older than `cold_after` into CRC-framed compressed segments under
+/// `cold/<slice>/`, and (optionally) prunes whole slices older than
+/// `drop_after`. Queries return bit-identical results regardless of which
+/// tier serves each chunk; pruned data is gone from both tiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetentionConfig {
+    /// Master switch. `false` (the default) disables aging, pruning, and
+    /// the background compactor entirely.
+    pub enabled: bool,
+    /// A sealed chunk becomes eligible for the cold tier once
+    /// `now - chunk.ts_max >= cold_after` (clock units — nanoseconds
+    /// under the wall clock). `0` ages every sealed, flushed chunk.
+    pub cold_after: u64,
+    /// Width of one cold time slice in clock units; a chunk with newest
+    /// timestamp `t` lands in slice `t / slice`. Slices are the unit of
+    /// atomic pruning.
+    pub slice: u64,
+    /// Drop whole cold slices once `now - slice_end >= drop_after`
+    /// (clock units). `None` keeps cold data forever.
+    pub drop_after: Option<u64>,
+    /// Wake period of the per-shard background compactor thread. `None`
+    /// disables the thread; aging then only happens on explicit
+    /// [`Loom::compact`](crate::Loom::compact) calls (or per seal, below).
+    pub interval: Option<Duration>,
+    /// Run a compaction pass synchronously on the ingest thread each time
+    /// a chunk seals. Intended for tests (the `LOOM_TEST_RETENTION=
+    /// aggressive` suite leg) — it ages eligible chunks immediately so
+    /// every query path exercises the cold tier.
+    pub compact_on_seal: bool,
+}
+
+impl Default for RetentionConfig {
+    fn default() -> Self {
+        RetentionConfig {
+            enabled: false,
+            // 1 hour / 1 day in nanoseconds: conservative production-ish
+            // defaults; only meaningful once `enabled` is set.
+            cold_after: 3_600_000_000_000,
+            slice: 86_400_000_000_000,
+            drop_after: None,
+            interval: None,
+            compact_on_seal: false,
+        }
+    }
+}
+
+impl RetentionConfig {
+    /// An aggressive policy for tests: everything ages immediately on
+    /// seal, slices are tiny, nothing is dropped.
+    pub fn aggressive() -> Self {
+        RetentionConfig {
+            enabled: true,
+            cold_after: 0,
+            slice: 1 << 20,
+            drop_after: None,
+            interval: None,
+            compact_on_seal: true,
+        }
+    }
+}
+
 /// Configuration for a [`Loom`](crate::Loom) instance.
 ///
 /// The defaults are scaled for tests and laptop-class machines; the paper's
@@ -129,6 +198,9 @@ pub struct Config {
     /// stay colocated. The shard count is recorded in the root superblock
     /// and must match on reopen.
     pub shards: usize,
+    /// Tiered-retention policy (cold-tier aging and slice pruning).
+    /// Disabled by default; see [`RetentionConfig`].
+    pub retention: RetentionConfig,
 }
 
 impl Config {
@@ -149,6 +221,7 @@ impl Config {
             overload: OverloadPolicy::default(),
             remove_on_drop: false,
             shards: 1,
+            retention: RetentionConfig::default(),
         }
     }
 
@@ -182,6 +255,16 @@ impl Config {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n >= 1)
                 .unwrap_or(1),
+            // Mirror of LOOM_TEST_SHARDS: exporting
+            // LOOM_TEST_RETENTION=aggressive reruns the whole suite with
+            // every sealed chunk aged to the cold tier immediately, so
+            // the existing tests double as tier-equivalence coverage.
+            // Tests that depend on the flat hot-only layout disable
+            // retention explicitly with `with_retention(...)`.
+            retention: match std::env::var("LOOM_TEST_RETENTION").as_deref() {
+                Ok("aggressive") => RetentionConfig::aggressive(),
+                _ => RetentionConfig::default(),
+            },
         }
     }
 
@@ -236,6 +319,12 @@ impl Config {
     /// Sets the shard count (must be non-zero; `1` = single-funnel).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the tiered-retention policy.
+    pub fn with_retention(mut self, retention: RetentionConfig) -> Self {
+        self.retention = retention;
         self
     }
 
@@ -303,6 +392,23 @@ impl Config {
             return Err(LoomError::InvalidConfig(
                 "shards must be non-zero (1 = single-funnel engine)".into(),
             ));
+        }
+        if self.retention.enabled {
+            if self.retention.slice == 0 {
+                return Err(LoomError::InvalidConfig(
+                    "retention.slice must be non-zero when retention is enabled".into(),
+                ));
+            }
+            if let Some(drop_after) = self.retention.drop_after {
+                if drop_after < self.retention.cold_after {
+                    return Err(LoomError::InvalidConfig(format!(
+                        "retention.drop_after ({drop_after}) must be at least \
+                         retention.cold_after ({}): data must age to the cold \
+                         tier before its slice can be pruned",
+                        self.retention.cold_after
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -400,6 +506,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets the tiered-retention policy (`Config::retention`).
+    pub fn retention(mut self, retention: RetentionConfig) -> Self {
+        self.config.retention = retention;
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     pub fn build(self) -> Result<Config> {
         self.config.validate()?;
@@ -467,6 +579,38 @@ mod tests {
         assert_eq!(c.query_threads, 8);
         assert_eq!(c.slow_query_nanos, 5);
         assert_eq!(c.overload, OverloadPolicy::ErrorFast);
+    }
+
+    #[test]
+    fn retention_validation() {
+        // Disabled retention never constrains the rest of the config.
+        assert!(Config::small("/tmp/x").validate().is_ok());
+        // Enabled retention needs a non-zero slice width.
+        let mut bad = RetentionConfig::aggressive();
+        bad.slice = 0;
+        assert!(Config::small("/tmp/x")
+            .with_retention(bad)
+            .validate()
+            .is_err());
+        // drop_after below cold_after would prune hot data.
+        let mut bad = RetentionConfig::aggressive();
+        bad.cold_after = 100;
+        bad.drop_after = Some(50);
+        assert!(Config::small("/tmp/x")
+            .with_retention(bad)
+            .validate()
+            .is_err());
+        let mut ok = RetentionConfig::aggressive();
+        ok.cold_after = 100;
+        ok.drop_after = Some(100);
+        assert!(Config::builder("/tmp/x")
+            .retention(ok.clone())
+            .build()
+            .is_ok());
+        assert!(Config::small("/tmp/x")
+            .with_retention(ok)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub enum LogId {
     Manifest,
     /// The superblock (`loom.super`).
     Superblock,
+    /// A compressed cold-tier segment (`cold/<slice>/seg-N.seg`).
+    ColdSegment,
 }
 
 impl LogId {
@@ -53,6 +55,7 @@ impl LogId {
             LogId::Ts => "ts.log",
             LogId::Manifest => MANIFEST_FILE,
             LogId::Superblock => SUPERBLOCK_FILE,
+            LogId::ColdSegment => "cold segment",
         }
     }
 }

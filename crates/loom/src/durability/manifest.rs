@@ -29,6 +29,73 @@ const TAG_INDEX_DEF: u8 = 3;
 const TAG_INDEX_CLOSED: u8 = 4;
 const TAG_REOPENED: u8 = 5;
 const TAG_CLEAN_SHUTDOWN: u8 = 6;
+const TAG_CHUNKS_AGED: u8 = 7;
+const TAG_SLICE_PRUNED: u8 = 8;
+
+/// Size of one encoded [`AgedChunk`] entry.
+const AGED_CHUNK_SIZE: usize = 8 + 8 + 4 + 4 + 8 + 4 + 8 + 8 + 8;
+
+/// One chunk moved to the cold tier, as journaled in a
+/// [`ManifestRecord::ChunksAged`] commit record.
+///
+/// The manifest entry carries both the *location* of the compressed
+/// chunk (segment offset) and the chunk's *summary statistics*
+/// (timestamp bounds, record count, summary frame address), so per-slice
+/// super-summaries can be rebuilt from the manifest alone on reopen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgedChunk {
+    /// Record-log address of the chunk that was aged.
+    pub chunk_addr: u64,
+    /// Byte offset of the chunk's frame inside its segment file.
+    pub offset: u64,
+    /// Uncompressed chunk length in bytes.
+    pub raw_len: u32,
+    /// Compressed frame-body length in bytes.
+    pub comp_len: u32,
+    /// Address of the chunk's summary frame in the chunk log.
+    pub summary_addr: u64,
+    /// Total byte length of that summary frame (header included).
+    pub summary_len: u32,
+    /// Smallest record timestamp in the chunk (0 when empty).
+    pub ts_min: u64,
+    /// Largest record timestamp in the chunk (0 when empty).
+    pub ts_max: u64,
+    /// Number of data records in the chunk.
+    pub records: u64,
+}
+
+impl AgedChunk {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.chunk_addr.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.raw_len.to_le_bytes());
+        out.extend_from_slice(&self.comp_len.to_le_bytes());
+        out.extend_from_slice(&self.summary_addr.to_le_bytes());
+        out.extend_from_slice(&self.summary_len.to_le_bytes());
+        out.extend_from_slice(&self.ts_min.to_le_bytes());
+        out.extend_from_slice(&self.ts_max.to_le_bytes());
+        out.extend_from_slice(&self.records.to_le_bytes());
+    }
+
+    fn decode(b: &[u8]) -> Option<AgedChunk> {
+        if b.len() < AGED_CHUNK_SIZE {
+            return None;
+        }
+        let u64_at = |off: usize| u64::from_le_bytes(b[off..off + 8].try_into().expect("8"));
+        let u32_at = |off: usize| u32::from_le_bytes(b[off..off + 4].try_into().expect("4"));
+        Some(AgedChunk {
+            chunk_addr: u64_at(0),
+            offset: u64_at(8),
+            raw_len: u32_at(16),
+            comp_len: u32_at(20),
+            summary_addr: u64_at(24),
+            summary_len: u32_at(32),
+            ts_min: u64_at(36),
+            ts_max: u64_at(44),
+            records: u64_at(52),
+        })
+    }
+}
 
 /// One journal entry in the manifest.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +135,28 @@ pub enum ManifestRecord {
     Reopened,
     /// Graceful shutdown: the durable tails and writer state.
     CleanShutdown(CleanShutdown),
+    /// A batch of sealed chunks moved to the cold tier. This append is
+    /// the *commit point* of a compaction round: before it, the chunks
+    /// are hot (an orphan segment file is deleted on reopen); after it,
+    /// the cold segment owns them.
+    ChunksAged {
+        /// Time-slice index the chunks belong to.
+        slice: u64,
+        /// Segment file number within the slice directory.
+        segment: u32,
+        /// The chunks, in ascending chunk-address order.
+        entries: Vec<AgedChunk>,
+    },
+    /// A whole cold time slice was dropped by retention. Journaled
+    /// *before* the slice directory is unlinked, so a crash between the
+    /// two leaves a leftover directory that reopen deletes.
+    SlicePruned {
+        /// The pruned slice index.
+        slice: u64,
+        /// Record-log address one past the last chunk of the slice;
+        /// addresses below this read as punched zeros.
+        pruned_below: u64,
+    },
 }
 
 impl ManifestRecord {
@@ -81,6 +170,8 @@ impl ManifestRecord {
             ManifestRecord::IndexClosed { .. } => "IndexClosed",
             ManifestRecord::Reopened => "Reopened",
             ManifestRecord::CleanShutdown(_) => "CleanShutdown",
+            ManifestRecord::ChunksAged { .. } => "ChunksAged",
+            ManifestRecord::SlicePruned { .. } => "SlicePruned",
         }
     }
 
@@ -126,6 +217,27 @@ impl ManifestRecord {
             ManifestRecord::CleanShutdown(state) => {
                 out.push(TAG_CLEAN_SHUTDOWN);
                 state.encode(out);
+            }
+            ManifestRecord::ChunksAged {
+                slice,
+                segment,
+                entries,
+            } => {
+                out.push(TAG_CHUNKS_AGED);
+                out.extend_from_slice(&slice.to_le_bytes());
+                out.extend_from_slice(&segment.to_le_bytes());
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    e.encode(out);
+                }
+            }
+            ManifestRecord::SlicePruned {
+                slice,
+                pruned_below,
+            } => {
+                out.push(TAG_SLICE_PRUNED);
+                out.extend_from_slice(&slice.to_le_bytes());
+                out.extend_from_slice(&pruned_below.to_le_bytes());
             }
         }
     }
@@ -193,6 +305,38 @@ impl ManifestRecord {
             TAG_CLEAN_SHUTDOWN => {
                 let (state, _) = CleanShutdown::decode(rest)?;
                 ManifestRecord::CleanShutdown(state)
+            }
+            TAG_CHUNKS_AGED => {
+                let u64_at = |off: usize, what: &str| -> Result<u64> {
+                    rest.get(off..off + 8)
+                        .map(|s| u64::from_le_bytes(s.try_into().expect("8")))
+                        .ok_or_else(|| corrupt(what))
+                };
+                let slice = u64_at(0, "chunks-aged")?;
+                let segment = u32_at(rest, 8, "chunks-aged")?;
+                let n = u32_at(rest, 12, "chunks-aged")? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 16 + i * AGED_CHUNK_SIZE;
+                    let bytes = rest.get(off..).ok_or_else(|| corrupt("chunks-aged"))?;
+                    entries.push(AgedChunk::decode(bytes).ok_or_else(|| corrupt("chunks-aged"))?);
+                }
+                ManifestRecord::ChunksAged {
+                    slice,
+                    segment,
+                    entries,
+                }
+            }
+            TAG_SLICE_PRUNED => {
+                let u64_at = |off: usize| -> Result<u64> {
+                    rest.get(off..off + 8)
+                        .map(|s| u64::from_le_bytes(s.try_into().expect("8")))
+                        .ok_or_else(|| corrupt("slice-pruned"))
+                };
+                ManifestRecord::SlicePruned {
+                    slice: u64_at(0)?,
+                    pruned_below: u64_at(8)?,
+                }
             }
             t => {
                 return Err(LoomError::Corrupt(format!(
@@ -325,6 +469,38 @@ mod tests {
             },
             ManifestRecord::SourceClosed { id: 1 },
             ManifestRecord::IndexClosed { id: 2 },
+            ManifestRecord::ChunksAged {
+                slice: 3,
+                segment: 0,
+                entries: vec![
+                    AgedChunk {
+                        chunk_addr: 0,
+                        offset: 24,
+                        raw_len: 4096,
+                        comp_len: 512,
+                        summary_addr: 0,
+                        summary_len: 96,
+                        ts_min: 100,
+                        ts_max: 900,
+                        records: 120,
+                    },
+                    AgedChunk {
+                        chunk_addr: 4096,
+                        offset: 544,
+                        raw_len: 4096,
+                        comp_len: 4100,
+                        summary_addr: 96,
+                        summary_len: 96,
+                        ts_min: 901,
+                        ts_max: 1800,
+                        records: 119,
+                    },
+                ],
+            },
+            ManifestRecord::SlicePruned {
+                slice: 2,
+                pruned_below: 8192,
+            },
             ManifestRecord::Reopened,
             ManifestRecord::CleanShutdown(CleanShutdown {
                 record_tail: 4096,

@@ -22,6 +22,9 @@ pub use format::{
     crc32, crc32_pair, read_frame, write_frame, Crc32, LogId, Superblock, FORMAT_VERSION,
     FRAME_HEADER_SIZE, MANIFEST_FILE, MAX_FRAME_LEN, SUPERBLOCK_FILE,
 };
-pub use manifest::{Manifest, ManifestRecord};
-pub use recovery::{recover_dirty, RecoveredState, RecoveryReport, SourceState, TailTruncation};
+pub use manifest::{AgedChunk, Manifest, ManifestRecord};
+pub use recovery::{
+    recover_dirty, recover_dirty_with_cold, RecoveredState, RecoveryReport, SourceState,
+    TailTruncation,
+};
 pub use shutdown::{CleanShutdown, SourceTail};

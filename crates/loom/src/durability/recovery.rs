@@ -34,6 +34,7 @@ use crate::config::Config;
 use crate::durability::format::{read_frame, LogId};
 use crate::error::Result;
 use crate::record::{RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE};
+use crate::retention::ColdSnap;
 use crate::summary::ChunkSummary;
 use crate::ts_index::{TsEntry, TsKind, TS_ENTRY_SIZE};
 
@@ -140,13 +141,26 @@ pub struct RecoveredState {
 /// Pure with respect to the directory: no file is modified (the engine
 /// truncates each log when it reopens it at the recovered tail).
 pub fn recover_dirty(dir: &Path, config: &Config) -> Result<RecoveredState> {
+    recover_dirty_with_cold(dir, config, &ColdSnap::default())
+}
+
+/// [`recover_dirty`] for a directory with a cold tier: chunks the
+/// manifest committed to cold segments are scanned from their
+/// decompressed bytes (the hot copies may already be punched to zeros),
+/// and chunks below the retention prune watermark are skipped — their
+/// data is legitimately gone, not torn.
+pub fn recover_dirty_with_cold(
+    dir: &Path,
+    config: &Config,
+    cold: &ColdSnap,
+) -> Result<RecoveredState> {
     let started = std::time::Instant::now();
     let mut state = RecoveredState {
         last_seal: NIL_ADDR,
         ..RecoveredState::default()
     };
 
-    scan_record_log(dir, config, &mut state)?;
+    scan_record_log(dir, config, cold, &mut state)?;
     let kept_summaries = scan_chunk_log(dir, &mut state)?;
     let sealed = scan_ts_log(dir, &mut state, &kept_summaries)?;
     reconcile(config, &mut state, &kept_summaries, &sealed);
@@ -157,11 +171,17 @@ pub fn recover_dirty(dir: &Path, config: &Config) -> Result<RecoveredState> {
 
 /// Verifies the record log entry by entry, chunk by chunk, fixing the
 /// recovered record tail at the first invalid entry.
-fn scan_record_log(dir: &Path, config: &Config, state: &mut RecoveredState) -> Result<()> {
+fn scan_record_log(
+    dir: &Path,
+    config: &Config,
+    cold: &ColdSnap,
+    state: &mut RecoveredState,
+) -> Result<()> {
     let file = File::open(dir.join(LogId::Records.file_name()))?;
     let file_len = file.metadata()?.len();
     let chunk_size = config.chunk_size;
     let mut buf = vec![0u8; chunk_size];
+    let mut cold_buf = Vec::new();
 
     let mut tail = file_len;
     let cut = |state: &mut RecoveredState, tail: &mut u64, addr: u64, reason: String| {
@@ -177,7 +197,21 @@ fn scan_record_log(dir: &Path, config: &Config, state: &mut RecoveredState) -> R
     let mut chunk_start = 0u64;
     'chunks: while chunk_start < file_len {
         let avail = ((file_len - chunk_start) as usize).min(chunk_size);
-        file.read_exact_at(&mut buf[..avail], chunk_start)?;
+        if cold.owns(chunk_start) {
+            // The cold tier owns this chunk: scan its decompressed bytes
+            // (the hot copy may be punched). Cold chunks are whole by
+            // construction, so `avail` is a full chunk here.
+            cold.read_chunk(chunk_start, &mut cold_buf)?;
+            buf[..avail].copy_from_slice(&cold_buf);
+        } else if chunk_start + chunk_size as u64 <= cold.pruned_below() {
+            // Dropped by retention: not torn, just gone. Skip it without
+            // reading — the bytes are punched zeros (or a stale copy if
+            // the crash beat the punch, which must not be re-counted).
+            chunk_start += chunk_size as u64;
+            continue;
+        } else {
+            file.read_exact_at(&mut buf[..avail], chunk_start)?;
+        }
         let complete = avail == chunk_size;
         let mut pos = 0usize;
         while pos + RECORD_HEADER_SIZE <= avail {

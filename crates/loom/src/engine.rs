@@ -37,11 +37,13 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::chunk_index::SummaryCursor;
 use crate::clock::Clock;
 use crate::config::{Config, OverloadPolicy};
+use crate::durability::manifest::AgedChunk;
 use crate::durability::{
-    recover_dirty, CleanShutdown, LogId, Manifest, ManifestRecord, RecoveredState, RecoveryReport,
-    SourceState, SourceTail, Superblock, SUPERBLOCK_FILE,
+    CleanShutdown, LogId, Manifest, ManifestRecord, RecoveredState, RecoveryReport, SourceState,
+    SourceTail, Superblock, SUPERBLOCK_FILE,
 };
 use crate::error::{LoomError, Result};
 use crate::extract::ExtractorDesc;
@@ -52,6 +54,7 @@ use crate::hybridlog::{self, LogOptions, LogShared};
 use crate::obs::{MetricsSnapshot, Obs, SlowQueryLog, SlowQueryTrace, Stopwatch};
 use crate::record::{ChunkIter, RecordHeader, NIL_ADDR, RECORD_HEADER_SIZE, SOURCE_PAD};
 use crate::registry::{IndexId, Registry, RegistryVersion, SourceId, SourceShared, ValueFn};
+use crate::retention::{self, ColdSnap, ColdTierStats, SegmentWriter};
 use crate::stats::IngestStats;
 use crate::summary::{BinStats, ChunkSummary};
 use crate::ts_index::{TsEntry, TsKind, TS_ENTRY_SIZE};
@@ -114,6 +117,26 @@ pub(crate) struct EngineInner {
     pub(crate) shards: Vec<Arc<Inner>>,
     /// Merged per-shard recovery reports; `None` on a fresh directory.
     pub(crate) recovery: Mutex<Option<RecoveryReport>>,
+    /// The background retention compactor, when
+    /// [`RetentionConfig::interval`](crate::RetentionConfig) is set.
+    compactor: Mutex<Option<CompactorHandle>>,
+}
+
+/// Handle to the background compactor thread: signal `stop`, unpark,
+/// and join on engine drop.
+struct CompactorHandle {
+    stop: Arc<crate::sync::atomic::AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Drop for EngineInner {
+    fn drop(&mut self) {
+        if let Some(h) = self.compactor.lock().take() {
+            h.stop.store(true, Ordering::Release);
+            h.thread.thread().unpark();
+            let _ = h.thread.join();
+        }
+    }
 }
 
 /// Per-shard engine state shared between the handles and the shard's
@@ -142,6 +165,20 @@ pub(crate) struct Inner {
     /// Pooled columnar scan/decode buffers, reused across queries and
     /// worker threads (grow-once allocation).
     pub(crate) scan_bufs: crate::query::columnar::BufferPool,
+    /// The shard's cold-tier snapshot; replaced wholesale (clone-on-
+    /// write) after every committed compaction or prune. Queries capture
+    /// the `Arc` once, so a query sees one frozen tier.
+    pub(crate) cold: RwLock<Arc<ColdSnap>>,
+    /// Fence between queries and hole punching: query terminals hold a
+    /// read guard for their whole execution; the compactor takes the
+    /// write guard only while punching freshly aged chunks out of the
+    /// record log, after the new cold snapshot is installed. A query
+    /// admitted after the install reads those chunks from the cold tier,
+    /// so it never observes the punched zeros.
+    pub(crate) tier_lock: RwLock<()>,
+    /// Serializes compaction rounds (explicit [`Loom::compact`], the
+    /// seal hook, and the background thread may race otherwise).
+    compact_gate: Mutex<()>,
 }
 
 impl Inner {
@@ -155,6 +192,281 @@ impl Inner {
             EngineHealth::Healthy => LoomError::ShutDown,
         }
     }
+
+    /// Runs one retention round over this shard: ages eligible chunks
+    /// into cold segments, then drops expired slices. A no-op unless
+    /// retention is enabled and the shard is fully healthy — a degraded
+    /// shard stops compacting until it recovers. Errors degrade the
+    /// shard's health; ingest and queries over committed data continue.
+    pub(crate) fn compact_round(&self) -> Result<CompactionReport> {
+        if !self.config.retention.enabled || !matches!(self.health.current(), EngineHealth::Healthy)
+        {
+            return Ok(CompactionReport::default());
+        }
+        let _gate = self.compact_gate.lock();
+        let mut report = CompactionReport::default();
+        match self.compact_round_locked(&mut report) {
+            Ok(()) => Ok(report),
+            Err(e) => {
+                self.health
+                    .degrade(format!("retention compaction failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// The round body, under the compaction gate.
+    ///
+    /// Aging is strictly in log order: the summary walk resumes where the
+    /// last round stopped and halts at the first ineligible chunk, so the
+    /// cold tier is always a contiguous prefix of the sealed region and
+    /// `pruned_below` a prefix of that. Per aged batch the commit
+    /// protocol is: write + fsync the segment, journal `ChunksAged` in
+    /// the manifest (the commit point), install the new snapshot, then
+    /// punch the hot bytes. A crash before the journal leaves an orphan
+    /// segment that reopen sweeps; after it, reopen serves the chunks
+    /// cold whether or not the punch landed.
+    fn compact_round_locked(&self, report: &mut CompactionReport) -> Result<()> {
+        let retention = &self.config.retention;
+        let now = self.clock.now();
+        let width = retention.slice;
+        let chunk_size = self.config.chunk_size as u64;
+        let mut snap = Arc::clone(&self.cold.read());
+
+        // Phase 1: collect eligible chunks, oldest first. A chunk ages
+        // only when its whole range and its summary are flushed: the
+        // punched hot copy must never be the only copy, and recovery
+        // relies on cold chunks always having durable summaries.
+        let record_flushed = self.record_log.flushed_upto();
+        let chunk_flushed = self.chunk_log.flushed_upto();
+        let mut batch: Vec<(u64, u64, u32, ChunkSummary)> = Vec::new();
+        {
+            let chunk_log = &*self.chunk_log;
+            let mut cursor = SummaryCursor::new(chunk_log, snap.aged_upto_summary());
+            loop {
+                let summary_addr = cursor.pos();
+                let Some(s) = cursor.next()? else { break };
+                let summary_end = cursor.pos();
+                let chunk_end = s.chunk_addr + u64::from(s.chunk_len);
+                let old_enough = now.saturating_sub(s.ts_max) >= retention.cold_after;
+                let durable = chunk_end <= record_flushed && summary_end <= chunk_flushed;
+                if !old_enough || !durable {
+                    break;
+                }
+                batch.push((0, summary_addr, (summary_end - summary_addr) as u32, s));
+            }
+        }
+        // Slice assignment is monotone non-decreasing along the walk, so
+        // a chunk with an out-of-order (or empty ⇒ zero) `ts_max` lands
+        // in the newest slice so far instead of reopening an older one.
+        let mut cur_slice = snap.slices().last().map(|s| s.slice).unwrap_or(0);
+        for item in &mut batch {
+            cur_slice = cur_slice.max(retention::slice_of(item.3.ts_max, width));
+            item.0 = cur_slice;
+        }
+
+        // Phase 2: one fresh segment file per (slice, round) run.
+        let mut buf = vec![0u8; chunk_size as usize];
+        let mut i = 0;
+        while i < batch.len() {
+            let slice = batch[i].0;
+            let mut j = i;
+            while j < batch.len() && batch[j].0 == slice {
+                j += 1;
+            }
+            let segment = snap.next_segment(slice);
+            let mut writer = SegmentWriter::create(&self.config.dir, slice, segment)?;
+            let mut entries = Vec::with_capacity(j - i);
+            for (_, summary_addr, summary_len, s) in &batch[i..j] {
+                self.record_log.read_at(s.chunk_addr, &mut buf)?;
+                let meta = writer.append_chunk(s.chunk_addr, &buf)?;
+                let records: u64 = s.sources.values().sum();
+                entries.push(AgedChunk {
+                    chunk_addr: s.chunk_addr,
+                    offset: meta.offset,
+                    raw_len: meta.raw_len,
+                    comp_len: meta.comp_len,
+                    summary_addr: *summary_addr,
+                    summary_len: *summary_len,
+                    // An all-pad chunk has no records; store a zeroed
+                    // range instead of the summary's MAX/0 sentinels.
+                    ts_min: if records == 0 { 0 } else { s.ts_min },
+                    ts_max: if records == 0 { 0 } else { s.ts_max },
+                    records,
+                });
+            }
+            let file = Arc::new(writer.finish()?);
+            self.manifest.lock().append(ManifestRecord::ChunksAged {
+                slice,
+                segment,
+                entries: entries.clone(),
+            })?;
+            snap = Arc::new(snap.with_aged(slice, segment, &entries, file));
+            *self.cold.write() = Arc::clone(&snap);
+            let raw: u64 = entries.iter().map(|e| u64::from(e.raw_len)).sum();
+            let comp: u64 = entries.iter().map(|e| u64::from(e.comp_len)).sum();
+            self.obs.engine.compaction(entries.len() as u64, raw, comp);
+            report.chunks_aged += entries.len() as u64;
+            self.punch_chunks(&entries)?;
+            i = j;
+        }
+
+        // Phase 3: drop expired slices. Only slices strictly below the
+        // newest one are sealed (the newest may still receive chunks);
+        // expiry is measured from the slice's end time.
+        let Some(drop_after) = retention.drop_after else {
+            return Ok(());
+        };
+        let candidates: Vec<(u64, u64)> = snap
+            .slices()
+            .iter()
+            .filter(|s| !s.pruned && s.slice < cur_slice)
+            .filter(|s| {
+                let end = (s.slice + 1).saturating_mul(width);
+                now.saturating_sub(end) >= drop_after
+            })
+            .map(|s| (s.slice, s.chunk_end_max))
+            .collect();
+        for (slice, chunk_end_max) in candidates {
+            // Journal first, install, then unlink: a crash between the
+            // commit and the unlink leaves a directory reopen sweeps.
+            self.manifest.lock().append(ManifestRecord::SlicePruned {
+                slice,
+                pruned_below: chunk_end_max,
+            })?;
+            snap = Arc::new(snap.with_pruned(slice, chunk_end_max));
+            *self.cold.write() = Arc::clone(&snap);
+            if let Some(k) = fault::check(
+                fault::SLICE_PRUNE,
+                &retention::segment::slice_dir_name(slice),
+            ) {
+                return Err(LoomError::Io(k.to_io_error()));
+            }
+            let dir = self
+                .config
+                .dir
+                .join(retention::COLD_DIR)
+                .join(retention::segment::slice_dir_name(slice));
+            match std::fs::remove_dir_all(&dir) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            self.obs.engine.slice_pruned();
+            report.slices_pruned += 1;
+        }
+        Ok(())
+    }
+
+    /// Reclaims the hot bytes of freshly committed cold chunks by
+    /// punching their ranges out of the record-log file.
+    ///
+    /// Runs under the tier write lock: queries hold the read side for
+    /// their whole execution, so no in-flight scan is mid-read on a hot
+    /// copy while it vanishes. Queries admitted after the new snapshot
+    /// was installed route these chunks to the cold tier and never see
+    /// the zeros.
+    fn punch_chunks(&self, entries: &[AgedChunk]) -> Result<()> {
+        let path = self.config.dir.join(LogId::Records.file_name());
+        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        let _fence = self.tier_lock.write();
+        for e in entries {
+            if let Some(k) = fault::check(fault::HOT_PUNCH, &e.chunk_addr.to_string()) {
+                return Err(LoomError::Io(k.to_io_error()));
+            }
+            punch_hole(&file, e.chunk_addr, u64::from(e.raw_len))?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one retention round ([`Loom::compact`] sums these across
+/// shards).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Chunks moved from the hot record log into cold segments.
+    pub chunks_aged: u64,
+    /// Whole cold slices dropped by `drop_after`.
+    pub slices_pruned: u64,
+}
+
+/// Per-shard hot/cold tier breakdown, from [`Loom::tier_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TierStats {
+    /// Shard ordinal.
+    pub shard: usize,
+    /// Sealed chunks still owned by the hot record log.
+    pub hot_chunks: u64,
+    /// Bytes those chunks occupy (uncompressed; holes excluded).
+    pub hot_bytes: u64,
+    /// Cold-tier aggregate counters.
+    pub cold: ColdTierStats,
+}
+
+impl TierStats {
+    /// Raw-to-compressed ratio of the live cold tier, if it holds data.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        (self.cold.comp_bytes > 0).then(|| self.cold.raw_bytes as f64 / self.cold.comp_bytes as f64)
+    }
+}
+
+/// Deallocates `[offset, offset + len)` of `file`, leaving a hole that
+/// reads back as zeros. Uses `fallocate(FALLOC_FL_PUNCH_HOLE)` on Linux;
+/// filesystems (or platforms) that cannot punch get literal zeros
+/// instead — the record format treats a zeroed header inside a complete
+/// chunk as "skip to the next chunk", so both forms scan identically.
+fn punch_hole(file: &std::fs::File, offset: u64, len: u64) -> Result<()> {
+    if len == 0 {
+        return Ok(());
+    }
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::unix::io::AsRawFd;
+        const FALLOC_FL_KEEP_SIZE: i32 = 0x01;
+        const FALLOC_FL_PUNCH_HOLE: i32 = 0x02;
+        extern "C" {
+            fn fallocate(fd: i32, mode: i32, offset: i64, len: i64) -> i32;
+        }
+        if offset <= i64::MAX as u64 && len <= i64::MAX as u64 {
+            // SAFETY: plain FFI call with no pointer arguments — the fd
+            // comes from a live `&File` (open for the whole call), mode
+            // is a valid flag combination, and offset/len are checked
+            // non-negative above; the kernel validates the range.
+            let rc = unsafe {
+                fallocate(
+                    file.as_raw_fd(),
+                    FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                    offset as i64,
+                    len as i64,
+                )
+            };
+            if rc == 0 {
+                return Ok(());
+            }
+            let err = std::io::Error::last_os_error();
+            // EOPNOTSUPP / EINVAL: the filesystem cannot punch holes.
+            if !matches!(err.raw_os_error(), Some(95) | Some(22)) {
+                return Err(err.into());
+            }
+        }
+    }
+    zero_range(file, offset, len)
+}
+
+/// Overwrites `[offset, offset + len)` with zeros in bounded steps, the
+/// portable fallback for [`punch_hole`].
+fn zero_range(file: &std::fs::File, offset: u64, len: u64) -> Result<()> {
+    use std::os::unix::fs::FileExt;
+    const STEP: usize = 64 << 10;
+    let zeros = vec![0u8; STEP.min(len as usize)];
+    let mut pos = offset;
+    let end = offset.saturating_add(len);
+    while pos < end {
+        let n = ((end - pos) as usize).min(zeros.len());
+        file.write_all_at(&zeros[..n], pos)?;
+        pos += n as u64;
+    }
+    Ok(())
 }
 
 /// The cloneable schema and query handle of a Loom instance.
@@ -358,12 +670,46 @@ impl Loom {
             stats: shared.stats,
             shards,
             recovery: Mutex::new(merge_reports(reports)),
+            compactor: Mutex::new(None),
         });
+        Self::spawn_compactor(&engine);
         let writer = LoomWriter {
             engine: Arc::clone(&engine),
             shards: writers,
         };
         Ok((Loom { inner: engine }, writer))
+    }
+
+    /// Starts the background retention thread when the config asks for
+    /// one: every `retention.interval` it runs a compaction/prune round
+    /// over each shard. The thread holds only the per-shard `Inner`s, so
+    /// it never keeps the engine alive; `EngineInner::drop` joins it.
+    fn spawn_compactor(engine: &Arc<EngineInner>) {
+        let retention = &engine.config.retention;
+        let Some(interval) = retention.interval.filter(|_| retention.enabled) else {
+            return;
+        };
+        let stop = Arc::new(crate::sync::atomic::AtomicBool::new(false));
+        let shards: Vec<Arc<Inner>> = engine.shards.iter().map(Arc::clone).collect();
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("loom-compactor".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::park_timeout(interval);
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    for shard in &shards {
+                        // Errors degrade the shard's health inside; a
+                        // degraded shard stops compacting until recovery.
+                        let _ = shard.compact_round();
+                    }
+                }
+            });
+        if let Ok(thread) = thread {
+            *engine.compactor.lock() = Some(CompactorHandle { stop, thread });
+        }
     }
 
     /// Opens all shards of a multi-shard engine: validates (or writes)
@@ -486,6 +832,9 @@ impl Loom {
             manifest: Mutex::new(manifest),
             health,
             scan_bufs: Default::default(),
+            cold: RwLock::new(Arc::new(ColdSnap::default())),
+            tier_lock: RwLock::new(()),
+            compact_gate: Mutex::new(()),
         });
         let writer = ShardWriter::new(
             Arc::clone(&inner),
@@ -535,7 +884,10 @@ impl Loom {
                         false,
                     )?,
                     ManifestRecord::IndexClosed { id } => registry.close_index(IndexId(*id))?,
-                    ManifestRecord::Reopened | ManifestRecord::CleanShutdown(_) => {}
+                    ManifestRecord::Reopened
+                    | ManifestRecord::CleanShutdown(_)
+                    | ManifestRecord::ChunksAged { .. }
+                    | ManifestRecord::SlicePruned { .. } => {}
                 }
             }
         }
@@ -556,6 +908,15 @@ impl Loom {
             .clean_shutdown()
             .filter(|s| s.validate(&config.dir, &config).is_ok())
             .cloned();
+        // Rebuild the cold tier from the manifest before any log scan:
+        // the record-log scan must read cold-owned chunks from their
+        // segments. Dirty reopens deep-verify every cold frame (checksum
+        // plus codec round trip); clean ones validate headers and frame
+        // checksums only. This also sweeps orphan segment files (crash
+        // before a commit) and leftover pruned slice directories (crash
+        // before an unlink).
+        let cold_snap =
+            retention::open_cold_tier(&config.dir, manifest.records(), clean.is_none())?;
         let recovered = match clean {
             Some(s) => {
                 let mut st = RecoveredState {
@@ -578,7 +939,7 @@ impl Loom {
                 }
                 st
             }
-            None => recover_dirty(&config.dir, &config)?,
+            None => crate::durability::recover_dirty_with_cold(&config.dir, &config, &cold_snap)?,
         };
 
         // Resume the timeline: the clock must never hand out a timestamp
@@ -670,6 +1031,9 @@ impl Loom {
             manifest: Mutex::new(manifest),
             health,
             scan_bufs: Default::default(),
+            cold: RwLock::new(Arc::new(cold_snap)),
+            tier_lock: RwLock::new(()),
+            compact_gate: Mutex::new(()),
         });
         let mut writer = ShardWriter::new(
             Arc::clone(&inner),
@@ -956,6 +1320,61 @@ impl Loom {
     /// [`Config::slow_query_log`]: crate::Config::slow_query_log
     pub fn recent_slow_queries(&self) -> Vec<SlowQueryTrace> {
         self.inner.shards[0].obs.recent_slow_queries()
+    }
+
+    /// Runs one synchronous retention round over every shard and sums
+    /// the per-shard reports: sealed, durable chunks older than
+    /// [`RetentionConfig::cold_after`](crate::RetentionConfig) move into
+    /// compressed cold segments, and cold slices past `drop_after` are
+    /// dropped. A no-op returning zeros when retention is disabled.
+    /// Every shard is attempted even after a failure; the first error is
+    /// returned (that shard is left degraded and stops compacting).
+    pub fn compact(&self) -> Result<CompactionReport> {
+        let mut total = CompactionReport::default();
+        let mut first_err = None;
+        for shard in &self.inner.shards {
+            match shard.compact_round() {
+                Ok(r) => {
+                    total.chunks_aged += r.chunks_aged;
+                    total.slices_pruned += r.slices_pruned;
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// Per-shard hot/cold tier breakdown, indexed by shard ordinal: how
+    /// many sealed chunks each tier owns and the cold tier's compressed
+    /// footprint. One element on a single-funnel engine.
+    pub fn tier_stats(&self) -> Vec<TierStats> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let cold = shard.cold.read().tier_stats();
+                let chunk_size = shard.config.chunk_size as u64;
+                let sealed = shard.record_log.watermark() / chunk_size;
+                let hot_chunks = sealed.saturating_sub(cold.chunks + cold.pruned_chunks);
+                TierStats {
+                    shard: i,
+                    hot_chunks,
+                    hot_bytes: hot_chunks * chunk_size,
+                    cold,
+                }
+            })
+            .collect()
+    }
+
+    /// The retention policy this engine was opened with.
+    pub fn retention_policy(&self) -> &crate::config::RetentionConfig {
+        &self.inner.config.retention
     }
 
     /// Current memory footprint of the staging blocks, in bytes: each
@@ -1250,6 +1669,7 @@ impl ShardWriter {
         }
 
         // Pad and seal the active chunk if the record does not fit.
+        let mut sealed = needs_pad;
         if needs_pad {
             Self::write_padding(&mut self.record, &mut self.zeros, pad)?;
             self.inner.stats.add_pad_bytes(pad as u64);
@@ -1312,6 +1732,7 @@ impl ShardWriter {
         // the active region visible to queries is always the tail chunk.
         if self.record.tail().is_multiple_of(chunk_size) {
             self.seal_chunk(ts)?;
+            sealed = true;
         }
 
         // Periodic record mark in the timestamp index.
@@ -1347,6 +1768,14 @@ impl ShardWriter {
         state.shared.last_record.store(addr, Ordering::Release);
         state.shared.records.store(count, Ordering::Release);
         self.inner.stats.inc_records(entry_size as u64);
+
+        // Test hook: age eligible chunks synchronously on every seal so
+        // each query path exercises a populated cold tier. compact_round
+        // itself no-ops when retention is disabled; a failed round
+        // degrades the shard but never fails the push that sealed.
+        if sealed && self.inner.config.retention.compact_on_seal {
+            let _ = self.inner.compact_round();
+        }
         Ok(addr)
     }
 
@@ -1483,6 +1912,14 @@ impl ShardWriter {
         self.record.flush_durable()?;
         self.chunk.flush_durable()?;
         self.ts.flush_durable()?;
+        // One final retention round while everything is durable, so an
+        // aggressive policy ages the freshly sealed tail before the
+        // shutdown marker. Failures degrade the shard but must not block
+        // the clean shutdown — the tier's commit point is the manifest
+        // journal, not this pass.
+        if self.inner.config.retention.enabled {
+            let _ = self.inner.compact_round();
+        }
         if let Some(k) = fault::check(fault::WRITER_CLOSE, "") {
             // Injected close failure: everything is flushed but the
             // clean-shutdown marker is never written, so the next open

@@ -32,6 +32,10 @@
 //! | [`MANIFEST_SYNC`] | — | manifest journal `fdatasync` |
 //! | [`SUPERBLOCK_WRITE`] | — | superblock creation on fresh open |
 //! | [`WRITER_CLOSE`] | — | [`LoomWriter::close`](crate::LoomWriter::close) before the clean-shutdown marker |
+//! | [`SEGMENT_WRITE`] | segment file name | cold-segment frame write during compaction |
+//! | [`SEGMENT_SYNC`] | segment file name | cold-segment `fsync` before the manifest commit |
+//! | [`HOT_PUNCH`] | chunk address | hot record-log hole punch after a committed compaction |
+//! | [`SLICE_PRUNE`] | slice dir name | cold-slice directory removal during retention pruning |
 //! | `lsm::wal_append` / `lsm::wal_flush` / `lsm::sstable_write` | — | LSM baseline WAL and SSTable writes |
 
 use std::io;
@@ -49,6 +53,17 @@ pub const MANIFEST_SYNC: &str = "manifest::sync";
 pub const SUPERBLOCK_WRITE: &str = "superblock::write";
 /// `LoomWriter::close` just before the clean-shutdown marker.
 pub const WRITER_CLOSE: &str = "engine::writer_close";
+/// Cold-segment frame write during compaction. Tag: segment file name.
+pub const SEGMENT_WRITE: &str = "retention::segment_write";
+/// Cold-segment `fsync` before the manifest commit. Tag: segment file
+/// name.
+pub const SEGMENT_SYNC: &str = "retention::segment_sync";
+/// Hot record-log hole punch after a committed compaction. Tag: the
+/// punched chunk address.
+pub const HOT_PUNCH: &str = "retention::hot_punch";
+/// Cold-slice directory removal during retention pruning. Tag: slice
+/// directory name.
+pub const SLICE_PRUNE: &str = "retention::slice_prune";
 
 /// The failure a failpoint injects at its site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

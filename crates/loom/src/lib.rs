@@ -83,15 +83,16 @@ pub mod obs;
 pub mod query;
 pub mod record;
 pub mod registry;
+pub mod retention;
 pub mod stats;
 pub mod summary;
 pub mod sync;
 pub mod ts_index;
 
 pub use clock::Clock;
-pub use config::{Config, ConfigBuilder, IoRetryPolicy, OverloadPolicy};
+pub use config::{Config, ConfigBuilder, IoRetryPolicy, OverloadPolicy, RetentionConfig};
 pub use durability::{CleanShutdown, LogId, RecoveryReport, TailTruncation};
-pub use engine::{Loom, LoomWriter};
+pub use engine::{CompactionReport, Loom, LoomWriter, TierStats};
 pub use error::{LoomError, Result};
 pub use extract::ExtractorDesc;
 pub use health::EngineHealth;
@@ -99,4 +100,5 @@ pub use histogram::HistogramSpec;
 pub use obs::{MetricsSnapshot, QueryKind, ShardRollup, SlowQueryTrace};
 pub use query::{Aggregate, AggregateResult, Query, QueryOptions, Record, TimeRange, ValueRange};
 pub use registry::{IndexId, SourceId, ValueFn};
+pub use retention::ColdTierStats;
 pub use stats::{IngestStats, QueryStats};

@@ -205,6 +205,12 @@ pub struct EngineObs {
     recovery_nanos: Counter,
     recovery_truncated_bytes: Counter,
     ingest_drops: Counter,
+    tier_compactions: Counter,
+    tier_chunks_aged: Counter,
+    tier_aged_raw_bytes: Counter,
+    tier_aged_comp_bytes: Counter,
+    tier_slices_pruned: Counter,
+    tier_cold_chunk_reads: Counter,
 }
 
 impl EngineObs {
@@ -237,6 +243,28 @@ impl EngineObs {
         self.ingest_drops.inc();
     }
 
+    /// A compaction batch committed: `chunks` chunks totalling `raw`
+    /// uncompressed bytes landed in a cold segment as `comp` bytes.
+    #[inline]
+    pub(crate) fn compaction(&self, chunks: u64, raw: u64, comp: u64) {
+        self.tier_compactions.inc();
+        self.tier_chunks_aged.add(chunks);
+        self.tier_aged_raw_bytes.add(raw);
+        self.tier_aged_comp_bytes.add(comp);
+    }
+
+    /// A whole cold slice was dropped by retention.
+    #[inline]
+    pub(crate) fn slice_pruned(&self) {
+        self.tier_slices_pruned.inc();
+    }
+
+    /// A query read (and decompressed) one chunk from the cold tier.
+    #[inline]
+    pub(crate) fn cold_chunk_read(&self) {
+        self.tier_cold_chunk_reads.inc();
+    }
+
     fn snapshot(&self) -> CoordinatorMetrics {
         CoordinatorMetrics {
             chunks_sealed: self.chunks_sealed.get(),
@@ -247,6 +275,12 @@ impl EngineObs {
             recovery_nanos: self.recovery_nanos.get(),
             recovery_truncated_bytes: self.recovery_truncated_bytes.get(),
             ingest_drops: self.ingest_drops.get(),
+            tier_compactions: self.tier_compactions.get(),
+            tier_chunks_aged: self.tier_chunks_aged.get(),
+            tier_aged_raw_bytes: self.tier_aged_raw_bytes.get(),
+            tier_aged_comp_bytes: self.tier_aged_comp_bytes.get(),
+            tier_slices_pruned: self.tier_slices_pruned.get(),
+            tier_cold_chunk_reads: self.tier_cold_chunk_reads.get(),
         }
     }
 }

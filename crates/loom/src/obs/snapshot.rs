@@ -64,6 +64,18 @@ pub struct CoordinatorMetrics {
     /// [`OverloadPolicy::DropNewest`](crate::OverloadPolicy::DropNewest)
     /// backpressure policy.
     pub ingest_drops: u64,
+    /// Committed retention compaction batches (one cold segment each).
+    pub tier_compactions: u64,
+    /// Chunks aged from the hot record log into cold segments.
+    pub tier_chunks_aged: u64,
+    /// Uncompressed bytes of aged chunks.
+    pub tier_aged_raw_bytes: u64,
+    /// Compressed bytes those chunks occupy in cold segments.
+    pub tier_aged_comp_bytes: u64,
+    /// Whole cold slices dropped by retention.
+    pub tier_slices_pruned: u64,
+    /// Chunks read (and decompressed) from the cold tier by queries.
+    pub tier_cold_chunk_reads: u64,
 }
 
 /// Index layer: timestamp-index seeks and chunk-summary pruning.
@@ -184,6 +196,12 @@ impl MetricsSnapshot {
         c.recovery_nanos += oc.recovery_nanos;
         c.recovery_truncated_bytes += oc.recovery_truncated_bytes;
         c.ingest_drops += oc.ingest_drops;
+        c.tier_compactions += oc.tier_compactions;
+        c.tier_chunks_aged += oc.tier_chunks_aged;
+        c.tier_aged_raw_bytes += oc.tier_aged_raw_bytes;
+        c.tier_aged_comp_bytes += oc.tier_aged_comp_bytes;
+        c.tier_slices_pruned += oc.tier_slices_pruned;
+        c.tier_cold_chunk_reads += oc.tier_cold_chunk_reads;
 
         let i = &mut self.index;
         let oi = &other.index;
@@ -289,6 +307,30 @@ impl MetricsSnapshot {
             (
                 "loom_coordinator_ingest_drops_total",
                 self.coordinator.ingest_drops,
+            ),
+            (
+                "loom_tier_compactions_total",
+                self.coordinator.tier_compactions,
+            ),
+            (
+                "loom_tier_chunks_aged_total",
+                self.coordinator.tier_chunks_aged,
+            ),
+            (
+                "loom_tier_aged_raw_bytes_total",
+                self.coordinator.tier_aged_raw_bytes,
+            ),
+            (
+                "loom_tier_aged_comp_bytes_total",
+                self.coordinator.tier_aged_comp_bytes,
+            ),
+            (
+                "loom_tier_slices_pruned_total",
+                self.coordinator.tier_slices_pruned,
+            ),
+            (
+                "loom_tier_cold_chunk_reads_total",
+                self.coordinator.tier_cold_chunk_reads,
             ),
             ("loom_index_ts_seeks_total", self.index.ts_seeks),
             ("loom_index_summary_probes_total", self.index.summary_probes),

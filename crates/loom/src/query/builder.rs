@@ -124,8 +124,12 @@ impl<'a> Query<'a> {
             Some(index) => {
                 let values = self.values.unwrap_or_else(ValueRange::all);
                 let meta = self.loom.index_meta(self.source, index)?;
-                let view =
-                    QueryView::capture_from(self.loom.shard(self.source.0), &meta.source_shared)?;
+                let shard = self.loom.shard(self.source.0);
+                // Blocks the compactor from punching hot chunk bytes for
+                // the query's lifetime: the captured cold snapshot plus
+                // unpunched hot bytes together cover every chunk.
+                let _tier = shard.tier_lock.read();
+                let view = QueryView::capture_from(shard, &meta.source_shared)?;
                 let mut stats = indexed_scan::run(
                     &view,
                     &meta,
@@ -145,7 +149,9 @@ impl<'a> Query<'a> {
                         "value_range requires an index; add .index(...) to the query".into(),
                     ));
                 }
-                let view = QueryView::capture(self.loom.shard(self.source.0), self.source)?;
+                let shard = self.loom.shard(self.source.0);
+                let _tier = shard.tier_lock.read();
+                let view = QueryView::capture(shard, self.source)?;
                 let mut stats = raw_scan::run(&view, self.source, self.range, f)?;
                 stats.shards_fanned_out = 1;
                 self.observe(QueryKind::RawScan, None, &stats, phases, &timer);
@@ -164,7 +170,9 @@ impl<'a> Query<'a> {
         let index = self.require_index("aggregate")?;
         self.reject_value_range("aggregate")?;
         let meta = self.loom.index_meta(self.source, index)?;
-        let view = QueryView::capture_from(self.loom.shard(self.source.0), &meta.source_shared)?;
+        let shard = self.loom.shard(self.source.0);
+        let _tier = shard.tier_lock.read();
+        let view = QueryView::capture_from(shard, &meta.source_shared)?;
         let mut result = aggregate::run(&view, &meta, self.range, method, self.opts, &mut phases)?;
         result.stats.shards_fanned_out = 1;
         self.observe(
@@ -189,7 +197,9 @@ impl<'a> Query<'a> {
         let index = self.require_index("bin_counts")?;
         self.reject_value_range("bin_counts")?;
         let meta = self.loom.index_meta(self.source, index)?;
-        let view = QueryView::capture_from(self.loom.shard(self.source.0), &meta.source_shared)?;
+        let shard = self.loom.shard(self.source.0);
+        let _tier = shard.tier_lock.read();
+        let view = QueryView::capture_from(shard, &meta.source_shared)?;
         let (counts, mut stats) =
             aggregate::bin_counts(&view, &meta, self.range, self.opts, &mut phases)?;
         stats.shards_fanned_out = 1;

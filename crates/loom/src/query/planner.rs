@@ -134,12 +134,38 @@ where
     };
     let mut cursor = SummaryCursor::new(&view.chunk, start);
     loop {
-        if cursor.pos() > stop {
+        let pos = cursor.pos();
+        if pos > stop {
             break;
+        }
+        if let Some(slice) = view.cold.slice_covering(pos) {
+            // The slice super-summary answers for all its chunks at
+            // once. Pruned slice: its chunks were dropped by retention —
+            // count its summaries as visited and resume past its range,
+            // so the distributive-aggregate path never folds bins of
+            // dropped chunks. Live cold slice wholly before the range:
+            // every per-chunk summary would be skipped individually, so
+            // jump straight past it without decoding per-chunk metadata.
+            // (Summaries themselves live in the chunk log and are never
+            // punched — both skips are about relevance, not readability.
+            // Slices *after* the range get no special case: the first
+            // decoded summary's own arrival-order break handles them at
+            // the cost of one decode, keeping the visited-summary
+            // accounting identical to an unaged engine.)
+            if slice.pruned || slice.ts_max < range.start {
+                *summaries_scanned += slice.chunks;
+                cursor = SummaryCursor::new(&view.chunk, slice.summary_end);
+                continue;
+            }
         }
         let Some(summary) = cursor.next()? else { break };
         *summaries_scanned += 1;
         if summary.record_count() == 0 {
+            continue;
+        }
+        if summary.chunk_addr < view.cold.pruned_below() {
+            // Belt and braces for prune floors the slice walk above
+            // didn't cover (e.g., out-of-order prune commits).
             continue;
         }
         if summary.ts_min > range.end {

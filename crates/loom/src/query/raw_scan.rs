@@ -6,7 +6,7 @@
 //! the chain walk for historical queries), then walks the source's record
 //! chain backward via the headers' back pointers.
 
-use super::view::QueryView;
+use super::view::{ColdChunkCache, QueryView};
 use super::{Record, TimeRange};
 use crate::error::Result;
 use crate::record::{NIL_ADDR, RECORD_HEADER_SIZE};
@@ -39,8 +39,15 @@ where
 
     let mut addr = start;
     let mut payload = Vec::new();
+    let mut cache = ColdChunkCache::default();
     loop {
-        let (header, header_buf) = view.read_header(addr)?;
+        if addr < view.cold.pruned_below() {
+            // The record was dropped by retention, and the chain walks
+            // backward in time: everything it still points at is older
+            // and dropped too.
+            break;
+        }
+        let (header, header_buf) = view.read_header(addr, &mut cache)?;
         debug_assert_eq!(header.source, source.0, "record chain crossed sources");
         stats.records_scanned += 1;
         stats.bytes_read += RECORD_HEADER_SIZE as u64;
@@ -50,7 +57,7 @@ where
             break;
         }
         if header.ts <= range.end {
-            view.read_payload(addr, &header, &header_buf, &mut payload)?;
+            view.read_payload(addr, &header, &header_buf, &mut payload, &mut cache)?;
             stats.bytes_read += header.len as u64;
             stats.records_matched += 1;
             f(Record {

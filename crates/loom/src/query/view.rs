@@ -9,6 +9,7 @@
 //! before the first snapshot is visible; later data is not (§4.5).
 
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 use super::columnar::BufferPool;
 use crate::engine::Inner;
@@ -17,6 +18,7 @@ use crate::hybridlog::Snapshot;
 use crate::obs::Obs;
 use crate::record::{ChunkIter, ChunkRecord, RecordHeader, RECORD_HEADER_SIZE};
 use crate::registry::{SourceId, SourceShared};
+use crate::retention::ColdSnap;
 use crate::stats::QueryStats;
 
 /// A consistent, point-in-time view over the three logs.
@@ -27,6 +29,12 @@ pub(crate) struct QueryView<'a> {
     pub chunk: Snapshot<'a>,
     /// Snapshot of the record log (captured last).
     pub rec: Snapshot<'a>,
+    /// The cold tier at capture time. Chunks this snapshot owns are read
+    /// (and decompressed) from their segments instead of the record log;
+    /// chunks below its prune floor read as empty. Pruned segments stay
+    /// readable through the snapshot's open file handles even after
+    /// retention unlinks them.
+    pub cold: Arc<ColdSnap>,
     /// The queried source's last published record address at capture time
     /// (guaranteed inside `rec`), or `NIL_ADDR`.
     pub source_last: u64,
@@ -75,10 +83,18 @@ impl<'a> QueryView<'a> {
             .last_record
             .load(std::sync::atomic::Ordering::Acquire);
         let rec = inner.record_log.snapshot()?;
+        // Captured after the record snapshot: the compactor installs a
+        // chunk into the cold snapshot *before* punching its hot bytes,
+        // so any chunk our record snapshot can no longer trust is owned
+        // by this (or a later) snapshot. Terminal query stages hold the
+        // shard's tier read-lock, which blocks punching entirely for
+        // the query's duration.
+        let cold = Arc::clone(&inner.cold.read());
         Ok(QueryView {
             ts,
             chunk,
             rec,
+            cold,
             source_last,
             chunk_size: inner.config.chunk_size as u64,
             query_threads: inner.config.query_threads,
@@ -98,12 +114,16 @@ impl<'a> QueryView<'a> {
             .max(1)
     }
 
-    /// Reads a record header from the record log, returning the decoded
-    /// header together with its raw bytes (needed to verify the entry
-    /// checksum once the payload is available).
-    pub fn read_header(&self, addr: u64) -> Result<(RecordHeader, [u8; RECORD_HEADER_SIZE])> {
+    /// Reads a record header from whichever tier owns its chunk,
+    /// returning the decoded header together with its raw bytes (needed
+    /// to verify the entry checksum once the payload is available).
+    pub fn read_header(
+        &self,
+        addr: u64,
+        cache: &mut ColdChunkCache,
+    ) -> Result<(RecordHeader, [u8; RECORD_HEADER_SIZE])> {
         let mut buf = [0u8; RECORD_HEADER_SIZE];
-        self.rec.read_at(addr, &mut buf)?;
+        self.read_at_tiered(addr, &mut buf, cache)?;
         Ok((RecordHeader::decode(&buf)?, buf))
     }
 
@@ -115,9 +135,10 @@ impl<'a> QueryView<'a> {
         header: &RecordHeader,
         header_buf: &[u8; RECORD_HEADER_SIZE],
         buf: &mut Vec<u8>,
+        cache: &mut ColdChunkCache,
     ) -> Result<()> {
         buf.resize(header.len as usize, 0);
-        self.rec.read_at(addr + RECORD_HEADER_SIZE as u64, buf)?;
+        self.read_at_tiered(addr + RECORD_HEADER_SIZE as u64, buf, cache)?;
         if !RecordHeader::verify(header_buf, buf) {
             return Err(crate::error::LoomError::CorruptLog {
                 log: crate::durability::LogId::Records,
@@ -126,6 +147,56 @@ impl<'a> QueryView<'a> {
             });
         }
         Ok(())
+    }
+
+    /// Reads `out.len()` bytes at `addr` from whichever tier owns the
+    /// containing chunk (records never span chunks, so one chunk always
+    /// does). Cold chunks decompress through `cache`, which holds the
+    /// last chunk touched — the raw chain walk revisits the same chunk
+    /// many times.
+    fn read_at_tiered(&self, addr: u64, out: &mut [u8], cache: &mut ColdChunkCache) -> Result<()> {
+        let base = addr - addr % self.chunk_size;
+        if self.cold.owns(base) {
+            if cache.addr != Some(base) {
+                self.cold.read_chunk(base, &mut cache.bytes)?;
+                self.obs.engine.cold_chunk_read();
+                cache.addr = Some(base);
+            }
+            let off = (addr - base) as usize;
+            let n = cache.bytes.len().saturating_sub(off).min(out.len());
+            out[n..].fill(0);
+            out[..n].copy_from_slice(&cache.bytes[off..off + n]);
+            return Ok(());
+        }
+        if addr + out.len() as u64 <= self.cold.pruned_below() {
+            // Dropped by retention: reads see zeros no matter what
+            // bytes the hot log might still stage for the region.
+            out.fill(0);
+            return Ok(());
+        }
+        self.rec.read_at(addr, out)
+    }
+
+    /// Reads the `len`-byte chunk piece at chunk-aligned `pos` into
+    /// `buf[..len]` from whichever tier owns it: cold chunks decompress
+    /// from their segment frame, pruned chunks read as zeros, everything
+    /// else reads from the record log.
+    fn read_piece(&self, pos: u64, len: usize, buf: &mut Vec<u8>) -> Result<()> {
+        if self.cold.read_chunk(pos, buf)? {
+            self.obs.engine.cold_chunk_read();
+            if buf.len() < len {
+                buf.resize(len, 0);
+            }
+            return Ok(());
+        }
+        if buf.len() < len {
+            buf.resize(len, 0);
+        }
+        if pos + len as u64 <= self.cold.pruned_below() {
+            buf[..len].fill(0);
+            return Ok(());
+        }
+        self.rec.read_at(pos, &mut buf[..len])
     }
 
     /// Scans the record-log region `[from, to)` chunk piece by chunk
@@ -165,11 +236,8 @@ impl<'a> QueryView<'a> {
         let mut pos = from;
         while pos < to {
             let len = self.chunk_size.min(to - pos) as usize;
-            if buf.len() < len {
-                buf.resize(len, 0);
-            }
-            let piece = &mut buf[..len];
-            self.rec.read_at(pos, piece)?;
+            self.read_piece(pos, len, buf)?;
+            let piece = &buf[..len];
             out.chunks += 1;
             out.bytes += len as u64;
             for rec in ChunkIter::new(piece, pos) {
@@ -208,10 +276,7 @@ impl<'a> QueryView<'a> {
             return Ok(0);
         }
         let len = self.chunk_size.min(wm - chunk_addr) as usize;
-        if buf.len() < len {
-            buf.resize(len, 0);
-        }
-        self.rec.read_at(chunk_addr, &mut buf[..len])?;
+        self.read_piece(chunk_addr, len, buf)?;
         Ok(len)
     }
 
@@ -228,6 +293,17 @@ impl<'a> QueryView<'a> {
     {
         self.scan_region_with_buf(chunk_addr, chunk_addr + self.chunk_size, buf, f)
     }
+}
+
+/// One-chunk cache of decompressed cold bytes for record-at-a-time
+/// reads: the raw chain walk touches the same chunk once per record,
+/// and decompressing per read would be quadratic in records-per-chunk.
+#[derive(Default)]
+pub(crate) struct ColdChunkCache {
+    /// Chunk address of the cached bytes, if any.
+    addr: Option<u64>,
+    /// The decompressed chunk.
+    bytes: Vec<u8>,
 }
 
 /// Counters produced by a region scan.

@@ -1,0 +1,402 @@
+//! Cold-tier segment files: CRC-framed containers of compressed chunks.
+//!
+//! A segment lives at `cold/<slice>/seg-N.seg` inside a shard directory
+//! and is written in one compaction round: header, then one frame per
+//! aged chunk, then `fsync`. A segment is *not* data until the manifest
+//! journals a `ChunksAged` record pointing into it — the manifest append
+//! is the tier commit point, so a crash mid-segment leaves an orphan
+//! file that reopen deletes, with every affected chunk still owned by
+//! the hot tier.
+//!
+//! Frame body layout (wrapped in the standard `[len][crc][body]` frame):
+//!
+//! ```text
+//! chunk_addr u64 | raw_len u32 | raw_crc u32 | codec u8 | compressed bytes
+//! ```
+//!
+//! `raw_crc` is the CRC32 of the *original* chunk bytes; reads verify it
+//! after decompression, so both the stored body and the codec output are
+//! checked on every cold read.
+
+use std::fs::File;
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use super::codec;
+use crate::durability::format::{crc32, read_frame, write_frame, LogId, FRAME_HEADER_SIZE};
+use crate::error::{LoomError, Result};
+use crate::fault;
+
+/// Name of the cold-tier directory inside a shard data directory.
+pub const COLD_DIR: &str = "cold";
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"LOOMCSG\x01";
+
+/// Size of the segment header: magic + version + slice + crc.
+pub const SEGMENT_HEADER_SIZE: usize = 8 + 4 + 8 + 4;
+
+/// Segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Directory name of one cold time slice.
+pub fn slice_dir_name(slice: u64) -> String {
+    format!("slice-{slice:012}")
+}
+
+/// Parses a slice index back out of a directory name.
+pub fn parse_slice_dir_name(name: &str) -> Option<u64> {
+    name.strip_prefix("slice-")?.parse().ok()
+}
+
+/// File name of one segment within a slice directory.
+pub fn segment_file_name(segment: u32) -> String {
+    format!("seg-{segment:06}.seg")
+}
+
+/// Parses a segment index back out of a file name.
+pub fn parse_segment_file_name(name: &str) -> Option<u32> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Absolute path of segment `segment` of `slice` under `shard_dir`.
+pub fn segment_path(shard_dir: &Path, slice: u64, segment: u32) -> PathBuf {
+    shard_dir
+        .join(COLD_DIR)
+        .join(slice_dir_name(slice))
+        .join(segment_file_name(segment))
+}
+
+fn corrupt_at(addr: u64, reason: impl Into<String>) -> LoomError {
+    LoomError::CorruptLog {
+        log: LogId::ColdSegment,
+        addr,
+        reason: reason.into(),
+    }
+}
+
+/// Metadata of one chunk frame appended to a segment, destined for the
+/// manifest's `ChunksAged` commit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Record-log address of the aged chunk.
+    pub chunk_addr: u64,
+    /// Byte offset of the frame inside the segment file.
+    pub offset: u64,
+    /// Uncompressed chunk length.
+    pub raw_len: u32,
+    /// Compressed frame body length (header fields included).
+    pub comp_len: u32,
+    /// Codec the chunk was stored with.
+    pub codec: u8,
+}
+
+/// Writes one segment file for one compaction round.
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    tag: String,
+    buf: Vec<u8>,
+    offset: u64,
+}
+
+impl SegmentWriter {
+    /// Creates `seg-<segment>.seg` (and its slice directory) under
+    /// `shard_dir/cold/<slice>/`.
+    pub fn create(shard_dir: &Path, slice: u64, segment: u32) -> Result<SegmentWriter> {
+        let path = segment_path(shard_dir, slice, segment);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let tag = segment_file_name(segment);
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_SIZE);
+        header.extend_from_slice(SEGMENT_MAGIC);
+        header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        header.extend_from_slice(&slice.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        // Read access too: `finish` hands the file back for immediate
+        // cold reads by the freshly installed snapshot.
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        if let Some(k) = fault::check(fault::SEGMENT_WRITE, &tag) {
+            return Err(LoomError::Io(k.to_io_error()));
+        }
+        file.write_all(&header)?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            tag,
+            buf: Vec::new(),
+            offset: SEGMENT_HEADER_SIZE as u64,
+        })
+    }
+
+    /// Compresses `raw` (the exact chunk bytes at `chunk_addr`) and
+    /// appends its frame.
+    pub fn append_chunk(&mut self, chunk_addr: u64, raw: &[u8]) -> Result<FrameMeta> {
+        let (codec_id, comp) = codec::compress_chunk(raw, chunk_addr);
+        let mut body = Vec::with_capacity(17 + comp.len());
+        body.extend_from_slice(&chunk_addr.to_le_bytes());
+        body.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        body.extend_from_slice(&crc32(raw).to_le_bytes());
+        body.push(codec_id);
+        body.extend_from_slice(&comp);
+        self.buf.clear();
+        write_frame(&mut self.buf, &body);
+        if let Some(k) = fault::check(fault::SEGMENT_WRITE, &self.tag) {
+            if k == crate::fault::FaultKind::ShortWrite {
+                // Model a torn frame: half the bytes land before the error.
+                let half = self.buf.len() / 2;
+                let _ = self.file.write_all(&self.buf[..half]);
+            }
+            return Err(LoomError::Io(k.to_io_error()));
+        }
+        self.file.write_all(&self.buf)?;
+        let meta = FrameMeta {
+            chunk_addr,
+            offset: self.offset,
+            raw_len: raw.len() as u32,
+            comp_len: body.len() as u32,
+            codec: codec_id,
+        };
+        self.offset += (FRAME_HEADER_SIZE + body.len()) as u64;
+        Ok(meta)
+    }
+
+    /// Fsyncs the segment (and its slice directory, so the new file's
+    /// directory entry is durable before the manifest commit) and
+    /// returns the opened file for immediate cold reads.
+    pub fn finish(self) -> Result<File> {
+        if let Some(k) = fault::check(fault::SEGMENT_SYNC, &self.tag) {
+            return Err(LoomError::Io(k.to_io_error()));
+        }
+        self.file.sync_all()?;
+        if let Some(parent) = self.path.parent() {
+            File::open(parent)?.sync_all()?;
+        }
+        Ok(self.file)
+    }
+}
+
+/// Reads and verifies the chunk frame at `offset`, decompressing the
+/// exact original chunk bytes into `out`. `expect_addr` cross-checks the
+/// frame against the caller's map.
+pub fn read_chunk_frame(
+    file: &File,
+    offset: u64,
+    expect_addr: u64,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let mut head = [0u8; FRAME_HEADER_SIZE];
+    file.read_exact_at(&mut head, offset)?;
+    let body_len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    let stored_crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if body_len < 17 || body_len as u64 > crate::durability::MAX_FRAME_LEN {
+        return Err(corrupt_at(offset, format!("bad frame length {body_len}")));
+    }
+    let mut body = vec![0u8; body_len];
+    file.read_exact_at(&mut body, offset + FRAME_HEADER_SIZE as u64)?;
+    if crc32(&body) != stored_crc {
+        return Err(corrupt_at(offset, "frame checksum mismatch"));
+    }
+    let chunk_addr = u64::from_le_bytes([
+        body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+    ]);
+    if chunk_addr != expect_addr {
+        return Err(corrupt_at(
+            offset,
+            format!("frame holds chunk {chunk_addr}, expected {expect_addr}"),
+        ));
+    }
+    let raw_len = u32::from_le_bytes([body[8], body[9], body[10], body[11]]) as usize;
+    let raw_crc = u32::from_le_bytes([body[12], body[13], body[14], body[15]]);
+    let codec_id = body[16];
+    codec::decompress_chunk(codec_id, &body[17..], chunk_addr, out)?;
+    if out.len() != raw_len {
+        return Err(corrupt_at(
+            offset,
+            format!("decompressed {} bytes, frame says {raw_len}", out.len()),
+        ));
+    }
+    if crc32(out) != raw_crc {
+        return Err(corrupt_at(offset, "decompressed chunk checksum mismatch"));
+    }
+    Ok(())
+}
+
+/// Verifies a segment file's header and, when `deep`, every frame —
+/// checksums, codec round trip, and chunk-address ordering. Returns the
+/// chunk addresses the segment holds.
+pub fn validate_segment(path: &Path, slice: u64, deep: bool) -> Result<Vec<u64>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < SEGMENT_HEADER_SIZE {
+        return Err(corrupt_at(0, "segment shorter than its header"));
+    }
+    if &bytes[..8] != SEGMENT_MAGIC {
+        return Err(corrupt_at(0, "bad segment magic"));
+    }
+    let stored = u32::from_le_bytes([
+        bytes[SEGMENT_HEADER_SIZE - 4],
+        bytes[SEGMENT_HEADER_SIZE - 3],
+        bytes[SEGMENT_HEADER_SIZE - 2],
+        bytes[SEGMENT_HEADER_SIZE - 1],
+    ]);
+    if crc32(&bytes[..SEGMENT_HEADER_SIZE - 4]) != stored {
+        return Err(corrupt_at(0, "segment header checksum mismatch"));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != SEGMENT_VERSION {
+        return Err(corrupt_at(
+            0,
+            format!("unsupported segment version {version}"),
+        ));
+    }
+    let hdr_slice = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]);
+    if hdr_slice != slice {
+        return Err(corrupt_at(
+            0,
+            format!("segment header names slice {hdr_slice}, directory says {slice}"),
+        ));
+    }
+    let mut addrs = Vec::new();
+    let mut pos = SEGMENT_HEADER_SIZE;
+    let mut scratch = Vec::new();
+    while let Some((body, next)) = read_frame(&bytes, pos, LogId::ColdSegment)? {
+        if body.len() < 17 {
+            return Err(corrupt_at(pos as u64, "frame body shorter than its header"));
+        }
+        let chunk_addr = u64::from_le_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        if let Some(&last) = addrs.last() {
+            if chunk_addr <= last {
+                return Err(corrupt_at(pos as u64, "chunk frames out of order"));
+            }
+        }
+        if deep {
+            let raw_len = u32::from_le_bytes([body[8], body[9], body[10], body[11]]) as usize;
+            let raw_crc = u32::from_le_bytes([body[12], body[13], body[14], body[15]]);
+            codec::decompress_chunk(body[16], &body[17..], chunk_addr, &mut scratch)?;
+            if scratch.len() != raw_len || crc32(&scratch) != raw_crc {
+                return Err(corrupt_at(pos as u64, "frame fails deep verification"));
+            }
+        }
+        addrs.push(chunk_addr);
+        pos = next;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt_at(pos as u64, "torn frame at segment tail"));
+    }
+    Ok(addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordHeader, NIL_ADDR};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("loom-seg-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn chunk_with_records(base: u64, n: u64) -> Vec<u8> {
+        let mut chunk = Vec::new();
+        let mut prev = NIL_ADDR;
+        for i in 0..n {
+            let h = RecordHeader {
+                source: 2,
+                len: 8,
+                prev,
+                ts: 100 + i,
+            };
+            prev = base + chunk.len() as u64;
+            let payload = (i * 17).to_le_bytes();
+            chunk.extend_from_slice(&h.encode(&payload));
+            chunk.extend_from_slice(&payload);
+        }
+        chunk.resize(1024, 0);
+        chunk
+    }
+
+    #[test]
+    fn segment_round_trips_and_validates() {
+        let dir = tmpdir("roundtrip");
+        let c0 = chunk_with_records(0, 10);
+        let c1 = chunk_with_records(1024, 20);
+        let mut w = SegmentWriter::create(&dir, 3, 0).unwrap();
+        let m0 = w.append_chunk(0, &c0).unwrap();
+        let m1 = w.append_chunk(1024, &c1).unwrap();
+        let file = w.finish().unwrap();
+        assert_eq!(m0.raw_len, 1024);
+        assert!(m1.comp_len < 1024, "chunk should compress");
+
+        let mut out = Vec::new();
+        read_chunk_frame(&file, m0.offset, 0, &mut out).unwrap();
+        assert_eq!(out, c0);
+        read_chunk_frame(&file, m1.offset, 1024, &mut out).unwrap();
+        assert_eq!(out, c1);
+        // Wrong expected address is rejected.
+        assert!(read_chunk_frame(&file, m1.offset, 0, &mut out).is_err());
+
+        let path = segment_path(&dir, 3, 0);
+        assert_eq!(validate_segment(&path, 3, true).unwrap(), vec![0, 1024]);
+        // Wrong slice in the directory name is caught.
+        assert!(validate_segment(&path, 4, false).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_byte_fails_validation_and_reads() {
+        let dir = tmpdir("flip");
+        let c0 = chunk_with_records(0, 10);
+        let mut w = SegmentWriter::create(&dir, 1, 0).unwrap();
+        let m0 = w.append_chunk(0, &c0).unwrap();
+        drop(w.finish().unwrap());
+        let path = segment_path(&dir, 1, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 20] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(validate_segment(&path, 1, false).is_err());
+        let file = File::open(&path).unwrap();
+        let mut out = Vec::new();
+        assert!(read_chunk_frame(&file, m0.offset, 0, &mut out).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_detected() {
+        let dir = tmpdir("torn");
+        let c0 = chunk_with_records(0, 8);
+        let mut w = SegmentWriter::create(&dir, 0, 1).unwrap();
+        w.append_chunk(0, &c0).unwrap();
+        drop(w.finish().unwrap());
+        let path = segment_path(&dir, 0, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(validate_segment(&path, 0, false).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(parse_slice_dir_name(&slice_dir_name(42)), Some(42));
+        assert_eq!(parse_segment_file_name(&segment_file_name(7)), Some(7));
+        assert_eq!(parse_slice_dir_name("nope"), None);
+        assert_eq!(parse_segment_file_name("seg-x.seg"), None);
+    }
+}
