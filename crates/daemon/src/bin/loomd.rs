@@ -32,12 +32,19 @@ use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use daemon::net::{NetOptions, NetServer, WriterSlot};
 use loom::{Aggregate, ExtractorDesc, HistogramSpec, TimeRange, ValueRange};
 use telemetry::records::LatencyRecord;
 
-/// The writer slot shared between the shell and the signal watcher: taking
-/// the writer out closes the instance exactly once.
-type WriterSlot = Arc<Mutex<Option<loom::LoomWriter>>>;
+/// The network-server slot shared between main and the signal watcher:
+/// taking the server out drains it exactly once, *before* the writer
+/// slot is closed, so connections can send their terminal frames while
+/// the engine still accepts work.
+type ServerSlot = Arc<Mutex<Option<NetServer>>>;
+
+/// How long a shutdown waits for network connections to finish their
+/// in-flight exchange before declaring the drain failed.
+const DRAIN_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 struct Shell {
     loom: loom::Loom,
@@ -563,7 +570,8 @@ fn format_slow_trace(t: &loom::SlowQueryTrace) -> String {
 }
 
 const USAGE: &str = "\
-usage: loomd [--dir <path>] [--shards <n>] [--stats-interval <secs>] [--help]
+usage: loomd [--dir <path>] [--shards <n>] [--listen <addr>]
+             [--stats-interval <secs>] [--help]
   --dir <path>            durable data directory: reopened (with crash
                           recovery) if it already holds Loom data, created
                           otherwise, and kept on exit. Without --dir loomd
@@ -572,12 +580,16 @@ usage: loomd [--dir <path>] [--shards <n>] [--stats-interval <secs>] [--help]
                           (default 1). A directory remembers its shard
                           count; reopening with a different --shards is an
                           error.
+  --listen <addr>         serve the network ingest/subscription protocol
+                          on addr (e.g. 127.0.0.1:7600; port 0 picks a
+                          free port). The shell stays interactive.
   --stats-interval <secs> dump engine metrics to stderr periodically
   --help                  show this help";
 
 struct Options {
     dir: Option<PathBuf>,
     shards: usize,
+    listen: Option<String>,
     stats_interval: Option<std::time::Duration>,
     help: bool,
 }
@@ -587,6 +599,7 @@ fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Options, String> {
     let mut opts = Options {
         dir: None,
         shards: 1,
+        listen: None,
         stats_interval: None,
         help: false,
     };
@@ -606,6 +619,10 @@ fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Options, String> {
                     return Err("--shards must be at least 1".to_string());
                 }
                 opts.shards = n;
+            }
+            "--listen" => {
+                let addr = args.next().ok_or("--listen needs an address")?;
+                opts.listen = Some(addr);
             }
             "--stats-interval" => {
                 let secs: u64 = args
@@ -646,16 +663,39 @@ fn format_recovery(report: &loom::RecoveryReport) -> String {
     out
 }
 
-/// Closes the instance exactly once (the slot is emptied), optionally
-/// removes an ephemeral data directory, and exits.
+/// Drains the network server (if any) and closes the instance, each
+/// exactly once (both slots are emptied), optionally removes an
+/// ephemeral data directory, and exits.
+///
+/// Ordering matters: connections drain *before* [`loom::LoomWriter::close`],
+/// so in-flight batches can still be acked and every subscription gets
+/// its terminal `SubEnd` frame while the engine is alive. A drain that
+/// times out forces a nonzero exit even if the close succeeds.
 ///
 /// Exits with `code` on a clean close (`0` for `quit`, non-zero for a
 /// forced signal shutdown so supervisors can tell the two apart) and
-/// with `1` if the close itself failed — the directory is still left in
-/// a recoverable state either way, since the hybrid logs flush what they
-/// can and the next open runs crash recovery.
-fn shutdown(writer: &WriterSlot, keep_dir: bool, dir: &Path, why: &str, code: i32) -> ! {
+/// with `1` if the drain or the close failed — the directory is still
+/// left in a recoverable state either way, since the hybrid logs flush
+/// what they can and the next open runs crash recovery.
+fn shutdown(
+    server: &ServerSlot,
+    writer: &WriterSlot,
+    keep_dir: bool,
+    dir: &Path,
+    why: &str,
+    code: i32,
+) -> ! {
     let mut code = code;
+    let taken_server = server.lock().ok().and_then(|mut slot| slot.take());
+    if let Some(srv) = taken_server {
+        match srv.drain(DRAIN_TIMEOUT) {
+            Ok(()) => eprintln!("loomd: {why}: network connections drained"),
+            Err(e) => {
+                eprintln!("loomd: {why}: network drain failed ({e})");
+                code = code.max(1);
+            }
+        }
+    }
     let taken = writer.lock().ok().and_then(|mut slot| slot.take());
     if let Some(w) = taken {
         match w.close() {
@@ -760,9 +800,28 @@ fn main() {
     }
 
     let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
+    let server: ServerSlot = Arc::new(Mutex::new(None));
+    if let Some(addr) = &opts.listen {
+        match NetServer::start(
+            loom_handle.clone(),
+            Arc::clone(&writer),
+            addr,
+            NetOptions::default(),
+        ) {
+            Ok(srv) => {
+                eprintln!("loomd: listening on {}", srv.local_addr());
+                *server.lock().expect("server slot") = Some(srv);
+            }
+            Err(e) => {
+                eprintln!("loomd: cannot listen on {addr}: {e}");
+                shutdown(&server, &writer, !ephemeral, &dir, "listen failed", 1);
+            }
+        }
+    }
     #[cfg(unix)]
     {
         signals::install();
+        let srv_slot = Arc::clone(&server);
         let slot = Arc::clone(&writer);
         let keep_dir = !ephemeral;
         let dir = dir.clone();
@@ -770,7 +829,7 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_millis(50));
             // Ordering: Acquire pairs with the handler's Release store.
             if signals::SHUTDOWN.load(std::sync::atomic::Ordering::Acquire) {
-                shutdown(&slot, keep_dir, &dir, "signal", 1);
+                shutdown(&srv_slot, &slot, keep_dir, &dir, "signal", 1);
             }
         });
     }
@@ -819,7 +878,7 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
-    shutdown(&shell.writer, !ephemeral, &dir, "quit", 0);
+    shutdown(&server, &shell.writer, !ephemeral, &dir, "quit", 0);
 }
 
 #[cfg(test)]
@@ -890,8 +949,13 @@ mod tests {
                 .shards,
             4
         );
+        assert_eq!(
+            parse_args(to_args("--listen 127.0.0.1:0")).unwrap().listen,
+            Some("127.0.0.1:0".to_string())
+        );
         assert!(parse_args(to_args("--help")).unwrap().help);
         assert!(parse_args(to_args("--dir")).is_err());
+        assert!(parse_args(to_args("--listen")).is_err());
         assert!(parse_args(to_args("--shards 0")).is_err());
         assert!(parse_args(to_args("--shards")).is_err());
         assert!(parse_args(to_args("--bogus")).is_err());

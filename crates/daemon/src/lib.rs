@@ -13,12 +13,17 @@
 //! * [`sinks`] — [`telemetry::TelemetrySink`] adapters for Loom,
 //!   FishStore, and the TSDB (the raw-file and null sinks live in
 //!   `telemetry`), so every experiment pushes the identical event stream
-//!   through the identical interface.
+//!   through the identical interface;
+//! * [`net`] — the TCP network service (`loomd --listen`): ingest
+//!   connections with durable-watermark acks and replay dedup, plus
+//!   standing subscriptions with bounded per-subscriber queues.
 
+pub mod net;
 pub mod otel;
 pub mod pipeline;
 pub mod sinks;
 
+pub use net::{NetOptions, NetServer, WriterSlot};
 pub use otel::OtelExporter;
 pub use pipeline::{Daemon, DaemonEvent, DaemonHandle, DaemonStats};
 pub use sinks::{FishStoreSink, LoomSink, TsdbSink};

@@ -1,0 +1,585 @@
+//! Network service integration tests over real TCP sockets.
+//!
+//! Every test binds `127.0.0.1:0` (the OS picks a free port), so the
+//! suite is parallel-safe. The core contract under test, end to end:
+//!
+//! 1. Ingest batches are acked with a durable watermark, and a
+//!    retransmitted `(client_id, batch_seq)` is re-acked without
+//!    duplicating records.
+//! 2. A client killed mid-frame never lands a partial batch, and the
+//!    server keeps serving other connections.
+//! 3. Subscriptions deliver history + live records exactly once, in
+//!    order, and end with a terminal frame on drain.
+//! 4. Slow consumers get the policy they asked for (gap markers /
+//!    disconnect) without stalling ingest or other subscribers.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use daemon::net::{NetOptions, NetServer, WriterSlot};
+use loom::net::{
+    read_frame, write_frame, BatchOutcome, ClientConfig, IngestClient, Message, NackCode, Role,
+    SlowConsumerPolicy, SubClient, SubEvent, SubscribeSpec, PROTO_VERSION,
+};
+use loom::{Config, Loom, TimeRange};
+
+/// A running server over an ephemeral engine; everything is torn down
+/// on drop (`Config::small` removes the dir).
+struct Harness {
+    loom: Loom,
+    _writer: WriterSlot,
+    server: Option<NetServer>,
+    addr: String,
+}
+
+impl Harness {
+    fn start(name: &str) -> Harness {
+        Harness::start_with(name, NetOptions::default())
+    }
+
+    fn start_with(name: &str, opts: NetOptions) -> Harness {
+        let dir = std::env::temp_dir().join(format!("loom-net-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (loom, writer) = Loom::open(Config::small(&dir)).unwrap();
+        let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
+        let server =
+            NetServer::start(loom.clone(), Arc::clone(&writer), "127.0.0.1:0", opts).unwrap();
+        let addr = server.local_addr().to_string();
+        Harness {
+            loom,
+            _writer: writer,
+            server: Some(server),
+            addr,
+        }
+    }
+
+    fn client(&self, client_id: u64) -> ClientConfig {
+        let mut cfg = ClientConfig::new(self.addr.clone(), client_id);
+        // Fail fast in tests; the server is local.
+        cfg.read_timeout = Duration::from_secs(2);
+        cfg
+    }
+
+    fn drain(&mut self) {
+        self.server
+            .take()
+            .expect("already drained")
+            .drain(Duration::from_secs(10))
+            .unwrap();
+    }
+
+    /// All payloads of `source`, oldest first.
+    fn all_records(&self, source: &str) -> Vec<Vec<u8>> {
+        let sid = self
+            .loom
+            .sources()
+            .into_iter()
+            .find(|(_, n, _)| n == source)
+            .map(|(sid, _, _)| sid)
+            .expect("source defined");
+        let mut got = Vec::new();
+        self.loom
+            .raw_scan(sid, TimeRange::new(0, u64::MAX), |r| {
+                got.push(r.payload.to_vec());
+            })
+            .unwrap();
+        got.reverse(); // raw_scan yields newest first
+        got
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            let _ = server.drain(Duration::from_secs(10));
+        }
+    }
+}
+
+/// Stamps one record payload: `(client, seq)` as 16 LE bytes.
+fn payload(client: u64, seq: u64) -> Vec<u8> {
+    let mut p = client.to_le_bytes().to_vec();
+    p.extend_from_slice(&seq.to_le_bytes());
+    p
+}
+
+/// Opens a raw protocol socket and runs the hello exchange, returning
+/// the stream and the server's `last_acked_seq` for `client_id`.
+fn raw_connect(addr: &str, role: Role, client_id: u64) -> (TcpStream, u64) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let hello = Message::Hello {
+        version: PROTO_VERSION,
+        role,
+        client_id,
+        schema_fingerprint: 0,
+    };
+    write_frame(&mut stream, hello.frame_type(), &hello.encode_body(), "t").unwrap();
+    let (ty, body) = read_frame(&mut stream, "t").unwrap();
+    match Message::decode(ty, &body).unwrap() {
+        Message::HelloAck { last_acked_seq, .. } => (stream, last_acked_seq),
+        other => panic!("expected hello-ack, got {other:?}"),
+    }
+}
+
+fn raw_send(stream: &mut TcpStream, msg: &Message) {
+    write_frame(stream, msg.frame_type(), &msg.encode_body(), "t").unwrap();
+}
+
+fn raw_recv(stream: &mut TcpStream) -> Message {
+    let (ty, body) = read_frame(stream, "t").unwrap();
+    Message::decode(ty, &body).unwrap()
+}
+
+#[test]
+fn ingest_batches_are_acked_with_watermarks_and_counted() {
+    let mut h = Harness::start("ack");
+    let mut client = IngestClient::connect(h.client(7)).unwrap();
+    let src = client.resolve("app").unwrap();
+    assert_eq!(client.resolve("app").unwrap(), src, "resolve is idempotent");
+
+    for seq in 1..=3u64 {
+        let batch: Vec<Vec<u8>> = (0..10).map(|i| payload(7, (seq - 1) * 10 + i)).collect();
+        match client.send_batch(src, batch).unwrap() {
+            BatchOutcome::Acked { watermark } => assert_eq!(watermark, seq),
+            other => panic!("batch {seq} not acked: {other:?}"),
+        }
+    }
+    assert_eq!(client.last_acked(), 3);
+    assert_eq!(client.unacked_len(), 0);
+
+    let got = h.all_records("app");
+    let want: Vec<Vec<u8>> = (0..30).map(|i| payload(7, i)).collect();
+    assert_eq!(got, want, "records arrive exactly once, in push order");
+
+    // Drain first: joining the handler threads makes the counters final.
+    h.drain();
+    let net = h.loom.metrics_snapshot().net;
+    if cfg!(feature = "self-obs") {
+        assert_eq!(net.batches, 3);
+        assert_eq!(net.records, 30);
+        assert_eq!(net.acks, 3);
+        assert!(net.connections >= 1);
+        assert!(net.frames_read >= 5, "hello + 2 resolves + 3 batches");
+    }
+}
+
+#[test]
+fn version_and_schema_mismatches_are_typed_nacks() {
+    let h = Harness::start("nack");
+    // Wrong protocol version.
+    let mut stream = TcpStream::connect(&h.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let hello = Message::Hello {
+        version: 99,
+        role: Role::Ingest,
+        client_id: 1,
+        schema_fingerprint: 0,
+    };
+    raw_send(&mut stream, &hello);
+    match raw_recv(&mut stream) {
+        Message::Nack { code, .. } => assert_eq!(code, NackCode::Version),
+        other => panic!("expected a nack, got {other:?}"),
+    }
+    // Wrong schema fingerprint (the server's can never be this value:
+    // zero is reserved and the fold avoids it, but 5 is a fingerprint
+    // only a hash collision could produce for any real schema).
+    let mut cfg = h.client(1);
+    cfg.schema_fingerprint = 5;
+    let err = match IngestClient::connect(cfg) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("handshake with a wrong fingerprint must fail"),
+    };
+    assert!(err.contains("schema-mismatch"), "{err}");
+}
+
+#[test]
+fn duplicate_batch_seq_is_reacked_not_reingested() {
+    let mut h = Harness::start("dedup");
+    let (mut stream, last) = raw_connect(&h.addr, Role::Ingest, 42);
+    assert_eq!(last, 0, "fresh client id starts at watermark 0");
+    raw_send(&mut stream, &Message::Resolve { name: "app".into() });
+    let source = match raw_recv(&mut stream) {
+        Message::Resolved { source, .. } => source,
+        other => panic!("expected resolved, got {other:?}"),
+    };
+    let batch = Message::IngestBatch {
+        source,
+        batch_seq: 1,
+        payloads: (0..20).map(|i| payload(42, i)).collect(),
+    };
+    // The identical batch three times: ingested once, re-acked twice.
+    for round in 0..3 {
+        raw_send(&mut stream, &batch);
+        match raw_recv(&mut stream) {
+            Message::Ack {
+                batch_seq,
+                watermark,
+            } => {
+                assert_eq!((batch_seq, watermark), (1, 1), "round {round}");
+            }
+            other => panic!("round {round}: expected ack, got {other:?}"),
+        }
+    }
+    assert_eq!(h.all_records("app").len(), 20, "no duplicates in the log");
+    drop(stream);
+    h.drain();
+    let net = h.loom.metrics_snapshot().net;
+    if cfg!(feature = "self-obs") {
+        assert_eq!(net.replays, 2);
+        assert_eq!(net.batches, 1);
+    }
+}
+
+#[test]
+fn client_killed_mid_frame_leaves_no_partial_batch() {
+    let mut h = Harness::start("torn");
+    // A well-behaved client defines the source and lands one batch.
+    let mut ok = IngestClient::connect(h.client(1)).unwrap();
+    let src = ok.resolve("app").unwrap();
+    ok.send_batch(src, (0..5).map(|i| payload(1, i)).collect())
+        .unwrap();
+
+    // A doomed client writes half an ingest frame and dies.
+    let (mut stream, _) = raw_connect(&h.addr, Role::Ingest, 2);
+    let msg = Message::IngestBatch {
+        source: src,
+        batch_seq: 1,
+        payloads: (0..50).map(|i| payload(2, 1_000 + i)).collect(),
+    };
+    let mut wire = Vec::new();
+    write_frame(&mut wire, msg.frame_type(), &msg.encode_body(), "t").unwrap();
+    use std::io::Write;
+    stream.write_all(&wire[..wire.len() / 2]).unwrap();
+    drop(stream);
+
+    // Give the server a moment to hit the torn frame, then verify: none
+    // of the doomed batch landed, and the server still serves.
+    std::thread::sleep(Duration::from_millis(100));
+    ok.send_batch(src, (5..10).map(|i| payload(1, i)).collect())
+        .unwrap();
+    let got = h.all_records("app");
+    assert_eq!(got.len(), 10, "only the well-behaved batches landed");
+    assert!(
+        got.iter().all(|p| p[..8] == 1u64.to_le_bytes()),
+        "no record from the torn batch"
+    );
+    h.drain();
+}
+
+#[test]
+fn reconnect_resumes_from_the_servers_watermark() {
+    let mut h = Harness::start("resume");
+    let mut client = IngestClient::connect(h.client(9)).unwrap();
+    let src = client.resolve("app").unwrap();
+    for seq in 0..3u64 {
+        client
+            .send_batch(src, (0..8).map(|i| payload(9, seq * 8 + i)).collect())
+            .unwrap();
+    }
+    // Forced disconnect: surrender and drop the socket mid-session.
+    drop(client.into_stream());
+
+    let mut back = IngestClient::connect(h.client(9)).unwrap();
+    assert_eq!(
+        back.last_acked(),
+        3,
+        "handshake must report the durable watermark"
+    );
+    back.send_batch(src, (24..32).map(|i| payload(9, i)).collect())
+        .unwrap();
+    let want: Vec<Vec<u8>> = (0..32).map(|i| payload(9, i)).collect();
+    assert_eq!(h.all_records("app"), want, "zero lost, zero duplicated");
+    h.drain();
+}
+
+/// A subscriber that vanishes without a trace — no FIN processed by
+/// any delivery, because the source is idle and nothing is ever
+/// written to it — must still be reaped: the pump probes the unused
+/// read side of the socket and sees EOF.
+#[test]
+fn vanished_subscriber_on_idle_source_is_reaped() {
+    let mut h = Harness::start("zombie");
+    let mut writer = IngestClient::connect(h.client(80)).unwrap();
+    writer.resolve("idle").unwrap();
+
+    let sub = SubClient::connect(h.client(81), SubscribeSpec::all(1, "idle", 0)).unwrap();
+    if cfg!(feature = "self-obs") {
+        // The subscription registers (Subscribe is processed server-side
+        // even if the client is already gone, so this converges).
+        wait_for(|| h.loom.metrics_snapshot().net.subscriptions >= 1);
+    }
+    drop(sub); // silent disappearance: no unsubscribe, no pending data
+
+    wait_for(|| h.loom.metrics_snapshot().net.subscriptions_active == 0);
+    h.drain();
+    // The terminal frame and the error-path queue clear both keep the
+    // depth gauge exact; a drift here means a push/pop mismatch.
+    assert_eq!(h.loom.metrics_snapshot().net.sub_queue_depth, 0);
+}
+
+/// Polls `cond` until it holds, panicking after 5 s.
+fn wait_for(cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "condition never held within 5s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn subscription_delivers_history_live_tail_and_terminal_frame() {
+    let mut h = Harness::start("sub");
+    let mut writer = IngestClient::connect(h.client(1)).unwrap();
+    let src = writer.resolve("app").unwrap();
+    writer
+        .send_batch(src, (0..25).map(|i| payload(1, i)).collect())
+        .unwrap();
+
+    // Subscribe from ts 0: the first window replays all history.
+    let mut sub = SubClient::connect(h.client(2), SubscribeSpec::all(77, "app", 0)).unwrap();
+    let mut got: Vec<Vec<u8>> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while got.len() < 25 && Instant::now() < deadline {
+        match sub.next_event().unwrap() {
+            SubEvent::Data(records) => got.extend(records.into_iter().map(|(_, p)| p)),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(got.len(), 25, "history delivered");
+
+    // Live tail: records pushed after the subscription arrive too.
+    writer
+        .send_batch(src, (25..40).map(|i| payload(1, i)).collect())
+        .unwrap();
+    while got.len() < 40 && Instant::now() < deadline {
+        match sub.next_event().unwrap() {
+            SubEvent::Data(records) => got.extend(records.into_iter().map(|(_, p)| p)),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    let want: Vec<Vec<u8>> = (0..40).map(|i| payload(1, i)).collect();
+    assert_eq!(got, want, "exactly once, oldest first");
+
+    // Drain: the stream must end with a terminal frame, not a cut.
+    h.drain();
+    let end = loop {
+        match sub.next_event().unwrap() {
+            SubEvent::Data(_) => continue,
+            other => break other,
+        }
+    };
+    assert_eq!(end, SubEvent::End("shutdown".into()));
+    if cfg!(feature = "self-obs") {
+        let net = h.loom.metrics_snapshot().net;
+        assert_eq!(net.subscriptions, 1);
+        assert_eq!(net.subscriptions_active, 0);
+        assert!(net.sub_records >= 40);
+        assert_eq!(net.sub_queue_depth, 0, "depth gauge must not drift");
+    }
+}
+
+#[test]
+fn subscription_value_predicate_filters_records() {
+    let mut h = Harness::start("pred");
+    let mut writer = IngestClient::connect(h.client(1)).unwrap();
+    let src = writer.resolve("app").unwrap();
+    // Payloads are (client=1, seq): filter on the second u64 field.
+    let mut spec = SubscribeSpec::all(5, "app", 0);
+    spec.extractor = Some(loom::ExtractorDesc::U64Le(8));
+    spec.value_min = 10.0;
+    spec.value_max = 19.0;
+    let mut sub = SubClient::connect(h.client(2), spec).unwrap();
+
+    writer
+        .send_batch(src, (0..30).map(|i| payload(1, i)).collect())
+        .unwrap();
+    let mut got: Vec<u64> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while got.len() < 10 && Instant::now() < deadline {
+        match sub.next_event().unwrap() {
+            SubEvent::Data(records) => got.extend(
+                records
+                    .into_iter()
+                    .map(|(_, p)| u64::from_le_bytes(p[8..16].try_into().unwrap())),
+            ),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(got, (10..20).collect::<Vec<u64>>());
+    h.drain();
+}
+
+/// Pushes enough data at a 1-frame queue while the subscriber refuses
+/// to read, forcing the slow-consumer policy to engage. Returns the
+/// events the subscriber eventually reads.
+fn slow_consumer_run(name: &str, policy: SlowConsumerPolicy) -> (u64, u64, Vec<SubEvent>) {
+    let opts = NetOptions {
+        // The subscription writer must stall on the socket, not time
+        // out, for the queue to actually fill.
+        write_timeout: Duration::from_secs(30),
+        ..NetOptions::default()
+    };
+    let mut h = Harness::start_with(name, opts);
+    let mut writer = IngestClient::connect(h.client(1)).unwrap();
+    let src = writer.resolve("app").unwrap();
+
+    let mut spec = SubscribeSpec::all(1, "app", 0);
+    spec.policy = policy;
+    spec.queue_cap = 1;
+    let mut sub = SubClient::connect(h.client(2), spec).unwrap();
+
+    // ~8 MB of 1 KiB records: far beyond what the kernel socket
+    // buffers absorb while the client refuses to read, so the 1-frame
+    // delivery queue must overflow.
+    let total: u64 = 32 * 256;
+    for seq in 0..32u64 {
+        let batch: Vec<Vec<u8>> = (0..256)
+            .map(|i| {
+                let mut p = vec![0u8; 1024];
+                p[..8].copy_from_slice(&(seq * 256 + i).to_le_bytes());
+                p
+            })
+            .collect();
+        match writer.send_batch(src, batch).unwrap() {
+            BatchOutcome::Acked { .. } => {}
+            other => panic!("batch {seq}: {other:?}"),
+        }
+    }
+    // Let the pump chew through the windows before the client reads.
+    std::thread::sleep(Duration::from_millis(500));
+
+    let mut delivered = 0u64;
+    let mut gapped = 0u64;
+    let mut events = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while delivered + gapped < total && Instant::now() < deadline {
+        match sub.next_event() {
+            Ok(SubEvent::Data(records)) => delivered += records.len() as u64,
+            Ok(SubEvent::Gap(n)) => {
+                gapped += n;
+                events.push(SubEvent::Gap(n));
+            }
+            Ok(end @ SubEvent::End(_)) => {
+                events.push(end);
+                break;
+            }
+            Err(e) => panic!("subscriber read failed: {e}"),
+        }
+    }
+    h.drain();
+    (delivered, gapped, events)
+}
+
+#[test]
+fn slow_consumer_drop_policy_accounts_every_record_in_gaps() {
+    let (delivered, gapped, events) =
+        slow_consumer_run("slow-gap", SlowConsumerPolicy::DropWithGap);
+    assert!(gapped > 0, "the tiny queue must have overflowed");
+    assert!(
+        events.iter().any(|e| matches!(e, SubEvent::Gap(_))),
+        "gap markers must be delivered in-stream"
+    );
+    assert_eq!(
+        delivered + gapped,
+        32 * 256,
+        "every record is either delivered or accounted for in a gap"
+    );
+}
+
+#[test]
+fn slow_consumer_disconnect_policy_ends_the_stream() {
+    let (_delivered, _gapped, events) =
+        slow_consumer_run("slow-cut", SlowConsumerPolicy::Disconnect);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, SubEvent::End(r) if r == "slow consumer")),
+        "stream must end with the slow-consumer reason: {events:?}"
+    );
+}
+
+/// Multi-client soak: writers (each forcing a mid-session reconnect)
+/// race subscribers over real sockets; at the end the log and every
+/// subscriber hold exactly the pushed multiset.
+#[test]
+fn soak_concurrent_writers_and_subscribers_survive_reconnects() {
+    const WRITERS: u64 = 3;
+    const BATCHES: u64 = 6;
+    const PER_BATCH: u64 = 50;
+    let mut h = Harness::start("soak");
+
+    // Define the source up front so early subscribers and writers all
+    // resolve the same id.
+    let mut setup = IngestClient::connect(h.client(999)).unwrap();
+    let src = setup.resolve("soak").unwrap();
+    drop(setup.into_stream());
+
+    let addr = h.addr.clone();
+    let mut subs: Vec<_> = (0..2u64)
+        .map(|i| {
+            let cfg = ClientConfig::new(addr.clone(), 100 + i);
+            SubClient::connect(cfg, SubscribeSpec::all(i, "soak", 0)).unwrap()
+        })
+        .collect();
+
+    let writers: Vec<_> = (1..=WRITERS)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = IngestClient::connect(ClientConfig::new(addr.clone(), w)).unwrap();
+                for seq in 0..BATCHES {
+                    if seq == BATCHES / 2 {
+                        // Forced disconnect mid-stream; the reconnect
+                        // handshake restores the watermark.
+                        drop(client.into_stream());
+                        client = IngestClient::connect(ClientConfig::new(addr.clone(), w)).unwrap();
+                        assert_eq!(client.last_acked(), seq, "watermark survives reconnect");
+                    }
+                    let batch: Vec<Vec<u8>> = (0..PER_BATCH)
+                        .map(|i| payload(w, seq * PER_BATCH + i))
+                        .collect();
+                    match client.send_batch(src, batch).unwrap() {
+                        BatchOutcome::Acked { .. } => {}
+                        other => panic!("writer {w} batch {seq}: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().unwrap();
+    }
+
+    let total = (WRITERS * BATCHES * PER_BATCH) as usize;
+    let mut want: Vec<Vec<u8>> = (1..=WRITERS)
+        .flat_map(|w| (0..BATCHES * PER_BATCH).map(move |i| payload(w, i)))
+        .collect();
+    want.sort();
+
+    // The log holds exactly the pushed multiset.
+    let mut got = h.all_records("soak");
+    got.sort();
+    assert_eq!(got.len(), total, "zero lost, zero duplicated in the log");
+    assert_eq!(got, want);
+
+    // Every subscriber sees exactly the pushed multiset too.
+    for (i, sub) in subs.iter_mut().enumerate() {
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while seen.len() < total && Instant::now() < deadline {
+            match sub.next_event().unwrap() {
+                SubEvent::Data(records) => seen.extend(records.into_iter().map(|(_, p)| p)),
+                other => panic!("subscriber {i}: unexpected {other:?}"),
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, want, "subscriber {i} must see every record once");
+    }
+    h.drain();
+}

@@ -1,0 +1,433 @@
+//! Failpoint chaos tests for the network service.
+//!
+//! Requires `--features failpoints`. Each test arms one of the
+//! `net::*` (or flusher) failpoint sites and asserts the robustness
+//! contract from the design doc:
+//!
+//! * a fault at any site kills at most the one connection it hit — the
+//!   server keeps serving everyone else;
+//! * a batch is ingested atomically: a connection killed mid-frame
+//!   never lands a partial batch;
+//! * a lost ack is absorbed by the reconnect handshake, and a stubborn
+//!   retransmit is deduplicated by `(client_id, batch_seq)`;
+//! * a degraded engine answers with a typed NACK instead of stalling
+//!   the socket.
+//!
+//! `fault::Scenario::begin()` serializes the tests against the
+//! process-global failpoint registry, so the suite is safe under the
+//! default parallel test runner.
+
+#![cfg(feature = "failpoints")]
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use daemon::net::{NetOptions, NetServer, WriterSlot};
+use loom::fault::{self, FaultKind, FaultSpec, Scenario, Trigger};
+use loom::net::{
+    read_frame, write_frame, BatchOutcome, ClientConfig, IngestClient, Message, NackCode, Role,
+    PROTO_VERSION,
+};
+use loom::{Config, Loom, TimeRange};
+
+/// A running server over an ephemeral engine; everything is torn down
+/// on drop (`Config::small` removes the dir).
+struct Harness {
+    loom: Loom,
+    _writer: WriterSlot,
+    server: Option<NetServer>,
+    addr: String,
+}
+
+impl Harness {
+    fn start(name: &str) -> Harness {
+        let dir = std::env::temp_dir().join(format!("loom-chaos-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (loom, writer) = Loom::open(Config::small(&dir)).unwrap();
+        let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
+        let server = NetServer::start(
+            loom.clone(),
+            Arc::clone(&writer),
+            "127.0.0.1:0",
+            NetOptions::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        Harness {
+            loom,
+            _writer: writer,
+            server: Some(server),
+            addr,
+        }
+    }
+
+    fn client(&self, client_id: u64) -> ClientConfig {
+        let mut cfg = ClientConfig::new(self.addr.clone(), client_id);
+        cfg.read_timeout = Duration::from_secs(2);
+        cfg
+    }
+
+    fn drain(&mut self) {
+        self.server
+            .take()
+            .expect("already drained")
+            .drain(Duration::from_secs(10))
+            .unwrap();
+    }
+
+    /// All payloads of `source`, oldest first.
+    fn all_records(&self, source: &str) -> Vec<Vec<u8>> {
+        let sid = self
+            .loom
+            .sources()
+            .into_iter()
+            .find(|(_, n, _)| n == source)
+            .map(|(sid, _, _)| sid)
+            .expect("source defined");
+        let mut got = Vec::new();
+        self.loom
+            .raw_scan(sid, TimeRange::new(0, u64::MAX), |r| {
+                got.push(r.payload.to_vec());
+            })
+            .unwrap();
+        got.reverse(); // raw_scan yields newest first
+        got
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            let _ = server.drain(Duration::from_secs(10));
+        }
+    }
+}
+
+/// Stamps one record payload: `(client, seq)` as 16 LE bytes.
+fn payload(client: u64, seq: u64) -> Vec<u8> {
+    let mut p = client.to_le_bytes().to_vec();
+    p.extend_from_slice(&seq.to_le_bytes());
+    p
+}
+
+/// The records of batch `seq` (1-based), 20 per batch.
+fn batch(client: u64, seq: u64) -> Vec<Vec<u8>> {
+    (0..20)
+        .map(|i| payload(client, (seq - 1) * 20 + i))
+        .collect()
+}
+
+/// Opens a raw protocol socket and runs the hello exchange, returning
+/// the stream and the server's `last_acked_seq` for `client_id`.
+fn raw_connect(addr: &str, client_id: u64) -> (TcpStream, u64) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let hello = Message::Hello {
+        version: PROTO_VERSION,
+        role: Role::Ingest,
+        client_id,
+        schema_fingerprint: 0,
+    };
+    write_frame(&mut stream, hello.frame_type(), &hello.encode_body(), "t").unwrap();
+    let (ty, body) = read_frame(&mut stream, "t").unwrap();
+    match Message::decode(ty, &body).unwrap() {
+        Message::HelloAck { last_acked_seq, .. } => (stream, last_acked_seq),
+        other => panic!("expected hello-ack, got {other:?}"),
+    }
+}
+
+fn raw_send(stream: &mut TcpStream, msg: &Message) {
+    write_frame(stream, msg.frame_type(), &msg.encode_body(), "t").unwrap();
+}
+
+fn raw_recv(stream: &mut TcpStream) -> Message {
+    let (ty, body) = read_frame(stream, "t").unwrap();
+    Message::decode(ty, &body).unwrap()
+}
+
+/// A fault at the accept site drops exactly that connection; the
+/// listener keeps accepting and the next client is served normally.
+#[test]
+fn accept_fault_drops_one_connection_and_the_server_survives() {
+    let _s = Scenario::begin();
+    let mut h = Harness::start("accept");
+    fault::configure(
+        fault::NET_ACCEPT,
+        FaultSpec::new(FaultKind::Eio, Trigger::Nth(1)),
+    );
+
+    // The TCP handshake completes in the kernel, so the dial succeeds;
+    // the server then drops the stream before the hello exchange and
+    // the client sees EOF/reset during its handshake.
+    match IngestClient::connect(h.client(1)) {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "faulted connect reports an error");
+        }
+        Ok(_) => panic!("first connection should be refused by the accept fault"),
+    }
+    assert_eq!(fault::fires(fault::NET_ACCEPT), 1);
+
+    // The very next connection works end to end.
+    let mut client = IngestClient::connect(h.client(1)).unwrap();
+    let src = client.resolve("accepted").unwrap();
+    match client.send_batch(src, batch(1, 1)).unwrap() {
+        BatchOutcome::Acked { watermark } => assert_eq!(watermark, 1),
+        other => panic!("batch not acked after accept fault: {other:?}"),
+    }
+    assert_eq!(h.all_records("accepted"), batch(1, 1));
+
+    h.drain();
+    if cfg!(feature = "self-obs") {
+        let net = h.loom.metrics_snapshot().net;
+        assert_eq!(net.connections, 1, "the faulted accept never handshakes");
+    }
+}
+
+/// A client whose socket dies mid-frame (injected short write on its
+/// own ingest-batch frame) never lands a partial batch, and the server
+/// keeps serving other clients.
+#[test]
+fn client_killed_mid_frame_lands_no_partial_batch() {
+    let _s = Scenario::begin();
+    let mut h = Harness::start("torn");
+
+    let mut victim = IngestClient::connect(h.client(2)).unwrap();
+    let src = victim.resolve("torn").unwrap();
+
+    // The tag of a frame-write check is the frame's type name, so this
+    // arms only the client's ingest-batch frame — handshake and resolve
+    // frames pass through untouched.
+    fault::configure(
+        fault::NET_FRAME_WRITE,
+        FaultSpec::new(FaultKind::ShortWrite, Trigger::Always)
+            .for_tag("ingest-batch")
+            .max_fires(1),
+    );
+    victim
+        .send_batch(src, batch(2, 1))
+        .expect_err("short write must surface as an I/O error");
+    assert_eq!(fault::fires(fault::NET_FRAME_WRITE), 1);
+    // Kill the connection exactly as a crashed client would: the torn
+    // frame prefix is all the server will ever see of this batch.
+    drop(victim);
+
+    // A healthy client on the same server, same source, is unaffected.
+    let mut healthy = IngestClient::connect(h.client(3)).unwrap();
+    let src = healthy.resolve("torn").unwrap();
+    match healthy.send_batch(src, batch(3, 1)).unwrap() {
+        BatchOutcome::Acked { watermark } => assert_eq!(watermark, 1),
+        other => panic!("healthy client not acked: {other:?}"),
+    }
+
+    h.drain();
+    // Batch atomicity on the wire: nothing from the torn batch landed.
+    assert_eq!(h.all_records("torn"), batch(3, 1));
+}
+
+/// A read fault on the server side of an ingest connection drops that
+/// connection; the client reconnects, the handshake reports the intact
+/// watermark, and the unacked batch is replayed without duplication.
+#[test]
+fn server_read_fault_drops_the_connection_but_replay_recovers() {
+    let _s = Scenario::begin();
+    let mut h = Harness::start("read-fault");
+
+    let mut client = IngestClient::connect(h.client(4)).unwrap();
+    let src = client.resolve("replayed").unwrap();
+    match client.send_batch(src, batch(4, 1)).unwrap() {
+        BatchOutcome::Acked { watermark } => assert_eq!(watermark, 1),
+        other => panic!("batch 1 not acked: {other:?}"),
+    }
+
+    // Arm the server-side ingest read loop and wait for the poll tick
+    // to hit the fault (≤ one read timeout away) — the server drops the
+    // connection without the client doing anything.
+    fault::configure(
+        fault::NET_FRAME_READ,
+        FaultSpec::new(FaultKind::Eio, Trigger::Always)
+            .for_tag("server-ingest")
+            .max_fires(1),
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while fault::fires(fault::NET_FRAME_READ) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "read fault never fired"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client
+        .send_batch(src, batch(4, 2))
+        .expect_err("connection dropped by the injected read fault");
+    assert_eq!(client.unacked_len(), 1, "batch 2 is buffered for replay");
+
+    let replayed = client.reconnect().unwrap();
+    assert_eq!(replayed, 1, "exactly the unacked batch is re-sent");
+    assert_eq!(client.last_acked(), 2);
+    assert_eq!(client.unacked_len(), 0);
+
+    h.drain();
+    let want: Vec<Vec<u8>> = (0..40).map(|i| payload(4, i)).collect();
+    assert_eq!(h.all_records("replayed"), want, "no loss, no duplication");
+}
+
+/// An ack lost in flight (fault at the ack-send site, after the batch
+/// is durable) is healed two ways: the reconnect handshake reports the
+/// advanced watermark, and a stubborn retransmit of the same
+/// `(client_id, batch_seq)` is re-acked without re-ingesting.
+#[test]
+fn lost_ack_is_absorbed_and_retransmits_are_deduplicated() {
+    let _s = Scenario::begin();
+    let mut h = Harness::start("lost-ack");
+
+    let (mut s, last) = raw_connect(&h.addr, 50);
+    assert_eq!(last, 0);
+    raw_send(
+        &mut s,
+        &Message::Resolve {
+            name: "dedup".into(),
+        },
+    );
+    let src = match raw_recv(&mut s) {
+        Message::Resolved { source, .. } => source,
+        other => panic!("expected resolved, got {other:?}"),
+    };
+    raw_send(
+        &mut s,
+        &Message::IngestBatch {
+            source: src,
+            batch_seq: 1,
+            payloads: batch(50, 1),
+        },
+    );
+    match raw_recv(&mut s) {
+        Message::Ack { watermark, .. } => assert_eq!(watermark, 1),
+        other => panic!("expected ack 1, got {other:?}"),
+    }
+
+    // Batch 2 becomes durable, then the ack vanishes and the server
+    // drops the connection (tag is the decimal batch sequence).
+    fault::configure(
+        fault::NET_ACK_SEND,
+        FaultSpec::new(FaultKind::Eio, Trigger::Always)
+            .for_tag("2")
+            .max_fires(1),
+    );
+    raw_send(
+        &mut s,
+        &Message::IngestBatch {
+            source: src,
+            batch_seq: 2,
+            payloads: batch(50, 2),
+        },
+    );
+    read_frame(&mut s, "t").expect_err("ack was dropped with the connection");
+    assert_eq!(fault::fires(fault::NET_ACK_SEND), 1);
+    drop(s);
+
+    // Reconnect: the handshake already carries the advanced watermark,
+    // so a well-behaved client would not retransmit at all.
+    let (mut s, last) = raw_connect(&h.addr, 50);
+    assert_eq!(last, 2, "batch 2 was durable before the ack was lost");
+
+    // A stubborn client retransmits anyway; the server dedups by
+    // `(client_id, batch_seq)` and re-acks without re-ingesting.
+    raw_send(
+        &mut s,
+        &Message::IngestBatch {
+            source: src,
+            batch_seq: 2,
+            payloads: batch(50, 2),
+        },
+    );
+    match raw_recv(&mut s) {
+        Message::Ack { watermark, .. } => assert_eq!(watermark, 2),
+        other => panic!("expected re-ack 2, got {other:?}"),
+    }
+    raw_send(
+        &mut s,
+        &Message::IngestBatch {
+            source: src,
+            batch_seq: 3,
+            payloads: batch(50, 3),
+        },
+    );
+    match raw_recv(&mut s) {
+        Message::Ack { watermark, .. } => assert_eq!(watermark, 3),
+        other => panic!("expected ack 3, got {other:?}"),
+    }
+    drop(s);
+
+    h.drain();
+    let want: Vec<Vec<u8>> = (0..60).map(|i| payload(50, i)).collect();
+    assert_eq!(
+        h.all_records("dedup"),
+        want,
+        "retransmit ingested exactly once"
+    );
+    if cfg!(feature = "self-obs") {
+        let net = h.loom.metrics_snapshot().net;
+        assert_eq!(net.replays, 1);
+        assert_eq!(net.batches, 3, "replays are not counted as batches");
+    }
+}
+
+/// A degraded engine NACKs ingest with a typed code instead of
+/// stalling the socket: the client gets a prompt, explicit refusal.
+#[test]
+fn degraded_engine_nacks_ingest_instead_of_stalling() {
+    let _s = Scenario::begin();
+    let mut h = Harness::start("degraded");
+
+    let mut client = IngestClient::connect(h.client(6)).unwrap();
+    let src = client.resolve("degraded").unwrap();
+    match client.send_batch(src, batch(6, 1)).unwrap() {
+        BatchOutcome::Acked { watermark } => assert_eq!(watermark, 1),
+        other => panic!("healthy batch not acked: {other:?}"),
+    }
+
+    // Every write to the record log now fails with ENOSPC;
+    // `Config::small`'s tiny retry policy exhausts in milliseconds and
+    // the engine degrades.
+    fault::configure(
+        fault::FLUSHER_WRITE,
+        FaultSpec::new(FaultKind::Enospc, Trigger::Always).for_tag("records.log"),
+    );
+
+    let mut nacked = None;
+    for seq in 2..=60u64 {
+        match client.send_batch(src, batch(6, seq)) {
+            Ok(BatchOutcome::Acked { .. }) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(BatchOutcome::Nacked { code, detail }) => {
+                nacked = Some((code, detail));
+                break;
+            }
+            Err(e) => panic!("expected a typed NACK, not a transport error: {e}"),
+        }
+    }
+    let (code, detail) = nacked.expect("engine never nacked while degraded");
+    assert_eq!(code, NackCode::Degraded, "typed refusal, detail: {detail}");
+    assert!(!detail.is_empty(), "nack carries the degradation reason");
+
+    // Once the refusal is health-gated, it comes back without touching
+    // the (broken) log at all — still a NACK, never a stall.
+    match client.send_batch(src, batch(6, 61)).unwrap() {
+        BatchOutcome::Acked { .. } => panic!("degraded engine must not ack"),
+        BatchOutcome::Nacked { code, .. } => assert_eq!(code, NackCode::Degraded),
+    }
+
+    // Disarm before teardown so drain and writer close are not fighting
+    // the injected ENOSPC.
+    fault::clear(fault::FLUSHER_WRITE);
+    h.drain();
+    if cfg!(feature = "self-obs") {
+        let net = h.loom.metrics_snapshot().net;
+        assert!(net.nacks >= 2, "both refusals were counted");
+    }
+}

@@ -288,6 +288,8 @@ fn in_hot_path(path: &str) -> bool {
         || path.starts_with("crates/loom/src/engine.rs")
         || path.starts_with("crates/loom/src/query")
         || path.starts_with("crates/loom/src/retention")
+        || path.starts_with("crates/loom/src/net")
+        || path.starts_with("crates/daemon/src/net.rs")
 }
 
 /// Parses the baseline: `<repo-relative-path> <allowed-count>` lines,

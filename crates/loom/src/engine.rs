@@ -120,6 +120,10 @@ pub(crate) struct EngineInner {
     /// The background retention compactor, when
     /// [`RetentionConfig::interval`](crate::RetentionConfig) is set.
     compactor: Mutex<Option<CompactorHandle>>,
+    /// Network-service counters, engine-wide (connections belong to the
+    /// instance, not to a shard). Incremented by the network front-end
+    /// via [`Loom::net_obs`]; folded into [`Loom::metrics_snapshot`].
+    pub(crate) net: Arc<crate::obs::NetObs>,
 }
 
 /// Handle to the background compactor thread: signal `stop`, unpark,
@@ -671,6 +675,7 @@ impl Loom {
             shards,
             recovery: Mutex::new(merge_reports(reports)),
             compactor: Mutex::new(None),
+            net: Arc::new(crate::obs::NetObs::default()),
         });
         Self::spawn_compactor(&engine);
         let writer = LoomWriter {
@@ -1290,7 +1295,9 @@ impl Loom {
     /// zero.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         if self.inner.shards.len() == 1 {
-            return self.inner.shards[0].obs.snapshot();
+            let mut snap = self.inner.shards[0].obs.snapshot();
+            snap.net = self.inner.net.snapshot();
+            return snap;
         }
         let mut merged = MetricsSnapshot::default();
         let mut rollups = Vec::with_capacity(self.inner.shards.len());
@@ -1300,7 +1307,18 @@ impl Loom {
             merged.merge(&snap);
         }
         merged.shards = rollups;
+        // Network counters are engine-wide (a connection is not owned by
+        // a shard), so they are injected after the shard merge rather
+        // than summed per shard.
+        merged.net = self.inner.net.snapshot();
         merged
+    }
+
+    /// The engine-wide network-service counters, for a network front-end
+    /// (such as `loomd --listen`) to increment. The counters land in
+    /// [`Loom::metrics_snapshot`] under the `loom_net_*` names.
+    pub fn net_obs(&self) -> Arc<crate::obs::NetObs> {
+        Arc::clone(&self.inner.net)
     }
 
     /// The full (unmerged) metrics snapshot of every shard, indexed by

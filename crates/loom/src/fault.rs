@@ -36,6 +36,10 @@
 //! | [`SEGMENT_SYNC`] | segment file name | cold-segment `fsync` before the manifest commit |
 //! | [`HOT_PUNCH`] | chunk address | hot record-log hole punch after a committed compaction |
 //! | [`SLICE_PRUNE`] | slice dir name | cold-slice directory removal during retention pruning |
+//! | [`NET_ACCEPT`] | peer address | `NetServer` accepting a new TCP connection |
+//! | [`NET_FRAME_READ`] | connection label | decoding one wire frame off a socket |
+//! | [`NET_FRAME_WRITE`] | frame type name | encoding one wire frame onto a socket |
+//! | [`NET_ACK_SEND`] | batch sequence | sending an ingest `Ack` after the batch is durable |
 //! | `lsm::wal_append` / `lsm::wal_flush` / `lsm::sstable_write` | — | LSM baseline WAL and SSTable writes |
 
 use std::io;
@@ -64,6 +68,18 @@ pub const HOT_PUNCH: &str = "retention::hot_punch";
 /// Cold-slice directory removal during retention pruning. Tag: slice
 /// directory name.
 pub const SLICE_PRUNE: &str = "retention::slice_prune";
+/// `NetServer` accepting a new TCP connection. Tag: peer address.
+pub const NET_ACCEPT: &str = "net::accept";
+/// Decoding one wire frame off a socket. Tag: a caller-supplied
+/// connection label (e.g. `"ingest"`, `"hello"`).
+pub const NET_FRAME_READ: &str = "net::frame_read";
+/// Encoding one wire frame onto a socket. Tag: the frame type name.
+/// [`FaultKind::ShortWrite`] here emits a torn frame prefix before the
+/// error, so chaos tests can leave a half-written frame on the wire.
+pub const NET_FRAME_WRITE: &str = "net::frame_write";
+/// Sending an ingest `Ack` after the batch is durable. Tag: the batch
+/// sequence number (decimal).
+pub const NET_ACK_SEND: &str = "net::ack_send";
 
 /// The failure a failpoint injects at its site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -79,6 +79,7 @@ pub mod fault;
 pub mod health;
 pub mod histogram;
 pub mod hybridlog;
+pub mod net;
 pub mod obs;
 pub mod query;
 pub mod record;
@@ -97,7 +98,7 @@ pub use error::{LoomError, Result};
 pub use extract::ExtractorDesc;
 pub use health::EngineHealth;
 pub use histogram::HistogramSpec;
-pub use obs::{MetricsSnapshot, QueryKind, ShardRollup, SlowQueryTrace};
+pub use obs::{MetricsSnapshot, NetMetrics, NetObs, QueryKind, ShardRollup, SlowQueryTrace};
 pub use query::{Aggregate, AggregateResult, Query, QueryOptions, Record, TimeRange, ValueRange};
 pub use registry::{IndexId, SourceId, ValueFn};
 pub use retention::ColdTierStats;

@@ -1,0 +1,362 @@
+//! Blocking TCP clients for the Loom wire protocol.
+//!
+//! [`IngestClient`] pushes record batches and keeps every batch in a
+//! replay buffer until the server acks it, so a disconnect at any point
+//! is survivable: [`IngestClient::reconnect`] redials with bounded
+//! backoff, learns the server's durable watermark from the handshake,
+//! drops everything at or below it, and re-sends the rest. Together
+//! with the server's `(client_id, batch_seq)` dedup this turns the
+//! socket's at-least-once delivery into exactly-once ingest.
+//!
+//! [`SubClient`] registers one standing subscription and then reads the
+//! server-push stream of [`SubEvent`]s.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use super::frame::{read_frame, write_frame};
+use super::proto::{Message, NackCode, Role, SubscribeSpec, PROTO_VERSION};
+use crate::error::{LoomError, Result};
+
+/// How a client dials and times out. The retry fields implement bounded
+/// exponential backoff on transient connect failures.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `"127.0.0.1:7600"`.
+    pub addr: String,
+    /// Stable client identity; the server keys ingest replay dedup on
+    /// it, so it must survive reconnects of the same logical client.
+    pub client_id: u64,
+    /// Socket read timeout (acks, subscription frames).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Total connect attempts per [`connect`](IngestClient::connect) /
+    /// [`reconnect`](IngestClient::reconnect) (first try included).
+    pub connect_attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Expected schema fingerprint, or `0` to skip the check.
+    pub schema_fingerprint: u64,
+}
+
+impl ClientConfig {
+    /// A config for `addr` with second-scale timeouts and five connect
+    /// attempts backing off 10 ms → 500 ms.
+    pub fn new(addr: impl Into<String>, client_id: u64) -> ClientConfig {
+        ClientConfig {
+            addr: addr.into(),
+            client_id,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            connect_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            schema_fingerprint: 0,
+        }
+    }
+}
+
+/// Dials with bounded exponential backoff and applies the socket
+/// timeouts. Transient connect errors are retried
+/// `connect_attempts - 1` times; the last error surfaces.
+fn dial(cfg: &ClientConfig) -> Result<TcpStream> {
+    let mut backoff = cfg.base_backoff;
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..cfg.connect_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cfg.max_backoff);
+        }
+        match TcpStream::connect(&cfg.addr) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(cfg.read_timeout))?;
+                stream.set_write_timeout(Some(cfg.write_timeout))?;
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(LoomError::Io(last.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotConnected,
+            "no connect attempts configured",
+        )
+    })))
+}
+
+/// Sends `msg` as one frame.
+fn send(stream: &mut TcpStream, msg: &Message) -> Result<()> {
+    write_frame(
+        stream,
+        msg.frame_type(),
+        &msg.encode_body(),
+        msg.type_name(),
+    )
+}
+
+/// Reads one frame and decodes it.
+fn recv(stream: &mut TcpStream, tag: &str) -> Result<Message> {
+    let (ty, body) = read_frame(stream, tag)?;
+    Message::decode(ty, &body)
+}
+
+/// Runs the hello exchange for `role`, returning the server's
+/// `(schema_fingerprint, last_acked_seq)`.
+fn handshake(stream: &mut TcpStream, cfg: &ClientConfig, role: Role) -> Result<(u64, u64)> {
+    send(
+        stream,
+        &Message::Hello {
+            version: PROTO_VERSION,
+            role,
+            client_id: cfg.client_id,
+            schema_fingerprint: cfg.schema_fingerprint,
+        },
+    )?;
+    match recv(stream, "hello")? {
+        Message::HelloAck {
+            version,
+            schema_fingerprint,
+            last_acked_seq,
+        } => {
+            if version != PROTO_VERSION {
+                return Err(LoomError::Corrupt(format!(
+                    "server speaks protocol v{version}, client v{PROTO_VERSION}"
+                )));
+            }
+            Ok((schema_fingerprint, last_acked_seq))
+        }
+        Message::Nack { code, detail, .. } => Err(nack_error(code, &detail)),
+        other => Err(unexpected("hello-ack", &other)),
+    }
+}
+
+fn nack_error(code: NackCode, detail: &str) -> LoomError {
+    LoomError::Corrupt(format!("server nacked ({}): {detail}", code.as_str()))
+}
+
+fn unexpected(wanted: &str, got: &Message) -> LoomError {
+    LoomError::Corrupt(format!(
+        "net protocol: expected a {wanted} frame, got {}",
+        got.type_name()
+    ))
+}
+
+/// Outcome of one [`IngestClient::send_batch`] exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The batch is durable; `watermark` is the server's highest
+    /// durably ingested batch sequence for this client.
+    Acked {
+        /// Highest durably ingested batch sequence.
+        watermark: u64,
+    },
+    /// The server refused the batch with a typed reason. The batch
+    /// stays in the replay buffer only for retryable codes
+    /// ([`NackCode::Overloaded`]); refusals that cannot succeed later
+    /// drop it.
+    Nacked {
+        /// Typed reason.
+        code: NackCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+}
+
+/// A blocking ingest connection with an unacked-batch replay buffer.
+pub struct IngestClient {
+    cfg: ClientConfig,
+    stream: TcpStream,
+    next_seq: u64,
+    /// Batches sent (or queued) but not yet acked, oldest first.
+    unacked: VecDeque<(u64, u32, Vec<Vec<u8>>)>,
+    last_acked: u64,
+}
+
+impl IngestClient {
+    /// Dials (with backoff), shakes hands as an ingest connection, and
+    /// resumes the batch sequence after the server's watermark.
+    pub fn connect(cfg: ClientConfig) -> Result<IngestClient> {
+        let mut stream = dial(&cfg)?;
+        let (_fp, last_acked) = handshake(&mut stream, &cfg, Role::Ingest)?;
+        Ok(IngestClient {
+            cfg,
+            stream,
+            next_seq: last_acked + 1,
+            unacked: VecDeque::new(),
+            last_acked,
+        })
+    }
+
+    /// Highest batch sequence the server has acked as durable.
+    pub fn last_acked(&self) -> u64 {
+        self.last_acked
+    }
+
+    /// Batches waiting in the replay buffer (sent but unacked).
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Resolves (defining if absent) `name` to a source id.
+    pub fn resolve(&mut self, name: &str) -> Result<u32> {
+        send(&mut self.stream, &Message::Resolve { name: name.into() })?;
+        match recv(&mut self.stream, "ingest")? {
+            Message::Resolved { source, .. } => Ok(source),
+            Message::Nack { code, detail, .. } => Err(nack_error(code, &detail)),
+            other => Err(unexpected("resolved", &other)),
+        }
+    }
+
+    /// Sends one batch and waits for its ack or nack.
+    ///
+    /// The batch enters the replay buffer *before* it touches the
+    /// socket, so an I/O error at any point leaves it safe to replay
+    /// via [`reconnect`](IngestClient::reconnect). On an
+    /// [`BatchOutcome::Acked`] answer every batch at or below the
+    /// watermark leaves the buffer.
+    pub fn send_batch(&mut self, source: u32, payloads: Vec<Vec<u8>>) -> Result<BatchOutcome> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let msg = Message::IngestBatch {
+            source,
+            batch_seq: seq,
+            payloads: payloads.clone(),
+        };
+        self.unacked.push_back((seq, source, payloads));
+        send(&mut self.stream, &msg)?;
+        self.wait_outcome(seq)
+    }
+
+    /// Reads frames until the ack/nack for `seq` arrives.
+    fn wait_outcome(&mut self, seq: u64) -> Result<BatchOutcome> {
+        loop {
+            match recv(&mut self.stream, "ingest")? {
+                Message::Ack {
+                    batch_seq,
+                    watermark,
+                } => {
+                    self.absorb_watermark(watermark);
+                    if batch_seq == seq {
+                        return Ok(BatchOutcome::Acked { watermark });
+                    }
+                }
+                Message::Nack {
+                    batch_seq,
+                    code,
+                    detail,
+                } => {
+                    if !matches!(code, NackCode::Overloaded) {
+                        // Not retryable: drop it from the replay buffer
+                        // so a later reconnect does not re-send a batch
+                        // the server will refuse forever.
+                        self.unacked.retain(|(s, _, _)| *s != batch_seq);
+                    }
+                    if batch_seq == seq || batch_seq == 0 {
+                        return Ok(BatchOutcome::Nacked { code, detail });
+                    }
+                }
+                other => return Err(unexpected("ack", &other)),
+            }
+        }
+    }
+
+    /// Drops every buffered batch at or below `watermark`.
+    fn absorb_watermark(&mut self, watermark: u64) {
+        self.last_acked = self.last_acked.max(watermark);
+        while let Some((seq, _, _)) = self.unacked.front() {
+            if *seq <= watermark {
+                self.unacked.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Redials with bounded backoff and replays every unacked batch the
+    /// server does not already have. Returns how many batches were
+    /// re-sent (acked replays are absorbed silently).
+    pub fn reconnect(&mut self) -> Result<u64> {
+        let mut stream = dial(&self.cfg)?;
+        let (_fp, last_acked) = handshake(&mut stream, &self.cfg, Role::Ingest)?;
+        self.stream = stream;
+        self.absorb_watermark(last_acked);
+        let pending: Vec<(u64, u32, Vec<Vec<u8>>)> = self.unacked.iter().cloned().collect();
+        let mut replayed = 0;
+        for (seq, source, payloads) in pending {
+            let msg = Message::IngestBatch {
+                source,
+                batch_seq: seq,
+                payloads,
+            };
+            send(&mut self.stream, &msg)?;
+            replayed += 1;
+            match self.wait_outcome(seq)? {
+                BatchOutcome::Acked { .. } => {}
+                BatchOutcome::Nacked { code, detail } => {
+                    return Err(nack_error(code, &detail));
+                }
+            }
+        }
+        Ok(replayed)
+    }
+
+    /// Surrenders the underlying socket (chaos tests use this to kill a
+    /// connection mid-conversation).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}
+
+/// One frame of a subscription stream, as seen by [`SubClient::next_event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubEvent {
+    /// Matching records, oldest first.
+    Data(Vec<(u64, Vec<u8>)>),
+    /// `dropped` records were shed by the `DropWithGap` policy.
+    Gap(u64),
+    /// Terminal: the server ended the stream (drain, slow-consumer
+    /// disconnect, unknown source).
+    End(String),
+}
+
+/// A blocking subscription connection.
+pub struct SubClient {
+    stream: TcpStream,
+    sub_id: u64,
+}
+
+impl SubClient {
+    /// Dials, shakes hands as a subscriber, and registers `spec`.
+    pub fn connect(cfg: ClientConfig, spec: SubscribeSpec) -> Result<SubClient> {
+        let mut stream = dial(&cfg)?;
+        handshake(&mut stream, &cfg, Role::Subscribe)?;
+        let sub_id = spec.sub_id;
+        send(&mut stream, &Message::Subscribe(spec))?;
+        Ok(SubClient { stream, sub_id })
+    }
+
+    /// Blocks (up to the configured read timeout) for the next stream
+    /// event. A timeout surfaces as [`LoomError::Io`] with
+    /// `WouldBlock`/`TimedOut`; the stream remains usable.
+    pub fn next_event(&mut self) -> Result<SubEvent> {
+        match recv(&mut self.stream, "subscribe")? {
+            Message::SubData { sub_id, records } if sub_id == self.sub_id => {
+                Ok(SubEvent::Data(records))
+            }
+            Message::SubGap { sub_id, dropped } if sub_id == self.sub_id => {
+                Ok(SubEvent::Gap(dropped))
+            }
+            Message::SubEnd { sub_id, reason } if sub_id == self.sub_id => {
+                Ok(SubEvent::End(reason))
+            }
+            Message::Nack { code, detail, .. } => Err(nack_error(code, &detail)),
+            other => Err(unexpected("subscription frame", &other)),
+        }
+    }
+}

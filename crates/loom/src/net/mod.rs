@@ -1,0 +1,75 @@
+//! Wire protocol for network ingest and live subscriptions.
+//!
+//! This module is the *protocol* half of Loom's network service: the
+//! CRC-checked framing ([`frame`]), the message vocabulary ([`proto`]),
+//! and blocking clients ([`client`]). The server loop lives in the
+//! daemon crate (`daemon::net`), which wires these pieces to a running
+//! engine; keeping the protocol here lets clients embed `loom` without
+//! pulling in the daemon, and lets the daemon and the tests share one
+//! encoder/decoder.
+//!
+//! # Failure model on the wire (DESIGN.md §13)
+//!
+//! * A frame either decodes whole and checksum-verified or is rejected;
+//!   a peer killed mid-frame can never deliver a partial batch.
+//! * Acks carry a durable watermark; clients keep batches until acked
+//!   and replay them after a reconnect. The server dedups replays by
+//!   `(client_id, batch_seq)`, so at-least-once delivery stays
+//!   exactly-once in the log.
+//! * A Degraded/ReadOnly engine answers ingest with a typed
+//!   [`NackCode::Degraded`] NACK instead of stalling the socket.
+//! * Every network touchpoint (accept, frame read, frame write, ack
+//!   send) is a [`fault`](crate::fault) site, so the whole protocol is
+//!   chaos-testable with the existing registry.
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+
+pub use client::{BatchOutcome, ClientConfig, IngestClient, SubClient, SubEvent};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use proto::{Message, NackCode, Role, SlowConsumerPolicy, SubscribeSpec, PROTO_VERSION};
+
+/// FNV-1a fingerprint of a schema: the sorted names of the open
+/// sources. Client and server compare fingerprints in the handshake so
+/// a writer talking to the wrong instance (or an instance whose schema
+/// drifted) fails fast with a typed NACK instead of pushing records
+/// into the wrong source ids. `0` is reserved for "skip the check";
+/// the fold below can never produce it.
+pub fn schema_fingerprint(mut names: Vec<String>) -> u64 {
+    names.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for name in &names {
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ["ab"] and ["a","b"] differ.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_name_sensitive() {
+        let a = schema_fingerprint(vec!["app".into(), "db".into()]);
+        let b = schema_fingerprint(vec!["db".into(), "app".into()]);
+        let c = schema_fingerprint(vec!["app".into(), "db2".into()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, 0, "0 is reserved for skip-the-check");
+        assert_ne!(schema_fingerprint(vec![]), 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_concatenations() {
+        let a = schema_fingerprint(vec!["ab".into()]);
+        let b = schema_fingerprint(vec!["a".into(), "b".into()]);
+        assert_ne!(a, b);
+    }
+}

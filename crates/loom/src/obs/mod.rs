@@ -39,7 +39,8 @@ pub use counters::{Counter, Gauge};
 pub use latency::{HistogramCounts, LatencyHistogram};
 pub use slow_query::{QueryKind, SlowQueryLog, SlowQueryTrace};
 pub use snapshot::{
-    CoordinatorMetrics, HybridLogMetrics, IndexMetrics, MetricsSnapshot, QueryMetrics, ShardRollup,
+    CoordinatorMetrics, HybridLogMetrics, IndexMetrics, MetricsSnapshot, NetMetrics, QueryMetrics,
+    ShardRollup,
 };
 
 use std::sync::Arc;
@@ -418,6 +419,153 @@ impl QueryObs {
     }
 }
 
+/// Network-service metrics, engine-wide (not per shard: connections
+/// belong to the instance, not to any one shard's logs).
+///
+/// Owned by the engine and handed to the network front-end via
+/// [`Loom::net_obs`](crate::Loom::net_obs); the server increments, and
+/// [`Loom::metrics_snapshot`](crate::Loom::metrics_snapshot) folds the
+/// values into [`MetricsSnapshot::net`] under `loom_net_*` names. The
+/// mutators are public because the server loop lives in the daemon
+/// crate.
+#[derive(Debug, Default)]
+pub struct NetObs {
+    connections: Counter,
+    connections_active: Gauge,
+    frames_read: Counter,
+    frames_written: Counter,
+    batches: Counter,
+    records: Counter,
+    acks: Counter,
+    nacks: Counter,
+    replays: Counter,
+    subscriptions: Counter,
+    subscriptions_active: Gauge,
+    sub_deliveries: Counter,
+    sub_records: Counter,
+    slow_consumer_drops: Counter,
+    sub_queue_depth: Gauge,
+    disconnects: Counter,
+}
+
+impl NetObs {
+    /// A connection completed its handshake.
+    #[inline]
+    pub fn connection_opened(&self) {
+        self.connections.inc();
+        self.connections_active.inc();
+    }
+
+    /// A handshaken connection closed (any reason).
+    #[inline]
+    pub fn connection_closed(&self) {
+        self.connections_active.dec();
+    }
+
+    /// One frame was decoded off a socket.
+    #[inline]
+    pub fn frame_read(&self) {
+        self.frames_read.inc();
+    }
+
+    /// One frame was encoded onto a socket.
+    #[inline]
+    pub fn frame_written(&self) {
+        self.frames_written.inc();
+    }
+
+    /// A batch of `records` records was ingested (not a replay).
+    #[inline]
+    pub fn batch_ingested(&self, records: u64) {
+        self.batches.inc();
+        self.records.add(records);
+    }
+
+    /// An ack frame was sent.
+    #[inline]
+    pub fn ack_sent(&self) {
+        self.acks.inc();
+    }
+
+    /// A nack frame was sent.
+    #[inline]
+    pub fn nack_sent(&self) {
+        self.nacks.inc();
+    }
+
+    /// A replayed batch was deduplicated (acked without re-ingesting).
+    #[inline]
+    pub fn replay_deduped(&self) {
+        self.replays.inc();
+    }
+
+    /// A subscription was registered.
+    #[inline]
+    pub fn subscription_opened(&self) {
+        self.subscriptions.inc();
+        self.subscriptions_active.inc();
+    }
+
+    /// A subscription ended.
+    #[inline]
+    pub fn subscription_closed(&self) {
+        self.subscriptions_active.dec();
+    }
+
+    /// One `SubData` delivery of `records` records was enqueued.
+    #[inline]
+    pub fn delivery(&self, records: u64) {
+        self.sub_deliveries.inc();
+        self.sub_records.add(records);
+    }
+
+    /// `records` records were shed by a slow-consumer policy.
+    #[inline]
+    pub fn slow_consumer_drop(&self, records: u64) {
+        self.slow_consumer_drops.add(records);
+    }
+
+    /// A frame entered a subscriber's delivery queue.
+    #[inline]
+    pub fn queue_push(&self) {
+        self.sub_queue_depth.inc();
+    }
+
+    /// A frame left a subscriber's delivery queue.
+    #[inline]
+    pub fn queue_pop(&self) {
+        self.sub_queue_depth.dec();
+    }
+
+    /// A connection died from an I/O error, bad frame, or policy kill
+    /// (as opposed to an orderly close).
+    #[inline]
+    pub fn disconnect(&self) {
+        self.disconnects.inc();
+    }
+
+    pub(crate) fn snapshot(&self) -> NetMetrics {
+        NetMetrics {
+            connections: self.connections.get(),
+            connections_active: self.connections_active.get(),
+            frames_read: self.frames_read.get(),
+            frames_written: self.frames_written.get(),
+            batches: self.batches.get(),
+            records: self.records.get(),
+            acks: self.acks.get(),
+            nacks: self.nacks.get(),
+            replays: self.replays.get(),
+            subscriptions: self.subscriptions.get(),
+            subscriptions_active: self.subscriptions_active.get(),
+            sub_deliveries: self.sub_deliveries.get(),
+            sub_records: self.sub_records.get(),
+            slow_consumer_drops: self.slow_consumer_drops.get(),
+            sub_queue_depth: self.sub_queue_depth.get(),
+            disconnects: self.disconnects.get(),
+        }
+    }
+}
+
 /// Everything a query terminal reports to [`Obs::observe_query`].
 ///
 /// Fields are read only inside the `self-obs`-gated body of
@@ -526,6 +674,9 @@ impl Obs {
             coordinator: self.engine.snapshot(),
             index: self.index.snapshot(),
             query: self.query.snapshot(),
+            // Network counters are engine-wide, not per shard; the
+            // engine's snapshot entry point fills them in.
+            net: NetMetrics::default(),
             shards: Vec::new(),
         }
     }

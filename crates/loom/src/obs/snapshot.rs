@@ -119,6 +119,49 @@ pub struct QueryMetrics {
     pub batch_selectivity: HistogramCounts,
 }
 
+/// Network-service layer: connections, ingest frames, acks/replays, and
+/// subscription delivery (all zero unless a network front-end is
+/// attached via [`Loom::net_obs`](crate::Loom::net_obs)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetMetrics {
+    /// Connections that completed the hello handshake.
+    pub connections: u64,
+    /// Currently open handshaken connections (gauge).
+    pub connections_active: u64,
+    /// Frames decoded off sockets.
+    pub frames_read: u64,
+    /// Frames encoded onto sockets.
+    pub frames_written: u64,
+    /// Ingest batches accepted (replays excluded).
+    pub batches: u64,
+    /// Records ingested over the network.
+    pub records: u64,
+    /// Ack frames sent.
+    pub acks: u64,
+    /// Nack frames sent (typed refusals; a degraded engine nacks
+    /// instead of stalling the socket).
+    pub nacks: u64,
+    /// Replayed batches deduplicated by `(client_id, batch_seq)` —
+    /// acked again without re-ingesting.
+    pub replays: u64,
+    /// Subscriptions ever registered.
+    pub subscriptions: u64,
+    /// Currently live subscriptions (gauge).
+    pub subscriptions_active: u64,
+    /// `SubData` deliveries enqueued.
+    pub sub_deliveries: u64,
+    /// Records delivered to subscribers.
+    pub sub_records: u64,
+    /// Records shed by slow-consumer policies (drop-with-gap or
+    /// disconnect).
+    pub slow_consumer_drops: u64,
+    /// Frames currently queued across all subscriber queues (gauge).
+    pub sub_queue_depth: u64,
+    /// Connections that died from I/O errors, bad frames, or a
+    /// slow-consumer kill.
+    pub disconnects: u64,
+}
+
 /// Per-shard headline counters, attached to an aggregated
 /// [`MetricsSnapshot`] when the engine runs with more than one shard.
 ///
@@ -158,6 +201,9 @@ pub struct MetricsSnapshot {
     pub index: IndexMetrics,
     /// Query-layer metrics.
     pub query: QueryMetrics,
+    /// Network-service metrics (engine-wide; zeros without an attached
+    /// network front-end).
+    pub net: NetMetrics,
     /// Per-shard headline rollups; empty on a single-shard engine, one
     /// entry per shard otherwise. The layer metrics above are always the
     /// across-shards aggregate, so every pre-existing metric name keeps
@@ -222,6 +268,25 @@ impl MetricsSnapshot {
         merge_histogram(&mut q.query_latency, &oq.query_latency);
         merge_histogram(&mut q.batch_rows, &oq.batch_rows);
         merge_histogram(&mut q.batch_selectivity, &oq.batch_selectivity);
+
+        let n = &mut self.net;
+        let on = &other.net;
+        n.connections += on.connections;
+        n.connections_active += on.connections_active;
+        n.frames_read += on.frames_read;
+        n.frames_written += on.frames_written;
+        n.batches += on.batches;
+        n.records += on.records;
+        n.acks += on.acks;
+        n.nacks += on.nacks;
+        n.replays += on.replays;
+        n.subscriptions += on.subscriptions;
+        n.subscriptions_active += on.subscriptions_active;
+        n.sub_deliveries += on.sub_deliveries;
+        n.sub_records += on.sub_records;
+        n.slow_consumer_drops += on.slow_consumer_drops;
+        n.sub_queue_depth += on.sub_queue_depth;
+        n.disconnects += on.disconnects;
     }
 
     /// The rollup row a per-shard snapshot contributes to the aggregate.
@@ -352,6 +417,28 @@ impl MetricsSnapshot {
                 self.query.columnar_batches,
             ),
             ("loom_query_columnar_rows_total", self.query.columnar_rows),
+            ("loom_net_connections_total", self.net.connections),
+            ("loom_net_connections_active", self.net.connections_active),
+            ("loom_net_frames_read_total", self.net.frames_read),
+            ("loom_net_frames_written_total", self.net.frames_written),
+            ("loom_net_batches_total", self.net.batches),
+            ("loom_net_records_total", self.net.records),
+            ("loom_net_acks_total", self.net.acks),
+            ("loom_net_nacks_total", self.net.nacks),
+            ("loom_net_replays_total", self.net.replays),
+            ("loom_net_subscriptions_total", self.net.subscriptions),
+            (
+                "loom_net_subscriptions_active",
+                self.net.subscriptions_active,
+            ),
+            ("loom_net_sub_deliveries_total", self.net.sub_deliveries),
+            ("loom_net_sub_records_total", self.net.sub_records),
+            (
+                "loom_net_slow_consumer_drops_total",
+                self.net.slow_consumer_drops,
+            ),
+            ("loom_net_sub_queue_depth", self.net.sub_queue_depth),
+            ("loom_net_disconnects_total", self.net.disconnects),
         ]
     }
 
@@ -460,7 +547,7 @@ mod tests {
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
         assert_eq!(names.len(), unique.len(), "metric names must be unique");
         assert!(names.len() >= 12, "need at least 12 distinct metrics");
-        for layer in ["hybridlog", "coordinator", "index", "query"] {
+        for layer in ["hybridlog", "coordinator", "index", "query", "net"] {
             assert!(
                 names.iter().any(|n| n.contains(layer)),
                 "missing layer {layer}"
