@@ -27,10 +27,11 @@
 //! Generated records use the 48-byte `LatencyRecord` layout, so the
 //! index field offset for the latency value is 8.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use daemon::net::{NetOptions, NetServer, WriterSlot};
 use loom::{Aggregate, ExtractorDesc, HistogramSpec, TimeRange, ValueRange};
@@ -308,7 +309,7 @@ impl Shell {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(self.seq ^ 0x9E37);
                 let start = std::time::Instant::now();
                 let writer = Arc::clone(&self.writer);
-                let mut guard = writer.lock().map_err(|_| "writer lock poisoned")?;
+                let mut guard = writer.lock();
                 let writer = guard.as_mut().ok_or("instance already closed")?;
                 for pushed in 0..count {
                     let latency = match &dist {
@@ -686,7 +687,7 @@ fn shutdown(
     code: i32,
 ) -> ! {
     let mut code = code;
-    let taken_server = server.lock().ok().and_then(|mut slot| slot.take());
+    let taken_server = server.lock().take();
     if let Some(srv) = taken_server {
         match srv.drain(DRAIN_TIMEOUT) {
             Ok(()) => eprintln!("loomd: {why}: network connections drained"),
@@ -696,7 +697,7 @@ fn shutdown(
             }
         }
     }
-    let taken = writer.lock().ok().and_then(|mut slot| slot.take());
+    let taken = writer.lock().take();
     if let Some(w) = taken {
         match w.close() {
             Ok(()) => eprintln!("loomd: {why}: closed cleanly"),
@@ -799,8 +800,8 @@ fn main() {
         });
     }
 
-    let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
-    let server: ServerSlot = Arc::new(Mutex::new(None));
+    let writer: WriterSlot = Arc::new(Mutex::named("daemon.writer_slot", Some(writer)));
+    let server: ServerSlot = Arc::new(Mutex::named("daemon.server_slot", None));
     if let Some(addr) = &opts.listen {
         match NetServer::start(
             loom_handle.clone(),
@@ -810,7 +811,7 @@ fn main() {
         ) {
             Ok(srv) => {
                 eprintln!("loomd: listening on {}", srv.local_addr());
-                *server.lock().expect("server slot") = Some(srv);
+                *server.lock() = Some(srv);
             }
             Err(e) => {
                 eprintln!("loomd: cannot listen on {addr}: {e}");
@@ -978,7 +979,7 @@ mod tests {
         let (l, w) = loom::Loom::open(loom::Config::small(&dir)).unwrap();
         let mut shell = Shell {
             loom: l,
-            writer: Arc::new(Mutex::new(Some(w))),
+            writer: Arc::new(Mutex::named("daemon.writer_slot", Some(w))),
             sources: HashMap::new(),
             indexes: HashMap::new(),
             seq: 0,
@@ -1034,7 +1035,7 @@ mod tests {
         let (l, w) = loom::Loom::open(config).unwrap();
         let mut shell = Shell {
             loom: l,
-            writer: Arc::new(Mutex::new(Some(w))),
+            writer: Arc::new(Mutex::named("daemon.writer_slot", Some(w))),
             sources: HashMap::new(),
             indexes: HashMap::new(),
             seq: 0,
@@ -1048,7 +1049,6 @@ mod tests {
         shell
             .writer
             .lock()
-            .unwrap()
             .as_mut()
             .unwrap()
             .sync_durable()

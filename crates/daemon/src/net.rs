@@ -24,11 +24,12 @@
 //! process closes the engine. See `DESIGN.md` §13 for the failure
 //! model.
 
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -128,10 +129,11 @@ impl NetServer {
             obs,
             opts,
             stop: AtomicBool::new(false),
-            replay: Mutex::new(HashMap::new()),
-            resolve_lock: Mutex::new(()),
+            replay: Mutex::named("daemon.replay", HashMap::new()),
+            resolve_lock: Mutex::named("daemon.resolve", ()),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(Mutex::named("daemon.conns", Vec::new()));
         let accept = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
@@ -164,7 +166,7 @@ impl NetServer {
         }
         let deadline = Instant::now() + timeout;
         loop {
-            let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            let mut conns = self.conns.lock();
             let mut stuck = Vec::new();
             for h in conns.drain(..) {
                 if h.is_finished() {
@@ -212,7 +214,7 @@ fn accept_loop(
                     serve_conn(&shared, stream);
                     shared.obs.connection_closed();
                 });
-                let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
+                let mut conns = conns.lock();
                 // Reap finished handlers so a long-lived server does not
                 // accumulate dead join handles.
                 conns.retain(|h| !h.is_finished());
@@ -287,10 +289,7 @@ fn current_fingerprint(loom: &Loom) -> u64 {
 /// first — under [`Shared::resolve_lock`] — to keep resolution
 /// idempotent across clients and reconnects.
 fn resolve_source(shared: &Shared, name: &str) -> SourceId {
-    let _guard = shared
-        .resolve_lock
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
+    let _guard = shared.resolve_lock.lock();
     for (sid, sname, closed) in shared.loom.sources() {
         if !closed && sname == name {
             return sid;
@@ -337,7 +336,7 @@ fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
         return;
     }
     let last_acked_seq = {
-        let replay = shared.replay.lock().unwrap_or_else(|e| e.into_inner());
+        let replay = shared.replay.lock();
         replay.get(&client_id).copied().unwrap_or(0)
     };
     let ack = Message::HelloAck {
@@ -443,7 +442,7 @@ fn ingest_batch(
     // already been ingested in full — re-ack without touching the
     // engine, making client retransmission idempotent.
     let watermark = {
-        let replay = shared.replay.lock().unwrap_or_else(|e| e.into_inner());
+        let replay = shared.replay.lock();
         replay.get(&client_id).copied().unwrap_or(0)
     };
     if batch_seq <= watermark {
@@ -467,7 +466,7 @@ fn ingest_batch(
     }
     let total = payloads.len() as u64;
     let pushed_result = {
-        let mut slot = shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = shared.writer.lock();
         let Some(writer) = slot.as_mut() else {
             return send_nack(
                 stream,
@@ -540,7 +539,7 @@ fn nack_code_for(e: &LoomError) -> (NackCode, bool) {
 }
 
 fn advance_watermark(shared: &Shared, client_id: u64, batch_seq: u64) -> u64 {
-    let mut replay = shared.replay.lock().unwrap_or_else(|e| e.into_inner());
+    let mut replay = shared.replay.lock();
     let entry = replay.entry(client_id).or_insert(0);
     *entry = (*entry).max(batch_seq);
     *entry
@@ -621,11 +620,14 @@ fn run_subscription(
     }
     .max(1);
     let queue: QueueHandle = Arc::new((
-        Mutex::new(SubQueue {
-            frames: std::collections::VecDeque::new(),
-            pending_gap: 0,
-            closed: false,
-        }),
+        Mutex::named(
+            "daemon.sub_queue",
+            SubQueue {
+                frames: std::collections::VecDeque::new(),
+                pending_gap: 0,
+                closed: false,
+            },
+        ),
         Condvar::new(),
     ));
     let writer = {
@@ -695,7 +697,7 @@ fn pump_window(
     // later pushes stamp `>= bound`, landing in the next window. That
     // is what makes delivery zero-loss and zero-duplicate.
     let bound = {
-        let _guard = shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = shared.writer.lock();
         shared.loom.now()
     };
     if bound <= *prev {
@@ -752,7 +754,7 @@ fn flush_gap(
     queue: &QueueHandle,
 ) -> Result<(), String> {
     let (lock, cond) = &**queue;
-    let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+    let mut q = lock.lock();
     if q.closed {
         return Err("peer gone".to_string());
     }
@@ -779,7 +781,7 @@ fn enqueue(
     n_records: u64,
 ) -> Result<(), String> {
     let (lock, cond) = &**queue;
-    let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+    let mut q = lock.lock();
     while q.frames.len() >= cap {
         if q.closed {
             return Err("peer gone".to_string());
@@ -789,9 +791,7 @@ fn enqueue(
                 // Backpressure lands on this subscription's pump only;
                 // ingest and other subscribers are unaffected. The
                 // writer thread's socket timeout bounds the wait.
-                let (guard, _timeout) = cond
-                    .wait_timeout(q, Duration::from_millis(50))
-                    .unwrap_or_else(|e| e.into_inner());
+                let (guard, _timeout) = cond.wait_timeout(q, Duration::from_millis(50));
                 q = guard;
             }
             SlowConsumerPolicy::DropWithGap => {
@@ -821,7 +821,7 @@ fn enqueue(
 /// account for every record as delivered-or-gapped.
 fn enqueue_terminal(shared: &Arc<Shared>, queue: &QueueHandle, sub_id: u64, frame: Message) {
     let (lock, cond) = &**queue;
-    let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+    let mut q = lock.lock();
     if !q.closed {
         if q.pending_gap > 0 {
             let dropped = std::mem::take(&mut q.pending_gap);
@@ -842,7 +842,7 @@ fn sub_writer(shared: &Arc<Shared>, mut out: TcpStream, queue: &QueueHandle) {
     let (lock, cond) = &**queue;
     loop {
         let frame = {
-            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = lock.lock();
             loop {
                 if let Some(frame) = q.frames.pop_front() {
                     shared.obs.queue_pop();
@@ -852,15 +852,13 @@ fn sub_writer(shared: &Arc<Shared>, mut out: TcpStream, queue: &QueueHandle) {
                 if q.closed {
                     return;
                 }
-                let (guard, _timeout) = cond
-                    .wait_timeout(q, Duration::from_millis(50))
-                    .unwrap_or_else(|e| e.into_inner());
+                let (guard, _timeout) = cond.wait_timeout(q, Duration::from_millis(50));
                 q = guard;
             }
         };
         if send(&mut out, shared, &frame).is_err() {
             shared.obs.disconnect();
-            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = lock.lock();
             q.closed = true;
             // The cleared frames were counted on push; keep the depth
             // gauge exact.

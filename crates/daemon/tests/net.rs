@@ -13,8 +13,9 @@
 //! 4. Slow consumers get the policy they asked for (gap markers /
 //!    disconnect) without stalling ingest or other subscribers.
 
+use parking_lot::Mutex;
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use daemon::net::{NetOptions, NetServer, WriterSlot};
@@ -42,7 +43,7 @@ impl Harness {
         let dir = std::env::temp_dir().join(format!("loom-net-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let (loom, writer) = Loom::open(Config::small(&dir)).unwrap();
-        let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
+        let writer: WriterSlot = Arc::new(Mutex::named("daemon.writer_slot", Some(writer)));
         let server =
             NetServer::start(loom.clone(), Arc::clone(&writer), "127.0.0.1:0", opts).unwrap();
         let addr = server.local_addr().to_string();

@@ -19,8 +19,9 @@
 
 #![cfg(feature = "failpoints")]
 
+use parking_lot::Mutex;
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use daemon::net::{NetOptions, NetServer, WriterSlot};
@@ -45,7 +46,7 @@ impl Harness {
         let dir = std::env::temp_dir().join(format!("loom-chaos-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let (loom, writer) = Loom::open(Config::small(&dir)).unwrap();
-        let writer: WriterSlot = Arc::new(Mutex::new(Some(writer)));
+        let writer: WriterSlot = Arc::new(Mutex::named("daemon.writer_slot", Some(writer)));
         let server = NetServer::start(
             loom.clone(),
             Arc::clone(&writer),

@@ -15,8 +15,8 @@ use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::sync::{Mutex, RwLock};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::RwLock;
 
 use crate::record::{RecordMeta, HEADER_SIZE};
 use crate::segment::Segment;
@@ -79,7 +79,7 @@ pub struct SharedLog {
     /// Bytes of the log durably in the file (contiguous prefix).
     flushed_upto: AtomicU64,
     flusher_tx: Sender<FlusherMsg>,
-    flusher: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
 enum FlusherMsg {
@@ -115,11 +115,14 @@ impl SharedLog {
         let log = Arc::new(SharedLog {
             file,
             segment_size,
-            slots: RwLock::new(vec![SegSlot::InMemory(Arc::clone(&first))]),
-            active: RwLock::new(first),
+            slots: RwLock::named(
+                "fishstore.slots",
+                vec![SegSlot::InMemory(Arc::clone(&first))],
+            ),
+            active: RwLock::named("fishstore.active", first),
             flushed_upto: AtomicU64::new(0),
             flusher_tx: tx,
-            flusher: parking_lot::Mutex::new(None),
+            flusher: Mutex::named("fishstore.flusher", None),
         });
         // The flusher holds only a weak handle so dropping the last strong
         // `Arc<SharedLog>` actually runs `Drop` (which shuts the thread

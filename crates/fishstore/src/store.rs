@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::log::{LogError, Result, SharedLog};
 use crate::record::{RecordMeta, MAX_PSFS, NIL_ADDR};
@@ -89,8 +89,8 @@ impl FishStore {
         let log = SharedLog::create(&config.dir.join("fishstore.log"), config.segment_size)?;
         Ok(Arc::new(FishStore {
             log,
-            psfs: RwLock::new(Vec::new()),
-            directory: RwLock::new(HashMap::new()),
+            psfs: RwLock::named("fishstore.psfs", Vec::new()),
+            directory: RwLock::named("fishstore.directory", HashMap::new()),
             epoch: Instant::now(),
             records: AtomicU64::new(0),
             bytes: AtomicU64::new(0),

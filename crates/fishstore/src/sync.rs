@@ -42,3 +42,8 @@ pub mod thread {
     #[cfg(conc_check)]
     pub use conc_check::sync::thread::yield_now;
 }
+
+/// Named locks with the `conc_check` runtime lock-order witness; see
+/// the loom crate's facade docs. Lock-holding code in this crate
+/// should import the lock types from here.
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

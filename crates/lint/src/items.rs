@@ -1,0 +1,700 @@
+//! Brace-matched item scanner over the lexed token stream.
+//!
+//! Walks a file's code tokens once and records the items the semantic
+//! passes need: functions (with body ranges, visibility, and whether
+//! they return `Result`), struct fields and their type text, enum
+//! variants, `const`/`static` declarations with their value text, type
+//! aliases, and `#[cfg(test)]` / `#[test]` regions resolved by actual
+//! brace matching instead of the old "everything after the first
+//! `#[cfg(test)]` line" approximation.
+//!
+//! This is a scanner, not a parser: it has no expression grammar and
+//! resolves items positionally (an `fn` keyword at item position starts
+//! a function, the `{`…`}` after a `struct Name` holds its fields). The
+//! lint's fixtures pin the shapes the workspace uses.
+
+use crate::lexer::{LexedFile, Tok, TokKind};
+
+/// A function item: `fn name(…) -> … { body }`.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body, *inclusive* of both braces; `None` for
+    /// bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Token range of the signature: from `fn` to the body `{` or `;`.
+    pub sig: (usize, usize),
+    /// True when declared `pub` (not `pub(crate)`).
+    pub is_pub: bool,
+    /// True when the signature's return type mentions `Result`.
+    pub returns_result: bool,
+    /// True when inside a `#[cfg(test)]` region or carrying `#[test]`.
+    pub in_test: bool,
+}
+
+/// A struct field: `name: Type`.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// The struct the field belongs to.
+    pub struct_name: String,
+    /// The field's name.
+    pub name: String,
+    /// Flattened type text (tokens joined by one space).
+    pub type_text: String,
+    /// 1-based line of the field name.
+    pub line: usize,
+}
+
+/// An enum with its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// True when declared `pub`.
+    pub is_pub: bool,
+    /// Variant names with their lines.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// A `const` or `static` declaration.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    /// The declared name.
+    pub name: String,
+    /// Flattened type text.
+    pub type_text: String,
+    /// Flattened value text (tokens between `=` and `;`); string
+    /// literal tokens appear as their *contents*.
+    pub value_text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// True when inside a function body (local const/static).
+    pub local: bool,
+}
+
+/// A `type Name = …;` alias.
+#[derive(Debug, Clone)]
+pub struct AliasItem {
+    /// The alias name.
+    pub name: String,
+    /// Flattened aliased type text.
+    pub type_text: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// Everything the scanner extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct Items {
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// Struct fields.
+    pub fields: Vec<FieldItem>,
+    /// Enums with variants.
+    pub enums: Vec<EnumItem>,
+    /// `const` declarations.
+    pub consts: Vec<ConstItem>,
+    /// `static` declarations.
+    pub statics: Vec<ConstItem>,
+    /// Type aliases.
+    pub aliases: Vec<AliasItem>,
+    /// 1-based inclusive line ranges that are test code (`#[cfg(test)]`
+    /// items, `#[test]` functions), brace-matched.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl Items {
+    /// True when 1-based `line` falls inside a test region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| line >= s && line <= e)
+    }
+}
+
+/// Index of the matching close for the open delimiter at `open`
+/// (which must be `(`, `[`, or `{`). Counts all three bracket kinds
+/// together, which is correct for well-formed Rust.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len() - 1
+}
+
+/// Scans a lexed file into [`Items`].
+pub fn scan(file: &LexedFile) -> Items {
+    // Work on code tokens only; keep original indices for line lookups.
+    let toks: Vec<Tok> = file
+        .toks
+        .iter()
+        .filter(|t| !t.is_comment())
+        .cloned()
+        .collect();
+    scan_code(&toks)
+}
+
+/// Scans an already comment-filtered token slice into [`Items`]. The
+/// recorded body/signature ranges index into `toks`.
+pub fn scan_code(toks: &[Tok]) -> Items {
+    let mut items = Items::default();
+    scan_range(toks, 0, toks.len(), false, 0, &mut items);
+    items.test_regions.sort_unstable();
+    items
+}
+
+/// Joined text of `toks[a..b]`, one space between tokens.
+fn flat_text(toks: &[Tok], a: usize, b: usize) -> String {
+    let mut s = String::new();
+    for t in &toks[a..b.min(toks.len())] {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// True when an attribute token run starting at `i` (`#`) gates tests:
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`. Returns the index
+/// past the attribute's `]` alongside.
+fn test_attr(toks: &[Tok], i: usize) -> (bool, usize) {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].is_punct('!') {
+        j += 1;
+    }
+    if j >= toks.len() || !toks[j].is_punct('[') {
+        return (false, i + 1);
+    }
+    let close = matching_close(toks, j);
+    let mut is_test = false;
+    if j + 1 < toks.len() {
+        if toks[j + 1].is_ident("test") {
+            is_test = true; // #[test]
+        } else if toks[j + 1].is_ident("cfg") {
+            // #[cfg(…)] with a `test` ident anywhere inside.
+            is_test = toks[j..=close].iter().any(|t| t.is_ident("test"));
+        }
+    }
+    (is_test, close + 1)
+}
+
+/// Recursive scan of `toks[start..end]` at item position.
+///
+/// `in_fn`: scanning inside a function body (consts found are
+/// local; nested items still recorded). `depth` is the brace depth.
+#[allow(clippy::too_many_arguments)]
+fn scan_range(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    in_fn: bool,
+    _depth: usize,
+    items: &mut Items,
+) {
+    let mut i = start;
+    let mut pending_test = false;
+    let mut pending_pub = false;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('#') {
+            let (is_test, next) = test_attr(toks, i);
+            pending_test = pending_test || is_test;
+            i = next;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "pub" => {
+                    // `pub` or `pub(crate)`/`pub(super)`.
+                    let mut bare = true;
+                    if i + 1 < end && toks[i + 1].is_punct('(') {
+                        bare = false;
+                        i = matching_close(toks, i + 1);
+                    }
+                    pending_pub = bare;
+                    i += 1;
+                    continue;
+                }
+                "fn" => {
+                    i = scan_fn(toks, i, end, pending_pub, pending_test, items);
+                    pending_pub = false;
+                    pending_test = false;
+                    continue;
+                }
+                "struct" | "union" => {
+                    i = scan_struct(toks, i, end, pending_test, items);
+                    pending_pub = false;
+                    pending_test = false;
+                    continue;
+                }
+                "enum" => {
+                    i = scan_enum(toks, i, end, pending_pub, pending_test, items);
+                    pending_pub = false;
+                    pending_test = false;
+                    continue;
+                }
+                "const" | "static" => {
+                    // `const fn` is a function.
+                    if i + 1 < end && toks[i + 1].is_ident("fn") {
+                        i += 1;
+                        continue;
+                    }
+                    // `*const T` pointer type — only at item position
+                    // does `const NAME:` declare; require ident + `:`.
+                    let is_static = t.text == "static";
+                    let mut j = i + 1;
+                    if j < end && toks[j].is_ident("mut") {
+                        j += 1;
+                    }
+                    if j + 1 < end && toks[j].kind == TokKind::Ident && toks[j + 1].is_punct(':') {
+                        let name = toks[j].text.clone();
+                        let line = toks[j].line;
+                        let mut k = j + 2;
+                        let ty_start = k;
+                        while k < end && !toks[k].is_punct('=') && !toks[k].is_punct(';') {
+                            if toks[k].is_punct('(')
+                                || toks[k].is_punct('[')
+                                || toks[k].is_punct('{')
+                            {
+                                k = matching_close(toks, k);
+                            }
+                            k += 1;
+                        }
+                        let ty_end = k;
+                        let mut val_start = k;
+                        if k < end && toks[k].is_punct('=') {
+                            val_start = k + 1;
+                            k += 1;
+                            while k < end && !toks[k].is_punct(';') {
+                                if toks[k].is_punct('(')
+                                    || toks[k].is_punct('[')
+                                    || toks[k].is_punct('{')
+                                {
+                                    k = matching_close(toks, k);
+                                }
+                                k += 1;
+                            }
+                        }
+                        let item = ConstItem {
+                            name,
+                            type_text: flat_text(toks, ty_start, ty_end),
+                            value_text: flat_text(toks, val_start, k),
+                            line,
+                            local: in_fn,
+                        };
+                        if is_static {
+                            items.statics.push(item);
+                        } else {
+                            items.consts.push(item);
+                        }
+                        if pending_test {
+                            mark_test(items, line, toks.get(k).map_or(line, |t| t.line));
+                        }
+                        pending_pub = false;
+                        pending_test = false;
+                        i = k + 1;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                "type" => {
+                    if i + 2 < end
+                        && toks[i + 1].kind == TokKind::Ident
+                        && toks[i + 2].is_punct('=')
+                    {
+                        let name = toks[i + 1].text.clone();
+                        let line = toks[i + 1].line;
+                        let mut k = i + 3;
+                        while k < end && !toks[k].is_punct(';') {
+                            k += 1;
+                        }
+                        items.aliases.push(AliasItem {
+                            name,
+                            type_text: flat_text(toks, i + 3, k),
+                            line,
+                        });
+                        i = k + 1;
+                        pending_pub = false;
+                        pending_test = false;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                "mod" | "impl" | "trait" => {
+                    // Find the body brace (skipping generics/paths) and
+                    // recurse at item position.
+                    let kw_line = t.line;
+                    let mut k = i + 1;
+                    while k < end && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                        k += 1;
+                    }
+                    if k < end && toks[k].is_punct('{') {
+                        let close = matching_close(toks, k);
+                        if pending_test {
+                            mark_test(items, kw_line, toks[close].line);
+                        }
+                        scan_range(toks, k + 1, close, false, 0, items);
+                        i = close + 1;
+                    } else {
+                        i = k + 1;
+                    }
+                    pending_pub = false;
+                    pending_test = false;
+                    continue;
+                }
+                _ => {
+                    pending_pub = false;
+                    // Attribute gating applies to the *next item*; a
+                    // stray expression ident consumes nothing.
+                }
+            }
+        }
+        // Skip over any brace group we did not classify so nested
+        // expressions can't fake item keywords at item position —
+        // except match-arm/closure bodies inside fns are still scanned
+        // for local consts by scan_fn, not here.
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            let close = matching_close(toks, i);
+            scan_range(toks, i + 1, close, in_fn, 0, items);
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn mark_test(items: &mut Items, from: usize, to: usize) {
+    items.test_regions.push((from, to.max(from)));
+}
+
+fn scan_fn(
+    toks: &[Tok],
+    fn_idx: usize,
+    end: usize,
+    is_pub: bool,
+    is_test: bool,
+    items: &mut Items,
+) -> usize {
+    let Some(name_tok) = toks.get(fn_idx + 1) else {
+        return fn_idx + 1;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return fn_idx + 1;
+    }
+    let name = name_tok.text.clone();
+    let line = toks[fn_idx].line;
+    // Signature runs to the body `{` or a `;`, skipping parameter
+    // parens and any bracketed groups (where-clauses, generics with
+    // braces can't appear; `-> impl Fn() -> T` is fine).
+    let mut k = fn_idx + 1;
+    let mut sig_end = end.saturating_sub(1);
+    let mut body = None;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            k = matching_close(toks, k) + 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let close = matching_close(toks, k);
+            sig_end = k;
+            body = Some((k, close));
+            break;
+        }
+        if t.is_punct(';') {
+            sig_end = k;
+            break;
+        }
+        k += 1;
+    }
+    let returns_result = toks[fn_idx..sig_end.min(end)]
+        .iter()
+        .any(|t| t.is_ident("Result"));
+    if is_test {
+        let to = body.map_or(line, |(_, c)| toks[c].line);
+        mark_test(items, line, to);
+    }
+    items.fns.push(FnItem {
+        name,
+        line,
+        fn_tok: fn_idx,
+        body,
+        sig: (fn_idx, sig_end),
+        is_pub,
+        returns_result,
+        in_test: is_test,
+    });
+    if let Some((open, close)) = body {
+        // Scan the body for nested items (local consts, nested fns).
+        scan_range(toks, open + 1, close, true, 0, items);
+        close + 1
+    } else {
+        sig_end + 1
+    }
+}
+
+fn scan_struct(toks: &[Tok], kw_idx: usize, end: usize, is_test: bool, items: &mut Items) -> usize {
+    let Some(name_tok) = toks.get(kw_idx + 1) else {
+        return kw_idx + 1;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return kw_idx + 1;
+    }
+    let name = name_tok.text.clone();
+    // Find the field-block `{` (skipping generic params in `<…>` which
+    // the lexer emits as puncts — they contain no braces) or a `;`
+    // (unit/tuple struct).
+    let mut k = kw_idx + 2;
+    while k < end && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+        if toks[k].is_punct('(') {
+            // Tuple struct body; skip.
+            k = matching_close(toks, k);
+        }
+        k += 1;
+    }
+    if k >= end || !toks[k].is_punct('{') {
+        return k + 1;
+    }
+    let close = matching_close(toks, k);
+    if is_test {
+        mark_test(items, toks[kw_idx].line, toks[close].line);
+    }
+    // Fields: `name :` pairs at this brace level.
+    let mut j = k + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('#') {
+            let (_, next) = test_attr(toks, j);
+            j = next;
+            continue;
+        }
+        if t.is_ident("pub") {
+            if j + 1 < close && toks[j + 1].is_punct('(') {
+                j = matching_close(toks, j + 1) + 1;
+            } else {
+                j += 1;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident && j + 1 < close && toks[j + 1].is_punct(':') {
+            let fname = t.text.clone();
+            let fline = t.line;
+            // Type runs to the `,` at this level or the close.
+            let mut m = j + 2;
+            while m < close && !toks[m].is_punct(',') {
+                if toks[m].is_punct('(') || toks[m].is_punct('[') || toks[m].is_punct('{') {
+                    m = matching_close(toks, m);
+                }
+                m += 1;
+            }
+            items.fields.push(FieldItem {
+                struct_name: name.clone(),
+                name: fname,
+                type_text: flat_text(toks, j + 2, m),
+                line: fline,
+            });
+            j = m + 1;
+            continue;
+        }
+        j += 1;
+    }
+    close + 1
+}
+
+fn scan_enum(
+    toks: &[Tok],
+    kw_idx: usize,
+    end: usize,
+    is_pub: bool,
+    is_test: bool,
+    items: &mut Items,
+) -> usize {
+    let Some(name_tok) = toks.get(kw_idx + 1) else {
+        return kw_idx + 1;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return kw_idx + 1;
+    }
+    let name = name_tok.text.clone();
+    let mut k = kw_idx + 2;
+    while k < end && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+        k += 1;
+    }
+    if k >= end || !toks[k].is_punct('{') {
+        return k + 1;
+    }
+    let close = matching_close(toks, k);
+    if is_test {
+        mark_test(items, toks[kw_idx].line, toks[close].line);
+    }
+    let mut variants = Vec::new();
+    let mut j = k + 1;
+    let mut at_entry = true;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('#') {
+            let (_, next) = test_attr(toks, j);
+            j = next;
+            continue;
+        }
+        if at_entry && t.kind == TokKind::Ident {
+            variants.push((t.text.clone(), t.line));
+            at_entry = false;
+            j += 1;
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
+            j = matching_close(toks, j) + 1;
+            continue;
+        }
+        if t.is_punct(',') {
+            at_entry = true;
+        }
+        j += 1;
+    }
+    items.enums.push(EnumItem {
+        name,
+        line: toks[kw_idx].line,
+        is_pub,
+        variants,
+    });
+    close + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::LexedFile;
+
+    fn items(text: &str) -> Items {
+        scan(&LexedFile::lex(text))
+    }
+
+    #[test]
+    fn fns_with_visibility_and_result() {
+        let it = items(
+            "pub fn a() -> Result<()> { Ok(()) }\n\
+             pub(crate) fn b(x: u32) -> u32 { x }\n\
+             fn c() {}\n",
+        );
+        assert_eq!(it.fns.len(), 3);
+        assert!(it.fns[0].is_pub && it.fns[0].returns_result);
+        assert!(!it.fns[1].is_pub, "pub(crate) is not pub");
+        assert!(!it.fns[2].returns_result);
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let it = items(
+            "pub struct Engine {\n\
+                 pub(crate) registry: Arc<RwLock<Registry>>,\n\
+                 manifest: Mutex<Manifest>,\n\
+                 count: usize,\n\
+             }\n",
+        );
+        let names: Vec<_> = it.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["registry", "manifest", "count"]);
+        assert!(it.fields[0].type_text.contains("RwLock"));
+        assert!(it.fields[1].type_text.contains("Mutex"));
+        assert_eq!(it.fields[1].struct_name, "Engine");
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let it = items(
+            "pub enum LoomError {\n\
+                 Io(io::Error),\n\
+                 RecordTooLarge { size: usize, max: usize },\n\
+                 ShutDown,\n\
+             }\n",
+        );
+        assert_eq!(it.enums.len(), 1);
+        let v: Vec<_> = it.enums[0]
+            .variants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(v, vec!["Io", "RecordTooLarge", "ShutDown"]);
+        // The struct-variant's fields must NOT leak into struct fields.
+        assert!(it.fields.is_empty());
+    }
+
+    #[test]
+    fn consts_statics_and_aliases() {
+        let it = items(
+            "pub const TAG_SOURCE_DEF: u8 = 1;\n\
+             const NAME: &str = \"hybridlog::flush_write\";\n\
+             static ACTIVE: AtomicUsize = AtomicUsize::new(0);\n\
+             pub type WriterSlot = Arc<Mutex<Option<LoomWriter>>>;\n",
+        );
+        assert_eq!(it.consts.len(), 2);
+        assert_eq!(it.consts[0].name, "TAG_SOURCE_DEF");
+        assert_eq!(it.consts[0].value_text, "1");
+        assert!(
+            it.consts[1].value_text.contains("hybridlog::flush_write")
+                || it.consts[1].value_text.contains("flush_write")
+        );
+        assert_eq!(it.statics[0].name, "ACTIVE");
+        assert_eq!(it.aliases[0].name, "WriterSlot");
+        assert!(it.aliases[0].type_text.contains("Mutex"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_brace_matched() {
+        let it = items(
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() {}\n\
+             }\n\
+             fn after_tests() {}\n",
+        );
+        assert!(it.line_in_test(3));
+        assert!(it.line_in_test(4));
+        assert!(
+            !it.line_in_test(6),
+            "code after a test module is NOT test code: {:?}",
+            it.test_regions
+        );
+        let after = it.fns.iter().find(|f| f.name == "after_tests").unwrap();
+        assert!(!after.in_test);
+    }
+
+    #[test]
+    fn test_attr_on_fn_marks_region() {
+        let it = items("#[test]\nfn check() {\n  body();\n}\nfn normal() {}\n");
+        assert!(it.line_in_test(2));
+        assert!(it.line_in_test(4));
+        assert!(!it.line_in_test(5));
+    }
+
+    #[test]
+    fn local_consts_are_marked_local() {
+        let it = items("fn f() { const FNV: u64 = 3; }\nconst TOP: u64 = 4;\n");
+        let local = it.consts.iter().find(|c| c.name == "FNV").unwrap();
+        assert!(local.local);
+        let top = it.consts.iter().find(|c| c.name == "TOP").unwrap();
+        assert!(!top.local);
+    }
+}

@@ -1,0 +1,615 @@
+//! A small, self-contained Rust lexer for the lint passes.
+//!
+//! The old lint was line-based and blind to block comments, raw
+//! strings, and char literals — `"unsafe {"` inside a string or a rule
+//! pattern inside `/* ... */` tripped (or hid) rules. This lexer
+//! produces a token stream that is *token-accurate* for everything the
+//! passes care about:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* */ */`), kept in the stream as trivia tokens so
+//!   annotation rules (`// SAFETY:`, `// ORDERING:`) can see them;
+//! * string literals in every form the workspace uses — `"…"` with
+//!   escapes, raw `r"…"`/`r#"…"#`, byte `b"…"`, raw-byte `br#"…"#` —
+//!   lexed as one [`TokKind::Str`] token holding the *content* (so
+//!   registry passes can read literal values) without ever confusing
+//!   the contents for code;
+//! * char and byte-char literals (`'a'`, `'\''`, `b'\xff'`) versus
+//!   lifetimes (`'a` in `&'a str`), the classic hand-lexer trap;
+//! * numeric literals with underscores, radix prefixes, suffixes, and
+//!   float exponents, kept as written so tag values can be parsed.
+//!
+//! It is not a full Rust lexer (no shebangs, no `c"…"` strings, no
+//! float-vs-range disambiguation beyond one lookahead) — it covers the
+//! grammar this repository actually contains, and the lexer tests pin
+//! the tricky cases.
+
+/// Token classes the passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, …).
+    Ident,
+    /// Lifetime, text includes the quote (`'a`, `'static`).
+    Lifetime,
+    /// String literal of any form; `text` is the literal's *content*
+    /// (escapes left as written, delimiters stripped).
+    Str,
+    /// Char or byte-char literal; `text` is the inner text.
+    Char,
+    /// Numeric literal, as written (`0xcbf2_9ce4`, `1.5e-3`, `42u64`).
+    Num,
+    /// One punctuation character (`{`, `.`, `:`, `#`, …).
+    Punct,
+    /// `// …` comment (any doc-ness), text includes the slashes.
+    LineComment,
+    /// `/* … */` comment, text includes the delimiters.
+    BlockComment,
+}
+
+/// One token with its 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True for trivia (comment) tokens.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A lexed source file: the token stream plus per-line derived views
+/// the annotation-style rules consume.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// All tokens, comments included, in source order.
+    pub toks: Vec<Tok>,
+    /// Per line (0-based index): code text with comments removed and
+    /// string/char contents blanked (delimiters kept), suitable for
+    /// pattern checks that must never match inside literals.
+    pub line_code: Vec<String>,
+    /// Per line: concatenated comment text touching the line (block
+    /// comments contribute to every line they span).
+    pub line_comments: Vec<String>,
+    /// Per line: true when the line holds no code at all, or only an
+    /// attribute (`#[…]` / `#![…]`) — the lines allowed between an
+    /// `unsafe` site and its SAFETY comment.
+    pub line_is_annotation: Vec<bool>,
+}
+
+impl LexedFile {
+    /// Lexes `text` into tokens and per-line views.
+    pub fn lex(text: &str) -> LexedFile {
+        let n_lines = text.lines().count().max(1);
+        let toks = tokenize(text);
+        let mut line_code = vec![String::new(); n_lines];
+        let mut line_comments = vec![String::new(); n_lines];
+        let mut line_has_code = vec![false; n_lines];
+        // Lines whose only code is part of an attribute.
+        let mut line_attr_only = vec![true; n_lines];
+
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            let l = t.line - 1;
+            match t.kind {
+                TokKind::LineComment => {
+                    if l < n_lines {
+                        line_comments[l].push_str(&t.text);
+                        line_comments[l].push(' ');
+                    }
+                }
+                TokKind::BlockComment => {
+                    for (off, part) in t.text.lines().enumerate() {
+                        let ll = l + off;
+                        if ll < n_lines {
+                            line_comments[ll].push_str(part);
+                            line_comments[ll].push(' ');
+                        }
+                    }
+                }
+                _ => {
+                    if l < n_lines {
+                        line_has_code[l] = true;
+                        let code = &mut line_code[l];
+                        if !code.is_empty() {
+                            code.push(' ');
+                        }
+                        match t.kind {
+                            TokKind::Str => code.push_str("\"\""),
+                            TokKind::Char => code.push_str("''"),
+                            _ => code.push_str(&t.text),
+                        }
+                    }
+                    // An attribute is `#` `[` … balanced … `]` (or
+                    // `#![…]`); mark the lines it spans, and mark any
+                    // other code as non-attribute.
+                    if t.is_punct('#') {
+                        let mut j = i + 1;
+                        if j < toks.len() && toks[j].is_punct('!') {
+                            j += 1;
+                        }
+                        if j < toks.len() && toks[j].is_punct('[') {
+                            let mut depth = 0usize;
+                            let end = loop {
+                                if j >= toks.len() {
+                                    break j;
+                                }
+                                if toks[j].is_punct('[') {
+                                    depth += 1;
+                                } else if toks[j].is_punct(']') {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break j;
+                                    }
+                                }
+                                j += 1;
+                            };
+                            // Blank the attribute's tokens from the
+                            // "real code" view: record nothing. (The
+                            // attribute text still lands in line_code
+                            // above, which is fine — attribute lines
+                            // are whitelisted via line_is_annotation.)
+                            for t2 in toks.iter().take(end.min(toks.len() - 1) + 1).skip(i + 1) {
+                                if t2.line - 1 < n_lines && !t2.is_comment() {
+                                    line_has_code[t2.line - 1] = true;
+                                    let code = &mut line_code[t2.line - 1];
+                                    if !code.is_empty() {
+                                        code.push(' ');
+                                    }
+                                    match t2.kind {
+                                        TokKind::Str => code.push_str("\"\""),
+                                        TokKind::Char => code.push_str("''"),
+                                        _ => code.push_str(&t2.text),
+                                    }
+                                }
+                            }
+                            i = end;
+                        } else {
+                            line_attr_only[l] = false;
+                        }
+                    } else {
+                        line_attr_only[l] = false;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        let line_is_annotation = (0..n_lines)
+            .map(|l| !line_has_code[l] || line_attr_only[l])
+            .collect();
+        LexedFile {
+            toks,
+            line_code,
+            line_comments,
+            line_is_annotation,
+        }
+    }
+
+    /// Tokens with comments filtered out (what most passes walk).
+    pub fn code_toks(&self) -> impl Iterator<Item = &Tok> {
+        self.toks.iter().filter(|t| !t.is_comment())
+    }
+}
+
+/// Raw tokenizer; see the module docs for coverage.
+pub fn tokenize(text: &str) -> Vec<Tok> {
+    let b = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let push = |toks: &mut Vec<Tok>, kind: TokKind, text: String, line: usize| {
+        toks.push(Tok { kind, text, line });
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::LineComment,
+                    text[start..i].to_string(),
+                    line,
+                );
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                push(
+                    &mut toks,
+                    TokKind::BlockComment,
+                    text[start..i].to_string(),
+                    start_line,
+                );
+            }
+            b'"' => {
+                let (content, next, newlines) = lex_string_body(text, i + 1);
+                push(&mut toks, TokKind::Str, content, line);
+                line += newlines;
+                i = next;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let (tok, next, newlines) = lex_prefixed_literal(text, i);
+                let l = line;
+                line += newlines;
+                i = next;
+                push(&mut toks, tok.0, tok.1, l);
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'ident` NOT
+                // followed by a closing quote; everything else is a
+                // char literal.
+                if is_lifetime(b, i) {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    push(
+                        &mut toks,
+                        TokKind::Lifetime,
+                        text[start..i].to_string(),
+                        line,
+                    );
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                        // \x41 and \u{..} escapes.
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        // One (possibly multi-byte) char.
+                        i += utf8_len(b[i]);
+                    }
+                    let content = text[start..i.min(b.len())].to_string();
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    push(&mut toks, TokKind::Char, content, line);
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                push(&mut toks, TokKind::Ident, text[start..i].to_string(), line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        // Float exponent sign: 1e-3 / 1E+9 — only after
+                        // an e/E in a non-hex literal.
+                        if (d == b'e' || d == b'E')
+                            && !text[start..i].starts_with("0x")
+                            && i + 1 < b.len()
+                            && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                        {
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                    } else if d == b'.'
+                        && i + 1 < b.len()
+                        && b[i + 1].is_ascii_digit()
+                        && !text[start..i].contains('.')
+                    {
+                        // 1.5 — but not `1..2` (range) or `x.0.1`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut toks, TokKind::Num, text[start..i].to_string(), line);
+            }
+            _ => {
+                push(&mut toks, TokKind::Punct, (c as char).to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Lexes a plain `"…"` body starting after the opening quote. Returns
+/// (content, index past closing quote, newlines inside).
+fn lex_string_body(text: &str, start: usize) -> (String, usize, usize) {
+    let b = text.as_bytes();
+    let mut i = start;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return (text[start..i].to_string(), i + 1, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (text[start..].to_string(), b.len(), newlines)
+}
+
+/// True when position `i` (at `r` or `b`) starts a raw/byte string or
+/// byte-char literal rather than an identifier.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Don't split identifiers like `br_foo` or `radius`.
+    if i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
+        return false;
+    }
+    let rest = &b[i..];
+    let after = |prefix: usize| rest.get(prefix).copied();
+    match rest.first().copied() {
+        Some(b'r') => match after(1) {
+            Some(b'"') | Some(b'#') => true,
+            _ => false, // `rb"…"` is not Rust; `r#ident` handled later
+        },
+        Some(b'b') => match after(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(after(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` at `i`. Returns
+/// ((kind, content), next index, newlines consumed).
+fn lex_prefixed_literal(text: &str, i: usize) -> ((TokKind, String), usize, usize) {
+    let b = text.as_bytes();
+    let mut j = i;
+    let mut _is_byte = false;
+    if b[j] == b'b' {
+        _is_byte = true;
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    if !raw && j < b.len() && b[j] == b'\'' {
+        // b'…' byte char.
+        let start = j + 1;
+        let mut k = start;
+        if k < b.len() && b[k] == b'\\' {
+            k += 2;
+            while k < b.len() && b[k] != b'\'' {
+                k += 1;
+            }
+        } else if k < b.len() {
+            k += 1;
+        }
+        let content = text[start..k.min(b.len())].to_string();
+        if k < b.len() && b[k] == b'\'' {
+            k += 1;
+        }
+        return ((TokKind::Char, content), k, 0);
+    }
+    if raw {
+        let mut hashes = 0;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            let start = j + 1;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            let mut k = start;
+            let mut newlines = 0;
+            while k < b.len() {
+                if b[k] == b'\n' {
+                    newlines += 1;
+                }
+                if b[k] == b'"' && b[k..].starts_with(&closer) {
+                    return (
+                        (TokKind::Str, text[start..k].to_string()),
+                        k + closer.len(),
+                        newlines,
+                    );
+                }
+                k += 1;
+            }
+            return ((TokKind::Str, text[start..].to_string()), b.len(), newlines);
+        }
+        // `r#ident` raw identifier: back up and lex as ident.
+        let start = i;
+        let mut k = j;
+        while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+            k += 1;
+        }
+        return ((TokKind::Ident, text[start..k].to_string()), k, 0);
+    }
+    // b"…"
+    let (content, next, newlines) = lex_string_body(text, j + 1);
+    ((TokKind::Str, content), next, newlines)
+}
+
+/// True when the `'` at `i` begins a lifetime rather than a char
+/// literal.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if first != b'_' && !first.is_ascii_alphabetic() {
+        return false; // '\n', 'x' escapes, digits… → char literal
+    }
+    // Scan the identifier; a closing quote right after means a char
+    // literal like 'a'.
+    let mut j = i + 2;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokKind, String)> {
+        tokenize(text)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_never_leak_code() {
+        let toks = kinds(r#"let s = "unsafe { SeqCst }";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "SeqCst"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"a "quoted" unsafe {"#;"##);
+        let s = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.clone())
+            .unwrap();
+        assert_eq!(s, r#"a "quoted" unsafe {"#);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes"; let c = b'\xff'; let d = br#"raw"#;"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "raw"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == r"\xff"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'a'; let q = '\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["a", r"\'"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_keep_radix_underscores_and_suffixes() {
+        let toks = kinds("let h = 0xcbf2_9ce4_8422_2325u64; let f = 1.5e-3; let r = 1..2;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0xcbf2_9ce4_8422_2325u64", "1.5e-3", "1", "2"]);
+    }
+
+    #[test]
+    fn line_views_blank_strings_and_track_comments() {
+        let f = LexedFile::lex(
+            "let s = \"unsafe {\"; // trailing note\n/* block\nspans */ let x = 1;\n#[cfg(test)]\n",
+        );
+        assert!(!f.line_code[0].contains("unsafe"));
+        assert!(f.line_comments[0].contains("trailing note"));
+        assert!(f.line_comments[1].contains("block"));
+        // Line 2 (0-based 1) is comment-only → annotation line.
+        assert!(f.line_is_annotation[1]);
+        // Line 3 has real code after the block comment closes.
+        assert!(!f.line_is_annotation[2]);
+        // Attribute-only line is an annotation line.
+        assert!(f.line_is_annotation[3]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let toks = tokenize("let s = \"a\nb\";\nlet x = 1;");
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 3);
+    }
+}

@@ -1,49 +1,54 @@
-//! Line-based repository invariant lint for the unsafe seqlock /
+//! Token-accurate repository invariant lint for the unsafe seqlock /
 //! shared-log cores.
 //!
-//! This is deliberately *not* a compiler plugin: every rule is a simple
-//! textual invariant that a reviewer can re-check by eye, applied to
-//! comment-stripped source lines. Five rule classes:
+//! This is deliberately *not* a compiler plugin: every rule is a
+//! reviewable invariant applied to a lexed token stream ([`lexer`]) and
+//! a brace-matched item index ([`items`]) — accurate about comments,
+//! strings, raw strings, char literals, and `#[cfg(test)]` region
+//! extents, but with no type information. Rule classes:
 //!
-//! 1. **`unsafe` needs `// SAFETY:`** — every `unsafe {` block and
-//!    `unsafe impl` must be immediately preceded (allowing contiguous
-//!    comment/attribute lines) by a `// SAFETY:` comment; every
-//!    `unsafe fn` declaration needs a `# Safety` doc section.
-//! 2. **`SeqCst` needs justification** — any code use of
-//!    `Ordering::SeqCst` must carry a nearby `// Ordering:` comment
-//!    explaining why the strongest ordering is required. (The workspace
-//!    currently has none; the rule keeps it that way unless argued.)
-//! 3. **unwrap ratchet** — `.unwrap()` / `.expect(` in the loom ingest
-//!    and query hot paths (`loom/src/{hybridlog,engine,query}`) may not
-//!    grow beyond the checked-in per-file baseline
-//!    (`crates/lint/unwrap_baseline.txt`). Test modules are exempt.
-//! 4. **no removed query API** — the pre-builder Figure-9 entry points
-//!    (`indexed_scan[_opt]`, `indexed_aggregate[_opt]`,
-//!    `bin_counts_opt`, and `bin_counts` *with arguments*) were deleted
-//!    in the shard PR after a deprecation cycle; no call may reappear
-//!    anywhere, with no opt-out. `loom.query(..)` is the sole entry
-//!    point.
-//! 5. **failpoint site uniqueness** — every failpoint site name has
-//!    exactly one owner: either one `const` in `loom/src/fault.rs` or
-//!    literal use within a single non-test source file. Two consts with
-//!    the same string, or the same literal appearing in two files,
-//!    means two code paths silently share one registry slot.
-//! 6. **no `Config` struct literals** — `loom::Config` must be built
-//!    through `Config::builder()` / the `Config::small` preset so
-//!    validation always runs; a bare `Config { .. }` literal anywhere
-//!    outside `crates/loom/src/config.rs` bypasses it. Type positions
-//!    (`-> Config {`, `struct Config {`) are not literals and don't
-//!    count.
+//! **Ported line rules** ([`passes::basic`]):
+//! 1. `unsafe` needs `// SAFETY:` (blocks/impls) or `# Safety` (fns).
+//! 2. `Ordering::SeqCst` needs an `// ORDERING:` justification.
+//! 3. unwrap ratchet against `crates/lint/unwrap_baseline.txt` in the
+//!    hot paths; the baseline itself is checked for stale entries.
+//! 4. no removed pre-builder query API, no opt-out.
+//! 5. failpoint site-name uniqueness (one owner per name).
+//! 6. no `Config { .. }` literals outside the config module.
 //!
-//! Known textual limitations (accepted for a line-based tool): comment
-//! stripping tracks string literals but not raw strings or block
-//! comments, and test-module exclusion treats everything from a
-//! top-level `#[cfg(test)]` to end-of-file as test code (the workspace
-//! convention puts test modules last).
+//! **Semantic passes**:
+//! * [`passes::lock_order`] — extracts nested `Mutex`/`RwLock` guard
+//!   acquisitions per function, resolves receivers to named lock
+//!   fields, builds the cross-crate lock-order graph, fails on cycles,
+//!   and keeps the committed dump (`results/lock_order.txt`) fresh. The
+//!   static graph is validated dynamically by the `--cfg conc_check`
+//!   runtime witness in `conc-check`'s `ordered` module.
+//! * [`passes::atomics`] — per atomic field: Acquire loads need a
+//!   Release-side partner, and `Relaxed` is suspect on fields that
+//!   elsewhere use Acquire/Release, unless an `// ORDERING:` comment
+//!   carries the op.
+//! * [`passes::registry`] — failpoint names, `loom_*` metric names,
+//!   manifest record tags and wire values must be unique, documented in
+//!   DESIGN.md, and stable against the checked-in baselines
+//!   (`crates/lint/{wire_tags,disk_tags}.txt`: values may be added,
+//!   never renumbered; stale baseline entries are errors too).
+//! * [`passes::errors`] — every `LoomError` variant is used outside its
+//!   definition, and the scoped public fallible APIs carry `# Errors`
+//!   docs naming real variants.
+//! * [`passes::fnv`] — bans fresh inline FNV-1a constants so the shard
+//!   router, schema fingerprint, and bloom hashes can never drift;
+//!   `loom::util::fnv1a` is the one blessed implementation.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod items;
+pub mod lexer;
+pub mod passes;
+
+pub use items::Items;
+pub use lexer::{LexedFile, Tok, TokKind};
 
 /// Which invariant a [`Violation`] broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,23 +61,46 @@ pub enum Rule {
     UnwrapRatchet,
     /// Call of a removed pre-builder query entry point.
     DeprecatedQueryApi,
-    /// Failpoint site name owned by more than one definition site.
+    /// Failpoint site name owned by more than one definition site, or
+    /// missing from DESIGN.md.
     FailpointUniqueness,
     /// `Config { .. }` struct literal outside the config module.
     ConfigLiteral,
+    /// Lock-order graph cycle or stale committed dump.
+    LockOrder,
+    /// Unpaired Acquire load or suspect Relaxed without `// ORDERING:`.
+    AtomicOrdering,
+    /// Registry drift: renumbered/duplicated/undocumented/stale wire
+    /// tags, disk tags, or metric names.
+    Registry,
+    /// Unused Error variant or missing/wrong `# Errors` docs.
+    ErrorSurface,
+    /// Inline FNV-1a constant outside the blessed implementations.
+    FnvDrift,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl Rule {
+    /// Stable kebab-case name (used by `--json` output).
+    pub fn name(self) -> &'static str {
+        match self {
             Rule::UnsafeSafety => "unsafe-safety",
             Rule::SeqCstJustification => "seqcst-justification",
             Rule::UnwrapRatchet => "unwrap-ratchet",
             Rule::DeprecatedQueryApi => "deprecated-query-api",
             Rule::FailpointUniqueness => "failpoint-uniqueness",
             Rule::ConfigLiteral => "config-literal",
-        };
-        f.write_str(s)
+            Rule::LockOrder => "lock-order",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::Registry => "registry-consistency",
+            Rule::ErrorSurface => "error-surface",
+            Rule::FnvDrift => "fnv-drift",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -89,6 +117,35 @@ pub struct Violation {
     pub message: String,
 }
 
+impl Violation {
+    /// One-line JSON object (`--json` output). Hand-rolled escaping —
+    /// the lint has no dependencies by design.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.rule,
+            esc(&self.file),
+            self.line,
+            esc(&self.message)
+        )
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -99,201 +156,110 @@ impl fmt::Display for Violation {
     }
 }
 
-/// A source file handed to the checkers: repo-relative path plus raw
-/// lines.
+/// A source file handed to the checkers: repo-relative path plus the
+/// lexed token stream and the brace-matched item index.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Repo-relative path with `/` separators.
     pub path: String,
-    /// Raw source lines.
-    pub lines: Vec<String>,
+    /// Lexed tokens and per-line views.
+    pub lex: LexedFile,
+    /// Comment-filtered tokens; the ranges in [`Items`] index these.
+    pub code: Vec<Tok>,
+    /// Scanned items (fns, fields, enums, consts, test regions).
+    pub items: Items,
 }
 
 impl SourceFile {
     /// Builds a source file from a path label and full text (test
     /// seeding convenience).
     pub fn from_text(path: &str, text: &str) -> Self {
+        let lex = LexedFile::lex(text);
+        let code: Vec<Tok> = lex
+            .toks
+            .iter()
+            .filter(|t| !t.is_comment())
+            .cloned()
+            .collect();
+        let items = items::scan_code(&code);
         SourceFile {
             path: path.to_string(),
-            lines: text.lines().map(|l| l.to_string()).collect(),
+            lex,
+            code,
+            items,
         }
     }
-}
 
-/// Strips a trailing `// ...` comment, tracking double-quoted string
-/// literals (with backslash escapes) so a `//` inside a string
-/// survives. Returns the code portion of the line.
-pub fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_string = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_string => i += 1, // skip the escaped byte
-            b'"' => in_string = !in_string,
-            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
+    /// Comment-filtered tokens; indices align with the body/signature
+    /// ranges recorded in [`Items`].
+    pub fn code_toks(&self) -> &[Tok] {
+        &self.code
     }
-    line
-}
 
-/// Comment-stripped line with string-literal *contents* blanked out,
-/// so `"unsafe {"` inside a string (e.g. this lint's own test
-/// fixtures) never matches a code pattern.
-pub fn code_text(line: &str) -> String {
-    let code = strip_comment(line);
-    let mut out = String::with_capacity(code.len());
-    let mut in_string = false;
-    let mut chars = code.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '\\' if in_string => {
-                chars.next();
-            }
-            '"' => {
-                in_string = !in_string;
-                out.push('"');
-            }
-            _ if in_string => {}
-            _ => out.push(c),
-        }
+    /// The crate this file belongs to (`crates/<name>/…`), or "".
+    pub fn crate_name(&self) -> &str {
+        self.path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
     }
-    out
-}
 
-/// True for lines that are pure comment, attribute, or blank — the
-/// lines allowed between an `unsafe` site and its SAFETY argument.
-fn is_annotation_line(line: &str) -> bool {
-    let t = line.trim_start();
-    t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
-}
+    /// True when the whole file is test or bench code by location.
+    pub fn is_test_file(&self) -> bool {
+        self.path.contains("/tests/") || self.path.contains("/benches/")
+    }
 
-/// Index (exclusive) of the first top-level `#[cfg(test)]`; lines from
-/// there on are treated as test code.
-fn test_region_start(lines: &[String]) -> usize {
-    lines
-        .iter()
-        .position(|l| l.trim() == "#[cfg(test)]")
-        .unwrap_or(lines.len())
-}
+    /// True when 1-based `line` is test code: a test file, or inside a
+    /// brace-matched `#[cfg(test)]` / `#[test]` region.
+    pub fn line_is_test(&self, line: usize) -> bool {
+        self.is_test_file() || self.items.line_in_test(line)
+    }
 
-/// True when the whole file is test or bench code by location.
-fn is_test_file(path: &str) -> bool {
-    path.contains("/tests/") || path.contains("/benches/")
-}
-
-/// Scans the contiguous annotation block above `idx` for `needle`.
-fn annotation_block_contains(lines: &[String], idx: usize, needle: &str) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let line = &lines[i];
-        if !is_annotation_line(line) {
-            return false;
-        }
-        if line.contains(needle) {
+    /// True when the comment trailing 1-based `line`, or any comment in
+    /// the contiguous annotation block above it, contains one of
+    /// `needles`.
+    pub fn comment_carries(&self, line: usize, needles: &[&str]) -> bool {
+        let l0 = line.saturating_sub(1);
+        let hit = |i: usize| {
+            let c = &self.lex.line_comments[i];
+            needles.iter().any(|n| c.contains(n))
+        };
+        if l0 < self.lex.line_comments.len() && hit(l0) {
             return true;
         }
-    }
-    false
-}
-
-/// Rule 1: every `unsafe` site carries a SAFETY argument.
-pub fn check_unsafe_safety(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (i, raw) in file.lines.iter().enumerate() {
-        let code = code_text(raw);
-        let needs_block_safety =
-            code.contains("unsafe {") || code.contains("unsafe{") || code.contains("unsafe impl");
-        let is_unsafe_fn = code.contains("unsafe fn");
-        if needs_block_safety {
-            // The SAFETY comment may sit above the line or trail it.
-            if !raw.contains("// SAFETY:") && !annotation_block_contains(&file.lines, i, "SAFETY:")
-            {
-                out.push(Violation {
-                    file: file.path.clone(),
-                    line: i + 1,
-                    rule: Rule::UnsafeSafety,
-                    message: "unsafe block/impl without a preceding `// SAFETY:` comment"
-                        .to_string(),
-                });
+        let mut i = l0;
+        while i > 0 {
+            i -= 1;
+            if !self.lex.line_is_annotation[i] {
+                return false;
             }
-        } else if is_unsafe_fn {
-            // Declarations document their contract for callers instead:
-            // a `# Safety` doc section (or an explicit SAFETY comment).
-            if !annotation_block_contains(&file.lines, i, "# Safety")
-                && !annotation_block_contains(&file.lines, i, "SAFETY:")
-            {
-                out.push(Violation {
-                    file: file.path.clone(),
-                    line: i + 1,
-                    rule: Rule::UnsafeSafety,
-                    message: "unsafe fn without a `# Safety` doc section".to_string(),
-                });
+            if hit(i) {
+                return true;
             }
         }
+        false
     }
-    out
 }
 
-/// Rule 2: `Ordering::SeqCst` in code must carry a nearby `// Ordering:`
-/// justification comment (same line or the annotation block above).
-pub fn check_seqcst(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (i, raw) in file.lines.iter().enumerate() {
-        if !contains_word(&code_text(raw), "SeqCst") {
-            continue;
-        }
-        let justified =
-            raw.contains("// Ordering:") || annotation_block_contains(&file.lines, i, "Ordering:");
-        if !justified {
-            out.push(Violation {
-                file: file.path.clone(),
-                line: i + 1,
-                rule: Rule::SeqCstJustification,
-                message: "Ordering::SeqCst without an `// Ordering:` justification comment \
-                          (prefer Acquire/Release with a pairing argument)"
-                    .to_string(),
-            });
-        }
-    }
-    out
+/// Checked-in baselines and reference docs the passes compare against.
+/// `None` fields skip their checks (fixture tests exercise passes in
+/// isolation; `lint_repo` loads everything).
+#[derive(Debug, Clone, Default)]
+pub struct Baselines {
+    /// Per-file unwrap/expect allowance (`unwrap_baseline.txt`).
+    pub unwrap: BTreeMap<String, usize>,
+    /// Wire registry baseline (`wire_tags.txt`): name → value.
+    pub wire_tags: Option<BTreeMap<String, u64>>,
+    /// Disk registry baseline (`disk_tags.txt`): name → value.
+    pub disk_tags: Option<BTreeMap<String, u64>>,
+    /// Full DESIGN.md text, for documentation checks.
+    pub design: Option<String>,
+    /// Committed lock-order dump (`results/lock_order.txt`).
+    pub lock_graph: Option<String>,
 }
 
-/// True when `needle` occurs in `hay` as a whole identifier (not as a
-/// fragment of a longer one, e.g. `SeqCst` inside `SeqCstJustification`).
-fn contains_word(hay: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let before = hay[..start].chars().next_back();
-        let after = hay[end..].chars().next();
-        let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-        if !before.is_some_and(is_ident) && !after.is_some_and(is_ident) {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// True when `path` is inside the unwrap-ratcheted hot paths.
-fn in_hot_path(path: &str) -> bool {
-    path.starts_with("crates/loom/src/hybridlog")
-        || path.starts_with("crates/loom/src/engine.rs")
-        || path.starts_with("crates/loom/src/query")
-        || path.starts_with("crates/loom/src/retention")
-        || path.starts_with("crates/loom/src/net")
-        || path.starts_with("crates/daemon/src/net.rs")
-}
-
-/// Parses the baseline: `<repo-relative-path> <allowed-count>` lines,
-/// `#` comments and blanks ignored.
+/// Parses a `<key> <count>` baseline (unwrap ratchet): `#` comments
+/// and blanks ignored.
 pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
     let mut map = BTreeMap::new();
     for line in text.lines() {
@@ -311,258 +277,51 @@ pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
     map
 }
 
-/// Rule 3: per-file unwrap/expect counts in the hot paths may not
-/// exceed the baseline. Counts non-test code only.
-pub fn check_unwrap_ratchet(
-    files: &[SourceFile],
-    baseline: &BTreeMap<String, usize>,
-) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for file in files {
-        if !in_hot_path(&file.path) || is_test_file(&file.path) {
+/// Parses a `<name> <value>` tag baseline (wire/disk registries).
+pub fn parse_tag_baseline(text: &str) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let end = test_region_start(&file.lines);
-        let mut count = 0;
-        let mut last_line = 0;
-        for (i, raw) in file.lines[..end].iter().enumerate() {
-            let code = code_text(raw);
-            if code.contains(".unwrap()") || code.contains(".expect(") {
-                count += 1;
-                last_line = i + 1;
+        let mut it = line.split_whitespace();
+        if let (Some(name), Some(value)) = (it.next(), it.next()) {
+            if let Ok(v) = value.parse() {
+                map.insert(name.to_string(), v);
             }
         }
-        let allowed = baseline.get(&file.path).copied().unwrap_or(0);
-        if count > allowed {
-            out.push(Violation {
-                file: file.path.clone(),
-                line: last_line,
-                rule: Rule::UnwrapRatchet,
-                message: format!(
-                    "{count} unwrap()/expect() in hot-path code, baseline allows {allowed}; \
-                     return an Error variant or document the invariant and bump \
-                     crates/lint/unwrap_baseline.txt"
-                ),
-            });
-        }
     }
-    out
+    map
 }
 
-/// Removed pre-builder entry points matched as method calls.
-const REMOVED_CALLS: &[&str] = &[
-    ".indexed_scan(",
-    ".indexed_scan_opt(",
-    ".indexed_aggregate(",
-    ".indexed_aggregate_opt(",
-    ".bin_counts_opt(",
-];
-
-/// Rule 4: no calls of the removed pre-builder query API, anywhere.
-///
-/// The six entry points were deleted after their deprecation cycle;
-/// there is no definition file and no `#[allow(deprecated)]` opt-out
-/// any more — any textual reappearance is a violation.
-pub fn check_deprecated_api(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (i, raw) in file.lines.iter().enumerate() {
-        let code = code_text(raw);
-        let mut hit = REMOVED_CALLS.iter().find(|p| code.contains(*p)).copied();
-        // `.bin_counts(` was both the removed 3-arg entry point and the
-        // builder terminal; only the call *with arguments* is banned.
-        if hit.is_none() {
-            if let Some(pos) = code.find(".bin_counts(") {
-                let rest = &code[pos + ".bin_counts(".len()..];
-                if !rest.starts_with(')') {
-                    hit = Some(".bin_counts(<args>");
-                }
-            }
-        }
-        if let Some(pat) = hit {
-            out.push(Violation {
-                file: file.path.clone(),
-                line: i + 1,
-                rule: Rule::DeprecatedQueryApi,
-                message: format!(
-                    "call of removed pre-builder query API `{}`; \
-                     `loom.query(..)` is the sole query entry point",
-                    pat.trim_start_matches('.').trim_end_matches('(')
-                ),
-            });
-        }
-    }
-    out
-}
-
-/// Rule 6: `Config { .. }` struct literals are confined to the config
-/// module, so every construction goes through the validating builder
-/// (or a preset that does).
-///
-/// Matches `Config` as a whole identifier followed by `{`, then
-/// excludes type positions by the token before it: `-> Config {` (a
-/// return type followed by the fn body), `struct` / `impl` / `for` /
-/// `dyn` declarations. Longer names like `KvAppConfig {` never match.
-pub fn check_config_literal(file: &SourceFile) -> Vec<Violation> {
-    if file.path == "crates/loom/src/config.rs" {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    for (i, raw) in file.lines.iter().enumerate() {
-        let code = code_text(raw);
-        let mut from = 0;
-        while let Some(pos) = code[from..].find("Config") {
-            let start = from + pos;
-            let end = start + "Config".len();
-            from = end;
-            if code[..start].chars().next_back().is_some_and(is_ident) {
-                continue; // fragment of a longer identifier
-            }
-            if !code[end..].trim_start().starts_with('{') {
-                continue; // not a struct-literal-shaped use
-            }
-            let prefix = code[..start].trim_end();
-            let type_position = ["->", "struct", "impl", "for", "dyn"]
-                .iter()
-                .any(|t| prefix.ends_with(t));
-            if type_position {
-                continue;
-            }
-            out.push(Violation {
-                file: file.path.clone(),
-                line: i + 1,
-                rule: Rule::ConfigLiteral,
-                message: "direct `Config { .. }` literal bypasses validation; build configs \
-                          with `Config::builder()` or a `Config::small`-style preset"
-                    .to_string(),
-            });
-            break; // one violation per line is enough
-        }
-    }
-    out
-}
-
-/// Extracts all double-quoted string literals from a code line.
-fn string_literals(code: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let start = i + 1;
-            let mut j = start;
-            while j < bytes.len() && bytes[j] != b'"' {
-                if bytes[j] == b'\\' {
-                    j += 1;
-                }
-                j += 1;
-            }
-            out.push(String::from_utf8_lossy(&bytes[start..j.min(bytes.len())]).into_owned());
-            i = j;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Rule 5: each failpoint site name has exactly one owner.
-///
-/// Owners are (a) a `const NAME: &str = ".."` in `loom/src/fault.rs`,
-/// or (b) literal use with `failpoint(` / `fault::check(` /
-/// `fault::configure(` within one non-test source file (several call
-/// sites in the same file are one owner — e.g. `lsm::sstable_write` is
-/// legitimately checked on both the data and index write of one
-/// sstable build). Test files arm existing sites, they never own one.
-pub fn check_failpoint_uniqueness(files: &[SourceFile]) -> Vec<Violation> {
-    // site name -> owner label -> first line seen
-    let mut owners: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
-    for file in files {
-        if is_test_file(&file.path) {
-            continue;
-        }
-        let end = test_region_start(&file.lines);
-        let is_fault_registry = file.path == "crates/loom/src/fault.rs";
-        for (i, raw) in file.lines[..end].iter().enumerate() {
-            let code = strip_comment(raw);
-            if is_fault_registry && code.contains("const ") && code.contains("&str") {
-                let cname = code
-                    .split("const ")
-                    .nth(1)
-                    .and_then(|r| r.split(':').next())
-                    .unwrap_or("?")
-                    .trim()
-                    .to_string();
-                for lit in string_literals(code) {
-                    owners
-                        .entry(lit)
-                        .or_default()
-                        .entry(format!("const {cname} in {}", file.path))
-                        .or_insert(i + 1);
-                }
-            } else if code.contains("failpoint(")
-                || code.contains("fault::check(")
-                || code.contains("fault::configure(")
-            {
-                // Site names follow the `component::site` convention;
-                // other literals on the line (tags) don't.
-                for lit in string_literals(code) {
-                    if lit.contains("::") {
-                        owners
-                            .entry(lit)
-                            .or_default()
-                            .entry(format!("literal in {}", file.path))
-                            .or_insert(i + 1);
-                    }
-                }
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for (site, defs) in owners {
-        if defs.len() > 1 {
-            let where_ = defs
-                .iter()
-                .map(|(owner, line)| format!("{owner}:{line}"))
-                .collect::<Vec<_>>()
-                .join(", ");
-            let (first_owner, first_line) = defs.iter().next().expect("len checked > 1");
-            let file = first_owner
-                .rsplit(' ')
-                .next()
-                .unwrap_or(first_owner)
-                .to_string();
-            out.push(Violation {
-                file,
-                line: *first_line,
-                rule: Rule::FailpointUniqueness,
-                message: format!("failpoint site name \"{site}\" has multiple owners: {where_}"),
-            });
-        }
-    }
-    out
-}
-
-/// Runs every rule over the given files with the given unwrap
-/// baseline. Returned violations are sorted by file and line.
-pub fn check_all(files: &[SourceFile], baseline: &BTreeMap<String, usize>) -> Vec<Violation> {
+/// Runs every rule over the given files with the given baselines.
+/// Returned violations are sorted by file and line.
+pub fn check_all(files: &[SourceFile], baselines: &Baselines) -> Vec<Violation> {
     let mut out = Vec::new();
     for f in files {
-        out.extend(check_unsafe_safety(f));
-        out.extend(check_seqcst(f));
-        out.extend(check_deprecated_api(f));
-        out.extend(check_config_literal(f));
+        out.extend(passes::basic::check_unsafe_safety(f));
+        out.extend(passes::basic::check_seqcst(f));
+        out.extend(passes::basic::check_deprecated_api(f));
+        out.extend(passes::basic::check_config_literal(f));
     }
-    out.extend(check_unwrap_ratchet(files, baseline));
-    out.extend(check_failpoint_uniqueness(files));
+    out.extend(passes::basic::check_unwrap_ratchet(
+        files,
+        &baselines.unwrap,
+    ));
+    out.extend(passes::basic::check_failpoint_uniqueness(files));
+    out.extend(passes::lock_order::check(files, baselines));
+    out.extend(passes::atomics::check(files));
+    out.extend(passes::registry::check(files, baselines));
+    out.extend(passes::errors::check(files));
+    out.extend(passes::fnv::check(files));
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
 
-/// Collects every `.rs` file under `root` (skipping `target*` and
-/// hidden directories) and runs [`check_all`] with the checked-in
-/// baseline at `crates/lint/unwrap_baseline.txt` (missing file = empty
-/// baseline).
-pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
+/// Loads every `.rs` file under `root` (skipping `target*`, hidden
+/// directories, and `related`) into [`SourceFile`]s, sorted by path.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut paths = Vec::new();
     collect_rs(root, &mut paths)?;
     paths.sort();
@@ -575,11 +334,31 @@ pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
             .replace('\\', "/");
         files.push(SourceFile::from_text(&rel, &std::fs::read_to_string(p)?));
     }
-    let baseline = match std::fs::read_to_string(root.join("crates/lint/unwrap_baseline.txt")) {
-        Ok(text) => parse_baseline(&text),
-        Err(_) => BTreeMap::new(),
-    };
-    Ok(check_all(&files, &baseline))
+    Ok(files)
+}
+
+/// Loads the checked-in baselines and reference docs from `root`.
+/// Missing baseline files become `None` (their checks are skipped);
+/// a missing unwrap baseline is an empty (zero-allowance) map.
+pub fn load_baselines(root: &Path) -> Baselines {
+    let read = |rel: &str| std::fs::read_to_string(root.join(rel)).ok();
+    Baselines {
+        unwrap: read("crates/lint/unwrap_baseline.txt")
+            .map(|t| parse_baseline(&t))
+            .unwrap_or_default(),
+        wire_tags: read("crates/lint/wire_tags.txt").map(|t| parse_tag_baseline(&t)),
+        disk_tags: read("crates/lint/disk_tags.txt").map(|t| parse_tag_baseline(&t)),
+        design: read("DESIGN.md"),
+        lock_graph: read("results/lock_order.txt"),
+    }
+}
+
+/// Scans the repository at `root` with every pass and the checked-in
+/// baselines.
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let files = load_workspace(root)?;
+    let baselines = load_baselines(root);
+    Ok(check_all(&files, &baselines))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -604,262 +383,41 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
-    fn f(path: &str, text: &str) -> SourceFile {
-        SourceFile::from_text(path, text)
-    }
-
-    fn rules(v: &[Violation]) -> Vec<Rule> {
-        v.iter().map(|x| x.rule).collect()
+    #[test]
+    fn tag_baseline_parses_names_and_values() {
+        let map = parse_tag_baseline("# wire registry\nT_HELLO 1\nNackCode::Version 1\n\n");
+        assert_eq!(map.get("T_HELLO"), Some(&1));
+        assert_eq!(map.get("NackCode::Version"), Some(&1));
+        assert_eq!(map.len(), 2);
     }
 
     #[test]
-    fn strip_comment_respects_strings() {
-        assert_eq!(strip_comment("let x = 1; // note"), "let x = 1; ");
-        assert_eq!(
-            strip_comment(r#"let u = "http://a"; y"#),
-            r#"let u = "http://a"; y"#
-        );
-        assert_eq!(strip_comment("// all comment"), "");
-    }
-
-    #[test]
-    fn unsafe_without_safety_is_flagged() {
-        let bad = f("a.rs", "fn g() {\n    unsafe { do_it(); }\n}\n");
-        assert_eq!(rules(&check_unsafe_safety(&bad)), vec![Rule::UnsafeSafety]);
-
-        let good = f(
+    fn comment_carries_sees_trailing_and_block_comments() {
+        let f = SourceFile::from_text(
             "a.rs",
-            "fn g() {\n    // SAFETY: pointer valid per protocol.\n    unsafe { do_it(); }\n}\n",
+            "// ORDERING: pairs with the Release store in flush().\n\
+             let v = flag.load(Ordering::Acquire);\n\
+             let w = flag.load(Ordering::Acquire); // ORDERING: same pair.\n\
+             let x = flag.load(Ordering::Acquire);\n",
         );
-        assert!(check_unsafe_safety(&good).is_empty());
-
-        // A multi-line SAFETY comment still counts.
-        let multi = f(
-            "a.rs",
-            "// SAFETY: the writer owns this range until the commit\n// word publishes it.\nunsafe impl Sync for X {}\n",
-        );
-        assert!(check_unsafe_safety(&multi).is_empty());
-
-        // `unsafe` only inside a comment is not a site.
-        let comment = f("a.rs", "// unsafe { not real }\n");
-        assert!(check_unsafe_safety(&comment).is_empty());
+        assert!(f.comment_carries(2, &["ORDERING:"]));
+        assert!(f.comment_carries(3, &["ORDERING:"]));
+        assert!(!f.comment_carries(4, &["ORDERING:"]));
     }
 
     #[test]
-    fn unsafe_impl_and_fn_variants() {
-        let bad_impl = f("a.rs", "unsafe impl Sync for X {}\n");
-        assert_eq!(
-            rules(&check_unsafe_safety(&bad_impl)),
-            vec![Rule::UnsafeSafety]
-        );
-
-        let bad_fn = f("a.rs", "pub unsafe fn from_ptr(p: *mut u8) {}\n");
-        assert_eq!(
-            rules(&check_unsafe_safety(&bad_fn)),
-            vec![Rule::UnsafeSafety]
-        );
-
-        let good_fn = f(
-            "a.rs",
-            "/// Docs.\n///\n/// # Safety\n///\n/// `p` must be valid.\npub unsafe fn from_ptr(p: *mut u8) {}\n",
-        );
-        assert!(check_unsafe_safety(&good_fn).is_empty());
-    }
-
-    #[test]
-    fn seqcst_needs_justification() {
-        let bad = f("a.rs", "flag.store(true, Ordering::SeqCst);\n");
-        assert_eq!(rules(&check_seqcst(&bad)), vec![Rule::SeqCstJustification]);
-
-        let good = f(
-            "a.rs",
-            "// Ordering: total order needed across three flags; see DESIGN.md.\nflag.store(true, Ordering::SeqCst);\n",
-        );
-        assert!(check_seqcst(&good).is_empty());
-
-        // Mentions in comments alone don't trip the rule.
-        let comment = f("a.rs", "// SeqCst buys nothing here.\n");
-        assert!(check_seqcst(&comment).is_empty());
-    }
-
-    #[test]
-    fn unwrap_ratchet_counts_against_baseline() {
-        let path = "crates/loom/src/query/executor.rs";
-        let hot = f(
-            path,
-            "fn a() { x.unwrap(); }\nfn b() { y.expect(\"inv\"); }\n",
-        );
-        let empty = BTreeMap::new();
-        let v = check_unwrap_ratchet(std::slice::from_ref(&hot), &empty);
-        assert_eq!(rules(&v), vec![Rule::UnwrapRatchet]);
-        assert!(v[0].message.contains("2 unwrap"), "{}", v[0].message);
-
-        let mut baseline = BTreeMap::new();
-        baseline.insert(path.to_string(), 2);
-        assert!(check_unwrap_ratchet(&[hot], &baseline).is_empty());
-    }
-
-    #[test]
-    fn unwrap_ratchet_ignores_tests_and_cold_paths() {
-        let test_code = f(
-            "crates/loom/src/query/executor.rs",
-            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
-        );
-        let cold = f("crates/daemon/src/bin/loomd.rs", "fn a() { x.unwrap(); }\n");
-        let empty = BTreeMap::new();
-        assert!(check_unwrap_ratchet(&[test_code, cold], &empty).is_empty());
-    }
-
-    #[test]
-    fn removed_api_flagged_with_no_opt_out() {
-        let bad = f(
-            "crates/x.rs",
-            "let r = loom.indexed_scan(s, i, r, vr, cb);\n",
-        );
-        assert_eq!(
-            rules(&check_deprecated_api(&bad)),
-            vec![Rule::DeprecatedQueryApi]
-        );
-
-        // 3-arg bin_counts was removed; the builder terminal was not.
-        let dep = f("crates/x.rs", "let c = loom.bin_counts(s, i, r);\n");
-        assert_eq!(
-            rules(&check_deprecated_api(&dep)),
-            vec![Rule::DeprecatedQueryApi]
-        );
-        let builder = f("crates/x.rs", "let c = q.range(r).bin_counts()?;\n");
-        assert!(check_deprecated_api(&builder).is_empty());
-
-        // `#[allow(deprecated)]` no longer buys an exemption — the
-        // methods are gone, not deprecated.
-        let marked = f(
-            "crates/x.rs",
-            "#[allow(deprecated)]\nfn equiv() { loom.indexed_scan(s, i, r, vr, cb); }\n",
-        );
-        assert_eq!(
-            rules(&check_deprecated_api(&marked)),
-            vec![Rule::DeprecatedQueryApi]
-        );
-
-        // Neither does the old definition file.
-        let def = f(
-            "crates/loom/src/query/mod.rs",
-            "self.indexed_scan_opt(s, i, r, vr, opts, cb)\n",
-        );
-        assert_eq!(
-            rules(&check_deprecated_api(&def)),
-            vec![Rule::DeprecatedQueryApi]
-        );
-    }
-
-    #[test]
-    fn config_literal_flagged_outside_config_module() {
-        let bad = f(
-            "crates/loom/src/engine.rs",
-            "let c = Config { dir: d.into(), ..base };\n",
-        );
-        assert_eq!(
-            rules(&check_config_literal(&bad)),
-            vec![Rule::ConfigLiteral]
-        );
-
-        // Path-qualified literals are still literals.
-        let qualified = f(
-            "crates/x/tests/t.rs",
-            "let c = loom::Config { dir, ..b };\n",
-        );
-        assert_eq!(
-            rules(&check_config_literal(&qualified)),
-            vec![Rule::ConfigLiteral]
-        );
-
-        // The config module itself may construct its own type.
-        let home = f(
-            "crates/loom/src/config.rs",
-            "        Config {\n            dir: dir.into(),\n",
-        );
-        assert!(check_config_literal(&home).is_empty());
-    }
-
-    #[test]
-    fn config_literal_ignores_types_and_other_configs() {
-        // Return type followed by the fn body brace.
-        let ret = f(
-            "crates/loom/src/engine.rs",
-            "fn shard_config(root: &Config, i: usize) -> Config {\n",
-        );
-        assert!(check_config_literal(&ret).is_empty());
-
-        // Declarations are type positions, not literals.
-        let decls = f(
-            "crates/x.rs",
-            "pub struct Config {\nimpl Config {\nimpl Default for Config {\n",
-        );
-        assert!(check_config_literal(&decls).is_empty());
-
-        // Longer identifiers never match the whole word.
-        let other = f(
-            "crates/telemetry/src/kvapp.rs",
-            "let config = KvAppConfig {\n    ops_per_tick: 1,\n};\n",
-        );
-        assert!(check_config_literal(&other).is_empty());
-
-        // Builder calls are the sanctioned path.
-        let builder = f(
-            "crates/x.rs",
-            "let c = Config::builder(dir).shards(4).build()?;\n",
-        );
-        assert!(check_config_literal(&builder).is_empty());
-    }
-
-    #[test]
-    fn failpoint_duplicate_owners_flagged() {
-        // Two consts with the same string.
-        let dup_consts = f(
-            "crates/loom/src/fault.rs",
-            "pub const A: &str = \"x::w\";\npub const B: &str = \"x::w\";\n",
-        );
-        let v = check_failpoint_uniqueness(&[dup_consts]);
-        assert_eq!(rules(&v), vec![Rule::FailpointUniqueness]);
-
-        // A literal colliding with a const.
-        let consts = f(
-            "crates/loom/src/fault.rs",
-            "pub const A: &str = \"x::w\";\n",
-        );
-        let lit = f("crates/lsm/src/wal.rs", "crate::failpoint(\"x::w\")?;\n");
-        let v = check_failpoint_uniqueness(&[consts, lit]);
-        assert_eq!(rules(&v), vec![Rule::FailpointUniqueness]);
-
-        // The same literal in two different files.
-        let a = f("crates/lsm/src/wal.rs", "crate::failpoint(\"y::z\")?;\n");
-        let b = f(
-            "crates/lsm/src/sstable.rs",
-            "crate::failpoint(\"y::z\")?;\n",
-        );
-        let v = check_failpoint_uniqueness(&[a, b]);
-        assert_eq!(rules(&v), vec![Rule::FailpointUniqueness]);
-    }
-
-    #[test]
-    fn failpoint_same_file_call_sites_are_one_owner() {
-        let two_calls = f(
-            "crates/lsm/src/sstable.rs",
-            "crate::failpoint(\"lsm::sstable_write\")?;\ncrate::failpoint(\"lsm::sstable_write\")?;\n",
-        );
-        let consts = f(
-            "crates/loom/src/fault.rs",
-            "pub const A: &str = \"x::w\";\n",
-        );
-        assert!(check_failpoint_uniqueness(&[two_calls, consts]).is_empty());
-
-        // Test files arming existing sites don't count as owners.
-        let arm = f(
-            "crates/lsm/tests/failpoints.rs",
-            "fault::configure(\"x::w\", spec);\n",
-        );
-        let use_site = f("crates/lsm/src/wal.rs", "crate::failpoint(\"x::w\")?;\n");
-        assert!(check_failpoint_uniqueness(&[arm, use_site]).is_empty());
+    fn violation_json_escapes() {
+        let v = Violation {
+            file: "a\\b.rs".into(),
+            line: 3,
+            rule: Rule::Registry,
+            message: "tag \"x\"\nrenumbered".into(),
+        };
+        let j = v.to_json();
+        assert!(j.contains("\\\\b.rs"));
+        assert!(j.contains("\\\"x\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

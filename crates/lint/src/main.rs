@@ -1,16 +1,46 @@
-//! `cargo run -p lint [root]` — scans the repository for invariant
-//! violations (see the library docs for the rule classes) and exits
-//! nonzero when any are found, so CI and pre-commit hooks can gate on
-//! it. Defaults to the workspace root this binary was built from.
+//! `cargo run -p lint [flags] [root]` — scans the repository for
+//! invariant violations (see the library docs for the rule classes)
+//! and exits nonzero when any are found, so CI and pre-commit hooks
+//! can gate on it. Defaults to the workspace root this binary was
+//! built from.
+//!
+//! Flags:
+//! - `--json`: one JSON object per finding per line (`rule`, `file`,
+//!   `line`, `message`) instead of the human format.
+//! - `--github`: GitHub Actions `::error` annotations, plus a summary
+//!   appended to `$GITHUB_STEP_SUMMARY` when set.
+//! - `--lock-graph`: print the lock-order graph dump and exit; pipe to
+//!   `results/lock_order.txt` to refresh the committed baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let mut json = false;
+    let mut github = false;
+    let mut lock_graph = false;
+    let mut root = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--github" => github = true,
+            "--lock-graph" => lock_graph = true,
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    if lock_graph {
+        let files = match lint::load_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("lint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", lint::passes::lock_order::graph(&files).dump());
+        return ExitCode::SUCCESS;
+    }
 
     let violations = match lint::lint_repo(&root) {
         Ok(v) => v,
@@ -20,12 +50,58 @@ fn main() -> ExitCode {
         }
     };
     if violations.is_empty() {
-        println!("lint: clean ({} ok)", root.display());
+        if !json {
+            println!("lint: clean ({} ok)", root.display());
+        }
         return ExitCode::SUCCESS;
     }
     for v in &violations {
-        println!("{v}");
+        if json {
+            println!("{}", v.to_json());
+        } else if github {
+            // `::error` annotations attach to the PR diff; the message
+            // itself repeats the rule for the raw-log view.
+            println!(
+                "::error file={},line={}::[{}] {}",
+                v.file,
+                v.line,
+                v.rule.name(),
+                v.message
+            );
+        } else {
+            println!("{v}");
+        }
     }
-    println!("lint: {} violation(s)", violations.len());
+    if github {
+        if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+            let mut md = String::from(
+                "### Lint findings\n\n| file | line | rule | message |\n|---|---|---|---|\n",
+            );
+            for v in &violations {
+                md.push_str(&format!(
+                    "| `{}` | {} | {} | {} |\n",
+                    v.file,
+                    v.line,
+                    v.rule.name(),
+                    v.message.replace('|', "\\|")
+                ));
+            }
+            if let Err(e) = append_file(&path, &md) {
+                eprintln!("lint: failed to write step summary: {e}");
+            }
+        }
+    }
+    if !json {
+        println!("lint: {} violation(s)", violations.len());
+    }
     ExitCode::FAILURE
+}
+
+fn append_file(path: &str, text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(text.as_bytes())
 }

@@ -1,0 +1,338 @@
+//! Atomic-ordering audit.
+//!
+//! Collects every atomic operation on a *named atomic field* (struct
+//! fields and statics whose type mentions `Atomic…`), keyed by
+//! `(crate, field name)`, and checks two pairing invariants per key:
+//!
+//! 1. **Unpaired Acquire** — a `load(Ordering::Acquire)` with no
+//!    Release-side partner (`store`/RMW with `Release`, `AcqRel`, or
+//!    `SeqCst`) anywhere on the same key. An Acquire that synchronizes
+//!    with nothing is either dead weight or a missing-Release bug.
+//! 2. **Suspect Relaxed** — a `Relaxed` operation on a key that
+//!    elsewhere uses `Acquire`/`Release`/`AcqRel`. Mixing regimes on
+//!    one field is usually an error; when it is intentional (e.g. a
+//!    monotonic counter read outside the protocol) the op must carry
+//!    an `// ORDERING:` justification comment.
+//!
+//! Both findings are waived by an `// ORDERING:` (or the historical
+//! `// Ordering:`) comment trailing the line or in the annotation
+//! block above it. The audit is name-based and intracrate: fields with
+//! the same name in one crate share a key (matching how the workspace
+//! names protocol atomics uniquely per crate), and cross-crate pairs
+//! (none exist today) would need a justification comment on each side.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Rule, SourceFile, TokKind, Violation};
+
+/// Methods that read, write, or read-modify-write an atomic.
+const LOADS: &[&str] = &["load"];
+const STORES: &[&str] = &["store"];
+const RMWS: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+#[derive(Debug, Clone)]
+struct AtomicOp {
+    file: String,
+    line: usize,
+    kind: OpKind,
+    /// Ordering idents found in the call (`compare_exchange` lists
+    /// success and failure orderings).
+    orderings: Vec<String>,
+    waived: bool,
+}
+
+/// True when an op provides Release-side synchronization.
+fn releases(op: &AtomicOp) -> bool {
+    matches!(op.kind, OpKind::Store | OpKind::Rmw)
+        && op
+            .orderings
+            .iter()
+            .any(|o| o == "Release" || o == "AcqRel" || o == "SeqCst")
+}
+
+/// True when an op participates in an Acquire/Release protocol.
+fn acq_rel(op: &AtomicOp) -> bool {
+    op.orderings
+        .iter()
+        .any(|o| o == "Acquire" || o == "Release" || o == "AcqRel")
+}
+
+/// Collects ops and applies the two pairing rules.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    // 1. Named atomic fields per crate.
+    let mut fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        let krate = f.crate_name().to_string();
+        for fd in f.items.fields.iter().filter(|fd| !f.line_is_test(fd.line)) {
+            if fd.type_text.contains("Atomic") {
+                fields
+                    .entry(krate.clone())
+                    .or_default()
+                    .insert(fd.name.clone());
+            }
+        }
+        for st in f.items.statics.iter().filter(|st| !f.line_is_test(st.line)) {
+            if st.type_text.contains("Atomic") {
+                fields
+                    .entry(krate.clone())
+                    .or_default()
+                    .insert(st.name.clone());
+            }
+        }
+    }
+    // 2. Ops keyed by (crate, field).
+    let mut ops: BTreeMap<(String, String), Vec<AtomicOp>> = BTreeMap::new();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        let krate = f.crate_name().to_string();
+        let Some(known) = fields.get(&krate) else {
+            continue;
+        };
+        let toks = f.code_toks();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || f.line_is_test(t.line) {
+                continue;
+            }
+            let kind = if LOADS.contains(&t.text.as_str()) {
+                OpKind::Load
+            } else if STORES.contains(&t.text.as_str()) {
+                OpKind::Store
+            } else if RMWS.contains(&t.text.as_str()) {
+                OpKind::Rmw
+            } else {
+                continue;
+            };
+            if i < 2
+                || !toks[i - 1].is_punct('.')
+                || toks[i - 2].kind != TokKind::Ident
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            let recv = &toks[i - 2].text;
+            if !known.contains(recv) {
+                continue;
+            }
+            let close = crate::items::matching_close(toks, i + 1);
+            let mut orderings = Vec::new();
+            let mut j = i + 2;
+            while j + 3 <= close {
+                if toks[j].is_ident("Ordering")
+                    && toks[j + 1].is_punct(':')
+                    && toks[j + 2].is_punct(':')
+                    && toks[j + 3].kind == TokKind::Ident
+                {
+                    orderings.push(toks[j + 3].text.clone());
+                    j += 4;
+                    continue;
+                }
+                j += 1;
+            }
+            if orderings.is_empty() {
+                // Ordering passed through a variable (the conc-check
+                // facade) — nothing to audit at this site.
+                continue;
+            }
+            ops.entry((krate.clone(), recv.clone()))
+                .or_default()
+                .push(AtomicOp {
+                    file: f.path.clone(),
+                    line: t.line,
+                    kind,
+                    orderings,
+                    waived: f.comment_carries(t.line, &["ORDERING:", "Ordering:"]),
+                });
+        }
+    }
+    // 3. Rules.
+    let mut out = Vec::new();
+    for ((krate, field), ops) in &ops {
+        let has_release = ops.iter().any(releases);
+        let has_acq_rel = ops.iter().any(acq_rel);
+        for op in ops {
+            if op.waived {
+                continue;
+            }
+            if op.kind == OpKind::Load
+                && op.orderings.iter().any(|o| o == "Acquire")
+                && !has_release
+            {
+                out.push(Violation {
+                    file: op.file.clone(),
+                    line: op.line,
+                    rule: Rule::AtomicOrdering,
+                    message: format!(
+                        "Acquire load of `{field}` (crate `{krate}`) has no Release-side \
+                         store/RMW partner on the same field; add the pairing op or an \
+                         `// ORDERING:` comment explaining what it synchronizes with"
+                    ),
+                });
+            }
+            if has_acq_rel && op.orderings.iter().any(|o| o == "Relaxed") {
+                out.push(Violation {
+                    file: op.file.clone(),
+                    line: op.line,
+                    rule: Rule::AtomicOrdering,
+                    message: format!(
+                        "Relaxed op on `{field}` (crate `{krate}`) which elsewhere uses \
+                         Acquire/Release; mixing regimes needs an `// ORDERING:` \
+                         justification comment"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn fs(texts: &[(&str, &str)]) -> Vec<SourceFile> {
+        texts
+            .iter()
+            .map(|(p, t)| SourceFile::from_text(p, t))
+            .collect()
+    }
+
+    fn rules(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    const DECL: &str = "struct S { flag: AtomicBool, count: AtomicU64 }\n";
+
+    #[test]
+    fn unpaired_acquire_is_flagged() {
+        let v = check(&fs(&[(
+            "crates/x/src/lib.rs",
+            &format!("{DECL}fn f(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n"),
+        )]));
+        assert_eq!(rules(&v), vec![Rule::AtomicOrdering]);
+        assert!(v[0].message.contains("no Release-side"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn paired_acquire_release_is_clean() {
+        let v = check(&fs(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECL}fn f(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n\
+                 fn g(s: &S) {{ s.flag.store(true, Ordering::Release); }}\n"
+            ),
+        )]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn rmw_release_side_counts_as_partner() {
+        let v = check(&fs(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECL}fn f(s: &S) {{ s.count.load(Ordering::Acquire); }}\n\
+                 fn g(s: &S) {{ s.count.fetch_add(1, Ordering::AcqRel); }}\n"
+            ),
+        )]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn relaxed_on_acq_rel_field_is_flagged_unless_justified() {
+        let mixed = &format!(
+            "{DECL}fn f(s: &S) {{ s.flag.store(true, Ordering::Release); }}\n\
+             fn g(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n\
+             fn h(s: &S) {{ s.flag.load(Ordering::Relaxed); }}\n"
+        );
+        let v = check(&fs(&[("crates/x/src/lib.rs", mixed)]));
+        assert_eq!(rules(&v), vec![Rule::AtomicOrdering]);
+        assert!(v[0].message.contains("Relaxed"), "{}", v[0].message);
+
+        let justified = &format!(
+            "{DECL}fn f(s: &S) {{ s.flag.store(true, Ordering::Release); }}\n\
+             fn g(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n\
+             // ORDERING: monotonic health probe, staleness is fine.\n\
+             fn h(s: &S) {{ s.flag.load(Ordering::Relaxed); }}\n"
+        );
+        assert!(check(&fs(&[("crates/x/src/lib.rs", justified)])).is_empty());
+    }
+
+    #[test]
+    fn all_relaxed_counter_is_clean() {
+        let v = check(&fs(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECL}fn f(s: &S) {{ s.count.fetch_add(1, Ordering::Relaxed); }}\n\
+                 fn g(s: &S) {{ s.count.load(Ordering::Relaxed); }}\n"
+            ),
+        )]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fields_pair_across_files_within_a_crate() {
+        let v = check(&fs(&[
+            (
+                "crates/x/src/a.rs",
+                &format!("{DECL}fn f(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n"),
+            ),
+            (
+                "crates/x/src/b.rs",
+                "fn g(s: &super::a::S) { s.flag.store(true, Ordering::Release); }\n",
+            ),
+        ]));
+        assert!(v.is_empty(), "{v:?}");
+
+        // …but not across crates: the same shape split across crates
+        // leaves the Acquire unpaired.
+        let v = check(&fs(&[
+            (
+                "crates/x/src/a.rs",
+                &format!("{DECL}fn f(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n"),
+            ),
+            (
+                "crates/y/src/b.rs",
+                &format!("{DECL}fn g(s: &S) {{ s.flag.store(true, Ordering::Release); }}\n"),
+            ),
+        ]));
+        assert_eq!(rules(&v), vec![Rule::AtomicOrdering]);
+    }
+
+    #[test]
+    fn test_regions_and_unknown_receivers_are_ignored() {
+        let v = check(&fs(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECL}#[cfg(test)]\nmod tests {{\n    fn t(s: &S) {{ s.flag.load(Ordering::Acquire); }}\n}}\n\
+                 fn f(not_a_field: &AtomicBool) {{ not_a_field.load(Ordering::Acquire); }}\n"
+            ),
+        )]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Error-surface exhaustiveness.
+//!
+//! Two checks around `LoomError` (and any future `*Error` enum defined
+//! in an `error.rs`):
+//!
+//! 1. **Every variant is constructed** — a variant that no code outside
+//!    its defining file ever names is either dead surface area or a
+//!    path that silently returns the wrong error. Occurrences in
+//!    non-test code anywhere else in the workspace count (constructions
+//!    and matches alike; a matched-but-never-built variant still fails
+//!    because the construction site is what's being audited, and
+//!    `match` arms without a construction partner show up as the
+//!    variant appearing only in `match` contexts — kept simple and
+//!    name-based by design).
+//! 2. **Public fallible APIs document their errors** — the scoped
+//!    entry-point files (engine, config, query builder) must carry an
+//!    `# Errors` doc section on every public `Result`-returning fn,
+//!    naming at least one concrete `LoomError::Variant`; and every
+//!    variant named anywhere in doc comments must actually exist, so
+//!    docs can't drift when variants are renamed.
+
+use std::collections::BTreeMap;
+
+use crate::{Rule, SourceFile, Violation};
+
+/// Files whose public fallible APIs must carry `# Errors` docs.
+const SCOPED: &[&str] = &[
+    "crates/loom/src/engine.rs",
+    "crates/loom/src/config.rs",
+    "crates/loom/src/query/builder.rs",
+];
+
+/// Extracts `Enum::Variant` mentions from free text (doc comments),
+/// for the given enum name.
+fn variant_mentions(text: &str, enum_name: &str) -> Vec<String> {
+    let needle = format!("{enum_name}::");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let start = from + pos;
+        // Not a fragment of a longer path segment.
+        let standalone = !text[..start]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':');
+        let rest = &text[start + needle.len()..];
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        from = start + needle.len();
+        if standalone && !ident.is_empty() && ident.chars().next().is_some_and(char::is_uppercase) {
+            out.push(ident);
+        }
+    }
+    out
+}
+
+/// The doc-comment text of the annotation block above 1-based `line`.
+fn doc_block(file: &SourceFile, line: usize) -> String {
+    let mut lines = Vec::new();
+    let mut i = line.saturating_sub(1);
+    while i > 0 {
+        i -= 1;
+        if !file.lex.line_is_annotation[i] {
+            break;
+        }
+        lines.push(file.lex.line_comments[i].clone());
+    }
+    lines.reverse();
+    lines.join("\n")
+}
+
+/// Runs the pass over the workspace slice.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // 1. Error enums defined in error.rs files.
+    //    enum name -> (defining file, variants with lines)
+    let mut enums: BTreeMap<String, (String, Vec<(String, usize)>)> = BTreeMap::new();
+    for f in files {
+        if !f.path.ends_with("/error.rs") || f.is_test_file() {
+            continue;
+        }
+        for e in &f.items.enums {
+            if e.is_pub && e.name.ends_with("Error") {
+                enums.insert(e.name.clone(), (f.path.clone(), e.variants.clone()));
+            }
+        }
+    }
+
+    // 2. Variant usage outside the defining file (non-test code).
+    for (ename, (def_file, variants)) in &enums {
+        for (vname, vline) in variants {
+            let used = files.iter().any(|f| {
+                if &f.path == def_file || f.is_test_file() {
+                    return false;
+                }
+                let toks = f.code_toks();
+                toks.iter().enumerate().any(|(i, t)| {
+                    t.is_ident(ename)
+                        && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                        && toks.get(i + 3).is_some_and(|a| a.is_ident(vname))
+                        && !f.line_is_test(t.line)
+                })
+            });
+            if !used {
+                out.push(Violation {
+                    file: def_file.clone(),
+                    line: *vline,
+                    rule: Rule::ErrorSurface,
+                    message: format!(
+                        "error variant `{ename}::{vname}` is never used outside its \
+                         definition; remove it or wire up the path that should return it"
+                    ),
+                });
+            }
+        }
+    }
+
+    // 3. Scoped public fallible APIs carry `# Errors` docs naming a
+    //    real variant; all doc-mentioned variants must exist.
+    for f in files {
+        let scoped = SCOPED.contains(&f.path.as_str());
+        for func in &f.items.fns {
+            if !scoped || !func.is_pub || !func.returns_result || func.in_test {
+                continue;
+            }
+            let docs = doc_block(f, func.line);
+            if !docs.contains("# Errors") {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: func.line,
+                    rule: Rule::ErrorSurface,
+                    message: format!(
+                        "public fallible fn `{}` has no `# Errors` doc section naming \
+                         the `LoomError` variants it can return",
+                        func.name
+                    ),
+                });
+                continue;
+            }
+            let names_variant = enums
+                .keys()
+                .any(|ename| !variant_mentions(&docs, ename).is_empty());
+            if !enums.is_empty() && !names_variant {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: func.line,
+                    rule: Rule::ErrorSurface,
+                    message: format!(
+                        "`# Errors` docs on `{}` name no concrete error variant \
+                         (e.g. `LoomError::InvalidConfig`)",
+                        func.name
+                    ),
+                });
+            }
+        }
+        // Doc-mentioned variants must exist (any loom-crate file).
+        if f.crate_name() == "loom" && !f.is_test_file() {
+            for (i, comment) in f.lex.line_comments.iter().enumerate() {
+                for (ename, (_, variants)) in &enums {
+                    for m in variant_mentions(comment, ename) {
+                        if !variants.iter().any(|(v, _)| v == &m) {
+                            out.push(Violation {
+                                file: f.path.clone(),
+                                line: i + 1,
+                                rule: Rule::ErrorSurface,
+                                message: format!(
+                                    "doc comment names `{ename}::{m}` which is not a \
+                                     variant of `{ename}`; fix the doc"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    const ENUM: &str = "pub enum LoomError {\n    Io(io::Error),\n    ShutDown,\n}\n";
+
+    fn err_file() -> SourceFile {
+        SourceFile::from_text("crates/loom/src/error.rs", ENUM)
+    }
+
+    #[test]
+    fn unconstructed_variant_is_flagged() {
+        let user = SourceFile::from_text(
+            "crates/loom/src/engine.rs",
+            "fn f() -> Result<(), LoomError> { Err(LoomError::Io(e)) }\n",
+        );
+        let v = check(&[err_file(), user]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ErrorSurface);
+        assert!(v[0].message.contains("ShutDown"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn all_variants_used_is_clean() {
+        let user = SourceFile::from_text(
+            "crates/daemon/src/net.rs",
+            "fn f() { a(LoomError::Io(e)); match x { LoomError::ShutDown => {} } }\n",
+        );
+        assert!(check(&[err_file(), user]).is_empty());
+    }
+
+    #[test]
+    fn test_only_usage_does_not_count() {
+        let user = SourceFile::from_text(
+            "crates/loom/src/engine.rs",
+            "fn f() { a(LoomError::Io(e)); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { let _ = LoomError::ShutDown; }\n}\n",
+        );
+        let v = check(&[err_file(), user]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ShutDown"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn scoped_pub_result_fn_needs_errors_docs() {
+        let engine = SourceFile::from_text(
+            "crates/loom/src/engine.rs",
+            "fn use_all() { a(LoomError::Io(e), LoomError::ShutDown); }\n\
+             pub fn push(&self) -> Result<()> { Ok(()) }\n",
+        );
+        let v = check(&[err_file(), engine]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("# Errors"), "{}", v[0].message);
+
+        let documented = SourceFile::from_text(
+            "crates/loom/src/engine.rs",
+            "fn use_all() { a(LoomError::Io(e), LoomError::ShutDown); }\n\
+             /// Pushes.\n///\n/// # Errors\n///\n/// [`LoomError::ShutDown`] after close.\n\
+             pub fn push(&self) -> Result<()> { Ok(()) }\n",
+        );
+        assert!(check(&[err_file(), documented]).is_empty());
+    }
+
+    #[test]
+    fn errors_docs_must_name_a_real_variant() {
+        let vague = SourceFile::from_text(
+            "crates/loom/src/engine.rs",
+            "fn use_all() { a(LoomError::Io(e), LoomError::ShutDown); }\n\
+             /// # Errors\n/// Fails on errors.\n\
+             pub fn push(&self) -> Result<()> { Ok(()) }\n",
+        );
+        let v = check(&[err_file(), vague]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no concrete"), "{}", v[0].message);
+
+        // A doc naming a nonexistent variant is drift.
+        let phantom = SourceFile::from_text(
+            "crates/loom/src/engine.rs",
+            "fn use_all() { a(LoomError::Io(e), LoomError::ShutDown); }\n\
+             /// # Errors\n/// [`LoomError::Gone`] sometimes.\n\
+             pub fn push(&self) -> Result<()> { Ok(()) }\n",
+        );
+        let v = check(&[err_file(), phantom]);
+        assert!(
+            v.iter().any(|x| x.message.contains("not a variant")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn unscoped_files_need_no_docs() {
+        let other = SourceFile::from_text(
+            "crates/loom/src/retention/mod.rs",
+            "fn use_all() { a(LoomError::Io(e), LoomError::ShutDown); }\n\
+             pub fn age(&self) -> Result<()> { Ok(()) }\n",
+        );
+        assert!(check(&[err_file(), other]).is_empty());
+    }
+}

@@ -1,0 +1,633 @@
+//! Static lock-order analysis.
+//!
+//! Extracts nested `Mutex`/`RwLock` guard acquisitions per function,
+//! resolves receivers to *named lock fields* (struct fields and
+//! statics whose type mentions `Mutex`/`RwLock`, plus accessor
+//! functions that return a reference to such a field, like
+//! `Engine::home_manifest`), and builds the cross-crate lock-order
+//! graph: an edge `A -> B` means some function acquires `B` while a
+//! guard of `A` is live. A cycle in that graph is a potential deadlock
+//! and fails the lint; the acyclic graph is committed as
+//! `results/lock_order.txt` and checked for staleness so reviewers see
+//! every new edge in the diff.
+//!
+//! The analysis is intraprocedural and name-based — all locks sharing
+//! a field name are one node (deliberate: per-shard `manifest` mutexes
+//! are interchangeable for ordering purposes, and a self-edge is not
+//! reported because distinct instances of the same field are acquired
+//! in address or shard order by construction). Interprocedural nesting
+//! (holding a guard across a call that locks internally) is out of
+//! scope statically; the `--cfg conc_check` runtime witness in
+//! `conc-check`'s `ordered` module records *actual* acquisition stacks
+//! and panics on inversion, so dynamic coverage backstops exactly the
+//! cases this pass cannot see.
+//!
+//! Guard-lifetime model (documented approximations):
+//! * `let g = x.lock()…` where the trailing chain is only
+//!   `.unwrap()`/`.expect(…)` holds the guard to the end of the
+//!   enclosing block; `drop(g)` ends it early.
+//! * Any other chain (`.lock().unwrap().len()`) and un-bound uses are
+//!   temporaries that drop at the end of the statement (next `;`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Baselines, Rule, SourceFile, Tok, TokKind, Violation};
+
+/// Methods that acquire a guard on a `Mutex`/`RwLock` receiver.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// The lock-order graph: `held -> acquired` edges with their first
+/// witness site.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// `(held, acquired) -> "file:line"` of the first witness.
+    pub edges: BTreeMap<(String, String), String>,
+}
+
+impl LockGraph {
+    /// Renders the committed dump format: a header plus one sorted
+    /// `held -> acquired  # witness` line per edge.
+    pub fn dump(&self) -> String {
+        let mut out = String::from(
+            "# Lock-order graph: `held -> acquired` edges extracted statically by\n\
+             # the lint (crates/lint/src/passes/lock_order.rs). A cycle here is a\n\
+             # potential deadlock and fails the lint. Regenerate after intentional\n\
+             # changes with:  cargo run -p lint -- --lock-graph > results/lock_order.txt\n",
+        );
+        for ((held, acquired), witness) in &self.edges {
+            out.push_str(&format!("{held} -> {acquired}  # {witness}\n"));
+        }
+        out
+    }
+
+    /// One representative cycle, as the list of lock names along it,
+    /// or `None` when the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (held, acquired) in self.edges.keys() {
+            adj.entry(held).or_default().push(acquired);
+        }
+        // Iterative DFS with an explicit path for cycle extraction.
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        let starts: Vec<&str> = adj.keys().copied().collect();
+        for start in starts {
+            if done.contains(start) {
+                continue;
+            }
+            let mut path: Vec<&str> = Vec::new();
+            let mut on_path: BTreeSet<&str> = BTreeSet::new();
+            // (node, next-child index)
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                if *child == 0 {
+                    path.push(node);
+                    on_path.insert(node);
+                }
+                let next = adj.get(node).and_then(|ns| ns.get(*child)).copied();
+                *child += 1;
+                match next {
+                    Some(n) => {
+                        if on_path.contains(n) {
+                            let pos = path.iter().position(|&p| p == n).unwrap_or(0);
+                            let mut cycle: Vec<String> =
+                                path[pos..].iter().map(|s| s.to_string()).collect();
+                            cycle.push(n.to_string());
+                            return Some(cycle);
+                        }
+                        if !done.contains(n) {
+                            stack.push((n, 0));
+                        }
+                    }
+                    None => {
+                        stack.pop();
+                        path.pop();
+                        on_path.remove(node);
+                        done.insert(node);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// True when a flattened type text names a lock type.
+fn is_lock_type(type_text: &str) -> bool {
+    type_text
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .any(|w| w == "Mutex" || w == "RwLock")
+}
+
+/// Index of the matching open delimiter for the close at `close`.
+fn open_match(toks: &[Tok], close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        let t = &toks[i];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Walks left from the segment at `j` to the start of its receiver
+/// chain (`self.shards[i].manifest` → index of `self`).
+fn expr_start(toks: &[Tok], mut j: usize) -> usize {
+    // Normalize a trailing call/index segment (`…(args)` / `…[i]`) to
+    // its head ident so `self.accessor(x).lock()` chains walk fully.
+    if toks[j].is_punct(')') || toks[j].is_punct(']') {
+        let open = open_match(toks, j);
+        if open >= 1 && toks[open - 1].kind == TokKind::Ident {
+            j = open - 1;
+        }
+    }
+    loop {
+        if j >= 2 && toks[j - 1].is_punct('.') {
+            let p = j - 2;
+            if toks[p].kind == TokKind::Ident {
+                j = p;
+                continue;
+            }
+            if toks[p].is_punct(')') || toks[p].is_punct(']') {
+                let open = open_match(toks, p);
+                if open >= 1 && toks[open - 1].kind == TokKind::Ident {
+                    j = open - 1;
+                    continue;
+                }
+            }
+        }
+        return j;
+    }
+}
+
+/// An acquisition site found in a function body.
+struct Acquisition {
+    /// Resolved lock name.
+    lock: String,
+    /// Token index of the acquiring method ident.
+    at: usize,
+    /// 1-based line.
+    line: usize,
+    /// `let`-bound variable that holds the guard, if the binding
+    /// actually keeps it (`let g = x.lock().unwrap();`).
+    binding: Option<String>,
+}
+
+/// Collects the named-lock set and accessor-fn map, then walks every
+/// function body recording `held -> acquired` edges.
+pub fn graph(files: &[SourceFile]) -> LockGraph {
+    // 1. Named locks: fields and statics with a lock type.
+    let mut locks: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        for fd in &f.items.fields {
+            if is_lock_type(&fd.type_text) && !f.line_is_test(fd.line) {
+                locks.insert(fd.name.clone());
+            }
+        }
+        for st in &f.items.statics {
+            if is_lock_type(&st.type_text) && !f.line_is_test(st.line) {
+                locks.insert(st.name.clone());
+            }
+        }
+    }
+    // 2. Accessor fns: return a lock reference, body names exactly one
+    //    known lock field — map fn name to that lock.
+    let mut accessors: BTreeMap<String, String> = BTreeMap::new();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        let toks = f.code_toks();
+        for func in &f.items.fns {
+            if func.in_test {
+                continue;
+            }
+            let (s0, s1) = func.sig;
+            let sig = &toks[s0..s1.min(toks.len())];
+            if !sig
+                .iter()
+                .any(|t| t.is_ident("Mutex") || t.is_ident("RwLock"))
+            {
+                continue;
+            }
+            let Some((b0, b1)) = func.body else { continue };
+            let named: BTreeSet<&str> = toks[b0..=b1.min(toks.len() - 1)]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident && locks.contains(&t.text))
+                .map(|t| t.text.as_str())
+                .collect();
+            if named.len() == 1 {
+                accessors.insert(
+                    func.name.clone(),
+                    (*named.iter().next().expect("len==1")).to_string(),
+                );
+            }
+        }
+    }
+    // 3. Walk bodies.
+    let mut g = LockGraph::default();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        let toks = f.code_toks();
+        for func in &f.items.fns {
+            if func.in_test {
+                continue;
+            }
+            let Some((b0, b1)) = func.body else { continue };
+            walk_body(f, toks, b0, b1, &locks, &accessors, &mut g);
+        }
+    }
+    g
+}
+
+/// Resolves the receiver of the acquire method at `m` to a lock name.
+fn resolve_receiver(
+    toks: &[Tok],
+    m: usize,
+    locks: &BTreeSet<String>,
+    accessors: &BTreeMap<String, String>,
+) -> Option<String> {
+    if m < 2 || !toks[m - 1].is_punct('.') {
+        return None;
+    }
+    let r = &toks[m - 2];
+    if r.kind == TokKind::Ident {
+        if locks.contains(&r.text) {
+            return Some(r.text.clone());
+        }
+        return None;
+    }
+    if r.is_punct(')') {
+        // `self.home_manifest(src).lock()` — accessor-call receiver.
+        let open = open_match(toks, m - 2);
+        if open >= 1 && toks[open - 1].kind == TokKind::Ident {
+            return accessors.get(&toks[open - 1].text).cloned();
+        }
+    }
+    None
+}
+
+/// Detects a `let [mut] g = …` (or `if let Pat(g) = …`) binding whose
+/// initializer starts at `start`, returning the bound name.
+fn let_binding(toks: &[Tok], start: usize) -> Option<String> {
+    if start < 2 || !toks[start - 1].is_punct('=') {
+        return None;
+    }
+    // Exclude `==`, `!=`, `<=`, `>=`, `+=`-style operators.
+    if toks
+        .get(start.wrapping_sub(2))
+        .is_some_and(|t| t.kind == TokKind::Punct && "=!<>+-*/&|^%".contains(&t.text))
+    {
+        return None;
+    }
+    let p = start - 2;
+    let t = &toks[p];
+    if t.kind == TokKind::Ident {
+        if p >= 1 && (toks[p - 1].is_ident("let") || toks[p - 1].is_ident("mut")) {
+            let is_let = toks[p - 1].is_ident("let") || (p >= 2 && toks[p - 2].is_ident("let"));
+            if is_let {
+                return Some(t.text.clone());
+            }
+        }
+        return None;
+    }
+    if t.is_punct(')') {
+        // `if let Ok(g) = …` / `while let Some(g) = …`
+        let open = open_match(toks, p);
+        let inner_ident = toks[open..p]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident)?;
+        let has_let = open >= 2 && toks[open - 2].is_ident("let");
+        if has_let {
+            return Some(inner_ident.text.clone());
+        }
+    }
+    None
+}
+
+/// True when the chain after the acquire call consists only of
+/// guard-preserving adapters (`.unwrap()` / `.expect(…)`), i.e. a
+/// `let` binding of the chain still holds the guard.
+fn chain_keeps_guard(toks: &[Tok], call_close: usize) -> bool {
+    let mut pos = call_close;
+    loop {
+        match toks.get(pos + 1) {
+            Some(t) if t.is_punct('.') => {
+                let m = pos + 2;
+                let keeps = toks
+                    .get(m)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+                if !keeps {
+                    return false;
+                }
+                let Some(open) = toks.get(m + 1).filter(|t| t.is_punct('(')).map(|_| m + 1) else {
+                    return false;
+                };
+                pos = crate::items::matching_close(toks, open);
+            }
+            _ => return true,
+        }
+    }
+}
+
+/// Walks one function body, maintaining the live-guard stack and
+/// recording edges into `g`.
+#[allow(clippy::too_many_arguments)]
+fn walk_body(
+    f: &SourceFile,
+    toks: &[Tok],
+    b0: usize,
+    b1: usize,
+    locks: &BTreeSet<String>,
+    accessors: &BTreeMap<String, String>,
+    g: &mut LockGraph,
+) {
+    // (lock name, scope-end token index, binding)
+    let mut guards: Vec<(String, usize, Option<String>)> = Vec::new();
+    // Innermost enclosing blocks: close indices.
+    let mut blocks: Vec<usize> = vec![b1];
+    let mut i = b0 + 1;
+    while i < b1 {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            blocks.push(crate::items::matching_close(toks, i));
+        } else if t.is_punct('}') {
+            blocks.pop();
+        } else if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(victim) = toks.get(i + 2) {
+                guards.retain(|(_, _, b)| b.as_deref() != Some(victim.text.as_str()));
+            }
+        } else if t.kind == TokKind::Ident
+            && ACQUIRE_METHODS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(lock) = resolve_receiver(toks, i, locks, accessors) {
+                let acq = classify(toks, i, lock, b1);
+                guards.retain(|(_, end, _)| *end >= acq.at);
+                for (held, _, _) in &guards {
+                    if held != &acq.lock {
+                        let key = (held.clone(), acq.lock.clone());
+                        g.edges
+                            .entry(key)
+                            .or_insert_with(|| format!("{}:{}", f.path, acq.line));
+                    }
+                }
+                let scope_end = if acq.binding.is_some() {
+                    *blocks.last().unwrap_or(&b1)
+                } else {
+                    // Temporary: drops at the end of the statement.
+                    toks[acq.at..b1]
+                        .iter()
+                        .position(|t| t.is_punct(';'))
+                        .map(|off| acq.at + off)
+                        .unwrap_or(b1)
+                };
+                guards.push((acq.lock, scope_end, acq.binding));
+            }
+        }
+        // Expire guards whose scope ended at or before this token.
+        guards.retain(|(_, end, _)| *end >= i);
+        i += 1;
+    }
+}
+
+/// Builds the [`Acquisition`] for the acquire method at `m`.
+fn classify(toks: &[Tok], m: usize, lock: String, body_end: usize) -> Acquisition {
+    let start = expr_start(toks, m.saturating_sub(2));
+    let call_open = m + 1;
+    let call_close = if call_open < body_end {
+        crate::items::matching_close(toks, call_open)
+    } else {
+        call_open
+    };
+    let binding = let_binding(toks, start).filter(|_| chain_keeps_guard(toks, call_close));
+    Acquisition {
+        lock,
+        at: m,
+        line: toks[m].line,
+        binding,
+    }
+}
+
+/// Runs the pass: builds the graph, reports cycles, and (when a
+/// committed dump is provided) reports staleness.
+pub fn check(files: &[SourceFile], baselines: &Baselines) -> Vec<Violation> {
+    let g = graph(files);
+    let mut out = Vec::new();
+    if let Some(cycle) = g.find_cycle() {
+        let pretty = cycle.join(" -> ");
+        // Anchor at the witness of the first edge in the cycle.
+        let witness = g
+            .edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .cloned()
+            .unwrap_or_default();
+        let (file, line) = witness
+            .rsplit_once(':')
+            .map(|(f, l)| (f.to_string(), l.parse().unwrap_or(1)))
+            .unwrap_or_else(|| ("<lock-order>".to_string(), 1));
+        out.push(Violation {
+            file,
+            line,
+            rule: Rule::LockOrder,
+            message: format!(
+                "lock-order cycle: {pretty}; a consistent acquisition order is required \
+                 (see results/lock_order.txt for the full graph)"
+            ),
+        });
+    }
+    if let Some(committed) = &baselines.lock_graph {
+        if committed.trim_end() != g.dump().trim_end() {
+            out.push(Violation {
+                file: "results/lock_order.txt".to_string(),
+                line: 1,
+                rule: Rule::LockOrder,
+                message: "committed lock-order graph is stale; regenerate with \
+                          `cargo run -p lint -- --lock-graph > results/lock_order.txt` \
+                          and review the new edges"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn files(texts: &[(&str, &str)]) -> Vec<SourceFile> {
+        texts
+            .iter()
+            .map(|(p, t)| SourceFile::from_text(p, t))
+            .collect()
+    }
+
+    const DECLS: &str = "struct S {\n    alpha: Mutex<u32>,\n    beta: Mutex<u32>,\n}\n";
+
+    #[test]
+    fn nested_acquisitions_make_edges() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECLS}impl S {{\n    fn f(&self) {{\n        let a = self.alpha.lock().unwrap();\n        let b = self.beta.lock().unwrap();\n        drop(b);\n        drop(a);\n    }}\n}}\n"
+            ),
+        )]);
+        let g = graph(&fs);
+        assert_eq!(g.edges.len(), 1, "{:?}", g.edges);
+        assert!(g.edges.contains_key(&("alpha".into(), "beta".into())));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECLS}impl S {{\n    fn f(&self) {{\n        let a = self.alpha.lock().unwrap();\n        let b = self.beta.lock().unwrap();\n    }}\n    fn g(&self) {{\n        let b = self.beta.lock().unwrap();\n        let a = self.alpha.lock().unwrap();\n    }}\n}}\n"
+            ),
+        )]);
+        let g = graph(&fs);
+        let cycle = g.find_cycle().expect("alpha<->beta cycle");
+        assert!(cycle.len() >= 3, "{cycle:?}");
+        let v = check(&fs, &Baselines::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::LockOrder);
+        assert!(v[0].message.contains("cycle"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn temporaries_drop_at_statement_end() {
+        // The alpha guard is a temporary: dead before beta locks.
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECLS}impl S {{\n    fn f(&self) {{\n        let n = *self.alpha.lock().unwrap() + 1;\n        let b = self.beta.lock().unwrap();\n    }}\n}}\n"
+            ),
+        )]);
+        let g = graph(&fs);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn drop_ends_the_guard_scope() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECLS}impl S {{\n    fn f(&self) {{\n        let a = self.alpha.lock().unwrap();\n        drop(a);\n        let b = self.beta.lock().unwrap();\n    }}\n}}\n"
+            ),
+        )]);
+        let g = graph(&fs);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn inner_block_scopes_end_guards() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECLS}impl S {{\n    fn f(&self) {{\n        {{\n            let a = self.alpha.lock().unwrap();\n        }}\n        let b = self.beta.lock().unwrap();\n    }}\n}}\n"
+            ),
+        )]);
+        let g = graph(&fs);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn accessor_fns_resolve_to_their_field() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "struct S { manifest: Mutex<u32>, cold: RwLock<u32> }\n\
+             impl S {\n\
+                 fn home_manifest(&self) -> &Mutex<u32> { &self.manifest }\n\
+                 fn f(&self) {\n\
+                     let c = self.cold.read().unwrap();\n\
+                     let m = self.home_manifest().lock().unwrap();\n\
+                 }\n\
+             }\n",
+        )]);
+        let g = graph(&fs);
+        assert!(
+            g.edges.contains_key(&("cold".into(), "manifest".into())),
+            "{:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn self_edges_are_not_reported() {
+        // Two shards' manifests locked in shard order: same node.
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "struct S { manifest: Mutex<u32> }\n\
+             fn f(a: &S, b: &S) {\n\
+                 let x = a.manifest.lock().unwrap();\n\
+                 let y = b.manifest.lock().unwrap();\n\
+             }\n",
+        )]);
+        let g = graph(&fs);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn unknown_receivers_are_ignored() {
+        // io::Read::read on a file is not a lock acquisition.
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "struct S { alpha: Mutex<u32> }\n\
+             fn f(s: &S, mut file: std::fs::File) {\n\
+                 let a = s.alpha.lock().unwrap();\n\
+                 file.read(&mut buf).unwrap();\n\
+             }\n",
+        )]);
+        let g = graph(&fs);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn stale_committed_dump_is_flagged() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            &format!(
+                "{DECLS}impl S {{\n    fn f(&self) {{\n        let a = self.alpha.lock().unwrap();\n        let b = self.beta.lock().unwrap();\n    }}\n}}\n"
+            ),
+        )]);
+        let fresh = graph(&fs).dump();
+        let ok = check(
+            &fs,
+            &Baselines {
+                lock_graph: Some(fresh.clone()),
+                ..Baselines::default()
+            },
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let stale = check(
+            &fs,
+            &Baselines {
+                lock_graph: Some("# empty\n".to_string()),
+                ..Baselines::default()
+            },
+        );
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("stale"), "{}", stale[0].message);
+    }
+}

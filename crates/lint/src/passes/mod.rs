@@ -1,0 +1,8 @@
+//! Lint passes: the ported line rules plus the semantic analyses.
+
+pub mod atomics;
+pub mod basic;
+pub mod errors;
+pub mod fnv;
+pub mod lock_order;
+pub mod registry;

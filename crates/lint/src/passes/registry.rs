@@ -1,0 +1,594 @@
+//! Registry consistency: wire tags, disk tags, metric names, and
+//! failpoint documentation.
+//!
+//! Four string/number registries back Loom's compatibility story and
+//! each is audited here:
+//!
+//! * **Disk tags** — the manifest record tags (`TAG_*` consts in
+//!   `loom/src/durability/manifest.rs`). Values are forever: a tag may
+//!   be *added*, never renumbered or reused, or old manifests decode
+//!   as the wrong record. Checked against `crates/lint/disk_tags.txt`.
+//! * **Wire tags** — frame-type bytes (`T_*` consts) and the
+//!   `NackCode`/`Role`/`SlowConsumerPolicy` `to_wire` values in
+//!   `loom/src/net/proto.rs`. Same add-only discipline, checked
+//!   against `crates/lint/wire_tags.txt`.
+//! * **Metric names** — `loom_*` string literals defined in
+//!   `loom/src/obs/snapshot.rs` must be unique and documented in
+//!   DESIGN.md; `loom_*` names mentioned in DESIGN.md must exist in
+//!   code (prefixes written as `loom_net_…` with a trailing underscore
+//!   match any metric with that prefix; histogram bases also cover
+//!   their derived `_bucket`/`_count`/`_sum` series).
+//! * **Failpoint names** — every site name owned by the registry or a
+//!   literal call site must appear in DESIGN.md's failpoint table.
+//!
+//! Baseline workflow (DESIGN.md §10.4): adding a tag = add the const
+//! *and* the baseline line in the same commit; the lint fails until
+//! both halves agree, and fails forever on renumbering either side.
+
+use std::collections::BTreeMap;
+
+use crate::{Baselines, Rule, SourceFile, TokKind, Violation};
+
+const MANIFEST_RS: &str = "crates/loom/src/durability/manifest.rs";
+const PROTO_RS: &str = "crates/loom/src/net/proto.rs";
+const SNAPSHOT_RS: &str = "crates/loom/src/obs/snapshot.rs";
+const FAULT_RS: &str = "crates/loom/src/fault.rs";
+
+/// Extracted registry entry: name, value, line.
+#[derive(Debug, Clone)]
+struct TagDef {
+    name: String,
+    value: u64,
+    line: usize,
+}
+
+/// Parses a numeric literal as written (`1`, `0x0b`).
+fn parse_num(text: &str) -> Option<u64> {
+    let t = text.trim().replace('_', "");
+    let t = t
+        .trim_end_matches("u8")
+        .trim_end_matches("u16")
+        .trim_end_matches("u32")
+        .trim_end_matches("u64")
+        .trim_end_matches("usize");
+    if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// `TAG_*` / `T_*` consts with integer values from one file.
+fn const_tags(file: &SourceFile, prefix: &str) -> Vec<TagDef> {
+    file.items
+        .consts
+        .iter()
+        .filter(|c| c.name.starts_with(prefix) && !file.line_is_test(c.line))
+        .filter_map(|c| {
+            parse_num(&c.value_text).map(|value| TagDef {
+                name: c.name.clone(),
+                value,
+                line: c.line,
+            })
+        })
+        .collect()
+}
+
+/// `Enum::Variant => N` match arms from one file, for the given enum
+/// names, labeled `Enum::Variant`.
+fn wire_arms(file: &SourceFile, enums: &[&str]) -> Vec<TagDef> {
+    let toks = file.code_toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !enums.contains(&t.text.as_str()) {
+            continue;
+        }
+        if file.line_is_test(t.line) {
+            continue;
+        }
+        let arm = toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|a| a.kind == TokKind::Ident)
+            && toks.get(i + 4).is_some_and(|a| a.is_punct('='))
+            && toks.get(i + 5).is_some_and(|a| a.is_punct('>'))
+            && toks.get(i + 6).is_some_and(|a| a.kind == TokKind::Num);
+        if arm {
+            if let Some(value) = parse_num(&toks[i + 6].text) {
+                out.push(TagDef {
+                    name: format!("{}::{}", t.text, toks[i + 3].text),
+                    value,
+                    line: t.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks one registry's defs against its baseline and for duplicate
+/// values within each group (`group_of` maps a name to its value
+/// space — frame bytes and NackCode bytes are separate spaces).
+fn check_registry(
+    what: &str,
+    file: &str,
+    baseline_file: &str,
+    defs: &[TagDef],
+    baseline: &BTreeMap<String, u64>,
+    group_of: impl Fn(&str) -> String,
+    out: &mut Vec<Violation>,
+) {
+    // Duplicate values within one group.
+    let mut seen: BTreeMap<(String, u64), &TagDef> = BTreeMap::new();
+    for d in defs {
+        let key = (group_of(&d.name), d.value);
+        if let Some(prev) = seen.get(&key) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: d.line,
+                rule: Rule::Registry,
+                message: format!(
+                    "{what} value {} is owned by both `{}` and `{}`; values are \
+                     single-owner forever",
+                    d.value, prev.name, d.name
+                ),
+            });
+        } else {
+            seen.insert(key, d);
+        }
+    }
+    // Baseline agreement, both directions.
+    for d in defs {
+        match baseline.get(&d.name) {
+            Some(&bv) if bv != d.value => out.push(Violation {
+                file: file.to_string(),
+                line: d.line,
+                rule: Rule::Registry,
+                message: format!(
+                    "{what} `{}` renumbered from {} to {}; persisted/wire values may \
+                     only be added, never changed (see {baseline_file})",
+                    d.name, bv, d.value
+                ),
+            }),
+            Some(_) => {}
+            None => out.push(Violation {
+                file: file.to_string(),
+                line: d.line,
+                rule: Rule::Registry,
+                message: format!(
+                    "{what} `{}` = {} is not in {baseline_file}; new tags must be \
+                     registered in the baseline in the same commit",
+                    d.name, d.value
+                ),
+            }),
+        }
+    }
+    for (name, value) in baseline {
+        if !defs.iter().any(|d| &d.name == name) {
+            out.push(Violation {
+                file: baseline_file.to_string(),
+                line: 1,
+                rule: Rule::Registry,
+                message: format!(
+                    "stale {what} baseline entry `{name}` = {value}: the tag no longer \
+                     exists in {file}; tags are never deleted or renamed once shipped"
+                ),
+            });
+        }
+    }
+}
+
+/// 1-based line of the first occurrence of `needle` in `text`, or 1.
+fn find_line(text: &str, needle: &str) -> usize {
+    text.lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or(0)
+        + 1
+}
+
+/// True when `word` occurs in `text` delimited by non-word chars.
+fn contains_word(text: &str, word: &str) -> bool {
+    let is_word = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = !text[..start].chars().next_back().is_some_and(is_word);
+        let after_ok = !text[end..].chars().next().is_some_and(is_word);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// All `loom_[a-z0-9_]+` words appearing anywhere in `text`.
+fn loom_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("loom_") {
+        let start = i + pos;
+        // Must not be a fragment of a longer word.
+        let standalone = !text[..start]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if standalone {
+            out.push(text[start..end].to_string());
+        }
+        i = end;
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Runs the registry pass.
+pub fn check(files: &[SourceFile], baselines: &Baselines) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let by_path = |p: &str| files.iter().find(|f| f.path == p);
+
+    // Disk tags.
+    if let (Some(f), Some(base)) = (by_path(MANIFEST_RS), &baselines.disk_tags) {
+        let defs = const_tags(f, "TAG_");
+        check_registry(
+            "manifest record tag",
+            MANIFEST_RS,
+            "crates/lint/disk_tags.txt",
+            &defs,
+            base,
+            |_| "disk".to_string(),
+            &mut out,
+        );
+    }
+
+    // Wire tags: frame-type consts + enum to_wire arms.
+    if let (Some(f), Some(base)) = (by_path(PROTO_RS), &baselines.wire_tags) {
+        let mut defs = const_tags(f, "T_");
+        defs.extend(wire_arms(f, &["NackCode", "Role", "SlowConsumerPolicy"]));
+        check_registry(
+            "wire value",
+            PROTO_RS,
+            "crates/lint/wire_tags.txt",
+            &defs,
+            base,
+            |name| {
+                name.split_once("::")
+                    .map(|(e, _)| e.to_string())
+                    .unwrap_or_else(|| "frame".to_string())
+            },
+            &mut out,
+        );
+    }
+
+    // Metric names.
+    if let Some(f) = by_path(SNAPSHOT_RS) {
+        let mut defs: Vec<(String, usize)> = Vec::new();
+        for t in f.code_toks() {
+            if t.kind != TokKind::Str || f.line_is_test(t.line) {
+                continue;
+            }
+            let name = &t.text;
+            let well_formed = name.starts_with("loom_")
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            if well_formed {
+                defs.push((name.clone(), t.line));
+            }
+        }
+        // Uniqueness of definitions.
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for (name, line) in &defs {
+            if let Some(first) = seen.get(name.as_str()) {
+                out.push(Violation {
+                    file: SNAPSHOT_RS.to_string(),
+                    line: *line,
+                    rule: Rule::Registry,
+                    message: format!(
+                        "metric name `{name}` defined twice (first at line {first}); \
+                         each exported series has exactly one definition"
+                    ),
+                });
+            } else {
+                seen.insert(name, *line);
+            }
+        }
+        if let Some(design) = &baselines.design {
+            // Every defined metric documented (a mention of a derived
+            // histogram series, e.g. `<name>_count`, also counts).
+            for (name, line) in &defs {
+                let documented = contains_word(design, name)
+                    || ["_bucket", "_count", "_sum"]
+                        .iter()
+                        .any(|s| contains_word(design, &format!("{name}{s}")));
+                if !documented {
+                    out.push(Violation {
+                        file: SNAPSHOT_RS.to_string(),
+                        line: *line,
+                        rule: Rule::Registry,
+                        message: format!(
+                            "metric `{name}` is not documented in DESIGN.md's metrics table"
+                        ),
+                    });
+                }
+            }
+            // Every documented name real.
+            let is_def = |w: &str| defs.iter().any(|(n, _)| n == w);
+            for word in loom_words(design) {
+                let ok = if word.ends_with('_') {
+                    // Prefix mention (`loom_net_…`).
+                    defs.iter().any(|(n, _)| n.starts_with(&word))
+                } else {
+                    is_def(&word)
+                        || ["_bucket", "_count", "_sum"]
+                            .iter()
+                            .any(|s| word.strip_suffix(s).is_some_and(is_def))
+                };
+                if !ok {
+                    out.push(Violation {
+                        file: "DESIGN.md".to_string(),
+                        line: find_line(design, &word),
+                        rule: Rule::Registry,
+                        message: format!(
+                            "DESIGN.md mentions metric `{word}` which does not exist in \
+                             {SNAPSHOT_RS}; fix the doc or define the metric"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Failpoint documentation: every owned site name appears in
+    // DESIGN.md. (Ownership/uniqueness is the basic pass's job.)
+    if let Some(design) = &baselines.design {
+        let mut sites: Vec<(String, String, usize)> = Vec::new();
+        if let Some(f) = by_path(FAULT_RS) {
+            for c in &f.items.consts {
+                if c.type_text.contains("str")
+                    && c.value_text.contains("::")
+                    && !f.line_is_test(c.line)
+                {
+                    sites.push((c.value_text.clone(), f.path.clone(), c.line));
+                }
+            }
+        }
+        for f in files {
+            if f.is_test_file() || f.path == FAULT_RS {
+                continue;
+            }
+            let toks = f.code_toks();
+            for (i, t) in toks.iter().enumerate() {
+                if t.is_ident("failpoint")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !f.line_is_test(t.line)
+                {
+                    for a in toks.iter().skip(i + 2).take(3) {
+                        if a.kind == TokKind::Str && a.text.contains("::") {
+                            sites.push((a.text.clone(), f.path.clone(), a.line));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        sites.sort();
+        sites.dedup_by(|a, b| a.0 == b.0);
+        for (site, file, line) in sites {
+            if !design.contains(&site) {
+                out.push(Violation {
+                    file,
+                    line,
+                    rule: Rule::FailpointUniqueness,
+                    message: format!(
+                        "failpoint site \"{site}\" is not documented in DESIGN.md's \
+                         failpoint table (§7)"
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn base(entries: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        entries.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    fn manifest_file(body: &str) -> SourceFile {
+        SourceFile::from_text(MANIFEST_RS, body)
+    }
+
+    #[test]
+    fn renumbered_disk_tag_is_flagged() {
+        let f = manifest_file("const TAG_SOURCE_DEF: u8 = 1;\nconst TAG_SOURCE_CLOSED: u8 = 9;\n");
+        let b = Baselines {
+            disk_tags: Some(base(&[("TAG_SOURCE_DEF", 1), ("TAG_SOURCE_CLOSED", 2)])),
+            ..Baselines::default()
+        };
+        let v = check(&[f], &b);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("renumbered from 2 to 9"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn new_tag_must_be_registered_and_stale_entries_flagged() {
+        let f = manifest_file("const TAG_SOURCE_DEF: u8 = 1;\nconst TAG_NEW: u8 = 9;\n");
+        let b = Baselines {
+            disk_tags: Some(base(&[("TAG_SOURCE_DEF", 1), ("TAG_GONE", 7)])),
+            ..Baselines::default()
+        };
+        let v = check(&[f], &b);
+        let msgs: Vec<_> = v.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(v.len(), 2, "{msgs:?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("TAG_NEW") && m.contains("not in")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("stale") && m.contains("TAG_GONE")));
+    }
+
+    #[test]
+    fn duplicate_tag_values_are_flagged() {
+        let f = manifest_file("const TAG_A: u8 = 3;\nconst TAG_B: u8 = 3;\n");
+        let b = Baselines {
+            disk_tags: Some(base(&[("TAG_A", 3), ("TAG_B", 3)])),
+            ..Baselines::default()
+        };
+        let v = check(&[f], &b);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("owned by both"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn wire_arms_and_frame_consts_are_extracted() {
+        let f = SourceFile::from_text(
+            PROTO_RS,
+            "const T_HELLO: u8 = 1;\n\
+             impl NackCode {\n    fn to_wire(self) -> u8 {\n        match self {\n            NackCode::Version => 1,\n            NackCode::Degraded => 3,\n        }\n    }\n}\n",
+        );
+        let b = Baselines {
+            wire_tags: Some(base(&[
+                ("T_HELLO", 1),
+                ("NackCode::Version", 1),
+                ("NackCode::Degraded", 3),
+            ])),
+            ..Baselines::default()
+        };
+        assert!(check(&[f], &b).is_empty());
+
+        // Renumbering a NackCode trips the pass.
+        let f = SourceFile::from_text(
+            PROTO_RS,
+            "const T_HELLO: u8 = 1;\n\
+             impl NackCode {\n    fn to_wire(self) -> u8 {\n        match self {\n            NackCode::Version => 1,\n            NackCode::Degraded => 4,\n        }\n    }\n}\n",
+        );
+        let b = Baselines {
+            wire_tags: Some(base(&[
+                ("T_HELLO", 1),
+                ("NackCode::Version", 1),
+                ("NackCode::Degraded", 3),
+            ])),
+            ..Baselines::default()
+        };
+        let v = check(&[f], &b);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("NackCode::Degraded"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn frame_and_nack_value_spaces_are_separate() {
+        // T_HELLO = 1 and NackCode::Version = 1 must NOT collide.
+        let f = SourceFile::from_text(
+            PROTO_RS,
+            "const T_HELLO: u8 = 1;\n\
+             impl NackCode {\n    fn to_wire(self) -> u8 {\n        match self { NackCode::Version => 1 }\n    }\n}\n",
+        );
+        let b = Baselines {
+            wire_tags: Some(base(&[("T_HELLO", 1), ("NackCode::Version", 1)])),
+            ..Baselines::default()
+        };
+        assert!(check(&[f], &b).is_empty());
+    }
+
+    #[test]
+    fn undocumented_metric_is_flagged() {
+        let f = SourceFile::from_text(
+            SNAPSHOT_RS,
+            "fn names() { let a = (\"loom_x_total\", 1); let b = (\"loom_y_total\", 2); }\n",
+        );
+        let b = Baselines {
+            design: Some("Metrics: `loom_x_total` counts xs.".to_string()),
+            ..Baselines::default()
+        };
+        let v = check(&[f], &b);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("loom_y_total"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn phantom_design_metric_is_flagged_and_prefixes_allowed() {
+        let f = SourceFile::from_text(
+            SNAPSHOT_RS,
+            "fn names() { let a = (\"loom_net_acks_total\", 1); }\n",
+        );
+        let b = Baselines {
+            design: Some(
+                "The `loom_net_` family (`loom_net_acks_total`) plus `loom_ghost_total`."
+                    .to_string(),
+            ),
+            ..Baselines::default()
+        };
+        let v = check(std::slice::from_ref(&f), &b);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("loom_ghost_total"),
+            "{}",
+            v[0].message
+        );
+        assert_eq!(v[0].file, "DESIGN.md");
+
+        // Histogram-derived series names are fine in docs.
+        let b = Baselines {
+            design: Some("`loom_net_acks_total_count` derived".to_string()),
+            ..Baselines::default()
+        };
+        assert!(check(&[f], &b).is_empty());
+    }
+
+    #[test]
+    fn duplicate_metric_definition_is_flagged() {
+        let f = SourceFile::from_text(
+            SNAPSHOT_RS,
+            "fn names() { let a = (\"loom_x_total\", 1); let b = (\"loom_x_total\", 2); }\n",
+        );
+        let v = check(&[f], &Baselines::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("defined twice"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn undocumented_failpoint_is_flagged() {
+        let fault = SourceFile::from_text(
+            FAULT_RS,
+            "pub const A: &str = \"hybridlog::flush_write\";\n",
+        );
+        let user = SourceFile::from_text(
+            "crates/lsm/src/wal.rs",
+            "fn f() { crate::failpoint(\"lsm::wal_append\").unwrap(); }\n",
+        );
+        let b = Baselines {
+            design: Some("Failpoints: `hybridlog::flush_write` only.".to_string()),
+            ..Baselines::default()
+        };
+        let v = check(&[fault, user], &b);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("lsm::wal_append"), "{}", v[0].message);
+    }
+}

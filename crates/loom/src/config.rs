@@ -344,6 +344,12 @@ impl Config {
     }
 
     /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::InvalidConfig`] on any inconsistent setting
+    /// (undersized or misaligned chunk/block sizes, zero shards, bad
+    /// retention tiers, …); the message names the offending field.
     pub fn validate(&self) -> Result<()> {
         if self.chunk_size < 2 * RECORD_HEADER_SIZE {
             return Err(LoomError::InvalidConfig(format!(
@@ -513,6 +519,11 @@ impl ConfigBuilder {
     }
 
     /// Validates the assembled configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::InvalidConfig`] when the assembled settings fail
+    /// [`Config::validate`].
     pub fn build(self) -> Result<Config> {
         self.config.validate()?;
         Ok(self.config)

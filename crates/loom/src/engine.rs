@@ -35,7 +35,7 @@ use crate::sync::atomic::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 
 use crate::chunk_index::SummaryCursor;
 use crate::clock::Clock;
@@ -66,13 +66,7 @@ use crate::ts_index::{TsEntry, TsKind, TS_ENTRY_SIZE};
 /// lives in its home shard's directory forever — so this is a fixed
 /// algorithm, never `std`'s randomized `RandomState`.
 pub(crate) fn shard_of(source: u32, shards: usize) -> usize {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    for b in source.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
+    let h = crate::util::fnv1a(&source.to_le_bytes());
     (h % shards as u64) as usize
 }
 
@@ -627,6 +621,12 @@ fn merge_reports(reports: Vec<Option<RecoveryReport>>) -> Option<RecoveryReport>
 impl Loom {
     /// Opens a Loom instance rooted at `config.dir`, returning the shared
     /// handle and the unique ingest writer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Loom::open_with_clock`]: [`LoomError::InvalidConfig`],
+    /// [`LoomError::ShardMismatch`], [`LoomError::Corrupt`], or
+    /// [`LoomError::Io`].
     pub fn open(config: Config) -> Result<(Loom, LoomWriter)> {
         Self::open_with_clock(config, Clock::monotonic())
     }
@@ -641,12 +641,19 @@ impl Loom {
     /// recovers in parallel; the shard count is recorded in the root
     /// superblock and reopening with a different count fails with
     /// [`LoomError::ShardMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::InvalidConfig`] from config validation,
+    /// [`LoomError::ShardMismatch`] on a shard-count change,
+    /// [`LoomError::Corrupt`] when a superblock or manifest fails
+    /// validation, and [`LoomError::Io`] for filesystem failures.
     pub fn open_with_clock(config: Config, clock: Clock) -> Result<(Loom, LoomWriter)> {
         config.validate()?;
         std::fs::create_dir_all(&config.dir)?;
         let shared = SharedParts {
             clock: clock.clone(),
-            registry: Arc::new(RwLock::new(Registry::new())),
+            registry: Arc::new(RwLock::named("loom.registry", Registry::new())),
             registry_version: Arc::new(RegistryVersion::default()),
             stats: Arc::new(IngestStats::default()),
             slow: Arc::new(SlowQueryLog::new(config.slow_query_log)),
@@ -673,8 +680,8 @@ impl Loom {
             registry_version: shared.registry_version,
             stats: shared.stats,
             shards,
-            recovery: Mutex::new(merge_reports(reports)),
-            compactor: Mutex::new(None),
+            recovery: Mutex::named("loom.recovery", merge_reports(reports)),
+            compactor: Mutex::named("loom.compactor", None),
             net: Arc::new(crate::obs::NetObs::default()),
         });
         Self::spawn_compactor(&engine);
@@ -834,12 +841,12 @@ impl Loom {
             ts_log: Arc::clone(ts.shared()),
             stats: Arc::clone(&shared.stats),
             obs,
-            manifest: Mutex::new(manifest),
+            manifest: Mutex::named("loom.manifest", manifest),
             health,
             scan_bufs: Default::default(),
-            cold: RwLock::new(Arc::new(ColdSnap::default())),
-            tier_lock: RwLock::new(()),
-            compact_gate: Mutex::new(()),
+            cold: RwLock::named("loom.cold", Arc::new(ColdSnap::default())),
+            tier_lock: RwLock::named("loom.tier_lock", ()),
+            compact_gate: Mutex::named("loom.compact_gate", ()),
         });
         let writer = ShardWriter::new(
             Arc::clone(&inner),
@@ -1033,12 +1040,12 @@ impl Loom {
             ts_log: Arc::clone(ts.shared()),
             stats: Arc::clone(&shared.stats),
             obs,
-            manifest: Mutex::new(manifest),
+            manifest: Mutex::named("loom.manifest", manifest),
             health,
             scan_bufs: Default::default(),
-            cold: RwLock::new(Arc::new(cold_snap)),
-            tier_lock: RwLock::new(()),
-            compact_gate: Mutex::new(()),
+            cold: RwLock::named("loom.cold", Arc::new(cold_snap)),
+            tier_lock: RwLock::named("loom.tier_lock", ()),
+            compact_gate: Mutex::named("loom.compact_gate", ()),
         });
         let mut writer = ShardWriter::new(
             Arc::clone(&inner),
@@ -1096,6 +1103,12 @@ impl Loom {
 
     /// Closes a source (Figure 9: `close_source`); its data stays
     /// queryable but new pushes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::UnknownSource`] for an undefined id,
+    /// [`LoomError::SourceClosed`] when already closed, and
+    /// [`LoomError::Io`] if journaling the close fails.
     pub fn close_source(&self, id: SourceId) -> Result<()> {
         self.inner.registry.write().close_source(id)?;
         self.home_manifest(id.0)
@@ -1114,6 +1127,12 @@ impl Loom {
     /// summaries already in the chunk index keep serving queries, but new
     /// chunks are not indexed. Use [`Loom::define_index_desc`] for an
     /// index that survives a reopen in full.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::UnknownSource`] / [`LoomError::SourceClosed`] for a
+    /// missing or closed source, [`LoomError::InvalidHistogram`] for a
+    /// malformed spec, and [`LoomError::Io`] if journaling fails.
     pub fn define_index(
         &self,
         source: SourceId,
@@ -1146,6 +1165,12 @@ impl Loom {
     /// The descriptor is journaled in the manifest, so after a reopen the
     /// extraction function is rebuilt and the index keeps covering new
     /// chunks — the durable counterpart to closure-based indexes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Loom::define_index`], plus
+    /// [`LoomError::ExtractorOutOfBounds`] when the descriptor reads
+    /// past the maximum record payload.
     pub fn define_index_desc(
         &self,
         source: SourceId,
@@ -1179,6 +1204,11 @@ impl Loom {
     /// are discarded (the index no longer appears in that chunk's
     /// summary); call [`LoomWriter::seal_active_chunk`] first when those
     /// records must stay reachable through this index.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::UnknownIndex`] for an undefined or already-closed
+    /// index, and [`LoomError::Io`] if journaling the close fails.
     pub fn close_index(&self, id: IndexId) -> Result<()> {
         let source = {
             let mut registry = self.inner.registry.write();
@@ -1347,6 +1377,12 @@ impl Loom {
     /// dropped. A no-op returning zeros when retention is disabled.
     /// Every shard is attempted even after a failure; the first error is
     /// returned (that shard is left degraded and stops compacting).
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::Io`] when writing or syncing a cold segment fails,
+    /// and [`LoomError::Corrupt`] if a chunk read back for compression
+    /// fails validation.
     pub fn compact(&self) -> Result<CompactionReport> {
         let mut total = CompactionReport::default();
         let mut first_err = None;
@@ -1422,6 +1458,14 @@ impl LoomWriter {
     /// would stall on the flusher is dropped and
     /// [`NIL_ADDR`] returned instead of an
     /// address; drops are counted in the `ingest_drops` metric.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::UnknownSource`] / [`LoomError::SourceClosed`] for a
+    /// missing or closed source, [`LoomError::RecordTooLarge`] when the
+    /// payload exceeds the chunk budget, [`LoomError::Degraded`] in
+    /// read-only mode, and [`LoomError::Overloaded`] under the
+    /// fail-fast backpressure policy.
     pub fn push(&mut self, source: SourceId, payload: &[u8]) -> Result<u64> {
         let shard = shard_of(source.0, self.shards.len());
         self.shards[shard].push(source, payload)
@@ -1448,6 +1492,11 @@ impl LoomWriter {
     /// every shard's staged tail to persistent storage, bounding loss on
     /// crash. A per-shard failure does not stop the barrier: all shards
     /// are synced and the first error is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::Degraded`] when a shard is read-only, and
+    /// [`LoomError::Io`] when a flush fails.
     pub fn sync(&mut self) -> Result<()> {
         self.each_shard(ShardWriter::sync)
     }
@@ -1458,6 +1507,11 @@ impl LoomWriter {
     /// real disk writeback — so it is meant for checkpoints and shutdown,
     /// not the per-batch path. [`LoomWriter::close`] syncs durably before
     /// writing the clean-shutdown markers.
+    ///
+    /// # Errors
+    ///
+    /// As [`LoomWriter::sync`]: [`LoomError::Degraded`] or
+    /// [`LoomError::Io`] (including fdatasync failures).
     pub fn sync_durable(&mut self) -> Result<()> {
         self.each_shard(ShardWriter::sync_durable)
     }
@@ -1468,6 +1522,11 @@ impl LoomWriter {
     /// Useful before shutdown or when a workload phase ends: it moves
     /// each shard's active-chunk summary into its chunk index so
     /// subsequent queries can use it.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::Degraded`] when a shard is read-only, and
+    /// [`LoomError::Io`] when writing the seal padding fails.
     pub fn seal_active_chunk(&mut self) -> Result<()> {
         self.each_shard(ShardWriter::seal_active_chunk)
     }
@@ -1480,6 +1539,13 @@ impl LoomWriter {
     ///
     /// Dropping the writer does the same on a best-effort basis; `close`
     /// surfaces the errors.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::Io`] when a final flush, fdatasync, or
+    /// clean-shutdown marker write fails, and [`LoomError::Degraded`]
+    /// for shards already read-only; the affected shard recovers on the
+    /// next open.
     pub fn close(mut self) -> Result<()> {
         self.each_shard(ShardWriter::close_inner)
     }

@@ -27,7 +27,7 @@
 
 use crate::sync::atomic::{AtomicU8, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 const HEALTHY: u8 = 0;
 const DEGRADED: u8 = 1;
@@ -90,7 +90,10 @@ pub struct HealthState {
 impl HealthState {
     /// A fresh, healthy cell.
     pub fn new() -> HealthState {
-        HealthState::default()
+        HealthState {
+            state: AtomicU8::new(0),
+            reason: Mutex::named("loom.health_reason", None),
+        }
     }
 
     /// The current state with its reason.

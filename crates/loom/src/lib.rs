@@ -89,6 +89,7 @@ pub mod stats;
 pub mod summary;
 pub mod sync;
 pub mod ts_index;
+pub mod util;
 
 pub use clock::Clock;
 pub use config::{Config, ConfigBuilder, IoRetryPolicy, OverloadPolicy, RetentionConfig};

@@ -38,17 +38,13 @@ pub use proto::{Message, NackCode, Role, SlowConsumerPolicy, SubscribeSpec, PROT
 /// the fold below can never produce it.
 pub fn schema_fingerprint(mut names: Vec<String>) -> u64 {
     names.sort();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = crate::util::Fnv1a::new();
     for name in &names {
-        for b in name.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        h.write(name.as_bytes());
         // Separator so ["ab"] and ["a","b"] differ.
-        h ^= 0xff;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h.write_u8(0xff);
     }
-    h.max(1)
+    h.finish().max(1)
 }
 
 #[cfg(test)]

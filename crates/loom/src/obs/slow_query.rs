@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use super::QueryPhases;
 
@@ -90,10 +90,13 @@ impl SlowQueryLog {
     pub fn new(capacity: usize) -> Self {
         SlowQueryLog {
             capacity,
-            state: Mutex::new(State {
-                next_seq: 0,
-                entries: VecDeque::with_capacity(capacity.min(64)),
-            }),
+            state: Mutex::named(
+                "loom.slow_query",
+                State {
+                    next_seq: 0,
+                    entries: VecDeque::with_capacity(capacity.min(64)),
+                },
+            ),
         }
     }
 

@@ -114,6 +114,13 @@ impl<'a> Query<'a> {
     /// without one it is `raw_scan` (newest to oldest along the source's
     /// record chain), and setting a [`value_range`](Self::value_range) is
     /// an [`InvalidQuery`](LoomError::InvalidQuery) error.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::InvalidQuery`] for a value range without an index,
+    /// [`LoomError::UnknownIndex`] / [`LoomError::UnknownSource`] when
+    /// the named index or source does not exist, and
+    /// [`LoomError::CorruptLog`] if a chunk fails validation mid-scan.
     pub fn scan<F>(self, mut f: F) -> Result<QueryStats>
     where
         F: FnMut(Record<'_>),
@@ -164,6 +171,13 @@ impl<'a> Query<'a> {
     /// (Figure 9: `indexed_aggregate`). Requires [`index`](Self::index);
     /// a [`value_range`](Self::value_range) is not supported here and
     /// errors.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::InvalidQuery`] without an index or with a value
+    /// range, [`LoomError::UnknownIndex`] /
+    /// [`LoomError::UnknownSource`] for unknown names, and
+    /// [`LoomError::CorruptLog`] on a chunk that fails validation.
     pub fn aggregate(self, method: Aggregate) -> Result<AggregateResult> {
         let timer = Stopwatch::start();
         let mut phases = QueryPhases::default();
@@ -191,6 +205,13 @@ impl<'a> Query<'a> {
     /// [`coordinator`](crate::coordinator)). Requires
     /// [`index`](Self::index); a [`value_range`](Self::value_range) is
     /// not supported here and errors.
+    ///
+    /// # Errors
+    ///
+    /// [`LoomError::InvalidQuery`] without an index or with a value
+    /// range, [`LoomError::UnknownIndex`] /
+    /// [`LoomError::UnknownSource`] for unknown names, and
+    /// [`LoomError::CorruptLog`] on a chunk that fails validation.
     pub fn bin_counts(self) -> Result<(Vec<u64>, QueryStats)> {
         let timer = Stopwatch::start();
         let mut phases = QueryPhases::default();

@@ -35,7 +35,7 @@
 //! across chunks within a query and across queries, plus recycled
 //! [`RecordBatch`] arenas for the parallel delivery path.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use super::executor::RecordBatch;
 use super::view::{QueryView, RegionScan};
@@ -379,10 +379,18 @@ const POOL_SLOTS: usize = 16;
 /// lifetime* (not per record or per chunk), so pooling is never on the
 /// hot path. Buffers lost to early error returns are simply not
 /// recycled — the pool is a cache, not an accounting structure.
-#[derive(Default)]
 pub(crate) struct BufferPool {
     bufs: Mutex<Vec<ScanBuffers>>,
     batches: Mutex<Vec<RecordBatch>>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            bufs: Mutex::named("loom.scan_bufs", Vec::new()),
+            batches: Mutex::named("loom.scan_batches", Vec::new()),
+        }
+    }
 }
 
 impl BufferPool {

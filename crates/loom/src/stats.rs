@@ -19,6 +19,8 @@ pub struct IngestStats {
 impl IngestStats {
     /// Records a pushed record of `bytes` total size (header + payload).
     pub fn inc_records(&self, bytes: u64) {
+        // ORDERING: monitoring counter, no reader synchronizes on it;
+        // distinct from the Release-published `SourceShared::records`.
         self.records.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -40,6 +42,7 @@ impl IngestStats {
 
     /// Total records pushed.
     pub fn records(&self) -> u64 {
+        // ORDERING: monitoring read; staleness is acceptable.
         self.records.load(Ordering::Relaxed)
     }
 

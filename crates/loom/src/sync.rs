@@ -54,3 +54,15 @@ pub mod thread {
     #[cfg(conc_check)]
     pub use conc_check::sync::thread::yield_now;
 }
+
+/// Named locks with the `conc_check` runtime lock-order witness.
+///
+/// The in-tree `parking_lot` stand-in's `Mutex`/`RwLock` accept a
+/// lock-order *class name* (`Mutex::named("loom.registry", …)`);
+/// under `--cfg conc_check` every acquisition of a named lock feeds a
+/// process-global order table and panics on inversion, printing both
+/// acquisition stacks. This is the runtime partner of the static
+/// lock-order pass in `crates/lint` (DESIGN.md §10.4); the static
+/// graph lives in `results/lock_order.txt`. Lock-holding code in this
+/// crate should import the lock types from here.
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

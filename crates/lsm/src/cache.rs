@@ -40,11 +40,14 @@ impl BlockCache {
             capacity_per_shard: (capacity_bytes / shards).max(4096),
             shards: (0..shards)
                 .map(|_| {
-                    Mutex::new(Shard {
-                        map: HashMap::new(),
-                        order: VecDeque::new(),
-                        bytes: 0,
-                    })
+                    Mutex::named(
+                        "lsm.cache_shard",
+                        Shard {
+                            map: HashMap::new(),
+                            order: VecDeque::new(),
+                            bytes: 0,
+                        },
+                    )
                 })
                 .collect(),
             hits: AtomicU64::new(0),

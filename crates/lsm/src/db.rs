@@ -233,18 +233,21 @@ impl Db {
         }
         let (kick_tx, kick_rx) = bounded(16);
         let inner = Arc::new(DbInner {
-            state: RwLock::new(DbState {
-                memtable,
-                immutables: VecDeque::new(),
-                levels,
-                wal_seq,
-            }),
-            wal: Mutex::new(wal_writer),
+            state: RwLock::named(
+                "lsm.state",
+                DbState {
+                    memtable,
+                    immutables: VecDeque::new(),
+                    levels,
+                    wal_seq,
+                },
+            ),
+            wal: Mutex::named("lsm.wal", wal_writer),
             next_table_id: AtomicU64::new(max_table_id + 1),
             stats: LsmStats::default(),
             kick: kick_tx,
             shutdown: AtomicBool::new(false),
-            worker: Mutex::new(None),
+            worker: Mutex::named("lsm.worker", None),
             cache,
             config,
         });

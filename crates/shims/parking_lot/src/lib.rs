@@ -6,101 +6,290 @@
 //! `std::sync`. Poisoned locks are recovered transparently: `parking_lot`
 //! has no poisoning, so a panic while holding a lock must not wedge every
 //! later acquisition.
+//!
+//! Beyond the stand-in API, locks can carry a *class name*
+//! ([`Mutex::named`] / [`RwLock::named`]). Plain builds ignore the name;
+//! under `--cfg conc_check` every acquisition of a named lock feeds the
+//! [`witness`] lock-order witness, which panics on ordering inversions
+//! with both acquisition stacks. The workspace's long-lived locks are
+//! all named (see `results/lock_order.txt` for the static order graph
+//! this runtime witness backs up).
 
 use std::fmt;
 use std::sync::{self, TryLockError};
 
+#[cfg(conc_check)]
+pub mod witness;
+
+#[cfg(not(conc_check))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[cfg(not(conc_check))]
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[cfg(not(conc_check))]
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// Witness-carrying guard wrappers. Field order matters: the std guard
+/// drops (releasing the lock) before the witness token pops the held
+/// stack, so the stack never understates what is held.
+#[cfg(conc_check)]
+macro_rules! witness_guard {
+    ($name:ident, $inner:ident, $($mut_:tt)?) => {
+        pub struct $name<'a, T: ?Sized> {
+            inner: sync::$inner<'a, T>,
+            _token: witness::Held,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        $(
+            impl<T: ?Sized> std::ops::$mut_ for $name<'_, T> {
+                fn deref_mut(&mut self) -> &mut T {
+                    &mut self.inner
+                }
+            }
+        )?
+
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+#[cfg(conc_check)]
+witness_guard!(MutexGuard, MutexGuard, DerefMut);
+#[cfg(conc_check)]
+witness_guard!(RwLockReadGuard, RwLockReadGuard,);
+#[cfg(conc_check)]
+witness_guard!(RwLockWriteGuard, RwLockWriteGuard, DerefMut);
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning interface.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg_attr(not(conc_check), allow(dead_code))]
+    name: &'static str,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self(sync::Mutex::new(value))
+        Self::named("", value)
+    }
+
+    /// A mutex carrying a lock-order class name for the `conc_check`
+    /// runtime witness (plain builds store and ignore it). Name
+    /// convention: `crate.field`, matching `results/lock_order.txt`.
+    pub const fn named(name: &'static str, value: T) -> Self {
+        Self {
+            name,
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(conc_check)]
+        {
+            let _token = witness::acquire(self.name);
+            return MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+                _token,
+            };
+        }
+        #[cfg(not(conc_check))]
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(conc_check)]
+        return Some(MutexGuard {
+            _token: witness::acquire_try(self.name),
+            inner: g,
+        });
+        #[cfg(not(conc_check))]
+        Some(g)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
 /// A reader-writer lock with `parking_lot`'s non-poisoning interface.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg_attr(not(conc_check), allow(dead_code))]
+    name: &'static str,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self(sync::RwLock::new(value))
+        Self::named("", value)
+    }
+
+    /// An rwlock carrying a lock-order class name for the `conc_check`
+    /// runtime witness (plain builds store and ignore it). Readers and
+    /// writers share the class: a read-side inversion still deadlocks
+    /// against a queued writer.
+    pub const fn named(name: &'static str, value: T) -> Self {
+        Self {
+            name,
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(conc_check)]
+        {
+            let _token = witness::acquire(self.name);
+            return RwLockReadGuard {
+                inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+                _token,
+            };
+        }
+        #[cfg(not(conc_check))]
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(conc_check)]
+        {
+            let _token = witness::acquire(self.name);
+            return RwLockWriteGuard {
+                inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+                _token,
+            };
+        }
+        #[cfg(not(conc_check))]
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(conc_check)]
+        return Some(RwLockReadGuard {
+            _token: witness::acquire_try(self.name),
+            inner: g,
+        });
+        #[cfg(not(conc_check))]
+        Some(g)
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(conc_check)]
+        return Some(RwLockWriteGuard {
+            _token: witness::acquire_try(self.name),
+            inner: g,
+        });
+        #[cfg(not(conc_check))]
+        Some(g)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
+
+/// A condition variable usable with this crate's [`MutexGuard`]
+/// (std's `Condvar` API minus poisoning, like `parking_lot`'s).
+///
+/// Under `conc_check` the witness token rides along in the guard and
+/// stays on the held stack through the wait: the thread is blocked and
+/// acquires nothing meanwhile, and on wake it holds the mutex again,
+/// so the stack never misleads the inversion check.
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(conc_check)]
+        {
+            let MutexGuard { inner, _token } = guard;
+            let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+            return MutexGuard { inner, _token };
+        }
+        #[cfg(not(conc_check))]
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, sync::WaitTimeoutResult) {
+        #[cfg(conc_check)]
+        {
+            let MutexGuard { inner, _token } = guard;
+            let (inner, res) = self
+                .0
+                .wait_timeout(inner, dur)
+                .unwrap_or_else(|e| e.into_inner());
+            return (MutexGuard { inner, _token }, res);
+        }
+        #[cfg(not(conc_check))]
+        self.0
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub use sync::WaitTimeoutResult;
 
 #[cfg(test)]
 mod tests {
@@ -119,5 +308,14 @@ mod tests {
         assert_eq!(l.read().len(), 1);
         l.write().push(2);
         assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn named_locks_roundtrip() {
+        let m = Mutex::named("test.m", 1);
+        let l = RwLock::named("test.l", 2);
+        let a = m.lock();
+        let b = l.read();
+        assert_eq!(*a + *b, 3);
     }
 }

@@ -1,0 +1,154 @@
+//! Runtime lock-order witness (`--cfg conc_check` builds only).
+//!
+//! The static lock-order pass in `crates/lint` proves ordering for
+//! acquisitions it can see *within one function*; this witness is its
+//! runtime partner, catching cross-function nesting on real
+//! executions. Every [`Mutex::named`]/[`RwLock::named`] acquisition
+//! pushes its class name onto a thread-local held-lock stack and
+//! records `held -> acquired` edges in a process-global order table.
+//! Acquiring a lock when the table already shows a path from its class
+//! back to a currently-held class is an inversion: two threads running
+//! the two orders concurrently can deadlock. The witness panics
+//! immediately, printing the current acquisition stack and the stack
+//! that established the reverse order — turning a once-in-a-year hang
+//! into a deterministic test failure.
+//!
+//! Design notes:
+//! - Classes are *names*, not instances (like lockdep): every
+//!   `named("loom.registry", …)` lock shares one node, so an order
+//!   learned on one engine instance protects all others.
+//! - Same-class nesting is permitted (the static pass also skips
+//!   self-edges); ordering within a class needs protocol-level
+//!   reasoning the witness cannot see.
+//! - `try_lock` acquisitions join the held stack (later blocking
+//!   acquisitions underneath them are real nesting) but neither record
+//!   edges nor trip the inversion check: a failed try degrades
+//!   gracefully instead of blocking, so it cannot close a deadlock
+//!   cycle by itself.
+//! - Unnamed locks (plain `new`) are untracked.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `a -> (b -> held stack recorded when a->b was first seen)`.
+type Edges = HashMap<&'static str, HashMap<&'static str, Vec<&'static str>>>;
+
+fn order() -> &'static Mutex<Edges> {
+    static ORDER: OnceLock<Mutex<Edges>> = OnceLock::new();
+    ORDER.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Path from `from` to `to` in the order graph, if any.
+fn path(edges: &Edges, from: &'static str, to: &'static str) -> Option<Vec<&'static str>> {
+    let mut stack = vec![vec![from]];
+    let mut seen = vec![from];
+    while let Some(p) = stack.pop() {
+        let last = *p.last().expect("path is never empty");
+        if last == to {
+            return Some(p);
+        }
+        if let Some(next) = edges.get(last) {
+            for &n in next.keys() {
+                if !seen.contains(&n) {
+                    seen.push(n);
+                    let mut q = p.clone();
+                    q.push(n);
+                    stack.push(q);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// RAII token returned by an acquisition; dropping it pops the held
+/// stack. An empty name is an untracked (unnamed) lock.
+pub struct Held {
+    name: &'static str,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        if self.name.is_empty() {
+            return;
+        }
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            // Guards may drop out of acquisition order; pop the most
+            // recent matching entry, not necessarily the top.
+            if let Some(pos) = held.iter().rposition(|&n| n == self.name) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Records a blocking acquisition of lock class `name`: checks for an
+/// inversion against everything currently held, records the new
+/// ordering edges, and pushes the class onto the held stack.
+///
+/// Panics on inversion, printing both acquisition stacks.
+pub fn acquire(name: &'static str) -> Held {
+    if name.is_empty() {
+        return Held { name };
+    }
+    let held_now: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+    if !held_now.is_empty() {
+        // Check + record under the table lock, but panic outside it so
+        // a caught inversion panic (tests use catch_unwind) cannot
+        // poison the table for the rest of the process.
+        let mut inversion = None;
+        {
+            let mut edges = order().lock().unwrap_or_else(|e| e.into_inner());
+            for &a in &held_now {
+                if a == name {
+                    continue;
+                }
+                if let Some(p) = path(&edges, name, a) {
+                    let first_hop = edges
+                        .get(name)
+                        .and_then(|m| m.get(p.get(1).copied().unwrap_or(a)))
+                        .cloned()
+                        .unwrap_or_default();
+                    inversion = Some((a, p, first_hop));
+                    break;
+                }
+            }
+            if inversion.is_none() {
+                for &a in &held_now {
+                    if a != name {
+                        edges
+                            .entry(a)
+                            .or_default()
+                            .entry(name)
+                            .or_insert_with(|| held_now.clone());
+                    }
+                }
+            }
+        }
+        if let Some((a, p, recorded)) = inversion {
+            panic!(
+                "lock-order inversion: acquiring `{name}` while holding `{a}`, but the \
+                 recorded order is {p:?}\n  this thread holds (oldest first): {held_now:?}\n  \
+                 the {name:?}-first order was established while holding: {recorded:?}"
+            );
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push(name));
+    Held { name }
+}
+
+/// Records a successful `try_*` acquisition: joins the held stack but
+/// records no edges and trips no inversion check (a failed try cannot
+/// block, so a try-site cannot close a deadlock cycle by itself).
+pub fn acquire_try(name: &'static str) -> Held {
+    if !name.is_empty() {
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+    Held { name }
+}

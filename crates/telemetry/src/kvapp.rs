@@ -72,7 +72,12 @@ impl Shards {
     fn new(n: usize) -> Shards {
         Shards {
             shards: (0..n)
-                .map(|_| parking_lot::Mutex::new(std::collections::HashMap::new()))
+                .map(|_| {
+                    parking_lot::Mutex::named(
+                        "telemetry.kvapp_shard",
+                        std::collections::HashMap::new(),
+                    )
+                })
                 .collect(),
         }
     }

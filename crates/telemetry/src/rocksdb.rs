@@ -335,7 +335,9 @@ mod tests {
                 assert!(e.ts >= last);
                 last = e.ts;
                 h = h
-                    .wrapping_mul(1099511628211)
+                    // MMIX LCG multiplier; any odd mixer works here,
+                    // but not the FNV prime (fnv-drift lint).
+                    .wrapping_mul(6364136223846793005)
                     .wrapping_add(e.bytes.len() as u64);
             });
             h

@@ -178,7 +178,7 @@ impl Tsdb {
         )?;
         let engine = Arc::new(Engine {
             storage,
-            index: RwLock::new(SeriesIndex::new()),
+            index: RwLock::named("tsdb.index", SeriesIndex::new()),
             stats: TsdbStats::default(),
         });
         let (tx, rx) = bounded::<Point>(config.queue_capacity);

@@ -1,0 +1,55 @@
+//! Cross-crate FNV-1a equivalence.
+//!
+//! `loom::util::fnv1a` is the workspace's canonical FNV-1a; `lsm`
+//! sits below `loom` in the dependency graph so its bloom filter keeps
+//! a private copy rather than importing it. These tests pin the two
+//! implementations (one-shot and streaming) to each other and to the
+//! published reference vectors, so a drift in either copy fails here
+//! before it silently changes on-disk bloom filters or wire schema
+//! fingerprints.
+
+use loom::util::{fnv1a, Fnv1a};
+
+const VECTORS: &[(&[u8], u64)] = &[
+    (b"", 0xcbf2_9ce4_8422_2325),
+    (b"a", 0xaf63_dc4c_8601_ec8c),
+    (b"foobar", 0x8594_4171_f739_67e8),
+];
+
+#[test]
+fn canonical_matches_reference_vectors() {
+    for &(input, want) in VECTORS {
+        assert_eq!(fnv1a(input), want, "input {input:?}");
+    }
+}
+
+#[test]
+fn lsm_bloom_copy_matches_canonical() {
+    let mut inputs: Vec<Vec<u8>> = VECTORS.iter().map(|(i, _)| i.to_vec()).collect();
+    // A spread of lengths and byte values, including the 0xff wire
+    // separator and multi-KiB payloads.
+    inputs.push(vec![0xff; 3]);
+    inputs.push((0..=255u8).collect());
+    inputs.push(b"loom.metrics/source:42".to_vec());
+    inputs.push(vec![0xa5; 4096]);
+    for input in &inputs {
+        assert_eq!(
+            lsm::bloom::fnv1a(input),
+            fnv1a(input),
+            "lsm bloom copy drifted for len {}",
+            input.len()
+        );
+    }
+}
+
+#[test]
+fn streaming_matches_one_shot_across_split_points() {
+    let data: Vec<u8> = (0..512u32).map(|i| (i * 31 % 251) as u8).collect();
+    let want = fnv1a(&data);
+    for split in [0, 1, 7, 256, 511, 512] {
+        let mut h = Fnv1a::new();
+        h.write(&data[..split]);
+        h.write(&data[split..]);
+        assert_eq!(h.finish(), want, "split at {split}");
+    }
+}
